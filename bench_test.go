@@ -1,0 +1,187 @@
+// Package sysprof's root benchmark suite regenerates every table and
+// figure of the paper's evaluation (§3) plus the design-choice ablations
+// listed in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment from
+// internal/bench once per iteration (use -benchtime=1x for a single
+// paper-style run; cmd/sysprof-experiments prints the full tables).
+// Custom metrics carry the paper-comparable numbers: throughput in
+// Mbps or responses/s, time splits in milliseconds, overhead in percent.
+package sysprof
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/bench"
+)
+
+// BenchmarkMicroLinpack reproduces §3.1: a pure-CPU workload is
+// unperturbed by SysProf (paper: no change in MFLOPS).
+func BenchmarkMicroLinpack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunLinpack(2 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaselineMFLOPS, "base-MFLOPS")
+		b.ReportMetric(res.MonitoredMFLOPS, "mon-MFLOPS")
+		b.ReportMetric(res.DeltaPct(), "delta-%")
+	}
+}
+
+// BenchmarkMicroIperf reproduces §3.1: bulk-transfer bandwidth with
+// SysProf off vs on (paper: ~930 -> ~810 Mbps at 1 Gbps, ~3% at
+// 100 Mbps).
+func BenchmarkMicroIperf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunIperf(2 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gig, fast := res.Points[0], res.Points[1]
+		b.ReportMetric(gig.BaselineMbps, "1G-off-Mbps")
+		b.ReportMetric(gig.MonitoredMbps, "1G-on-Mbps")
+		b.ReportMetric(gig.DropPct(), "1G-drop-%")
+		b.ReportMetric(fast.DropPct(), "100M-drop-%")
+	}
+}
+
+// BenchmarkFig4ProxyTime reproduces Figure 4: per-interaction user- and
+// kernel-level time at the storage proxy as Iozone threads scale (paper
+// shape: user constant, kernel growing).
+func BenchmarkFig4ProxyTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunNFS([]int{1, 8, 32}, 1500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		b.ReportMetric(ms(first.ProxyUser), "t1-user-ms")
+		b.ReportMetric(ms(last.ProxyUser), "t32-user-ms")
+		b.ReportMetric(ms(first.ProxyKernel), "t1-kernel-ms")
+		b.ReportMetric(ms(last.ProxyKernel), "t32-kernel-ms")
+	}
+}
+
+// BenchmarkFig5BackendTime reproduces Figure 5: per-interaction time at a
+// back-end NFS server (paper shape: an order of magnitude over the
+// proxy; network RTT insignificant).
+func BenchmarkFig5BackendTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunNFS([]int{1, 8, 32}, 1500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		b.ReportMetric(ms(first.BackendKernel), "t1-backend-ms")
+		b.ReportMetric(ms(last.BackendKernel), "t32-backend-ms")
+		b.ReportMetric(float64(last.BackendKernel)/float64(last.ProxyKernel), "backend/proxy-x")
+		b.ReportMetric(ms(last.NetworkRTT), "net-rtt-ms")
+	}
+}
+
+// BenchmarkFig6DWCS reproduces Figure 6: request-class throughput under
+// plain DWCS with a load spike halfway (paper shape: both classes
+// degrade).
+func BenchmarkFig6DWCS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultRUBiSConfig()
+		cfg.Duration = 16 * time.Second
+		res, err := bench.RunRUBiS(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bPre, bPost := res.PrePost(res.BidSeries)
+		cPre, cPost := res.PrePost(res.CommentSeries)
+		b.ReportMetric(bPre, "bid-pre-rps")
+		b.ReportMetric(bPost, "bid-spike-rps")
+		b.ReportMetric(cPre, "comment-pre-rps")
+		b.ReportMetric(cPost, "comment-spike-rps")
+	}
+}
+
+// BenchmarkFig7RADWCS reproduces Figure 7: RA-DWCS guided by SysProf
+// protects the high-priority class (paper: insignificant bidding drop,
+// >14% aggregate gain, <2% monitoring cost).
+func BenchmarkFig7RADWCS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultRUBiSConfig()
+		cfg.Duration = 16 * time.Second
+		cmp, err := bench.RunRUBiSComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bPre, bPost := cmp.RADWCS.PrePost(cmp.RADWCS.BidSeries)
+		b.ReportMetric(bPre, "bid-pre-rps")
+		b.ReportMetric(bPost, "bid-spike-rps")
+		b.ReportMetric(cmp.SpikeGainPct(), "gain-%")
+		b.ReportMetric(cmp.MonitoringCostPct(), "monitor-cost-%")
+	}
+}
+
+// BenchmarkAblationSelective measures the selective-monitoring gear.
+func BenchmarkAblationSelective(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationSelective(time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OffMbps, "off-Mbps")
+		b.ReportMetric(res.DefaultMbps, "sched-only-Mbps")
+		b.ReportMetric(res.AllMbps, "all-Mbps")
+	}
+}
+
+// BenchmarkAblationBuffers measures double vs single buffering loss.
+func BenchmarkAblationBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationBuffers(2000, 64, 50*time.Microsecond, 2*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DoubleDrops), "double-drops")
+		b.ReportMetric(float64(res.SingleDrops), "single-drops")
+	}
+}
+
+// BenchmarkAblationEncoding measures PBIO vs JSON wire size.
+func BenchmarkAblationEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationEncoding(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BinaryBytes)/float64(res.Records), "binary-B/rec")
+		b.ReportMetric(float64(res.JSONBytes)/float64(res.Records), "json-B/rec")
+	}
+}
+
+// BenchmarkAblationHashing measures hashed vs linear flow lookup on the
+// event fast path (real wall-clock nanoseconds).
+func BenchmarkAblationHashing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationHashing(512, 200000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HashedNsOp, "hashed-ns/ev")
+		b.ReportMetric(res.LinearNsOp, "linear-ns/ev")
+	}
+}
+
+// BenchmarkAblationHierarchy measures local aggregation vs raw shipping.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationHierarchy(10000, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.RawRecordBytes), "raw-bytes")
+		b.ReportMetric(float64(res.AggregateBytes), "agg-bytes")
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,138 @@
+// Command gpad runs the Global Performance Analyzer as a standalone
+// process: it subscribes to one or more sysprofd pub-sub endpoints over
+// TCP, correlates the interaction records they publish, and periodically
+// prints per-node load summaries and (optionally) dumps correlated
+// end-to-end interactions as JSON lines.
+//
+// Usage:
+//
+//	gpad [-subscribe host:port,host:port] [-interval 2s] [-dump file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"sysprof/internal/dissem"
+	"sysprof/internal/gpa"
+	"sysprof/internal/pbio"
+	"sysprof/internal/pubsub"
+)
+
+func main() {
+	subscribe := flag.String("subscribe", "127.0.0.1:8071", "comma-separated sysprofd pub-sub addresses")
+	interval := flag.Duration("interval", 2*time.Second, "summary print interval")
+	dump := flag.String("dump", "", "append correlated interactions (JSON lines) to this file on exit")
+	query := flag.String("query", "", "serve the GPA query protocol on this TCP address (e.g. 127.0.0.1:8073)")
+	flag.Parse()
+	if err := run(strings.Split(*subscribe, ","), *interval, *dump, *query); err != nil {
+		fmt.Fprintln(os.Stderr, "gpad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addrs []string, interval time.Duration, dumpPath, queryAddr string) error {
+	reg := pbio.NewRegistry()
+	if err := dissem.RegisterFormats(reg); err != nil {
+		return err
+	}
+	start := time.Now()
+	g := gpa.New(gpa.Config{}, func() time.Duration { return time.Since(start) })
+
+	if queryAddr != "" {
+		ql, err := net.Listen("tcp", queryAddr)
+		if err != nil {
+			return fmt.Errorf("query listen: %w", err)
+		}
+		defer ql.Close()
+		go g.Serve(ql)
+		log.Printf("query protocol on %s", queryAddr)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		sub, err := pubsub.Dial(addr, reg, dissem.ChannelInteractions, dissem.ChannelAggregates)
+		if err != nil {
+			return fmt.Errorf("subscribe %s: %w", addr, err)
+		}
+		log.Printf("subscribed to %s", addr)
+		wg.Add(1)
+		go func(addr string, sub *pubsub.Subscriber) {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, rec, err := sub.Recv()
+				if err != nil {
+					log.Printf("%s: stream ended: %v", addr, err)
+					return
+				}
+				switch w := rec.Value.(type) {
+				case *dissem.WireRecord:
+					g.Ingest(dissem.FromWire(w))
+				case *dissem.WireAggregate:
+					node, agg := dissem.AggFromWire(w)
+					g.IngestAggregate(node, agg)
+				}
+			}
+		}(addr, sub)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			printSummary(g)
+		case <-sig:
+			close(stop)
+			printSummary(g)
+			if dumpPath != "" {
+				if err := dumpTo(g, dumpPath); err != nil {
+					return err
+				}
+				log.Printf("dumped correlated interactions to %s", dumpPath)
+			}
+			return nil
+		}
+	}
+}
+
+func printSummary(g *gpa.GPA) {
+	st := g.StatsSnapshot()
+	fmt.Printf("gpa: ingested=%d correlated=%d pending=%d\n",
+		st.Ingested, st.Correlated, g.PendingCount())
+	for _, node := range g.Nodes() {
+		l := g.ServerLoad(node)
+		fmt.Printf("  node %d: %d interactions/window, mean residence %v, mean buffer wait %v\n",
+			node, l.Interactions, l.MeanResidence, l.MeanBufferWait)
+	}
+}
+
+func dumpTo(g *gpa.GPA, path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return g.Dump(f)
+}

@@ -1,0 +1,127 @@
+// Command sysprof-experiments regenerates every table and figure of the
+// SysProf paper's evaluation (§3) plus the DESIGN.md ablations, printing
+// paper-style tables.
+//
+// Usage:
+//
+//	sysprof-experiments [-exp all|linpack|iperf|fig4|fig5|fig6|fig7|ablations] [-quick]
+//
+// -quick shrinks run durations ~4x for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sysprof/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, linpack, iperf, fig4, fig5, fig6, fig7, ablations")
+	quick := flag.Bool("quick", false, "shorter runs (~4x faster, noisier)")
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "sysprof-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	scale := time.Duration(1)
+	if quick {
+		scale = 4
+	}
+	section := func(title string) {
+		fmt.Printf("=== %s ===\n", title)
+	}
+	runLinpack := func() error {
+		section("§3.1 micro-benchmark: linpack")
+		res, err := bench.RunLinpack(4 * time.Second / scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	}
+	runIperf := func() error {
+		section("§3.1 micro-benchmark: iperf")
+		res, err := bench.RunIperf(4 * time.Second / scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	}
+	runNFS := func() error {
+		section("§3.2 shared NFS proxy: Figures 4 and 5")
+		res, err := bench.RunNFS(bench.DefaultNFSThreads, 2*time.Second/scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	}
+	runRUBiS := func() error {
+		section("§3.3 multi-tier web service: Figures 6 and 7")
+		cfg := bench.DefaultRUBiSConfig()
+		cfg.Duration /= scale
+		cmp, err := bench.RunRUBiSComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cmp.Render())
+		return nil
+	}
+	runAblations := func() error {
+		section("ablations: SysProf's performance gears")
+		sel, err := bench.RunAblationSelective(2 * time.Second / scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sel.Render())
+		buf, err := bench.RunAblationBuffers(2000, 64, 50*time.Microsecond, 2*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(buf.Render())
+		enc, err := bench.RunAblationEncoding(1000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(enc.Render())
+		hash, err := bench.RunAblationHashing(512, 200000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(hash.Render())
+		hier, err := bench.RunAblationHierarchy(10000, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(hier.Render())
+		return nil
+	}
+
+	switch exp {
+	case "linpack":
+		return runLinpack()
+	case "iperf":
+		return runIperf()
+	case "fig4", "fig5":
+		return runNFS()
+	case "fig6", "fig7":
+		return runRUBiS()
+	case "ablations":
+		return runAblations()
+	case "all":
+		for _, f := range []func() error{runLinpack, runIperf, runNFS, runRUBiS, runAblations} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestRunQuickSmoke executes every experiment in quick mode — the same
+// code path `sysprof-experiments -quick` takes — so regressions in any
+// runner fail CI, not the user.
+func TestRunQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, exp := range []string{"linpack", "iperf", "fig4", "fig6", "ablations"} {
+		if err := run(exp, true); err != nil {
+			t.Fatalf("experiment %s: %v", exp, err)
+		}
+	}
+	if err := run("nosuch", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Command sysprofctl drives a sysprofd controller remotely: it sends one
+// management command and prints the reply.
+//
+// Usage:
+//
+//	sysprofctl [-addr host:port] <command...>
+//
+// Commands (see internal/controller):
+//
+//	status
+//	granularity <node> <lpa> interaction|class
+//	mask <node> <lpa> <groups>            groups: all,sched,syscall,net,fs,default,none
+//	window <node> <lpa> <size>
+//	bufcap <node> <lpa> <capacity>
+//	install-cpa <node> <name> <groups> -- <e-code source>
+//	remove-cpa <node> <name>
+//
+// Example:
+//
+//	sysprofctl granularity webserver interactions class
+//	sysprofctl install-cpa webserver big net -- 'static int n = 0; if (ev.bytes > 4000) { n++; emit("big", n); } return n;'
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8072", "sysprofd controller address")
+	flag.Parse()
+	if err := run(*addr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "sysprofctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, args []string) error {
+	if len(args) == 0 {
+		return errors.New("no command given (try: sysprofctl status)")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	cmd := strings.Join(args, " ")
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return fmt.Errorf("send: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return errors.New("connection closed before reply")
+	}
+	first := sc.Text()
+	switch {
+	case strings.HasPrefix(first, "-"):
+		return errors.New(strings.TrimPrefix(first, "-"))
+	case strings.HasPrefix(first, "+"):
+		fmt.Println(strings.TrimPrefix(first, "+"))
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "." {
+				return nil
+			}
+			fmt.Println(line)
+		}
+		return sc.Err()
+	}
+	return fmt.Errorf("malformed reply %q", first)
+}

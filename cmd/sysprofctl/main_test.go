@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sysprof/internal/controller"
+	"sysprof/internal/core"
+	"sysprof/internal/kprof"
+)
+
+// startController serves a live controller over TCP, as sysprofd does.
+func startController(t *testing.T) string {
+	t.Helper()
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	hub.SetPerEventCost(0)
+	ctl := controller.New(nil)
+	if err := ctl.RegisterNode("n1", hub); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AttachLPA("n1", "main", core.NewLPA(hub, core.Config{})); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go ctl.Serve(l)
+	return l.Addr().String()
+}
+
+func TestRunSendsCommandAndPrintsReply(t *testing.T) {
+	addr := startController(t)
+	if err := run(addr, []string{"window", "n1", "main", "9"}); err != nil {
+		t.Fatalf("ok command failed: %v", err)
+	}
+	if err := run(addr, []string{"status"}); err != nil {
+		t.Fatalf("multi-line reply failed: %v", err)
+	}
+}
+
+func TestRunSurfacesServerErrors(t *testing.T) {
+	addr := startController(t)
+	err := run(addr, []string{"bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("127.0.0.1:1", []string{"status"}); err == nil {
+		t.Fatal("dial failure not surfaced")
+	}
+	if err := run("127.0.0.1:1", nil); err == nil {
+		t.Fatal("empty command accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Command sysprofd runs a live SysProf node: it hosts a small simulated
+// cluster (a monitored web server plus a client generating traffic),
+// attaches the full monitoring stack — Kprof instrumentation, an
+// interaction LPA, the dissemination daemon — and exposes it over real
+// sockets:
+//
+//   - the /proc virtual filesystem over HTTP (-http),
+//   - interaction records over TCP publish-subscribe (-pubsub), which
+//     cmd/gpad can subscribe to,
+//   - the controller's management protocol over TCP (-ctl), which
+//     cmd/sysprofctl drives.
+//
+// Virtual time is paced against wall-clock time, so the daemon behaves
+// like a long-running monitored system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sysprof/internal/apps/httperf"
+	"sysprof/internal/apps/iozone"
+	"sysprof/internal/apps/nfs"
+	"sysprof/internal/apps/rubis"
+	"sysprof/internal/controller"
+	"sysprof/internal/core"
+	"sysprof/internal/dissem"
+	"sysprof/internal/ecode"
+	"sysprof/internal/pbio"
+	"sysprof/internal/procfs"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+	"sysprof/internal/trace"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:8070", "procfs HTTP address")
+	pubsubAddr := flag.String("pubsub", "127.0.0.1:8071", "pub-sub TCP address")
+	ctlAddr := flag.String("ctl", "127.0.0.1:8072", "controller TCP address")
+	pace := flag.Duration("pace", 100*time.Millisecond, "virtual-time advance per wall tick")
+	tracePath := flag.String("trace", "", "record the kernel event stream (PBIO) to this file")
+	topology := flag.String("topology", "simple", "hosted cluster: simple (web server), nfs (storage proxy), rubis (auction site)")
+	flag.Parse()
+	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology); err != nil {
+		fmt.Fprintln(os.Stderr, "sysprofd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology string) error {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := buildTopology(eng, network, topology)
+	if err != nil {
+		return err
+	}
+
+	reg := pbio.NewRegistry()
+	if err := dissem.RegisterFormats(reg); err != nil {
+		return err
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+	fs := procfs.New()
+
+	daemon := dissem.New(eng, broker, fs, dissem.Config{
+		NodeName:      server.Name(),
+		FlushInterval: 250 * time.Millisecond,
+		MaxWindowAge:  2 * time.Second,
+	})
+	lpa := core.NewLPA(server.Hub(), core.Config{OnFull: daemon.OnFull})
+	daemon.Serve(lpa)
+	daemon.Start()
+
+	// Second analyzer: per-syscall activity (latency histograms), exposed
+	// via procfs.
+	sysLPA := core.NewSyscallLPA(server.Hub())
+	fs.Register("/sysprof/"+server.Name()+"/syscalls", func() string {
+		var out string
+		for _, st := range sysLPA.Stats() {
+			out += fmt.Sprintf("%-12s count=%-8d total=%-12v mean=%-10v p99<=%v\n",
+				st.Name, st.Count, st.Total, st.Mean, st.P99)
+		}
+		return out
+	})
+
+	ctl := controller.New(func(ch string, v ecode.Value) {
+		log.Printf("cpa emit %s: %v", ch, v)
+	})
+	if err := ctl.RegisterNode(server.Name(), server.Hub()); err != nil {
+		return err
+	}
+	if err := ctl.AttachLPA(server.Name(), "interactions", lpa); err != nil {
+		return err
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		tw, err := trace.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		tw.Attach(server.Hub(), core.MaskDefault())
+		defer tw.Detach()
+		log.Printf("recording event trace to %s", tracePath)
+	}
+
+	// Real listeners.
+	psListener, err := net.Listen("tcp", pubsubAddr)
+	if err != nil {
+		return fmt.Errorf("pubsub listen: %w", err)
+	}
+	go func() {
+		if err := broker.Serve(psListener); err != nil {
+			log.Printf("pubsub serve: %v", err)
+		}
+	}()
+	ctlListener, err := net.Listen("tcp", ctlAddr)
+	if err != nil {
+		return fmt.Errorf("ctl listen: %w", err)
+	}
+	defer ctlListener.Close()
+	go ctl.Serve(ctlListener)
+	httpSrv := &http.Server{Addr: httpAddr, Handler: fs}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("http serve: %v", err)
+		}
+	}()
+	defer httpSrv.Close()
+
+	log.Printf("sysprofd up: procfs http://%s/sysprof/ pubsub %s ctl %s",
+		httpAddr, pubsubAddr, ctlAddr)
+
+	// Pace virtual time against wall time until interrupted.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(pace)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := eng.RunFor(pace); err != nil {
+				return err
+			}
+		case <-stop:
+			log.Printf("shutting down")
+			daemon.Stop()
+			return nil
+		}
+	}
+}
+
+// buildTopology assembles the requested cluster and returns the node the
+// monitoring stack attaches to.
+func buildTopology(eng *sim.Engine, network *simnet.Network, topology string) (*simos.Node, error) {
+	switch topology {
+	case "simple":
+		server, err := simos.NewNode(eng, network, "webserver", simos.Config{})
+		if err != nil {
+			return nil, err
+		}
+		client, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if err := network.Connect(server.ID(), client.ID()); err != nil {
+			return nil, err
+		}
+		startWorkload(server, client)
+		return server, nil
+	case "nfs":
+		svc, err := nfs.Build(eng, network, nfs.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		client, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if err := network.Connect(client.ID(), svc.Proxy.ID()); err != nil {
+			return nil, err
+		}
+		if _, err := iozone.Start(client, svc.ProxyAddr(), iozone.Config{
+			Threads: 8, WriteSize: 16 * 1024, MakeRequest: nfs.NewWriteRequest,
+		}); err != nil {
+			return nil, err
+		}
+		return svc.Proxy, nil
+	case "rubis":
+		svc, err := rubis.Build(eng, network, rubis.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		client, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range svc.Backends {
+			if err := network.Connect(client.ID(), b.ID()); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := httperf.Start(client, httperf.RoundRobinRouter(svc.BackendAddrs()), httperf.Config{
+			Classes: []httperf.ClassSpec{
+				{Name: rubis.ClassBidding, Rate: 100, ReqSize: 512,
+					Deadline: 100 * time.Millisecond, X: 1, Y: 10},
+				{Name: rubis.ClassComment, Rate: 100, ReqSize: 2048,
+					Deadline: 400 * time.Millisecond, X: 5, Y: 10},
+			},
+			RNG: sim.NewRNG(1),
+			MakePayload: func(class string, seq uint64) any {
+				return rubis.Request{Class: class, Seq: seq}
+			},
+		}); err != nil {
+			return nil, err
+		}
+		return svc.Backends[0], nil
+	}
+	return nil, fmt.Errorf("unknown topology %q (want simple, nfs, or rubis)", topology)
+}
+
+// startWorkload runs a simple request/response service so the monitor has
+// something to observe.
+func startWorkload(server, client *simos.Node) {
+	ssock := server.MustBind(80)
+	csock := client.MustBind(9000)
+	server.Spawn("httpd", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *simos.Message) {
+				p.Compute(2*time.Millisecond, func() {
+					p.Reply(ssock, m, 8192, nil, loop)
+				})
+			})
+		}
+		loop()
+	})
+	client.Spawn("load", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Send(csock, ssock.Addr(), 512, nil, func() {
+				p.Recv(csock, func(m *simos.Message) {
+					p.Sleep(10*time.Millisecond, loop)
+				})
+			})
+		}
+		loop()
+	})
+}

@@ -1,0 +1,102 @@
+// Quickstart: monitor a client-server exchange with SysProf.
+//
+// This example builds the smallest useful deployment — one monitored web
+// server, one client — attaches an interaction LPA to the server's
+// kernel, runs ten request/response pairs, and prints the per-interaction
+// resource breakdown SysProf captured, all without touching the
+// application's code.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A simulation engine, a network, and two machines.
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{})
+	if err != nil {
+		return err
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		return err
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		return err
+	}
+
+	// Attach SysProf: one Local Performance Analyzer on the server's
+	// instrumentation hub. No application changes required.
+	lpa := core.NewLPA(server.Hub(), core.Config{})
+
+	// The application under observation: an echo-ish web server that
+	// computes for 2 ms and replies with an 8 KiB page.
+	ssock := server.MustBind(80)
+	server.Spawn("httpd", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *simos.Message) {
+				p.Compute(2*time.Millisecond, func() {
+					p.Reply(ssock, m, 8192, nil, loop)
+				})
+			})
+		}
+		loop()
+	})
+
+	// A client sending ten requests, back to back.
+	csock := client.MustBind(9000)
+	client.Spawn("curl", func(p *simos.Process) {
+		var loop func(i int)
+		loop = func(i int) {
+			if i == 0 {
+				return
+			}
+			p.Send(csock, ssock.Addr(), 512, nil, func() {
+				p.Recv(csock, func(m *simos.Message) { loop(i - 1) })
+			})
+		}
+		loop(10)
+	})
+
+	// Run the virtual cluster to completion and flush the analyzer.
+	if err := eng.Run(); err != nil {
+		return err
+	}
+	lpa.FlushOpen()
+
+	fmt.Println("interactions observed at the server:")
+	fmt.Println("  id  server   user      kernel    bufwait   total     req->resp bytes")
+	for _, r := range lpa.Window().Snapshot() {
+		fmt.Printf("  %2d  %-7s  %-8v  %-8v  %-8v  %-8v  %d -> %d\n",
+			r.ID, r.ServerProc, r.UserTime.Round(time.Microsecond),
+			r.KernelTime().Round(time.Microsecond),
+			r.BufferWait.Round(time.Microsecond),
+			r.Residence().Round(time.Microsecond),
+			r.ReqBytes, r.RespBytes)
+	}
+	st := lpa.Stats()
+	fmt.Printf("analyzer: %d kernel events -> %d interactions across %d flows\n",
+		st.Events, st.Interactions, st.OpenFlows)
+	return nil
+}

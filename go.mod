@@ -1,0 +1,3 @@
+module sysprof
+
+go 1.22

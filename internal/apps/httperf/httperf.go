@@ -1,0 +1,272 @@
+// Package httperf is the load generator and request dispatcher of the
+// paper's §3.3 evaluation. It reproduces the experiment's client side:
+// sessions generate Poisson arrivals for each request class, a DWCS
+// scheduler (internal/sched/dwcs) decides dispatch order, and a router
+// picks the servlet backend — statically (round robin over URL prefixes,
+// plain DWCS) or using SysProf load data (RA-DWCS).
+package httperf
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/sched/dwcs"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// ClassSpec describes one request class's load and SLA.
+type ClassSpec struct {
+	// Name must match a rubis profile.
+	Name string
+	// Rate is the class's Poisson arrival rate (requests/second).
+	Rate float64
+	// ReqSize is the request size in bytes.
+	ReqSize int
+	// Deadline, X, Y are the class's DWCS parameters.
+	Deadline time.Duration
+	X, Y     int
+}
+
+// Router picks the backend for a request.
+type Router func(class string) simnet.Addr
+
+// RoundRobinRouter alternates over the backends, ignoring load — the
+// plain-DWCS dispatch of Figure 6.
+func RoundRobinRouter(backends []simnet.Addr) Router {
+	i := 0
+	return func(string) simnet.Addr {
+		a := backends[i%len(backends)]
+		i++
+		return a
+	}
+}
+
+// LoadAwareRouter picks the backend with the lowest pressure, fed from
+// SysProf GPA data — the RA-DWCS dispatch of Figure 7.
+func LoadAwareRouter(backends []simnet.Addr, pressure func(simnet.NodeID) float64) Router {
+	return func(string) simnet.Addr {
+		cands := make([]dwcs.BackendLoad, len(backends))
+		for i, b := range backends {
+			cands[i] = dwcs.BackendLoad{ID: b.String(), Pressure: pressure(b.Node)}
+		}
+		best := dwcs.PickBackend(cands)
+		for _, b := range backends {
+			if b.String() == best {
+				return b
+			}
+		}
+		return backends[0]
+	}
+}
+
+// Config drives a Driver.
+type Config struct {
+	Classes []ClassSpec
+	// Slots is the number of concurrent dispatch connections.
+	Slots int
+	// BasePort is the first local port (slot i binds BasePort+i).
+	BasePort uint16
+	// Bucket is the throughput series resolution.
+	Bucket time.Duration
+	// RNG seeds the arrival processes.
+	RNG *sim.RNG
+	// Duration stops arrival generation after this much time (0 = until
+	// Stop).
+	Duration time.Duration
+	// MakePayload builds the request payload the target service expects
+	// (e.g. a rubis.Request). nil sends the class name string.
+	MakePayload func(class string, seq uint64) any
+}
+
+// Driver generates load and dispatches it through DWCS.
+type Driver struct {
+	node   *simos.Node
+	eng    *sim.Engine
+	cfg    Config
+	sched  *dwcs.Scheduler
+	router Router
+
+	idle    []*slot
+	stopped bool
+	nextSeq uint64
+
+	// completions[class][bucket] counts responses received.
+	completions map[string][]uint64
+	// latency accumulation per class.
+	totalRT map[string]time.Duration
+	done    map[string]uint64
+}
+
+type slot struct {
+	d    *Driver
+	sock *simos.Socket
+	proc *simos.Process
+}
+
+// Start builds the driver on a client node and begins generating load.
+func Start(node *simos.Node, router Router, cfg Config) (*Driver, error) {
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("httperf: no classes")
+	}
+	if cfg.Slots < 1 {
+		cfg.Slots = 32
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 20000
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = time.Second
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(1)
+	}
+	classes := make([]dwcs.ClassConfig, len(cfg.Classes))
+	for i, c := range cfg.Classes {
+		classes[i] = dwcs.ClassConfig{Name: c.Name, Deadline: c.Deadline, X: c.X, Y: c.Y}
+	}
+	sched, err := dwcs.New(classes)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		node: node, eng: node.Engine(), cfg: cfg,
+		sched: sched, router: router,
+		completions: make(map[string][]uint64),
+		totalRT:     make(map[string]time.Duration),
+		done:        make(map[string]uint64),
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		sock, err := node.Bind(cfg.BasePort + uint16(i))
+		if err != nil {
+			return nil, err
+		}
+		s := &slot{d: d, sock: sock}
+		node.Spawn("httperf", func(p *simos.Process) {
+			s.proc = p
+			d.idle = append(d.idle, s)
+		})
+	}
+	for _, c := range cfg.Classes {
+		d.generate(c)
+	}
+	return d, nil
+}
+
+// generate schedules a class's Poisson arrivals.
+func (d *Driver) generate(c ClassSpec) {
+	if c.Rate <= 0 {
+		return
+	}
+	rng := d.cfg.RNG.Fork("arrivals:" + c.Name)
+	var next func()
+	next = func() {
+		if d.stopped {
+			return
+		}
+		if d.cfg.Duration > 0 && d.eng.Now() >= d.cfg.Duration {
+			return
+		}
+		if err := d.sched.Enqueue(c.Name, d.eng.Now(), c.ReqSize); err == nil {
+			d.kick()
+		}
+		gap := time.Duration(rng.Exp(1.0/c.Rate) * float64(time.Second))
+		d.eng.After(gap, next)
+	}
+	gap := time.Duration(rng.Exp(1.0/c.Rate) * float64(time.Second))
+	d.eng.After(gap, next)
+}
+
+// kick assigns queued requests to idle slots.
+func (d *Driver) kick() {
+	for len(d.idle) > 0 {
+		req := d.sched.Next(d.eng.Now())
+		if req == nil {
+			return
+		}
+		s := d.idle[len(d.idle)-1]
+		d.idle = d.idle[:len(d.idle)-1]
+		s.dispatch(req)
+	}
+}
+
+func (s *slot) dispatch(req *dwcs.Request) {
+	d := s.d
+	size, _ := req.Payload.(int)
+	if size <= 0 {
+		size = 512
+	}
+	dst := d.router(req.Class)
+	d.nextSeq++
+	var payload any = req.Class
+	if d.cfg.MakePayload != nil {
+		payload = d.cfg.MakePayload(req.Class, d.nextSeq)
+	}
+	start := d.eng.Now()
+	s.proc.Send(s.sock, dst, size, payload, func() {
+		s.proc.Recv(s.sock, func(m *simos.Message) {
+			d.record(req.Class, start)
+			d.idle = append(d.idle, s)
+			if !d.stopped {
+				d.kick()
+			}
+		})
+	})
+}
+
+func (d *Driver) record(class string, start time.Duration) {
+	now := d.eng.Now()
+	idx := int(now / d.cfg.Bucket)
+	series := d.completions[class]
+	for len(series) <= idx {
+		series = append(series, 0)
+	}
+	series[idx]++
+	d.completions[class] = series
+	d.totalRT[class] += now - start
+	d.done[class]++
+}
+
+// Stop halts arrival generation and dispatch.
+func (d *Driver) Stop() { d.stopped = true }
+
+// Series returns the class's per-bucket completion counts.
+func (d *Driver) Series(class string) []uint64 {
+	src := d.completions[class]
+	out := make([]uint64, len(src))
+	copy(out, src)
+	return out
+}
+
+// Summary reports a class's totals.
+type Summary struct {
+	Completed  uint64
+	Enqueued   uint64
+	Missed     uint64
+	Violations uint64
+	MeanRT     time.Duration
+	// Throughput is mean completions/second over the run so far.
+	Throughput float64
+}
+
+// Summary returns a class's outcome counters.
+func (d *Driver) Summary(class string) Summary {
+	st := d.sched.Stats(class)
+	s := Summary{
+		Completed:  d.done[class],
+		Enqueued:   st.Enqueued,
+		Missed:     st.Missed,
+		Violations: st.Violations,
+	}
+	if s.Completed > 0 {
+		s.MeanRT = d.totalRT[class] / time.Duration(s.Completed)
+	}
+	if now := d.eng.Now(); now > 0 {
+		s.Throughput = float64(s.Completed) / now.Seconds()
+	}
+	return s
+}
+
+// Scheduler exposes the underlying DWCS scheduler (tests, diagnostics).
+func (d *Driver) Scheduler() *dwcs.Scheduler { return d.sched }

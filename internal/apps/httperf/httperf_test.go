@@ -1,0 +1,155 @@
+package httperf
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// echoBackends builds n trivial servers answering any payload.
+func echoBackends(t *testing.T, n int) (*sim.Engine, *simos.Node, []simnet.Addr) {
+	t.Helper()
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]simnet.Addr, n)
+	for i := 0; i < n; i++ {
+		b, err := simos.NewNode(eng, network, "backend", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.Connect(client.ID(), b.ID()); err != nil {
+			t.Fatal(err)
+		}
+		sock := b.MustBind(8080)
+		for w := 0; w < 4; w++ {
+			b.Spawn("srv", func(p *simos.Process) {
+				var loop func()
+				loop = func() {
+					p.Recv(sock, func(m *simos.Message) {
+						p.Compute(500*time.Microsecond, func() {
+							p.Reply(sock, m, 1024, m.Payload, loop)
+						})
+					})
+				}
+				loop()
+			})
+		}
+		addrs[i] = sock.Addr()
+	}
+	return eng, client, addrs
+}
+
+func specs() []ClassSpec {
+	return []ClassSpec{
+		{Name: "a", Rate: 100, ReqSize: 256, Deadline: 100 * time.Millisecond, X: 1, Y: 5},
+		{Name: "b", Rate: 50, ReqSize: 256, Deadline: 200 * time.Millisecond, X: 2, Y: 5},
+	}
+}
+
+func TestDriverGeneratesPoissonLoad(t *testing.T) {
+	eng, client, addrs := echoBackends(t, 2)
+	d, err := Start(client, RoundRobinRouter(addrs), Config{
+		Classes: specs(), RNG: sim.NewRNG(3), Bucket: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	a, b := d.Summary("a"), d.Summary("b")
+	if a.Throughput < 80 || a.Throughput > 120 {
+		t.Fatalf("class a throughput %.1f, want ~100", a.Throughput)
+	}
+	if b.Throughput < 35 || b.Throughput > 65 {
+		t.Fatalf("class b throughput %.1f, want ~50", b.Throughput)
+	}
+	if a.Missed != 0 || b.Missed != 0 {
+		t.Fatalf("misses in an unloaded system: %+v %+v", a, b)
+	}
+	if a.MeanRT <= 0 || a.MeanRT > 20*time.Millisecond {
+		t.Fatalf("mean RT = %v", a.MeanRT)
+	}
+	series := d.Series("a")
+	if len(series) < 4 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestDriverDurationStopsArrivals(t *testing.T) {
+	eng, client, addrs := echoBackends(t, 1)
+	d, err := Start(client, RoundRobinRouter(addrs), Config{
+		Classes: specs(), RNG: sim.NewRNG(3), Duration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := d.Summary("a").Enqueued
+	// ~100/s for 1s, then nothing.
+	if total < 70 || total > 140 {
+		t.Fatalf("enqueued = %d, want ~100 (arrivals must stop at Duration)", total)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	eng, client, addrs := echoBackends(t, 1)
+	_ = eng
+	if _, err := Start(client, RoundRobinRouter(addrs), Config{}); err == nil {
+		t.Fatal("no classes accepted")
+	}
+	bad := []ClassSpec{{Name: "x", Rate: 10, Deadline: 0, X: 1, Y: 1}}
+	if _, err := Start(client, RoundRobinRouter(addrs), Config{Classes: bad}); err == nil {
+		t.Fatal("invalid DWCS params accepted")
+	}
+}
+
+func TestRoundRobinRouterAlternates(t *testing.T) {
+	addrs := []simnet.Addr{{Node: 1, Port: 1}, {Node: 2, Port: 1}}
+	r := RoundRobinRouter(addrs)
+	if r("a") != addrs[0] || r("a") != addrs[1] || r("a") != addrs[0] {
+		t.Fatal("round robin broken")
+	}
+}
+
+func TestLoadAwareRouterPicksLightest(t *testing.T) {
+	addrs := []simnet.Addr{{Node: 1, Port: 1}, {Node: 2, Port: 1}}
+	load := map[simnet.NodeID]float64{1: 10, 2: 3}
+	r := LoadAwareRouter(addrs, func(n simnet.NodeID) float64 { return load[n] })
+	if got := r("a"); got != addrs[1] {
+		t.Fatalf("picked %v, want lighter node 2", got)
+	}
+	load[2] = 100
+	if got := r("a"); got != addrs[0] {
+		t.Fatalf("picked %v after load shift, want node 1", got)
+	}
+}
+
+func TestSeededRunsAreReproducible(t *testing.T) {
+	run := func() uint64 {
+		eng, client, addrs := echoBackends(t, 2)
+		d, err := Start(client, RoundRobinRouter(addrs), Config{
+			Classes: specs(), RNG: sim.NewRNG(42),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return d.Summary("a").Completed + d.Summary("b").Completed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed runs diverged: %d vs %d", a, b)
+	}
+}

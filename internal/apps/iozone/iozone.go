@@ -1,0 +1,155 @@
+// Package iozone is a file-system workload generator modelled on the
+// Iozone benchmark the paper uses for the virtual storage evaluation
+// (§3.2): it "generates write/re-write tests" with a configurable number
+// of threads per client. Each thread runs a closed loop — issue a write
+// request to the storage proxy, wait for the acknowledgement, repeat — so
+// offered load scales with the thread count exactly as in the paper's
+// runs.
+package iozone
+
+import (
+	"time"
+
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// Config shapes the workload.
+type Config struct {
+	// Threads is the number of writer threads on this client node.
+	Threads int
+	// WriteSize is the I/O size in bytes (Iozone record size). It is both
+	// the payload of write requests and the amount requested by reads.
+	WriteSize int
+	// RequestSize overrides the on-wire request size; 0 uses WriteSize.
+	// Set it small (e.g. 128) for read workloads, where the request is a
+	// header and the data comes back in the response.
+	RequestSize int
+	// ThinkTime is an optional pause between an acknowledgement and the
+	// next write (0 = saturating closed loop, as Iozone runs).
+	ThinkTime time.Duration
+	// BasePort is the first local port; thread i binds BasePort+i.
+	BasePort uint16
+	// MakeRequest builds each write request's payload for the target
+	// service (e.g. nfs.NewWriteRequest). nil sends a nil payload.
+	MakeRequest func(size int) any
+}
+
+// DefaultConfig matches the paper's write/re-write runs: 16 KiB records,
+// no think time.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:   threads,
+		WriteSize: 16 * 1024,
+		BasePort:  10000,
+	}
+}
+
+// Gen drives the workload on one client node.
+type Gen struct {
+	node    *simos.Node
+	cfg     Config
+	target  simnet.Addr
+	stopped bool
+
+	ops       uint64
+	totalRT   time.Duration
+	maxRT     time.Duration
+	firstOpAt time.Duration
+	lastOpAt  time.Duration
+	haveFirst bool
+}
+
+// Stats summarizes completed operations.
+type Stats struct {
+	// Ops is completed write+ack round trips.
+	Ops uint64
+	// MeanRT and MaxRT are client-observed round-trip latencies.
+	MeanRT time.Duration
+	MaxRT  time.Duration
+	// Throughput is ops per second over the active span.
+	Throughput float64
+}
+
+// Start spawns the writer threads against the storage proxy at target.
+func Start(node *simos.Node, target simnet.Addr, cfg Config) (*Gen, error) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.WriteSize <= 0 {
+		cfg.WriteSize = 16 * 1024
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 10000
+	}
+	g := &Gen{node: node, cfg: cfg, target: target}
+	for i := 0; i < cfg.Threads; i++ {
+		sock, err := node.Bind(cfg.BasePort + uint16(i))
+		if err != nil {
+			return nil, err
+		}
+		node.Spawn("iozone", func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				if g.stopped {
+					return
+				}
+				start := node.Engine().Now()
+				var payload any
+				if cfg.MakeRequest != nil {
+					payload = cfg.MakeRequest(cfg.WriteSize)
+				}
+				wire := cfg.RequestSize
+				if wire <= 0 {
+					wire = cfg.WriteSize
+				}
+				p.Send(sock, g.target, wire, payload, func() {
+					p.Recv(sock, func(m *simos.Message) {
+						g.complete(start)
+						if g.stopped {
+							return
+						}
+						if cfg.ThinkTime > 0 {
+							p.Sleep(cfg.ThinkTime, loop)
+							return
+						}
+						loop()
+					})
+				})
+			}
+			loop()
+		})
+	}
+	return g, nil
+}
+
+func (g *Gen) complete(start time.Duration) {
+	now := g.node.Engine().Now()
+	rt := now - start
+	g.ops++
+	g.totalRT += rt
+	if rt > g.maxRT {
+		g.maxRT = rt
+	}
+	if !g.haveFirst {
+		g.firstOpAt = now
+		g.haveFirst = true
+	}
+	g.lastOpAt = now
+}
+
+// Stop ends the workload: threads exit after their in-flight operation.
+func (g *Gen) Stop() { g.stopped = true }
+
+// Stats returns the completed-operation summary.
+func (g *Gen) Stats() Stats {
+	st := Stats{Ops: g.ops, MaxRT: g.maxRT}
+	if g.ops > 0 {
+		st.MeanRT = g.totalRT / time.Duration(g.ops)
+	}
+	span := g.lastOpAt - g.firstOpAt
+	if span > 0 && g.ops > 1 {
+		st.Throughput = float64(g.ops-1) / span.Seconds()
+	}
+	return st
+}

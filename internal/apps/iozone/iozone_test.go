@@ -1,0 +1,139 @@
+package iozone
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// echoTarget builds a trivial storage target that acknowledges every
+// write request immediately (isolates the generator from nfs internals).
+func echoTarget(t *testing.T) (*sim.Engine, *simos.Node, *simos.Node, simnet.Addr) {
+	t.Helper()
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "target", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+	sock := server.MustBind(2049)
+	for i := 0; i < 4; i++ {
+		server.Spawn("echo", func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(sock, func(m *simos.Message) {
+					p.Reply(sock, m, 128, nil, loop)
+				})
+			}
+			loop()
+		})
+	}
+	return eng, server, client, sock.Addr()
+}
+
+func TestGeneratorClosedLoop(t *testing.T) {
+	eng, _, client, target := echoTarget(t)
+	g, err := Start(client, target, Config{Threads: 2, WriteSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	st := g.Stats()
+	if st.Ops < 10 {
+		t.Fatalf("ops = %d", st.Ops)
+	}
+	if st.MeanRT <= 0 || st.MaxRT < st.MeanRT {
+		t.Fatalf("latency stats: %+v", st)
+	}
+	if st.Throughput <= 0 {
+		t.Fatalf("throughput = %v", st.Throughput)
+	}
+}
+
+func TestThinkTimeThrottles(t *testing.T) {
+	run := func(think time.Duration) uint64 {
+		eng, _, client, target := echoTarget(t)
+		g, err := Start(client, target, Config{Threads: 1, WriteSize: 1024, ThinkTime: think})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(500 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		g.Stop()
+		return g.Stats().Ops
+	}
+	fast, slow := run(0), run(20*time.Millisecond)
+	if slow >= fast {
+		t.Fatalf("think time did not throttle: %d vs %d", slow, fast)
+	}
+	// 20ms think over 500ms: at most ~25 ops.
+	if slow > 30 {
+		t.Fatalf("throttled ops = %d, want <= ~25", slow)
+	}
+}
+
+func TestStopHaltsThreads(t *testing.T) {
+	eng, _, client, target := echoTarget(t)
+	g, err := Start(client, target, Config{Threads: 4, WriteSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	at := g.Stats().Ops
+	if err := eng.RunUntil(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// In-flight ops may complete, but no new loop iterations start.
+	after := g.Stats().Ops
+	if after > at+4 {
+		t.Fatalf("ops kept flowing after Stop: %d -> %d", at, after)
+	}
+}
+
+func TestDuplicatePortRejected(t *testing.T) {
+	eng, _, client, target := echoTarget(t)
+	_ = eng
+	if _, err := Start(client, target, Config{Threads: 1, BasePort: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(client, target, Config{Threads: 1, BasePort: 10000}); err == nil {
+		t.Fatal("port collision not surfaced")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := DefaultConfig(8)
+	if cfg.Threads != 8 || cfg.WriteSize != 16*1024 || cfg.BasePort == 0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	// Zero-value fields are normalized by Start.
+	eng, _, client, target := echoTarget(t)
+	g, err := Start(client, target, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if g.Stats().Ops == 0 {
+		t.Fatal("defaulted generator produced nothing")
+	}
+}

@@ -1,0 +1,300 @@
+// Package nfs models the virtual storage service of the paper's §3.2
+// evaluation (Figure 3): clients talk to a user-level proxy that
+// interposes every request and forwards it to back-end NFS servers. The
+// back-end servers run as kernel daemons (so requests spend no time at
+// user level there) and are disk-bound; the proxy does little per-request
+// work, so under load its cost is dominated by kernel-level socket-buffer
+// queueing — the behaviour Figures 4 and 5 diagnose.
+package nfs
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// Port numbers used by the service.
+const (
+	// ProxyPort is where clients send write requests.
+	ProxyPort = 2049
+	// BackendPort is where the proxy forwards them.
+	BackendPort = 2050
+	// proxyPoolBase is the first of the proxy's per-slot backend-facing
+	// ports. Requests are spread across a small pool so each
+	// proxy-backend flow carries mostly-serial request/response pairs
+	// (interleaved flows are the case the paper's black-box analyzer
+	// cannot attribute).
+	proxyPoolBase = 3000
+)
+
+// Config sizes the service.
+type Config struct {
+	// NumBackends is the number of back-end NFS servers (paper: 2).
+	NumBackends int
+	// PoolPorts is the proxy's backend-facing port pool size per backend.
+	PoolPorts int
+	// NfsdThreads is the number of kernel nfsd daemons per backend.
+	NfsdThreads int
+
+	// ProxyForwardTime is user-level CPU per forwarded request; the
+	// constant the paper observes at the proxy.
+	ProxyForwardTime time.Duration
+	// ProxyReplyTime is user-level CPU per forwarded reply.
+	ProxyReplyTime time.Duration
+	// BackendServiceTime is kernel CPU per request at an NFS daemon.
+	BackendServiceTime time.Duration
+	// ReplySize is the NFS write acknowledgement size in bytes.
+	ReplySize int
+
+	// ProxyOS and BackendOS configure the respective kernels. Backends
+	// default to 4 disk spindles (command queueing) so concurrent nfsd
+	// threads overlap I/O.
+	ProxyOS   simos.Config
+	BackendOS simos.Config
+}
+
+// DefaultConfig returns the paper-shaped service: one proxy, two
+// backends, multi-threaded nfsd over a command-queueing disk.
+func DefaultConfig() Config {
+	backendOS := simos.DefaultConfig()
+	backendOS.DiskSpindles = 4
+	return Config{
+		NumBackends:        2,
+		PoolPorts:          16,
+		NfsdThreads:        4,
+		ProxyForwardTime:   200 * time.Microsecond,
+		ProxyReplyTime:     100 * time.Microsecond,
+		BackendServiceTime: 150 * time.Microsecond,
+		ReplySize:          128,
+		ProxyOS:            simos.DefaultConfig(),
+		BackendOS:          backendOS,
+	}
+}
+
+// opKind distinguishes read and write requests.
+type opKind uint8
+
+const (
+	opWrite opKind = iota + 1
+	opRead
+)
+
+// writeReq is the request payload a client sends to the proxy.
+type writeReq struct {
+	// Client is where the final response goes.
+	Client simnet.Addr
+	// Op identifies the request.
+	Op uint64
+	// Size is the I/O size in bytes.
+	Size int
+	// Kind selects a write (payload travels to the backend, small ack
+	// returns) or a read (small request, data travels back).
+	Kind opKind
+}
+
+// Service is the assembled virtual storage topology.
+type Service struct {
+	cfg      Config
+	eng      *sim.Engine
+	Proxy    *simos.Node
+	Backends []*simos.Node
+
+	nextOp   uint64
+	inflight map[uint64]writeReq // op -> original request (for replies)
+
+	stats Stats
+}
+
+// Stats counts service activity.
+type Stats struct {
+	Forwarded uint64
+	Replied   uint64
+}
+
+// Build constructs the proxy and backend nodes on the given network and
+// starts their processes. The caller connects client nodes to the proxy
+// (and starts workload generators, e.g. internal/apps/iozone).
+func Build(eng *sim.Engine, network *simnet.Network, cfg Config) (*Service, error) {
+	if cfg.NumBackends < 1 {
+		return nil, fmt.Errorf("nfs: need at least one backend")
+	}
+	if cfg.PoolPorts < 1 {
+		cfg.PoolPorts = 1
+	}
+	if cfg.NfsdThreads < 1 {
+		cfg.NfsdThreads = 1
+	}
+	s := &Service{cfg: cfg, eng: eng, inflight: make(map[uint64]writeReq)}
+
+	proxy, err := simos.NewNode(eng, network, "proxy", cfg.ProxyOS)
+	if err != nil {
+		return nil, err
+	}
+	s.Proxy = proxy
+	for i := 0; i < cfg.NumBackends; i++ {
+		b, err := simos.NewNode(eng, network, fmt.Sprintf("nfs-backend-%d", i), cfg.BackendOS)
+		if err != nil {
+			return nil, err
+		}
+		if err := network.Connect(proxy.ID(), b.ID()); err != nil {
+			return nil, err
+		}
+		s.Backends = append(s.Backends, b)
+	}
+
+	if err := s.startBackends(); err != nil {
+		return nil, err
+	}
+	if err := s.startProxy(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ProxyAddr is where clients send requests.
+func (s *Service) ProxyAddr() simnet.Addr {
+	return simnet.Addr{Node: s.Proxy.ID(), Port: ProxyPort}
+}
+
+// Stats returns service counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+func (s *Service) startBackends() error {
+	for _, b := range s.Backends {
+		sock, err := b.Bind(BackendPort)
+		if err != nil {
+			return err
+		}
+		for t := 0; t < s.cfg.NfsdThreads; t++ {
+			b.Spawn("nfsd", func(p *simos.Process) {
+				p.MarkKernelDaemon()
+				var loop func()
+				loop = func() {
+					p.Recv(sock, func(m *simos.Message) {
+						req, ok := m.Payload.(writeReq)
+						if !ok {
+							loop()
+							return
+						}
+						p.Compute(s.cfg.BackendServiceTime, func() {
+							if req.Kind == opRead {
+								p.DiskRead(req.Size, func() {
+									// Read replies carry the data.
+									p.Reply(sock, m, req.Size, req.Op, loop)
+								})
+								return
+							}
+							p.DiskWrite(req.Size, func() {
+								p.Reply(sock, m, s.cfg.ReplySize, req.Op, loop)
+							})
+						})
+					})
+				}
+				loop()
+			})
+		}
+	}
+	return nil
+}
+
+func (s *Service) startProxy() error {
+	front, err := s.Proxy.Bind(ProxyPort)
+	if err != nil {
+		return err
+	}
+
+	// Backend-facing socket pool: pool[i][j] talks to backend i from
+	// pool slot j. Each slot gets its own reply-forwarder process, so a
+	// slot's flow carries one outstanding request at a time for modest
+	// pool sizes.
+	pool := make([][]*simos.Socket, len(s.Backends))
+	for i := range s.Backends {
+		pool[i] = make([]*simos.Socket, s.cfg.PoolPorts)
+		for j := 0; j < s.cfg.PoolPorts; j++ {
+			sock, err := s.Proxy.Bind(uint16(proxyPoolBase + i*s.cfg.PoolPorts + j))
+			if err != nil {
+				return err
+			}
+			pool[i][j] = sock
+		}
+	}
+
+	// Forwarder: reads client requests, does the (constant) user-level
+	// routing work, and forwards to a backend chosen round-robin.
+	s.Proxy.Spawn("proxy", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(front, func(m *simos.Message) {
+				req, ok := m.Payload.(writeReq)
+				if !ok {
+					loop()
+					return
+				}
+				p.Compute(s.cfg.ProxyForwardTime, func() {
+					op := s.nextOp
+					s.nextOp++
+					req.Op = op
+					req.Client = m.Flow.Src
+					s.inflight[op] = req
+					backend := int(op) % len(s.Backends)
+					slot := int(op/uint64(len(s.Backends))) % s.cfg.PoolPorts
+					dst := simnet.Addr{Node: s.Backends[backend].ID(), Port: BackendPort}
+					s.stats.Forwarded++
+					fwdSize := req.Size
+					if req.Kind == opRead {
+						fwdSize = 128 // read requests are small on the wire
+					}
+					p.Send(pool[backend][slot], dst, fwdSize, req, loop)
+				})
+			})
+		}
+		loop()
+	})
+
+	// Reply forwarders: one per pool slot; each relays backend replies to
+	// the original client.
+	for i := range pool {
+		for j := range pool[i] {
+			sock := pool[i][j]
+			s.Proxy.Spawn("proxy-reply", func(p *simos.Process) {
+				var loop func()
+				loop = func() {
+					p.Recv(sock, func(m *simos.Message) {
+						op, ok := m.Payload.(uint64)
+						if !ok {
+							loop()
+							return
+						}
+						req, ok := s.inflight[op]
+						if !ok {
+							loop()
+							return
+						}
+						delete(s.inflight, op)
+						p.Compute(s.cfg.ProxyReplyTime, func() {
+							s.stats.Replied++
+							respSize := s.cfg.ReplySize
+							if req.Kind == opRead {
+								respSize = req.Size // relay the data
+							}
+							p.Send(front, req.Client, respSize, req.Op, loop)
+						})
+					})
+				}
+				loop()
+			})
+		}
+	}
+	return nil
+}
+
+// NewWriteRequest builds a write request payload. Size is the write's
+// payload size in bytes.
+func NewWriteRequest(size int) any { return writeReq{Size: size, Kind: opWrite} }
+
+// NewReadRequest builds a read request payload. Size is the number of
+// bytes to read; the data travels back through the proxy to the client.
+func NewReadRequest(size int) any { return writeReq{Size: size, Kind: opRead} }

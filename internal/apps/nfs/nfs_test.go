@@ -1,0 +1,225 @@
+package nfs
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/apps/iozone"
+	"sysprof/internal/core"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// buildService wires the storage service plus nClients client nodes.
+func buildService(t *testing.T, cfg Config, nClients int) (*sim.Engine, *Service, []*simos.Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	svc, err := Build(eng, network, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*simos.Node, nClients)
+	for i := range clients {
+		c, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.Connect(c.ID(), svc.Proxy.ID()); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	return eng, svc, clients
+}
+
+func TestWritesFlowEndToEnd(t *testing.T) {
+	eng, svc, clients := buildService(t, DefaultConfig(), 1)
+	gen, err := iozone.Start(clients[0], svc.ProxyAddr(), iozone.Config{Threads: 1, WriteSize: 16 * 1024, MakeRequest: NewWriteRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	st := gen.Stats()
+	if st.Ops < 10 {
+		t.Fatalf("ops = %d, want a healthy closed loop", st.Ops)
+	}
+	// One thread: round trip ~ backend disk (4ms seek + transfer) plus
+	// small proxy/network overheads.
+	if st.MeanRT < 4*time.Millisecond || st.MeanRT > 12*time.Millisecond {
+		t.Fatalf("MeanRT = %v, want disk-dominated (~5ms)", st.MeanRT)
+	}
+	ss := svc.Stats()
+	if ss.Forwarded == 0 || ss.Replied == 0 {
+		t.Fatalf("service stats %+v", ss)
+	}
+	if ss.Replied > ss.Forwarded {
+		t.Fatalf("replied %d > forwarded %d", ss.Replied, ss.Forwarded)
+	}
+}
+
+func TestBackendsShareLoad(t *testing.T) {
+	eng, svc, clients := buildService(t, DefaultConfig(), 1)
+	gen, err := iozone.Start(clients[0], svc.ProxyAddr(), iozone.Config{Threads: 4, WriteSize: 8 * 1024, MakeRequest: NewWriteRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	ops0, _ := svc.Backends[0].DiskStats()
+	ops1, _ := svc.Backends[1].DiskStats()
+	if ops0 == 0 || ops1 == 0 {
+		t.Fatalf("backend disk ops %d/%d: round robin broken", ops0, ops1)
+	}
+	ratio := float64(ops0) / float64(ops1)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("load imbalance: %d vs %d", ops0, ops1)
+	}
+}
+
+func TestThroughputScalesWithThreads(t *testing.T) {
+	run := func(threads int) float64 {
+		eng, svc, clients := buildService(t, DefaultConfig(), 1)
+		gen, err := iozone.Start(clients[0], svc.ProxyAddr(),
+			iozone.Config{Threads: threads, WriteSize: 16 * 1024, MakeRequest: NewWriteRequest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		gen.Stop()
+		return gen.Stats().Throughput
+	}
+	t1, t8 := run(1), run(8)
+	if t8 < 2*t1 {
+		t.Fatalf("throughput t1=%.0f t8=%.0f: no scaling with threads", t1, t8)
+	}
+}
+
+// The heart of the §3.2 reproduction: at the proxy, per-interaction
+// user-level time stays ~constant as thread count rises, while
+// kernel-level time (socket-buffer wait) grows; the backend residence
+// stays much larger than the proxy's kernel time.
+func TestProxyUserConstantKernelGrows(t *testing.T) {
+	type point struct {
+		user, kernel, backend time.Duration
+	}
+	run := func(threads int) point {
+		eng, svc, clients := buildService(t, DefaultConfig(), 2)
+		proxyLPA := core.NewLPA(svc.Proxy.Hub(), core.Config{WindowSize: 4096})
+		backendLPA := core.NewLPA(svc.Backends[0].Hub(), core.Config{WindowSize: 4096})
+		var gens []*iozone.Gen
+		for _, c := range clients {
+			g, err := iozone.Start(c, svc.ProxyAddr(), iozone.Config{Threads: threads, WriteSize: 16 * 1024, MakeRequest: NewWriteRequest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gens = append(gens, g)
+		}
+		if err := eng.RunUntil(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gens {
+			g.Stop()
+		}
+		proxyLPA.FlushOpen()
+		backendLPA.FlushOpen()
+
+		var pt point
+		var nProxy, nBackend int
+		for _, r := range proxyLPA.Window().Snapshot() {
+			// Client->proxy interactions only (front port).
+			if r.Flow.Dst.Port != ProxyPort {
+				continue
+			}
+			pt.user += r.UserTime
+			pt.kernel += r.KernelTime()
+			nProxy++
+		}
+		for _, r := range backendLPA.Window().Snapshot() {
+			pt.backend += r.Residence()
+			nBackend++
+		}
+		if nProxy == 0 || nBackend == 0 {
+			t.Fatalf("threads=%d: no interactions (proxy=%d backend=%d)", threads, nProxy, nBackend)
+		}
+		pt.user /= time.Duration(nProxy)
+		pt.kernel /= time.Duration(nProxy)
+		pt.backend /= time.Duration(nBackend)
+		return pt
+	}
+
+	low, high := run(1), run(16)
+	t.Logf("threads=1: user=%v kernel=%v backend=%v", low.user, low.kernel, low.backend)
+	t.Logf("threads=16: user=%v kernel=%v backend=%v", high.user, high.kernel, high.backend)
+
+	// User time ~constant (within 50%).
+	ratio := float64(high.user) / float64(low.user)
+	if ratio < 0.5 || ratio > 1.8 {
+		t.Fatalf("proxy user time not constant: %v -> %v", low.user, high.user)
+	}
+	// Kernel time grows substantially.
+	if high.kernel < 2*low.kernel {
+		t.Fatalf("proxy kernel time did not grow: %v -> %v", low.kernel, high.kernel)
+	}
+	// Backend dominates (the paper's order-of-magnitude gap).
+	if high.backend < 4*high.kernel {
+		t.Fatalf("backend residence %v not >> proxy kernel %v", high.backend, high.kernel)
+	}
+}
+
+func TestReadsFlowEndToEnd(t *testing.T) {
+	eng, svc, clients := buildService(t, DefaultConfig(), 1)
+	gen, err := iozone.Start(clients[0], svc.ProxyAddr(), iozone.Config{
+		Threads: 2, WriteSize: 32 * 1024, RequestSize: 128, MakeRequest: NewReadRequest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	st := gen.Stats()
+	if st.Ops < 10 {
+		t.Fatalf("read ops = %d", st.Ops)
+	}
+	// Reads return the data: client inbound traffic must dwarf outbound.
+	cs := clients[0].Stats()
+	if cs.BytesIn < 4*cs.BytesOut {
+		t.Fatalf("read path asymmetry wrong: in=%d out=%d", cs.BytesIn, cs.BytesOut)
+	}
+}
+
+func TestWritesPushDataReadsPullData(t *testing.T) {
+	run := func(mk func(int) any, reqSize int) (in, out uint64) {
+		eng, svc, clients := buildService(t, DefaultConfig(), 1)
+		gen, err := iozone.Start(clients[0], svc.ProxyAddr(), iozone.Config{
+			Threads: 1, WriteSize: 16 * 1024, RequestSize: reqSize, MakeRequest: mk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(300 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		gen.Stop()
+		st := clients[0].Stats()
+		return st.BytesIn, st.BytesOut
+	}
+	wIn, wOut := run(NewWriteRequest, 0)
+	rIn, rOut := run(NewReadRequest, 128)
+	if wOut < 4*wIn {
+		t.Fatalf("writes should push: in=%d out=%d", wIn, wOut)
+	}
+	if rIn < 4*rOut {
+		t.Fatalf("reads should pull: in=%d out=%d", rIn, rOut)
+	}
+}

@@ -1,0 +1,174 @@
+// Package rubis models the RUBiS auction site of the paper's §3.3
+// evaluation: servlet back-end servers handling two request classes with
+// very different resource profiles — *bidding* requests are CPU-intensive
+// at the servlet server, *comment* requests generate significant network
+// traffic (large responses). A front-end dispatcher (the DWCS scheduler in
+// internal/apps/httperf) routes requests to the backends; a background
+// load spike on one backend reproduces the experiment's mid-run
+// degradation.
+package rubis
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// ServletPort is where the servlet servers listen.
+const ServletPort = 8080
+
+// Class names.
+const (
+	ClassBidding = "bidding"
+	ClassComment = "comment"
+)
+
+// Request is the payload clients send; the class selects the servlet
+// work profile.
+type Request struct {
+	Class string
+	// Seq is the client's request sequence number (echoed in replies).
+	Seq uint64
+}
+
+// Profile is a request class's server-side cost.
+type Profile struct {
+	// CPUTime is servlet user-level compute per request.
+	CPUTime time.Duration
+	// RespSize is the response size in bytes.
+	RespSize int
+}
+
+// Config sizes the service.
+type Config struct {
+	// NumBackends is the number of servlet servers (paper: 2).
+	NumBackends int
+	// Workers is the servlet thread pool size per backend.
+	Workers int
+	// Profiles maps class name to its cost profile.
+	Profiles map[string]Profile
+	// BackendOS configures the servlet kernels.
+	BackendOS simos.Config
+}
+
+// DefaultConfig returns the paper-shaped service: bidding is CPU-heavy
+// with a small response; comment is cheap to compute but ships a large
+// response.
+func DefaultConfig() Config {
+	return Config{
+		NumBackends: 2,
+		Workers:     8,
+		Profiles: map[string]Profile{
+			ClassBidding: {CPUTime: 5 * time.Millisecond, RespSize: 2 * 1024},
+			ClassComment: {CPUTime: time.Millisecond, RespSize: 48 * 1024},
+		},
+		BackendOS: simos.DefaultConfig(),
+	}
+}
+
+// Service is the assembled servlet tier.
+type Service struct {
+	cfg      Config
+	eng      *sim.Engine
+	Backends []*simos.Node
+
+	served map[string]uint64
+}
+
+// Build constructs the servlet servers and starts their worker pools.
+func Build(eng *sim.Engine, network *simnet.Network, cfg Config) (*Service, error) {
+	if cfg.NumBackends < 1 {
+		return nil, fmt.Errorf("rubis: need at least one backend")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if len(cfg.Profiles) == 0 {
+		return nil, fmt.Errorf("rubis: no request profiles configured")
+	}
+	s := &Service{cfg: cfg, eng: eng, served: make(map[string]uint64)}
+	for i := 0; i < cfg.NumBackends; i++ {
+		b, err := simos.NewNode(eng, network, fmt.Sprintf("servlet-%d", i), cfg.BackendOS)
+		if err != nil {
+			return nil, err
+		}
+		sock, err := b.Bind(ServletPort)
+		if err != nil {
+			return nil, err
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			b.Spawn("servlet", func(p *simos.Process) {
+				var loop func()
+				loop = func() {
+					p.Recv(sock, func(m *simos.Message) {
+						req, ok := m.Payload.(Request)
+						if !ok {
+							loop()
+							return
+						}
+						prof, ok := s.cfg.Profiles[req.Class]
+						if !ok {
+							loop()
+							return
+						}
+						p.Compute(prof.CPUTime, func() {
+							s.served[req.Class]++
+							p.Reply(sock, m, prof.RespSize, req, loop)
+						})
+					})
+				}
+				loop()
+			})
+		}
+		s.Backends = append(s.Backends, b)
+	}
+	return s, nil
+}
+
+// BackendAddrs lists the servlet endpoints.
+func (s *Service) BackendAddrs() []simnet.Addr {
+	out := make([]simnet.Addr, len(s.Backends))
+	for i, b := range s.Backends {
+		out[i] = simnet.Addr{Node: b.ID(), Port: ServletPort}
+	}
+	return out
+}
+
+// Served returns how many requests of a class the servlets completed.
+func (s *Service) Served(class string) uint64 { return s.served[class] }
+
+// InjectLoad runs CPU-hogging batch jobs on backend idx from start for
+// the given duration — the mid-experiment interference of Figures 6
+// and 7. procs is the number of always-runnable batch processes; under
+// the kernel's round-robin scheduler the servlet workers' CPU share
+// shrinks to workers/(workers+procs) while the jobs run.
+func (s *Service) InjectLoad(idx int, start, duration time.Duration, procs int) error {
+	if idx < 0 || idx >= len(s.Backends) {
+		return fmt.Errorf("rubis: no backend %d", idx)
+	}
+	if procs < 1 {
+		return fmt.Errorf("rubis: procs must be positive")
+	}
+	node := s.Backends[idx]
+	const quantum = 10 * time.Millisecond
+	end := start + duration
+	s.eng.Schedule(start, func() {
+		for i := 0; i < procs; i++ {
+			node.Spawn("batch", func(p *simos.Process) {
+				var loop func()
+				loop = func() {
+					if s.eng.Now() >= end {
+						p.Exit()
+						return
+					}
+					p.Compute(quantum, loop)
+				}
+				loop()
+			})
+		}
+	})
+	return nil
+}

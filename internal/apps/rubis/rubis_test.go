@@ -1,0 +1,167 @@
+package rubis
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/apps/httperf"
+	"sysprof/internal/core"
+	"sysprof/internal/gpa"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+func buildSite(t *testing.T) (*sim.Engine, *Service, *simos.Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	svc, err := Build(eng, network, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range svc.Backends {
+		if err := network.Connect(client.ID(), b.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, svc, client
+}
+
+func paperClasses() []httperf.ClassSpec {
+	return []httperf.ClassSpec{
+		{Name: ClassBidding, Rate: 150, ReqSize: 512, Deadline: 100 * time.Millisecond, X: 1, Y: 10},
+		{Name: ClassComment, Rate: 150, ReqSize: 2048, Deadline: 400 * time.Millisecond, X: 5, Y: 10},
+	}
+}
+
+func TestServletServesBothClasses(t *testing.T) {
+	eng, svc, client := buildSite(t)
+	d, err := httperf.Start(client, httperf.RoundRobinRouter(svc.BackendAddrs()), httperf.Config{
+		Classes:     paperClasses(),
+		Slots:       64,
+		RNG:         sim.NewRNG(7),
+		Bucket:      time.Second,
+		MakePayload: func(class string, seq uint64) any { return Request{Class: class, Seq: seq} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	bid, com := d.Summary(ClassBidding), d.Summary(ClassComment)
+	t.Logf("bidding: %+v", bid)
+	t.Logf("comment: %+v", com)
+	// Offered 150/s per class; the healthy system should complete nearly
+	// all of it (the paper reports 145 and 134 resp/s).
+	if bid.Throughput < 130 || bid.Throughput > 170 {
+		t.Fatalf("bidding throughput %.1f/s, want ~150 offered", bid.Throughput)
+	}
+	if com.Throughput < 120 || com.Throughput > 170 {
+		t.Fatalf("comment throughput %.1f/s, want ~150 offered", com.Throughput)
+	}
+	if svc.Served(ClassBidding) == 0 || svc.Served(ClassComment) == 0 {
+		t.Fatal("servlets report no work")
+	}
+}
+
+func TestInjectLoadValidation(t *testing.T) {
+	_, svc, _ := buildSite(t)
+	if err := svc.InjectLoad(9, 0, time.Second, 4); err == nil {
+		t.Fatal("bad backend index accepted")
+	}
+	if err := svc.InjectLoad(0, 0, time.Second, 0); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+func TestLoadSpikeDegradesPlainDWCS(t *testing.T) {
+	eng, svc, client := buildSite(t)
+	d, err := httperf.Start(client, httperf.RoundRobinRouter(svc.BackendAddrs()), httperf.Config{
+		Classes:     paperClasses(),
+		Slots:       64,
+		RNG:         sim.NewRNG(7),
+		Bucket:      time.Second,
+		MakePayload: func(class string, seq uint64) any { return Request{Class: class, Seq: seq} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spike on backend 0 from t=5s to t=10s.
+	if err := svc.InjectLoad(0, 5*time.Second, 5*time.Second, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	series := d.Series(ClassBidding)
+	if len(series) < 10 {
+		t.Fatalf("series too short: %v", series)
+	}
+	pre := mean(series[1:5])
+	post := mean(series[6:10])
+	t.Logf("bidding series: %v (pre=%.1f post=%.1f)", series, pre, post)
+	if post > pre*0.9 {
+		t.Fatalf("plain DWCS not degraded by spike: pre=%.1f post=%.1f", pre, post)
+	}
+}
+
+func TestRADWCSProtectsBidding(t *testing.T) {
+	eng, svc, client := buildSite(t)
+
+	// SysProf pipeline: LPAs at both backends feeding a GPA whose load
+	// data drives the router.
+	g := gpa.New(gpa.Config{LoadWindow: time.Second}, eng.Now)
+	for _, b := range svc.Backends {
+		core.NewLPA(b.Hub(), core.Config{
+			OnComplete: func(r *core.Record) { g.Ingest(*r) },
+		})
+	}
+	pressure := func(n simnet.NodeID) float64 {
+		return float64(g.ServerLoad(n).MeanResidence)
+	}
+	d, err := httperf.Start(client, httperf.LoadAwareRouter(svc.BackendAddrs(), pressure), httperf.Config{
+		Classes:     paperClasses(),
+		Slots:       64,
+		RNG:         sim.NewRNG(7),
+		Bucket:      time.Second,
+		MakePayload: func(class string, seq uint64) any { return Request{Class: class, Seq: seq} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.InjectLoad(0, 5*time.Second, 5*time.Second, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	series := d.Series(ClassBidding)
+	pre := mean(series[1:5])
+	post := mean(series[6:10])
+	t.Logf("RA bidding series: %v (pre=%.1f post=%.1f)", series, pre, post)
+	// The paper: "the higher priority bidding request has very
+	// insignificant drop in performance".
+	if post < pre*0.85 {
+		t.Fatalf("RA-DWCS bidding degraded: pre=%.1f post=%.1f", pre, post)
+	}
+}
+
+func mean(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationSelective(t *testing.T) {
+	res, err := RunAblationSelective(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if !(res.OffMbps >= res.DefaultMbps && res.DefaultMbps >= res.AllMbps) {
+		t.Fatalf("ordering violated: off=%.1f default=%.1f all=%.1f",
+			res.OffMbps, res.DefaultMbps, res.AllMbps)
+	}
+	if res.OffMbps == res.AllMbps {
+		t.Fatal("all-events monitoring shows no cost")
+	}
+}
+
+func TestAblationBuffers(t *testing.T) {
+	// Fill faster than the daemon copies: the double buffer absorbs the
+	// latency, the single buffer loses records.
+	res, err := RunAblationBuffers(2000, 64, 50*time.Microsecond, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if res.SingleDrops <= res.DoubleDrops {
+		t.Fatalf("single-buffer drops (%d) not worse than double (%d)",
+			res.SingleDrops, res.DoubleDrops)
+	}
+}
+
+func TestAblationEncoding(t *testing.T) {
+	res, err := RunAblationEncoding(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if res.BinaryBytes >= res.JSONBytes {
+		t.Fatalf("binary (%d) not smaller than JSON (%d)", res.BinaryBytes, res.JSONBytes)
+	}
+	if float64(res.JSONBytes) < 2*float64(res.BinaryBytes) {
+		t.Fatalf("binary advantage too small: %d vs %d", res.BinaryBytes, res.JSONBytes)
+	}
+}
+
+func TestAblationHashing(t *testing.T) {
+	res, err := RunAblationHashing(512, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if res.LinearNsOp < res.HashedNsOp {
+		t.Fatalf("linear scan (%f ns) beat hashing (%f ns) at %d flows",
+			res.LinearNsOp, res.HashedNsOp, res.Flows)
+	}
+}
+
+func TestAblationHierarchy(t *testing.T) {
+	res, err := RunAblationHierarchy(10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if res.AggregateBytes*100 > res.RawRecordBytes {
+		t.Fatalf("aggregation reduction too small: %d vs %d",
+			res.AggregateBytes, res.RawRecordBytes)
+	}
+}

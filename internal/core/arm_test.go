@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+func TestARMTrackerIgnoresUntagged(t *testing.T) {
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	hub.SetPerEventCost(0)
+	tr := NewARMTracker(hub)
+	defer tr.Close()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 100})
+	if tr.Events() != 0 || len(tr.Active()) != 0 {
+		t.Fatal("untagged event tracked")
+	}
+}
+
+func TestARMTrackerAccumulatesPerTag(t *testing.T) {
+	now := new(time.Duration)
+	hub := kprof.NewHub(1, func() time.Duration { return *now })
+	hub.SetPerEventCost(0)
+	tr := NewARMTracker(hub)
+	defer tr.Close()
+
+	at := func(d time.Duration, ev kprof.Event) {
+		*now = d
+		hub.Emit(&ev)
+	}
+	at(0, kprof.Event{Type: kprof.EvNetRx, Tag: 1, Bytes: 100})
+	at(time.Millisecond, kprof.Event{Type: kprof.EvNetRx, Tag: 2, Bytes: 200})
+	at(2*time.Millisecond, kprof.Event{Type: kprof.EvNetUserRead, Tag: 1, PID: 9, Proc: "srv",
+		Aux: int64(time.Millisecond)})
+	at(3*time.Millisecond, kprof.Event{Type: kprof.EvNetTx, Tag: 1, Bytes: 300})
+
+	acts := tr.Active()
+	if len(acts) != 2 {
+		t.Fatalf("active = %d", len(acts))
+	}
+	a1 := acts[0]
+	if a1.Tag != 1 || a1.Packets != 2 || a1.Bytes != 400 {
+		t.Fatalf("a1 = %+v", a1)
+	}
+	if !a1.Handled || a1.ServerProc != "srv" || a1.BufferWait != time.Millisecond {
+		t.Fatalf("a1 handling = %+v", a1)
+	}
+	if a1.Hops != 2 {
+		t.Fatalf("a1 hops = %d (rx run + tx run)", a1.Hops)
+	}
+	if a1.Span() != 3*time.Millisecond {
+		t.Fatalf("a1 span = %v", a1.Span())
+	}
+
+	got, ok := tr.Complete(1)
+	if !ok || got.Tag != 1 {
+		t.Fatalf("Complete: %+v %v", got, ok)
+	}
+	if _, ok := tr.Complete(1); ok {
+		t.Fatal("double complete succeeded")
+	}
+	if _, ok := tr.Complete(99); ok {
+		t.Fatal("unknown tag completed")
+	}
+	if len(tr.Completed()) != 1 || len(tr.Active()) != 1 {
+		t.Fatal("completion bookkeeping wrong")
+	}
+}
+
+// The headline: two requests interleaved on ONE flow are merged by the
+// black-box interaction LPA (a known limitation the paper states) but
+// separated exactly by ARM tags.
+func TestARMSeparatesInterleavedRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+	lpa := NewLPA(server.Hub(), Config{})
+	arm := NewARMTracker(server.Hub())
+	defer arm.Close()
+
+	ssock := server.MustBind(80)
+	csock := client.MustBind(9000)
+	// Server answers each message, preserving tags via Reply.
+	server.Spawn("srv", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *simos.Message) {
+				p.Compute(time.Millisecond, func() {
+					p.Reply(ssock, m, 500, nil, loop)
+				})
+			})
+		}
+		loop()
+	})
+	// Client pipelines two tagged requests back-to-back on the same flow
+	// before reading any response: they interleave.
+	done := 0
+	client.Spawn("cli", func(p *simos.Process) {
+		p.SendActivity(csock, ssock.Addr(), 300, nil, 101, func() {
+			p.SendActivity(csock, ssock.Addr(), 300, nil, 102, func() {
+				p.Recv(csock, func(m *simos.Message) {
+					done++
+					p.Recv(csock, func(m *simos.Message) { done++ })
+				})
+			})
+		})
+	})
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lpa.FlushOpen()
+	if done != 2 {
+		t.Fatalf("client received %d responses", done)
+	}
+
+	// Black-box view: the two requests form a single message run on the
+	// flow => one merged interaction.
+	if got := len(lpa.Window().Snapshot()); got != 1 {
+		t.Fatalf("black-box interactions = %d (expected merge into 1)", got)
+	}
+	// ARM view: two distinct activities, each handled by the server.
+	a1, ok1 := arm.Complete(101)
+	a2, ok2 := arm.Complete(102)
+	if !ok1 || !ok2 {
+		t.Fatalf("activities missing: %v %v", ok1, ok2)
+	}
+	for _, a := range []Activity{a1, a2} {
+		if !a.Handled || a.ServerProc != "srv" {
+			t.Fatalf("activity %d not attributed: %+v", a.Tag, a)
+		}
+		if a.Packets < 2 {
+			t.Fatalf("activity %d packets = %d", a.Tag, a.Packets)
+		}
+	}
+}
+
+func TestReplyPropagatesTag(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+	ssock := server.MustBind(80)
+	csock := client.MustBind(9000)
+	server.Spawn("srv", func(p *simos.Process) {
+		p.Recv(ssock, func(m *simos.Message) {
+			p.Reply(ssock, m, 100, nil, nil)
+		})
+	})
+	var gotTag uint64
+	client.Spawn("cli", func(p *simos.Process) {
+		p.SendActivity(csock, ssock.Addr(), 100, nil, 77, func() {
+			p.Recv(csock, func(m *simos.Message) { gotTag = m.Tag })
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotTag != 77 {
+		t.Fatalf("response tag = %d, want 77 (Reply must propagate)", gotTag)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step is one leg of the paper's Figure 1: the latency incurred at each
+// marked point of a request's path through a node.
+type Step struct {
+	// Label matches the paper's depiction (L1..L6 in Figure 1).
+	Label string
+	// What the step covers.
+	Desc string
+	// Latency spent in this step.
+	Latency time.Duration
+}
+
+// Breakdown decomposes an interaction record into the per-step latencies
+// of the paper's Figure 1: inbound protocol processing (L1), kernel
+// buffer residence (L2), user-level processing (L3), waits for I/O or
+// downstream services (L4), syscall service (L5), and outbound protocol
+// processing (L6). The steps sum to less than the total residence when
+// the node idles between legs (e.g. waiting for the client's next
+// packet).
+func (r *Record) Breakdown() []Step {
+	return []Step{
+		{Label: "L1", Desc: "inbound protocol processing", Latency: r.ProtoTime},
+		{Label: "L2", Desc: "kernel buffer wait", Latency: r.BufferWait},
+		{Label: "L3", Desc: "user-level processing", Latency: r.UserTime},
+		{Label: "L4", Desc: "blocked (I/O / downstream)", Latency: r.BlockedTime},
+		{Label: "L5", Desc: "syscall service", Latency: r.SyscallTime},
+		{Label: "L6", Desc: "outbound protocol processing", Latency: r.TxTime},
+	}
+}
+
+// RenderBreakdown prints the Figure-1 style diagnosis for one record,
+// with a bar per step scaled to the largest component — what the paper's
+// motivating example ("the developer or the system administrator may need
+// to know the time spent and resources consumed at each of these steps")
+// asks for.
+func RenderBreakdown(r *Record) string {
+	steps := r.Breakdown()
+	var max time.Duration
+	for _, s := range steps {
+		if s.Latency > max {
+			max = s.Latency
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "interaction %d on %s (total residence %v, server %s)\n",
+		r.ID, r.Flow, r.Residence().Round(time.Microsecond), r.ServerProc)
+	for _, s := range steps {
+		bar := ""
+		if max > 0 {
+			n := int(20 * s.Latency / max)
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&sb, "  %s %-29s %12v  %s\n",
+			s.Label, s.Desc, s.Latency.Round(time.Microsecond), bar)
+	}
+	return sb.String()
+}

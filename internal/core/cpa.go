@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"sysprof/internal/ecode"
+	"sysprof/internal/kprof"
+)
+
+// CPA is a Custom Performance Analyzer: an E-Code program installed at
+// runtime that runs on the kernel event fast path, exactly like a built-in
+// LPA ("custom analyzers can be dynamically created and downloaded into
+// the kernel ... specified in the form of E-Code, compiled through
+// run-time code generation").
+//
+// The program sees each event as a record named "ev" and may call
+// emit(channel, value) to publish derived data (routed to the
+// dissemination daemon's pub-sub channels by the host).
+type CPA struct {
+	name string
+	sub  *kprof.Subscription
+	inst *ecode.Instance
+
+	runs    uint64
+	errs    uint64
+	lastErr error
+}
+
+// eventRecord adapts a kprof event to the ecode.Record interface. Field
+// names are the stable CPA-visible schema.
+type eventRecord struct {
+	ev *kprof.Event
+}
+
+var _ ecode.Record = eventRecord{}
+
+// Field implements ecode.Record.
+func (r eventRecord) Field(name string) (ecode.Value, bool) {
+	ev := r.ev
+	switch name {
+	case "type":
+		return ev.Type.String(), true
+	case "time":
+		return int64(ev.Time), true
+	case "node":
+		return int64(ev.Node), true
+	case "cpu":
+		return int64(ev.CPU), true
+	case "pid":
+		return int64(ev.PID), true
+	case "pid2":
+		return int64(ev.PID2), true
+	case "bytes":
+		return int64(ev.Bytes), true
+	case "aux":
+		return ev.Aux, true
+	case "msgid":
+		return int64(ev.MsgID), true
+	case "seq":
+		return int64(ev.Seq), true
+	case "last":
+		return ev.Last, true
+	case "proc":
+		return ev.Proc, true
+	case "src_node":
+		return int64(ev.Flow.Src.Node), true
+	case "src_port":
+		return int64(ev.Flow.Src.Port), true
+	case "dst_node":
+		return int64(ev.Flow.Dst.Node), true
+	case "dst_port":
+		return int64(ev.Flow.Dst.Port), true
+	}
+	return nil, false
+}
+
+// EmitFunc receives values published by a CPA's emit(channel, value).
+type EmitFunc func(channel string, value ecode.Value)
+
+// NewCPA compiles src and installs it on the hub for the given event mask.
+func NewCPA(hub *kprof.Hub, name, src string, mask kprof.Mask, emit EmitFunc) (*CPA, error) {
+	prog, err := ecode.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("cpa %q: %w", name, err)
+	}
+	c := &CPA{name: name}
+	builtins := map[string]ecode.Builtin{
+		"emit": func(args []ecode.Value) (ecode.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("emit wants (channel, value)")
+			}
+			ch, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("emit channel must be a string")
+			}
+			if emit != nil {
+				emit(ch, args[1])
+			}
+			return int64(0), nil
+		},
+	}
+	c.inst = prog.NewInstance(ecode.WithBuiltins(builtins), ecode.WithStepLimit(100_000))
+	c.sub = hub.Subscribe(mask, c.handle)
+	return c, nil
+}
+
+// Name returns the analyzer's name.
+func (c *CPA) Name() string { return c.name }
+
+// Subscription exposes the kprof subscription for controller retuning.
+func (c *CPA) Subscription() *kprof.Subscription { return c.sub }
+
+// Close uninstalls the analyzer.
+func (c *CPA) Close() { c.sub.Close() }
+
+// Stats reports run and error counts, plus the most recent error.
+func (c *CPA) Stats() (runs, errs uint64, lastErr error) {
+	return c.runs, c.errs, c.lastErr
+}
+
+// Static exposes a persistent program variable (for queries via /proc).
+func (c *CPA) Static(name string) (ecode.Value, bool) { return c.inst.Static(name) }
+
+func (c *CPA) handle(ev *kprof.Event) {
+	c.runs++
+	if _, err := c.inst.Run(map[string]ecode.Value{"ev": eventRecord{ev: ev}}); err != nil {
+		c.errs++
+		c.lastErr = err
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/ecode"
+	"sysprof/internal/kprof"
+	"sysprof/internal/simnet"
+)
+
+func cpaHub() (*kprof.Hub, *time.Duration) {
+	now := new(time.Duration)
+	h := kprof.NewHub(3, func() time.Duration { return *now })
+	h.SetPerEventCost(0)
+	return h, now
+}
+
+func TestCPACountsEvents(t *testing.T) {
+	hub, _ := cpaHub()
+	src := `
+		static int big = 0;
+		if (ev.type == "net_rx" && ev.bytes > 1000) { big++; }
+		return big;
+	`
+	cpa, err := NewCPA(hub, "bigpackets", src, kprof.MaskOf(kprof.EvNetRx), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpa.Close()
+	for _, b := range []int32{100, 1500, 1501, 900} {
+		hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: b})
+	}
+	if v, ok := cpa.Static("big"); !ok || v != int64(2) {
+		t.Fatalf("big = %v, %v", v, ok)
+	}
+	runs, errs, _ := cpa.Stats()
+	if runs != 4 || errs != 0 {
+		t.Fatalf("runs=%d errs=%d", runs, errs)
+	}
+}
+
+func TestCPAEmit(t *testing.T) {
+	hub, _ := cpaHub()
+	var channels []string
+	var values []ecode.Value
+	src := `
+		if (ev.bytes > 10) { emit("alerts", ev.bytes); }
+		return 0;
+	`
+	cpa, err := NewCPA(hub, "alerter", src, kprof.MaskOf(kprof.EvNetRx),
+		func(ch string, v ecode.Value) {
+			channels = append(channels, ch)
+			values = append(values, v)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpa.Close()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 5})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 50})
+	if len(channels) != 1 || channels[0] != "alerts" || values[0] != int64(50) {
+		t.Fatalf("emits: %v %v", channels, values)
+	}
+}
+
+func TestCPACompileError(t *testing.T) {
+	hub, _ := cpaHub()
+	if _, err := NewCPA(hub, "bad", "return 1 +;", kprof.MaskAll(), nil); err == nil {
+		t.Fatal("compile error not surfaced")
+	}
+}
+
+func TestCPARuntimeErrorsCounted(t *testing.T) {
+	hub, _ := cpaHub()
+	cpa, err := NewCPA(hub, "faulty", "return ev.nonexistent;", kprof.MaskOf(kprof.EvNetRx), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpa.Close()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx})
+	_, errs, lastErr := cpa.Stats()
+	if errs != 1 || lastErr == nil {
+		t.Fatalf("errs=%d lastErr=%v", errs, lastErr)
+	}
+}
+
+func TestCPAEventFieldSchema(t *testing.T) {
+	hub, now := cpaHub()
+	*now = 5 * time.Second
+	src := `
+		static int ok = 0;
+		if (ev.type == "net_user_read" && ev.pid == 7 && ev.proc == "srv"
+			&& ev.src_port == 99 && ev.dst_port == 80 && ev.aux == 1234
+			&& ev.last && ev.node == 3 && ev.time >= 0) {
+			ok = 1;
+		}
+		return ok;
+	`
+	cpa, err := NewCPA(hub, "schema", src, kprof.MaskOf(kprof.EvNetUserRead), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpa.Close()
+	hub.Emit(&kprof.Event{
+		Type: kprof.EvNetUserRead, PID: 7, Proc: "srv",
+		Flow: reqFlowWithPorts(99, 80), Aux: 1234, Last: true,
+	})
+	if v, _ := cpa.Static("ok"); v != int64(1) {
+		runs, errs, lastErr := cpa.Stats()
+		t.Fatalf("schema check failed: ok=%v runs=%d errs=%d err=%v", v, runs, errs, lastErr)
+	}
+}
+
+func reqFlowWithPorts(src, dst uint16) (f simnet.FlowKey) {
+	f.Src.Port = src
+	f.Dst.Port = dst
+	return f
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Histogram is a log2-bucketed latency distribution. Bucket i counts
+// samples in [2^i, 2^(i+1)) nanoseconds; bucket 0 also absorbs
+// sub-nanosecond samples. It is fixed-size and allocation-free on the
+// record path, suitable for in-kernel analyzers.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func bucketOf(d time.Duration) int {
+	n := uint64(d)
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Min and Max return the extremes (zero when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the average sample (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) at
+// bucket resolution: the top of the first bucket at or beyond the target
+// rank.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return time.Duration(uint64(1) << uint(i+1)) // bucket upper bound
+		}
+	}
+	return h.max
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram{empty}"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram{n=%d mean=%v min=%v p99<=%v max=%v}",
+		h.count, h.Mean(), h.min, h.Quantile(0.99), h.max)
+	return sb.String()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/simnet"
+)
+
+// FlowInspector is the finest-grain network view SysProf offers: for one
+// selected flow it records every packet's progress through the kernel —
+// NIC arrival, protocol-processing completion, user-level read — giving
+// the paper's "details about the time spent in different steps of the
+// network protocol processing" for individual packets. It uses the
+// Kprof flow-filter facility, so unrelated traffic costs nothing.
+//
+// Inspectors are diagnostic tools: attach one when the interaction LPA
+// points at a suspect flow, read the packet timeline, detach.
+type FlowInspector struct {
+	flow simnet.FlowKey
+	sub  *kprof.Subscription
+
+	packets []PacketTrace
+	// pending maps msgID to indices of packets awaiting deliver/read.
+	pending map[uint64][]int
+	cap     int
+	dropped uint64
+}
+
+// PacketTrace is one packet's kernel path.
+type PacketTrace struct {
+	MsgID uint64
+	Seq   int32
+	Bytes int32
+	// Inbound is true for packets arriving at this node.
+	Inbound bool
+	// RxAt is NIC arrival (inbound) or wire handoff (outbound).
+	RxAt time.Duration
+	// DeliveredAt is when the packet's message entered the socket buffer
+	// (zero until then; inbound only, stamped on the message's last
+	// fragment).
+	DeliveredAt time.Duration
+	// ReadAt is when a user process consumed the message (zero until
+	// then; inbound only).
+	ReadAt time.Duration
+}
+
+// ProtoLatency is the protocol-processing component (rx to deliver).
+func (p *PacketTrace) ProtoLatency() time.Duration {
+	if p.DeliveredAt == 0 {
+		return 0
+	}
+	return p.DeliveredAt - p.RxAt
+}
+
+// BufferLatency is the socket-buffer component (deliver to read).
+func (p *PacketTrace) BufferLatency() time.Duration {
+	if p.ReadAt == 0 || p.DeliveredAt == 0 {
+		return 0
+	}
+	return p.ReadAt - p.DeliveredAt
+}
+
+// NewFlowInspector attaches an inspector for the given flow (either
+// direction) keeping at most capPackets traces (oldest dropped).
+func NewFlowInspector(hub *kprof.Hub, flow simnet.FlowKey, capPackets int) *FlowInspector {
+	if capPackets < 1 {
+		capPackets = 1024
+	}
+	ins := &FlowInspector{
+		flow:    flow.Canonical(),
+		pending: make(map[uint64][]int),
+		cap:     capPackets,
+	}
+	ins.sub = hub.Subscribe(
+		kprof.MaskOf(kprof.EvNetRx, kprof.EvNetTx, kprof.EvNetDeliver, kprof.EvNetUserRead),
+		ins.handle,
+		kprof.WithFlowFilter(func(f simnet.FlowKey) bool { return f.Canonical() == ins.flow }),
+	)
+	return ins
+}
+
+// Close detaches the inspector.
+func (ins *FlowInspector) Close() { ins.sub.Close() }
+
+func (ins *FlowInspector) handle(ev *kprof.Event) {
+	switch ev.Type {
+	case kprof.EvNetRx, kprof.EvNetTx:
+		if len(ins.packets) >= ins.cap {
+			ins.dropped++
+			return
+		}
+		ins.packets = append(ins.packets, PacketTrace{
+			MsgID: ev.MsgID, Seq: ev.Seq, Bytes: ev.Bytes,
+			Inbound: ev.Type == kprof.EvNetRx,
+			RxAt:    ev.Time,
+		})
+		if ev.Type == kprof.EvNetRx {
+			idx := len(ins.packets) - 1
+			ins.pending[ev.MsgID] = append(ins.pending[ev.MsgID], idx)
+		}
+	case kprof.EvNetDeliver:
+		for _, idx := range ins.pending[ev.MsgID] {
+			if ins.packets[idx].DeliveredAt == 0 {
+				ins.packets[idx].DeliveredAt = ev.Time
+			}
+		}
+	case kprof.EvNetUserRead:
+		for _, idx := range ins.pending[ev.MsgID] {
+			if ins.packets[idx].ReadAt == 0 {
+				ins.packets[idx].ReadAt = ev.Time
+			}
+		}
+		delete(ins.pending, ev.MsgID)
+	}
+}
+
+// Packets returns the captured traces in arrival order.
+func (ins *FlowInspector) Packets() []PacketTrace {
+	out := make([]PacketTrace, len(ins.packets))
+	copy(out, ins.packets)
+	return out
+}
+
+// Dropped returns traces lost to the capacity cap.
+func (ins *FlowInspector) Dropped() uint64 { return ins.dropped }
+
+// Render prints the packet timeline.
+func (ins *FlowInspector) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flow %s: %d packets captured (%d dropped)\n",
+		ins.flow, len(ins.packets), ins.dropped)
+	sb.WriteString("  dir  msg/seq     bytes      rx            proto       bufwait\n")
+	for _, p := range ins.packets {
+		dir := "out"
+		if p.Inbound {
+			dir = "in "
+		}
+		fmt.Fprintf(&sb, "  %s  %4d/%-4d  %6d  %12v  %10v  %10v\n",
+			dir, p.MsgID, p.Seq, p.Bytes, p.RxAt,
+			p.ProtoLatency().Round(time.Nanosecond),
+			p.BufferLatency().Round(time.Nanosecond))
+	}
+	return sb.String()
+}

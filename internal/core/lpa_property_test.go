@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/simnet"
+)
+
+// TestLPARandomStreamInvariants fuzzes the analyzer with arbitrary event
+// sequences: it must never panic, never lose records (completed
+// interactions = window + evicted + aggregated), and keep timestamps
+// ordered within each record.
+func TestLPARandomStreamInvariants(t *testing.T) {
+	prop := func(ops []uint16, seed uint8) bool {
+		evicted := 0
+		hub := kprof.NewHub(2, nil)
+		var now time.Duration
+		hub = kprof.NewHub(2, func() time.Duration { return now })
+		hub.SetPerEventCost(0)
+		lpa := NewLPA(hub, Config{
+			WindowSize:     4,
+			BufferCapacity: 2,
+			OnFull: func(cpu int, batch []Record, release func()) {
+				evicted += len(batch)
+				release()
+			},
+		})
+		defer lpa.Close()
+
+		flows := []simnet.FlowKey{
+			{Src: simnet.Addr{Node: 1, Port: 10}, Dst: simnet.Addr{Node: 2, Port: 80}},
+			{Src: simnet.Addr{Node: 3, Port: 11}, Dst: simnet.Addr{Node: 2, Port: 80}},
+			{Src: simnet.Addr{Node: 2, Port: 50}, Dst: simnet.Addr{Node: 4, Port: 90}},
+		}
+		types := []kprof.EventType{
+			kprof.EvNetRx, kprof.EvNetTx, kprof.EvNetDeliver, kprof.EvNetUserRead,
+			kprof.EvNetSend, kprof.EvSyscallEnter, kprof.EvSyscallExit,
+			kprof.EvBlock, kprof.EvWake, kprof.EvCtxSwitch, kprof.EvDiskIssue,
+		}
+		for _, op := range ops {
+			now += time.Duration(op%7) * time.Microsecond
+			flow := flows[int(op>>3)%len(flows)]
+			typ := types[int(op)%len(types)]
+			dir := flow
+			if op&(1<<12) != 0 {
+				dir = flow.Reverse()
+			}
+			hub.Emit(&kprof.Event{
+				Type: typ, Flow: dir, PID: int32(op%5) + 1,
+				Bytes: int32(op % 2000), Aux: int64(op) * 10,
+				Last: op%3 == 0, Proc: "p",
+			})
+		}
+		lpa.FlushOpen()
+		lpa.Window().EvictAll()
+		lpa.Buffers().FlushAll()
+
+		st := lpa.Stats()
+		var aggCount uint64
+		for _, a := range lpa.Aggregates() {
+			aggCount += a.Count
+		}
+		// Conservation: every completed interaction went somewhere.
+		if uint64(evicted)+aggCount != st.Interactions {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLPAWellFormedStreamCounts checks exact interaction counting on an
+// alternating request/response stream across several flows.
+func TestLPAWellFormedStreamCounts(t *testing.T) {
+	var now time.Duration
+	hub := kprof.NewHub(2, func() time.Duration { return now })
+	hub.SetPerEventCost(0)
+	lpa := NewLPA(hub, Config{WindowSize: 1 << 12})
+	defer lpa.Close()
+
+	const flowsN, pairs = 5, 7
+	for f := 0; f < flowsN; f++ {
+		flow := simnet.FlowKey{
+			Src: simnet.Addr{Node: 1, Port: uint16(100 + f)},
+			Dst: simnet.Addr{Node: 2, Port: 80},
+		}
+		for p := 0; p < pairs; p++ {
+			now += time.Millisecond
+			hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+			now += time.Millisecond
+			hub.Emit(&kprof.Event{Type: kprof.EvNetTx, Flow: flow.Reverse(), Bytes: 200, Last: true})
+		}
+	}
+	lpa.FlushOpen()
+	if got := lpa.Stats().Interactions; got != flowsN*pairs {
+		t.Fatalf("interactions = %d, want %d", got, flowsN*pairs)
+	}
+	snap := lpa.Window().Snapshot()
+	if len(snap) != flowsN*pairs {
+		t.Fatalf("window = %d", len(snap))
+	}
+	for _, r := range snap {
+		if r.End < r.Start {
+			t.Fatalf("record %d has End < Start", r.ID)
+		}
+		if r.ReqPackets != 1 || r.RespPackets != 1 {
+			t.Fatalf("record %d packets: %+v", r.ID, r)
+		}
+	}
+}

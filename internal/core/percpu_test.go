@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// TestPerCPUBufferRouting verifies the per-CPU buffer design end to end:
+// on a 2-CPU node with servers pinned to different CPUs, completed
+// interaction records land in the buffer of the CPU that captured them.
+func TestPerCPUBufferRouting(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{NumCPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	perCPU := map[int]int{}
+	lpa := NewLPA(server.Hub(), Config{
+		NumCPUs:        2,
+		WindowSize:     1, // evict almost immediately so buffers fill
+		BufferCapacity: 1,
+		OnFull: func(cpu int, batch []Record, release func()) {
+			perCPU[cpu] += len(batch)
+			release()
+		},
+	})
+	defer lpa.Close()
+
+	// Two single-threaded servers on different ports; PIDs 1 and 2 pin to
+	// CPUs 1 and 0 respectively.
+	for _, port := range []uint16{80, 81} {
+		sock := server.MustBind(port)
+		server.Spawn("srv", func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(sock, func(m *simos.Message) {
+					p.Compute(200*time.Microsecond, func() {
+						p.Reply(sock, m, 500, nil, loop)
+					})
+				})
+			}
+			loop()
+		})
+	}
+	for i, port := range []uint16{80, 81} {
+		csock := client.MustBind(uint16(9000 + i))
+		dst := simnet.Addr{Node: server.ID(), Port: port}
+		client.Spawn("cli", func(p *simos.Process) {
+			var loop func(n int)
+			loop = func(n int) {
+				if n == 0 {
+					return
+				}
+				p.Send(csock, dst, 100, nil, func() {
+					p.Recv(csock, func(m *simos.Message) { loop(n - 1) })
+				})
+			}
+			loop(6)
+		})
+	}
+	if err := eng.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lpa.FlushOpen()
+	lpa.Buffers().FlushAll()
+
+	if perCPU[0] == 0 || perCPU[1] == 0 {
+		t.Fatalf("records not spread across CPU buffers: %v", perCPU)
+	}
+	total := perCPU[0] + perCPU[1]
+	if total < 10 {
+		t.Fatalf("total records = %d, want ~12", total)
+	}
+}

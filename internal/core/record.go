@@ -1,0 +1,166 @@
+// Package core implements the SysProf Local Performance Analyzer (paper
+// §2, "Messages and Interactions"). It consumes kprof events on the kernel
+// fast path and extracts request/response *interactions* per flow, without
+// any application cooperation:
+//
+//   - a *message* is a maximal run of packets in one direction of a flow
+//     with no intervening packet in the opposite direction;
+//   - an *interaction* is a message pair in opposite directions
+//     (request followed by response).
+//
+// For each interaction the LPA attributes fine-grain resource usage: the
+// inbound protocol-processing time, the time the request sat in the socket
+// buffer before the server read it (the paper's dominant kernel-level
+// component under load), the syscall time, blocked (I/O wait) time, and the
+// user-level time of the handling process, plus packet and byte counts in
+// both directions.
+//
+// Completed interactions enter a sliding window (queryable via the
+// controller and /proc interface) and are evicted to per-CPU double
+// buffers, which the dissemination daemon drains.
+package core
+
+import (
+	"time"
+
+	"sysprof/internal/simnet"
+)
+
+// Record is one completed interaction with its resource-usage metrics.
+// All timestamps are node-local clock values.
+type Record struct {
+	// ID is the interaction id, unique per LPA.
+	ID uint64 `json:"id"`
+	// Node is where the interaction was observed.
+	Node simnet.NodeID `json:"node"`
+	// Flow is the request direction (client -> server as seen here).
+	Flow simnet.FlowKey `json:"flow"`
+	// Class is the request class assigned by the LPA's classifier.
+	Class string `json:"class"`
+	// CPU is the processor the interaction's closing event was captured
+	// on; records are staged in that CPU's dissemination buffer.
+	CPU uint8 `json:"cpu"`
+
+	// Start is the first request packet's NIC arrival (or first transmit
+	// for client-side interactions); End is the last response packet's
+	// transmit (or arrival).
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+
+	ReqPackets  int `json:"reqPackets"`
+	ReqBytes    int `json:"reqBytes"`
+	RespPackets int `json:"respPackets"`
+	RespBytes   int `json:"respBytes"`
+
+	// ProtoTime is inbound protocol-processing time (NIC to socket
+	// buffer); TxTime is the outbound counterpart (send syscall to wire).
+	ProtoTime time.Duration `json:"protoTime"`
+	TxTime    time.Duration `json:"txTime"`
+	// BufferWait is how long request data sat in the socket buffer before
+	// the server process read it.
+	BufferWait time.Duration `json:"bufferWait"`
+	// SyscallTime is kernel time consumed by the handling process inside
+	// system calls while handling this interaction.
+	SyscallTime time.Duration `json:"syscallTime"`
+	// UserTime is user-level time of the handling process between reading
+	// the request and emitting its next send.
+	UserTime time.Duration `json:"userTime"`
+	// BlockedTime is time the handling process spent blocked (e.g. disk
+	// I/O or a downstream server) while handling this interaction.
+	BlockedTime time.Duration `json:"blockedTime"`
+
+	// ServerPID and ServerProc identify the user-level process that
+	// consumed the request ("the name ... of the user-level application
+	// server that receives packets from the interaction").
+	ServerPID  int32  `json:"serverPid"`
+	ServerProc string `json:"serverProc"`
+	// CtxSwitches counts scheduler switches of the handling process
+	// during the interaction.
+	CtxSwitches uint64 `json:"ctxSwitches"`
+	// DiskOps counts disk operations issued while handling.
+	DiskOps uint64 `json:"diskOps"`
+}
+
+// KernelTime returns the interaction's kernel-level time at this node:
+// protocol processing, socket-buffer residence, syscall service, and
+// outbound processing. It deliberately excludes BlockedTime (waiting on a
+// remote service or the disk is not CPU time in this kernel).
+func (r *Record) KernelTime() time.Duration {
+	return r.ProtoTime + r.BufferWait + r.SyscallTime + r.TxTime
+}
+
+// Residence returns total time the interaction spent at this node.
+func (r *Record) Residence() time.Duration {
+	if r.End < r.Start {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// Aggregate summarizes a set of interaction records (used for per-class
+// granularity and by the GPA).
+type Aggregate struct {
+	Class string `json:"class"`
+	Count uint64 `json:"count"`
+
+	TotalResidence time.Duration `json:"totalResidence"`
+	TotalUser      time.Duration `json:"totalUser"`
+	TotalKernel    time.Duration `json:"totalKernel"`
+	TotalBlocked   time.Duration `json:"totalBlocked"`
+	TotalBufWait   time.Duration `json:"totalBufWait"`
+
+	ReqBytes  uint64 `json:"reqBytes"`
+	RespBytes uint64 `json:"respBytes"`
+
+	MaxResidence time.Duration `json:"maxResidence"`
+}
+
+// Add folds one record into the aggregate.
+func (a *Aggregate) Add(r *Record) {
+	a.Count++
+	res := r.Residence()
+	a.TotalResidence += res
+	a.TotalUser += r.UserTime
+	a.TotalKernel += r.KernelTime()
+	a.TotalBlocked += r.BlockedTime
+	a.TotalBufWait += r.BufferWait
+	a.ReqBytes += uint64(r.ReqBytes)
+	a.RespBytes += uint64(r.RespBytes)
+	if res > a.MaxResidence {
+		a.MaxResidence = res
+	}
+}
+
+// Merge folds another aggregate into this one.
+func (a *Aggregate) Merge(b *Aggregate) {
+	a.Count += b.Count
+	a.TotalResidence += b.TotalResidence
+	a.TotalUser += b.TotalUser
+	a.TotalKernel += b.TotalKernel
+	a.TotalBlocked += b.TotalBlocked
+	a.TotalBufWait += b.TotalBufWait
+	a.ReqBytes += b.ReqBytes
+	a.RespBytes += b.RespBytes
+	if b.MaxResidence > a.MaxResidence {
+		a.MaxResidence = b.MaxResidence
+	}
+}
+
+// MeanResidence returns the mean per-interaction residence.
+func (a *Aggregate) MeanResidence() time.Duration { return a.mean(a.TotalResidence) }
+
+// MeanUser returns the mean per-interaction user-level time.
+func (a *Aggregate) MeanUser() time.Duration { return a.mean(a.TotalUser) }
+
+// MeanKernel returns the mean per-interaction kernel-level time.
+func (a *Aggregate) MeanKernel() time.Duration { return a.mean(a.TotalKernel) }
+
+// MeanBlocked returns the mean per-interaction blocked time.
+func (a *Aggregate) MeanBlocked() time.Duration { return a.mean(a.TotalBlocked) }
+
+func (a *Aggregate) mean(total time.Duration) time.Duration {
+	if a.Count == 0 {
+		return 0
+	}
+	return total / time.Duration(a.Count)
+}

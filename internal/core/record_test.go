@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownCoversComponents(t *testing.T) {
+	r := Record{
+		ID: 7, ProtoTime: time.Microsecond, BufferWait: 2 * time.Microsecond,
+		UserTime: 3 * time.Microsecond, BlockedTime: 4 * time.Microsecond,
+		SyscallTime: 5 * time.Microsecond, TxTime: 6 * time.Microsecond,
+		Start: 0, End: 30 * time.Microsecond, ServerProc: "srv",
+	}
+	steps := r.Breakdown()
+	if len(steps) != 6 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	var sum time.Duration
+	labels := map[string]bool{}
+	for _, s := range steps {
+		sum += s.Latency
+		labels[s.Label] = true
+	}
+	if sum != 21*time.Microsecond {
+		t.Fatalf("component sum = %v", sum)
+	}
+	for _, l := range []string{"L1", "L2", "L3", "L4", "L5", "L6"} {
+		if !labels[l] {
+			t.Fatalf("missing label %s", l)
+		}
+	}
+	out := RenderBreakdown(&r)
+	for _, want := range []string{"interaction 7", "kernel buffer wait", "user-level processing", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Zero record renders without bars or division by zero.
+	zero := Record{}
+	if out := RenderBreakdown(&zero); strings.Contains(out, "#") {
+		t.Fatal("zero record rendered bars")
+	}
+}
+
+func TestRecordKernelTimeAndResidence(t *testing.T) {
+	r := Record{
+		ProtoTime: time.Microsecond, BufferWait: 2 * time.Microsecond,
+		SyscallTime: 3 * time.Microsecond, TxTime: 4 * time.Microsecond,
+		BlockedTime: time.Second, // excluded from kernel time
+		Start:       time.Millisecond, End: 3 * time.Millisecond,
+	}
+	if r.KernelTime() != 10*time.Microsecond {
+		t.Fatalf("KernelTime = %v", r.KernelTime())
+	}
+	if r.Residence() != 2*time.Millisecond {
+		t.Fatalf("Residence = %v", r.Residence())
+	}
+	bad := Record{Start: 5, End: 1}
+	if bad.Residence() != 0 {
+		t.Fatal("negative residence not clamped")
+	}
+}
+
+func TestAggregateAddAndMeans(t *testing.T) {
+	var a Aggregate
+	a.Add(&Record{Start: 0, End: 4 * time.Millisecond, UserTime: time.Millisecond,
+		BufferWait: time.Millisecond, ReqBytes: 10, RespBytes: 20})
+	a.Add(&Record{Start: 0, End: 2 * time.Millisecond, UserTime: 3 * time.Millisecond})
+	if a.Count != 2 || a.MaxResidence != 4*time.Millisecond {
+		t.Fatalf("agg = %+v", a)
+	}
+	if a.MeanResidence() != 3*time.Millisecond || a.MeanUser() != 2*time.Millisecond {
+		t.Fatalf("means: %v %v", a.MeanResidence(), a.MeanUser())
+	}
+	if a.MeanBlocked() != 0 {
+		t.Fatalf("MeanBlocked = %v", a.MeanBlocked())
+	}
+	var empty Aggregate
+	if empty.MeanResidence() != 0 || empty.MeanKernel() != 0 {
+		t.Fatal("empty aggregate means not zero")
+	}
+}

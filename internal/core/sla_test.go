@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/simnet"
+)
+
+func slaRec(class string, residence time.Duration) *Record {
+	return &Record{Class: class, Start: 0, End: residence}
+}
+
+func TestClientClassifier(t *testing.T) {
+	c := ClientClassifier()
+	r := &Record{Flow: simnet.FlowKey{Src: simnet.Addr{Node: 7, Port: 99}}}
+	if got := c(r); got != "client:7" {
+		t.Fatalf("class = %q", got)
+	}
+}
+
+func TestPerClientAggregation(t *testing.T) {
+	var now time.Duration
+	hub := kprof.NewHub(2, func() time.Duration { return now })
+	hub.SetPerEventCost(0)
+	lpa := NewLPA(hub, Config{Granularity: PerClass, Classify: ClientClassifier()})
+	defer lpa.Close()
+	// Two clients hitting the same server port.
+	for client := simnet.NodeID(10); client <= 11; client++ {
+		flow := simnet.FlowKey{Src: simnet.Addr{Node: client, Port: 5}, Dst: simnet.Addr{Node: 2, Port: 80}}
+		for i := 0; i < 3; i++ {
+			now += time.Millisecond
+			hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+			now += time.Millisecond
+			hub.Emit(&kprof.Event{Type: kprof.EvNetTx, Flow: flow.Reverse(), Bytes: 50, Last: true})
+		}
+	}
+	lpa.FlushOpen()
+	aggs := lpa.Aggregates()
+	if len(aggs) != 2 {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	if aggs["client:10"].Count != 3 || aggs["client:11"].Count != 3 {
+		t.Fatalf("per-client counts: %v", aggs)
+	}
+}
+
+func TestSLAWatcherToleratesThenBreaches(t *testing.T) {
+	var breaches []*Record
+	w := NewSLAWatcher([]SLA{
+		{Class: "port:80", MaxResidence: 10 * time.Millisecond, Window: 5, MaxViolations: 2},
+	}, func(sla SLA, r *Record) { breaches = append(breaches, r) })
+
+	// Two violations inside the window: tolerated.
+	w.OnComplete(slaRec("port:80", 50*time.Millisecond))
+	w.OnComplete(slaRec("port:80", 50*time.Millisecond))
+	if len(breaches) != 0 {
+		t.Fatalf("breached within tolerance: %d", len(breaches))
+	}
+	// Third violation breaches.
+	w.OnComplete(slaRec("port:80", 50*time.Millisecond))
+	if len(breaches) != 1 {
+		t.Fatalf("breaches = %d, want 1", len(breaches))
+	}
+	// Good records age the violations out of the window.
+	for i := 0; i < 5; i++ {
+		w.OnComplete(slaRec("port:80", time.Millisecond))
+	}
+	w.OnComplete(slaRec("port:80", 50*time.Millisecond))
+	if len(breaches) != 1 {
+		t.Fatalf("violation after recovery breached immediately: %d", len(breaches))
+	}
+	checked, nb := w.Stats()
+	if checked != 9 || nb != 1 {
+		t.Fatalf("stats = %d/%d", checked, nb)
+	}
+}
+
+func TestSLAWatcherClassScoping(t *testing.T) {
+	n := 0
+	w := NewSLAWatcher([]SLA{
+		{Class: "port:80", MaxResidence: time.Millisecond, Window: 1, MaxViolations: 0},
+	}, func(SLA, *Record) { n++ })
+	w.OnComplete(slaRec("port:443", time.Second)) // other class: ignored
+	if n != 0 {
+		t.Fatal("breach fired for out-of-scope class")
+	}
+	w.OnComplete(slaRec("port:80", time.Second))
+	if n != 1 {
+		t.Fatal("in-scope breach missed")
+	}
+	// Empty class matches everything.
+	all := NewSLAWatcher([]SLA{{MaxResidence: time.Millisecond, Window: 1}}, func(SLA, *Record) { n++ })
+	all.OnComplete(slaRec("anything", time.Second))
+	if n != 2 {
+		t.Fatal("wildcard SLA did not match")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sysprof/internal/kprof"
+)
+
+// SyscallLPA is a second built-in Local Performance Analyzer, tracking
+// activities at the paper's finest granularity: "the system-level
+// activities triggered by a single system call". For every system call it
+// records the in-kernel service latency (enter to exit) per call name and
+// per process, with log2 latency histograms — the data an administrator
+// needs to see "the amount of time a client's request spends inside the
+// OS kernel".
+//
+// Like the interaction LPA it runs on the kernel fast path and never
+// blocks; its state is fixed-size per (name, pid) pair.
+type SyscallLPA struct {
+	hub *kprof.Hub
+	sub *kprof.Subscription
+
+	// open syscall per PID: start time and name.
+	open map[int32]openSyscall
+	// stats per syscall name.
+	byName map[string]*Histogram
+	// perPID aggregates total kernel time per process.
+	byPID map[int32]*pidSyscalls
+
+	events uint64
+}
+
+type openSyscall struct {
+	name  string
+	start time.Duration
+}
+
+type pidSyscalls struct {
+	count uint64
+	total time.Duration
+}
+
+// NewSyscallLPA installs the analyzer on a hub.
+func NewSyscallLPA(hub *kprof.Hub) *SyscallLPA {
+	a := &SyscallLPA{
+		hub:    hub,
+		open:   make(map[int32]openSyscall),
+		byName: make(map[string]*Histogram),
+		byPID:  make(map[int32]*pidSyscalls),
+	}
+	a.sub = hub.Subscribe(kprof.MaskSyscall(), a.handle)
+	return a
+}
+
+// Close detaches the analyzer.
+func (a *SyscallLPA) Close() { a.sub.Close() }
+
+// Subscription exposes the kprof subscription for controller retuning.
+func (a *SyscallLPA) Subscription() *kprof.Subscription { return a.sub }
+
+func (a *SyscallLPA) handle(ev *kprof.Event) {
+	a.events++
+	switch ev.Type {
+	case kprof.EvSyscallEnter:
+		a.open[ev.PID] = openSyscall{name: ev.Proc, start: ev.Time}
+	case kprof.EvSyscallExit:
+		o, ok := a.open[ev.PID]
+		if !ok {
+			return // attached mid-call
+		}
+		delete(a.open, ev.PID)
+		lat := ev.Time - o.start
+		h := a.byName[o.name]
+		if h == nil {
+			h = &Histogram{}
+			a.byName[o.name] = h
+		}
+		h.Record(lat)
+		ps := a.byPID[ev.PID]
+		if ps == nil {
+			ps = &pidSyscalls{}
+			a.byPID[ev.PID] = ps
+		}
+		ps.count++
+		ps.total += lat
+	}
+}
+
+// SyscallStat is one syscall name's latency summary.
+type SyscallStat struct {
+	Name  string
+	Count uint64
+	Total time.Duration
+	Mean  time.Duration
+	Max   time.Duration
+	P99   time.Duration
+}
+
+// Stats returns per-name summaries sorted by total time descending.
+func (a *SyscallLPA) Stats() []SyscallStat {
+	out := make([]SyscallStat, 0, len(a.byName))
+	for name, h := range a.byName {
+		out = append(out, SyscallStat{
+			Name:  name,
+			Count: h.Count(),
+			Total: h.Sum(),
+			Mean:  h.Mean(),
+			Max:   h.Max(),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Histogram returns the latency distribution of one syscall name (nil if
+// never seen).
+func (a *SyscallLPA) Histogram(name string) *Histogram { return a.byName[name] }
+
+// PIDKernelTime returns a process's syscall count and cumulative
+// in-syscall time.
+func (a *SyscallLPA) PIDKernelTime(pid int32) (count uint64, total time.Duration) {
+	if ps := a.byPID[pid]; ps != nil {
+		return ps.count, ps.total
+	}
+	return 0, 0
+}
+
+// Events returns how many events the analyzer has processed.
+func (a *SyscallLPA) Events() uint64 { return a.events }
+
+// Reset clears accumulated statistics (e.g. per measurement epoch).
+func (a *SyscallLPA) Reset() {
+	a.byName = make(map[string]*Histogram)
+	a.byPID = make(map[int32]*pidSyscalls)
+}

@@ -1,0 +1,118 @@
+package core
+
+import "sysprof/internal/simnet"
+
+// flowState is the per-flow interaction state machine.
+type flowState struct {
+	key simnet.FlowKey // canonical key
+	// reqDir is the request direction, fixed by the first packet seen.
+	reqDir simnet.FlowKey
+	cur    *open // in-progress interaction, nil when idle
+	// lastRxAt, lastSendAt, lastTxAt support proto/tx time computation.
+	// -1 means "never seen" (0 is a valid simulation timestamp).
+	lastRxAt   int64
+	lastSendAt int64
+	lastTxAt   int64
+}
+
+func newFlowState(ck simnet.FlowKey) *flowState {
+	return &flowState{key: ck, lastRxAt: -1, lastSendAt: -1, lastTxAt: -1}
+}
+
+// open is an interaction under construction.
+type open struct {
+	rec       Record
+	phase     phase
+	lastTxAt  int64 // last outbound wire event (becomes End)
+	handling  bool
+	handlePID int32
+}
+
+type phase uint8
+
+const (
+	phaseRequest phase = iota + 1
+	phaseResponse
+)
+
+// FlowTable indexes per-flow state by flow key. Two implementations exist
+// so the "efficient event hashing" design choice can be ablated: the
+// hashed table the paper uses, and a naive linear scan.
+type FlowTable interface {
+	// Get returns the state for the flow, creating it if absent.
+	Get(key simnet.FlowKey) *flowState
+	// Len returns the number of tracked flows.
+	Len() int
+	// Each visits every flow state.
+	Each(fn func(*flowState))
+}
+
+// hashedTable is an open-addressing-free hash table: FlowKey.Hash buckets
+// with short chains, as the paper's "efficient event hashing".
+type hashedTable struct {
+	buckets [][]*flowState
+	mask    uint64
+	n       int
+}
+
+// NewHashedTable returns a FlowTable with 2^sizeLog2 buckets.
+func NewHashedTable(sizeLog2 int) FlowTable {
+	if sizeLog2 < 2 {
+		sizeLog2 = 2
+	}
+	size := 1 << sizeLog2
+	return &hashedTable{buckets: make([][]*flowState, size), mask: uint64(size - 1)}
+}
+
+func (t *hashedTable) Get(key simnet.FlowKey) *flowState {
+	ck := key.Canonical()
+	b := ck.Hash() & t.mask
+	for _, fs := range t.buckets[b] {
+		if fs.key == ck {
+			return fs
+		}
+	}
+	fs := newFlowState(ck)
+	t.buckets[b] = append(t.buckets[b], fs)
+	t.n++
+	return fs
+}
+
+func (t *hashedTable) Len() int { return t.n }
+
+func (t *hashedTable) Each(fn func(*flowState)) {
+	for _, bucket := range t.buckets {
+		for _, fs := range bucket {
+			fn(fs)
+		}
+	}
+}
+
+// linearTable is the ablation baseline: a linear scan over all flows.
+type linearTable struct {
+	flows []*flowState
+}
+
+// NewLinearTable returns the O(n)-lookup flow table used by the hashing
+// ablation benchmark.
+func NewLinearTable() FlowTable { return &linearTable{} }
+
+func (t *linearTable) Get(key simnet.FlowKey) *flowState {
+	ck := key.Canonical()
+	for _, fs := range t.flows {
+		if fs.key == ck {
+			return fs
+		}
+	}
+	fs := newFlowState(ck)
+	t.flows = append(t.flows, fs)
+	return fs
+}
+
+func (t *linearTable) Len() int { return len(t.flows) }
+
+func (t *linearTable) Each(fn func(*flowState)) {
+	for _, fs := range t.flows {
+		fn(fs)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import "time"
+
+// Window holds the most recent completed interactions for online queries
+// ("LPA maintains a window containing the past several interactions and
+// the metric values computed for them. Window size can be changed
+// dynamically, and window contents are evicted to the dissemination
+// daemon after some time.").
+type Window struct {
+	size    int
+	ring    []Record
+	head    int // next write position
+	n       int // live records
+	onEvict func(Record)
+}
+
+// NewWindow returns a window of the given size; onEvict receives records
+// pushed out (to the dissemination buffers).
+func NewWindow(size int, onEvict func(Record)) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{size: size, ring: make([]Record, size), onEvict: onEvict}
+}
+
+// Add inserts a record, evicting the oldest when full.
+func (w *Window) Add(rec Record) {
+	if w.n == w.size {
+		oldest := w.ring[w.head]
+		if w.onEvict != nil {
+			w.onEvict(oldest)
+		}
+		w.n--
+	}
+	w.ring[w.head] = rec
+	w.head = (w.head + 1) % w.size
+	w.n++
+}
+
+// Len returns the number of records held.
+func (w *Window) Len() int { return w.n }
+
+// Size returns the window capacity.
+func (w *Window) Size() int { return w.size }
+
+// Resize changes the capacity at runtime. Shrinking evicts the oldest
+// records.
+func (w *Window) Resize(size int) {
+	if size < 1 {
+		size = 1
+	}
+	recs := w.Snapshot()
+	for len(recs) > size {
+		if w.onEvict != nil {
+			w.onEvict(recs[0])
+		}
+		recs = recs[1:]
+	}
+	w.size = size
+	w.ring = make([]Record, size)
+	w.head = 0
+	w.n = 0
+	for _, r := range recs {
+		w.ring[w.head] = r
+		w.head = (w.head + 1) % w.size
+		w.n++
+	}
+}
+
+// EvictOlderThan pushes out records whose End precedes cutoff.
+func (w *Window) EvictOlderThan(cutoff time.Duration) {
+	recs := w.Snapshot()
+	kept := recs[:0]
+	for _, r := range recs {
+		if r.End < cutoff {
+			if w.onEvict != nil {
+				w.onEvict(r)
+			}
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	w.head = 0
+	w.n = 0
+	for i := range w.ring {
+		w.ring[i] = Record{}
+	}
+	for _, r := range kept {
+		w.ring[w.head] = r
+		w.head = (w.head + 1) % w.size
+		w.n++
+	}
+}
+
+// EvictAll pushes every record out (shutdown path).
+func (w *Window) EvictAll() {
+	for _, r := range w.Snapshot() {
+		if w.onEvict != nil {
+			w.onEvict(r)
+		}
+	}
+	w.head = 0
+	w.n = 0
+}
+
+// Snapshot returns the records oldest-first. The slice is a copy.
+func (w *Window) Snapshot() []Record {
+	out := make([]Record, 0, w.n)
+	start := (w.head - w.n + w.size*2) % w.size
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.ring[(start+i)%w.size])
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+// Package dissem implements the SysProf dissemination daemon. On each
+// node it drains the LPA per-CPU buffers (on "buffer full" notifications),
+// converts records to their flat PBIO wire form, publishes them on
+// publish-subscribe channels for remote consumers (the GPA), and exposes
+// current state through the /proc virtual filesystem.
+package dissem
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/pbio"
+	"sysprof/internal/procfs"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+)
+
+// ChannelInteractions is the pub-sub channel carrying interaction records.
+const ChannelInteractions = "sysprof.interactions"
+
+// ChannelAggregates carries per-class aggregates from LPAs running at
+// class granularity. Aggregates are published as deltas on each daemon
+// flush and reset locally, so subscribers can sum them.
+const ChannelAggregates = "sysprof.aggregates"
+
+// WireRecord is the flat (PBIO-encodable) form of core.Record.
+type WireRecord struct {
+	ID      uint64
+	Node    uint16
+	SrcNode uint16
+	SrcPort uint16
+	DstNode uint16
+	DstPort uint16
+	Class   string
+	CPU     uint8
+
+	Start time.Duration
+	End   time.Duration
+
+	ReqPackets  int64
+	ReqBytes    int64
+	RespPackets int64
+	RespBytes   int64
+
+	ProtoTime   time.Duration
+	TxTime      time.Duration
+	BufferWait  time.Duration
+	SyscallTime time.Duration
+	UserTime    time.Duration
+	BlockedTime time.Duration
+
+	ServerPID   int32
+	ServerProc  string
+	CtxSwitches uint64
+	DiskOps     uint64
+}
+
+// ToWire flattens a record.
+func ToWire(r *core.Record) WireRecord {
+	return WireRecord{
+		ID: r.ID, Node: uint16(r.Node),
+		SrcNode: uint16(r.Flow.Src.Node), SrcPort: r.Flow.Src.Port,
+		DstNode: uint16(r.Flow.Dst.Node), DstPort: r.Flow.Dst.Port,
+		Class: r.Class, CPU: r.CPU, Start: r.Start, End: r.End,
+		ReqPackets: int64(r.ReqPackets), ReqBytes: int64(r.ReqBytes),
+		RespPackets: int64(r.RespPackets), RespBytes: int64(r.RespBytes),
+		ProtoTime: r.ProtoTime, TxTime: r.TxTime, BufferWait: r.BufferWait,
+		SyscallTime: r.SyscallTime, UserTime: r.UserTime, BlockedTime: r.BlockedTime,
+		ServerPID: r.ServerPID, ServerProc: r.ServerProc,
+		CtxSwitches: r.CtxSwitches, DiskOps: r.DiskOps,
+	}
+}
+
+// FromWire reconstructs a record.
+func FromWire(w *WireRecord) core.Record {
+	return core.Record{
+		ID: w.ID, Node: simnet.NodeID(w.Node),
+		Flow: simnet.FlowKey{
+			Src: simnet.Addr{Node: simnet.NodeID(w.SrcNode), Port: w.SrcPort},
+			Dst: simnet.Addr{Node: simnet.NodeID(w.DstNode), Port: w.DstPort},
+		},
+		Class: w.Class, CPU: w.CPU, Start: w.Start, End: w.End,
+		ReqPackets: int(w.ReqPackets), ReqBytes: int(w.ReqBytes),
+		RespPackets: int(w.RespPackets), RespBytes: int(w.RespBytes),
+		ProtoTime: w.ProtoTime, TxTime: w.TxTime, BufferWait: w.BufferWait,
+		SyscallTime: w.SyscallTime, UserTime: w.UserTime, BlockedTime: w.BlockedTime,
+		ServerPID: w.ServerPID, ServerProc: w.ServerProc,
+		CtxSwitches: w.CtxSwitches, DiskOps: w.DiskOps,
+	}
+}
+
+// WireAggregate is the flat (PBIO-encodable) form of a per-class
+// aggregate delta from one node.
+type WireAggregate struct {
+	Node  uint16
+	Class string
+	Count uint64
+
+	TotalResidence time.Duration
+	TotalUser      time.Duration
+	TotalKernel    time.Duration
+	TotalBlocked   time.Duration
+	TotalBufWait   time.Duration
+
+	ReqBytes  uint64
+	RespBytes uint64
+
+	MaxResidence time.Duration
+}
+
+// AggToWire flattens an aggregate.
+func AggToWire(node simnet.NodeID, a *core.Aggregate) WireAggregate {
+	return WireAggregate{
+		Node: uint16(node), Class: a.Class, Count: a.Count,
+		TotalResidence: a.TotalResidence, TotalUser: a.TotalUser,
+		TotalKernel: a.TotalKernel, TotalBlocked: a.TotalBlocked,
+		TotalBufWait: a.TotalBufWait,
+		ReqBytes:     a.ReqBytes, RespBytes: a.RespBytes,
+		MaxResidence: a.MaxResidence,
+	}
+}
+
+// AggFromWire reconstructs an aggregate (the node id is returned
+// separately since core.Aggregate does not carry it).
+func AggFromWire(w *WireAggregate) (simnet.NodeID, core.Aggregate) {
+	return simnet.NodeID(w.Node), core.Aggregate{
+		Class: w.Class, Count: w.Count,
+		TotalResidence: w.TotalResidence, TotalUser: w.TotalUser,
+		TotalKernel: w.TotalKernel, TotalBlocked: w.TotalBlocked,
+		TotalBufWait: w.TotalBufWait,
+		ReqBytes:     w.ReqBytes, RespBytes: w.RespBytes,
+		MaxResidence: w.MaxResidence,
+	}
+}
+
+// RegisterFormats registers the daemon's wire formats with a PBIO
+// registry (both broker and subscriber sides need this).
+func RegisterFormats(reg *pbio.Registry) error {
+	if _, err := reg.Register("sysprof.interaction", WireRecord{}); err != nil {
+		return fmt.Errorf("dissem: %w", err)
+	}
+	if _, err := reg.Register("sysprof.aggregate", WireAggregate{}); err != nil {
+		return fmt.Errorf("dissem: %w", err)
+	}
+	return nil
+}
+
+// Stats counts daemon activity.
+type Stats struct {
+	BatchesDrained   uint64
+	RecordsPublished uint64
+	PublishErrors    uint64
+}
+
+// Config configures a daemon.
+type Config struct {
+	// NodeName labels procfs entries (e.g. "/sysprof/<node>/...").
+	NodeName string
+	// Node is the node id stamped on published aggregates.
+	Node simnet.NodeID
+	// CopyDelay models the daemon wake-up plus buffer copy latency: the
+	// LPA buffer is released only after this much virtual time, which is
+	// what makes buffer sizing matter (records drop if both buffers fill
+	// before the daemon catches up).
+	CopyDelay time.Duration
+	// FlushInterval is how often the daemon force-flushes LPA windows and
+	// partial buffers ("window contents are evicted ... after some time").
+	FlushInterval time.Duration
+	// MaxWindowAge evicts window records older than this on each flush.
+	MaxWindowAge time.Duration
+}
+
+// Daemon is one node's dissemination daemon.
+type Daemon struct {
+	eng    *sim.Engine
+	broker *pubsub.Broker
+	fs     *procfs.FS
+	cfg    Config
+
+	lpas    []*core.LPA
+	flushEv *sim.Event
+	stats   Stats
+}
+
+// New creates a daemon. broker and fs may be nil (publishing / procfs
+// disabled, useful in unit tests and overhead ablations).
+func New(eng *sim.Engine, broker *pubsub.Broker, fs *procfs.FS, cfg Config) *Daemon {
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 500 * time.Millisecond
+	}
+	if cfg.MaxWindowAge <= 0 {
+		cfg.MaxWindowAge = 2 * time.Second
+	}
+	if cfg.NodeName == "" {
+		cfg.NodeName = "node"
+	}
+	return &Daemon{eng: eng, broker: broker, fs: fs, cfg: cfg}
+}
+
+// OnFull is the callback to wire into core.Config.OnFull when building an
+// LPA this daemon serves: it copies the batch, publishes it, and releases
+// the LPA buffer after the configured copy delay.
+func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
+	// Copy immediately (the batch becomes invalid at release).
+	recs := make([]core.Record, len(batch))
+	copy(recs, batch)
+	d.stats.BatchesDrained++
+	publish := func() {
+		for i := range recs {
+			d.publish(&recs[i])
+		}
+		release()
+	}
+	if d.cfg.CopyDelay <= 0 {
+		publish()
+		return
+	}
+	d.eng.After(d.cfg.CopyDelay, publish)
+}
+
+func (d *Daemon) publish(rec *core.Record) {
+	if d.broker == nil {
+		d.stats.RecordsPublished++
+		return
+	}
+	w := ToWire(rec)
+	if err := d.broker.Publish(ChannelInteractions, w); err != nil {
+		d.stats.PublishErrors++
+		return
+	}
+	d.stats.RecordsPublished++
+}
+
+// Serve registers an LPA with the daemon: its window is flushed
+// periodically and its state appears in procfs. Call Start afterwards to
+// begin the flush timer.
+func (d *Daemon) Serve(lpa *core.LPA) {
+	idx := len(d.lpas)
+	d.lpas = append(d.lpas, lpa)
+	if d.fs == nil {
+		return
+	}
+	base := fmt.Sprintf("/sysprof/%s/lpa/%d", d.cfg.NodeName, idx)
+	d.fs.Register(base+"/window", func() string {
+		var sb strings.Builder
+		for _, r := range lpa.Window().Snapshot() {
+			fmt.Fprintf(&sb, "%d %s class=%s user=%v kernel=%v blocked=%v total=%v\n",
+				r.ID, r.Flow, r.Class, r.UserTime, r.KernelTime(), r.BlockedTime, r.Residence())
+		}
+		return sb.String()
+	})
+	d.fs.Register(base+"/stats", func() string {
+		st := lpa.Stats()
+		drops, switches := lpa.Buffers().Stats()
+		return fmt.Sprintf("events=%d interactions=%d flows=%d dropped_episodes=%d buf_drops=%d buf_switches=%d\n",
+			st.Events, st.Interactions, st.OpenFlows, st.DroppedEpisodes, drops, switches)
+	})
+	d.fs.Register(base+"/breakdown", func() string {
+		// Figure-1 style per-step latency view of the newest interaction.
+		recs := lpa.Window().Snapshot()
+		if len(recs) == 0 {
+			return "no interactions in window\n"
+		}
+		return core.RenderBreakdown(&recs[len(recs)-1])
+	})
+	d.fs.Register(base+"/aggregates", func() string {
+		var sb strings.Builder
+		for class, agg := range lpa.Aggregates() {
+			fmt.Fprintf(&sb, "%s count=%d mean_user=%v mean_kernel=%v mean_total=%v\n",
+				class, agg.Count, agg.MeanUser(), agg.MeanKernel(), agg.MeanResidence())
+		}
+		return sb.String()
+	})
+}
+
+// Start begins periodic window eviction and buffer flushing.
+func (d *Daemon) Start() {
+	if d.flushEv != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		d.FlushNow()
+		d.flushEv = d.eng.After(d.cfg.FlushInterval, tick)
+	}
+	d.flushEv = d.eng.After(d.cfg.FlushInterval, tick)
+}
+
+// FlushNow evicts aged window contents, drains partial buffers, and
+// publishes per-class aggregate deltas for LPAs running at class
+// granularity.
+func (d *Daemon) FlushNow() {
+	cutoff := d.eng.Now() - d.cfg.MaxWindowAge
+	for _, lpa := range d.lpas {
+		lpa.Window().EvictOlderThan(cutoff)
+		lpa.Buffers().FlushAll()
+		if lpa.Granularity() != core.PerClass {
+			continue
+		}
+		aggs := lpa.Aggregates()
+		if len(aggs) == 0 {
+			continue
+		}
+		lpa.ResetAggregates()
+		if d.broker == nil {
+			continue
+		}
+		for _, agg := range aggs {
+			w := AggToWire(d.cfg.Node, &agg)
+			if err := d.broker.Publish(ChannelAggregates, w); err != nil {
+				d.stats.PublishErrors++
+				continue
+			}
+			d.stats.RecordsPublished++
+		}
+	}
+}
+
+// Stop cancels the flush timer and performs a final full flush.
+func (d *Daemon) Stop() {
+	if d.flushEv != nil {
+		d.flushEv.Cancel()
+		d.flushEv = nil
+	}
+	for _, lpa := range d.lpas {
+		lpa.FlushOpen()
+		lpa.Window().EvictAll()
+		lpa.Buffers().FlushAll()
+	}
+}
+
+// Stats returns daemon counters.
+func (d *Daemon) Stats() Stats { return d.stats }

@@ -1,0 +1,293 @@
+package dissem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/kprof"
+	"sysprof/internal/pbio"
+	"sysprof/internal/procfs"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+func sampleRecord(id uint64) core.Record {
+	return core.Record{
+		ID: id, Node: 2,
+		Flow: simnet.FlowKey{
+			Src: simnet.Addr{Node: 1, Port: 1000},
+			Dst: simnet.Addr{Node: 2, Port: 80},
+		},
+		Class: "port:80", Start: time.Millisecond, End: 3 * time.Millisecond,
+		ReqPackets: 1, ReqBytes: 500, RespPackets: 2, RespBytes: 2900,
+		ProtoTime: 10 * time.Microsecond, TxTime: 20 * time.Microsecond,
+		BufferWait: 100 * time.Microsecond, SyscallTime: 5 * time.Microsecond,
+		UserTime: 200 * time.Microsecond, BlockedTime: 50 * time.Microsecond,
+		ServerPID: 7, ServerProc: "httpd", CtxSwitches: 3, DiskOps: 1,
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	r := sampleRecord(42)
+	got := FromWire(&WireRecord{})
+	_ = got
+	w := ToWire(&r)
+	back := FromWire(&w)
+	if back != r {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, r)
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	prop := func(id uint64, sp, dp uint16, user, kernel int32, class string) bool {
+		r := core.Record{
+			ID: id,
+			Flow: simnet.FlowKey{
+				Src: simnet.Addr{Node: 1, Port: sp},
+				Dst: simnet.Addr{Node: 2, Port: dp},
+			},
+			Class:    class,
+			UserTime: time.Duration(user), BufferWait: time.Duration(kernel),
+		}
+		w := ToWire(&r)
+		return FromWire(&w) == r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireEncodesWithPBIO(t *testing.T) {
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r := sampleRecord(1)
+	w := ToWire(&r)
+	if err := pbio.NewEncoder(&sb, reg).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	dec := pbio.NewDecoder(strings.NewReader(sb.String()), reg)
+	rec, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.Value.(*WireRecord)
+	if !ok {
+		t.Fatalf("decoded %T", rec.Value)
+	}
+	if FromWire(got) != r {
+		t.Fatalf("pbio round trip mismatch: %+v", got)
+	}
+}
+
+func TestDaemonPublishesDrainedBatches(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+
+	var got []WireRecord
+	broker.Subscribe(ChannelInteractions, func(rec any) {
+		if w, ok := rec.(WireRecord); ok {
+			got = append(got, w)
+		}
+	})
+
+	d := New(eng, broker, nil, Config{CopyDelay: time.Millisecond})
+	buf := core.NewBufferSet(1, 2, d.OnFull)
+	buf.Push(0, sampleRecord(1))
+	buf.Push(0, sampleRecord(2))
+	if len(got) != 0 {
+		t.Fatal("records published before copy delay elapsed")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("published %d, want 2", len(got))
+	}
+	st := d.Stats()
+	if st.BatchesDrained != 1 || st.RecordsPublished != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDaemonReleaseAllowsReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, nil, nil, Config{CopyDelay: time.Millisecond})
+	buf := core.NewBufferSet(1, 1, d.OnFull)
+	for i := uint64(1); i <= 3; i++ {
+		buf.Push(0, sampleRecord(i))
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drops, switches := buf.Stats()
+	if drops != 0 || switches != 3 {
+		t.Fatalf("drops=%d switches=%d", drops, switches)
+	}
+	if d.Stats().RecordsPublished != 3 {
+		t.Fatalf("published = %d", d.Stats().RecordsPublished)
+	}
+}
+
+func TestDaemonSlowCopyDropsRecords(t *testing.T) {
+	// With a copy delay longer than it takes to fill both buffers, records
+	// must drop — the paper's "if the data is not picked up in a timely
+	// fashion, it may be overwritten".
+	eng := sim.NewEngine()
+	d := New(eng, nil, nil, Config{CopyDelay: time.Second})
+	buf := core.NewBufferSet(1, 1, d.OnFull)
+	for i := uint64(1); i <= 4; i++ {
+		buf.Push(0, sampleRecord(i))
+	}
+	drops, _ := buf.Stats()
+	if drops == 0 {
+		t.Fatal("no drops despite slow daemon")
+	}
+}
+
+func TestDaemonPeriodicFlushAndProcfs(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	node, err := simos.NewNode(eng, network, "srv", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := procfs.New()
+	d := New(eng, nil, fs, Config{
+		NodeName:      "srv",
+		FlushInterval: 100 * time.Millisecond,
+		MaxWindowAge:  200 * time.Millisecond,
+	})
+	lpa := core.NewLPA(node.Hub(), core.Config{OnFull: d.OnFull})
+	d.Serve(lpa)
+	d.Start()
+
+	// Drive one synthetic event through the hub so the LPA has state.
+	flow := simnet.FlowKey{Src: simnet.Addr{Node: 9, Port: 5}, Dst: simnet.Addr{Node: node.ID(), Port: 80}}
+	node.Hub().Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+	eng.RunFor(50 * time.Millisecond)
+
+	if out, err := fs.Read("/sysprof/srv/lpa/0/stats"); err != nil || !strings.Contains(out, "events=") {
+		t.Fatalf("stats entry: %q %v", out, err)
+	}
+	if _, err := fs.Read("/sysprof/srv/lpa/0/window"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/sysprof/srv/lpa/0/aggregates"); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	// Stop is idempotent on the timer and flushes the window.
+	d.Stop()
+}
+
+func TestAggWireRoundTrip(t *testing.T) {
+	agg := core.Aggregate{
+		Class: "port:80", Count: 5,
+		TotalResidence: 10 * time.Millisecond, TotalUser: 2 * time.Millisecond,
+		TotalKernel: time.Millisecond, TotalBlocked: 3 * time.Millisecond,
+		TotalBufWait: 500 * time.Microsecond,
+		ReqBytes:     1000, RespBytes: 9000, MaxResidence: 4 * time.Millisecond,
+	}
+	w := AggToWire(7, &agg)
+	node, back := AggFromWire(&w)
+	if node != 7 || back != agg {
+		t.Fatalf("round trip: node=%d %+v", node, back)
+	}
+}
+
+func TestDaemonPublishesClassAggregates(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	node, err := simos.NewNode(eng, network, "srv", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+
+	var got []WireAggregate
+	broker.Subscribe(ChannelAggregates, func(rec any) {
+		if w, ok := rec.(WireAggregate); ok {
+			got = append(got, w)
+		}
+	})
+
+	d := New(eng, broker, nil, Config{Node: node.ID(), FlushInterval: 50 * time.Millisecond})
+	lpa := core.NewLPA(node.Hub(), core.Config{Granularity: core.PerClass, OnFull: d.OnFull})
+	d.Serve(lpa)
+
+	// Drive one full interaction through the hub so an aggregate exists.
+	flow := simnet.FlowKey{Src: simnet.Addr{Node: 9, Port: 5}, Dst: simnet.Addr{Node: node.ID(), Port: 80}}
+	hub := node.Hub()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetTx, Flow: flow.Reverse(), Bytes: 50, Last: true})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100}) // closes first
+
+	d.FlushNow()
+	if len(got) != 1 {
+		t.Fatalf("published %d aggregates, want 1", len(got))
+	}
+	if got[0].Class != "port:80" || got[0].Count != 1 || got[0].Node != uint16(node.ID()) {
+		t.Fatalf("aggregate = %+v", got[0])
+	}
+	// Delta semantics: the LPA's aggregates were reset on publish.
+	if len(lpa.Aggregates()) != 0 {
+		t.Fatal("aggregates not reset after publish")
+	}
+	// A flush with nothing new publishes nothing.
+	d.FlushNow()
+	if len(got) != 1 {
+		t.Fatalf("empty flush published: %d", len(got))
+	}
+}
+
+func TestProcfsBreakdownEntry(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	node, err := simos.NewNode(eng, network, "srv", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := procfs.New()
+	d := New(eng, nil, fs, Config{NodeName: "srv"})
+	lpa := core.NewLPA(node.Hub(), core.Config{OnFull: d.OnFull})
+	d.Serve(lpa)
+
+	out, err := fs.Read("/sysprof/srv/lpa/0/breakdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no interactions") {
+		t.Fatalf("empty breakdown = %q", out)
+	}
+	// Complete one interaction, then the entry renders Figure-1 steps.
+	flow := simnet.FlowKey{Src: simnet.Addr{Node: 9, Port: 5}, Dst: simnet.Addr{Node: node.ID(), Port: 80}}
+	hub := node.Hub()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetTx, Flow: flow.Reverse(), Bytes: 50, Last: true})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+	out, err = fs.Read("/sysprof/srv/lpa/0/breakdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "L2 kernel buffer wait") {
+		t.Fatalf("breakdown = %q", out)
+	}
+}

@@ -1,0 +1,106 @@
+package dissem
+
+import (
+	"fmt"
+
+	"sysprof/internal/ecode"
+	"sysprof/internal/pubsub"
+)
+
+// The paper's dissemination daemon applies "dynamic data filters" before
+// shipping monitoring data. CompileFilter turns an E-Code predicate into a
+// pubsub subscription filter over interaction records, so consumers
+// receive only the records they asked for — installable and replaceable
+// at runtime, like CPAs.
+//
+// The program sees the record as "rec" and must return a bool. Example:
+//
+//	return rec.class == "port:80" && rec.buffer_wait_ns > 1000000;
+
+// recRecord adapts a WireRecord to the ecode.Record interface.
+type recRecord struct {
+	w *WireRecord
+}
+
+var _ ecode.Record = recRecord{}
+
+// Field implements ecode.Record. Durations are exposed in nanoseconds
+// with a _ns suffix so E-Code's integer arithmetic applies directly.
+func (r recRecord) Field(name string) (ecode.Value, bool) {
+	w := r.w
+	switch name {
+	case "id":
+		return int64(w.ID), true
+	case "node":
+		return int64(w.Node), true
+	case "class":
+		return w.Class, true
+	case "src_node":
+		return int64(w.SrcNode), true
+	case "src_port":
+		return int64(w.SrcPort), true
+	case "dst_node":
+		return int64(w.DstNode), true
+	case "dst_port":
+		return int64(w.DstPort), true
+	case "start_ns":
+		return int64(w.Start), true
+	case "end_ns":
+		return int64(w.End), true
+	case "residence_ns":
+		return int64(w.End - w.Start), true
+	case "req_packets":
+		return w.ReqPackets, true
+	case "req_bytes":
+		return w.ReqBytes, true
+	case "resp_packets":
+		return w.RespPackets, true
+	case "resp_bytes":
+		return w.RespBytes, true
+	case "proto_ns":
+		return int64(w.ProtoTime), true
+	case "tx_ns":
+		return int64(w.TxTime), true
+	case "buffer_wait_ns":
+		return int64(w.BufferWait), true
+	case "syscall_ns":
+		return int64(w.SyscallTime), true
+	case "user_ns":
+		return int64(w.UserTime), true
+	case "blocked_ns":
+		return int64(w.BlockedTime), true
+	case "server_pid":
+		return int64(w.ServerPID), true
+	case "server_proc":
+		return w.ServerProc, true
+	case "ctx_switches":
+		return int64(w.CtxSwitches), true
+	case "disk_ops":
+		return int64(w.DiskOps), true
+	}
+	return nil, false
+}
+
+// CompileFilter compiles an E-Code predicate over interaction records
+// into a pubsub.Filter. Non-record values and program errors fail closed
+// (the record is not delivered), so a broken filter cannot flood a
+// subscriber.
+func CompileFilter(src string) (pubsub.Filter, error) {
+	prog, err := ecode.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("dissem: filter: %w", err)
+	}
+	inst := prog.NewInstance(ecode.WithStepLimit(10_000))
+	return func(rec any) bool {
+		w, ok := rec.(WireRecord)
+		if !ok {
+			return false
+		}
+		out, err := inst.Run(map[string]ecode.Value{"rec": recRecord{w: &w}})
+		if err != nil {
+			return false
+		}
+		b, ok := out.(bool)
+		return ok && b
+	}, nil
+}

@@ -1,0 +1,107 @@
+package dissem
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/pbio"
+	"sysprof/internal/pubsub"
+)
+
+func TestCompileFilterSelects(t *testing.T) {
+	f, err := CompileFilter(`return rec.class == "port:80" && rec.buffer_wait_ns > 50000;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := sampleRecord(1) // class port:80, BufferWait 100µs
+	cold := sampleRecord(2)
+	cold.BufferWait = time.Microsecond
+	other := sampleRecord(3)
+	other.Class = "port:443"
+
+	if !f(ToWire(&hot)) {
+		t.Fatal("matching record rejected")
+	}
+	if f(ToWire(&cold)) {
+		t.Fatal("low-wait record accepted")
+	}
+	if f(ToWire(&other)) {
+		t.Fatal("other-class record accepted")
+	}
+}
+
+func TestCompileFilterFailsClosed(t *testing.T) {
+	// Non-bool result and unknown field both suppress delivery.
+	f, err := CompileFilter(`return 42;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampleRecord(1)
+	if f(ToWire(&r)) {
+		t.Fatal("non-bool filter result delivered")
+	}
+	f2, err := CompileFilter(`return rec.nonexistent > 0;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2(ToWire(&r)) {
+		t.Fatal("erroring filter delivered")
+	}
+	if f2("not a record") {
+		t.Fatal("non-record value delivered")
+	}
+	if _, err := CompileFilter("syntax error"); err == nil {
+		t.Fatal("bad source compiled")
+	}
+}
+
+func TestFilterFieldSchemaComplete(t *testing.T) {
+	// Every documented field must resolve.
+	fields := []string{
+		"id", "node", "class", "src_node", "src_port", "dst_node", "dst_port",
+		"start_ns", "end_ns", "residence_ns", "req_packets", "req_bytes",
+		"resp_packets", "resp_bytes", "proto_ns", "tx_ns", "buffer_wait_ns",
+		"syscall_ns", "user_ns", "blocked_ns", "server_pid", "server_proc",
+		"ctx_switches", "disk_ops",
+	}
+	r := sampleRecord(1)
+	w := ToWire(&r)
+	rec := recRecord{w: &w}
+	for _, name := range fields {
+		if _, ok := rec.Field(name); !ok {
+			t.Fatalf("field %q missing", name)
+		}
+	}
+	if _, ok := rec.Field("bogus"); ok {
+		t.Fatal("unknown field resolved")
+	}
+}
+
+func TestFilteredSubscriptionEndToEnd(t *testing.T) {
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+
+	filter, err := CompileFilter(`return rec.user_ns > 100000;`) // > 100µs
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	broker.Subscribe(ChannelInteractions, func(rec any) {
+		if w, ok := rec.(WireRecord); ok {
+			got = append(got, w.ID)
+		}
+	}, pubsub.WithFilter(filter))
+
+	slow := sampleRecord(1) // UserTime 200µs
+	fast := sampleRecord(2)
+	fast.UserTime = 10 * time.Microsecond
+	_ = broker.Publish(ChannelInteractions, ToWire(&slow))
+	_ = broker.Publish(ChannelInteractions, ToWire(&fast))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("delivered = %v, want [1]", got)
+	}
+}

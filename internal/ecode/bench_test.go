@@ -1,0 +1,38 @@
+package ecode
+
+import "testing"
+
+// BenchmarkCPAPerEvent measures a realistic CPA program's per-event
+// execution cost (it runs on the kernel fast path).
+func BenchmarkCPAPerEvent(b *testing.B) {
+	prog := MustCompile(`
+		static int n = 0;
+		static float sum = 0.0;
+		if (ev.type == "net_rx" && ev.bytes > 512) {
+			n++;
+			sum += ev.bytes;
+		}
+		return n;
+	`)
+	inst := prog.NewInstance()
+	bindings := map[string]Value{
+		"ev": MapRecord{"type": "net_rx", "bytes": int64(1500)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Run(bindings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures runtime program installation cost.
+func BenchmarkCompile(b *testing.B) {
+	src := `static int n = 0; if (ev.bytes > 100) { n++; } return n;`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package ecode_test
+
+import (
+	"fmt"
+
+	"sysprof/internal/ecode"
+)
+
+// Compile and run a small analyzer with persistent state.
+func ExampleCompile() {
+	prog, err := ecode.Compile(`
+		static int big = 0;
+		if (ev.bytes > 1000) { big++; }
+		return big;
+	`)
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	inst := prog.NewInstance()
+	for _, bytes := range []int64{500, 1500, 2000, 100} {
+		out, err := inst.Run(map[string]ecode.Value{
+			"ev": ecode.MapRecord{"bytes": bytes},
+		})
+		if err != nil {
+			fmt.Println("run:", err)
+			return
+		}
+		fmt.Println(out)
+	}
+	// Output:
+	// 0
+	// 1
+	// 2
+	// 2
+}
+
+// Host programs can expose custom builtins, like SysProf's emit().
+func ExampleWithBuiltins() {
+	prog := ecode.MustCompile(`emit("alerts", 42); return 0;`)
+	inst := prog.NewInstance(ecode.WithBuiltins(map[string]ecode.Builtin{
+		"emit": func(args []ecode.Value) (ecode.Value, error) {
+			fmt.Printf("emit(%v, %v)\n", args[0], args[1])
+			return int64(0), nil
+		},
+	}))
+	_, _ = inst.Run(nil)
+	// Output:
+	// emit(alerts, 42)
+}

@@ -1,0 +1,667 @@
+package ecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is an E-Code runtime value: int64, float64, bool, string, or a
+// Record (for host-bound structured data like kernel events).
+type Value = any
+
+// Record exposes named fields to E-Code programs (e.g. the kernel event
+// bound as "ev").
+type Record interface {
+	Field(name string) (Value, bool)
+}
+
+// MapRecord adapts a map to the Record interface.
+type MapRecord map[string]Value
+
+// Field implements Record.
+func (m MapRecord) Field(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Builtin is a host-provided function callable from programs.
+type Builtin func(args []Value) (Value, error)
+
+// RuntimeError reports an execution problem with source position.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("ecode: line %d: %s", e.Line, e.Msg)
+}
+
+func rtErr(line int, format string, args ...any) error {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Program is a compiled E-Code unit.
+type Program struct {
+	body []stmt
+}
+
+// Instance is a program plus its persistent state: static variables
+// survive across Run calls, which is how CPAs accumulate statistics over
+// event streams.
+type Instance struct {
+	prog     *Program
+	statics  map[string]Value
+	builtins map[string]Builtin
+	// stepLimit bounds loop iterations per Run so a buggy analyzer
+	// cannot wedge the kernel fast path.
+	stepLimit int
+	steps     int
+}
+
+// InstanceOption configures an Instance.
+type InstanceOption func(*Instance)
+
+// WithBuiltins adds host functions.
+func WithBuiltins(b map[string]Builtin) InstanceOption {
+	return func(i *Instance) {
+		for k, v := range b {
+			i.builtins[k] = v
+		}
+	}
+}
+
+// WithStepLimit overrides the per-run execution step budget (default 1e6).
+func WithStepLimit(n int) InstanceOption {
+	return func(i *Instance) {
+		if n > 0 {
+			i.stepLimit = n
+		}
+	}
+}
+
+// NewInstance creates an executable instance with fresh static state.
+func (p *Program) NewInstance(opts ...InstanceOption) *Instance {
+	inst := &Instance{
+		prog:      p,
+		statics:   make(map[string]Value),
+		builtins:  defaultBuiltins(),
+		stepLimit: 1_000_000,
+	}
+	for _, opt := range opts {
+		opt(inst)
+	}
+	return inst
+}
+
+func defaultBuiltins() map[string]Builtin {
+	return map[string]Builtin{
+		"len": func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("len wants 1 arg")
+			}
+			s, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("len wants a string")
+			}
+			return int64(len(s)), nil
+		},
+		"abs": func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("abs wants 1 arg")
+			}
+			switch v := args[0].(type) {
+			case int64:
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			case float64:
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			}
+			return nil, fmt.Errorf("abs wants a number")
+		},
+		"min": minMax(true),
+		"max": minMax(false),
+		"contains": func(args []Value) (Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("contains wants 2 args")
+			}
+			s, ok1 := args[0].(string)
+			sub, ok2 := args[1].(string)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("contains wants strings")
+			}
+			return strings.Contains(s, sub), nil
+		},
+	}
+}
+
+func minMax(isMin bool) Builtin {
+	return func(args []Value) (Value, error) {
+		if len(args) < 1 {
+			return nil, fmt.Errorf("min/max want at least 1 arg")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			less, err := lessThan(a, best)
+			if err != nil {
+				return nil, err
+			}
+			if less == isMin {
+				best = a
+			}
+		}
+		return best, nil
+	}
+}
+
+func lessThan(a, b Value) (bool, error) {
+	af, aIsF := toFloat(a)
+	bf, bIsF := toFloat(b)
+	if aIsF && bIsF {
+		return af < bf, nil
+	}
+	return false, fmt.Errorf("cannot compare %T and %T", a, b)
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// control-flow signals inside the interpreter.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+type scope struct {
+	vars   map[string]Value
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (Value, *scope, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, cur, true
+		}
+	}
+	return nil, nil, false
+}
+
+type execState struct {
+	inst   *Instance
+	locals *scope
+	ret    Value
+}
+
+// Run executes the program with the given host bindings (e.g. "ev" bound
+// to a Record). It returns the value of the first executed return
+// statement, or nil if execution falls off the end.
+func (i *Instance) Run(bindings map[string]Value) (Value, error) {
+	i.steps = 0
+	root := &scope{vars: make(map[string]Value, len(bindings))}
+	for k, v := range bindings {
+		root.vars[k] = v
+	}
+	st := &execState{inst: i, locals: &scope{vars: make(map[string]Value), parent: root}}
+	_, err := st.execBlock(i.prog.body)
+	if err != nil {
+		return nil, err
+	}
+	return st.ret, nil
+}
+
+// Static returns a persistent variable's current value (observability for
+// hosts and tests).
+func (i *Instance) Static(name string) (Value, bool) {
+	v, ok := i.statics[name]
+	return v, ok
+}
+
+func (st *execState) step(line int) error {
+	st.inst.steps++
+	if st.inst.steps > st.inst.stepLimit {
+		return rtErr(line, "step limit exceeded (%d)", st.inst.stepLimit)
+	}
+	return nil
+}
+
+func (st *execState) execBlock(stmts []stmt) (ctrl, error) {
+	for _, s := range stmts {
+		c, err := st.exec(s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (st *execState) exec(s stmt) (ctrl, error) {
+	switch n := s.(type) {
+	case *declStmt:
+		if err := st.step(n.line); err != nil {
+			return ctrlNone, err
+		}
+		var v Value
+		if n.init != nil {
+			var err error
+			v, err = st.eval(n.init)
+			if err != nil {
+				return ctrlNone, err
+			}
+			v, err = coerce(v, n.typ, n.line)
+			if err != nil {
+				return ctrlNone, err
+			}
+		} else {
+			v = zeroOf(n.typ)
+		}
+		if n.static {
+			if _, ok := st.inst.statics[n.name]; !ok {
+				st.inst.statics[n.name] = v
+			}
+			return ctrlNone, nil
+		}
+		st.locals.vars[n.name] = v
+		return ctrlNone, nil
+
+	case *assignStmt:
+		if err := st.step(n.line); err != nil {
+			return ctrlNone, err
+		}
+		v, err := st.eval(n.val)
+		if err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, st.assign(n, v)
+
+	case *ifStmt:
+		if err := st.step(n.line); err != nil {
+			return ctrlNone, err
+		}
+		cond, err := st.evalBool(n.cond, n.line)
+		if err != nil {
+			return ctrlNone, err
+		}
+		st.locals = &scope{vars: make(map[string]Value), parent: st.locals}
+		defer func() { st.locals = st.locals.parent }()
+		if cond {
+			return st.execBlock(n.then)
+		}
+		return st.execBlock(n.els)
+
+	case *forStmt:
+		st.locals = &scope{vars: make(map[string]Value), parent: st.locals}
+		defer func() { st.locals = st.locals.parent }()
+		if n.init != nil {
+			if _, err := st.exec(n.init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if err := st.step(n.line); err != nil {
+				return ctrlNone, err
+			}
+			if n.cond != nil {
+				ok, err := st.evalBool(n.cond, n.line)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !ok {
+					break
+				}
+			}
+			c, err := st.execBlock(n.body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if n.post != nil {
+				if _, err := st.exec(n.post); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+		return ctrlNone, nil
+
+	case *returnStmt:
+		if err := st.step(n.line); err != nil {
+			return ctrlNone, err
+		}
+		if n.val != nil {
+			v, err := st.eval(n.val)
+			if err != nil {
+				return ctrlNone, err
+			}
+			st.ret = v
+		}
+		return ctrlReturn, nil
+
+	case *exprStmt:
+		if err := st.step(n.line); err != nil {
+			return ctrlNone, err
+		}
+		_, err := st.eval(n.e)
+		return ctrlNone, err
+
+	case *breakStmt:
+		return ctrlBreak, nil
+	case *continueStmt:
+		return ctrlContinue, nil
+	}
+	return ctrlNone, fmt.Errorf("ecode: unknown statement %T", s)
+}
+
+func (st *execState) assign(n *assignStmt, v Value) error {
+	// Resolve target: local scope chain first, then statics.
+	if _, sc, ok := st.locals.lookup(n.name); ok {
+		nv, err := applyOp(sc.vars[n.name], n.op, v, n.line)
+		if err != nil {
+			return err
+		}
+		sc.vars[n.name] = nv
+		return nil
+	}
+	if old, ok := st.inst.statics[n.name]; ok {
+		nv, err := applyOp(old, n.op, v, n.line)
+		if err != nil {
+			return err
+		}
+		st.inst.statics[n.name] = nv
+		return nil
+	}
+	return rtErr(n.line, "assignment to undeclared variable %q", n.name)
+}
+
+func applyOp(old Value, op string, v Value, line int) (Value, error) {
+	if op == "=" {
+		return v, nil
+	}
+	binOp := strings.TrimSuffix(op, "=")
+	return evalBinary(binOp, old, v, line)
+}
+
+func zeroOf(typ string) Value {
+	switch typ {
+	case "int":
+		return int64(0)
+	case "float":
+		return float64(0)
+	case "bool":
+		return false
+	case "string":
+		return ""
+	}
+	return nil
+}
+
+func coerce(v Value, typ string, line int) (Value, error) {
+	switch typ {
+	case "int":
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		}
+	case "float":
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+	case "bool":
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	case "string":
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	}
+	return nil, rtErr(line, "cannot initialize %s with %T", typ, v)
+}
+
+func (st *execState) evalBool(e expr, line int) (bool, error) {
+	v, err := st.eval(e)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, rtErr(line, "condition is %T, not bool", v)
+	}
+	return b, nil
+}
+
+func (st *execState) eval(e expr) (Value, error) {
+	switch n := e.(type) {
+	case *intLit:
+		return n.v, nil
+	case *floatLit:
+		return n.v, nil
+	case *boolLit:
+		return n.v, nil
+	case *stringLit:
+		return n.v, nil
+
+	case *identExpr:
+		if v, _, ok := st.locals.lookup(n.name); ok {
+			return v, nil
+		}
+		if v, ok := st.inst.statics[n.name]; ok {
+			return v, nil
+		}
+		return nil, rtErr(n.line, "undefined variable %q", n.name)
+
+	case *fieldExpr:
+		recv, err := st.eval(n.recv)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := recv.(Record)
+		if !ok {
+			return nil, rtErr(n.line, "field access on non-record %T", recv)
+		}
+		v, ok := rec.Field(n.field)
+		if !ok {
+			return nil, rtErr(n.line, "record has no field %q", n.field)
+		}
+		return v, nil
+
+	case *callExpr:
+		fn, ok := st.inst.builtins[n.name]
+		if !ok {
+			return nil, rtErr(n.line, "unknown function %q", n.name)
+		}
+		args := make([]Value, len(n.args))
+		for i, a := range n.args {
+			v, err := st.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		v, err := fn(args)
+		if err != nil {
+			return nil, rtErr(n.line, "%s: %v", n.name, err)
+		}
+		return v, nil
+
+	case *unaryExpr:
+		v, err := st.eval(n.x)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case "-":
+			switch x := v.(type) {
+			case int64:
+				return -x, nil
+			case float64:
+				return -x, nil
+			}
+			return nil, rtErr(n.line, "unary - on %T", v)
+		case "!":
+			if b, ok := v.(bool); ok {
+				return !b, nil
+			}
+			return nil, rtErr(n.line, "unary ! on %T", v)
+		}
+		return nil, rtErr(n.line, "unknown unary op %q", n.op)
+
+	case *binaryExpr:
+		// Short-circuit logical operators.
+		if n.op == "&&" || n.op == "||" {
+			lb, err := st.evalBool(n.l, n.line)
+			if err != nil {
+				return nil, err
+			}
+			if n.op == "&&" && !lb {
+				return false, nil
+			}
+			if n.op == "||" && lb {
+				return true, nil
+			}
+			return st.evalBool(n.r, n.line)
+		}
+		l, err := st.eval(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := st.eval(n.r)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(n.op, l, r, n.line)
+	}
+	return nil, fmt.Errorf("ecode: unknown expression %T", e)
+}
+
+func evalBinary(op string, l, r Value, line int) (Value, error) {
+	// String operations.
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return nil, rtErr(line, "mixed string/%T operands", r)
+		}
+		switch op {
+		case "+":
+			return ls + rs, nil
+		case "==":
+			return ls == rs, nil
+		case "!=":
+			return ls != rs, nil
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		}
+		return nil, rtErr(line, "op %q not defined on strings", op)
+	}
+	// Bool equality.
+	if lb, ok := l.(bool); ok {
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, rtErr(line, "mixed bool/%T operands", r)
+		}
+		switch op {
+		case "==":
+			return lb == rb, nil
+		case "!=":
+			return lb != rb, nil
+		}
+		return nil, rtErr(line, "op %q not defined on bools", op)
+	}
+	// Numeric: promote int to float when mixed.
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, rtErr(line, "integer division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, rtErr(line, "integer modulo by zero")
+			}
+			return li % ri, nil
+		case "==":
+			return li == ri, nil
+		case "!=":
+			return li != ri, nil
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+		return nil, rtErr(line, "unknown op %q", op)
+	}
+	lf, lOK := toFloat(l)
+	rf, rOK := toFloat(r)
+	if !lOK || !rOK {
+		return nil, rtErr(line, "op %q on %T and %T", op, l, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, rtErr(line, "division by zero")
+		}
+		return lf / rf, nil
+	case "==":
+		return lf == rf, nil
+	case "!=":
+		return lf != rf, nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return nil, rtErr(line, "op %q not defined on floats", op)
+}

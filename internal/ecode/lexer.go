@@ -1,0 +1,181 @@
+// Package ecode implements a subset of the E-Code language (a C subset)
+// used to express SysProf Custom Performance Analyzers. The paper
+// downloads CPAs into the kernel and compiles them with dynamic code
+// generation; here programs are compiled to an AST and interpreted, which
+// preserves the property that matters — analyzers installable at runtime
+// without rebuilding anything.
+//
+// Supported language: int/float/bool/string variables ("static" ones
+// persist across invocations), arithmetic and logical expressions, if/else,
+// for loops, return, builtin and host-provided functions, and field access
+// on host-bound records (e.g. ev.bytes).
+package ecode
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "bool": true, "string": true,
+	"static": true, "if": true, "else": true, "for": true,
+	"return": true, "true": true, "false": true, "break": true, "while": true,
+	"continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// SyntaxError reports a compile-time problem with position info.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("ecode: line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+var punct2 = []string{"&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "++", "--"}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, &SyntaxError{Line: l.line, Msg: "unterminated block comment"}
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scan() (token, error) {
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, pos: start, line: line}, nil
+	}
+
+	if c >= '0' && c <= '9' {
+		isFloat := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+			} else if ch == '.' && !isFloat && l.pos+1 < len(l.src) &&
+				l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				isFloat = true
+				l.pos++
+			} else {
+				break
+			}
+		}
+		kind := tokInt
+		if isFloat {
+			kind = tokFloat
+		}
+		return token{kind: kind, text: l.src[start:l.pos], pos: start, line: line}, nil
+	}
+
+	if c == '"' {
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return token{}, &SyntaxError{Line: line, Msg: "bad escape in string"}
+				}
+				l.pos++
+				continue
+			}
+			if ch == '\n' {
+				return token{}, &SyntaxError{Line: line, Msg: "unterminated string"}
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, &SyntaxError{Line: line, Msg: "unterminated string"}
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: sb.String(), pos: start, line: line}, nil
+	}
+
+	for _, p2 := range punct2 {
+		if strings.HasPrefix(l.src[l.pos:], p2) {
+			l.pos += 2
+			return token{kind: tokPunct, text: p2, pos: start, line: line}, nil
+		}
+	}
+	if strings.ContainsRune("+-*/%<>=!(){};,.", rune(c)) {
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start, line: line}, nil
+	}
+	return token{}, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

@@ -1,0 +1,437 @@
+package ecode
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Compile parses src into a Program.
+func Compile(src string) (*Program, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	var stmts []stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{body: stmts}, nil
+}
+
+// MustCompile is Compile, panicking on error (static-program use).
+func MustCompile(src string) *Program {
+	prog, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) line() int  { return p.cur().line }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected %q, found %q", want, t.text)}
+	}
+	p.advance()
+	return t, nil
+}
+
+func isTypeName(s string) bool {
+	return s == "int" || s == "float" || s == "bool" || s == "string"
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "static" || isTypeName(t.text)):
+		return p.declStmt(true)
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.whileStmt()
+	case t.kind == tokKeyword && t.text == "return":
+		p.advance()
+		rs := &returnStmt{line: t.line}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rs.val = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case t.kind == tokKeyword && t.text == "break":
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{line: t.line}, nil
+	case t.kind == tokKeyword && t.text == "continue":
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{line: t.line}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// declStmt parses "static? type name (= expr)? ;".
+func (p *parser) declStmt(wantSemi bool) (stmt, error) {
+	line := p.line()
+	static := p.accept(tokKeyword, "static")
+	t := p.cur()
+	if t.kind != tokKeyword || !isTypeName(t.text) {
+		return nil, &SyntaxError{Line: t.line, Msg: "expected type name"}
+	}
+	p.advance()
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &declStmt{typ: t.text, static: static, name: name.text, line: line}
+	if p.accept(tokPunct, "=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.init = e
+	}
+	if wantSemi {
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// simpleStmt parses an assignment, ++/--, or expression (no semicolon).
+func (p *parser) simpleStmt() (stmt, error) {
+	if p.at(tokKeyword, "static") || (p.cur().kind == tokKeyword && isTypeName(p.cur().text)) {
+		return p.declStmt(false)
+	}
+	if p.cur().kind == tokIdent && p.pos+1 < len(p.toks) {
+		next := p.toks[p.pos+1]
+		if next.kind == tokPunct {
+			switch next.text {
+			case "=", "+=", "-=", "*=", "/=":
+				name := p.cur()
+				p.advance()
+				p.advance()
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &assignStmt{name: name.text, op: next.text, val: val, line: name.line}, nil
+			case "++", "--":
+				name := p.cur()
+				p.advance()
+				p.advance()
+				op := "+="
+				if next.text == "--" {
+					op = "-="
+				}
+				return &assignStmt{name: name.text, op: op, val: &intLit{v: 1}, line: name.line}, nil
+			}
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &exprStmt{e: e, line: p.line()}, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, &SyntaxError{Line: p.line(), Msg: "unterminated block"}
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance()
+	return stmts, nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	line := p.line()
+	p.advance() // "if"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	is := &ifStmt{cond: cond, then: then, line: line}
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			is.els = []stmt{nested}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			is.els = els
+		}
+	}
+	return is, nil
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	line := p.line()
+	p.advance() // "for"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fs := &forStmt{line: line}
+	if !p.at(tokPunct, ";") {
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.init = s
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fs.cond = e
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.post = s
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fs.body = body
+	return fs, nil
+}
+
+// whileStmt parses "while (cond) { ... }" as sugar for a for loop.
+func (p *parser) whileStmt() (stmt, error) {
+	line := p.line()
+	p.advance() // "while"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &forStmt{cond: cond, body: body, line: line}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expr() (expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: t.text, l: lhs, r: rhs, line: t.line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, ".") {
+		p.advance()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		e = &fieldExpr{recv: e, field: name.text, line: name.line}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Line: t.line, Msg: "bad integer literal"}
+		}
+		return &intLit{v: v}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Line: t.line, Msg: "bad float literal"}
+		}
+		return &floatLit{v: v}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &stringLit{v: t.text}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.advance()
+		return &boolLit{v: true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.advance()
+		return &boolLit{v: false}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.at(tokPunct, "(") {
+			p.advance()
+			var args []expr
+			for !p.at(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.advance()
+			return &callExpr{name: t.text, args: args, line: t.line}, nil
+		}
+		return &identExpr{name: t.text, line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("unexpected token %q", t.text)}
+}

@@ -1,0 +1,31 @@
+package gpa_test
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/gpa"
+)
+
+// Size a service tier from measured per-interaction cost and a forecast
+// arrival rate.
+func ExamplePlanCapacity() {
+	plan, err := gpa.PlanCapacity("bidding", 300 /* req/s */, 5*time.Millisecond, 0.7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %.1f CPUs of demand -> %d servers at 70%% utilization\n",
+		plan.Class, plan.DemandCPUs, plan.Servers)
+	// Output:
+	// bidding: 1.5 CPUs of demand -> 3 servers at 70% utilization
+}
+
+// Forecast a ramping arrival rate with Holt double-exponential smoothing.
+func ExampleNewPredictor() {
+	p := gpa.NewPredictor(0.6, 0.4)
+	p.ObserveSeries([]int{10, 20, 30, 40, 50}) // +10/bucket ramp
+	fmt.Printf("next bucket: ~%.0f\n", p.Forecast(1))
+	// Output:
+	// next bucket: ~60
+}

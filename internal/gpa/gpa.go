@@ -1,0 +1,318 @@
+// Package gpa implements the SysProf Global Performance Analyzer. It
+// subscribes to the interaction records published by per-node
+// dissemination daemons, correlates the client-side and server-side views
+// of each interaction (by the flow's address four-tuple plus NTP-adjusted
+// timestamps), aggregates per-node and per-class statistics, answers
+// queries from other system components (e.g. resource-aware schedulers),
+// and periodically dumps its state for offline auditing.
+package gpa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/simnet"
+)
+
+// EndToEnd is a correlated interaction: the same request/response pair as
+// observed at the two endpoints.
+type EndToEnd struct {
+	Flow   simnet.FlowKey `json:"flow"`
+	Client core.Record    `json:"client"`
+	Server core.Record    `json:"server"`
+}
+
+// NetworkDelay estimates total network time: the client saw the
+// interaction for its whole round trip, the server only while it was
+// local, so the difference approximates two one-way trips (plus clock
+// error, which NTP sync bounds).
+func (e *EndToEnd) NetworkDelay() time.Duration {
+	d := e.Client.Residence() - e.Server.Residence()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// nodeWindow keeps a node's recent records for load queries.
+type nodeWindow struct {
+	recs []core.Record
+}
+
+// Config tunes the analyzer.
+type Config struct {
+	// CorrelationWindow bounds |clientStart - serverStart| for two records
+	// to be considered the same interaction. Must exceed the worst-case
+	// clock error plus one-way delay.
+	CorrelationWindow time.Duration
+	// LoadWindow is how much history ServerLoad considers.
+	LoadWindow time.Duration
+	// MaxPending bounds uncorrelated records kept per flow.
+	MaxPending int
+}
+
+// Stats counts analyzer activity.
+type Stats struct {
+	Ingested     uint64
+	Correlated   uint64
+	Uncorrelated uint64
+	Dumps        uint64
+}
+
+// GPA is the global analyzer. It is safe for concurrent use (records can
+// arrive from multiple subscriber goroutines).
+type GPA struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// pending records waiting for their counterpart, per canonical flow.
+	pending map[simnet.FlowKey][]core.Record
+	// correlated end-to-end interactions, in completion order.
+	correlated []EndToEnd
+	// per-node recent records (for load estimation).
+	byNode map[simnet.NodeID]*nodeWindow
+	// per node+class aggregates.
+	byClass map[simnet.NodeID]map[string]*core.Aggregate
+
+	// now supplies current time for load-window pruning (virtual time in
+	// simulations; wall-clock-derived in live deployments).
+	now func() time.Duration
+
+	stats Stats
+}
+
+// New returns an analyzer. now supplies the current time base used for
+// sliding-window load queries.
+func New(cfg Config, now func() time.Duration) *GPA {
+	if cfg.CorrelationWindow <= 0 {
+		cfg.CorrelationWindow = 500 * time.Millisecond
+	}
+	if cfg.LoadWindow <= 0 {
+		cfg.LoadWindow = time.Second
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	return &GPA{
+		cfg:     cfg,
+		pending: make(map[simnet.FlowKey][]core.Record),
+		byNode:  make(map[simnet.NodeID]*nodeWindow),
+		byClass: make(map[simnet.NodeID]map[string]*core.Aggregate),
+		now:     now,
+	}
+}
+
+// Ingest feeds one interaction record from a node's daemon.
+func (g *GPA) Ingest(rec core.Record) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Ingested++
+
+	// Per-node window and per-class aggregates.
+	nw := g.byNode[rec.Node]
+	if nw == nil {
+		nw = &nodeWindow{}
+		g.byNode[rec.Node] = nw
+	}
+	nw.recs = append(nw.recs, rec)
+	g.pruneLocked(nw)
+
+	classes := g.byClass[rec.Node]
+	if classes == nil {
+		classes = make(map[string]*core.Aggregate)
+		g.byClass[rec.Node] = classes
+	}
+	agg := classes[rec.Class]
+	if agg == nil {
+		agg = &core.Aggregate{Class: rec.Class}
+		classes[rec.Class] = agg
+	}
+	agg.Add(&rec)
+
+	// Correlation: the same interaction observed at the other endpoint
+	// shares the canonical flow and a nearby start timestamp.
+	key := rec.Flow.Canonical()
+	peers := g.pending[key]
+	for i, p := range peers {
+		if p.Node == rec.Node {
+			continue
+		}
+		if absDur(p.Start-rec.Start) > g.cfg.CorrelationWindow {
+			continue
+		}
+		// Matched: the record observed at the flow's destination node is
+		// the server side.
+		e2e := EndToEnd{Flow: rec.Flow}
+		if rec.Node == rec.Flow.Dst.Node {
+			e2e.Server, e2e.Client = rec, p
+		} else {
+			e2e.Server, e2e.Client = p, rec
+		}
+		g.correlated = append(g.correlated, e2e)
+		g.stats.Correlated++
+		g.pending[key] = append(peers[:i], peers[i+1:]...)
+		if len(g.pending[key]) == 0 {
+			delete(g.pending, key)
+		}
+		return
+	}
+	if len(peers) >= g.cfg.MaxPending {
+		peers = peers[1:]
+		g.stats.Uncorrelated++
+	}
+	g.pending[key] = append(peers, rec)
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func (g *GPA) pruneLocked(nw *nodeWindow) {
+	cutoff := g.now() - g.cfg.LoadWindow
+	i := 0
+	for i < len(nw.recs) && nw.recs[i].End < cutoff {
+		i++
+	}
+	if i > 0 {
+		nw.recs = append(nw.recs[:0], nw.recs[i:]...)
+	}
+}
+
+// IngestAggregate merges a per-class aggregate delta published by a node
+// running its LPA at class granularity (dissem.ChannelAggregates). It
+// contributes to accounting and class queries but not to per-interaction
+// correlation (the node deliberately did not ship individual records).
+func (g *GPA) IngestAggregate(node simnet.NodeID, agg core.Aggregate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Ingested++
+	classes := g.byClass[node]
+	if classes == nil {
+		classes = make(map[string]*core.Aggregate)
+		g.byClass[node] = classes
+	}
+	cur := classes[agg.Class]
+	if cur == nil {
+		cur = &core.Aggregate{Class: agg.Class}
+		classes[agg.Class] = cur
+	}
+	cur.Merge(&agg)
+}
+
+// Correlated returns the end-to-end interactions correlated so far.
+func (g *GPA) Correlated() []EndToEnd {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]EndToEnd, len(g.correlated))
+	copy(out, g.correlated)
+	return out
+}
+
+// PendingCount returns records still awaiting their counterpart.
+func (g *GPA) PendingCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, p := range g.pending {
+		n += len(p)
+	}
+	return n
+}
+
+// ClassAggregates returns a copy of the per-class aggregates at a node.
+func (g *GPA) ClassAggregates(node simnet.NodeID) map[string]core.Aggregate {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]core.Aggregate)
+	for class, agg := range g.byClass[node] {
+		out[class] = *agg
+	}
+	return out
+}
+
+// Load summarizes a server's recent behaviour for schedulers.
+type Load struct {
+	Node simnet.NodeID
+	// Interactions completed within the load window.
+	Interactions int
+	// MeanResidence, MeanKernel, MeanBufferWait over the window. High
+	// buffer wait is the paper's signal that a node is falling behind.
+	MeanResidence  time.Duration
+	MeanKernel     time.Duration
+	MeanBufferWait time.Duration
+}
+
+// ServerLoad reports a node's load over the sliding window. Nodes with no
+// recent records return a zero Load (treated as idle).
+func (g *GPA) ServerLoad(node simnet.NodeID) Load {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	l := Load{Node: node}
+	nw := g.byNode[node]
+	if nw == nil {
+		return l
+	}
+	g.pruneLocked(nw)
+	if len(nw.recs) == 0 {
+		return l
+	}
+	var res, ker, buf time.Duration
+	for i := range nw.recs {
+		r := &nw.recs[i]
+		res += r.Residence()
+		ker += r.KernelTime()
+		buf += r.BufferWait
+	}
+	n := time.Duration(len(nw.recs))
+	l.Interactions = len(nw.recs)
+	l.MeanResidence = res / n
+	l.MeanKernel = ker / n
+	l.MeanBufferWait = buf / n
+	return l
+}
+
+// Nodes lists nodes that have reported records, sorted.
+func (g *GPA) Nodes() []simnet.NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]simnet.NodeID, 0, len(g.byNode))
+	for id := range g.byNode {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StatsSnapshot returns analyzer counters.
+func (g *GPA) StatsSnapshot() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Dump writes the correlated interactions as JSON lines ("the GPA
+// periodically dumps its information onto local disk, which can be used
+// later for purposes of auditing, workload prediction, and system
+// modeling").
+func (g *GPA) Dump(w io.Writer) error {
+	g.mu.Lock()
+	recs := make([]EndToEnd, len(g.correlated))
+	copy(recs, g.correlated)
+	g.stats.Dumps++
+	g.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("gpa: dump: %w", err)
+		}
+	}
+	return nil
+}

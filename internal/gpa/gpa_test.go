@@ -1,0 +1,310 @@
+package gpa
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/dissem"
+	"sysprof/internal/pbio"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+var flow = simnet.FlowKey{
+	Src: simnet.Addr{Node: 1, Port: 1000},
+	Dst: simnet.Addr{Node: 2, Port: 80},
+}
+
+func clientRec(id uint64, start time.Duration) core.Record {
+	return core.Record{
+		ID: id, Node: 1, Flow: flow, Class: "port:80",
+		Start: start, End: start + 10*time.Millisecond,
+	}
+}
+
+func serverRec(id uint64, start time.Duration) core.Record {
+	return core.Record{
+		ID: id, Node: 2, Flow: flow, Class: "port:80",
+		Start: start + time.Millisecond, End: start + 8*time.Millisecond,
+		BufferWait: 2 * time.Millisecond,
+	}
+}
+
+func newGPA(cfg Config) (*GPA, *time.Duration) {
+	now := new(time.Duration)
+	return New(cfg, func() time.Duration { return *now }), now
+}
+
+func TestCorrelatesTwoSides(t *testing.T) {
+	g, _ := newGPA(Config{})
+	g.Ingest(clientRec(1, 0))
+	g.Ingest(serverRec(9, 0))
+	got := g.Correlated()
+	if len(got) != 1 {
+		t.Fatalf("correlated %d, want 1", len(got))
+	}
+	e := got[0]
+	if e.Server.Node != 2 || e.Client.Node != 1 {
+		t.Fatalf("sides wrong: %+v", e)
+	}
+	// Client residence 10ms, server 7ms => ~3ms network.
+	if e.NetworkDelay() != 3*time.Millisecond {
+		t.Fatalf("NetworkDelay = %v", e.NetworkDelay())
+	}
+	if g.PendingCount() != 0 {
+		t.Fatalf("pending = %d", g.PendingCount())
+	}
+}
+
+func TestCorrelationOrderIndependent(t *testing.T) {
+	g, _ := newGPA(Config{})
+	g.Ingest(serverRec(1, 0))
+	g.Ingest(clientRec(2, 0))
+	if len(g.Correlated()) != 1 {
+		t.Fatal("server-first ingestion did not correlate")
+	}
+}
+
+func TestCorrelationRespectsWindow(t *testing.T) {
+	g, _ := newGPA(Config{CorrelationWindow: time.Millisecond})
+	g.Ingest(clientRec(1, 0))
+	g.Ingest(serverRec(2, 10*time.Millisecond)) // too far apart
+	if len(g.Correlated()) != 0 {
+		t.Fatal("correlated records outside window")
+	}
+	if g.PendingCount() != 2 {
+		t.Fatalf("pending = %d", g.PendingCount())
+	}
+}
+
+func TestCorrelationMatchesNearestConcurrent(t *testing.T) {
+	// Two concurrent interactions on the same flow: each server record
+	// must pair with a distinct client record.
+	g, _ := newGPA(Config{CorrelationWindow: 5 * time.Millisecond})
+	g.Ingest(clientRec(1, 0))
+	g.Ingest(clientRec(2, 20*time.Millisecond))
+	g.Ingest(serverRec(3, 0))
+	g.Ingest(serverRec(4, 20*time.Millisecond))
+	got := g.Correlated()
+	if len(got) != 2 {
+		t.Fatalf("correlated %d, want 2", len(got))
+	}
+	for _, e := range got {
+		if absd(e.Client.Start-e.Server.Start) > 5*time.Millisecond {
+			t.Fatalf("mispaired: client %v server %v", e.Client.Start, e.Server.Start)
+		}
+	}
+}
+
+func absd(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestSameNodeRecordsNeverPair(t *testing.T) {
+	g, _ := newGPA(Config{})
+	g.Ingest(clientRec(1, 0))
+	g.Ingest(clientRec(2, 0))
+	if len(g.Correlated()) != 0 {
+		t.Fatal("two same-node records correlated")
+	}
+}
+
+func TestServerLoadSlidingWindow(t *testing.T) {
+	g, now := newGPA(Config{LoadWindow: 100 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		r := serverRec(uint64(i), time.Duration(i)*10*time.Millisecond)
+		g.Ingest(r)
+	}
+	*now = 60 * time.Millisecond
+	l := g.ServerLoad(2)
+	if l.Interactions == 0 {
+		t.Fatal("no load reported")
+	}
+	if l.MeanBufferWait != 2*time.Millisecond {
+		t.Fatalf("MeanBufferWait = %v", l.MeanBufferWait)
+	}
+	// Advance far beyond the window: everything ages out.
+	*now = 10 * time.Second
+	if l := g.ServerLoad(2); l.Interactions != 0 {
+		t.Fatalf("stale load: %+v", l)
+	}
+	if l := g.ServerLoad(99); l.Interactions != 0 {
+		t.Fatal("unknown node should be idle")
+	}
+}
+
+func TestClassAggregatesAndNodes(t *testing.T) {
+	g, _ := newGPA(Config{})
+	g.Ingest(clientRec(1, 0))
+	g.Ingest(serverRec(2, 0))
+	aggs := g.ClassAggregates(2)
+	if aggs["port:80"].Count != 1 {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestDumpJSONLines(t *testing.T) {
+	g, _ := newGPA(Config{})
+	g.Ingest(clientRec(1, 0))
+	g.Ingest(serverRec(2, 0))
+	var buf bytes.Buffer
+	if err := g.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("dump lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "\"client\"") || !strings.Contains(lines[0], "\"server\"") {
+		t.Fatalf("dump line = %s", lines[0])
+	}
+	if g.StatsSnapshot().Dumps != 1 {
+		t.Fatal("dump not counted")
+	}
+}
+
+func TestPendingBounded(t *testing.T) {
+	g, _ := newGPA(Config{MaxPending: 3, CorrelationWindow: time.Nanosecond})
+	for i := 0; i < 10; i++ {
+		g.Ingest(clientRec(uint64(i), time.Duration(i)*time.Second))
+	}
+	if g.PendingCount() > 3 {
+		t.Fatalf("pending = %d, want <= 3", g.PendingCount())
+	}
+	if g.StatsSnapshot().Uncorrelated == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+// Full pipeline: simulated kernel -> LPA -> daemon -> pub-sub -> GPA, with
+// monitoring on both the client and the server node.
+func TestEndToEndPipeline(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := pbio.NewRegistry()
+	if err := dissem.RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+
+	g := New(Config{}, eng.Now)
+	broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
+		if w, ok := rec.(dissem.WireRecord); ok {
+			g.Ingest(dissem.FromWire(&w))
+		}
+	})
+
+	var daemons []*dissem.Daemon
+	for _, n := range []*simos.Node{server, client} {
+		d := dissem.New(eng, broker, nil, dissem.Config{NodeName: n.Name(), FlushInterval: 50 * time.Millisecond, MaxWindowAge: 50 * time.Millisecond})
+		lpa := core.NewLPA(n.Hub(), core.Config{OnFull: d.OnFull, WindowSize: 4})
+		d.Serve(lpa)
+		d.Start()
+		daemons = append(daemons, d)
+	}
+
+	ssock := server.MustBind(80)
+	csock := client.MustBind(4000)
+	server.Spawn("httpd", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *simos.Message) {
+				p.Compute(time.Millisecond, func() {
+					p.Reply(ssock, m, 2000, nil, loop)
+				})
+			})
+		}
+		loop()
+	})
+	client.Spawn("curl", func(p *simos.Process) {
+		var loop func(i int)
+		loop = func(i int) {
+			if i == 0 {
+				return
+			}
+			p.Send(csock, ssock.Addr(), 300, nil, func() {
+				p.Recv(csock, func(m *simos.Message) { loop(i - 1) })
+			})
+		}
+		loop(8)
+	})
+	if err := eng.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range daemons {
+		d.Stop()
+	}
+
+	if got := len(g.Correlated()); got < 6 {
+		st := g.StatsSnapshot()
+		t.Fatalf("correlated %d end-to-end interactions, want >= 6 (stats %+v)", got, st)
+	}
+	for _, e := range g.Correlated() {
+		if e.Server.ServerProc != "httpd" {
+			t.Fatalf("server proc = %q", e.Server.ServerProc)
+		}
+		if e.NetworkDelay() <= 0 {
+			t.Fatalf("network delay = %v", e.NetworkDelay())
+		}
+		if e.Client.Residence() <= e.Server.Residence() {
+			t.Fatal("client residence should exceed server residence")
+		}
+	}
+}
+
+func TestIngestAggregate(t *testing.T) {
+	g, _ := newGPA(Config{})
+	agg := core.Aggregate{Class: "port:80", Count: 10, TotalUser: 20 * time.Millisecond}
+	g.IngestAggregate(5, agg)
+	g.IngestAggregate(5, agg) // second delta merges
+	got := g.ClassAggregates(5)["port:80"]
+	if got.Count != 20 || got.TotalUser != 40*time.Millisecond {
+		t.Fatalf("merged agg = %+v", got)
+	}
+	rows := g.Accounting()
+	if len(rows) != 1 || rows[0].Interactions != 20 {
+		t.Fatalf("accounting = %+v", rows)
+	}
+	if g.StatsSnapshot().Ingested != 2 {
+		t.Fatal("aggregate ingestion not counted")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = errors.New("disk full")
+
+func TestDumpSurfacesWriteErrors(t *testing.T) {
+	g := seededGPA(t)
+	if err := g.Dump(failWriter{}); !errors.Is(err, errWrite) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package gpa
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/ntpclock"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// TestCorrelationNeedsSynchronizedClocks reproduces the reason the paper
+// correlates "NTP timestamps in the logs from different nodes": with
+// unsynchronized clocks the two sides of an interaction appear tens of
+// milliseconds apart and the GPA cannot pair them; after an NTP sync the
+// residual error is well inside the correlation window.
+func TestCorrelationNeedsSynchronizedClocks(t *testing.T) {
+	run := func(sync bool) (correlated int) {
+		eng := sim.NewEngine()
+		network := simnet.NewNetwork(eng)
+		server, err := simos.NewNode(eng, network, "server", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.Connect(server.ID(), client.ID()); err != nil {
+			t.Fatal(err)
+		}
+
+		// The server's clock is 80 ms fast with 50 ppm drift; the client
+		// is the reference.
+		refClock := ntpclock.New(eng, 0, 0)
+		srvClock := ntpclock.New(eng, 80*time.Millisecond, 50e-6)
+		server.SetClock(srvClock.Now)
+		client.SetClock(refClock.Now)
+		if sync {
+			syncer := ntpclock.NewSyncer(srvClock, refClock, sim.NewRNG(4),
+				200*time.Microsecond, 50*time.Microsecond)
+			syncer.Sync(8)
+		}
+
+		// GPA with a tight correlation window (10 ms).
+		g := New(Config{CorrelationWindow: 10 * time.Millisecond}, eng.Now)
+		for _, n := range []*simos.Node{server, client} {
+			core.NewLPA(n.Hub(), core.Config{
+				OnComplete: func(r *core.Record) { g.Ingest(*r) },
+			})
+		}
+
+		ssock := server.MustBind(80)
+		csock := client.MustBind(7000)
+		server.Spawn("httpd", func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(ssock, func(m *simos.Message) {
+					p.Compute(time.Millisecond, func() {
+						p.Reply(ssock, m, 1000, nil, loop)
+					})
+				})
+			}
+			loop()
+		})
+		client.Spawn("curl", func(p *simos.Process) {
+			var loop func(i int)
+			loop = func(i int) {
+				if i == 0 {
+					return
+				}
+				p.Send(csock, ssock.Addr(), 200, nil, func() {
+					p.Recv(csock, func(m *simos.Message) { loop(i - 1) })
+				})
+			}
+			loop(6)
+		})
+		if err := eng.RunUntil(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return len(g.Correlated())
+	}
+
+	if n := run(false); n != 0 {
+		t.Fatalf("unsynchronized clocks correlated %d interactions, want 0 "+
+			"(80ms skew vs 10ms window)", n)
+	}
+	if n := run(true); n < 4 {
+		t.Fatalf("after NTP sync correlated %d interactions, want >= 4", n)
+	}
+}

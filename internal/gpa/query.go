@@ -1,0 +1,263 @@
+package gpa
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/simnet"
+)
+
+// This file implements the GPA's query interface: "Other nodes in the
+// system can query the GPA to determine information about a particular
+// interaction or about the system as a whole." Queries are served over a
+// line protocol (one command per line, "+payload ... ." or "-error"
+// replies) so schedulers and operators on other machines can consume GPA
+// data without linking against it.
+
+// AccountingRow summarizes one request class's total resource usage
+// across the system — the paper's "utility billing, auditing, ...
+// capacity planning" use case.
+type AccountingRow struct {
+	Class        string
+	Interactions uint64
+	// CPUTime is user + kernel time consumed serving the class.
+	CPUTime time.Duration
+	// BlockedTime is I/O wait attributable to the class.
+	BlockedTime time.Duration
+	// ReqBytes and RespBytes are network volumes.
+	ReqBytes  uint64
+	RespBytes uint64
+	// MeanResidence is the average per-interaction residence.
+	MeanResidence time.Duration
+}
+
+// Accounting merges per-node class aggregates into a per-class billing
+// report, sorted by CPU time descending.
+func (g *GPA) Accounting() []AccountingRow {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	merged := make(map[string]*core.Aggregate)
+	for _, classes := range g.byClass {
+		for name, agg := range classes {
+			m := merged[name]
+			if m == nil {
+				m = &core.Aggregate{Class: name}
+				merged[name] = m
+			}
+			m.Merge(agg)
+		}
+	}
+	out := make([]AccountingRow, 0, len(merged))
+	for name, agg := range merged {
+		// Billing counts CPU actually consumed: user plus kernel time
+		// minus socket-buffer residence (queueing occupies memory, not
+		// cycles; the paper's "kernel-level time" includes it because it
+		// is diagnosing latency, not metering usage).
+		cpu := agg.TotalUser + agg.TotalKernel - agg.TotalBufWait
+		if cpu < 0 {
+			cpu = 0
+		}
+		out = append(out, AccountingRow{
+			Class:         name,
+			Interactions:  agg.Count,
+			CPUTime:       cpu,
+			BlockedTime:   agg.TotalBlocked,
+			ReqBytes:      agg.ReqBytes,
+			RespBytes:     agg.RespBytes,
+			MeanResidence: agg.MeanResidence(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPUTime != out[j].CPUTime {
+			return out[i].CPUTime > out[j].CPUTime
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// RenderAccounting prints the billing report as a table.
+func (g *GPA) RenderAccounting() string {
+	rows := g.Accounting()
+	var sb strings.Builder
+	sb.WriteString("class            interactions   cpu-time     blocked      req-bytes   resp-bytes   mean-residence\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %12d   %-10v   %-10v   %9d   %10d   %v\n",
+			r.Class, r.Interactions, r.CPUTime.Round(time.Microsecond),
+			r.BlockedTime.Round(time.Microsecond), r.ReqBytes, r.RespBytes,
+			r.MeanResidence.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Execute runs one query command. Commands:
+//
+//	stats                     analyzer counters
+//	nodes                     reporting nodes
+//	load <node>               sliding-window load of a node
+//	classes <node>            per-class aggregates at a node
+//	accounting                system-wide per-class billing report
+//	flow <n:p> <n:p>          correlated interactions on one flow
+//	recent <n>                last n correlated end-to-end interactions
+func (g *GPA) Execute(line string) (string, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return "", errors.New("gpa: empty query")
+	}
+	switch fields[0] {
+	case "stats":
+		st := g.StatsSnapshot()
+		return fmt.Sprintf("ingested=%d correlated=%d uncorrelated=%d pending=%d",
+			st.Ingested, st.Correlated, st.Uncorrelated, g.PendingCount()), nil
+	case "nodes":
+		var parts []string
+		for _, n := range g.Nodes() {
+			parts = append(parts, strconv.Itoa(int(n)))
+		}
+		return strings.Join(parts, " "), nil
+	case "load":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: load <node>")
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "", fmt.Errorf("gpa: bad node id %q", fields[1])
+		}
+		l := g.ServerLoad(simnet.NodeID(id))
+		return fmt.Sprintf("node=%d interactions=%d mean_residence=%v mean_kernel=%v mean_bufwait=%v",
+			l.Node, l.Interactions, l.MeanResidence, l.MeanKernel, l.MeanBufferWait), nil
+	case "classes":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: classes <node>")
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "", fmt.Errorf("gpa: bad node id %q", fields[1])
+		}
+		aggs := g.ClassAggregates(simnet.NodeID(id))
+		names := make([]string, 0, len(aggs))
+		for n := range aggs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var sb strings.Builder
+		for _, n := range names {
+			a := aggs[n]
+			fmt.Fprintf(&sb, "%s count=%d mean_user=%v mean_kernel=%v mean_residence=%v\n",
+				n, a.Count, a.MeanUser(), a.MeanKernel(), a.MeanResidence())
+		}
+		return strings.TrimRight(sb.String(), "\n"), nil
+	case "accounting":
+		return strings.TrimRight(g.RenderAccounting(), "\n"), nil
+	case "flow":
+		// "information about a particular interaction": all correlated
+		// interactions on one flow, either direction.
+		if len(fields) != 3 {
+			return "", errors.New("gpa: usage: flow <node:port> <node:port>")
+		}
+		src, err := parseAddr(fields[1])
+		if err != nil {
+			return "", err
+		}
+		dst, err := parseAddr(fields[2])
+		if err != nil {
+			return "", err
+		}
+		want := simnet.FlowKey{Src: src, Dst: dst}.Canonical()
+		var sb strings.Builder
+		n := 0
+		for _, e := range g.Correlated() {
+			if e.Flow.Canonical() != want {
+				continue
+			}
+			n++
+			fmt.Fprintf(&sb, "start=%v client=%v server=%v network=%v user=%v kernel=%v bufwait=%v\n",
+				e.Server.Start, e.Client.Residence(), e.Server.Residence(),
+				e.NetworkDelay(), e.Server.UserTime, e.Server.KernelTime(),
+				e.Server.BufferWait)
+		}
+		if n == 0 {
+			return "no correlated interactions on " + want.String(), nil
+		}
+		return strings.TrimRight(sb.String(), "\n"), nil
+	case "recent":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: recent <n>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("gpa: bad count %q", fields[1])
+		}
+		recs := g.Correlated()
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		var sb strings.Builder
+		for _, e := range recs {
+			fmt.Fprintf(&sb, "%s client=%v server=%v network=%v class=%s\n",
+				e.Flow, e.Client.Residence(), e.Server.Residence(),
+				e.NetworkDelay(), e.Server.Class)
+		}
+		return strings.TrimRight(sb.String(), "\n"), nil
+	}
+	return "", fmt.Errorf("gpa: unknown query %q", fields[0])
+}
+
+// parseAddr parses "node:port" (e.g. "2:80").
+func parseAddr(s string) (simnet.Addr, error) {
+	nodeStr, portStr, ok := strings.Cut(strings.TrimPrefix(s, "n"), ":")
+	if !ok {
+		return simnet.Addr{}, fmt.Errorf("gpa: bad address %q (want node:port)", s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return simnet.Addr{}, fmt.Errorf("gpa: bad node in %q", s)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return simnet.Addr{}, fmt.Errorf("gpa: bad port in %q", s)
+	}
+	return simnet.Addr{Node: simnet.NodeID(node), Port: uint16(port)}, nil
+}
+
+// ServeConn answers queries on one connection using the same framing as
+// the controller protocol: "+payload" terminated by a lone "." on
+// success, "-error" on failure.
+func (g *GPA) ServeConn(conn io.ReadWriter) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		reply, err := g.Execute(sc.Text())
+		if err != nil {
+			fmt.Fprintf(w, "-%v\n", err)
+		} else {
+			fmt.Fprintf(w, "+%s\n.\n", strings.TrimRight(reply, "\n"))
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Serve accepts query connections until the listener closes.
+func (g *GPA) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			g.ServeConn(conn)
+		}()
+	}
+}

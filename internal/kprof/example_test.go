@@ -1,0 +1,26 @@
+package kprof_test
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/kprof"
+)
+
+// Subscribe an analyzer to the network event group with a PID filter;
+// emitting events for other types or other processes is (nearly) free.
+func ExampleHub_Subscribe() {
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	sub := hub.Subscribe(kprof.MaskNetwork(), func(ev *kprof.Event) {
+		fmt.Printf("saw %v from pid %d (%d bytes)\n", ev.Type, ev.PID, ev.Bytes)
+	}, kprof.WithPIDFilter(func(pid int32) bool { return pid == 7 }))
+	defer sub.Close()
+
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, PID: 7, Bytes: 1500})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, PID: 8, Bytes: 99}) // filtered out
+	hub.Emit(&kprof.Event{Type: kprof.EvCtxSwitch, PID: 7})        // not in mask
+	fmt.Println("suppressed:", hub.StatsSnapshot().Suppressed)
+	// Output:
+	// saw net_rx from pid 7 (1500 bytes)
+	// suppressed: 1
+}

@@ -1,0 +1,263 @@
+package kprof
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysprof/internal/simnet"
+)
+
+func newHub() (*Hub, *time.Duration) {
+	now := new(time.Duration)
+	return NewHub(1, func() time.Duration { return *now }), now
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EvCtxSwitch.String() != "ctx_switch" || EvNetRx.String() != "net_rx" {
+		t.Fatal("unexpected event names")
+	}
+	if EventType(0).String() != "event(0)" {
+		t.Fatalf("zero type = %q", EventType(0).String())
+	}
+	if EventType(200).Valid() {
+		t.Fatal("type 200 should be invalid")
+	}
+}
+
+func TestMaskGroups(t *testing.T) {
+	all := MaskAll()
+	for t2 := EvCtxSwitch; int(t2) < NumEventTypes; t2++ {
+		if !all.Has(t2) {
+			t.Fatalf("MaskAll missing %v", t2)
+		}
+	}
+	if MaskScheduling().Has(EvNetRx) {
+		t.Fatal("scheduling mask contains net_rx")
+	}
+	if !MaskNetwork().Has(EvNetDeliver) {
+		t.Fatal("network mask missing net_deliver")
+	}
+	if !MaskFS().Has(EvDiskDone) {
+		t.Fatal("fs mask missing disk_done")
+	}
+	if !MaskSyscall().Has(EvSyscallExit) {
+		t.Fatal("syscall mask missing syscall_exit")
+	}
+}
+
+func TestEmitDisabledIsFree(t *testing.T) {
+	h, _ := newHub()
+	cost := h.Emit(&Event{Type: EvNetRx})
+	if cost != 0 {
+		t.Fatalf("cost = %v, want 0 with no subscribers", cost)
+	}
+	st := h.StatsSnapshot()
+	if st.Suppressed != 1 || st.Emitted != 0 {
+		t.Fatalf("stats = %+v, want 1 suppressed", st)
+	}
+}
+
+func TestSubscribeDeliverAndCost(t *testing.T) {
+	h, now := newHub()
+	*now = 5 * time.Millisecond
+	var got []*Event
+	h.Subscribe(MaskOf(EvNetRx), func(ev *Event) {
+		cp := *ev
+		got = append(got, &cp)
+	})
+	cost := h.Emit(&Event{Type: EvNetRx, Bytes: 100})
+	if cost != DefaultPerEventCost {
+		t.Fatalf("cost = %v, want %v", cost, DefaultPerEventCost)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if got[0].Time != 5*time.Millisecond || got[0].Node != 1 {
+		t.Fatalf("event not stamped: %+v", got[0])
+	}
+}
+
+func TestEmitUnsubscribedType(t *testing.T) {
+	h, _ := newHub()
+	n := 0
+	h.Subscribe(MaskOf(EvNetRx), func(*Event) { n++ })
+	if cost := h.Emit(&Event{Type: EvCtxSwitch}); cost != 0 {
+		t.Fatalf("cost = %v for unsubscribed type", cost)
+	}
+	if n != 0 {
+		t.Fatal("handler ran for unsubscribed type")
+	}
+}
+
+func TestMultipleSubscribersCostScales(t *testing.T) {
+	h, _ := newHub()
+	n := 0
+	h.Subscribe(MaskOf(EvNetRx), func(*Event) { n++ })
+	h.Subscribe(MaskOf(EvNetRx), func(*Event) { n++ })
+	cost := h.Emit(&Event{Type: EvNetRx})
+	if n != 2 {
+		t.Fatalf("delivered to %d, want 2", n)
+	}
+	if cost != 2*DefaultPerEventCost {
+		t.Fatalf("cost = %v, want 2x per-event", cost)
+	}
+}
+
+func TestPIDFilter(t *testing.T) {
+	h, _ := newHub()
+	var pids []int32
+	h.Subscribe(MaskOf(EvSyscallEnter), func(ev *Event) { pids = append(pids, ev.PID) },
+		WithPIDFilter(func(pid int32) bool { return pid == 7 }))
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 7})
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 8})
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 0}) // no PID: always delivered
+	if len(pids) != 2 || pids[0] != 7 || pids[1] != 0 {
+		t.Fatalf("pids = %v, want [7 0]", pids)
+	}
+}
+
+func TestFlowFilter(t *testing.T) {
+	h, _ := newHub()
+	want := simnet.FlowKey{Src: simnet.Addr{Node: 1, Port: 10}, Dst: simnet.Addr{Node: 2, Port: 20}}
+	n := 0
+	h.Subscribe(MaskOf(EvNetRx), func(*Event) { n++ },
+		WithFlowFilter(func(f simnet.FlowKey) bool { return f.Canonical() == want.Canonical() }))
+	h.Emit(&Event{Type: EvNetRx, Flow: want})
+	h.Emit(&Event{Type: EvNetRx, Flow: want.Reverse()})
+	other := simnet.FlowKey{Src: simnet.Addr{Node: 3, Port: 1}, Dst: simnet.Addr{Node: 4, Port: 2}}
+	h.Emit(&Event{Type: EvNetRx, Flow: other})
+	if n != 2 {
+		t.Fatalf("delivered %d, want 2 (both directions of the wanted flow)", n)
+	}
+}
+
+func TestCloseRestoresFreeEmit(t *testing.T) {
+	h, _ := newHub()
+	sub := h.Subscribe(MaskOf(EvNetRx), func(*Event) {})
+	if !h.Enabled(EvNetRx) {
+		t.Fatal("EvNetRx should be enabled")
+	}
+	sub.Close()
+	if h.Enabled(EvNetRx) {
+		t.Fatal("EvNetRx should be disabled after Close")
+	}
+	sub.Close() // idempotent
+	if cost := h.Emit(&Event{Type: EvNetRx}); cost != 0 {
+		t.Fatal("emit after close should be free")
+	}
+}
+
+func TestSetMaskRetunes(t *testing.T) {
+	h, _ := newHub()
+	var types []EventType
+	sub := h.Subscribe(MaskOf(EvNetRx), func(ev *Event) { types = append(types, ev.Type) })
+	h.Emit(&Event{Type: EvNetRx})
+	sub.SetMask(MaskOf(EvCtxSwitch))
+	if h.Enabled(EvNetRx) {
+		t.Fatal("net_rx should be off after retune")
+	}
+	if !h.Enabled(EvCtxSwitch) {
+		t.Fatal("ctx_switch should be on after retune")
+	}
+	h.Emit(&Event{Type: EvNetRx})
+	h.Emit(&Event{Type: EvCtxSwitch})
+	if len(types) != 2 || types[1] != EvCtxSwitch {
+		t.Fatalf("types = %v", types)
+	}
+	if sub.Mask() != MaskOf(EvCtxSwitch) {
+		t.Fatal("Mask() not updated")
+	}
+}
+
+func TestZeroCostHub(t *testing.T) {
+	h, _ := newHub()
+	h.SetPerEventCost(0)
+	h.Subscribe(MaskAll(), func(*Event) {})
+	if cost := h.Emit(&Event{Type: EvNetTx}); cost != 0 {
+		t.Fatalf("cost = %v with zero per-event cost", cost)
+	}
+	if h.PerEventCost() != 0 {
+		t.Fatal("PerEventCost not updated")
+	}
+}
+
+func TestOverheadAccumulates(t *testing.T) {
+	h, _ := newHub()
+	h.Subscribe(MaskOf(EvNetRx), func(*Event) {})
+	for i := 0; i < 10; i++ {
+		h.Emit(&Event{Type: EvNetRx})
+	}
+	st := h.StatsSnapshot()
+	if st.Overhead != 10*DefaultPerEventCost {
+		t.Fatalf("overhead = %v, want %v", st.Overhead, 10*DefaultPerEventCost)
+	}
+	if st.Emitted != 10 || st.Delivered != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: active-subscriber bookkeeping stays consistent through any
+// sequence of subscribe / setmask / close operations.
+func TestActiveCountProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		h, _ := newHub()
+		var subs []*Subscription
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				subs = append(subs, h.Subscribe(Mask(op)<<1&MaskAll(), func(*Event) {}))
+			case 1:
+				if len(subs) > 0 {
+					subs[int(op)%len(subs)].SetMask(MaskAll() & (Mask(op) << 2))
+				}
+			case 2:
+				if len(subs) > 0 {
+					i := int(op) % len(subs)
+					subs[i].Close()
+					subs = append(subs[:i], subs[i+1:]...)
+				}
+			}
+		}
+		// Recompute expected active counts from surviving subs.
+		var want [NumEventTypes]int
+		for _, s := range subs {
+			for et := EvCtxSwitch; int(et) < NumEventTypes; et++ {
+				if s.mask.Has(et) {
+					want[et]++
+				}
+			}
+		}
+		return want == h.active
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGIDFilter(t *testing.T) {
+	h, _ := newHub()
+	var gids []int32
+	h.Subscribe(MaskOf(EvSyscallEnter), func(ev *Event) { gids = append(gids, ev.GID) },
+		WithGIDFilter(func(gid int32) bool { return gid == 3 }))
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 1, GID: 3})
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 2, GID: 4})
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 0}) // no PID: always delivered
+	if len(gids) != 2 || gids[0] != 3 || gids[1] != 0 {
+		t.Fatalf("gids = %v, want [3 0]", gids)
+	}
+}
+
+func TestSetGIDFilterRuntime(t *testing.T) {
+	h, _ := newHub()
+	n := 0
+	sub := h.Subscribe(MaskOf(EvSyscallEnter), func(*Event) { n++ })
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 1, GID: 9})
+	sub.SetGIDFilter(func(gid int32) bool { return gid == 1 })
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 1, GID: 9})
+	sub.SetGIDFilter(nil)
+	h.Emit(&Event{Type: EvSyscallEnter, PID: 1, GID: 9})
+	if n != 2 {
+		t.Fatalf("deliveries = %d, want 2", n)
+	}
+}

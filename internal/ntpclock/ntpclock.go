@@ -1,0 +1,129 @@
+// Package ntpclock models per-node clocks with offset and drift, and an
+// NTP-style synchronization exchange. The paper's Global Performance
+// Analyzer "correlates the source and destination IP addresses, port
+// information, and NTP timestamps in the logs from different nodes";
+// correlation quality therefore depends on residual clock error, which
+// this package makes explicit instead of assuming perfect clocks.
+package ntpclock
+
+import (
+	"time"
+
+	"sysprof/internal/sim"
+)
+
+// Clock is one node's local clock: local = true*(1+drift) + offset.
+type Clock struct {
+	eng    *sim.Engine
+	offset time.Duration
+	drift  float64 // fractional frequency error, e.g. 50e-6 = 50 ppm
+	// adj is the correction accumulated by Sync (applied on top of the
+	// physical offset/drift error, like adjtime).
+	adj time.Duration
+}
+
+// New returns a clock with the given initial offset and drift, reading
+// true time from eng.
+func New(eng *sim.Engine, offset time.Duration, drift float64) *Clock {
+	return &Clock{eng: eng, offset: offset, drift: drift}
+}
+
+// Now returns the node-local time.
+func (c *Clock) Now() time.Duration {
+	t := c.eng.Now()
+	skewed := t + time.Duration(float64(t)*c.drift) + c.offset
+	return skewed + c.adj
+}
+
+// Err returns the clock's current error relative to true time.
+func (c *Clock) Err() time.Duration { return c.Now() - c.eng.Now() }
+
+// SetOffset and SetDrift reconfigure the physical error (test/failure
+// injection).
+func (c *Clock) SetOffset(d time.Duration) { c.offset = d }
+
+// SetDrift sets the fractional frequency error.
+func (c *Clock) SetDrift(ppm float64) { c.drift = ppm }
+
+// Sample is one NTP request/response exchange, in node-local and
+// reference times.
+type Sample struct {
+	// T1 is client transmit (client clock); T2 is server receive and T3
+	// server transmit (server clock; the exchange is modelled as
+	// instantaneous at the server); T4 is client receive (client clock).
+	T1, T2, T3, T4 time.Duration
+}
+
+// Offset estimates the client-minus-server clock offset from the sample
+// using the standard NTP formula.
+func (s Sample) Offset() time.Duration {
+	return ((s.T2 - s.T1) + (s.T3 - s.T4)) / 2
+}
+
+// Delay returns the round-trip delay estimate.
+func (s Sample) Delay() time.Duration { return (s.T4 - s.T1) - (s.T3 - s.T2) }
+
+// Syncer performs periodic NTP exchanges between a client clock and a
+// reference clock across a network with the given one-way delays.
+type Syncer struct {
+	client *Clock
+	ref    *Clock
+	rng    *sim.RNG
+	// meanDelay and jitter model one-way network latency. Asymmetric
+	// samples are what bound NTP accuracy.
+	meanDelay time.Duration
+	jitter    time.Duration
+}
+
+// NewSyncer builds a syncer between client and reference over a path with
+// the given mean one-way delay and jitter.
+func NewSyncer(client, ref *Clock, rng *sim.RNG, meanDelay, jitter time.Duration) *Syncer {
+	return &Syncer{client: client, ref: ref, rng: rng, meanDelay: meanDelay, jitter: jitter}
+}
+
+// delayOnce draws a one-way delay.
+func (s *Syncer) delayOnce() time.Duration {
+	if s.jitter <= 0 {
+		return s.meanDelay
+	}
+	d := s.rng.Normal(float64(s.meanDelay), float64(s.jitter), true)
+	return time.Duration(d)
+}
+
+// exchange performs one NTP round in virtual time. It does not advance
+// the engine; delays are applied arithmetically, which is accurate because
+// clock drift over a sub-millisecond exchange is negligible.
+func (s *Syncer) exchange() Sample {
+	out := s.delayOnce()
+	back := s.delayOnce()
+	t1 := s.client.Now()
+	// Server observes the request after `out` of true time.
+	t2 := s.ref.Now() + out + durScale(out, s.ref.drift)
+	t3 := t2
+	t4 := s.client.Now() + out + back + durScale(out+back, s.client.drift)
+	return Sample{T1: t1, T2: t2, T3: t3, T4: t4}
+}
+
+func durScale(d time.Duration, drift float64) time.Duration {
+	return time.Duration(float64(d) * drift)
+}
+
+// Sync runs rounds NTP exchanges, applies the offset estimate from the
+// minimum-delay sample (the standard clock-filter heuristic), and returns
+// the applied correction.
+func (s *Syncer) Sync(rounds int) time.Duration {
+	if rounds < 1 {
+		rounds = 1
+	}
+	best := s.exchange()
+	for i := 1; i < rounds; i++ {
+		smp := s.exchange()
+		if smp.Delay() < best.Delay() {
+			best = smp
+		}
+	}
+	// best.Offset() estimates server-minus-client; apply it.
+	corr := best.Offset()
+	s.client.adj += corr
+	return corr
+}

@@ -1,0 +1,120 @@
+package ntpclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysprof/internal/sim"
+)
+
+func TestClockSkewAndDrift(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, 5*time.Millisecond, 100e-6) // +5ms, +100ppm
+	if err := eng.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Error = 5ms offset + 10s*100ppm = 5ms + 1ms.
+	want := 6 * time.Millisecond
+	got := c.Err()
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Fatalf("Err = %v, want ~%v", got, want)
+	}
+}
+
+func TestPerfectClockTracksEngine(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, 0, 0)
+	eng.RunFor(3 * time.Second)
+	if c.Now() != 3*time.Second || c.Err() != 0 {
+		t.Fatalf("Now=%v Err=%v", c.Now(), c.Err())
+	}
+}
+
+func TestSampleOffsetSymmetricPath(t *testing.T) {
+	// Client 10ms behind server, symmetric 2ms one-way delay.
+	s := Sample{
+		T1: 100 * time.Millisecond,
+		T2: 112 * time.Millisecond, // +10ms offset +2ms delay
+		T3: 112 * time.Millisecond,
+		T4: 104 * time.Millisecond,
+	}
+	if got := s.Offset(); got != 10*time.Millisecond {
+		t.Fatalf("Offset = %v, want 10ms", got)
+	}
+	if got := s.Delay(); got != 4*time.Millisecond {
+		t.Fatalf("Delay = %v, want 4ms", got)
+	}
+}
+
+func TestSyncReducesError(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.RunFor(time.Second)
+	ref := New(eng, 0, 0)
+	client := New(eng, -25*time.Millisecond, 40e-6)
+	sync := NewSyncer(client, ref, sim.NewRNG(3), 200*time.Microsecond, 60*time.Microsecond)
+
+	before := client.Err()
+	if before > -20*time.Millisecond {
+		t.Fatalf("setup: client error %v not large", before)
+	}
+	sync.Sync(8)
+	after := client.Err()
+	if abs(after) > time.Millisecond {
+		t.Fatalf("residual error %v after sync, want < 1ms", after)
+	}
+	if abs(after) >= abs(before) {
+		t.Fatal("sync did not reduce error")
+	}
+}
+
+func TestSyncResidualBoundedByJitter(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.RunFor(10 * time.Second)
+	ref := New(eng, 0, 0)
+	client := New(eng, 7*time.Millisecond, 0)
+	sync := NewSyncer(client, ref, sim.NewRNG(9), time.Millisecond, 300*time.Microsecond)
+	sync.Sync(8)
+	// Residual should be within a few jitter standard deviations.
+	if abs(client.Err()) > 2*time.Millisecond {
+		t.Fatalf("residual %v too large", client.Err())
+	}
+}
+
+func TestSyncZeroRoundsClamped(t *testing.T) {
+	eng := sim.NewEngine()
+	ref := New(eng, 0, 0)
+	client := New(eng, time.Millisecond, 0)
+	sync := NewSyncer(client, ref, sim.NewRNG(1), 0, 0)
+	corr := sync.Sync(0)
+	if corr == 0 {
+		t.Fatal("zero-round sync applied no correction")
+	}
+	if client.Err() != 0 {
+		t.Fatalf("residual = %v with zero network delay, want exact", client.Err())
+	}
+}
+
+// Property: with a symmetric, jitter-free path, one sync round recovers
+// the offset exactly for any offset.
+func TestSyncExactProperty(t *testing.T) {
+	prop := func(offMs int16, delayUs uint16) bool {
+		eng := sim.NewEngine()
+		eng.RunFor(time.Second)
+		ref := New(eng, 0, 0)
+		client := New(eng, time.Duration(offMs)*time.Millisecond, 0)
+		sync := NewSyncer(client, ref, sim.NewRNG(1), time.Duration(delayUs)*time.Microsecond, 0)
+		sync.Sync(1)
+		return client.Err() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

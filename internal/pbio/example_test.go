@@ -1,0 +1,38 @@
+package pbio_test
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"sysprof/internal/pbio"
+)
+
+// Register a record format, encode to a self-describing stream, decode.
+func ExampleNewEncoder() {
+	type Metric struct {
+		Name    string
+		Value   int64
+		Latency time.Duration
+	}
+	reg := pbio.NewRegistry()
+	reg.MustRegister("metric", Metric{})
+
+	var wire bytes.Buffer
+	enc := pbio.NewEncoder(&wire, reg)
+	_ = enc.Encode(Metric{Name: "rps", Value: 150, Latency: 3 * time.Millisecond})
+	_ = enc.Encode(Metric{Name: "errs", Value: 2, Latency: 0})
+
+	dec := pbio.NewDecoder(&wire, reg)
+	for {
+		rec, err := dec.Decode()
+		if err != nil {
+			break
+		}
+		m := rec.Value.(*Metric)
+		fmt.Printf("%s=%d (%v)\n", m.Name, m.Value, m.Latency)
+	}
+	// Output:
+	// rps=150 (3ms)
+	// errs=2 (0s)
+}

@@ -1,0 +1,306 @@
+package pbio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type sample struct {
+	A    int64
+	B    uint32
+	C    string
+	D    float64
+	E    bool
+	F    time.Duration
+	G    []byte
+	skip int // unexported: excluded
+}
+
+type other struct {
+	X int32
+	Y string
+}
+
+func newPair(t *testing.T) (*Registry, *Encoder, *bytes.Buffer) {
+	t.Helper()
+	reg := NewRegistry()
+	if _, err := reg.Register("sample", sample{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("other", other{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	return reg, NewEncoder(&buf, reg), &buf
+}
+
+func TestRoundTripTyped(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	in := sample{A: -42, B: 7, C: "hello", D: 3.25, E: true, F: 1500 * time.Millisecond, G: []byte{1, 2, 3}}
+	if err := enc.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(buf, reg)
+	rec, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Format != "sample" {
+		t.Fatalf("format = %q", rec.Format)
+	}
+	got, ok := rec.Value.(*sample)
+	if !ok {
+		t.Fatalf("Value type = %T", rec.Value)
+	}
+	if !reflect.DeepEqual(*got, in) {
+		t.Fatalf("round trip: got %+v, want %+v", *got, in)
+	}
+	if _, err := dec.Decode(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRoundTripGenericFields(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	if err := enc.Encode(other{X: 9, Y: "z"}); err != nil {
+		t.Fatal(err)
+	}
+	// Decode with an empty registry: only generic fields available.
+	dec := NewDecoder(buf, NewRegistry())
+	rec, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value != nil {
+		t.Fatal("typed value without a matching registry entry")
+	}
+	if rec.Fields["X"] != int32(9) || rec.Fields["Y"] != "z" {
+		t.Fatalf("fields = %v", rec.Fields)
+	}
+	_ = reg
+}
+
+func TestFormatSentOncePerStream(t *testing.T) {
+	_, enc, buf := newPair(t)
+	if err := enc.Encode(other{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	one := buf.Len()
+	if err := enc.Encode(other{X: 2}); err != nil {
+		t.Fatal(err)
+	}
+	two := buf.Len() - one
+	if two >= one {
+		t.Fatalf("second record (%dB) not smaller than first with format header (%dB)", two, one)
+	}
+}
+
+func TestMixedFormatsOneStream(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	_ = enc.Encode(sample{A: 1})
+	_ = enc.Encode(other{X: 2})
+	_ = enc.Encode(sample{A: 3})
+	dec := NewDecoder(buf, reg)
+	var names []string
+	for {
+		rec, err := dec.Decode()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, rec.Format)
+	}
+	want := []string{"sample", "other", "sample"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestEncodePointer(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	if err := enc.Encode(&other{X: 5, Y: "ptr"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewDecoder(buf, reg).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value.(*other).X != 5 {
+		t.Fatalf("value = %+v", rec.Value)
+	}
+}
+
+func TestEncodeUnregisteredType(t *testing.T) {
+	_, enc, _ := newPair(t)
+	type unknown struct{ Z int }
+	if err := enc.Encode(unknown{}); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("err = %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Register("n", 42); err == nil {
+		t.Fatal("non-struct sample should error")
+	}
+	if _, err := reg.Register("s", sample{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("s", other{}); err == nil {
+		t.Fatal("duplicate name should error")
+	}
+	type bad struct{ M map[string]int }
+	if _, err := reg.Register("bad", bad{}); err == nil {
+		t.Fatal("unsupported field type should error")
+	}
+	if reg.Lookup("s") == nil || reg.Lookup("nope") != nil {
+		t.Fatal("Lookup wrong")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	if err := enc.Encode(sample{C: "truncate me"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, 3, len(raw) / 2, len(raw) - 1} {
+		if cut <= 0 || cut >= len(raw) {
+			continue
+		}
+		dec := NewDecoder(bytes.NewReader(raw[:cut]), reg)
+		_, err := dec.Decode()
+		if err == nil {
+			t.Fatalf("cut at %d: expected error", cut)
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: mid-frame truncation reported as clean EOF", cut)
+		}
+	}
+}
+
+func TestBadFrameKind(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader([]byte{0xFF}), nil)
+	if _, err := dec.Decode(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDuration.String() != "duration" || Kind(99).String() != "kind(99)" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestFieldMismatchFallsBackToGeneric(t *testing.T) {
+	// Sender and receiver both call a format "evt" but with different
+	// layouts: the receiver must fall back to generic decoding rather
+	// than mis-filling its struct.
+	sreg := NewRegistry()
+	sreg.MustRegister("evt", other{})
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf, sreg).Encode(other{X: 1, Y: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	rreg := NewRegistry()
+	rreg.MustRegister("evt", sample{})
+	rec, err := NewDecoder(&buf, rreg).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value != nil {
+		t.Fatal("mismatched layout decoded into typed value")
+	}
+	if rec.Fields["X"] != int32(1) {
+		t.Fatalf("fields = %v", rec.Fields)
+	}
+}
+
+// Property: any sample round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("sample", sample{})
+	prop := func(a int64, b uint32, c string, d float64, e bool, f int64, g []byte) bool {
+		in := sample{A: a, B: b, C: c, D: d, E: e, F: time.Duration(f), G: g}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf, reg).Encode(in); err != nil {
+			return false
+		}
+		rec, err := NewDecoder(&buf, reg).Decode()
+		if err != nil {
+			return false
+		}
+		got := rec.Value.(*sample)
+		if len(in.G) == 0 && len(got.G) == 0 {
+			got.G, in.G = nil, nil
+		}
+		return reflect.DeepEqual(*got, in)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary byte garbage never panics the decoder; it errors or
+// hits EOF.
+func TestDecoderRobustToGarbage(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("sample", sample{})
+	prop := func(garbage []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		dec := NewDecoder(bytes.NewReader(garbage), reg)
+		for i := 0; i < 100; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping one byte of a valid stream errors or yields a record
+// — never panics.
+func TestDecoderRobustToCorruption(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("sample", sample{})
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, reg)
+	for i := 0; i < 3; i++ {
+		if err := enc.Encode(sample{A: int64(i), C: "hello world"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := buf.Bytes()
+	for pos := 0; pos < len(valid); pos++ {
+		corrupted := make([]byte, len(valid))
+		copy(corrupted, valid)
+		corrupted[pos] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic with corruption at byte %d: %v", pos, r)
+				}
+			}()
+			dec := NewDecoder(bytes.NewReader(corrupted), reg)
+			for i := 0; i < 10; i++ {
+				if _, err := dec.Decode(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}

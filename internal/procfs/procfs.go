@@ -1,0 +1,99 @@
+// Package procfs provides the /proc-style virtual filesystem interface
+// through which SysProf exposes monitoring data to user level ("makes it
+// available to the user-level through the standard /proc virtual
+// filesystem interface"). Entries are registered as content generators;
+// reads always reflect current state. The tree can also be served over
+// HTTP (see cmd/sysprofd) for remote inspection.
+package procfs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a path has no entry.
+var ErrNotFound = errors.New("procfs: not found")
+
+// Generator produces an entry's current contents.
+type Generator func() string
+
+// FS is a virtual file tree.
+type FS struct {
+	mu      sync.RWMutex
+	entries map[string]Generator
+}
+
+// New returns an empty tree.
+func New() *FS {
+	return &FS{entries: make(map[string]Generator)}
+}
+
+// clean canonicalizes a path: exactly one leading slash, no trailing one.
+func clean(path string) string {
+	path = "/" + strings.Trim(path, "/")
+	return path
+}
+
+// Register installs gen at path, replacing any previous entry.
+func (fs *FS) Register(path string, gen Generator) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.entries[clean(path)] = gen
+}
+
+// Unregister removes the entry at path.
+func (fs *FS) Unregister(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.entries, clean(path))
+}
+
+// Read returns the entry's current contents.
+func (fs *FS) Read(path string) (string, error) {
+	fs.mu.RLock()
+	gen := fs.entries[clean(path)]
+	fs.mu.RUnlock()
+	if gen == nil {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, clean(path))
+	}
+	return gen(), nil
+}
+
+// List returns the sorted paths under prefix (inclusive).
+func (fs *FS) List(prefix string) []string {
+	prefix = clean(prefix)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.entries {
+		if prefix == "/" || p == prefix || strings.HasPrefix(p, prefix+"/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP exposes the tree: GET a path for its contents, GET a prefix
+// ending in "/" for a listing.
+func (fs *FS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if strings.HasSuffix(path, "/") {
+		for _, p := range fs.List(path) {
+			fmt.Fprintln(w, p)
+		}
+		return
+	}
+	content, err := fs.Read(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprint(w, content)
+}
+
+var _ http.Handler = (*FS)(nil)

@@ -1,0 +1,94 @@
+package procfs
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestRegisterReadDynamic(t *testing.T) {
+	fs := New()
+	n := 0
+	fs.Register("/sysprof/stats", func() string { n++; return strconv.Itoa(n) })
+	if got, _ := fs.Read("/sysprof/stats"); got != "1" {
+		t.Fatalf("first read = %q", got)
+	}
+	if got, _ := fs.Read("sysprof/stats/"); got != "2" {
+		t.Fatalf("second read (unclean path) = %q", got)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.Read("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	fs := New()
+	fs.Register("/a", func() string { return "x" })
+	fs.Unregister("/a")
+	if _, err := fs.Read("/a"); err == nil {
+		t.Fatal("read after unregister succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"/sysprof/lpa/0", "/sysprof/lpa/1", "/sysprof/gpa", "/other"} {
+		fs.Register(p, func() string { return "" })
+	}
+	got := fs.List("/sysprof/lpa")
+	want := []string{"/sysprof/lpa/0", "/sysprof/lpa/1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v", got)
+	}
+	if len(fs.List("/")) != 4 {
+		t.Fatalf("root list = %v", fs.List("/"))
+	}
+	// Prefix must match path components, not string prefixes.
+	fs.Register("/sysprof/lpa2", func() string { return "" })
+	if got := fs.List("/sysprof/lpa"); len(got) != 2 {
+		t.Fatalf("List matched sibling: %v", got)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	fs := New()
+	fs.Register("/sysprof/version", func() string { return "1.0" })
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/sysprof/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "1.0" {
+		t.Fatalf("body = %q", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/sysprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "/sysprof/version\n" {
+		t.Fatalf("listing = %q", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,402 @@
+// Package pubsub implements the publish-subscribe channels the SysProf
+// dissemination daemon uses to ship monitoring data ("kernel-level
+// publish-subscribe channels" in the paper). A Broker hosts named
+// channels; consumers subscribe locally (in-process callbacks, the
+// kernel-level fast path) or remotely over TCP, where records travel as
+// PBIO-encoded binary frames. Subscriptions may carry dynamic data
+// filters, so uninterested consumers do not pay network cost.
+package pubsub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sysprof/internal/pbio"
+)
+
+// ErrClosed is returned from operations on a closed broker or subscriber.
+var ErrClosed = errors.New("pubsub: closed")
+
+// Filter decides whether a record is delivered to a subscriber. A nil
+// filter passes everything.
+type Filter func(rec any) bool
+
+// LocalSub is an in-process subscription.
+type LocalSub struct {
+	broker  *Broker
+	channel string
+	fn      func(rec any)
+	filter  Filter
+	closed  bool
+}
+
+// Close cancels the subscription.
+func (s *LocalSub) Close() {
+	s.broker.mu.Lock()
+	defer s.broker.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	ch := s.broker.channels[s.channel]
+	if ch == nil {
+		return
+	}
+	for i, cur := range ch.locals {
+		if cur == s {
+			ch.locals = append(ch.locals[:i], ch.locals[i+1:]...)
+			break
+		}
+	}
+}
+
+// remoteConn is one TCP subscriber connection.
+type remoteConn struct {
+	conn     net.Conn
+	enc      *pbio.Encoder
+	writeMu  sync.Mutex
+	channels map[string]bool
+}
+
+type channel struct {
+	locals  []*LocalSub
+	remotes []*remoteConn
+}
+
+// BrokerStats counts broker activity.
+type BrokerStats struct {
+	Published      uint64
+	LocalDeliver   uint64
+	RemoteDeliver  uint64
+	RemoteFailures uint64
+}
+
+// Broker hosts named publish-subscribe channels.
+type Broker struct {
+	mu       sync.Mutex
+	reg      *pbio.Registry
+	channels map[string]*channel
+	conns    map[*remoteConn]bool
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+	stats    BrokerStats
+}
+
+// NewBroker returns a broker encoding remote traffic with reg's formats.
+func NewBroker(reg *pbio.Registry) *Broker {
+	return &Broker{
+		reg:      reg,
+		channels: make(map[string]*channel),
+		conns:    make(map[*remoteConn]bool),
+	}
+}
+
+// SubOption customizes a subscription.
+type SubOption func(*LocalSub)
+
+// WithFilter attaches a dynamic data filter to the subscription.
+func WithFilter(f Filter) SubOption {
+	return func(s *LocalSub) { s.filter = f }
+}
+
+// Subscribe registers an in-process consumer of a channel.
+func (b *Broker) Subscribe(channelName string, fn func(rec any), opts ...SubOption) *LocalSub {
+	s := &LocalSub{broker: b, channel: channelName, fn: fn}
+	for _, opt := range opts {
+		opt(s)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.chanLocked(channelName).locals = append(b.chanLocked(channelName).locals, s)
+	return s
+}
+
+func (b *Broker) chanLocked(name string) *channel {
+	ch := b.channels[name]
+	if ch == nil {
+		ch = &channel{}
+		b.channels[name] = ch
+	}
+	return ch
+}
+
+// Publish delivers rec to all subscribers of the channel. Local
+// subscribers receive the value directly; remote ones receive a PBIO
+// frame. rec's type must be registered for remote delivery.
+func (b *Broker) Publish(channelName string, rec any) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.stats.Published++
+	ch := b.channels[channelName]
+	if ch == nil {
+		b.mu.Unlock()
+		return nil
+	}
+	locals := make([]*LocalSub, len(ch.locals))
+	copy(locals, ch.locals)
+	remotes := make([]*remoteConn, len(ch.remotes))
+	copy(remotes, ch.remotes)
+	b.mu.Unlock()
+
+	for _, s := range locals {
+		if s.filter != nil && !s.filter(rec) {
+			continue
+		}
+		s.fn(rec)
+		b.mu.Lock()
+		b.stats.LocalDeliver++
+		b.mu.Unlock()
+	}
+	var firstErr error
+	for _, rc := range remotes {
+		if err := b.sendRemote(rc, channelName, rec); err != nil {
+			b.dropConn(rc)
+			b.mu.Lock()
+			b.stats.RemoteFailures++
+			b.mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		b.mu.Lock()
+		b.stats.RemoteDeliver++
+		b.mu.Unlock()
+	}
+	return firstErr
+}
+
+func (b *Broker) sendRemote(rc *remoteConn, channelName string, rec any) error {
+	rc.writeMu.Lock()
+	defer rc.writeMu.Unlock()
+	if err := writeString(rc.conn, channelName); err != nil {
+		return fmt.Errorf("pubsub: send channel header: %w", err)
+	}
+	if err := rc.enc.Encode(rec); err != nil {
+		return fmt.Errorf("pubsub: send record: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a copy of the broker counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Serve accepts remote subscribers on l until the broker is closed. It
+// blocks; run it in a goroutine and call Close to stop.
+func (b *Broker) Serve(l net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.listener = l
+	b.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("pubsub: accept: %w", err)
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn performs the subscribe handshake, then parks reading (a read
+// returning an error means the peer went away).
+func (b *Broker) handleConn(conn net.Conn) {
+	channels, err := readHandshake(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	rc := &remoteConn{
+		conn:     conn,
+		enc:      pbio.NewEncoder(conn, b.reg),
+		channels: make(map[string]bool, len(channels)),
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.conns[rc] = true
+	for _, name := range channels {
+		rc.channels[name] = true
+		ch := b.chanLocked(name)
+		ch.remotes = append(ch.remotes, rc)
+	}
+	b.mu.Unlock()
+
+	// Block until the peer disconnects.
+	var one [1]byte
+	for {
+		if _, err := conn.Read(one[:]); err != nil {
+			break
+		}
+	}
+	b.dropConn(rc)
+}
+
+func (b *Broker) dropConn(rc *remoteConn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.conns[rc] {
+		return
+	}
+	delete(b.conns, rc)
+	for name := range rc.channels {
+		ch := b.channels[name]
+		if ch == nil {
+			continue
+		}
+		for i, cur := range ch.remotes {
+			if cur == rc {
+				ch.remotes = append(ch.remotes[:i], ch.remotes[i+1:]...)
+				break
+			}
+		}
+	}
+	rc.conn.Close()
+}
+
+// Close shuts the broker down: stops the listener, closes remote
+// connections, and waits for connection goroutines to exit.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	l := b.listener
+	conns := make([]*remoteConn, 0, len(b.conns))
+	for rc := range b.conns {
+		conns = append(conns, rc)
+	}
+	b.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, rc := range conns {
+		b.dropConn(rc)
+	}
+	b.wg.Wait()
+}
+
+// Subscriber is the remote (TCP) side: it dials a broker, subscribes to
+// channels, and receives records.
+type Subscriber struct {
+	conn net.Conn
+	dec  *pbio.Decoder
+}
+
+// Dial connects to a broker at addr and subscribes to the channels. reg
+// supplies local Go types for typed decoding (may be nil).
+func Dial(addr string, reg *pbio.Registry, channels ...string) (*Subscriber, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+	}
+	if err := writeHandshake(conn, channels); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Subscriber{conn: conn, dec: pbio.NewDecoder(conn, reg)}, nil
+}
+
+// Recv blocks for the next record, returning its channel and decoded
+// record. io.EOF indicates the broker closed the connection.
+func (s *Subscriber) Recv() (string, *pbio.Record, error) {
+	name, err := readString(s.conn)
+	if err != nil {
+		return "", nil, err
+	}
+	rec, err := s.dec.Decode()
+	if err != nil {
+		return "", nil, err
+	}
+	return name, rec, nil
+}
+
+// Close tears the subscription down.
+func (s *Subscriber) Close() error { return s.conn.Close() }
+
+// --- wire helpers ---
+
+func writeHandshake(w io.Writer, channels []string) error {
+	var hdr [1]byte
+	hdr[0] = byte(len(channels))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pubsub: handshake: %w", err)
+	}
+	for _, c := range channels {
+		if err := writeString(w, c); err != nil {
+			return fmt.Errorf("pubsub: handshake: %w", err)
+		}
+	}
+	return nil
+}
+
+func readHandshake(r io.Reader) ([]string, error) {
+	var hdr [1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	channels := make([]string, 0, hdr[0])
+	for i := 0; i < int(hdr[0]); i++ {
+		s, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		channels = append(channels, s)
+	}
+	return channels, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > 1<<20 {
+		return "", fmt.Errorf("pubsub: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,234 @@
+package pubsub
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sysprof/internal/pbio"
+)
+
+type metric struct {
+	Name  string
+	Value int64
+	Dur   time.Duration
+}
+
+func newReg(t *testing.T) *pbio.Registry {
+	t.Helper()
+	reg := pbio.NewRegistry()
+	if _, err := reg.Register("metric", metric{}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestLocalPublishSubscribe(t *testing.T) {
+	b := NewBroker(newReg(t))
+	defer b.Close()
+	var got []metric
+	b.Subscribe("lpa.interactions", func(rec any) {
+		if m, ok := rec.(metric); ok {
+			got = append(got, m)
+		}
+	})
+	if err := b.Publish("lpa.interactions", metric{Name: "x", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("other.channel", metric{Name: "ignored"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "x" {
+		t.Fatalf("got = %v", got)
+	}
+	st := b.Stats()
+	if st.Published != 2 || st.LocalDeliver != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLocalFilter(t *testing.T) {
+	b := NewBroker(newReg(t))
+	defer b.Close()
+	var got []int64
+	b.Subscribe("m", func(rec any) { got = append(got, rec.(metric).Value) },
+		WithFilter(func(rec any) bool { return rec.(metric).Value%2 == 0 }))
+	for i := int64(1); i <= 4; i++ {
+		_ = b.Publish("m", metric{Value: i})
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("filtered values = %v", got)
+	}
+}
+
+func TestLocalUnsubscribe(t *testing.T) {
+	b := NewBroker(newReg(t))
+	defer b.Close()
+	n := 0
+	sub := b.Subscribe("m", func(any) { n++ })
+	_ = b.Publish("m", metric{})
+	sub.Close()
+	sub.Close() // idempotent
+	_ = b.Publish("m", metric{})
+	if n != 1 {
+		t.Fatalf("deliveries = %d, want 1", n)
+	}
+}
+
+func TestRemoteSubscriberOverTCP(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = b.Serve(l)
+	}()
+
+	sub, err := Dial(l.Addr().String(), reg, "gpa.feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Give the handshake a moment to register server-side.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := b.Publish("gpa.feed", metric{Name: "rt", Value: 7, Dur: time.Second}); err != nil {
+			t.Fatal(err)
+		}
+		if b.Stats().RemoteDeliver > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("remote subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ch, rec, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != "gpa.feed" {
+		t.Fatalf("channel = %q", ch)
+	}
+	m, ok := rec.Value.(*metric)
+	if !ok {
+		t.Fatalf("record value type %T", rec.Value)
+	}
+	if m.Name != "rt" || m.Value != 7 || m.Dur != time.Second {
+		t.Fatalf("record = %+v", m)
+	}
+
+	b.Close()
+	select {
+	case <-serveDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// After broker close, Recv should eventually error.
+	for {
+		if _, _, err := sub.Recv(); err != nil {
+			break
+		}
+	}
+}
+
+func TestRemoteOnlySubscribedChannels(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg)
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+
+	sub, err := Dial(l.Addr().String(), reg, "wanted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().RemoteDeliver == 0 {
+		_ = b.Publish("unwanted", metric{Name: "no"})
+		_ = b.Publish("wanted", metric{Name: "yes"})
+		if time.Now().After(deadline) {
+			t.Fatal("no remote delivery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ch, rec, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != "wanted" || rec.Value.(*metric).Name != "yes" {
+		t.Fatalf("got %q %+v", ch, rec.Value)
+	}
+}
+
+func TestPublishAfterCloseErrors(t *testing.T) {
+	b := NewBroker(newReg(t))
+	b.Close()
+	if err := b.Publish("m", metric{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestDeadRemoteDroppedOnPublish(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg)
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+
+	sub, err := Dial(l.Addr().String(), reg, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for registration, then kill the client abruptly.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().RemoteDeliver == 0 {
+		_ = b.Publish("m", metric{})
+		if time.Now().After(deadline) {
+			t.Fatal("no remote delivery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sub.Close()
+	// Publishing into the dead connection must eventually fail and drop it
+	// without wedging the broker.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_ = b.Publish("m", metric{})
+		if b.Stats().RemoteFailures > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Skip("peer close not surfaced as write error on this platform")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := b.Publish("m", metric{}); err != nil {
+		// Second publish after the drop should be clean (no remotes left).
+		if b.Stats().RemoteFailures < 1 {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", nil, "m"); err == nil {
+		t.Fatal("dial to closed port should error")
+	}
+}

@@ -1,0 +1,271 @@
+// Package dwcs implements Dynamic Window-Constrained Scheduling (West &
+// Schwan), the black-box request scheduler the paper's multi-tier web
+// service evaluation (§3.3) uses. Each request class ("stream") has a
+// request period, a relative deadline, and a window constraint x/y: at
+// most x deadline misses are tolerated per window of y consecutive
+// requests. DWCS orders classes by earliest deadline, breaking ties with
+// the current window constraints.
+//
+// The resource-aware variant of the paper (RA-DWCS) composes this
+// scheduler with a load-directed backend router (see PickBackend): the
+// scheduler decides *which class* goes next, SysProf's GPA data decides
+// *where* the request runs.
+package dwcs
+
+import (
+	"fmt"
+	"time"
+)
+
+// ClassConfig describes one request class.
+type ClassConfig struct {
+	// Name identifies the class (e.g. "bidding").
+	Name string
+	// Deadline is the relative deadline assigned to each request at
+	// arrival.
+	Deadline time.Duration
+	// X is the number of deadline misses tolerated per window of Y
+	// requests. Lower X/Y means a tighter (higher-priority) constraint.
+	X, Y int
+}
+
+// Request is one schedulable unit.
+type Request struct {
+	Class    string
+	Arrived  time.Duration
+	Deadline time.Duration
+	Payload  any
+}
+
+// ClassStats counts per-class outcomes.
+type ClassStats struct {
+	Enqueued   uint64
+	Dispatched uint64
+	// Missed counts requests dropped because their deadline passed while
+	// queued. Violations counts windows whose tolerated misses were
+	// exhausted (x' reached 0 and another miss occurred).
+	Missed     uint64
+	Violations uint64
+}
+
+// stream is a class's runtime state.
+type stream struct {
+	cfg ClassConfig
+	// xCur and yCur are the current-window tolerances (x', y' in the
+	// papers): misses still tolerated, and requests left in this window.
+	xCur, yCur int
+	queue      []*Request
+	stats      ClassStats
+}
+
+// windowTag is the current-window constraint used for tie-breaks.
+func (s *stream) ratio() float64 {
+	if s.yCur == 0 {
+		return 0
+	}
+	return float64(s.xCur) / float64(s.yCur)
+}
+
+// Scheduler is a DWCS request scheduler over a fixed set of classes.
+type Scheduler struct {
+	streams map[string]*stream
+	order   []string // deterministic iteration order
+}
+
+// New builds a scheduler. Class Y values must be positive; X must satisfy
+// 0 <= X <= Y.
+func New(classes []ClassConfig) (*Scheduler, error) {
+	s := &Scheduler{streams: make(map[string]*stream, len(classes))}
+	for _, cfg := range classes {
+		if cfg.Name == "" {
+			return nil, fmt.Errorf("dwcs: class with empty name")
+		}
+		if cfg.Y <= 0 || cfg.X < 0 || cfg.X > cfg.Y {
+			return nil, fmt.Errorf("dwcs: class %q: window %d/%d invalid", cfg.Name, cfg.X, cfg.Y)
+		}
+		if cfg.Deadline <= 0 {
+			return nil, fmt.Errorf("dwcs: class %q: deadline must be positive", cfg.Name)
+		}
+		if _, ok := s.streams[cfg.Name]; ok {
+			return nil, fmt.Errorf("dwcs: duplicate class %q", cfg.Name)
+		}
+		s.streams[cfg.Name] = &stream{cfg: cfg, xCur: cfg.X, yCur: cfg.Y}
+		s.order = append(s.order, cfg.Name)
+	}
+	return s, nil
+}
+
+// Enqueue adds a request, stamping its absolute deadline.
+func (s *Scheduler) Enqueue(class string, now time.Duration, payload any) error {
+	st := s.streams[class]
+	if st == nil {
+		return fmt.Errorf("dwcs: unknown class %q", class)
+	}
+	st.stats.Enqueued++
+	st.queue = append(st.queue, &Request{
+		Class:    class,
+		Arrived:  now,
+		Deadline: now + st.cfg.Deadline,
+		Payload:  payload,
+	})
+	return nil
+}
+
+// QueueLen returns a class's queued requests (0 for unknown classes).
+func (s *Scheduler) QueueLen(class string) int {
+	if st := s.streams[class]; st != nil {
+		return len(st.queue)
+	}
+	return 0
+}
+
+// Pending returns total queued requests.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, st := range s.streams {
+		n += len(st.queue)
+	}
+	return n
+}
+
+// Stats returns a class's counters.
+func (s *Scheduler) Stats(class string) ClassStats {
+	if st := s.streams[class]; st != nil {
+		return st.stats
+	}
+	return ClassStats{}
+}
+
+// dropExpired removes queued requests whose deadline already passed,
+// updating window state per DWCS loss accounting.
+func (s *Scheduler) dropExpired(now time.Duration) {
+	for _, name := range s.order {
+		st := s.streams[name]
+		kept := st.queue[:0]
+		for _, r := range st.queue {
+			if r.Deadline < now {
+				st.stats.Missed++
+				s.accountLoss(st)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		st.queue = kept
+	}
+}
+
+// accountLoss records one deadline miss in the current window.
+func (s *Scheduler) accountLoss(st *stream) {
+	if st.xCur > 0 {
+		st.xCur--
+	} else {
+		st.stats.Violations++
+	}
+	s.advanceWindow(st)
+}
+
+// accountService records one on-time service in the current window.
+func (s *Scheduler) accountService(st *stream) {
+	s.advanceWindow(st)
+}
+
+func (s *Scheduler) advanceWindow(st *stream) {
+	st.yCur--
+	if st.yCur <= 0 {
+		st.xCur = st.cfg.X
+		st.yCur = st.cfg.Y
+	}
+}
+
+// Next pops the highest-priority request per the DWCS precedence rules:
+//
+//  1. earliest deadline first;
+//  2. equal deadlines: lowest current window-constraint ratio x'/y' first
+//     (tightest remaining tolerance);
+//  3. equal ratios of zero: highest current window-denominator y' first;
+//  4. equal non-zero ratios: lowest window-numerator x' first;
+//  5. otherwise: class declaration order (stable FCFS).
+//
+// Requests whose deadlines passed are dropped (counted as misses) before
+// selection. Next returns nil when no requests are queued.
+func (s *Scheduler) Next(now time.Duration) *Request {
+	s.dropExpired(now)
+	var best *stream
+	for _, name := range s.order {
+		st := s.streams[name]
+		if len(st.queue) == 0 {
+			continue
+		}
+		if best == nil || precedes(st, best) {
+			best = st
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	req := best.queue[0]
+	best.queue = best.queue[1:]
+	best.stats.Dispatched++
+	s.accountService(best)
+	return req
+}
+
+// precedes reports whether a should be served before b.
+func precedes(a, b *stream) bool {
+	da, db := a.queue[0].Deadline, b.queue[0].Deadline
+	if da != db {
+		return da < db
+	}
+	ra, rb := a.ratio(), b.ratio()
+	if ra != rb {
+		return ra < rb
+	}
+	if ra == 0 {
+		// Both exhausted tolerances: bigger remaining window first.
+		if a.yCur != b.yCur {
+			return a.yCur > b.yCur
+		}
+		return false
+	}
+	if a.xCur != b.xCur {
+		return a.xCur < b.xCur
+	}
+	return false
+}
+
+// WindowState exposes a class's current (x', y') for tests and
+// diagnostics.
+func (s *Scheduler) WindowState(class string) (xCur, yCur int, ok bool) {
+	st := s.streams[class]
+	if st == nil {
+		return 0, 0, false
+	}
+	return st.xCur, st.yCur, true
+}
+
+// BackendLoad is the scheduler-facing view of one candidate server's
+// load, fed from SysProf GPA data (gpa.Load) by the caller.
+type BackendLoad struct {
+	ID string
+	// Pressure is any monotone load signal; RA-DWCS in the paper routes
+	// to the lightly loaded server. Mean residence or socket-buffer wait
+	// from the GPA both work.
+	Pressure float64
+}
+
+// PickBackend returns the least-loaded backend, implementing the
+// "resource-aware" routing of RA-DWCS. Ties resolve to the earlier entry
+// (deterministic). It returns the empty string for an empty candidate
+// list.
+func PickBackend(candidates []BackendLoad) string {
+	if len(candidates) == 0 {
+		return ""
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Pressure < best.Pressure {
+			best = c
+		}
+	}
+	return best.ID
+}

@@ -1,0 +1,226 @@
+package dwcs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func newSched(t *testing.T, classes ...ClassConfig) *Scheduler {
+	t.Helper()
+	s, err := New(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := [][]ClassConfig{
+		{{Name: "", Deadline: ms(1), X: 1, Y: 2}},
+		{{Name: "a", Deadline: 0, X: 1, Y: 2}},
+		{{Name: "a", Deadline: ms(1), X: 3, Y: 2}},
+		{{Name: "a", Deadline: ms(1), X: -1, Y: 2}},
+		{{Name: "a", Deadline: ms(1), X: 1, Y: 0}},
+		{
+			{Name: "a", Deadline: ms(1), X: 1, Y: 2},
+			{Name: "a", Deadline: ms(1), X: 1, Y: 2},
+		},
+	}
+	for i, classes := range bad {
+		if _, err := New(classes); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestEnqueueUnknownClass(t *testing.T) {
+	s := newSched(t, ClassConfig{Name: "a", Deadline: ms(10), X: 1, Y: 2})
+	if err := s.Enqueue("nope", 0, nil); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestEarliestDeadlineFirst(t *testing.T) {
+	s := newSched(t,
+		ClassConfig{Name: "slow", Deadline: ms(100), X: 1, Y: 2},
+		ClassConfig{Name: "fast", Deadline: ms(10), X: 1, Y: 2},
+	)
+	_ = s.Enqueue("slow", 0, "s")
+	_ = s.Enqueue("fast", 0, "f")
+	if r := s.Next(0); r.Class != "fast" {
+		t.Fatalf("first dispatch = %s, want fast (EDF)", r.Class)
+	}
+	if r := s.Next(0); r.Class != "slow" {
+		t.Fatal("second dispatch wrong")
+	}
+	if s.Next(0) != nil {
+		t.Fatal("empty scheduler returned a request")
+	}
+}
+
+func TestTieBreakLowerWindowRatio(t *testing.T) {
+	// Same deadline: tighter constraint (1/4) precedes looser (3/4).
+	s := newSched(t,
+		ClassConfig{Name: "loose", Deadline: ms(10), X: 3, Y: 4},
+		ClassConfig{Name: "tight", Deadline: ms(10), X: 1, Y: 4},
+	)
+	_ = s.Enqueue("loose", 0, nil)
+	_ = s.Enqueue("tight", 0, nil)
+	if r := s.Next(0); r.Class != "tight" {
+		t.Fatalf("dispatch = %s, want tight", r.Class)
+	}
+}
+
+func TestExpiredRequestsDropAndCount(t *testing.T) {
+	s := newSched(t, ClassConfig{Name: "a", Deadline: ms(10), X: 1, Y: 3})
+	_ = s.Enqueue("a", 0, nil)     // deadline 10ms
+	_ = s.Enqueue("a", ms(5), nil) // deadline 15ms
+	r := s.Next(ms(12))            // first expired, second viable
+	if r == nil || r.Arrived != ms(5) {
+		t.Fatalf("dispatched %+v", r)
+	}
+	st := s.Stats("a")
+	if st.Missed != 1 || st.Dispatched != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWindowRefillsAfterYRequests(t *testing.T) {
+	s := newSched(t, ClassConfig{Name: "a", Deadline: ms(10), X: 1, Y: 3})
+	for i := 0; i < 3; i++ {
+		_ = s.Enqueue("a", 0, nil)
+		if s.Next(0) == nil {
+			t.Fatal("dispatch failed")
+		}
+	}
+	x, y, ok := s.WindowState("a")
+	if !ok || x != 1 || y != 3 {
+		t.Fatalf("window after full cycle = %d/%d", x, y)
+	}
+}
+
+func TestViolationWhenToleranceExhausted(t *testing.T) {
+	s := newSched(t, ClassConfig{Name: "a", Deadline: ms(1), X: 1, Y: 10})
+	for i := 0; i < 3; i++ {
+		_ = s.Enqueue("a", 0, nil)
+	}
+	// Everything expires: first miss consumes x'=1, further misses are
+	// violations.
+	if s.Next(ms(100)) != nil {
+		t.Fatal("expired requests dispatched")
+	}
+	st := s.Stats("a")
+	if st.Missed != 3 {
+		t.Fatalf("missed = %d", st.Missed)
+	}
+	if st.Violations != 2 {
+		t.Fatalf("violations = %d, want 2", st.Violations)
+	}
+}
+
+func TestFCFSWithinClass(t *testing.T) {
+	s := newSched(t, ClassConfig{Name: "a", Deadline: ms(50), X: 1, Y: 2})
+	for i := 0; i < 3; i++ {
+		_ = s.Enqueue("a", ms(i), i)
+	}
+	for i := 0; i < 3; i++ {
+		r := s.Next(ms(10))
+		if r.Payload.(int) != i {
+			t.Fatalf("dispatch order broken: got %v at %d", r.Payload, i)
+		}
+	}
+}
+
+func TestPendingAndQueueLen(t *testing.T) {
+	s := newSched(t,
+		ClassConfig{Name: "a", Deadline: ms(10), X: 1, Y: 2},
+		ClassConfig{Name: "b", Deadline: ms(10), X: 1, Y: 2},
+	)
+	_ = s.Enqueue("a", 0, nil)
+	_ = s.Enqueue("a", 0, nil)
+	_ = s.Enqueue("b", 0, nil)
+	if s.Pending() != 3 || s.QueueLen("a") != 2 || s.QueueLen("b") != 1 {
+		t.Fatalf("pending=%d a=%d b=%d", s.Pending(), s.QueueLen("a"), s.QueueLen("b"))
+	}
+	if s.QueueLen("zzz") != 0 {
+		t.Fatal("unknown class has queue")
+	}
+}
+
+func TestHighPriorityClassProtectedUnderOverload(t *testing.T) {
+	// Bidding (tight window, short deadline) and comment (loose window):
+	// when only half the requests can be served, bidding must get the
+	// lion's share — the property Figure 7 relies on.
+	s := newSched(t,
+		ClassConfig{Name: "bidding", Deadline: ms(20), X: 1, Y: 10},
+		ClassConfig{Name: "comment", Deadline: ms(60), X: 5, Y: 10},
+	)
+	served := map[string]int{}
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		_ = s.Enqueue("bidding", now, nil)
+		_ = s.Enqueue("comment", now, nil)
+		// Capacity for one dispatch per arrival pair: overload of 2x.
+		if r := s.Next(now); r != nil {
+			served[r.Class]++
+		}
+		now += ms(10)
+	}
+	if served["bidding"] <= served["comment"] {
+		t.Fatalf("bidding=%d comment=%d: tight class not protected",
+			served["bidding"], served["comment"])
+	}
+	if served["bidding"] < 150 {
+		t.Fatalf("bidding served only %d/200", served["bidding"])
+	}
+}
+
+func TestPickBackend(t *testing.T) {
+	if PickBackend(nil) != "" {
+		t.Fatal("empty candidates should return empty id")
+	}
+	got := PickBackend([]BackendLoad{
+		{ID: "s1", Pressure: 5},
+		{ID: "s2", Pressure: 2},
+		{ID: "s3", Pressure: 2},
+	})
+	if got != "s2" {
+		t.Fatalf("picked %s, want s2 (lowest, earliest tie)", got)
+	}
+}
+
+// Property: window invariants hold through any dispatch/miss sequence:
+// 0 <= x' <= X and 1 <= y' <= Y, and dispatched+missed == enqueued when
+// drained.
+func TestWindowInvariantProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		s, err := New([]ClassConfig{{Name: "a", Deadline: ms(5), X: 2, Y: 5}})
+		if err != nil {
+			return false
+		}
+		now := time.Duration(0)
+		for _, op := range ops {
+			now += time.Duration(op%12) * time.Millisecond
+			if op%3 == 0 {
+				_ = s.Enqueue("a", now, nil)
+			} else {
+				s.Next(now)
+			}
+			x, y, _ := s.WindowState("a")
+			if x < 0 || x > 2 || y < 1 || y > 5 {
+				return false
+			}
+		}
+		// Drain.
+		for s.Next(now+time.Hour) != nil {
+		}
+		st := s.Stats("a")
+		return st.Dispatched+st.Missed == st.Enqueued
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

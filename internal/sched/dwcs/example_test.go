@@ -1,0 +1,47 @@
+package dwcs_test
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/sched/dwcs"
+)
+
+// Two request classes with different deadlines and window constraints:
+// DWCS serves the tighter class first at equal deadlines and drops
+// expired work, counting losses per window.
+func ExampleNew() {
+	sched, err := dwcs.New([]dwcs.ClassConfig{
+		{Name: "bidding", Deadline: 100 * time.Millisecond, X: 1, Y: 10},
+		{Name: "comment", Deadline: 400 * time.Millisecond, X: 5, Y: 10},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = sched.Enqueue("comment", 0, nil)
+	_ = sched.Enqueue("bidding", 0, nil)
+
+	for {
+		req := sched.Next(0)
+		if req == nil {
+			break
+		}
+		fmt.Println("dispatch", req.Class)
+	}
+	// Output:
+	// dispatch bidding
+	// dispatch comment
+}
+
+// PickBackend implements RA-DWCS's resource-aware routing: requests go to
+// the least-loaded server, per SysProf GPA data.
+func ExamplePickBackend() {
+	backend := dwcs.PickBackend([]dwcs.BackendLoad{
+		{ID: "servlet-0", Pressure: 42.0}, // overloaded
+		{ID: "servlet-1", Pressure: 3.5},
+	})
+	fmt.Println(backend)
+	// Output:
+	// servlet-1
+}

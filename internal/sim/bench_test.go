@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleAndFire measures the engine's event throughput, which
+// bounds how much virtual activity a wall-clock second can simulate.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		e.Step()
+	}
+}

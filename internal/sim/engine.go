@@ -1,0 +1,214 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an ordered queue of scheduled
+// events. Virtual timestamps are expressed as time.Duration offsets from the
+// simulation epoch (t = 0). Events scheduled for the same instant fire in
+// the order they were scheduled, which keeps runs fully deterministic.
+//
+// All simulated subsystems in this repository (simnet, simos, the SysProf
+// toolkit itself) share one Engine per experiment. The engine is not safe
+// for concurrent use: a simulation is a single-threaded computation by
+// design, which is what makes it reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the engine was stopped
+// explicitly before reaching its goal.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. It is returned by the Schedule methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once popped
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at t = 0 and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far. It is useful for
+// progress accounting and run-away detection in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled, including
+// cancelled events that have not been popped yet.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the
+// past (before Now) is treated as scheduling at Now: the event fires before
+// virtual time advances further.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn d from now. Negative d is treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes the current Run call return ErrStopped after the in-flight
+// event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next scheduled event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			continue
+		}
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped if the engine was stopped, nil otherwise.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left at
+// the deadline even if the queue drained earlier, so subsequent After calls
+// are relative to the deadline. It returns ErrStopped if stopped early.
+func (e *Engine) RunUntil(deadline time.Duration) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (e *Engine) RunFor(d time.Duration) error {
+	return e.RunUntil(e.now + d)
+}
+
+// peek returns the next non-cancelled event without popping it.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if !e.queue[0].cancelled {
+			return e.queue[0]
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// String describes the engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d fired=%d}", e.now, len(e.queue), e.fired)
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterFromCallback(t *testing.T) {
+	e := NewEngine()
+	var fired time.Duration
+	e.After(5*time.Millisecond, func() {
+		e.After(7*time.Millisecond, func() { fired = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 12*time.Millisecond {
+		t.Fatalf("nested event fired at %v, want 12ms", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.After(time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	later := e.After(10*time.Millisecond, func() { ran = true })
+	e.After(time.Millisecond, func() { later.Cancel() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestEngineSchedulePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration = -1
+	e.After(10*time.Millisecond, func() {
+		e.Schedule(2*time.Millisecond, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("past-scheduled event fired at %v, want 10ms (clamped)", at)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {
+			n++
+			if n == 2 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if n != 2 {
+		t.Fatalf("events run = %d, want 2", n)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 5, 9, 15, 20} {
+		d := d * time.Millisecond
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v, want clock parked at deadline", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestEngineRunForAdvancesEvenWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunFor(3 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	cancelled := e.After(time.Millisecond, func() {})
+	cancelled.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7 (cancelled events do not count)", e.Fired())
+	}
+}
+
+// Property: for any set of scheduled offsets, events fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		e := NewEngine()
+		var last time.Duration = -1
+		ok := true
+		for _, off := range offsets {
+			d := time.Duration(off) * time.Microsecond
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	a := NewRNG(1)
+	c1 := a.Fork("one")
+	c2 := a.Fork("two")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("forked streams coincide on %d/50 draws", same)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7)
+	const mean = 3.5
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(mean)
+	}
+	got := sum / n
+	if got < mean*0.95 || got > mean*1.05 {
+		t.Fatalf("Exp sample mean = %.3f, want ~%.1f", got, mean)
+	}
+}
+
+func TestRNGExpNonPositiveMean(t *testing.T) {
+	g := NewRNG(1)
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should return 0")
+	}
+}
+
+func TestRNGNormalClamp(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := g.Normal(0.1, 10, true); v < 0 {
+			t.Fatalf("clamped Normal returned %v < 0", v)
+		}
+	}
+}
+
+func TestRNGIntnDegenerate(t *testing.T) {
+	g := NewRNG(2)
+	if g.Intn(0) != 0 || g.Intn(-5) != 0 {
+		t.Fatal("Intn with n<=0 should return 0")
+	}
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/sim"
+)
+
+// A minimal simulation: schedule work, run, observe virtual time.
+func ExampleNewEngine() {
+	eng := sim.NewEngine()
+	eng.After(10*time.Millisecond, func() {
+		fmt.Println("fired at", eng.Now())
+	})
+	eng.After(5*time.Millisecond, func() {
+		fmt.Println("fired at", eng.Now())
+	})
+	_ = eng.Run()
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// fired at 5ms
+	// fired at 10ms
+	// clock: 10ms
+}
+
+// Cancelling a scheduled event before it fires.
+func ExampleEvent_Cancel() {
+	eng := sim.NewEngine()
+	ev := eng.After(time.Second, func() { fmt.Println("never runs") })
+	ev.Cancel()
+	_ = eng.Run()
+	fmt.Println("pending fired:", eng.Fired())
+	// Output:
+	// pending fired: 0
+}

@@ -1,0 +1,294 @@
+// Package simnet models the network connecting simulated nodes: addresses,
+// flows, packets, and point-to-point links with bandwidth, propagation
+// delay, and FIFO serialization queues.
+//
+// The link model is deliberately simple but captures the two effects the
+// SysProf evaluation depends on: per-packet serialization time (bandwidth)
+// and propagation delay. A link serializes packets one at a time, so a
+// burst of sends queues behind the link exactly like a NIC transmit ring.
+package simnet
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"sysprof/internal/sim"
+)
+
+// NodeID identifies a simulated machine. IDs are assigned by the Network
+// in registration order, starting at 1.
+type NodeID uint16
+
+// Addr is a transport endpoint: a node plus a port.
+type Addr struct {
+	Node NodeID
+	Port uint16
+}
+
+// String renders the address as "n<node>:<port>".
+func (a Addr) String() string {
+	return "n" + strconv.Itoa(int(a.Node)) + ":" + strconv.Itoa(int(a.Port))
+}
+
+// FlowKey identifies a bidirectional conversation by its two endpoints,
+// matching the paper's {node_A IP, node_A port} / {node_B IP, node_B port}
+// pairs. Canonical returns the direction-independent form used for hashing.
+type FlowKey struct {
+	Src Addr
+	Dst Addr
+}
+
+// String renders the flow as "src->dst".
+func (k FlowKey) String() string { return k.Src.String() + "->" + k.Dst.String() }
+
+// Reverse returns the flow viewed from the opposite direction.
+func (k FlowKey) Reverse() FlowKey { return FlowKey{Src: k.Dst, Dst: k.Src} }
+
+// Canonical returns the same key for both directions of a conversation:
+// the lexicographically smaller endpoint becomes Src.
+func (k FlowKey) Canonical() FlowKey {
+	if less(k.Dst, k.Src) {
+		return k.Reverse()
+	}
+	return k
+}
+
+func less(a, b Addr) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Port < b.Port
+}
+
+// Hash returns an FNV-1a hash of the canonical flow key. The SysProf LPA
+// uses it to index its interaction table ("efficient event hashing").
+func (k FlowKey) Hash() uint64 {
+	c := k.Canonical()
+	var h uint64 = 14695981039346656037
+	for _, v := range [4]uint16{uint16(c.Src.Node), c.Src.Port, uint16(c.Dst.Node), c.Dst.Port} {
+		h ^= uint64(v & 0xff)
+		h *= 1099511628211
+		h ^= uint64(v >> 8)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Packet is one network packet. Application messages larger than the MSS
+// are fragmented into several packets by the sending kernel; the receiving
+// kernel reassembles them (see simos). Monitoring observes packets, not
+// messages, exactly as in the paper.
+type Packet struct {
+	Flow    FlowKey // direction of travel: Flow.Src -> Flow.Dst
+	MsgID   uint64  // message the packet belongs to
+	Seq     int     // fragment index within the message
+	Last    bool    // final fragment of the message
+	Size    int     // bytes on the wire, headers included
+	Payload any     // opaque application payload, set on the last fragment
+	// Tag is an optional ARM-style activity identifier propagated by
+	// applications that opt into explicit instrumentation (paper §2:
+	// interleaved requests need "domain-specific knowledge and/or ARM
+	// support"). Zero means untagged.
+	Tag uint64
+}
+
+const (
+	// MTU is the wire maximum transmission unit.
+	MTU = 1500
+	// HeaderSize approximates combined IP+transport headers.
+	HeaderSize = 52
+	// MSS is the application payload carried per full packet.
+	MSS = MTU - HeaderSize
+)
+
+// FragmentCount returns how many packets a message payload of n bytes
+// occupies. Zero-length messages still take one packet.
+func FragmentCount(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + MSS - 1) / MSS
+}
+
+// Host is the interface a node exposes to the network. DeliverPacket is
+// invoked by the engine when a packet's last bit arrives at the node.
+type Host interface {
+	// ID returns the node's identifier, assigned at registration.
+	ID() NodeID
+	// DeliverPacket receives an inbound packet at the NIC.
+	DeliverPacket(p *Packet)
+}
+
+// Link is a unidirectional channel between two nodes.
+type Link struct {
+	eng       *sim.Engine
+	bandwidth float64 // bits per second
+	propagate time.Duration
+	busyUntil time.Duration
+	dst       Host
+	sent      uint64
+	sentBytes uint64
+	dropLimit int // max packets queued (0 = unlimited)
+	queued    int
+	dropped   uint64
+	downUntil time.Duration // link failure injection
+	// lossRate drops packets at random (failure injection); lossRNG must
+	// be set when lossRate > 0.
+	lossRate float64
+	lossRNG  *sim.RNG
+}
+
+// SetLoss makes the link drop packets with probability rate, using rng
+// for reproducible draws. rate 0 disables loss.
+func (l *Link) SetLoss(rate float64, rng *sim.RNG) {
+	l.lossRate = rate
+	l.lossRNG = rng
+}
+
+// LinkConfig configures one direction of a link.
+type LinkConfig struct {
+	// Bandwidth in bits per second. Must be > 0.
+	Bandwidth float64
+	// Propagation delay (one way).
+	Propagation time.Duration
+	// QueueLimit caps packets in the serialization queue. 0 disables the
+	// cap; when exceeded, packets are dropped (failure injection).
+	QueueLimit int
+}
+
+// Gbps and Mbps are convenience bandwidth units in bits per second.
+const (
+	Gbps = 1e9
+	Mbps = 1e6
+)
+
+// Send enqueues a packet on the link. The packet is delivered to the
+// destination host after serialization plus propagation. It reports
+// whether the packet was accepted (false when the queue cap is exceeded
+// or the link is down).
+func (l *Link) Send(p *Packet) bool {
+	now := l.eng.Now()
+	if now < l.downUntil {
+		l.dropped++
+		return false
+	}
+	if l.dropLimit > 0 && l.queued >= l.dropLimit {
+		l.dropped++
+		return false
+	}
+	if l.lossRate > 0 && l.lossRNG != nil && l.lossRNG.Float64() < l.lossRate {
+		l.dropped++
+		return false
+	}
+	ser := time.Duration(float64(p.Size*8) / l.bandwidth * float64(time.Second))
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	l.busyUntil = start + ser
+	arrive := l.busyUntil + l.propagate
+	l.queued++
+	l.eng.Schedule(arrive, func() {
+		l.queued--
+		l.sent++
+		l.sentBytes += uint64(p.Size)
+		l.dst.DeliverPacket(p)
+	})
+	return true
+}
+
+// Fail takes the link down for d: packets sent while down are dropped.
+func (l *Link) Fail(d time.Duration) { l.downUntil = l.eng.Now() + d }
+
+// Stats reports packets delivered, bytes delivered, and packets dropped.
+func (l *Link) Stats() (packets, bytes, dropped uint64) {
+	return l.sent, l.sentBytes, l.dropped
+}
+
+// Network wires hosts together with links and routes packets.
+type Network struct {
+	eng   *sim.Engine
+	hosts map[NodeID]Host
+	links map[[2]NodeID]*Link
+	next  NodeID
+	deflt LinkConfig
+}
+
+// NewNetwork returns a network using eng for time. The default link config
+// (applied by Connect when no explicit config is given) is 1 Gbps with
+// 50 µs propagation delay, matching the paper's testbed LAN.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{
+		eng:   eng,
+		hosts: make(map[NodeID]Host),
+		links: make(map[[2]NodeID]*Link),
+		next:  1,
+		deflt: LinkConfig{Bandwidth: Gbps, Propagation: 50 * time.Microsecond},
+	}
+}
+
+// SetDefaultLink changes the config used by Connect.
+func (n *Network) SetDefaultLink(cfg LinkConfig) { n.deflt = cfg }
+
+// AllocateID reserves the next node ID. Hosts call this during
+// construction, then Register themselves.
+func (n *Network) AllocateID() NodeID {
+	id := n.next
+	n.next++
+	return id
+}
+
+// Register adds a host so packets can be routed to it. It returns an error
+// if the ID is already taken.
+func (n *Network) Register(h Host) error {
+	if _, ok := n.hosts[h.ID()]; ok {
+		return fmt.Errorf("simnet: node %d already registered", h.ID())
+	}
+	n.hosts[h.ID()] = h
+	return nil
+}
+
+// Connect creates bidirectional links between a and b with the default
+// config. It overwrites any existing links between the pair.
+func (n *Network) Connect(a, b NodeID) error {
+	return n.ConnectWith(a, b, n.deflt)
+}
+
+// ConnectWith creates bidirectional links between a and b with cfg.
+func (n *Network) ConnectWith(a, b NodeID, cfg LinkConfig) error {
+	if cfg.Bandwidth <= 0 {
+		return fmt.Errorf("simnet: connect %d-%d: bandwidth must be positive", a, b)
+	}
+	ha, ok := n.hosts[a]
+	if !ok {
+		return fmt.Errorf("simnet: connect: node %d not registered", a)
+	}
+	hb, ok := n.hosts[b]
+	if !ok {
+		return fmt.Errorf("simnet: connect: node %d not registered", b)
+	}
+	n.links[[2]NodeID{a, b}] = &Link{
+		eng: n.eng, bandwidth: cfg.Bandwidth, propagate: cfg.Propagation,
+		dst: hb, dropLimit: cfg.QueueLimit,
+	}
+	n.links[[2]NodeID{b, a}] = &Link{
+		eng: n.eng, bandwidth: cfg.Bandwidth, propagate: cfg.Propagation,
+		dst: ha, dropLimit: cfg.QueueLimit,
+	}
+	return nil
+}
+
+// Link returns the directed link from a to b, or nil if none exists.
+func (n *Network) Link(a, b NodeID) *Link { return n.links[[2]NodeID{a, b}] }
+
+// Transmit sends a packet from its flow source node toward its flow
+// destination node. It reports whether a link existed and accepted the
+// packet.
+func (n *Network) Transmit(p *Packet) bool {
+	l := n.links[[2]NodeID{p.Flow.Src.Node, p.Flow.Dst.Node}]
+	if l == nil {
+		return false
+	}
+	return l.Send(p)
+}

@@ -1,0 +1,286 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysprof/internal/sim"
+)
+
+type fakeHost struct {
+	id   NodeID
+	got  []*Packet
+	when []time.Duration
+	eng  *sim.Engine
+}
+
+func (h *fakeHost) ID() NodeID { return h.id }
+func (h *fakeHost) DeliverPacket(p *Packet) {
+	h.got = append(h.got, p)
+	h.when = append(h.when, h.eng.Now())
+}
+
+func newPair(t *testing.T, cfg LinkConfig) (*sim.Engine, *Network, *fakeHost, *fakeHost) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	a := &fakeHost{id: net.AllocateID(), eng: eng}
+	b := &fakeHost{id: net.AllocateID(), eng: eng}
+	if err := net.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectWith(a.id, b.id, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net, a, b
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Node: 3, Port: 8080}
+	if got := a.String(); got != "n3:8080" {
+		t.Fatalf("Addr.String = %q", got)
+	}
+}
+
+func TestFlowKeyCanonical(t *testing.T) {
+	k := FlowKey{Src: Addr{Node: 2, Port: 99}, Dst: Addr{Node: 1, Port: 80}}
+	c := k.Canonical()
+	if c.Src.Node != 1 {
+		t.Fatalf("Canonical src = %v, want node 1 first", c.Src)
+	}
+	if k.Reverse().Canonical() != c {
+		t.Fatal("Canonical differs across directions")
+	}
+}
+
+func TestFlowKeyHashDirectionIndependent(t *testing.T) {
+	prop := func(an, ap, bn, bp uint16) bool {
+		k := FlowKey{Src: Addr{Node: NodeID(an), Port: ap}, Dst: Addr{Node: NodeID(bn), Port: bp}}
+		return k.Hash() == k.Reverse().Hash()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowKeyHashSpreads(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for n := 1; n <= 16; n++ {
+		for p := 1; p <= 64; p++ {
+			k := FlowKey{Src: Addr{Node: NodeID(n), Port: uint16(p)}, Dst: Addr{Node: 100, Port: 80}}
+			seen[k.Hash()] = true
+		}
+	}
+	if len(seen) != 16*64 {
+		t.Fatalf("hash collisions: %d distinct of %d", len(seen), 16*64)
+	}
+}
+
+func TestFragmentCount(t *testing.T) {
+	tests := []struct {
+		bytes, want int
+	}{
+		{0, 1}, {1, 1}, {MSS, 1}, {MSS + 1, 2}, {10 * MSS, 10}, {10*MSS + 5, 11},
+	}
+	for _, tt := range tests {
+		if got := FragmentCount(tt.bytes); got != tt.want {
+			t.Errorf("FragmentCount(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	// 1000-byte packet at 1 Gbps = 8 µs serialization, plus 100 µs propagation.
+	eng, net, a, b := newPair(t, LinkConfig{Bandwidth: Gbps, Propagation: 100 * time.Microsecond})
+	p := &Packet{Flow: FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}, Size: 1000}
+	if !net.Transmit(p) {
+		t.Fatal("Transmit rejected")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(b.got))
+	}
+	want := 8*time.Microsecond + 100*time.Microsecond
+	if b.when[0] != want {
+		t.Fatalf("arrival at %v, want %v", b.when[0], want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	// Two packets sent at t=0 must queue: second arrives one serialization
+	// time after the first.
+	eng, net, a, b := newPair(t, LinkConfig{Bandwidth: Mbps, Propagation: 0})
+	flow := FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}
+	net.Transmit(&Packet{Flow: flow, Size: 125}) // 125B*8/1Mbps = 1ms
+	net.Transmit(&Packet{Flow: flow, Size: 125})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.when) != 2 {
+		t.Fatalf("delivered %d, want 2", len(b.when))
+	}
+	if b.when[0] != time.Millisecond || b.when[1] != 2*time.Millisecond {
+		t.Fatalf("arrivals %v, want [1ms 2ms]", b.when)
+	}
+}
+
+func TestLinkQueueLimitDrops(t *testing.T) {
+	_, net, a, b := newPair(t, LinkConfig{Bandwidth: Mbps, Propagation: 0, QueueLimit: 2})
+	flow := FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if net.Transmit(&Packet{Flow: flow, Size: 125}) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d, want 2", accepted)
+	}
+	l := net.Link(a.id, b.id)
+	if _, _, dropped := l.Stats(); dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+}
+
+func TestLinkFail(t *testing.T) {
+	eng, net, a, b := newPair(t, LinkConfig{Bandwidth: Gbps, Propagation: 0})
+	flow := FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}
+	net.Link(a.id, b.id).Fail(time.Second)
+	if net.Transmit(&Packet{Flow: flow, Size: 100}) {
+		t.Fatal("send on failed link accepted")
+	}
+	eng.RunFor(2 * time.Second)
+	if !net.Transmit(&Packet{Flow: flow, Size: 100}) {
+		t.Fatal("send after link recovery rejected")
+	}
+	eng.Run()
+	if len(b.got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(b.got))
+	}
+}
+
+func TestTransmitNoRoute(t *testing.T) {
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	h := &fakeHost{id: net.AllocateID(), eng: eng}
+	if err := net.Register(h); err != nil {
+		t.Fatal(err)
+	}
+	p := &Packet{Flow: FlowKey{Src: Addr{Node: h.id}, Dst: Addr{Node: 99}}, Size: 10}
+	if net.Transmit(p) {
+		t.Fatal("Transmit with no link should fail")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	h := &fakeHost{id: net.AllocateID(), eng: eng}
+	if err := net.Register(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(h); err == nil {
+		t.Fatal("duplicate Register should error")
+	}
+}
+
+func TestConnectUnregistered(t *testing.T) {
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	if err := net.Connect(1, 2); err == nil {
+		t.Fatal("Connect with unregistered nodes should error")
+	}
+}
+
+func TestConnectBadBandwidth(t *testing.T) {
+	eng, net, a, b := newPair(t, LinkConfig{Bandwidth: Gbps})
+	_ = eng
+	if err := net.ConnectWith(a.id, b.id, LinkConfig{Bandwidth: 0}); err == nil {
+		t.Fatal("zero bandwidth should error")
+	}
+}
+
+func TestBidirectionalLinksIndependent(t *testing.T) {
+	eng, net, a, b := newPair(t, LinkConfig{Bandwidth: Mbps, Propagation: 0})
+	fwd := FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}
+	net.Transmit(&Packet{Flow: fwd, Size: 125})
+	net.Transmit(&Packet{Flow: fwd.Reverse(), Size: 125})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both arrive at 1ms: the directions do not share a serialization queue.
+	if len(a.when) != 1 || len(b.when) != 1 {
+		t.Fatalf("deliveries a=%d b=%d, want 1 each", len(a.when), len(b.when))
+	}
+	if a.when[0] != time.Millisecond || b.when[0] != time.Millisecond {
+		t.Fatalf("arrivals a=%v b=%v, want 1ms each", a.when[0], b.when[0])
+	}
+}
+
+// Property: delivery time is nondecreasing in send order on one link.
+func TestLinkFIFOProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		eng, net, a, b := newPairQuick()
+		flow := FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}
+		for _, s := range sizes {
+			net.Transmit(&Packet{Flow: flow, Size: int(s%2000) + 1})
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(b.when); i++ {
+			if b.when[i] < b.when[i-1] {
+				return false
+			}
+		}
+		return len(b.got) == len(sizes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newPairQuick() (*sim.Engine, *Network, *fakeHost, *fakeHost) {
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	a := &fakeHost{id: net.AllocateID(), eng: eng}
+	b := &fakeHost{id: net.AllocateID(), eng: eng}
+	_ = net.Register(a)
+	_ = net.Register(b)
+	_ = net.ConnectWith(a.id, b.id, LinkConfig{Bandwidth: 100 * Mbps, Propagation: 10 * time.Microsecond})
+	return eng, net, a, b
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	eng, net, a, b := newPair(t, LinkConfig{Bandwidth: Gbps, Propagation: 0})
+	net.Link(a.id, b.id).SetLoss(0.5, sim.NewRNG(5))
+	flow := FlowKey{Src: Addr{Node: a.id, Port: 1}, Dst: Addr{Node: b.id, Port: 2}}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		net.Transmit(&Packet{Flow: flow, Size: 100})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := len(b.got)
+	if got < 400 || got > 600 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, n)
+	}
+	_, _, dropped := net.Link(a.id, b.id).Stats()
+	if int(dropped)+got != n {
+		t.Fatalf("conservation: %d dropped + %d delivered != %d", dropped, got, n)
+	}
+	// Disable loss: everything goes through again.
+	net.Link(a.id, b.id).SetLoss(0, nil)
+	net.Transmit(&Packet{Flow: flow, Size: 100})
+	eng.Run()
+	if len(b.got) != got+1 {
+		t.Fatal("loss not disabled")
+	}
+}

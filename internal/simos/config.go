@@ -1,0 +1,134 @@
+// Package simos models the operating-system kernel of a simulated node:
+// processes, a CPU scheduler with kernel/user work classes, system calls,
+// the network protocol stack, socket buffers with message reassembly, and
+// a disk. It is the substrate the SysProf toolkit instruments, standing in
+// for the paper's patched Linux 2.4.19 kernel.
+//
+// Instrumentation points call kprof.Hub.Emit at the same code locations
+// the paper patches: context switches, process create/exit, block/wake,
+// syscall entry/exit, packet receive (NIC), packet delivery to a socket
+// buffer, user-level read, send, packet transmit, and file-system/disk
+// operations. The CPU time Emit reports is charged to the node's CPU, so
+// monitoring overhead perturbs the workload exactly as on real hardware.
+package simos
+
+import "time"
+
+// Config holds the per-node cost model. The defaults approximate a
+// 2.8 GHz uniprocessor of the paper's era (Linux 2.4 on x86): a few
+// microseconds per context switch, sub-microsecond syscall entry, and
+// several microseconds of protocol processing per packet.
+type Config struct {
+	// NumCPUs is the number of processors. The paper's testbed used
+	// uniprocessors; per-CPU analyzer buffers still exist for >1.
+	NumCPUs int
+
+	// CtxSwitchCost is kernel time consumed when the CPU switches between
+	// processes.
+	CtxSwitchCost time.Duration
+
+	// SyscallCost is the fixed entry/exit overhead of a system call,
+	// charged in addition to the call's own work.
+	SyscallCost time.Duration
+
+	// TimeSlice bounds how long one user-mode burst may run when other
+	// user work is waiting (round-robin quantum).
+	TimeSlice time.Duration
+
+	// NetRxCost and NetRxCostPerByte model inbound protocol processing
+	// (interrupt + IP + transport) per packet.
+	NetRxCost        time.Duration
+	NetRxCostPerByte time.Duration
+
+	// NetTxCost and NetTxCostPerByte model outbound protocol processing
+	// per packet.
+	NetTxCost        time.Duration
+	NetTxCostPerByte time.Duration
+
+	// CopyCostPerByte models the copy between kernel and user space on
+	// socket reads/writes.
+	CopyCostPerByte time.Duration
+
+	// SockBufBytes caps each socket's receive buffer. Packets arriving
+	// when the buffer is full are dropped (and counted).
+	SockBufBytes int
+
+	// WakeCost is the kernel time to wake a blocked process.
+	WakeCost time.Duration
+
+	// DiskSeek is the fixed per-operation disk latency; DiskBytesPerSec
+	// is the transfer rate. DiskSpindles is the device's internal
+	// parallelism (command queueing / RAID): operations are dispatched to
+	// the least-busy spindle. Default 1 (a strict FIFO disk).
+	DiskSeek        time.Duration
+	DiskBytesPerSec float64
+	DiskSpindles    int
+}
+
+// DefaultConfig returns the standard cost model described on Config.
+func DefaultConfig() Config {
+	return Config{
+		NumCPUs:          1,
+		CtxSwitchCost:    3 * time.Microsecond,
+		SyscallCost:      700 * time.Nanosecond,
+		TimeSlice:        10 * time.Millisecond,
+		NetRxCost:        3500 * time.Nanosecond,
+		NetRxCostPerByte: 2 * time.Nanosecond,
+		NetTxCost:        2 * time.Microsecond,
+		NetTxCostPerByte: time.Nanosecond,
+		CopyCostPerByte:  time.Nanosecond, // ~1 GB/s copy bandwidth
+		SockBufBytes:     1 << 20,
+		WakeCost:         1500 * time.Nanosecond,
+		DiskSeek:         4 * time.Millisecond,
+		DiskBytesPerSec:  40e6,
+	}
+}
+
+// normalize fills zero fields with defaults so callers can override only
+// what they care about.
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.NumCPUs <= 0 {
+		c.NumCPUs = d.NumCPUs
+	}
+	if c.CtxSwitchCost == 0 {
+		c.CtxSwitchCost = d.CtxSwitchCost
+	}
+	if c.SyscallCost == 0 {
+		c.SyscallCost = d.SyscallCost
+	}
+	if c.TimeSlice == 0 {
+		c.TimeSlice = d.TimeSlice
+	}
+	if c.NetRxCost == 0 {
+		c.NetRxCost = d.NetRxCost
+	}
+	if c.NetRxCostPerByte == 0 {
+		c.NetRxCostPerByte = d.NetRxCostPerByte
+	}
+	if c.NetTxCost == 0 {
+		c.NetTxCost = d.NetTxCost
+	}
+	if c.NetTxCostPerByte == 0 {
+		c.NetTxCostPerByte = d.NetTxCostPerByte
+	}
+	if c.CopyCostPerByte == 0 {
+		c.CopyCostPerByte = d.CopyCostPerByte
+	}
+	if c.SockBufBytes == 0 {
+		c.SockBufBytes = d.SockBufBytes
+	}
+	if c.WakeCost == 0 {
+		c.WakeCost = d.WakeCost
+	}
+	if c.DiskSeek == 0 {
+		c.DiskSeek = d.DiskSeek
+	}
+	if c.DiskBytesPerSec == 0 {
+		c.DiskBytesPerSec = d.DiskBytesPerSec
+	}
+	if c.DiskSpindles <= 0 {
+		c.DiskSpindles = 1
+	}
+	return c
+}

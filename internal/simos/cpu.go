@@ -1,0 +1,188 @@
+package simos
+
+import (
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/sim"
+)
+
+// workKind classifies CPU work. Kernel work (interrupt handlers, softirq
+// protocol processing, syscall service) preempts user work, mirroring the
+// Linux execution model the paper's measurements depend on: when request
+// traffic rises, kernel processing steals the CPU and user-level servers
+// fall behind, so packets queue in socket buffers.
+type workKind uint8
+
+const (
+	kernelWork workKind = iota + 1
+	userWork
+)
+
+// burst is one schedulable chunk of CPU work.
+type burst struct {
+	proc      *Process // nil for raw kernel work not tied to a process
+	kind      workKind
+	remaining time.Duration
+	done      func() // runs when the burst fully completes (may be nil)
+}
+
+// cpu is one processor of a node, scheduling kernel and user bursts.
+type cpu struct {
+	node *Node
+	id   uint8
+
+	kq []*burst // kernel FIFO (runs first, never preempted)
+	uq []*burst // user round-robin queue
+
+	cur      *burst
+	curStart time.Duration
+	curQuant time.Duration // how much of cur runs before the next decision
+	curEv    *sim.Event
+
+	lastPID int32 // previously running process, for ctx-switch detection
+
+	busy time.Duration // cumulative non-idle time, for utilization
+}
+
+func (c *cpu) submitKernel(d time.Duration, done func()) {
+	c.submit(&burst{kind: kernelWork, remaining: d, done: done})
+}
+
+func (c *cpu) submitKernelFor(p *Process, d time.Duration, done func()) {
+	c.submit(&burst{proc: p, kind: kernelWork, remaining: d, done: done})
+}
+
+func (c *cpu) submitUser(p *Process, d time.Duration, done func()) {
+	c.submit(&burst{proc: p, kind: userWork, remaining: d, done: done})
+}
+
+func (c *cpu) submit(b *burst) {
+	if b.remaining <= 0 {
+		// Zero-length work: run its completion in scheduling order by
+		// giving it a minimal burst, preserving determinism.
+		b.remaining = time.Nanosecond
+	}
+	if b.kind == kernelWork {
+		c.kq = append(c.kq, b)
+	} else {
+		c.uq = append(c.uq, b)
+	}
+	c.dispatch()
+}
+
+// charge consumes CPU time with no completion action, e.g. monitoring
+// overhead reported by kprof.Emit.
+func (c *cpu) charge(kind workKind, p *Process, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.submit(&burst{proc: p, kind: kind, remaining: d})
+}
+
+// dispatch picks the next burst to run, preempting user work when kernel
+// work is pending.
+func (c *cpu) dispatch() {
+	if c.cur != nil {
+		if c.cur.kind == userWork && len(c.kq) > 0 {
+			c.preempt()
+		} else {
+			return
+		}
+	}
+	var next *burst
+	switch {
+	case len(c.kq) > 0:
+		next = c.kq[0]
+		c.kq = c.kq[1:]
+	case len(c.uq) > 0:
+		next = c.uq[0]
+		c.uq = c.uq[1:]
+	default:
+		return
+	}
+
+	// Context-switch accounting when the running process changes.
+	var switchCost time.Duration
+	if next.proc != nil && next.proc.pid != c.lastPID {
+		switchCost = c.node.cfg.CtxSwitchCost
+		if hub := c.node.hub; hub.Enabled(kprof.EvCtxSwitch) {
+			ov := hub.Emit(&kprof.Event{
+				Type: kprof.EvCtxSwitch, CPU: c.id,
+				PID: c.lastPID, PID2: next.proc.pid,
+			})
+			switchCost += ov
+		}
+		next.proc.stats.CtxSwitches++
+		c.lastPID = next.proc.pid
+	}
+
+	quantum := next.remaining
+	if next.kind == userWork && quantum > c.node.cfg.TimeSlice {
+		quantum = c.node.cfg.TimeSlice
+	}
+
+	c.cur = next
+	c.curStart = c.node.eng.Now()
+	c.curQuant = switchCost + quantum
+	if switchCost > 0 && next.proc != nil {
+		next.proc.stats.KernelTime += switchCost
+	}
+	c.busy += c.curQuant
+	c.curEv = c.node.eng.After(c.curQuant, func() { c.finishQuantum(switchCost) })
+}
+
+// preempt stops the current user burst so kernel work can run. The
+// executed portion is accounted and the remainder goes to the front of
+// the user queue.
+func (c *cpu) preempt() {
+	b := c.cur
+	elapsed := c.node.eng.Now() - c.curStart
+	if elapsed > c.curQuant {
+		elapsed = c.curQuant
+	}
+	c.curEv.Cancel()
+	c.busy -= c.curQuant - elapsed // un-count the part that will not run now
+	b.remaining -= elapsed
+	if b.proc != nil {
+		b.proc.stats.UserTime += elapsed
+	}
+	if b.remaining <= 0 {
+		// The burst effectively completed at this instant; run its
+		// completion before the kernel work we are preempting for would
+		// be wrong — kernel work preempts — so requeue a minimal tail.
+		b.remaining = time.Nanosecond
+	}
+	c.uq = append([]*burst{b}, c.uq...)
+	c.cur = nil
+}
+
+// finishQuantum runs when the scheduled quantum elapses.
+func (c *cpu) finishQuantum(switchCost time.Duration) {
+	b := c.cur
+	c.cur = nil
+	ran := c.curQuant - switchCost
+	b.remaining -= ran
+	if b.proc != nil {
+		switch b.kind {
+		case userWork:
+			b.proc.stats.UserTime += ran
+		case kernelWork:
+			b.proc.stats.KernelTime += ran
+		}
+	}
+	if b.remaining > 0 {
+		// Quantum expired: rotate to the back of the user queue.
+		c.uq = append(c.uq, b)
+		c.dispatch()
+		return
+	}
+	done := b.done
+	c.dispatch()
+	if done != nil {
+		done()
+	}
+}
+
+// Busy returns cumulative busy time on this CPU.
+func (c *cpu) Busy() time.Duration { return c.busy }

@@ -1,0 +1,137 @@
+package simos
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/kprof"
+)
+
+// TestKernelWorkFIFONoSelfPreemption: kernel work arriving while kernel
+// work runs queues FIFO (softirqs do not preempt each other).
+func TestKernelWorkFIFONoSelfPreemption(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	c := nodes[0].cpus[0]
+	var order []int
+	c.submitKernel(time.Millisecond, func() { order = append(order, 1) })
+	c.submitKernel(time.Millisecond, func() { order = append(order, 2) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != 2*time.Millisecond {
+		t.Fatalf("finished at %v", eng.Now())
+	}
+}
+
+// TestRepeatedPreemption: a long user burst survives many interleaved
+// kernel preemptions and accumulates exactly its burst length of user
+// time.
+func TestRepeatedPreemption(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	c := nodes[0].cpus[0]
+	var userDone time.Duration
+	p := nodes[0].Spawn("u", func(p *Process) {
+		p.Compute(10*time.Millisecond, func() { userDone = eng.Now() })
+	})
+	// Kernel work every 1 ms, 0.5 ms each.
+	for i := 1; i <= 8; i++ {
+		at := time.Duration(i) * time.Millisecond
+		eng.Schedule(at, func() {
+			c.submitKernel(500*time.Microsecond, nil)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10ms of user work + 4ms of kernel work, serialized on one CPU.
+	if userDone < 14*time.Millisecond {
+		t.Fatalf("user burst finished at %v, want >= 14ms", userDone)
+	}
+	st := p.Stats()
+	if st.UserTime < 9900*time.Microsecond || st.UserTime > 10100*time.Microsecond {
+		t.Fatalf("UserTime = %v, want ~10ms despite preemptions", st.UserTime)
+	}
+}
+
+// TestZeroLengthBurstRuns: zero/negative-length work still executes its
+// completion in order.
+func TestZeroLengthBurstRuns(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	c := nodes[0].cpus[0]
+	var order []int
+	c.submitKernel(0, func() { order = append(order, 1) })
+	c.submitKernel(-time.Second, func() { order = append(order, 2) })
+	c.submitKernel(time.Microsecond, func() { order = append(order, 3) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestBusyAccountingConsistent: cumulative busy time equals executed work
+// even across preemptions.
+func TestBusyAccountingConsistent(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{CtxSwitchCost: time.Nanosecond})
+	c := nodes[0].cpus[0]
+	nodes[0].Spawn("u", func(p *Process) {
+		p.Compute(5*time.Millisecond, nil)
+	})
+	eng.Schedule(time.Millisecond, func() {
+		c.submitKernel(2*time.Millisecond, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Total work: 5ms user + 2ms kernel + tiny switch costs.
+	if c.Busy() < 7*time.Millisecond || c.Busy() > 7*time.Millisecond+100*time.Microsecond {
+		t.Fatalf("busy = %v, want ~7ms", c.Busy())
+	}
+}
+
+// TestCtxSwitchCostCharged: switching between processes costs kernel time
+// attributed to the incoming process.
+func TestCtxSwitchCostCharged(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{CtxSwitchCost: 100 * time.Microsecond})
+	var done time.Duration
+	nodes[0].Spawn("a", func(p *Process) {
+		p.Compute(time.Millisecond, nil)
+	})
+	nodes[0].Spawn("b", func(p *Process) {
+		p.Compute(time.Millisecond, func() { done = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two bursts + two context switches (onto a, then onto b).
+	if done < 2200*time.Microsecond {
+		t.Fatalf("done at %v, want >= 2.2ms with switch costs", done)
+	}
+}
+
+// TestSliceRotationEmitsCtxSwitches: RR between two CPU hogs emits a
+// steady stream of ctx_switch events with both PIDs.
+func TestSliceRotationEmitsCtxSwitches(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	seen := map[int32]int{}
+	nodes[0].Hub().Subscribe(kprof.MaskOf(kprof.EvCtxSwitch), func(ev *kprof.Event) {
+		seen[ev.PID2]++
+	})
+	for i := 0; i < 2; i++ {
+		nodes[0].Spawn("hog", func(p *Process) {
+			var loop func()
+			loop = func() { p.Compute(5*time.Millisecond, loop) }
+			loop()
+		})
+	}
+	if err := eng.RunUntil(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if seen[1] < 3 || seen[2] < 3 {
+		t.Fatalf("switch targets = %v, want both PIDs repeatedly", seen)
+	}
+}

@@ -1,0 +1,49 @@
+package simos
+
+import "time"
+
+// disk is a storage device with one or more spindles (command-queueing
+// parallelism): each operation pays a fixed seek plus a size-proportional
+// transfer time, serialized behind earlier operations on the least-busy
+// spindle.
+type disk struct {
+	node     *Node
+	spindles []time.Duration // per-spindle busy-until
+	ops      uint64
+	busy     time.Duration
+}
+
+// submit schedules an operation of the given size; done runs at completion
+// (in "interrupt" context, i.e. plain engine context — callers wrap it in
+// kernel work).
+func (d *disk) submit(size int, done func()) {
+	if len(d.spindles) == 0 {
+		n := d.node.cfg.DiskSpindles
+		if n < 1 {
+			n = 1
+		}
+		d.spindles = make([]time.Duration, n)
+	}
+	now := d.node.eng.Now()
+	svc := d.node.cfg.DiskSeek +
+		time.Duration(float64(size)/d.node.cfg.DiskBytesPerSec*float64(time.Second))
+	best := 0
+	for i, b := range d.spindles {
+		if b < d.spindles[best] {
+			best = i
+		}
+	}
+	start := d.spindles[best]
+	if start < now {
+		start = now
+	}
+	d.spindles[best] = start + svc
+	d.ops++
+	d.busy += svc
+	d.node.eng.Schedule(d.spindles[best], done)
+}
+
+// DiskStats reports operation count and cumulative service time.
+func (n *Node) DiskStats() (ops uint64, busy time.Duration) {
+	return n.disk.ops, n.disk.busy
+}

@@ -1,0 +1,274 @@
+package simos
+
+import (
+	"fmt"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+)
+
+// Node is one simulated machine: CPUs, processes, sockets, a disk, and a
+// kprof instrumentation hub.
+type Node struct {
+	id   simnet.NodeID
+	name string
+	eng  *sim.Engine
+	net  *simnet.Network
+	cfg  Config
+	hub  *kprof.Hub
+
+	// clock maps engine time to this node's local clock (possibly skewed;
+	// see internal/ntpclock). Instrumentation timestamps use it.
+	clock func() time.Duration
+
+	cpus    []*cpu
+	procs   map[int32]*Process
+	nextPID int32
+	sockets map[uint16]*Socket
+	nextMsg uint64
+	disk    *disk
+
+	// Reassembly of in-flight fragmented messages, keyed by flow+msg.
+	partial map[partialKey]*partialMsg
+
+	stats NodeStats
+}
+
+type partialKey struct {
+	flow  simnet.FlowKey
+	msgID uint64
+}
+
+type partialMsg struct {
+	bytes   int
+	packets int
+	payload any
+	tag     uint64
+	firstRx time.Duration
+}
+
+// NodeStats aggregates node-level counters.
+type NodeStats struct {
+	PacketsIn     uint64
+	PacketsOut    uint64
+	BytesIn       uint64
+	BytesOut      uint64
+	SockDrops     uint64
+	MessagesIn    uint64
+	MessagesOut   uint64
+	RouteFailures uint64
+}
+
+// NewNode creates a node, allocates its network ID, and registers it.
+func NewNode(eng *sim.Engine, network *simnet.Network, name string, cfg Config) (*Node, error) {
+	n := &Node{
+		name:    name,
+		eng:     eng,
+		net:     network,
+		cfg:     cfg.normalize(),
+		procs:   make(map[int32]*Process),
+		nextPID: 1,
+		sockets: make(map[uint16]*Socket),
+		nextMsg: 1,
+		partial: make(map[partialKey]*partialMsg),
+	}
+	n.id = network.AllocateID()
+	n.clock = eng.Now
+	n.hub = kprof.NewHub(n.id, func() time.Duration { return n.clock() })
+	for i := 0; i < n.cfg.NumCPUs; i++ {
+		n.cpus = append(n.cpus, &cpu{node: n, id: uint8(i)})
+	}
+	n.disk = &disk{node: n}
+	if err := network.Register(n); err != nil {
+		return nil, fmt.Errorf("simos: new node %q: %w", name, err)
+	}
+	return n, nil
+}
+
+var _ simnet.Host = (*Node)(nil)
+
+// ID returns the node's network identifier.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// Name returns the node's human-readable name.
+func (n *Node) Name() string { return n.name }
+
+// Hub returns the node's instrumentation hub.
+func (n *Node) Hub() *kprof.Hub { return n.hub }
+
+// Engine returns the simulation engine the node runs on.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// Config returns the node's cost model.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stats returns a copy of the node counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// SetClock replaces the node-local clock used for instrumentation
+// timestamps (see internal/ntpclock).
+func (n *Node) SetClock(clock func() time.Duration) { n.clock = clock }
+
+// Clock returns the node-local time.
+func (n *Node) Clock() time.Duration { return n.clock() }
+
+// CPUBusy returns the cumulative busy time of cpu i (0 when out of range).
+func (n *Node) CPUBusy(i int) time.Duration {
+	if i < 0 || i >= len(n.cpus) {
+		return 0
+	}
+	return n.cpus[i].Busy()
+}
+
+// Utilization returns mean CPU utilization over the node's lifetime so far.
+func (n *Node) Utilization() float64 {
+	if n.eng.Now() == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, c := range n.cpus {
+		busy += c.Busy()
+	}
+	return float64(busy) / float64(time.Duration(len(n.cpus))*n.eng.Now())
+}
+
+// cpuFor picks the CPU a process runs on (static assignment by PID).
+func (n *Node) cpuFor(p *Process) *cpu {
+	if p == nil {
+		return n.cpus[0]
+	}
+	return n.cpus[int(p.pid)%len(n.cpus)]
+}
+
+// Spawn creates a process and runs main immediately (at the current
+// virtual instant). main typically sets up a receive loop via the Process
+// continuation API.
+func (n *Node) Spawn(name string, main func(p *Process)) *Process {
+	p := &Process{node: n, pid: n.nextPID, name: name, state: ProcReady}
+	n.nextPID++
+	n.procs[p.pid] = p
+	if n.hub.Enabled(kprof.EvProcCreate) {
+		ov := n.hub.Emit(&kprof.Event{Type: kprof.EvProcCreate, PID: p.pid, Proc: name})
+		n.cpuFor(p).charge(kernelWork, p, ov)
+	}
+	main(p)
+	return p
+}
+
+// Process returns the process with the given pid, or nil.
+func (n *Node) Process(pid int32) *Process { return n.procs[pid] }
+
+// Processes returns all live processes (map iteration order is not
+// deterministic; callers sort if order matters).
+func (n *Node) Processes() []*Process {
+	out := make([]*Process, 0, len(n.procs))
+	for _, p := range n.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Bind creates a socket on the given port.
+func (n *Node) Bind(port uint16) (*Socket, error) {
+	if _, ok := n.sockets[port]; ok {
+		return nil, fmt.Errorf("simos: node %q: port %d already bound", n.name, port)
+	}
+	s := &Socket{node: n, port: port, limit: n.cfg.SockBufBytes}
+	n.sockets[port] = s
+	return s, nil
+}
+
+// MustBind is Bind for experiment setup code where a duplicate port is a
+// programming error.
+func (n *Node) MustBind(port uint16) *Socket {
+	s, err := n.Bind(port)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DeliverPacket implements simnet.Host: a packet's last bit arrived at the
+// NIC. The kernel emits net_rx, performs protocol processing on the CPU,
+// and then places the data in the destination socket's receive buffer.
+func (n *Node) DeliverPacket(p *simnet.Packet) {
+	n.stats.PacketsIn++
+	n.stats.BytesIn += uint64(p.Size)
+
+	var overhead time.Duration
+	if n.hub.Enabled(kprof.EvNetRx) {
+		overhead = n.hub.Emit(&kprof.Event{
+			Type: kprof.EvNetRx, Flow: p.Flow, MsgID: p.MsgID,
+			Seq: int32(p.Seq), Last: p.Last, Bytes: int32(p.Size), Tag: p.Tag,
+		})
+	}
+	cost := n.cfg.NetRxCost + time.Duration(p.Size)*n.cfg.NetRxCostPerByte + overhead
+	rxAt := n.eng.Now()
+	c := n.cpus[0] // interrupts are steered to CPU 0
+	c.submitKernel(cost, func() { n.protoDeliver(p, rxAt) })
+}
+
+// protoDeliver runs after protocol processing: reassemble and enqueue.
+// rxAt is when the packet hit the NIC.
+func (n *Node) protoDeliver(p *simnet.Packet, rxAt time.Duration) {
+	key := partialKey{flow: p.Flow, msgID: p.MsgID}
+	pm := n.partial[key]
+	if pm == nil {
+		pm = &partialMsg{firstRx: rxAt}
+		n.partial[key] = pm
+	}
+	pm.bytes += p.Size - simnet.HeaderSize
+	pm.packets++
+	if p.Payload != nil {
+		pm.payload = p.Payload
+	}
+	if p.Tag != 0 {
+		pm.tag = p.Tag
+	}
+	if !p.Last {
+		return
+	}
+	delete(n.partial, key)
+
+	sock := n.sockets[p.Flow.Dst.Port]
+	if sock == nil {
+		n.stats.RouteFailures++
+		return
+	}
+	msg := &Message{
+		Flow:        p.Flow,
+		MsgID:       p.MsgID,
+		Size:        pm.bytes,
+		Packets:     pm.packets,
+		Payload:     pm.payload,
+		Tag:         pm.tag,
+		FirstRxAt:   pm.firstRx,
+		DeliveredAt: n.eng.Now(),
+	}
+	if sock.queuedBytes+msg.Size > sock.limit {
+		n.stats.SockDrops++
+		sock.drops++
+		return
+	}
+	if n.hub.Enabled(kprof.EvNetDeliver) {
+		ov := n.hub.Emit(&kprof.Event{
+			Type: kprof.EvNetDeliver, Flow: p.Flow, MsgID: p.MsgID,
+			Bytes: int32(msg.Size), Tag: msg.Tag,
+		})
+		n.cpus[0].charge(kernelWork, nil, ov)
+	}
+	n.stats.MessagesIn++
+	sock.enqueue(msg)
+}
+
+// transmit sends one packet toward its destination.
+func (n *Node) transmit(p *simnet.Packet) {
+	if !n.net.Transmit(p) {
+		n.stats.RouteFailures++
+		return
+	}
+	n.stats.PacketsOut++
+	n.stats.BytesOut += uint64(p.Size)
+}

@@ -1,0 +1,370 @@
+package simos
+
+import (
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/simnet"
+)
+
+// ProcState is a process's scheduling state.
+type ProcState uint8
+
+const (
+	// ProcReady means the process can run (or is running).
+	ProcReady ProcState = iota + 1
+	// ProcBlocked means the process waits for I/O or a message.
+	ProcBlocked
+	// ProcExited means the process terminated.
+	ProcExited
+)
+
+// ProcStats accumulates per-process resource usage.
+type ProcStats struct {
+	UserTime    time.Duration
+	KernelTime  time.Duration
+	BlockedTime time.Duration
+	CtxSwitches uint64
+	Syscalls    uint64
+	DiskOps     uint64
+	MsgsSent    uint64
+	MsgsRecv    uint64
+}
+
+// Process is a simulated process. Application behaviour is written in
+// continuation-passing style: each operation takes a completion callback
+// that runs, in virtual time, when the operation finishes. Loops are
+// expressed with self-referential closures.
+//
+// A Process is single-threaded: exactly one operation chain should be in
+// flight at a time (matching a single-threaded server). Model
+// multi-threaded servers as multiple processes.
+type Process struct {
+	node  *Node
+	pid   int32
+	name  string
+	state ProcState
+
+	gid          int32
+	blockedSince time.Duration
+	stats        ProcStats
+	// kernelDaemon marks processes whose compute runs in kernel mode
+	// (e.g. an in-kernel NFS daemon). Set via MarkKernelDaemon.
+	kernelDaemon bool
+}
+
+// PID returns the process identifier (unique per node).
+func (p *Process) PID() int32 { return p.pid }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Node returns the owning node.
+func (p *Process) Node() *Node { return p.node }
+
+// State returns the scheduling state.
+func (p *Process) State() ProcState { return p.state }
+
+// Stats returns a copy of the accumulated resource usage.
+func (p *Process) Stats() ProcStats { return p.stats }
+
+// cpuID returns the CPU this process is scheduled on, for event stamping.
+func (p *Process) cpuID() uint8 { return p.node.cpuFor(p).id }
+
+// GID returns the process group id (0 = default group).
+func (p *Process) GID() int32 { return p.gid }
+
+// SetGID assigns the process to a group; kprof events it emits carry the
+// group id, so analyzers can prune "on the basis of ... group IDs".
+func (p *Process) SetGID(gid int32) { p.gid = gid }
+
+// MarkKernelDaemon declares that this process executes in kernel mode
+// (Compute bursts become kernel bursts), like the paper's back-end NFS
+// server which "ran as kernel daemon" so "no time was spent by the request
+// at the user level".
+func (p *Process) MarkKernelDaemon() { p.kernelDaemon = true }
+
+// Exit terminates the process.
+func (p *Process) Exit() {
+	if p.state == ProcExited {
+		return
+	}
+	p.state = ProcExited
+	if hub := p.node.hub; hub.Enabled(kprof.EvProcExit) {
+		ov := hub.Emit(&kprof.Event{Type: kprof.EvProcExit, PID: p.pid, GID: p.gid, Proc: p.name, CPU: p.cpuID()})
+		p.node.cpuFor(p).charge(kernelWork, p, ov)
+	}
+	delete(p.node.procs, p.pid)
+}
+
+// Compute consumes d of CPU then calls fn. User mode for ordinary
+// processes, kernel mode for kernel daemons.
+func (p *Process) Compute(d time.Duration, fn func()) {
+	c := p.node.cpuFor(p)
+	if p.kernelDaemon {
+		c.submitKernelFor(p, d, fn)
+		return
+	}
+	c.submitUser(p, d, fn)
+}
+
+// Sleep pauses the process for d of virtual time without consuming CPU.
+func (p *Process) Sleep(d time.Duration, fn func()) {
+	p.node.eng.After(d, fn)
+}
+
+// syscall runs a kernel-mode burst bracketed by syscall_enter/exit events.
+// The name appears in the events' Proc field.
+func (p *Process) syscall(name string, work time.Duration, fn func()) {
+	hub := p.node.hub
+	p.stats.Syscalls++
+	var overhead time.Duration
+	if hub.Enabled(kprof.EvSyscallEnter) {
+		overhead += hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: p.pid, GID: p.gid, Proc: name, CPU: p.cpuID()})
+	}
+	total := p.node.cfg.SyscallCost + work + overhead
+	p.node.cpuFor(p).submitKernelFor(p, total, func() {
+		if hub.Enabled(kprof.EvSyscallExit) {
+			ov := hub.Emit(&kprof.Event{Type: kprof.EvSyscallExit, PID: p.pid, GID: p.gid, Proc: name, CPU: p.cpuID()})
+			p.node.cpuFor(p).charge(kernelWork, p, ov)
+		}
+		fn()
+	})
+}
+
+// Syscall exposes a generic named system call consuming work of kernel
+// time; used by applications to model kernel services not covered by the
+// specific wrappers below.
+func (p *Process) Syscall(name string, work time.Duration, fn func()) {
+	p.syscall(name, work, fn)
+}
+
+// block marks the process blocked and emits the block event.
+func (p *Process) block() {
+	p.state = ProcBlocked
+	p.blockedSince = p.node.eng.Now()
+	if hub := p.node.hub; hub.Enabled(kprof.EvBlock) {
+		ov := hub.Emit(&kprof.Event{Type: kprof.EvBlock, PID: p.pid, GID: p.gid, CPU: p.cpuID()})
+		p.node.cpuFor(p).charge(kernelWork, p, ov)
+	}
+}
+
+// wake unblocks the process: accounts blocked time, emits the wake event,
+// and runs fn after the kernel wakeup cost.
+func (p *Process) wake(fn func()) {
+	if p.state == ProcBlocked {
+		p.stats.BlockedTime += p.node.eng.Now() - p.blockedSince
+	}
+	p.state = ProcReady
+	hub := p.node.hub
+	var overhead time.Duration
+	if hub.Enabled(kprof.EvWake) {
+		overhead = hub.Emit(&kprof.Event{Type: kprof.EvWake, PID: p.pid, GID: p.gid, CPU: p.cpuID()})
+	}
+	p.node.cpuFor(p).submitKernelFor(p, p.node.cfg.WakeCost+overhead, fn)
+}
+
+// Recv blocks until a message is available on s, then calls fn with it.
+// The process blocks inside the recv syscall (syscall_exit fires after
+// the message is copied to user space), matching blocking read(2)
+// semantics.
+func (p *Process) Recv(s *Socket, fn func(*Message)) {
+	hub := p.node.hub
+	p.stats.Syscalls++
+	var overhead time.Duration
+	if hub.Enabled(kprof.EvSyscallEnter) {
+		overhead += hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: p.pid, GID: p.gid, Proc: "recv", CPU: p.cpuID()})
+	}
+	p.node.cpuFor(p).submitKernelFor(p, p.node.cfg.SyscallCost+overhead, func() {
+		if msg := s.pop(); msg != nil {
+			p.completeRecv(s, msg, fn)
+			return
+		}
+		s.waiters = append(s.waiters, recvWaiter{proc: p, fn: fn})
+		p.block()
+	})
+}
+
+// completeRecv finishes a recv: stamps the read, emits net_user_read with
+// the socket-buffer residence time, charges the kernel→user copy, emits
+// syscall_exit, and invokes the continuation.
+func (p *Process) completeRecv(s *Socket, msg *Message, fn func(*Message)) {
+	msg.ReadAt = p.node.eng.Now()
+	p.stats.MsgsRecv++
+	hub := p.node.hub
+	var overhead time.Duration
+	if hub.Enabled(kprof.EvNetUserRead) {
+		overhead = hub.Emit(&kprof.Event{
+			Type: kprof.EvNetUserRead, PID: p.pid, GID: p.gid, Proc: p.name,
+			Flow: msg.Flow, MsgID: msg.MsgID, Bytes: int32(msg.Size),
+			Aux: int64(msg.KernelWait()), Tag: msg.Tag, CPU: p.cpuID(),
+		})
+	}
+	copyCost := time.Duration(msg.Size)*p.node.cfg.CopyCostPerByte + overhead
+	p.node.cpuFor(p).submitKernelFor(p, copyCost, func() {
+		if hub.Enabled(kprof.EvSyscallExit) {
+			ov := hub.Emit(&kprof.Event{Type: kprof.EvSyscallExit, PID: p.pid, GID: p.gid, Proc: "recv", CPU: p.cpuID()})
+			p.node.cpuFor(p).charge(kernelWork, p, ov)
+		}
+		fn(msg)
+	})
+}
+
+// Send transmits size payload bytes from socket s to dst, fragmenting to
+// MTU-sized packets. fn runs when the last fragment has been handed to the
+// wire (blocking-send semantics).
+func (p *Process) Send(s *Socket, dst simnet.Addr, size int, payload any, fn func()) {
+	p.SendActivity(s, dst, size, payload, 0, fn)
+}
+
+// SendActivity is Send with an explicit ARM-style activity tag that
+// travels with every packet of the message and appears in the kernel
+// events, letting analyzers attribute interleaved requests exactly. This
+// is the opt-in application instrumentation the paper contrasts with its
+// black-box default ("multiple requests may interleave, in which case
+// domain-specific knowledge and/or ARM support would be necessary").
+func (p *Process) SendActivity(s *Socket, dst simnet.Addr, size int, payload any, tag uint64, fn func()) {
+	copyCost := time.Duration(size) * p.node.cfg.CopyCostPerByte
+	p.syscall("send", copyCost, func() {
+		node := p.node
+		hub := node.hub
+		msgID := node.nextMsg
+		node.nextMsg++
+		flow := simnet.FlowKey{Src: s.Addr(), Dst: dst}
+		if hub.Enabled(kprof.EvNetSend) {
+			ov := hub.Emit(&kprof.Event{
+				Type: kprof.EvNetSend, PID: p.pid, GID: p.gid, Proc: p.name,
+				Flow: flow, MsgID: msgID, Bytes: int32(size), Tag: tag, CPU: p.cpuID(),
+			})
+			node.cpuFor(p).charge(kernelWork, p, ov)
+		}
+		p.stats.MsgsSent++
+		node.stats.MessagesOut++
+
+		frags := simnet.FragmentCount(size)
+		remaining := size
+		cpu := node.cpuFor(p)
+		for i := 0; i < frags; i++ {
+			chunk := remaining
+			if chunk > simnet.MSS {
+				chunk = simnet.MSS
+			}
+			remaining -= chunk
+			pkt := &simnet.Packet{
+				Flow: flow, MsgID: msgID, Seq: i,
+				Last: i == frags-1,
+				Size: chunk + simnet.HeaderSize,
+				Tag:  tag,
+			}
+			if pkt.Last {
+				pkt.Payload = payload
+			}
+			last := pkt.Last
+			cost := node.cfg.NetTxCost + time.Duration(pkt.Size)*node.cfg.NetTxCostPerByte
+			cpu.submitKernelFor(p, cost, func() {
+				if hub.Enabled(kprof.EvNetTx) {
+					ov := hub.Emit(&kprof.Event{
+						Type: kprof.EvNetTx, PID: p.pid, GID: p.gid,
+						Flow: flow, MsgID: msgID, Seq: int32(pkt.Seq),
+						Last: pkt.Last, Bytes: int32(pkt.Size), Tag: tag, CPU: p.cpuID(),
+					})
+					cpu.charge(kernelWork, p, ov)
+				}
+				node.transmit(pkt)
+				if last && fn != nil {
+					fn()
+				}
+			})
+		}
+	})
+}
+
+// Reply sends a response back to the sender of msg using socket s,
+// propagating msg's activity tag (ARM-style end-to-end correlation).
+func (p *Process) Reply(s *Socket, msg *Message, size int, payload any, fn func()) {
+	p.SendActivity(s, msg.Flow.Src, size, payload, msg.Tag, fn)
+}
+
+// diskOpNames maps disk op codes (Event.Aux) to names.
+const (
+	diskOpRead  = 1
+	diskOpWrite = 2
+)
+
+// DiskRead reads size bytes from disk, blocking the process.
+func (p *Process) DiskRead(size int, fn func()) {
+	p.diskIO("read", kprof.EvFSRead, diskOpRead, size, fn)
+}
+
+// DiskWrite writes size bytes to disk, blocking the process.
+func (p *Process) DiskWrite(size int, fn func()) {
+	p.diskIO("write", kprof.EvFSWrite, diskOpWrite, size, fn)
+}
+
+// FSOpen models an open(2): a pure-kernel metadata operation.
+func (p *Process) FSOpen(fn func()) {
+	hub := p.node.hub
+	if hub.Enabled(kprof.EvFSOpen) {
+		ov := hub.Emit(&kprof.Event{Type: kprof.EvFSOpen, PID: p.pid, Proc: p.name})
+		p.node.cpuFor(p).charge(kernelWork, p, ov)
+	}
+	p.syscall("open", 2*time.Microsecond, fn)
+}
+
+// FSClose models a close(2).
+func (p *Process) FSClose(fn func()) {
+	hub := p.node.hub
+	if hub.Enabled(kprof.EvFSClose) {
+		ov := hub.Emit(&kprof.Event{Type: kprof.EvFSClose, PID: p.pid, Proc: p.name})
+		p.node.cpuFor(p).charge(kernelWork, p, ov)
+	}
+	p.syscall("close", time.Microsecond, fn)
+}
+
+// diskIO models a synchronous disk syscall: the process blocks *inside*
+// the call (syscall_exit fires after the wakeup), matching real kernel
+// semantics so per-syscall analyzers see the full in-kernel latency.
+func (p *Process) diskIO(sysName string, fsEv kprof.EventType, op int64, size int, fn func()) {
+	hub := p.node.hub
+	p.stats.DiskOps++
+	p.stats.Syscalls++
+	var overhead time.Duration
+	if hub.Enabled(kprof.EvSyscallEnter) {
+		overhead += hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: p.pid, GID: p.gid, Proc: sysName, CPU: p.cpuID()})
+	}
+	p.node.cpuFor(p).submitKernelFor(p, p.node.cfg.SyscallCost+overhead, func() {
+		var ov time.Duration
+		if hub.Enabled(fsEv) {
+			ov += hub.Emit(&kprof.Event{
+				Type: fsEv, PID: p.pid, GID: p.gid, Proc: p.name, Bytes: int32(size),
+			})
+		}
+		if hub.Enabled(kprof.EvDiskIssue) {
+			ov += hub.Emit(&kprof.Event{
+				Type: kprof.EvDiskIssue, PID: p.pid, Bytes: int32(size), Aux: op,
+			})
+		}
+		if ov > 0 {
+			p.node.cpuFor(p).charge(kernelWork, p, ov)
+		}
+		p.block()
+		p.node.disk.submit(size, func() {
+			// Disk completion interrupt.
+			irq := 2 * time.Microsecond
+			if hub.Enabled(kprof.EvDiskDone) {
+				irq += hub.Emit(&kprof.Event{
+					Type: kprof.EvDiskDone, PID: p.pid, Bytes: int32(size), Aux: op,
+				})
+			}
+			p.node.cpus[0].submitKernel(irq, func() {
+				p.wake(func() {
+					if hub.Enabled(kprof.EvSyscallExit) {
+						ov := hub.Emit(&kprof.Event{Type: kprof.EvSyscallExit, PID: p.pid, GID: p.gid, Proc: sysName, CPU: p.cpuID()})
+						p.node.cpuFor(p).charge(kernelWork, p, ov)
+					}
+					fn()
+				})
+			})
+		})
+	})
+}

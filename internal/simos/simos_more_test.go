@@ -1,0 +1,404 @@
+package simos
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+)
+
+func TestDiskSpindlesOverlapIO(t *testing.T) {
+	run := func(spindles int) time.Duration {
+		cfg := Config{DiskSeek: 10 * time.Millisecond, DiskBytesPerSec: 1e12, DiskSpindles: spindles}
+		eng, nodes := testCluster(t, 1, cfg)
+		var last time.Duration
+		for i := 0; i < 4; i++ {
+			nodes[0].Spawn("w", func(p *Process) {
+				p.DiskWrite(100, func() { last = eng.Now() })
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	serial, parallel := run(1), run(4)
+	if serial < 40*time.Millisecond {
+		t.Fatalf("1 spindle finished 4 ops in %v, want >= 40ms", serial)
+	}
+	if parallel > 15*time.Millisecond {
+		t.Fatalf("4 spindles finished 4 ops in %v, want ~10ms", parallel)
+	}
+}
+
+func TestBlockingSyscallSpansDiskWait(t *testing.T) {
+	// The write syscall must cover the whole disk wait: syscall_exit
+	// fires after the wakeup (real blocking-write semantics).
+	cfg := Config{DiskSeek: 6 * time.Millisecond, DiskBytesPerSec: 1e12}
+	eng, nodes := testCluster(t, 1, cfg)
+	var enterAt, exitAt time.Duration = -1, -1
+	nodes[0].Hub().Subscribe(kprof.MaskSyscall(), func(ev *kprof.Event) {
+		if ev.Proc != "write" {
+			return
+		}
+		if ev.Type == kprof.EvSyscallEnter {
+			enterAt = ev.Time
+		} else {
+			exitAt = ev.Time
+		}
+	})
+	nodes[0].Spawn("w", func(p *Process) {
+		p.DiskWrite(100, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if enterAt < 0 || exitAt < 0 {
+		t.Fatal("syscall events missing")
+	}
+	if exitAt-enterAt < 6*time.Millisecond {
+		t.Fatalf("write syscall span %v, want >= disk latency", exitAt-enterAt)
+	}
+}
+
+func TestRecvSyscallSpansWait(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	var enterAt, exitAt time.Duration = -1, -1
+	nodes[1].Hub().Subscribe(kprof.MaskSyscall(), func(ev *kprof.Event) {
+		if ev.Proc != "recv" {
+			return
+		}
+		if ev.Type == kprof.EvSyscallEnter && enterAt < 0 {
+			enterAt = ev.Time
+		}
+		if ev.Type == kprof.EvSyscallExit && exitAt < 0 {
+			exitAt = ev.Time
+		}
+	})
+	nodes[1].Spawn("sink", func(p *Process) {
+		p.Recv(dst, func(m *Message) {})
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Sleep(20*time.Millisecond, func() {
+			p.Send(src, dst.Addr(), 100, nil, nil)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if exitAt-enterAt < 20*time.Millisecond {
+		t.Fatalf("blocking recv span %v, want >= 20ms wait", exitAt-enterAt)
+	}
+}
+
+func TestMultipleRecvWaitersServedFIFO(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	var order []int32
+	for i := 0; i < 3; i++ {
+		nodes[1].Spawn("worker", func(p *Process) {
+			p.Recv(dst, func(m *Message) {
+				order = append(order, p.PID())
+			})
+		})
+	}
+	nodes[0].Spawn("src", func(p *Process) {
+		var send func(i int)
+		send = func(i int) {
+			if i == 0 {
+				return
+			}
+			p.Send(src, dst.Addr(), 100, nil, func() { send(i - 1) })
+		}
+		send(3)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("served %d waiters", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("waiters served out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestLinkFailureDropsFragmentsMessageNeverAssembles(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	a, err := NewNode(eng, network, "a", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(eng, network, "b", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(a.ID(), b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	dst := b.MustBind(80)
+	src := a.MustBind(1000)
+	// Fail the link for a window that swallows part of the transfer.
+	network.Link(a.ID(), b.ID()).Fail(time.Millisecond)
+	got := false
+	b.Spawn("sink", func(p *Process) {
+		p.Recv(dst, func(m *Message) { got = true })
+	})
+	a.Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), 10*simnet.MSS, nil, nil)
+	})
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("message assembled despite dropped fragments")
+	}
+	if b.Stats().MessagesIn != 0 {
+		t.Fatal("partial message counted as delivered")
+	}
+}
+
+func TestSocketBufferLimitAdjustable(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	dst.SetBufferLimit(150)
+	src := nodes[0].MustBind(1000)
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), 100, nil, func() {
+			p.Send(src, dst.Addr(), 100, nil, nil) // second overflows 150B cap
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Drops() != 1 || dst.Received() != 1 {
+		t.Fatalf("drops=%d received=%d", dst.Drops(), dst.Received())
+	}
+	if dst.QueuedBytes() != 100 || dst.QueuedMessages() != 1 {
+		t.Fatalf("queued %dB/%dmsgs", dst.QueuedBytes(), dst.QueuedMessages())
+	}
+}
+
+func TestTimeSliceRotationIsFair(t *testing.T) {
+	// Three CPU hogs: over a long run each should get ~1/3 of the CPU.
+	eng, nodes := testCluster(t, 1, Config{})
+	procs := make([]*Process, 3)
+	for i := range procs {
+		procs[i] = nodes[0].Spawn("hog", func(p *Process) {
+			var loop func()
+			loop = func() { p.Compute(30*time.Millisecond, loop) }
+			loop()
+		})
+	}
+	if err := eng.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		share := float64(p.Stats().UserTime) / float64(3*time.Second)
+		if share < 0.25 || share > 0.42 {
+			t.Fatalf("pid %d got %.2f of the CPU, want ~1/3", p.PID(), share)
+		}
+	}
+}
+
+func TestMonitoringOverheadAccountedInHub(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	nodes[1].Hub().Subscribe(kprof.MaskAll(), func(*kprof.Event) {})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	nodes[1].Spawn("sink", func(p *Process) {
+		p.Recv(dst, func(m *Message) {})
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), 5000, nil, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nodes[1].Hub().StatsSnapshot()
+	if st.Overhead == 0 {
+		t.Fatal("no overhead accounted with a full-mask subscriber")
+	}
+	if st.Delivered == 0 || st.Emitted == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := time.Duration(st.Delivered) * kprof.DefaultPerEventCost
+	if st.Overhead != want {
+		t.Fatalf("overhead %v != delivered*cost %v", st.Overhead, want)
+	}
+}
+
+func TestReplyTargetsOriginalSender(t *testing.T) {
+	eng, nodes := testCluster(t, 3, Config{})
+	srv := nodes[0].MustBind(80)
+	c1 := nodes[1].MustBind(1000)
+	c2 := nodes[2].MustBind(1000)
+	var got1, got2 bool
+	nodes[0].Spawn("server", func(p *Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(srv, func(m *Message) {
+				p.Reply(srv, m, 100, nil, loop)
+			})
+		}
+		loop()
+	})
+	nodes[1].Spawn("c1", func(p *Process) {
+		p.Send(c1, srv.Addr(), 100, nil, func() {
+			p.Recv(c1, func(m *Message) { got1 = true })
+		})
+	})
+	nodes[2].Spawn("c2", func(p *Process) {
+		p.Send(c2, srv.Addr(), 100, nil, func() {
+			p.Recv(c2, func(m *Message) { got2 = true })
+		})
+	})
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !got1 || !got2 {
+		t.Fatalf("replies misrouted: c1=%v c2=%v", got1, got2)
+	}
+}
+
+func TestProcessListAndLookup(t *testing.T) {
+	_, nodes := testCluster(t, 1, Config{})
+	p1 := nodes[0].Spawn("a", func(*Process) {})
+	p2 := nodes[0].Spawn("b", func(*Process) {})
+	if nodes[0].Process(p1.PID()) != p1 || nodes[0].Process(p2.PID()) != p2 {
+		t.Fatal("lookup broken")
+	}
+	if len(nodes[0].Processes()) != 2 {
+		t.Fatalf("process list = %d", len(nodes[0].Processes()))
+	}
+	if p1.Name() != "a" || p1.Node() != nodes[0] || p1.State() != ProcReady {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestProcessGIDStampedOnEvents(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	var gids []int32
+	nodes[0].Hub().Subscribe(kprof.MaskSyscall(), func(ev *kprof.Event) {
+		if ev.Type == kprof.EvSyscallEnter {
+			gids = append(gids, ev.GID)
+		}
+	})
+	p := nodes[0].Spawn("grouped", func(p *Process) {
+		p.SetGID(42)
+		p.Syscall("getpid", time.Microsecond, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.GID() != 42 {
+		t.Fatalf("GID = %d", p.GID())
+	}
+	if len(gids) != 1 || gids[0] != 42 {
+		t.Fatalf("event gids = %v, want [42]", gids)
+	}
+}
+
+func TestFSOpenCloseEmitEventsAndCost(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	var types []kprof.EventType
+	nodes[0].Hub().Subscribe(kprof.MaskFS(), func(ev *kprof.Event) {
+		types = append(types, ev.Type)
+	})
+	var done bool
+	nodes[0].Spawn("app", func(p *Process) {
+		p.FSOpen(func() {
+			p.FSClose(func() { done = true })
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("open/close chain did not complete")
+	}
+	if len(types) != 2 || types[0] != kprof.EvFSOpen || types[1] != kprof.EvFSClose {
+		t.Fatalf("fs events = %v", types)
+	}
+}
+
+// System-level conservation: with many clients, every request the server
+// receives is answered, and the LPA's interaction count matches the
+// number of completed round trips.
+func TestManyClientConservation(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	server := nodes[0]
+	network := simnet.NewNetwork(eng)
+	_ = network // server cluster already wired via testCluster
+
+	// Build 10 separate client nodes on the server's network is not
+	// possible via testCluster; use 10 client processes on a second node.
+	eng2, nodes2 := testCluster(t, 2, Config{})
+	eng, server = eng2, nodes2[0]
+	client := nodes2[1]
+
+	var interactions uint64
+	core2 := server.Hub()
+	// Count completed interactions via a minimal inline analyzer: pairs
+	// of request-read and response-send per flow.
+	reads := map[uint16]uint64{}
+	core2.Subscribe(kprof.MaskOf(kprof.EvNetUserRead), func(ev *kprof.Event) {
+		if ev.Flow.Dst.Port == 80 {
+			reads[ev.Flow.Src.Port]++
+			interactions++
+		}
+	})
+
+	ssock := server.MustBind(80)
+	server.Spawn("srv", func(p *Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *Message) {
+				p.Compute(100*time.Microsecond, func() { p.Reply(ssock, m, 200, nil, loop) })
+			})
+		}
+		loop()
+	})
+	const perClient = 20
+	var completed uint64
+	for i := 0; i < 10; i++ {
+		sock := client.MustBind(uint16(7000 + i))
+		client.Spawn("cli", func(p *Process) {
+			var loop func(n int)
+			loop = func(n int) {
+				if n == 0 {
+					return
+				}
+				p.Send(sock, ssock.Addr(), 100, nil, func() {
+					p.Recv(sock, func(m *Message) {
+						completed++
+						loop(n - 1)
+					})
+				})
+			}
+			loop(perClient)
+		})
+	}
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 10*perClient {
+		t.Fatalf("completed = %d, want %d", completed, 10*perClient)
+	}
+	if interactions != completed {
+		t.Fatalf("server reads %d != completed %d", interactions, completed)
+	}
+	for port, n := range reads {
+		if n != perClient {
+			t.Fatalf("port %d served %d, want %d", port, n, perClient)
+		}
+	}
+}

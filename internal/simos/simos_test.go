@@ -1,0 +1,546 @@
+package simos
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/kprof"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+)
+
+// testCluster wires n nodes into a full mesh on 1 Gbps links.
+func testCluster(t *testing.T, n int, cfg Config) (*sim.Engine, []*Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		node, err := NewNode(eng, network, "node", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := network.Connect(nodes[i].ID(), nodes[j].ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return eng, nodes
+}
+
+func TestNewNodeRegistersWithNetwork(t *testing.T) {
+	_, nodes := testCluster(t, 2, Config{})
+	if nodes[0].ID() == nodes[1].ID() {
+		t.Fatal("nodes share an ID")
+	}
+	if nodes[0].Config().NumCPUs != 1 {
+		t.Fatal("default config not applied")
+	}
+}
+
+func TestBindDuplicatePort(t *testing.T) {
+	_, nodes := testCluster(t, 1, Config{})
+	if _, err := nodes[0].Bind(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Bind(80); err == nil {
+		t.Fatal("duplicate bind should error")
+	}
+}
+
+func TestComputeConsumesUserTime(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	var done time.Duration
+	p := nodes[0].Spawn("worker", func(p *Process) {
+		p.Compute(5*time.Millisecond, func() { done = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Completion includes the initial context switch onto the CPU.
+	if done < 5*time.Millisecond || done > 5*time.Millisecond+100*time.Microsecond {
+		t.Fatalf("compute finished at %v, want ~5ms", done)
+	}
+	if st := p.Stats(); st.UserTime != 5*time.Millisecond {
+		t.Fatalf("UserTime = %v, want 5ms", st.UserTime)
+	}
+}
+
+func TestKernelDaemonComputeIsKernelTime(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	p := nodes[0].Spawn("nfsd", func(p *Process) {
+		p.MarkKernelDaemon()
+		p.Compute(3*time.Millisecond, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.UserTime != 0 {
+		t.Fatalf("kernel daemon accrued user time %v", st.UserTime)
+	}
+	if st.KernelTime < 3*time.Millisecond {
+		t.Fatalf("KernelTime = %v, want >= 3ms", st.KernelTime)
+	}
+}
+
+func TestTwoProcessesShareCPU(t *testing.T) {
+	// Two CPU-bound processes on one CPU must take ~2x wall time.
+	eng, nodes := testCluster(t, 1, Config{})
+	var t1, t2 time.Duration
+	nodes[0].Spawn("a", func(p *Process) {
+		p.Compute(50*time.Millisecond, func() { t1 = eng.Now() })
+	})
+	nodes[0].Spawn("b", func(p *Process) {
+		p.Compute(50*time.Millisecond, func() { t2 = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	last := t1
+	if t2 > last {
+		last = t2
+	}
+	if last < 100*time.Millisecond {
+		t.Fatalf("two 50ms jobs finished by %v on one CPU, want >= 100ms", last)
+	}
+	// Round-robin: both should finish near each other, not serially.
+	diff := t1 - t2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 15*time.Millisecond {
+		t.Fatalf("RR fairness: completions %v apart (t1=%v t2=%v)", diff, t1, t2)
+	}
+}
+
+func TestTwoCPUsRunInParallel(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{NumCPUs: 2})
+	var finished []time.Duration
+	for i := 0; i < 2; i++ {
+		nodes[0].Spawn("w", func(p *Process) {
+			p.Compute(50*time.Millisecond, func() { finished = append(finished, eng.Now()) })
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finished {
+		if f > 60*time.Millisecond {
+			t.Fatalf("2-CPU jobs finished at %v, want ~50ms (parallel)", f)
+		}
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	server, client := nodes[0], nodes[1]
+	ssock := server.MustBind(80)
+	csock := client.MustBind(2000)
+
+	var reply *Message
+	server.Spawn("server", func(p *Process) {
+		p.Recv(ssock, func(m *Message) {
+			p.Compute(time.Millisecond, func() {
+				p.Reply(ssock, m, 200, "pong", func() {})
+			})
+		})
+	})
+	client.Spawn("client", func(p *Process) {
+		p.Send(csock, ssock.Addr(), 100, "ping", func() {
+			p.Recv(csock, func(m *Message) { reply = m })
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reply == nil {
+		t.Fatal("no reply received")
+	}
+	if reply.Size != 200 {
+		t.Fatalf("reply size = %d, want 200", reply.Size)
+	}
+	if got, ok := reply.Payload.(string); !ok || got != "pong" {
+		t.Fatalf("payload = %v", reply.Payload)
+	}
+	if reply.Flow.Src != ssock.Addr() {
+		t.Fatalf("reply flow src = %v, want server addr", reply.Flow.Src)
+	}
+	if reply.ReadAt <= reply.DeliveredAt || reply.DeliveredAt <= reply.FirstRxAt {
+		t.Fatalf("timestamps not ordered: rx=%v del=%v read=%v",
+			reply.FirstRxAt, reply.DeliveredAt, reply.ReadAt)
+	}
+}
+
+func TestLargeMessageFragmentsAndReassembles(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	const size = 5 * simnet.MSS
+	var got *Message
+	nodes[1].Spawn("sink", func(p *Process) {
+		p.Recv(dst, func(m *Message) { got = m })
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), size, nil, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("message not delivered")
+	}
+	if got.Size != size || got.Packets != 5 {
+		t.Fatalf("size=%d packets=%d, want %d/5", got.Size, got.Packets, size)
+	}
+	st := nodes[1].Stats()
+	if st.PacketsIn != 5 || st.MessagesIn != 1 {
+		t.Fatalf("node stats = %+v", st)
+	}
+}
+
+func TestRecvBlocksUntilMessage(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	var readAt time.Duration
+	p2 := nodes[1].Spawn("sink", func(p *Process) {
+		p.Recv(dst, func(m *Message) { readAt = eng.Now() })
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Sleep(10*time.Millisecond, func() {
+			p.Send(src, dst.Addr(), 100, nil, nil)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readAt < 10*time.Millisecond {
+		t.Fatalf("recv completed at %v before send", readAt)
+	}
+	if st := p2.Stats(); st.BlockedTime < 9*time.Millisecond {
+		t.Fatalf("BlockedTime = %v, want ~10ms", st.BlockedTime)
+	}
+}
+
+func TestSocketBufferOverflowDrops(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{SockBufBytes: 250})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	// No receiver process: messages pile up; third 100B message overflows
+	// the 250B buffer.
+	nodes[0].Spawn("src", func(p *Process) {
+		var send func(i int)
+		send = func(i int) {
+			if i == 0 {
+				return
+			}
+			p.Send(src, dst.Addr(), 100, nil, func() { send(i - 1) })
+		}
+		send(3)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", dst.Drops())
+	}
+	if dst.QueuedMessages() != 2 {
+		t.Fatalf("queued = %d, want 2", dst.QueuedMessages())
+	}
+}
+
+func TestKernelWaitGrowsWhenReceiverBusy(t *testing.T) {
+	// A busy receiver lets messages sit in the socket buffer; KernelWait
+	// must reflect that residency.
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	var waits []time.Duration
+	nodes[1].Spawn("busy", func(p *Process) {
+		// Burn CPU first, then drain.
+		p.Compute(20*time.Millisecond, func() {
+			var loop func()
+			loop = func() {
+				p.Recv(dst, func(m *Message) {
+					waits = append(waits, m.KernelWait())
+					loop()
+				})
+			}
+			loop()
+		})
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), 100, nil, nil)
+	})
+	if err := eng.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 1 {
+		t.Fatalf("received %d messages", len(waits))
+	}
+	if waits[0] < 15*time.Millisecond {
+		t.Fatalf("KernelWait = %v, want ~20ms (receiver was busy)", waits[0])
+	}
+}
+
+func TestKernelPreemptsUser(t *testing.T) {
+	// A long user burst must not delay packet protocol processing: the
+	// message should be in the socket buffer (DeliveredAt) long before the
+	// user burst finishes.
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+	var msg *Message
+	nodes[1].Spawn("busy", func(p *Process) {
+		p.Compute(50*time.Millisecond, func() {
+			p.Recv(dst, func(m *Message) { msg = m })
+		})
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), 100, nil, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if msg == nil {
+		t.Fatal("no message")
+	}
+	if msg.DeliveredAt > 5*time.Millisecond {
+		t.Fatalf("DeliveredAt = %v: kernel work did not preempt user burst", msg.DeliveredAt)
+	}
+	if msg.ReadAt < 50*time.Millisecond {
+		t.Fatalf("ReadAt = %v: user read happened before burst finished", msg.ReadAt)
+	}
+}
+
+func TestDiskIOSerializesAndBlocks(t *testing.T) {
+	cfg := Config{DiskSeek: 5 * time.Millisecond, DiskBytesPerSec: 1e9}
+	eng, nodes := testCluster(t, 1, cfg)
+	var done []time.Duration
+	for i := 0; i < 2; i++ {
+		nodes[0].Spawn("w", func(p *Process) {
+			p.DiskWrite(1000, func() { done = append(done, eng.Now()) })
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	if done[0] < 5*time.Millisecond {
+		t.Fatalf("first write done at %v, want >= 5ms", done[0])
+	}
+	if done[1] < 10*time.Millisecond {
+		t.Fatalf("second write done at %v, want >= 10ms (FIFO disk)", done[1])
+	}
+	ops, busy := nodes[0].DiskStats()
+	if ops != 2 || busy < 10*time.Millisecond {
+		t.Fatalf("disk stats ops=%d busy=%v", ops, busy)
+	}
+}
+
+func TestDiskWaitCountsAsBlockedTime(t *testing.T) {
+	cfg := Config{DiskSeek: 8 * time.Millisecond, DiskBytesPerSec: 1e9}
+	eng, nodes := testCluster(t, 1, cfg)
+	p := nodes[0].Spawn("w", func(p *Process) {
+		p.DiskWrite(100, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.BlockedTime < 7*time.Millisecond {
+		t.Fatalf("BlockedTime = %v, want ~8ms", st.BlockedTime)
+	}
+	if st := p.Stats(); st.DiskOps != 1 {
+		t.Fatalf("DiskOps = %d", st.DiskOps)
+	}
+}
+
+func TestInstrumentationEventsFireAlongPacketPath(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	dst := nodes[1].MustBind(80)
+	src := nodes[0].MustBind(1000)
+
+	var rxTypes []kprof.EventType
+	nodes[1].Hub().Subscribe(kprof.MaskAll(), func(ev *kprof.Event) {
+		rxTypes = append(rxTypes, ev.Type)
+	})
+	var txSeen bool
+	nodes[0].Hub().Subscribe(kprof.MaskOf(kprof.EvNetTx, kprof.EvNetSend), func(ev *kprof.Event) {
+		if ev.Type == kprof.EvNetTx {
+			txSeen = true
+		}
+	})
+
+	nodes[1].Spawn("sink", func(p *Process) {
+		p.Recv(dst, func(m *Message) {})
+	})
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, dst.Addr(), 100, nil, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !txSeen {
+		t.Fatal("sender net_tx not observed")
+	}
+	want := []kprof.EventType{kprof.EvNetRx, kprof.EvNetDeliver, kprof.EvNetUserRead}
+	idx := 0
+	for _, typ := range rxTypes {
+		if idx < len(want) && typ == want[idx] {
+			idx++
+		}
+	}
+	if idx != len(want) {
+		t.Fatalf("packet-path events out of order or missing: %v", rxTypes)
+	}
+}
+
+func TestMonitoringOverheadSlowsNode(t *testing.T) {
+	// The same workload must take longer with a subscriber attached,
+	// because instrumentation CPU cost is charged to the node.
+	run := func(monitor bool) time.Duration {
+		eng, nodes := testCluster(t, 2, Config{})
+		dst := nodes[1].MustBind(80)
+		src := nodes[0].MustBind(1000)
+		if monitor {
+			nodes[1].Hub().Subscribe(kprof.MaskAll(), func(*kprof.Event) {})
+			nodes[1].Hub().SetPerEventCost(10 * time.Microsecond)
+		}
+		var last time.Duration
+		nodes[1].Spawn("sink", func(p *Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(dst, func(m *Message) {
+					last = eng.Now()
+					loop()
+				})
+			}
+			loop()
+		})
+		nodes[0].Spawn("src", func(p *Process) {
+			var send func(i int)
+			send = func(i int) {
+				if i == 0 {
+					return
+				}
+				p.Send(src, dst.Addr(), 1000, nil, func() { send(i - 1) })
+			}
+			send(50)
+		})
+		if err := eng.RunUntil(time.Second); err != nil {
+			panic(err)
+		}
+		return last
+	}
+	base, mon := run(false), run(true)
+	if mon <= base {
+		t.Fatalf("monitored run (%v) not slower than baseline (%v)", mon, base)
+	}
+}
+
+func TestProcessExit(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	var exited []int32
+	nodes[0].Hub().Subscribe(kprof.MaskOf(kprof.EvProcExit), func(ev *kprof.Event) {
+		exited = append(exited, ev.PID)
+	})
+	p := nodes[0].Spawn("w", func(p *Process) {
+		p.Compute(time.Millisecond, func() { p.Exit() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != ProcExited {
+		t.Fatal("process not exited")
+	}
+	if nodes[0].Process(p.PID()) != nil {
+		t.Fatal("exited process still registered")
+	}
+	if len(exited) != 1 || exited[0] != p.PID() {
+		t.Fatalf("exit events = %v", exited)
+	}
+	p.Exit() // idempotent
+}
+
+func TestUtilizationReflectsLoad(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	nodes[0].Spawn("w", func(p *Process) {
+		p.Compute(30*time.Millisecond, func() {})
+	})
+	if err := eng.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	u := nodes[0].Utilization()
+	if u < 0.25 || u > 0.35 {
+		t.Fatalf("utilization = %.3f, want ~0.30", u)
+	}
+}
+
+func TestSendToUnboundPortCountsRouteFailure(t *testing.T) {
+	eng, nodes := testCluster(t, 2, Config{})
+	src := nodes[0].MustBind(1000)
+	nodes[0].Spawn("src", func(p *Process) {
+		p.Send(src, simnet.Addr{Node: nodes[1].ID(), Port: 9999}, 100, nil, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[1].Stats().RouteFailures != 1 {
+		t.Fatalf("route failures = %d, want 1", nodes[1].Stats().RouteFailures)
+	}
+}
+
+func TestSyscallEventsCarryName(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	var names []string
+	nodes[0].Hub().Subscribe(kprof.MaskOf(kprof.EvSyscallEnter), func(ev *kprof.Event) {
+		names = append(names, ev.Proc)
+	})
+	nodes[0].Spawn("w", func(p *Process) {
+		p.Syscall("getpid", time.Microsecond, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "getpid" {
+		t.Fatalf("syscall names = %v", names)
+	}
+}
+
+func TestCtxSwitchEventsEmitted(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	var switches int
+	nodes[0].Hub().Subscribe(kprof.MaskOf(kprof.EvCtxSwitch), func(*kprof.Event) { switches++ })
+	for i := 0; i < 2; i++ {
+		nodes[0].Spawn("w", func(p *Process) {
+			p.Compute(25*time.Millisecond, func() {})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 25ms bursts with a 10ms slice: several RR rotations => switches.
+	if switches < 3 {
+		t.Fatalf("ctx switches = %d, want several", switches)
+	}
+}
+
+func TestClockOverride(t *testing.T) {
+	eng, nodes := testCluster(t, 1, Config{})
+	nodes[0].SetClock(func() time.Duration { return eng.Now() + time.Hour })
+	var stamp time.Duration
+	nodes[0].Hub().Subscribe(kprof.MaskOf(kprof.EvProcCreate), func(ev *kprof.Event) {
+		stamp = ev.Time
+	})
+	nodes[0].Spawn("w", func(p *Process) {})
+	if stamp < time.Hour {
+		t.Fatalf("event time = %v, want skewed clock applied", stamp)
+	}
+}

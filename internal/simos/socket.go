@@ -1,0 +1,119 @@
+package simos
+
+import (
+	"time"
+
+	"sysprof/internal/simnet"
+)
+
+// Message is an application-level datagram, reassembled by the kernel from
+// one or more packets. Monitoring sees the individual packets; processes
+// see messages.
+type Message struct {
+	// Flow is the direction the message travelled: Flow.Src is the sender.
+	Flow simnet.FlowKey
+	// MsgID is unique per sending node.
+	MsgID uint64
+	// Size is the payload size in bytes (headers excluded).
+	Size int
+	// Packets is the number of wire packets the message occupied.
+	Packets int
+	// Payload is the opaque application content.
+	Payload any
+	// Tag is the ARM-style activity id (0 = untagged); see
+	// Process.SendActivity.
+	Tag uint64
+
+	// FirstRxAt is when the first fragment reached the NIC; DeliveredAt is
+	// when the last fragment entered the socket buffer; ReadAt is when a
+	// user process consumed the message. DeliveredAt..ReadAt is the
+	// kernel-buffer residence the paper's Figure 4 measures.
+	FirstRxAt   time.Duration
+	DeliveredAt time.Duration
+	ReadAt      time.Duration
+}
+
+// KernelWait returns how long the message sat in the socket buffer before
+// a user process read it.
+func (m *Message) KernelWait() time.Duration {
+	if m.ReadAt < m.DeliveredAt {
+		return 0
+	}
+	return m.ReadAt - m.DeliveredAt
+}
+
+// recvWaiter is a process blocked in a recv syscall.
+type recvWaiter struct {
+	proc *Process
+	fn   func(*Message)
+}
+
+// Socket is a bound communication endpoint with a byte-limited receive
+// buffer.
+type Socket struct {
+	node        *Node
+	port        uint16
+	queue       []*Message
+	queuedBytes int
+	limit       int
+	waiters     []recvWaiter
+	drops       uint64
+	received    uint64
+}
+
+// Port returns the socket's bound port.
+func (s *Socket) Port() uint16 { return s.port }
+
+// Addr returns the socket's full address.
+func (s *Socket) Addr() simnet.Addr {
+	return simnet.Addr{Node: s.node.id, Port: s.port}
+}
+
+// SetBufferLimit changes the receive-buffer cap (bytes).
+func (s *Socket) SetBufferLimit(bytes int) { s.limit = bytes }
+
+// QueuedBytes returns bytes currently waiting in the receive buffer.
+func (s *Socket) QueuedBytes() int { return s.queuedBytes }
+
+// QueuedMessages returns messages currently waiting.
+func (s *Socket) QueuedMessages() int { return len(s.queue) }
+
+// Drops returns messages dropped due to a full buffer.
+func (s *Socket) Drops() uint64 { return s.drops }
+
+// Received returns messages delivered into the buffer.
+func (s *Socket) Received() uint64 { return s.received }
+
+// enqueue adds a reassembled message and wakes a blocked receiver if any.
+func (s *Socket) enqueue(m *Message) {
+	s.received++
+	s.queue = append(s.queue, m)
+	s.queuedBytes += m.Size
+	if len(s.waiters) == 0 {
+		return
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	w.proc.wake(func() {
+		// The recv syscall resumes: pop the message it was waiting for.
+		msg := s.pop()
+		if msg == nil {
+			// Another consumer raced it; re-block.
+			s.waiters = append(s.waiters, w)
+			w.proc.block()
+			return
+		}
+		w.proc.completeRecv(s, msg, w.fn)
+	})
+}
+
+// pop removes the head message.
+func (s *Socket) pop() *Message {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	m := s.queue[0]
+	s.queue = s.queue[1:]
+	s.queuedBytes -= m.Size
+	return m
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/kprof"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+func TestWireRoundTripProperty(t *testing.T) {
+	prop := func(typ uint8, pid int32, bytes int32, aux int64, tag uint64, proc string,
+		sn, sp, dn, dp uint16) bool {
+		ev := kprof.Event{
+			Type: kprof.EventType(typ%18 + 1), PID: pid, Bytes: bytes,
+			Aux: aux, Tag: tag, Proc: proc,
+			Flow: simnet.FlowKey{
+				Src: simnet.Addr{Node: simnet.NodeID(sn), Port: sp},
+				Dst: simnet.Addr{Node: simnet.NodeID(dn), Port: dp},
+			},
+			Time: 12345 * time.Microsecond, Node: 3, Last: true, Seq: 7,
+		}
+		w := ToWire(&ev)
+		back := FromWire(&w)
+		return back == ev
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := kprof.NewHub(5, func() time.Duration { return 42 * time.Millisecond })
+	hub.SetPerEventCost(0)
+	sub := w.Attach(hub, kprof.MaskAll())
+	_ = sub
+	for i := int32(0); i < 10; i++ {
+		hub.Emit(&kprof.Event{Type: kprof.EvNetRx, PID: i, Bytes: 100 * i})
+	}
+	w.Detach()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, PID: 99}) // not recorded
+	if w.Events() != 10 || w.Err() != nil {
+		t.Fatalf("events=%d err=%v", w.Events(), w.Err())
+	}
+
+	var got []kprof.Event
+	n, err := Replay(&buf, func(ev *kprof.Event) error {
+		got = append(got, *ev)
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("replayed %d, err=%v", n, err)
+	}
+	for i, ev := range got {
+		if ev.PID != int32(i) || ev.Node != 5 || ev.Time != 42*time.Millisecond {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestReplayAborts(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	hub.SetPerEventCost(0)
+	w.Attach(hub, kprof.MaskAll())
+	for i := 0; i < 5; i++ {
+		hub.Emit(&kprof.Event{Type: kprof.EvNetRx})
+	}
+	boom := errors.New("boom")
+	n, err := Replay(&buf, func(*kprof.Event) error { return boom })
+	if !errors.Is(err, boom) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestReplayTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	hub := kprof.NewHub(1, func() time.Duration { return 0 })
+	hub.SetPerEventCost(0)
+	w.Attach(hub, kprof.MaskAll())
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx})
+	raw := buf.Bytes()
+	if _, err := Replay(bytes.NewReader(raw[:len(raw)-3]), func(*kprof.Event) error { return nil }); err == nil {
+		t.Fatal("truncated trace replayed cleanly")
+	}
+}
+
+// Capture a live simulated run, then rebuild the same interaction records
+// offline from the trace — analyses are reproducible from logs.
+func TestOfflineAnalysisMatchesLive(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Live LPA and trace writer observe the same hub. The trace must be
+	// attached with the LPA's own mask so replay sees identical input.
+	liveLPA := core.NewLPA(server.Hub(), core.Config{WindowSize: 128})
+	tw.Attach(server.Hub(), core.MaskDefault())
+
+	ssock := server.MustBind(80)
+	csock := client.MustBind(9000)
+	server.Spawn("httpd", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *simos.Message) {
+				p.Compute(time.Millisecond, func() { p.Reply(ssock, m, 2048, nil, loop) })
+			})
+		}
+		loop()
+	})
+	client.Spawn("cli", func(p *simos.Process) {
+		var loop func(i int)
+		loop = func(i int) {
+			if i == 0 {
+				return
+			}
+			p.Send(csock, ssock.Addr(), 200, nil, func() {
+				p.Recv(csock, func(m *simos.Message) { loop(i - 1) })
+			})
+		}
+		loop(5)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	liveLPA.FlushOpen()
+	live := liveLPA.Window().Snapshot()
+	if len(live) != 5 {
+		t.Fatalf("live interactions = %d", len(live))
+	}
+
+	// Offline: replay the trace into a fresh LPA.
+	var offlineLPA *core.LPA
+	n, err := ReplaySession(&buf, func(node simnet.NodeID, hub *kprof.Hub) {
+		if node == server.ID() {
+			offlineLPA = core.NewLPA(hub, core.Config{WindowSize: 128})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || offlineLPA == nil {
+		t.Fatalf("replayed %d events, lpa=%v", n, offlineLPA)
+	}
+	offlineLPA.FlushOpen()
+	offline := offlineLPA.Window().Snapshot()
+	if len(offline) != len(live) {
+		t.Fatalf("offline interactions = %d, live = %d", len(offline), len(live))
+	}
+	for i := range live {
+		l, o := live[i], offline[i]
+		// IDs are analyzer-local; everything else must match exactly.
+		o.ID = l.ID
+		if l != o {
+			t.Fatalf("interaction %d differs:\n live    %+v\n offline %+v", i, l, o)
+		}
+	}
+}
