@@ -102,6 +102,9 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 	if err := ctl.AttachLPA(server.Name(), "interactions", lpa); err != nil {
 		return err
 	}
+	if err := ctl.AttachDaemon(server.Name(), daemon); err != nil {
+		return err
+	}
 
 	if tracePath != "" {
 		f, err := os.Create(tracePath)

@@ -142,10 +142,15 @@ func RunRUBiS(cfg RUBiSConfig) (RUBiSResult, error) {
 		defer broker.Close()
 		g = gpa.New(gpa.Config{LoadWindow: time.Second}, eng.Now)
 		broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
-			if w, ok := rec.(dissem.WireRecord); ok {
-				r := dissem.FromWire(&w)
-				g.Ingest(r)
+			wires, ok := rec.([]dissem.WireRecord)
+			if !ok {
+				return
 			}
+			batch := make([]core.Record, len(wires))
+			for i := range wires {
+				batch[i] = dissem.FromWire(&wires[i])
+			}
+			g.IngestBatch(batch)
 		})
 		for _, b := range svc.Backends {
 			d := dissem.New(eng, broker, nil, dissem.Config{

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"sysprof/internal/core"
 	"sysprof/internal/kprof"
@@ -29,11 +30,21 @@ import (
 // registered.
 var ErrUnknownTarget = errors.New("controller: unknown target")
 
+// Flusher is the dissemination-daemon surface the controller manages:
+// how often a node pushes partial buffers and aggregate deltas out. It is
+// an interface (satisfied by *dissem.Daemon) so the controller does not
+// depend on the dissemination package.
+type Flusher interface {
+	FlushInterval() time.Duration
+	SetFlushInterval(time.Duration) error
+}
+
 // target is one managed node.
 type target struct {
-	hub  *kprof.Hub
-	lpas map[string]*core.LPA
-	cpas map[string]*core.CPA
+	hub    *kprof.Hub
+	lpas   map[string]*core.LPA
+	cpas   map[string]*core.CPA
+	daemon Flusher
 }
 
 // Controller manages the SysProf components of one or more nodes.
@@ -74,6 +85,33 @@ func (c *Controller) AttachLPA(node, name string, lpa *core.LPA) error {
 	}
 	t.lpas[name] = lpa
 	return nil
+}
+
+// AttachDaemon registers a node's dissemination daemon so its flush
+// cadence can be retuned at runtime.
+func (c *Controller) AttachDaemon(node string, d Flusher) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	t.daemon = d
+	return nil
+}
+
+// SetFlushInterval retunes a node's dissemination flush period.
+func (c *Controller) SetFlushInterval(node string, iv time.Duration) error {
+	c.mu.Lock()
+	t := c.targets[node]
+	c.mu.Unlock()
+	if t == nil {
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	if t.daemon == nil {
+		return fmt.Errorf("%w: no daemon attached to node %q", ErrUnknownTarget, node)
+	}
+	return t.daemon.SetFlushInterval(iv)
 }
 
 func (c *Controller) lpa(node, name string) (*core.LPA, error) {
@@ -204,8 +242,12 @@ func (c *Controller) Status() string {
 	for _, n := range nodes {
 		t := c.targets[n]
 		st := t.hub.StatsSnapshot()
-		fmt.Fprintf(&sb, "node %s: emitted=%d delivered=%d suppressed=%d overhead=%v\n",
+		fmt.Fprintf(&sb, "node %s: emitted=%d delivered=%d suppressed=%d overhead=%v",
 			n, st.Emitted, st.Delivered, st.Suppressed, st.Overhead)
+		if t.daemon != nil {
+			fmt.Fprintf(&sb, " flush=%v", t.daemon.FlushInterval())
+		}
+		sb.WriteByte('\n')
 		lpas := make([]string, 0, len(t.lpas))
 		for name := range t.lpas {
 			lpas = append(lpas, name)
@@ -268,6 +310,7 @@ func maskFromSpec(spec string) (kprof.Mask, error) {
 //	window <node> <lpa> <size>
 //	bufcap <node> <lpa> <capacity>
 //	pidfilter <node> <lpa> <pid>|off
+//	flushinterval <node> <duration>    e.g. 250ms, 2s
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
 func (c *Controller) Execute(line string) (string, error) {
@@ -326,6 +369,15 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "ok", c.SetWindowSize(fields[1], fields[2], n)
 		}
 		return "ok", c.SetBufferCapacity(fields[1], fields[2], n)
+	case "flushinterval":
+		if len(fields) != 3 {
+			return "", errors.New("controller: usage: flushinterval <node> <duration>")
+		}
+		iv, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return "", fmt.Errorf("controller: bad duration %q", fields[2])
+		}
+		return "ok", c.SetFlushInterval(fields[1], iv)
 	case "install-cpa":
 		head, src, found := strings.Cut(line, " -- ")
 		if !found {

@@ -55,6 +55,64 @@ func TestUnknownTargets(t *testing.T) {
 	}
 }
 
+// fakeFlusher stands in for a dissemination daemon.
+type fakeFlusher struct {
+	iv time.Duration
+}
+
+func (f *fakeFlusher) FlushInterval() time.Duration { return f.iv }
+func (f *fakeFlusher) SetFlushInterval(iv time.Duration) error {
+	if iv <= 0 {
+		return errors.New("non-positive interval")
+	}
+	f.iv = iv
+	return nil
+}
+
+func TestFlushIntervalKnob(t *testing.T) {
+	c, _, _ := setup(t)
+	fl := &fakeFlusher{iv: 500 * time.Millisecond}
+
+	// Before a daemon is attached the knob reports unknown target.
+	if err := c.SetFlushInterval("n1", time.Second); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.AttachDaemon("nope", fl); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.AttachDaemon("n1", fl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFlushInterval("n1", 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fl.iv != 250*time.Millisecond {
+		t.Fatalf("interval = %v", fl.iv)
+	}
+
+	// Text protocol form.
+	if reply, err := c.Execute("flushinterval n1 2s"); err != nil || reply != "ok" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+	if fl.iv != 2*time.Second {
+		t.Fatalf("interval = %v", fl.iv)
+	}
+	if _, err := c.Execute("flushinterval n1 bogus"); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if _, err := c.Execute("flushinterval n1"); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if _, err := c.Execute("flushinterval n1 -5s"); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+
+	// Status shows the cadence once a daemon is attached.
+	if !strings.Contains(c.Status(), "flush=2s") {
+		t.Fatalf("status = %q", c.Status())
+	}
+}
+
 func TestGranularityAndWindowKnobs(t *testing.T) {
 	c, _, lpa := setup(t)
 	if err := c.SetGranularity("n1", "main", core.PerClass); err != nil {

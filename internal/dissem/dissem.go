@@ -8,6 +8,7 @@ package dissem
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"sysprof/internal/core"
@@ -151,6 +152,7 @@ func RegisterFormats(reg *pbio.Registry) error {
 // Stats counts daemon activity.
 type Stats struct {
 	BatchesDrained   uint64
+	BatchesPublished uint64
 	RecordsPublished uint64
 	PublishErrors    uint64
 }
@@ -200,18 +202,22 @@ func New(eng *sim.Engine, broker *pubsub.Broker, fs *procfs.FS, cfg Config) *Dae
 	return &Daemon{eng: eng, broker: broker, fs: fs, cfg: cfg}
 }
 
+// wirePool recycles []WireRecord conversion buffers so steady-state
+// batch publishing does not allocate a fresh slice per drained buffer.
+var wirePool = sync.Pool{
+	New: func() any { return new([]WireRecord) },
+}
+
 // OnFull is the callback to wire into core.Config.OnFull when building an
-// LPA this daemon serves: it copies the batch, publishes it, and releases
-// the LPA buffer after the configured copy delay.
+// LPA this daemon serves: it publishes the batch and releases the LPA
+// buffer after the configured copy delay. The drained batch stays valid
+// until release() is called (the buffer cannot be reused before then), so
+// no defensive copy is made — the records are flattened straight into a
+// pooled wire buffer at publish time.
 func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
-	// Copy immediately (the batch becomes invalid at release).
-	recs := make([]core.Record, len(batch))
-	copy(recs, batch)
 	d.stats.BatchesDrained++
 	publish := func() {
-		for i := range recs {
-			d.publish(&recs[i])
-		}
+		d.publishBatch(batch)
 		release()
 	}
 	if d.cfg.CopyDelay <= 0 {
@@ -221,17 +227,31 @@ func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
 	d.eng.After(d.cfg.CopyDelay, publish)
 }
 
-func (d *Daemon) publish(rec *core.Record) {
-	if d.broker == nil {
-		d.stats.RecordsPublished++
+// publishBatch flattens a drained batch into a pooled wire buffer and
+// publishes it as one pub-sub batch. Local subscribers observe the slice
+// only during their callback (the buffer returns to the pool afterwards).
+func (d *Daemon) publishBatch(batch []core.Record) {
+	if len(batch) == 0 {
 		return
 	}
-	w := ToWire(rec)
-	if err := d.broker.Publish(ChannelInteractions, w); err != nil {
+	if d.broker == nil {
+		d.stats.RecordsPublished += uint64(len(batch))
+		return
+	}
+	wp := wirePool.Get().(*[]WireRecord)
+	wires := (*wp)[:0]
+	for i := range batch {
+		wires = append(wires, ToWire(&batch[i]))
+	}
+	err := d.broker.PublishBatch(ChannelInteractions, wires)
+	*wp = wires[:0]
+	wirePool.Put(wp)
+	if err != nil {
 		d.stats.PublishErrors++
 		return
 	}
-	d.stats.RecordsPublished++
+	d.stats.BatchesPublished++
+	d.stats.RecordsPublished += uint64(len(batch))
 }
 
 // Serve registers an LPA with the daemon: its window is flushed
@@ -291,9 +311,11 @@ func (d *Daemon) Start() {
 
 // FlushNow evicts aged window contents, drains partial buffers, and
 // publishes per-class aggregate deltas for LPAs running at class
-// granularity.
+// granularity. All aggregates produced by one flush go out as a single
+// pub-sub batch.
 func (d *Daemon) FlushNow() {
 	cutoff := d.eng.Now() - d.cfg.MaxWindowAge
+	var wires []WireAggregate
 	for _, lpa := range d.lpas {
 		lpa.Window().EvictOlderThan(cutoff)
 		lpa.Buffers().FlushAll()
@@ -309,14 +331,38 @@ func (d *Daemon) FlushNow() {
 			continue
 		}
 		for _, agg := range aggs {
-			w := AggToWire(d.cfg.Node, &agg)
-			if err := d.broker.Publish(ChannelAggregates, w); err != nil {
-				d.stats.PublishErrors++
-				continue
-			}
-			d.stats.RecordsPublished++
+			wires = append(wires, AggToWire(d.cfg.Node, &agg))
 		}
 	}
+	if len(wires) == 0 {
+		return
+	}
+	if err := d.broker.PublishBatch(ChannelAggregates, wires); err != nil {
+		d.stats.PublishErrors++
+		return
+	}
+	d.stats.BatchesPublished++
+	d.stats.RecordsPublished += uint64(len(wires))
+}
+
+// FlushInterval reports the current flush period.
+func (d *Daemon) FlushInterval() time.Duration { return d.cfg.FlushInterval }
+
+// SetFlushInterval changes the flush period at runtime (the controller's
+// "flushinterval" command). If the periodic timer is running it is
+// rescheduled so the new period takes effect immediately; non-positive
+// values are rejected.
+func (d *Daemon) SetFlushInterval(iv time.Duration) error {
+	if iv <= 0 {
+		return fmt.Errorf("dissem: flush interval must be positive, got %v", iv)
+	}
+	d.cfg.FlushInterval = iv
+	if d.flushEv != nil {
+		d.flushEv.Cancel()
+		d.flushEv = nil
+		d.Start()
+	}
+	return nil
 }
 
 // Stop cancels the flush timer and performs a final full flush.

@@ -98,9 +98,13 @@ func TestDaemonPublishesDrainedBatches(t *testing.T) {
 
 	var got []WireRecord
 	broker.Subscribe(ChannelInteractions, func(rec any) {
-		if w, ok := rec.(WireRecord); ok {
-			got = append(got, w)
+		batch, ok := rec.([]WireRecord)
+		if !ok {
+			t.Errorf("local subscriber got %T, want []WireRecord", rec)
+			return
 		}
+		// The batch slice is only valid during the callback.
+		got = append(got, batch...)
 	})
 
 	d := New(eng, broker, nil, Config{CopyDelay: time.Millisecond})
@@ -117,7 +121,7 @@ func TestDaemonPublishesDrainedBatches(t *testing.T) {
 		t.Fatalf("published %d, want 2", len(got))
 	}
 	st := d.Stats()
-	if st.BatchesDrained != 1 || st.RecordsPublished != 2 {
+	if st.BatchesDrained != 1 || st.BatchesPublished != 1 || st.RecordsPublished != 2 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -193,6 +197,57 @@ func TestDaemonPeriodicFlushAndProcfs(t *testing.T) {
 	d.Stop()
 }
 
+func TestSetFlushInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	node, err := simos.NewNode(eng, network, "srv", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+	published := 0
+	broker.Subscribe(ChannelAggregates, func(rec any) {
+		published += len(rec.([]WireAggregate))
+	})
+
+	d := New(eng, broker, nil, Config{Node: node.ID(), FlushInterval: time.Hour})
+	if d.FlushInterval() != time.Hour {
+		t.Fatalf("FlushInterval = %v", d.FlushInterval())
+	}
+	if err := d.SetFlushInterval(0); err == nil {
+		t.Fatal("non-positive interval accepted")
+	}
+	lpa := core.NewLPA(node.Hub(), core.Config{Granularity: core.PerClass, OnFull: d.OnFull})
+	d.Serve(lpa)
+	d.Start()
+
+	// Complete one interaction so a pending aggregate exists.
+	flow := simnet.FlowKey{Src: simnet.Addr{Node: 9, Port: 5}, Dst: simnet.Addr{Node: node.ID(), Port: 80}}
+	hub := node.Hub()
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetTx, Flow: flow.Reverse(), Bytes: 50, Last: true})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Flow: flow, Bytes: 100})
+
+	// At the hour-long default nothing flushes within 10 virtual seconds.
+	// Retune to 1s and the pending aggregate must go out on the new cadence.
+	if err := d.SetFlushInterval(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * time.Second)
+	if published != 1 {
+		t.Fatalf("published %d aggregates after retune, want 1", published)
+	}
+	if d.FlushInterval() != time.Second {
+		t.Fatalf("FlushInterval after set = %v", d.FlushInterval())
+	}
+	d.Stop()
+}
+
 func TestAggWireRoundTrip(t *testing.T) {
 	agg := core.Aggregate{
 		Class: "port:80", Count: 5,
@@ -224,9 +279,12 @@ func TestDaemonPublishesClassAggregates(t *testing.T) {
 
 	var got []WireAggregate
 	broker.Subscribe(ChannelAggregates, func(rec any) {
-		if w, ok := rec.(WireAggregate); ok {
-			got = append(got, w)
+		batch, ok := rec.([]WireAggregate)
+		if !ok {
+			t.Errorf("local subscriber got %T, want []WireAggregate", rec)
+			return
 		}
+		got = append(got, batch...)
 	})
 
 	d := New(eng, broker, nil, Config{Node: node.ID(), FlushInterval: 50 * time.Millisecond})

@@ -105,3 +105,37 @@ func TestFilteredSubscriptionEndToEnd(t *testing.T) {
 		t.Fatalf("delivered = %v, want [1]", got)
 	}
 }
+
+func TestFilteredSubscriptionBatch(t *testing.T) {
+	// A compiled filter applies per element inside a published batch; the
+	// subscriber receives the surviving records as a sub-batch.
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg)
+	defer broker.Close()
+
+	filter, err := CompileFilter(`return rec.user_ns > 100000;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	broker.Subscribe(ChannelInteractions, func(rec any) {
+		for _, w := range rec.([]WireRecord) {
+			got = append(got, w.ID)
+		}
+	}, pubsub.WithFilter(filter))
+
+	slow1 := sampleRecord(1)
+	fast := sampleRecord(2)
+	fast.UserTime = 10 * time.Microsecond
+	slow2 := sampleRecord(3)
+	batch := []WireRecord{ToWire(&slow1), ToWire(&fast), ToWire(&slow2)}
+	if err := broker.PublishBatch(ChannelInteractions, batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("delivered = %v, want [1 3]", got)
+	}
+}

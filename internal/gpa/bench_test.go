@@ -1,0 +1,59 @@
+package gpa
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/simnet"
+)
+
+// BenchmarkGPAIngestParallel measures concurrent ingest throughput at
+// different shard counts. shards=1 is the old single-mutex analyzer (every
+// subscriber goroutine serializes on one lock); the default stripe count
+// should scale with GOMAXPROCS-many ingesting goroutines. Each iteration
+// ingests a correlating client/server pair, so the benchmark exercises the
+// full hot path: node window, class aggregate, pending insert, and match.
+func BenchmarkGPAIngestParallel(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkIngestParallel(b, shards)
+		})
+	}
+}
+
+func benchmarkIngestParallel(b *testing.B, shards int) {
+	const base = time.Hour
+	g := New(Config{
+		Shards:            shards,
+		CorrelationWindow: 5 * time.Millisecond,
+		LoadWindow:        time.Millisecond, // node windows drain immediately
+	}, func() time.Duration { return base })
+	var worker atomic.Uint32
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := simnet.NodeID(worker.Add(1))
+		batch := make([]core.Record, 2)
+		i := 0
+		for pb.Next() {
+			flow := simnet.FlowKey{
+				Src: simnet.Addr{Node: w, Port: uint16(1024 + i%512)},
+				Dst: simnet.Addr{Node: 256 + w%16, Port: 80},
+			}
+			start := base - 10*time.Millisecond
+			batch[0] = core.Record{
+				ID: uint64(i), Node: flow.Src.Node, Flow: flow, Class: "port:80",
+				Start: start, End: start + 2*time.Millisecond,
+			}
+			batch[1] = core.Record{
+				ID: uint64(i), Node: flow.Dst.Node, Flow: flow, Class: "port:80",
+				Start: start + time.Millisecond, End: start + 2*time.Millisecond,
+				BufferWait: 100 * time.Microsecond,
+			}
+			g.IngestBatch(batch)
+			i++
+		}
+	})
+}

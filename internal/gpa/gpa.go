@@ -5,6 +5,19 @@
 // timestamps), aggregates per-node and per-class statistics, answers
 // queries from other system components (e.g. resource-aware schedulers),
 // and periodically dumps its state for offline auditing.
+//
+// # Sharding
+//
+// The analyzer is the aggregation point for every monitored node, so its
+// ingest path is the system's scaling bottleneck. State is split across a
+// power-of-two number of lock-striped shards keyed by a hash of the
+// record's canonical flow four-tuple: both endpoints of an interaction
+// hash to the same shard, so correlation never crosses a shard boundary
+// and concurrent subscriber goroutines ingesting unrelated flows never
+// contend. Correlated interactions carry a global sequence number so
+// queries can present them in completion order; per-node and per-class
+// aggregates are merged across shards at query time (queries are rare,
+// ingest is hot).
 package gpa
 
 import (
@@ -13,6 +26,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sysprof/internal/core"
@@ -54,6 +68,16 @@ type Config struct {
 	LoadWindow time.Duration
 	// MaxPending bounds uncorrelated records kept per flow.
 	MaxPending int
+	// Shards is the number of lock stripes (rounded up to a power of
+	// two). More shards mean less contention between subscriber
+	// goroutines; the default suits a handful of ingest goroutines.
+	Shards int
+	// StaleAfter is how long an uncorrelated record may wait for its
+	// counterpart before it is pruned (its peer record was dropped or the
+	// remote node is not monitored). Must exceed CorrelationWindow or
+	// records could be pruned while still correlatable; defaults to a
+	// generous multiple of it.
+	StaleAfter time.Duration
 }
 
 // Stats counts analyzer activity.
@@ -61,29 +85,57 @@ type Stats struct {
 	Ingested     uint64
 	Correlated   uint64
 	Uncorrelated uint64
+	StalePruned  uint64
 	Dumps        uint64
 }
 
-// GPA is the global analyzer. It is safe for concurrent use (records can
-// arrive from multiple subscriber goroutines).
-type GPA struct {
-	mu  sync.Mutex
-	cfg Config
+// seqE2E is a correlated interaction tagged with its global completion
+// sequence number (shards correlate independently; queries sort by seq to
+// recover completion order).
+type seqE2E struct {
+	seq uint64
+	e2e EndToEnd
+}
 
+// shard is one lock stripe of analyzer state. All records of a canonical
+// flow land on the same shard, so correlation is shard-local; per-node
+// state is spread across shards and merged at query time.
+type shard struct {
+	mu sync.Mutex
 	// pending records waiting for their counterpart, per canonical flow.
 	pending map[simnet.FlowKey][]core.Record
-	// correlated end-to-end interactions, in completion order.
-	correlated []EndToEnd
+	// correlated end-to-end interactions, tagged with global seq.
+	correlated []seqE2E
 	// per-node recent records (for load estimation).
 	byNode map[simnet.NodeID]*nodeWindow
 	// per node+class aggregates.
 	byClass map[simnet.NodeID]map[string]*core.Aggregate
 
+	// partial counters, summed by StatsSnapshot (Dumps stays global).
+	stats Stats
+	// ingests since the last stale sweep.
+	sinceSweep int
+}
+
+// staleSweepEvery is how many ingests a shard absorbs between incremental
+// stale-pending sweeps. Sweeps are O(pending) so they are amortized; the
+// explicit PruneStale method exists for deterministic tests and shutdown.
+const staleSweepEvery = 1024
+
+// GPA is the global analyzer. It is safe for concurrent use (records can
+// arrive from multiple subscriber goroutines).
+type GPA struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+	// seq orders correlations globally across shards.
+	seq atomic.Uint64
+	// dumps is kept out of the shards (not tied to any flow).
+	dumps atomic.Uint64
+
 	// now supplies current time for load-window pruning (virtual time in
 	// simulations; wall-clock-derived in live deployments).
 	now func() time.Duration
-
-	stats Stats
 }
 
 // New returns an analyzer. now supplies the current time base used for
@@ -98,34 +150,105 @@ func New(cfg Config, now func() time.Duration) *GPA {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 4096
 	}
-	return &GPA{
-		cfg:     cfg,
-		pending: make(map[simnet.FlowKey][]core.Record),
-		byNode:  make(map[simnet.NodeID]*nodeWindow),
-		byClass: make(map[simnet.NodeID]map[string]*core.Aggregate),
-		now:     now,
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
 	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	cfg.Shards = n
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 8 * cfg.CorrelationWindow
+	}
+	if cfg.StaleAfter < cfg.CorrelationWindow {
+		cfg.StaleAfter = cfg.CorrelationWindow
+	}
+	g := &GPA{cfg: cfg, shards: make([]shard, n), mask: uint64(n - 1), now: now}
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.pending = make(map[simnet.FlowKey][]core.Record)
+		s.byNode = make(map[simnet.NodeID]*nodeWindow)
+		s.byClass = make(map[simnet.NodeID]map[string]*core.Aggregate)
+	}
+	return g
+}
+
+// hashFlow mixes the canonical four-tuple into a shard index. The fields
+// pack into 64 bits exactly (two 16-bit nodes, two 16-bit ports); a
+// splitmix64-style finalizer spreads them so nearby ports and node ids
+// land on different shards.
+func hashFlow(key simnet.FlowKey) uint64 {
+	x := uint64(key.Src.Node)<<48 | uint64(key.Src.Port)<<32 |
+		uint64(key.Dst.Node)<<16 | uint64(key.Dst.Port)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (g *GPA) shardFor(key simnet.FlowKey) *shard {
+	return &g.shards[hashFlow(key)&g.mask]
+}
+
+// shardForNode routes flow-less state (aggregate deltas) to a stable
+// shard for the node.
+func (g *GPA) shardForNode(node simnet.NodeID) *shard {
+	return &g.shards[hashFlow(simnet.FlowKey{Src: simnet.Addr{Node: node}})&g.mask]
 }
 
 // Ingest feeds one interaction record from a node's daemon.
 func (g *GPA) Ingest(rec core.Record) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats.Ingested++
+	key := rec.Flow.Canonical()
+	s := g.shardFor(key)
+	s.mu.Lock()
+	g.ingestLocked(s, key, rec)
+	s.mu.Unlock()
+}
+
+// IngestBatch feeds a batch of records (one drained LPA buffer delivered
+// through the batched pub-sub path). Consecutive records that hash to the
+// same shard are ingested under one lock acquisition, so a batch from a
+// busy flow costs roughly one lock round trip instead of one per record.
+func (g *GPA) IngestBatch(recs []core.Record) {
+	for i := 0; i < len(recs); {
+		key := recs[i].Flow.Canonical()
+		s := g.shardFor(key)
+		s.mu.Lock()
+		g.ingestLocked(s, key, recs[i])
+		i++
+		for i < len(recs) {
+			next := recs[i].Flow.Canonical()
+			if g.shardFor(next) != s {
+				break
+			}
+			g.ingestLocked(s, next, recs[i])
+			i++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ingestLocked is the core ingest step; callers hold s.mu and pass the
+// record's canonical flow key.
+func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
+	s.stats.Ingested++
 
 	// Per-node window and per-class aggregates.
-	nw := g.byNode[rec.Node]
+	nw := s.byNode[rec.Node]
 	if nw == nil {
 		nw = &nodeWindow{}
-		g.byNode[rec.Node] = nw
+		s.byNode[rec.Node] = nw
 	}
 	nw.recs = append(nw.recs, rec)
-	g.pruneLocked(nw)
+	g.pruneWindow(nw)
 
-	classes := g.byClass[rec.Node]
+	classes := s.byClass[rec.Node]
 	if classes == nil {
 		classes = make(map[string]*core.Aggregate)
-		g.byClass[rec.Node] = classes
+		s.byClass[rec.Node] = classes
 	}
 	agg := classes[rec.Class]
 	if agg == nil {
@@ -134,10 +257,14 @@ func (g *GPA) Ingest(rec core.Record) {
 	}
 	agg.Add(&rec)
 
+	if s.sinceSweep++; s.sinceSweep >= staleSweepEvery {
+		s.sinceSweep = 0
+		g.sweepStaleLocked(s)
+	}
+
 	// Correlation: the same interaction observed at the other endpoint
 	// shares the canonical flow and a nearby start timestamp.
-	key := rec.Flow.Canonical()
-	peers := g.pending[key]
+	peers := s.pending[key]
 	for i, p := range peers {
 		if p.Node == rec.Node {
 			continue
@@ -153,19 +280,19 @@ func (g *GPA) Ingest(rec core.Record) {
 		} else {
 			e2e.Server, e2e.Client = p, rec
 		}
-		g.correlated = append(g.correlated, e2e)
-		g.stats.Correlated++
-		g.pending[key] = append(peers[:i], peers[i+1:]...)
-		if len(g.pending[key]) == 0 {
-			delete(g.pending, key)
+		s.correlated = append(s.correlated, seqE2E{seq: g.seq.Add(1), e2e: e2e})
+		s.stats.Correlated++
+		s.pending[key] = append(peers[:i], peers[i+1:]...)
+		if len(s.pending[key]) == 0 {
+			delete(s.pending, key)
 		}
 		return
 	}
 	if len(peers) >= g.cfg.MaxPending {
 		peers = peers[1:]
-		g.stats.Uncorrelated++
+		s.stats.Uncorrelated++
 	}
-	g.pending[key] = append(peers, rec)
+	s.pending[key] = append(peers, rec)
 }
 
 func absDur(d time.Duration) time.Duration {
@@ -175,7 +302,7 @@ func absDur(d time.Duration) time.Duration {
 	return d
 }
 
-func (g *GPA) pruneLocked(nw *nodeWindow) {
+func (g *GPA) pruneWindow(nw *nodeWindow) {
 	cutoff := g.now() - g.cfg.LoadWindow
 	i := 0
 	for i < len(nw.recs) && nw.recs[i].End < cutoff {
@@ -186,18 +313,66 @@ func (g *GPA) pruneLocked(nw *nodeWindow) {
 	}
 }
 
+// sweepStaleLocked drops pending records whose counterpart can no longer
+// arrive (older than StaleAfter). Without this, flows whose peer endpoint
+// is unmonitored — or whose peer record was dropped under buffer pressure
+// — would accumulate in the pending map forever.
+func (g *GPA) sweepStaleLocked(s *shard) int {
+	cutoff := g.now() - g.cfg.StaleAfter
+	if cutoff <= 0 {
+		return 0
+	}
+	pruned := 0
+	for key, peers := range s.pending {
+		kept := peers[:0]
+		for _, p := range peers {
+			if p.Start < cutoff {
+				pruned++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		if len(kept) == 0 {
+			delete(s.pending, key)
+			continue
+		}
+		s.pending[key] = kept
+	}
+	if pruned > 0 {
+		s.stats.StalePruned += uint64(pruned)
+		s.stats.Uncorrelated += uint64(pruned)
+	}
+	return pruned
+}
+
+// PruneStale immediately sweeps every shard for stale pending records and
+// reports how many were dropped. The ingest path also sweeps
+// incrementally; this entry point exists for periodic maintenance timers
+// and deterministic tests.
+func (g *GPA) PruneStale() int {
+	total := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		total += g.sweepStaleLocked(s)
+		s.mu.Unlock()
+	}
+	return total
+}
+
 // IngestAggregate merges a per-class aggregate delta published by a node
 // running its LPA at class granularity (dissem.ChannelAggregates). It
 // contributes to accounting and class queries but not to per-interaction
 // correlation (the node deliberately did not ship individual records).
 func (g *GPA) IngestAggregate(node simnet.NodeID, agg core.Aggregate) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats.Ingested++
-	classes := g.byClass[node]
+	s := g.shardForNode(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Ingested++
+	classes := s.byClass[node]
 	if classes == nil {
 		classes = make(map[string]*core.Aggregate)
-		g.byClass[node] = classes
+		s.byClass[node] = classes
 	}
 	cur := classes[agg.Class]
 	if cur == nil {
@@ -207,33 +382,54 @@ func (g *GPA) IngestAggregate(node simnet.NodeID, agg core.Aggregate) {
 	cur.Merge(&agg)
 }
 
-// Correlated returns the end-to-end interactions correlated so far.
+// Correlated returns the end-to-end interactions correlated so far, in
+// completion order (global sequence across shards).
 func (g *GPA) Correlated() []EndToEnd {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]EndToEnd, len(g.correlated))
-	copy(out, g.correlated)
+	var tagged []seqE2E
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		tagged = append(tagged, s.correlated...)
+		s.mu.Unlock()
+	}
+	sort.Slice(tagged, func(i, j int) bool { return tagged[i].seq < tagged[j].seq })
+	out := make([]EndToEnd, len(tagged))
+	for i := range tagged {
+		out[i] = tagged[i].e2e
+	}
 	return out
 }
 
 // PendingCount returns records still awaiting their counterpart.
 func (g *GPA) PendingCount() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	n := 0
-	for _, p := range g.pending {
-		n += len(p)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for _, p := range s.pending {
+			n += len(p)
+		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// ClassAggregates returns a copy of the per-class aggregates at a node.
+// ClassAggregates returns the per-class aggregates at a node, merged
+// across shards.
 func (g *GPA) ClassAggregates(node simnet.NodeID) map[string]core.Aggregate {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make(map[string]core.Aggregate)
-	for class, agg := range g.byClass[node] {
-		out[class] = *agg
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for class, agg := range s.byClass[node] {
+			m := out[class]
+			if m.Class == "" {
+				m.Class = class
+			}
+			m.Merge(agg)
+			out[class] = m
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -250,29 +446,33 @@ type Load struct {
 	MeanBufferWait time.Duration
 }
 
-// ServerLoad reports a node's load over the sliding window. Nodes with no
-// recent records return a zero Load (treated as idle).
+// ServerLoad reports a node's load over the sliding window, merged across
+// shards. Nodes with no recent records return a zero Load (treated as
+// idle).
 func (g *GPA) ServerLoad(node simnet.NodeID) Load {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	l := Load{Node: node}
-	nw := g.byNode[node]
-	if nw == nil {
-		return l
-	}
-	g.pruneLocked(nw)
-	if len(nw.recs) == 0 {
-		return l
-	}
 	var res, ker, buf time.Duration
-	for i := range nw.recs {
-		r := &nw.recs[i]
-		res += r.Residence()
-		ker += r.KernelTime()
-		buf += r.BufferWait
+	count := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		if nw := s.byNode[node]; nw != nil {
+			g.pruneWindow(nw)
+			for j := range nw.recs {
+				r := &nw.recs[j]
+				res += r.Residence()
+				ker += r.KernelTime()
+				buf += r.BufferWait
+			}
+			count += len(nw.recs)
+		}
+		s.mu.Unlock()
 	}
-	n := time.Duration(len(nw.recs))
-	l.Interactions = len(nw.recs)
+	if count == 0 {
+		return l
+	}
+	n := time.Duration(count)
+	l.Interactions = count
 	l.MeanResidence = res / n
 	l.MeanKernel = ker / n
 	l.MeanBufferWait = buf / n
@@ -281,21 +481,40 @@ func (g *GPA) ServerLoad(node simnet.NodeID) Load {
 
 // Nodes lists nodes that have reported records, sorted.
 func (g *GPA) Nodes() []simnet.NodeID {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]simnet.NodeID, 0, len(g.byNode))
-	for id := range g.byNode {
+	seen := make(map[simnet.NodeID]struct{})
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for id := range s.byNode {
+			seen[id] = struct{}{}
+		}
+		for id := range s.byClass {
+			seen[id] = struct{}{}
+		}
+		s.mu.Unlock()
+	}
+	out := make([]simnet.NodeID, 0, len(seen))
+	for id := range seen {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// StatsSnapshot returns analyzer counters.
+// StatsSnapshot returns analyzer counters summed across shards.
 func (g *GPA) StatsSnapshot() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	var st Stats
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		st.Ingested += s.stats.Ingested
+		st.Correlated += s.stats.Correlated
+		st.Uncorrelated += s.stats.Uncorrelated
+		st.StalePruned += s.stats.StalePruned
+		s.mu.Unlock()
+	}
+	st.Dumps = g.dumps.Load()
+	return st
 }
 
 // Dump writes the correlated interactions as JSON lines ("the GPA
@@ -303,11 +522,8 @@ func (g *GPA) StatsSnapshot() Stats {
 // later for purposes of auditing, workload prediction, and system
 // modeling").
 func (g *GPA) Dump(w io.Writer) error {
-	g.mu.Lock()
-	recs := make([]EndToEnd, len(g.correlated))
-	copy(recs, g.correlated)
-	g.stats.Dumps++
-	g.mu.Unlock()
+	recs := g.Correlated()
+	g.dumps.Add(1)
 	enc := json.NewEncoder(w)
 	for i := range recs {
 		if err := enc.Encode(&recs[i]); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -176,6 +177,177 @@ func TestDumpJSONLines(t *testing.T) {
 	}
 }
 
+func TestStalePendingPruned(t *testing.T) {
+	g, now := newGPA(Config{CorrelationWindow: time.Millisecond, StaleAfter: 10 * time.Millisecond})
+	// Client-side records whose server counterpart never arrives (the
+	// server node is unmonitored): they must not accumulate forever.
+	for i := 0; i < 50; i++ {
+		g.Ingest(clientRec(uint64(i), time.Duration(i)*100*time.Microsecond))
+	}
+	if g.PendingCount() != 50 {
+		t.Fatalf("pending = %d, want 50", g.PendingCount())
+	}
+	// Nothing is stale yet: all starts are within StaleAfter of now.
+	*now = 5 * time.Millisecond
+	if n := g.PruneStale(); n != 0 {
+		t.Fatalf("pruned %d fresh records", n)
+	}
+	// Advance past StaleAfter for the first half of the records.
+	*now = 10*time.Millisecond + 2500*time.Microsecond
+	if n := g.PruneStale(); n != 25 {
+		t.Fatalf("pruned %d, want 25", n)
+	}
+	if g.PendingCount() != 25 {
+		t.Fatalf("pending after prune = %d, want 25", g.PendingCount())
+	}
+	st := g.StatsSnapshot()
+	if st.StalePruned != 25 || st.Uncorrelated != 25 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Far future: everything goes.
+	*now = time.Hour
+	g.PruneStale()
+	if g.PendingCount() != 0 {
+		t.Fatalf("pending = %d after full sweep", g.PendingCount())
+	}
+}
+
+func TestStaleSweepRunsFromIngest(t *testing.T) {
+	// The ingest path itself sweeps periodically (every staleSweepEvery
+	// ingests per shard) — no explicit PruneStale call needed.
+	g, now := newGPA(Config{Shards: 1, CorrelationWindow: time.Millisecond, StaleAfter: time.Millisecond, MaxPending: 1 << 20})
+	g.Ingest(clientRec(0, 0))
+	*now = time.Minute
+	// Subsequent records are fresh relative to *now; pushing enough of
+	// them through triggers the incremental sweep that drops record 0.
+	other := flow
+	other.Src.Port = 1001
+	for i := 1; i <= staleSweepEvery; i++ {
+		r := clientRec(uint64(i), time.Minute)
+		r.Flow = other
+		g.Ingest(r)
+	}
+	if g.StatsSnapshot().StalePruned == 0 {
+		t.Fatal("ingest-path sweep never ran")
+	}
+}
+
+func TestIngestBatchMatchesIngest(t *testing.T) {
+	mk := func() []core.Record {
+		var recs []core.Record
+		for i := 0; i < 64; i++ {
+			f := simnet.FlowKey{
+				Src: simnet.Addr{Node: simnet.NodeID(1 + i%8), Port: uint16(1000 + i)},
+				Dst: simnet.Addr{Node: simnet.NodeID(100 + i%4), Port: 80},
+			}
+			c := clientRec(uint64(2*i), 0)
+			c.Flow = f
+			c.Node = f.Src.Node
+			s := serverRec(uint64(2*i+1), 0)
+			s.Flow = f
+			s.Node = f.Dst.Node
+			recs = append(recs, c, s)
+		}
+		return recs
+	}
+	one, _ := newGPA(Config{})
+	for _, r := range mk() {
+		one.Ingest(r)
+	}
+	batched, _ := newGPA(Config{})
+	batched.IngestBatch(mk())
+
+	a, b := one.StatsSnapshot(), batched.StatsSnapshot()
+	if a != b {
+		t.Fatalf("stats diverge: Ingest=%+v IngestBatch=%+v", a, b)
+	}
+	if a.Correlated != 64 {
+		t.Fatalf("correlated = %d, want 64", a.Correlated)
+	}
+	if len(one.Correlated()) != len(batched.Correlated()) {
+		t.Fatal("correlated counts diverge")
+	}
+	if len(one.Nodes()) != len(batched.Nodes()) {
+		t.Fatal("node sets diverge")
+	}
+}
+
+func TestCorrelatedOrderAcrossShards(t *testing.T) {
+	// Interactions on many flows land on different shards; Correlated must
+	// still return them in completion order (global sequence).
+	g, _ := newGPA(Config{Shards: 8})
+	for i := 0; i < 100; i++ {
+		f := simnet.FlowKey{
+			Src: simnet.Addr{Node: simnet.NodeID(1 + i), Port: uint16(1000 + i)},
+			Dst: simnet.Addr{Node: 200, Port: 80},
+		}
+		c := clientRec(uint64(2*i), 0)
+		c.Flow = f
+		c.Node = f.Src.Node
+		c.ID = uint64(i) // completion order marker
+		s := serverRec(uint64(2*i+1), 0)
+		s.Flow = f
+		s.Node = f.Dst.Node
+		g.Ingest(c)
+		g.Ingest(s)
+	}
+	got := g.Correlated()
+	if len(got) != 100 {
+		t.Fatalf("correlated %d, want 100", len(got))
+	}
+	for i, e := range got {
+		if e.Client.ID != uint64(i) {
+			t.Fatalf("completion order broken at %d: client ID %d", i, e.Client.ID)
+		}
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	// Many goroutines ingesting distinct flows plus concurrent queries:
+	// exercised under -race this validates the shard locking.
+	g, _ := newGPA(Config{Shards: 8})
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f := simnet.FlowKey{
+					Src: simnet.Addr{Node: simnet.NodeID(1 + w), Port: uint16(1024 + i)},
+					Dst: simnet.Addr{Node: 200, Port: 80},
+				}
+				c := clientRec(uint64(i), 0)
+				c.Flow = f
+				c.Node = f.Src.Node
+				s := serverRec(uint64(i), 0)
+				s.Flow = f
+				s.Node = f.Dst.Node
+				g.IngestBatch([]core.Record{c, s})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for g.StatsSnapshot().Ingested < workers*perWorker*2 {
+			g.ServerLoad(200)
+			g.PendingCount()
+			g.Accounting()
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := g.StatsSnapshot()
+	if st.Correlated != workers*perWorker {
+		t.Fatalf("correlated = %d, want %d", st.Correlated, workers*perWorker)
+	}
+	if g.PendingCount() != 0 {
+		t.Fatalf("pending = %d", g.PendingCount())
+	}
+}
+
 func TestPendingBounded(t *testing.T) {
 	g, _ := newGPA(Config{MaxPending: 3, CorrelationWindow: time.Nanosecond})
 	for i := 0; i < 10; i++ {
@@ -215,9 +387,16 @@ func TestEndToEndPipeline(t *testing.T) {
 
 	g := New(Config{}, eng.Now)
 	broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
-		if w, ok := rec.(dissem.WireRecord); ok {
-			g.Ingest(dissem.FromWire(&w))
+		wires, ok := rec.([]dissem.WireRecord)
+		if !ok {
+			t.Errorf("subscriber got %T, want []dissem.WireRecord", rec)
+			return
 		}
+		batch := make([]core.Record, len(wires))
+		for i := range wires {
+			batch[i] = dissem.FromWire(&wires[i])
+		}
+		g.IngestBatch(batch)
 	})
 
 	var daemons []*dissem.Daemon

@@ -39,21 +39,24 @@ type AccountingRow struct {
 	MeanResidence time.Duration
 }
 
-// Accounting merges per-node class aggregates into a per-class billing
-// report, sorted by CPU time descending.
+// Accounting merges per-node class aggregates (across all shards) into a
+// per-class billing report, sorted by CPU time descending.
 func (g *GPA) Accounting() []AccountingRow {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	merged := make(map[string]*core.Aggregate)
-	for _, classes := range g.byClass {
-		for name, agg := range classes {
-			m := merged[name]
-			if m == nil {
-				m = &core.Aggregate{Class: name}
-				merged[name] = m
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for _, classes := range s.byClass {
+			for name, agg := range classes {
+				m := merged[name]
+				if m == nil {
+					m = &core.Aggregate{Class: name}
+					merged[name] = m
+				}
+				m.Merge(agg)
 			}
-			m.Merge(agg)
 		}
+		s.mu.Unlock()
 	}
 	out := make([]AccountingRow, 0, len(merged))
 	for name, agg := range merged {

@@ -14,10 +14,34 @@
 // instrumentation consumed so the simulated kernel can charge it to the
 // node's CPU; this is how monitoring overhead perturbs the system under
 // observation, just as it does on real hardware.
+//
+// # Concurrency contract
+//
+// Emit runs on the kernel fast path and must be called from at most one
+// goroutine at a time (the simulated kernel's execution context). It never
+// locks and never allocates: it reads an immutable per-event-type dispatch
+// list through a single atomic load.
+//
+// Everything on the control plane — Subscribe, Subscription.Close,
+// SetMask, SetPIDFilter, SetGIDFilter, SetFlowFilter — may be called from
+// any goroutine at any time, including while another goroutine is inside
+// Emit. Control-plane mutations serialize on an internal mutex and publish
+// new dispatch lists copy-on-write, so an in-flight Emit keeps delivering
+// against the list it loaded; the change takes effect on the next Emit.
+//
+// Hub counters are updated on the emit path without synchronization (an
+// atomic add per event would triple the cost of the paper's
+// monitoring-off fast path). Call StatsSnapshot from the emitting
+// goroutine, or after emission has quiesced, for exact values.
+//
+// SetPerEventCost is a configuration-time knob: set it before the first
+// Emit.
 package kprof
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sysprof/internal/simnet"
@@ -174,16 +198,24 @@ type Event struct {
 // block; they should be computationally small.
 type Handler func(ev *Event)
 
-// Subscription is one analyzer's registration with a Hub.
+// Subscription is one analyzer's registration with a Hub. Its setters are
+// safe to call from any goroutine while the hub is emitting (see the
+// package comment's concurrency contract).
 type Subscription struct {
 	hub     *Hub
 	id      int
-	mask    Mask
-	pid     func(int32) bool
-	gid     func(int32) bool
-	flow    func(simnet.FlowKey) bool
 	handler Handler
-	closed  bool
+
+	// mask and closed are guarded by hub.mu.
+	mask   Mask
+	closed bool
+
+	// Filter predicates are read by Emit through atomic pointers so they
+	// can be swapped mid-stream without tearing. A nil pointer means "no
+	// filter".
+	pid  atomic.Pointer[func(int32) bool]
+	gid  atomic.Pointer[func(int32) bool]
+	flow atomic.Pointer[func(simnet.FlowKey) bool]
 }
 
 // SubOption customizes a subscription.
@@ -193,52 +225,88 @@ type SubOption func(*Subscription)
 // without a meaningful PID (PID == 0, e.g. pure interrupt work) are always
 // delivered.
 func WithPIDFilter(keep func(int32) bool) SubOption {
-	return func(s *Subscription) { s.pid = keep }
+	return func(s *Subscription) { s.SetPIDFilter(keep) }
 }
 
 // WithFlowFilter prunes network events to flows satisfying keep.
 func WithFlowFilter(keep func(simnet.FlowKey) bool) SubOption {
-	return func(s *Subscription) { s.flow = keep }
+	return func(s *Subscription) { s.SetFlowFilter(keep) }
 }
 
 // WithGIDFilter prunes events to those whose process group satisfies
 // keep. Events without a PID (pure interrupt work) always pass.
 func WithGIDFilter(keep func(int32) bool) SubOption {
-	return func(s *Subscription) { s.gid = keep }
+	return func(s *Subscription) { s.SetGIDFilter(keep) }
 }
 
 // SetMask atomically replaces the subscription's event set. The controller
-// uses this to change monitoring granularity at runtime.
+// uses this to change monitoring granularity at runtime; it is safe while
+// the hub is emitting (the new mask applies from the next Emit).
 func (s *Subscription) SetMask(m Mask) {
-	if s.closed {
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.closed || s.mask == m {
 		return
 	}
-	s.hub.retune(s, m)
+	s.mask = m
+	h.rebuildLocked()
 }
 
 // Mask returns the current event set.
-func (s *Subscription) Mask() Mask { return s.mask }
+func (s *Subscription) Mask() Mask {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.mask
+}
 
 // SetPIDFilter installs or clears (nil) the subscription's PID predicate
 // at runtime. The controller exposes this so operators can narrow
 // monitoring to specific processes ("events can also be pruned on the
 // basis of process IDs, group IDs, or other such predicates").
-func (s *Subscription) SetPIDFilter(keep func(int32) bool) { s.pid = keep }
+func (s *Subscription) SetPIDFilter(keep func(int32) bool) {
+	if keep == nil {
+		s.pid.Store(nil)
+		return
+	}
+	s.pid.Store(&keep)
+}
 
 // SetFlowFilter installs or clears (nil) the flow predicate at runtime.
-func (s *Subscription) SetFlowFilter(keep func(simnet.FlowKey) bool) { s.flow = keep }
+func (s *Subscription) SetFlowFilter(keep func(simnet.FlowKey) bool) {
+	if keep == nil {
+		s.flow.Store(nil)
+		return
+	}
+	s.flow.Store(&keep)
+}
 
 // SetGIDFilter installs or clears (nil) the group predicate at runtime.
-func (s *Subscription) SetGIDFilter(keep func(int32) bool) { s.gid = keep }
+func (s *Subscription) SetGIDFilter(keep func(int32) bool) {
+	if keep == nil {
+		s.gid.Store(nil)
+		return
+	}
+	s.gid.Store(&keep)
+}
 
 // Close deregisters the subscription. When the last subscriber of a type
 // leaves, that type's instrumentation point reverts to a single branch.
 func (s *Subscription) Close() {
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if s.closed {
 		return
 	}
 	s.closed = true
-	s.hub.remove(s)
+	for i, cur := range h.subs {
+		if cur == s {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			break
+		}
+	}
+	h.rebuildLocked()
 }
 
 // Stats holds Hub counters.
@@ -254,22 +322,34 @@ type Stats struct {
 	Overhead time.Duration
 }
 
+// subList is an immutable snapshot of the subscribers interested in one
+// event type. Emit loads it with a single atomic operation; the control
+// plane replaces it wholesale (copy-on-write) under Hub.mu.
+type subList []*Subscription
+
 // Hub dispatches instrumentation events on one node.
 type Hub struct {
 	node  simnet.NodeID
 	clock func() time.Duration
 
+	// mu serializes the control plane (Subscribe/Close/SetMask). It is
+	// never taken by Emit.
+	mu     sync.Mutex
 	subs   []*Subscription
 	nextID int
-	// active[t] counts subscribers whose mask includes t, so the
-	// enabled-check on the hot path is one load.
-	active [numEventTypes]int
+
+	// dispatch[t] is the list of subscribers whose mask includes t, so
+	// emit cost is O(interested subscribers) rather than O(all
+	// subscribers). A nil or empty list makes the instrumentation point a
+	// single load-and-branch.
+	dispatch [numEventTypes]atomic.Pointer[subList]
 
 	// perEventCost is CPU time charged per delivered event (building the
-	// binary record + running the callback). deliverCost is the extra cost
-	// per additional subscriber.
+	// binary record + running the callback).
 	perEventCost time.Duration
 
+	// stats is written only by the emitting goroutine; see the package
+	// comment for the snapshot contract.
 	stats Stats
 }
 
@@ -303,50 +383,42 @@ func (h *Hub) Now() time.Duration { return h.clock() }
 // Enabled reports whether any subscriber wants t. Instrumentation points
 // call this first and skip event construction entirely when false.
 func (h *Hub) Enabled(t EventType) bool {
-	return t.Valid() && h.active[t] > 0
+	if !t.Valid() {
+		return false
+	}
+	lp := h.dispatch[t].Load()
+	return lp != nil && len(*lp) > 0
 }
 
 // Subscribe registers a handler for the event types in mask.
 func (h *Hub) Subscribe(mask Mask, handler Handler, opts ...SubOption) *Subscription {
-	s := &Subscription{hub: h, id: h.nextID, mask: mask, handler: handler}
-	h.nextID++
+	s := &Subscription{hub: h, handler: handler, mask: mask}
 	for _, opt := range opts {
 		opt(s)
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.id = h.nextID
+	h.nextID++
 	h.subs = append(h.subs, s)
-	for t := EvCtxSwitch; t < numEventTypes; t++ {
-		if mask.Has(t) {
-			h.active[t]++
-		}
-	}
+	h.rebuildLocked()
 	return s
 }
 
-func (h *Hub) remove(s *Subscription) {
-	for i, cur := range h.subs {
-		if cur == s {
-			h.subs = append(h.subs[:i], h.subs[i+1:]...)
-			break
-		}
-	}
+// rebuildLocked recomputes every per-type dispatch list from h.subs and
+// publishes the new lists atomically. Callers hold h.mu. Subscribers keep
+// their registration order within each list, so delivery order matches the
+// pre-dispatch-list behaviour.
+func (h *Hub) rebuildLocked() {
 	for t := EvCtxSwitch; t < numEventTypes; t++ {
-		if s.mask.Has(t) {
-			h.active[t]--
+		var list subList
+		for _, s := range h.subs {
+			if s.mask.Has(t) {
+				list = append(list, s)
+			}
 		}
+		h.dispatch[t].Store(&list)
 	}
-}
-
-func (h *Hub) retune(s *Subscription, m Mask) {
-	for t := EvCtxSwitch; t < numEventTypes; t++ {
-		had, has := s.mask.Has(t), m.Has(t)
-		if had && !has {
-			h.active[t]--
-		}
-		if !had && has {
-			h.active[t]++
-		}
-	}
-	s.mask = m
 }
 
 // Emit delivers ev to all matching subscribers and returns the CPU time
@@ -354,7 +426,11 @@ func (h *Hub) retune(s *Subscription, m Mask) {
 // must charge to the current CPU. The event's Time and Node fields are
 // stamped by the hub.
 func (h *Hub) Emit(ev *Event) time.Duration {
-	if !h.Enabled(ev.Type) {
+	var lp *subList
+	if ev.Type.Valid() {
+		lp = h.dispatch[ev.Type].Load()
+	}
+	if lp == nil || len(*lp) == 0 {
 		h.stats.Suppressed++
 		return 0
 	}
@@ -363,30 +439,28 @@ func (h *Hub) Emit(ev *Event) time.Duration {
 	h.stats.Emitted++
 
 	var delivered int
-	for _, s := range h.subs {
-		if !s.mask.Has(ev.Type) {
+	for _, s := range *lp {
+		if f := s.pid.Load(); f != nil && ev.PID != 0 && !(*f)(ev.PID) {
 			continue
 		}
-		if s.pid != nil && ev.PID != 0 && !s.pid(ev.PID) {
+		if f := s.gid.Load(); f != nil && ev.PID != 0 && !(*f)(ev.GID) {
 			continue
 		}
-		if s.gid != nil && ev.PID != 0 && !s.gid(ev.GID) {
-			continue
-		}
-		if s.flow != nil && ev.Flow != (simnet.FlowKey{}) && !s.flow(ev.Flow) {
+		if f := s.flow.Load(); f != nil && ev.Flow != (simnet.FlowKey{}) && !(*f)(ev.Flow) {
 			continue
 		}
 		s.handler(ev)
 		delivered++
 	}
-	h.stats.Delivered += uint64(delivered)
 	if delivered == 0 {
 		return 0
 	}
+	h.stats.Delivered += uint64(delivered)
 	cost := h.perEventCost * time.Duration(delivered)
 	h.stats.Overhead += cost
 	return cost
 }
 
-// StatsSnapshot returns a copy of the hub counters.
+// StatsSnapshot returns a copy of the hub counters (see the package
+// comment for when a concurrent snapshot is exact).
 func (h *Hub) StatsSnapshot() Stats { return h.stats }

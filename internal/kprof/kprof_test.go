@@ -1,6 +1,7 @@
 package kprof
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -197,9 +198,9 @@ func TestOverheadAccumulates(t *testing.T) {
 	}
 }
 
-// Property: active-subscriber bookkeeping stays consistent through any
+// Property: dispatch-list bookkeeping stays consistent through any
 // sequence of subscribe / setmask / close operations.
-func TestActiveCountProperty(t *testing.T) {
+func TestDispatchListProperty(t *testing.T) {
 	prop := func(ops []uint8) bool {
 		h, _ := newHub()
 		var subs []*Subscription
@@ -219,19 +220,97 @@ func TestActiveCountProperty(t *testing.T) {
 				}
 			}
 		}
-		// Recompute expected active counts from surviving subs.
+		// Recompute expected per-type subscriber counts from surviving subs
+		// and check them against the published dispatch lists.
 		var want [NumEventTypes]int
 		for _, s := range subs {
 			for et := EvCtxSwitch; int(et) < NumEventTypes; et++ {
-				if s.mask.Has(et) {
+				if s.Mask().Has(et) {
 					want[et]++
 				}
 			}
 		}
-		return want == h.active
+		for et := EvCtxSwitch; int(et) < NumEventTypes; et++ {
+			got := 0
+			if lp := h.dispatch[et].Load(); lp != nil {
+				got = len(*lp)
+			}
+			if got != want[et] {
+				return false
+			}
+			if h.Enabled(et) != (want[et] > 0) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestControlPlaneConcurrentWithEmit exercises the package's concurrency
+// contract: one goroutine emits continuously while others retune masks,
+// swap filters, and subscribe/close. Run under -race this verifies the
+// hub's copy-on-write dispatch and atomic filter pointers.
+func TestControlPlaneConcurrentWithEmit(t *testing.T) {
+	h, _ := newHub()
+	sub := h.Subscribe(MaskAll(), func(*Event) {})
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // the "kernel" goroutine
+		defer close(done)
+		ev := Event{Type: EvNetRx, PID: 7, GID: 1}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Emit(&ev)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // mask retuning
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			if i%2 == 0 {
+				sub.SetMask(MaskNetwork())
+			} else {
+				sub.SetMask(MaskAll())
+			}
+		}
+	}()
+	go func() { // filter swapping
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			sub.SetPIDFilter(func(pid int32) bool { return pid == 7 })
+			sub.SetGIDFilter(func(gid int32) bool { return gid == 1 })
+			sub.SetFlowFilter(nil)
+			sub.SetPIDFilter(nil)
+			sub.SetGIDFilter(nil)
+		}
+	}()
+	go func() { // churning subscriptions
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			s := h.Subscribe(MaskSyscall(), func(*Event) {})
+			s.Close()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+
+	if !h.Enabled(EvNetRx) {
+		t.Fatal("surviving subscription should keep EvNetRx enabled")
+	}
+	st := h.StatsSnapshot()
+	if st.Emitted == 0 {
+		t.Fatal("emitter made no progress")
 	}
 }
 

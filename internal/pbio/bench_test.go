@@ -31,6 +31,54 @@ func BenchmarkEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkPBIOEncodeReuse measures steady-state encode cost through a
+// reused encoder: the record is passed by pointer (no interface boxing)
+// and the encoder's scratch buffer is recycled, so the loop should report
+// 0 allocs/op.
+func BenchmarkPBIOEncodeReuse(b *testing.B) {
+	reg := NewRegistry()
+	reg.MustRegister("bench", benchRec{})
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, reg)
+	rec := benchRec{A: 1, B: 2, C: "abcdef", D: 3.5, E: time.Millisecond}
+	if err := enc.Encode(&rec); err != nil { // format frame out of the way
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.Encode(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPBIOEncodeSlice measures batch encode cost per record: one
+// frame header and one Write per 64 records.
+func BenchmarkPBIOEncodeSlice(b *testing.B) {
+	reg := NewRegistry()
+	reg.MustRegister("bench", benchRec{})
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, reg)
+	recs := make([]benchRec, 64)
+	for i := range recs {
+		recs[i] = benchRec{A: int64(i), B: 2, C: "abcdef", D: 3.5, E: time.Millisecond}
+	}
+	if err := enc.EncodeSlice(recs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.EncodeSlice(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(recs)), "ns/record")
+}
+
 // BenchmarkDecode measures one-record decode cost (GPA ingest path).
 func BenchmarkDecode(b *testing.B) {
 	reg := NewRegistry()

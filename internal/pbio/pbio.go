@@ -8,9 +8,10 @@
 // Wire layout (all integers little-endian):
 //
 //	frame   := kind(1) payload
-//	kind    := 0x01 (format definition) | 0x02 (record)
+//	kind    := 0x01 (format definition) | 0x02 (record) | 0x03 (batch)
 //	formdef := id(u32) name(str) nfields(u16) { fname(str) fkind(u8) }*
 //	record  := id(u32) fields...   (fixed order per format)
+//	batch   := id(u32) count(u32) { fields... }*count
 //	str     := len(u32) bytes
 //
 // Strings and byte slices are length-prefixed; all other kinds are fixed
@@ -191,10 +192,15 @@ func kindOf(t reflect.Type) (Kind, bool) {
 const (
 	frameFormat = 0x01
 	frameRecord = 0x02
+	frameBatch  = 0x03
 
 	// maxFieldLen bounds length-prefixed fields (strings/bytes) so a
 	// corrupted or hostile stream cannot force huge allocations.
 	maxFieldLen = 1 << 24
+
+	// maxBatchLen bounds the record count of a batch frame for the same
+	// reason.
+	maxBatchLen = 1 << 20
 )
 
 // Encoder writes self-describing records to a stream.
@@ -236,6 +242,56 @@ func (e *Encoder) Encode(v any) error {
 	_, err := e.w.Write(e.buf)
 	if err != nil {
 		return fmt.Errorf("pbio: encode %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// EncodeSlice writes every element of vs (a slice of a registered struct
+// type, or of pointers to one) as a single batch frame: one frame header
+// and one Write call for the whole batch. The encoder's scratch buffer is
+// reused across calls, so steady-state batch encoding does not allocate.
+// An empty slice writes nothing.
+func (e *Encoder) EncodeSlice(vs any) error {
+	sv := reflect.ValueOf(vs)
+	if sv.Kind() != reflect.Slice {
+		return fmt.Errorf("pbio: encode slice: want a slice, got %T", vs)
+	}
+	n := sv.Len()
+	if n == 0 {
+		return nil
+	}
+	et := sv.Type().Elem()
+	for et.Kind() == reflect.Pointer {
+		et = et.Elem()
+	}
+	f := e.reg.byType[et]
+	if f == nil {
+		return fmt.Errorf("%w: type %s", ErrUnknownFormat, et)
+	}
+	if n > maxBatchLen {
+		return fmt.Errorf("pbio: encode slice: %d records exceeds batch limit %d", n, maxBatchLen)
+	}
+	if !e.sent[f.ID] {
+		if err := e.writeFormat(f); err != nil {
+			return err
+		}
+		e.sent[f.ID] = true
+	}
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, frameBatch)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, f.ID)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(n))
+	for i := 0; i < n; i++ {
+		rv := sv.Index(i)
+		for rv.Kind() == reflect.Pointer {
+			rv = rv.Elem()
+		}
+		for j, fld := range f.Fields {
+			e.buf = appendValue(e.buf, fld.Kind, rv.Field(f.index[j]))
+		}
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		return fmt.Errorf("pbio: encode batch %s: %w", f.Name, err)
 	}
 	return nil
 }
@@ -312,6 +368,9 @@ type Decoder struct {
 	reg     *Registry
 	formats map[uint32]*Format
 	scratch [8]byte
+	// queue holds records decoded from a batch frame but not yet returned;
+	// Decode drains it before reading the stream again.
+	queue []*Record
 }
 
 // NewDecoder returns a decoder reading from r. reg may be nil; when given,
@@ -320,9 +379,21 @@ func NewDecoder(r io.Reader, reg *Registry) *Decoder {
 	return &Decoder{r: r, reg: reg, formats: make(map[uint32]*Format)}
 }
 
-// Decode reads the next record, transparently consuming format frames.
-// It returns io.EOF at clean end of stream.
+// Pending reports how many already-decoded records (from a batch frame)
+// the next Decode calls will return without touching the stream. Framing
+// layered above pbio (e.g. pubsub's channel headers, written once per
+// batch) uses this to know when not to expect its own header.
+func (d *Decoder) Pending() int { return len(d.queue) }
+
+// Decode reads the next record, transparently consuming format frames and
+// expanding batch frames one record at a time. It returns io.EOF at clean
+// end of stream.
 func (d *Decoder) Decode() (*Record, error) {
+	if len(d.queue) > 0 {
+		rec := d.queue[0]
+		d.queue = d.queue[1:]
+		return rec, nil
+	}
 	for {
 		kind, err := d.readByte()
 		if err != nil {
@@ -335,10 +406,44 @@ func (d *Decoder) Decode() (*Record, error) {
 			}
 		case frameRecord:
 			return d.readRecord()
+		case frameBatch:
+			return d.readBatch()
 		default:
 			return nil, fmt.Errorf("%w: frame kind 0x%02x", ErrBadFrame, kind)
 		}
 	}
+}
+
+// readBatch consumes a whole batch frame, returns its first record, and
+// queues the rest.
+func (d *Decoder) readBatch() (*Record, error) {
+	id, err := d.readUint32()
+	if err != nil {
+		return nil, badEOF(err)
+	}
+	f := d.formats[id]
+	if f == nil {
+		return nil, fmt.Errorf("%w: batch format id %d", ErrUnknownFormat, id)
+	}
+	n, err := d.readUint32()
+	if err != nil {
+		return nil, badEOF(err)
+	}
+	if n == 0 || n > maxBatchLen {
+		return nil, fmt.Errorf("%w: batch count %d", ErrBadFrame, n)
+	}
+	first, err := d.readRecordBody(f)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(1); i < n; i++ {
+		rec, err := d.readRecordBody(f)
+		if err != nil {
+			return nil, err
+		}
+		d.queue = append(d.queue, rec)
+	}
+	return first, nil
 }
 
 func (d *Decoder) readFormat() error {
@@ -399,6 +504,10 @@ func (d *Decoder) readRecord() (*Record, error) {
 	if f == nil {
 		return nil, fmt.Errorf("%w: record format id %d", ErrUnknownFormat, id)
 	}
+	return d.readRecordBody(f)
+}
+
+func (d *Decoder) readRecordBody(f *Format) (*Record, error) {
 	rec := &Record{Format: f.Name, Fields: make(map[string]any, len(f.Fields))}
 	var rv reflect.Value
 	if f.goType != nil {

@@ -304,3 +304,118 @@ func TestDecoderRobustToCorruption(t *testing.T) {
 		}()
 	}
 }
+
+func TestBatchRoundTrip(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	in := []sample{
+		{A: 1, C: "one", F: time.Millisecond, G: []byte{}},
+		{A: 2, C: "two", E: true, G: []byte{4, 5}},
+		{A: 3, C: "three", G: []byte{9}},
+	}
+	if err := enc.EncodeSlice(in); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(buf, reg)
+	for i := range in {
+		rec, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		got, ok := rec.Value.(*sample)
+		if !ok {
+			t.Fatalf("record %d: Value type = %T", i, rec.Value)
+		}
+		if !reflect.DeepEqual(*got, in[i]) {
+			t.Fatalf("record %d: got %+v, want %+v", i, *got, in[i])
+		}
+		if want := len(in) - i - 1; dec.Pending() != want {
+			t.Fatalf("after record %d: Pending = %d, want %d", i, dec.Pending(), want)
+		}
+	}
+	if _, err := dec.Decode(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBatchOfPointers(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	in := []*other{{X: 1, Y: "a"}, {X: 2, Y: "b"}}
+	if err := enc.EncodeSlice(in); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(buf, reg)
+	for i := range in {
+		rec, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Value.(*other); !reflect.DeepEqual(got, in[i]) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, in[i])
+		}
+	}
+}
+
+func TestBatchMixedWithSingles(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	if err := enc.Encode(sample{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeSlice([]sample{{A: 2}, {A: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(other{X: 4}); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(buf, reg)
+	wantA := []int64{1, 2, 3}
+	for _, want := range wantA {
+		rec, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Value.(*sample); got.A != want {
+			t.Fatalf("A = %d, want %d", got.A, want)
+		}
+	}
+	rec, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Value.(*other); got.X != 4 {
+		t.Fatalf("X = %d", got.X)
+	}
+}
+
+func TestEncodeSliceEmptyAndErrors(t *testing.T) {
+	_, enc, buf := newPair(t)
+	if err := enc.EncodeSlice([]sample{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty slice wrote %d bytes", buf.Len())
+	}
+	if err := enc.EncodeSlice(sample{}); err == nil {
+		t.Fatal("non-slice accepted")
+	}
+	type unregistered struct{ Z int64 }
+	if err := enc.EncodeSlice([]unregistered{{Z: 1}}); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("err = %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestBatchTruncatedStream(t *testing.T) {
+	reg, enc, buf := newPair(t)
+	if err := enc.EncodeSlice([]sample{{A: 1}, {A: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The whole batch frame is consumed before the first record is
+	// returned, so any truncation inside the frame surfaces immediately —
+	// and as truncation, not as a clean EOF.
+	for _, cut := range []int{3, len(full) / 2} {
+		dec := NewDecoder(bytes.NewReader(full[:len(full)-cut]), reg)
+		if _, err := dec.Decode(); err == nil || errors.Is(err, io.EOF) {
+			t.Fatalf("truncated batch (cut %d): err = %v, want unexpected-EOF-ish", cut, err)
+		}
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"sysprof/internal/pbio"
 )
@@ -67,12 +69,15 @@ type channel struct {
 	remotes []*remoteConn
 }
 
-// BrokerStats counts broker activity.
+// BrokerStats counts broker activity. Batch publishes count once per
+// batch in Published/BatchesPublished and once per record in the deliver
+// counters.
 type BrokerStats struct {
-	Published      uint64
-	LocalDeliver   uint64
-	RemoteDeliver  uint64
-	RemoteFailures uint64
+	Published        uint64
+	BatchesPublished uint64
+	LocalDeliver     uint64
+	RemoteDeliver    uint64
+	RemoteFailures   uint64
 }
 
 // Broker hosts named publish-subscribe channels.
@@ -84,7 +89,14 @@ type Broker struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
-	stats    BrokerStats
+
+	// Delivery counters are atomic so the publish hot path does not
+	// re-take the broker mutex per delivered record.
+	published        atomic.Uint64
+	batchesPublished atomic.Uint64
+	localDeliver     atomic.Uint64
+	remoteDeliver    atomic.Uint64
+	remoteFailures   atomic.Uint64
 }
 
 // NewBroker returns a broker encoding remote traffic with reg's formats.
@@ -125,62 +137,131 @@ func (b *Broker) chanLocked(name string) *channel {
 	return ch
 }
 
-// Publish delivers rec to all subscribers of the channel. Local
-// subscribers receive the value directly; remote ones receive a PBIO
-// frame. rec's type must be registered for remote delivery.
-func (b *Broker) Publish(channelName string, rec any) error {
+// snapshotSubs copies the channel's subscriber lists under the broker
+// mutex so delivery can proceed without holding it.
+func (b *Broker) snapshotSubs(channelName string) ([]*LocalSub, []*remoteConn, error) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.closed {
-		b.mu.Unlock()
-		return ErrClosed
+		return nil, nil, ErrClosed
 	}
-	b.stats.Published++
 	ch := b.channels[channelName]
 	if ch == nil {
-		b.mu.Unlock()
-		return nil
+		return nil, nil, nil
 	}
 	locals := make([]*LocalSub, len(ch.locals))
 	copy(locals, ch.locals)
 	remotes := make([]*remoteConn, len(ch.remotes))
 	copy(remotes, ch.remotes)
-	b.mu.Unlock()
+	return locals, remotes, nil
+}
+
+// Publish delivers rec to all subscribers of the channel. Local
+// subscribers receive the value directly; remote ones receive a PBIO
+// frame. rec's type must be registered for remote delivery.
+func (b *Broker) Publish(channelName string, rec any) error {
+	locals, remotes, err := b.snapshotSubs(channelName)
+	if err != nil {
+		return err
+	}
+	b.published.Add(1)
 
 	for _, s := range locals {
 		if s.filter != nil && !s.filter(rec) {
 			continue
 		}
 		s.fn(rec)
-		b.mu.Lock()
-		b.stats.LocalDeliver++
-		b.mu.Unlock()
+		b.localDeliver.Add(1)
 	}
 	var firstErr error
 	for _, rc := range remotes {
-		if err := b.sendRemote(rc, channelName, rec); err != nil {
+		if err := b.sendRemote(rc, channelName, rec, false); err != nil {
 			b.dropConn(rc)
-			b.mu.Lock()
-			b.stats.RemoteFailures++
-			b.mu.Unlock()
+			b.remoteFailures.Add(1)
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		b.mu.Lock()
-		b.stats.RemoteDeliver++
-		b.mu.Unlock()
+		b.remoteDeliver.Add(1)
 	}
 	return firstErr
 }
 
-func (b *Broker) sendRemote(rc *remoteConn, channelName string, rec any) error {
+// PublishBatch delivers a whole slice of records in one operation — the
+// dissemination daemon's buffer-drain path. recs must be a slice of a
+// registered struct type (or pointers to one).
+//
+// Unfiltered local subscribers receive the slice itself as a single
+// value, so a batch costs one callback and one interface boxing instead
+// of one per record; the slice is only valid for the duration of the
+// callback (the publisher may recycle it). Filtered local subscribers
+// receive a freshly built sub-slice of the elements their filter passes,
+// preserving the Filter contract of one predicate call per record. Remote
+// subscribers receive one channel header plus one PBIO batch frame.
+func (b *Broker) PublishBatch(channelName string, recs any) error {
+	rv := reflect.ValueOf(recs)
+	if rv.Kind() != reflect.Slice {
+		return fmt.Errorf("pubsub: publish batch: want a slice, got %T", recs)
+	}
+	n := rv.Len()
+	if n == 0 {
+		return nil
+	}
+	locals, remotes, err := b.snapshotSubs(channelName)
+	if err != nil {
+		return err
+	}
+	b.published.Add(1)
+	b.batchesPublished.Add(1)
+
+	for _, s := range locals {
+		if s.filter == nil {
+			s.fn(recs)
+			b.localDeliver.Add(uint64(n))
+			continue
+		}
+		kept := reflect.MakeSlice(rv.Type(), 0, n)
+		for i := 0; i < n; i++ {
+			el := rv.Index(i)
+			if s.filter(el.Interface()) {
+				kept = reflect.Append(kept, el)
+			}
+		}
+		if kept.Len() == 0 {
+			continue
+		}
+		s.fn(kept.Interface())
+		b.localDeliver.Add(uint64(kept.Len()))
+	}
+	var firstErr error
+	for _, rc := range remotes {
+		if err := b.sendRemote(rc, channelName, recs, true); err != nil {
+			b.dropConn(rc)
+			b.remoteFailures.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		b.remoteDeliver.Add(uint64(n))
+	}
+	return firstErr
+}
+
+func (b *Broker) sendRemote(rc *remoteConn, channelName string, rec any, batch bool) error {
 	rc.writeMu.Lock()
 	defer rc.writeMu.Unlock()
 	if err := writeString(rc.conn, channelName); err != nil {
 		return fmt.Errorf("pubsub: send channel header: %w", err)
 	}
-	if err := rc.enc.Encode(rec); err != nil {
+	var err error
+	if batch {
+		err = rc.enc.EncodeSlice(rec)
+	} else {
+		err = rc.enc.Encode(rec)
+	}
+	if err != nil {
 		return fmt.Errorf("pubsub: send record: %w", err)
 	}
 	return nil
@@ -188,9 +269,13 @@ func (b *Broker) sendRemote(rc *remoteConn, channelName string, rec any) error {
 
 // Stats returns a copy of the broker counters.
 func (b *Broker) Stats() BrokerStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return BrokerStats{
+		Published:        b.published.Load(),
+		BatchesPublished: b.batchesPublished.Load(),
+		LocalDeliver:     b.localDeliver.Load(),
+		RemoteDeliver:    b.remoteDeliver.Load(),
+		RemoteFailures:   b.remoteFailures.Load(),
+	}
 }
 
 // Serve accepts remote subscribers on l until the broker is closed. It
@@ -310,6 +395,10 @@ func (b *Broker) Close() {
 type Subscriber struct {
 	conn net.Conn
 	dec  *pbio.Decoder
+	// lastChannel is the channel of the batch currently being drained: the
+	// broker writes one channel header per batch, so records after the
+	// first carry no header of their own.
+	lastChannel string
 }
 
 // Dial connects to a broker at addr and subscribes to the channels. reg
@@ -327,8 +416,17 @@ func Dial(addr string, reg *pbio.Registry, channels ...string) (*Subscriber, err
 }
 
 // Recv blocks for the next record, returning its channel and decoded
-// record. io.EOF indicates the broker closed the connection.
+// record. Batches published with PublishBatch are returned one record at
+// a time, transparently. io.EOF indicates the broker closed the
+// connection.
 func (s *Subscriber) Recv() (string, *pbio.Record, error) {
+	if s.dec.Pending() > 0 {
+		rec, err := s.dec.Decode()
+		if err != nil {
+			return "", nil, err
+		}
+		return s.lastChannel, rec, nil
+	}
 	name, err := readString(s.conn)
 	if err != nil {
 		return "", nil, err
@@ -337,6 +435,7 @@ func (s *Subscriber) Recv() (string, *pbio.Record, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	s.lastChannel = name
 	return name, rec, nil
 }
 

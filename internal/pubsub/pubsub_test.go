@@ -173,6 +173,114 @@ func TestRemoteOnlySubscribedChannels(t *testing.T) {
 	}
 }
 
+func TestPublishBatchLocal(t *testing.T) {
+	b := NewBroker(newReg(t))
+	defer b.Close()
+
+	var whole [][]metric
+	b.Subscribe("m", func(rec any) {
+		batch, ok := rec.([]metric)
+		if !ok {
+			t.Errorf("unfiltered subscriber got %T, want []metric", rec)
+			return
+		}
+		// The slice is only valid during the callback; copy it.
+		whole = append(whole, append([]metric(nil), batch...))
+	})
+
+	var even []int64
+	b.Subscribe("m", func(rec any) {
+		for _, m := range rec.([]metric) {
+			even = append(even, m.Value)
+		}
+	}, WithFilter(func(rec any) bool { return rec.(metric).Value%2 == 0 }))
+
+	none := 0
+	b.Subscribe("m", func(any) { none++ },
+		WithFilter(func(any) bool { return false }))
+
+	batch := []metric{{Value: 1}, {Value: 2}, {Value: 3}, {Value: 4}}
+	if err := b.PublishBatch("m", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishBatch("m", []metric{}); err != nil {
+		t.Fatal(err) // empty batch is a no-op
+	}
+
+	if len(whole) != 1 || len(whole[0]) != 4 {
+		t.Fatalf("unfiltered deliveries = %v", whole)
+	}
+	if len(even) != 2 || even[0] != 2 || even[1] != 4 {
+		t.Fatalf("filtered values = %v", even)
+	}
+	if none != 0 {
+		t.Fatalf("all-rejected subscriber was called %d times", none)
+	}
+	st := b.Stats()
+	if st.BatchesPublished != 1 {
+		t.Fatalf("BatchesPublished = %d, want 1", st.BatchesPublished)
+	}
+	if st.LocalDeliver != 6 { // 4 unfiltered + 2 filtered
+		t.Fatalf("LocalDeliver = %d, want 6", st.LocalDeliver)
+	}
+}
+
+func TestPublishBatchRejectsNonSlice(t *testing.T) {
+	b := NewBroker(newReg(t))
+	defer b.Close()
+	if err := b.PublishBatch("m", metric{}); err == nil {
+		t.Fatal("PublishBatch with non-slice should error")
+	}
+}
+
+func TestPublishBatchRemote(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg)
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+
+	sub, err := Dial(l.Addr().String(), reg, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	batch := []metric{{Name: "a", Value: 1}, {Name: "b", Value: 2}, {Name: "c", Value: 3}}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().RemoteDeliver == 0 {
+		if err := b.PublishBatch("m", batch); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("remote subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The subscriber drains the batch one record at a time, all tagged
+	// with the same channel.
+	var got []metric
+	for len(got) < 3 {
+		ch, rec, err := sub.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch != "m" {
+			t.Fatalf("channel = %q, want m", ch)
+		}
+		got = append(got, *rec.Value.(*metric))
+	}
+	for i, m := range got[:3] {
+		if m != batch[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, m, batch[i])
+		}
+	}
+}
+
 func TestPublishAfterCloseErrors(t *testing.T) {
 	b := NewBroker(newReg(t))
 	b.Close()
