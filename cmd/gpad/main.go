@@ -4,9 +4,15 @@
 // prints per-node load summaries and (optionally) dumps correlated
 // end-to-end interactions as JSON lines.
 //
+// Retention: -max-correlated and -max-correlated-age bound the in-memory
+// correlated history for long runs; with -dump set, -dump-interval
+// periodically appends the history to the dump file and truncates it
+// from memory (dump-and-truncate), so nothing is lost to the caps.
+//
 // Usage:
 //
 //	gpad [-subscribe host:port,host:port] [-interval 2s] [-dump file]
+//	     [-max-correlated n] [-max-correlated-age d] [-dump-interval d]
 package main
 
 import (
@@ -32,34 +38,59 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "summary print interval")
 	dump := flag.String("dump", "", "append correlated interactions (JSON lines) to this file on exit")
 	query := flag.String("query", "", "serve the GPA query protocol on this TCP address (e.g. 127.0.0.1:8073)")
+	maxCorrelated := flag.Int("max-correlated", 1<<18, "cap on in-memory correlated interactions (0 = unbounded)")
+	maxCorrelatedAge := flag.Duration("max-correlated-age", 0, "evict correlated interactions older than this (0 = no age bound)")
+	dumpInterval := flag.Duration("dump-interval", 0, "with -dump: periodically dump-and-truncate the correlated history (0 = only on exit)")
 	flag.Parse()
-	if err := run(strings.Split(*subscribe, ","), *interval, *dump, *query); err != nil {
+	opts := options{
+		addrs:            strings.Split(*subscribe, ","),
+		interval:         *interval,
+		dumpPath:         *dump,
+		queryAddr:        *query,
+		maxCorrelated:    *maxCorrelated,
+		maxCorrelatedAge: *maxCorrelatedAge,
+		dumpInterval:     *dumpInterval,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gpad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addrs []string, interval time.Duration, dumpPath, queryAddr string) error {
+type options struct {
+	addrs            []string
+	interval         time.Duration
+	dumpPath         string
+	queryAddr        string
+	maxCorrelated    int
+	maxCorrelatedAge time.Duration
+	dumpInterval     time.Duration
+}
+
+func run(opts options) error {
 	reg := pbio.NewRegistry()
 	if err := dissem.RegisterFormats(reg); err != nil {
 		return err
 	}
 	start := time.Now()
-	g := gpa.New(gpa.Config{}, func() time.Duration { return time.Since(start) })
+	g := gpa.New(gpa.Config{
+		MaxCorrelated:    opts.maxCorrelated,
+		MaxCorrelatedAge: opts.maxCorrelatedAge,
+	}, func() time.Duration { return time.Since(start) })
 
-	if queryAddr != "" {
-		ql, err := net.Listen("tcp", queryAddr)
+	if opts.queryAddr != "" {
+		ql, err := net.Listen("tcp", opts.queryAddr)
 		if err != nil {
 			return fmt.Errorf("query listen: %w", err)
 		}
 		defer ql.Close()
 		go g.Serve(ql)
-		log.Printf("query protocol on %s", queryAddr)
+		log.Printf("query protocol on %s", opts.queryAddr)
 	}
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	for _, addr := range addrs {
+	for _, addr := range opts.addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
@@ -97,20 +128,33 @@ func run(addrs []string, interval time.Duration, dumpPath, queryAddr string) err
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(opts.interval)
 	defer ticker.Stop()
+	var dumpTick <-chan time.Time
+	if opts.dumpPath != "" && opts.dumpInterval > 0 {
+		dt := time.NewTicker(opts.dumpInterval)
+		defer dt.Stop()
+		dumpTick = dt.C
+	}
 	for {
 		select {
 		case <-ticker.C:
 			printSummary(g)
+		case <-dumpTick:
+			n, err := dumpTo(g, opts.dumpPath, true)
+			if err != nil {
+				return err
+			}
+			log.Printf("dumped and truncated %d correlated interactions to %s", n, opts.dumpPath)
 		case <-sig:
 			close(stop)
 			printSummary(g)
-			if dumpPath != "" {
-				if err := dumpTo(g, dumpPath); err != nil {
+			if opts.dumpPath != "" {
+				n, err := dumpTo(g, opts.dumpPath, opts.dumpInterval > 0)
+				if err != nil {
 					return err
 				}
-				log.Printf("dumped correlated interactions to %s", dumpPath)
+				log.Printf("dumped %d correlated interactions to %s", n, opts.dumpPath)
 			}
 			return nil
 		}
@@ -128,11 +172,19 @@ func printSummary(g *gpa.GPA) {
 	}
 }
 
-func dumpTo(g *gpa.GPA, path string) error {
+// dumpTo appends the correlated history to path. With truncate set it
+// uses DumpAndTruncate, clearing the in-memory history after writing —
+// used for periodic dumps (and the final dump when periodic dumping is
+// on, so the last batch is not re-appended on top of earlier ones).
+func dumpTo(g *gpa.GPA, path string, truncate bool) (int, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	return g.Dump(f)
+	if truncate {
+		return g.DumpAndTruncate(f)
+	}
+	n := len(g.Correlated())
+	return n, g.Dump(f)
 }

@@ -49,14 +49,27 @@ func main() {
 	pace := flag.Duration("pace", 100*time.Millisecond, "virtual-time advance per wall tick")
 	tracePath := flag.String("trace", "", "record the kernel event stream (PBIO) to this file")
 	topology := flag.String("topology", "simple", "hosted cluster: simple (web server), nfs (storage proxy), rubis (auction site)")
+	psQueue := flag.Int("pubsub-queue", 256, "per-subscriber send-queue depth (frames)")
+	psOverflow := flag.String("pubsub-overflow", "drop", "send-queue overflow policy: drop (drop-oldest) or block (block-with-deadline)")
+	psEvict := flag.Int("pubsub-evict", 64, "evict a subscriber after this many consecutive overflows (0 = never)")
 	flag.Parse()
-	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology); err != nil {
+	psPolicy, err := pubsub.ParseOverflowPolicy(*psOverflow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysprofd:", err)
+		os.Exit(2)
+	}
+	brokerOpts := []pubsub.Option{
+		pubsub.WithQueueDepth(*psQueue),
+		pubsub.WithOverflowPolicy(psPolicy),
+		pubsub.WithEvictAfterOverflows(*psEvict),
+	}
+	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology, brokerOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "sysprofd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology string) error {
+func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology string, brokerOpts []pubsub.Option) error {
 	eng := sim.NewEngine()
 	network := simnet.NewNetwork(eng)
 	server, err := buildTopology(eng, network, topology)
@@ -68,7 +81,7 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 	if err := dissem.RegisterFormats(reg); err != nil {
 		return err
 	}
-	broker := pubsub.NewBroker(reg)
+	broker := pubsub.NewBroker(reg, brokerOpts...)
 	defer broker.Close()
 	fs := procfs.New()
 
@@ -103,6 +116,9 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 		return err
 	}
 	if err := ctl.AttachDaemon(server.Name(), daemon); err != nil {
+		return err
+	}
+	if err := ctl.AttachBroker(server.Name(), broker); err != nil {
 		return err
 	}
 

@@ -142,13 +142,9 @@ func RunRUBiS(cfg RUBiSConfig) (RUBiSResult, error) {
 		defer broker.Close()
 		g = gpa.New(gpa.Config{LoadWindow: time.Second}, eng.Now)
 		broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
-			wires, ok := rec.([]dissem.WireRecord)
+			batch, ok := rec.([]core.Record)
 			if !ok {
 				return
-			}
-			batch := make([]core.Record, len(wires))
-			for i := range wires {
-				batch[i] = dissem.FromWire(&wires[i])
 			}
 			g.IngestBatch(batch)
 		})

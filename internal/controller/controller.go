@@ -39,12 +39,26 @@ type Flusher interface {
 	SetFlushInterval(time.Duration) error
 }
 
+// FanOut is the pub-sub broker surface the controller manages: the
+// per-subscriber send-queue depth and overflow policy for remote
+// fan-out. It is an interface (satisfied by *pubsub.Broker) so the
+// controller does not depend on the pubsub package.
+type FanOut interface {
+	// QueueConfig returns the current queue depth and overflow policy name.
+	QueueConfig() (depth int, policy string)
+	// SetQueueDepth changes the queue depth for future subscribers.
+	SetQueueDepth(n int) error
+	// SetOverflowPolicyName switches the overflow policy ("drop"/"block").
+	SetOverflowPolicyName(name string) error
+}
+
 // target is one managed node.
 type target struct {
 	hub    *kprof.Hub
 	lpas   map[string]*core.LPA
 	cpas   map[string]*core.CPA
 	daemon Flusher
+	broker FanOut
 }
 
 // Controller manages the SysProf components of one or more nodes.
@@ -98,6 +112,51 @@ func (c *Controller) AttachDaemon(node string, d Flusher) error {
 	}
 	t.daemon = d
 	return nil
+}
+
+// AttachBroker registers a node's pub-sub broker so its remote fan-out
+// queues can be retuned at runtime.
+func (c *Controller) AttachBroker(node string, b FanOut) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	t.broker = b
+	return nil
+}
+
+func (c *Controller) broker(node string) (FanOut, error) {
+	c.mu.Lock()
+	t := c.targets[node]
+	c.mu.Unlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	if t.broker == nil {
+		return nil, fmt.Errorf("%w: no broker attached to node %q", ErrUnknownTarget, node)
+	}
+	return t.broker, nil
+}
+
+// SetPubSubQueueDepth retunes a node's per-subscriber send-queue depth
+// (applies to subscribers connecting after the change).
+func (c *Controller) SetPubSubQueueDepth(node string, depth int) error {
+	b, err := c.broker(node)
+	if err != nil {
+		return err
+	}
+	return b.SetQueueDepth(depth)
+}
+
+// SetPubSubOverflowPolicy switches a node's fan-out overflow policy.
+func (c *Controller) SetPubSubOverflowPolicy(node, policy string) error {
+	b, err := c.broker(node)
+	if err != nil {
+		return err
+	}
+	return b.SetOverflowPolicyName(policy)
 }
 
 // SetFlushInterval retunes a node's dissemination flush period.
@@ -247,6 +306,10 @@ func (c *Controller) Status() string {
 		if t.daemon != nil {
 			fmt.Fprintf(&sb, " flush=%v", t.daemon.FlushInterval())
 		}
+		if t.broker != nil {
+			depth, policy := t.broker.QueueConfig()
+			fmt.Fprintf(&sb, " pubsub=%d/%s", depth, policy)
+		}
 		sb.WriteByte('\n')
 		lpas := make([]string, 0, len(t.lpas))
 		for name := range t.lpas {
@@ -311,6 +374,8 @@ func maskFromSpec(spec string) (kprof.Mask, error) {
 //	bufcap <node> <lpa> <capacity>
 //	pidfilter <node> <lpa> <pid>|off
 //	flushinterval <node> <duration>    e.g. 250ms, 2s
+//	pubsubqueue <node> <depth>         send-queue depth for new subscribers
+//	pubsubpolicy <node> drop|block     fan-out overflow policy
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
 func (c *Controller) Execute(line string) (string, error) {
@@ -378,6 +443,20 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "", fmt.Errorf("controller: bad duration %q", fields[2])
 		}
 		return "ok", c.SetFlushInterval(fields[1], iv)
+	case "pubsubqueue":
+		if len(fields) != 3 {
+			return "", errors.New("controller: usage: pubsubqueue <node> <depth>")
+		}
+		depth, err := strconv.Atoi(fields[2])
+		if err != nil || depth < 1 {
+			return "", fmt.Errorf("controller: bad queue depth %q", fields[2])
+		}
+		return "ok", c.SetPubSubQueueDepth(fields[1], depth)
+	case "pubsubpolicy":
+		if len(fields) != 3 {
+			return "", errors.New("controller: usage: pubsubpolicy <node> drop|block")
+		}
+		return "ok", c.SetPubSubOverflowPolicy(fields[1], fields[2])
 	case "install-cpa":
 		head, src, found := strings.Cut(line, " -- ")
 		if !found {

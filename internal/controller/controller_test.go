@@ -262,3 +262,76 @@ func TestPIDFilterCommand(t *testing.T) {
 		t.Fatal("short command accepted")
 	}
 }
+
+// fakeFanOut stands in for a pub-sub broker.
+type fakeFanOut struct {
+	depth  int
+	policy string
+}
+
+func (f *fakeFanOut) QueueConfig() (int, string) { return f.depth, f.policy }
+func (f *fakeFanOut) SetQueueDepth(n int) error {
+	if n < 1 {
+		return errors.New("depth must be positive")
+	}
+	f.depth = n
+	return nil
+}
+func (f *fakeFanOut) SetOverflowPolicyName(name string) error {
+	switch name {
+	case "drop", "block":
+		f.policy = name
+		return nil
+	}
+	return errors.New("unknown policy")
+}
+
+func TestPubSubKnobs(t *testing.T) {
+	c, _, _ := setup(t)
+	fo := &fakeFanOut{depth: 256, policy: "drop"}
+
+	// Before a broker is attached the knobs report unknown target.
+	if err := c.SetPubSubQueueDepth("n1", 64); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.AttachBroker("nope", fo); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.AttachBroker("n1", fo); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPubSubQueueDepth("n1", 64); err != nil || fo.depth != 64 {
+		t.Fatalf("depth=%d err=%v", fo.depth, err)
+	}
+	if err := c.SetPubSubOverflowPolicy("n1", "block"); err != nil || fo.policy != "block" {
+		t.Fatalf("policy=%q err=%v", fo.policy, err)
+	}
+
+	// Text protocol form.
+	if reply, err := c.Execute("pubsubqueue n1 1024"); err != nil || reply != "ok" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+	if fo.depth != 1024 {
+		t.Fatalf("depth = %d", fo.depth)
+	}
+	if reply, err := c.Execute("pubsubpolicy n1 drop"); err != nil || reply != "ok" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+	if fo.policy != "drop" {
+		t.Fatalf("policy = %q", fo.policy)
+	}
+	if _, err := c.Execute("pubsubqueue n1 0"); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if _, err := c.Execute("pubsubqueue n1"); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if _, err := c.Execute("pubsubpolicy n1 bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	// Status shows the fan-out config once a broker is attached.
+	if !strings.Contains(c.Status(), "pubsub=1024/drop") {
+		t.Fatalf("status = %q", c.Status())
+	}
+}

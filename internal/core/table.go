@@ -48,12 +48,19 @@ type FlowTable interface {
 }
 
 // hashedTable is an open-addressing-free hash table: FlowKey.Hash buckets
-// with short chains, as the paper's "efficient event hashing".
+// with short chains, as the paper's "efficient event hashing". It doubles
+// its bucket array once the load factor passes maxLoadFactor, so chains
+// stay short however many flows a run accumulates.
 type hashedTable struct {
 	buckets [][]*flowState
 	mask    uint64
 	n       int
 }
+
+// maxLoadFactor is the mean chain length that triggers a rehash. Four
+// keeps chains a couple of cache lines while rehashing rarely enough to
+// amortize to O(1) per insert.
+const maxLoadFactor = 4
 
 // NewHashedTable returns a FlowTable with 2^sizeLog2 buckets.
 func NewHashedTable(sizeLog2 int) FlowTable {
@@ -75,7 +82,27 @@ func (t *hashedTable) Get(key simnet.FlowKey) *flowState {
 	fs := newFlowState(ck)
 	t.buckets[b] = append(t.buckets[b], fs)
 	t.n++
+	if t.n > maxLoadFactor*len(t.buckets) {
+		t.grow()
+	}
 	return fs
+}
+
+// grow doubles the bucket array and redistributes every chain. Each
+// flow's canonical-key hash is stable, so redistribution is a
+// reslice-and-append pass — no flowState is copied, only pointers move.
+func (t *hashedTable) grow() {
+	size := len(t.buckets) * 2
+	buckets := make([][]*flowState, size)
+	mask := uint64(size - 1)
+	for _, bucket := range t.buckets {
+		for _, fs := range bucket {
+			b := fs.key.Hash() & mask
+			buckets[b] = append(buckets[b], fs)
+		}
+	}
+	t.buckets = buckets
+	t.mask = mask
 }
 
 func (t *hashedTable) Len() int { return t.n }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"sysprof/internal/simnet"
+)
+
+func flowKey(i int) simnet.FlowKey {
+	return simnet.FlowKey{
+		Src: simnet.Addr{Node: simnet.NodeID(i % 7), Port: uint16(i)},
+		Dst: simnet.Addr{Node: simnet.NodeID(100 + i%5), Port: uint16(40000 + i)},
+	}
+}
+
+func TestHashedTableRehashGrowsBuckets(t *testing.T) {
+	tbl := NewHashedTable(2) // 4 buckets
+	ht := tbl.(*hashedTable)
+	initial := len(ht.buckets)
+	if initial != 4 {
+		t.Fatalf("initial buckets = %d, want 4", initial)
+	}
+
+	const flows = 200
+	states := make(map[simnet.FlowKey]*flowState, flows)
+	for i := 0; i < flows; i++ {
+		k := flowKey(i)
+		states[k.Canonical()] = tbl.Get(k)
+	}
+	if tbl.Len() != flows {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), flows)
+	}
+	if len(ht.buckets) <= initial {
+		t.Fatalf("buckets = %d after %d inserts, expected growth past %d",
+			len(ht.buckets), flows, initial)
+	}
+	if got := len(ht.buckets) * maxLoadFactor; got < flows {
+		t.Fatalf("load factor still above %d: %d buckets for %d flows",
+			maxLoadFactor, len(ht.buckets), flows)
+	}
+
+	// Every flow must resolve to the same *flowState after rehashing,
+	// from either direction of the conversation.
+	for i := 0; i < flows; i++ {
+		k := flowKey(i)
+		want := states[k.Canonical()]
+		if got := tbl.Get(k); got != want {
+			t.Fatalf("flow %d lost its state after rehash", i)
+		}
+		if got := tbl.Get(k.Reverse()); got != want {
+			t.Fatalf("flow %d (reversed) resolved to a different state", i)
+		}
+	}
+
+	// Each visits every state exactly once.
+	seen := 0
+	tbl.Each(func(*flowState) { seen++ })
+	if seen != flows {
+		t.Fatalf("Each visited %d states, want %d", seen, flows)
+	}
+}
+
+func TestHashedTableChainsStayShort(t *testing.T) {
+	tbl := NewHashedTable(2)
+	ht := tbl.(*hashedTable)
+	for i := 0; i < 1000; i++ {
+		tbl.Get(flowKey(i))
+	}
+	longest := 0
+	for _, b := range ht.buckets {
+		if len(b) > longest {
+			longest = len(b)
+		}
+	}
+	// With load factor capped at 4 and an FNV hash, chains should stay
+	// well under a few dozen; a huge chain means rehashing is broken.
+	if longest > 8*maxLoadFactor {
+		t.Fatalf("longest chain = %d with %d buckets — rehash not keeping chains short",
+			longest, len(ht.buckets))
+	}
+}

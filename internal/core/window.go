@@ -44,61 +44,77 @@ func (w *Window) Len() int { return w.n }
 // Size returns the window capacity.
 func (w *Window) Size() int { return w.size }
 
+// start returns the ring index of the oldest record.
+func (w *Window) start() int {
+	return (w.head - w.n + w.size*2) % w.size
+}
+
 // Resize changes the capacity at runtime. Shrinking evicts the oldest
-// records.
+// records in place; the ring is reallocated only when the capacity
+// actually changes.
 func (w *Window) Resize(size int) {
 	if size < 1 {
 		size = 1
 	}
-	recs := w.Snapshot()
-	for len(recs) > size {
+	if size == w.size {
+		return
+	}
+	// Evict oldest records that will not fit, walking the ring in place.
+	for w.n > size {
+		i := w.start()
 		if w.onEvict != nil {
-			w.onEvict(recs[0])
+			w.onEvict(w.ring[i])
 		}
-		recs = recs[1:]
+		w.ring[i] = Record{}
+		w.n--
+	}
+	ring := make([]Record, size)
+	old := w.start()
+	for i := 0; i < w.n; i++ {
+		ring[i] = w.ring[(old+i)%w.size]
 	}
 	w.size = size
-	w.ring = make([]Record, size)
-	w.head = 0
-	w.n = 0
-	for _, r := range recs {
-		w.ring[w.head] = r
-		w.head = (w.head + 1) % w.size
-		w.n++
-	}
+	w.ring = ring
+	w.head = w.n % size
 }
 
-// EvictOlderThan pushes out records whose End precedes cutoff.
+// EvictOlderThan pushes out records whose End precedes cutoff, compacting
+// survivors within the ring — no snapshot copy, zero allocations.
 func (w *Window) EvictOlderThan(cutoff time.Duration) {
-	recs := w.Snapshot()
-	kept := recs[:0]
-	for _, r := range recs {
+	start := w.start()
+	kept := 0
+	for i := 0; i < w.n; i++ {
+		idx := (start + i) % w.size
+		r := &w.ring[idx]
 		if r.End < cutoff {
 			if w.onEvict != nil {
-				w.onEvict(r)
+				w.onEvict(*r)
 			}
-		} else {
-			kept = append(kept, r)
+			continue
 		}
+		to := (start + kept) % w.size
+		if to != idx {
+			w.ring[to] = *r
+		}
+		kept++
 	}
-	w.head = 0
-	w.n = 0
-	for i := range w.ring {
-		w.ring[i] = Record{}
+	// Zero the vacated tail so evicted records' strings are released.
+	for i := kept; i < w.n; i++ {
+		w.ring[(start+i)%w.size] = Record{}
 	}
-	for _, r := range kept {
-		w.ring[w.head] = r
-		w.head = (w.head + 1) % w.size
-		w.n++
-	}
+	w.n = kept
+	w.head = (start + kept) % w.size
 }
 
-// EvictAll pushes every record out (shutdown path).
+// EvictAll pushes every record out (shutdown path), in place.
 func (w *Window) EvictAll() {
-	for _, r := range w.Snapshot() {
+	start := w.start()
+	for i := 0; i < w.n; i++ {
+		idx := (start + i) % w.size
 		if w.onEvict != nil {
-			w.onEvict(r)
+			w.onEvict(w.ring[idx])
 		}
+		w.ring[idx] = Record{}
 	}
 	w.head = 0
 	w.n = 0

@@ -100,6 +100,62 @@ func TestWindowMinSize(t *testing.T) {
 	}
 }
 
+// Eviction must behave identically when the live region wraps around the
+// end of the ring (head < start).
+func TestWindowEvictOlderThanWrapped(t *testing.T) {
+	var evicted []uint64
+	w := NewWindow(5, func(r Record) { evicted = append(evicted, r.ID) })
+	// Fill past capacity so the live region wraps: after 8 adds to a
+	// 5-slot ring, records 4..8 live at indices 3,4,0,1,2.
+	for i := uint64(1); i <= 8; i++ {
+		w.Add(rec(i, time.Duration(i)*time.Second))
+	}
+	evicted = nil
+	w.EvictOlderThan(7 * time.Second) // evicts 4,5,6 — keeps 7,8
+	if len(evicted) != 3 || evicted[0] != 4 || evicted[2] != 6 {
+		t.Fatalf("evicted = %v, want [4 5 6]", evicted)
+	}
+	snap := w.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 7 || snap[1].ID != 8 {
+		t.Fatalf("snapshot = %v, want IDs [7 8]", snap)
+	}
+	// The window keeps working after in-place compaction.
+	w.Add(rec(9, 9*time.Second))
+	snap = w.Snapshot()
+	if len(snap) != 3 || snap[2].ID != 9 {
+		t.Fatalf("snapshot after re-add = %v", snap)
+	}
+}
+
+func TestWindowEvictOlderThanZeroAlloc(t *testing.T) {
+	w := NewWindow(256, func(Record) {})
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(1); i <= 200; i++ {
+			w.Add(Record{ID: i, End: time.Duration(i)})
+		}
+		w.EvictOlderThan(time.Duration(201))
+	})
+	if allocs != 0 {
+		t.Fatalf("EvictOlderThan allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestWindowResizeSameSizeNoOp(t *testing.T) {
+	evictions := 0
+	w := NewWindow(4, func(Record) { evictions++ })
+	for i := uint64(1); i <= 4; i++ {
+		w.Add(rec(i, 0))
+	}
+	before := &w.ring[0]
+	w.Resize(4)
+	if &w.ring[0] != before {
+		t.Fatal("Resize to the same size reallocated the ring")
+	}
+	if evictions != 0 || w.Len() != 4 {
+		t.Fatalf("same-size Resize evicted %d records, len=%d", evictions, w.Len())
+	}
+}
+
 // Property: the window never exceeds its size, evictions are oldest-first,
 // and every added record is either in the snapshot or was evicted.
 func TestWindowConservationProperty(t *testing.T) {

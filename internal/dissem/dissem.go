@@ -1,14 +1,14 @@
 // Package dissem implements the SysProf dissemination daemon. On each
 // node it drains the LPA per-CPU buffers (on "buffer full" notifications),
-// converts records to their flat PBIO wire form, publishes them on
-// publish-subscribe channels for remote consumers (the GPA), and exposes
-// current state through the /proc virtual filesystem.
+// publishes the records on publish-subscribe channels for remote
+// consumers (the GPA) — encoded straight into PBIO wire frames through a
+// cached plan, no flattening copy — and exposes current state through
+// the /proc virtual filesystem.
 package dissem
 
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"sysprof/internal/core"
@@ -138,9 +138,17 @@ func AggFromWire(w *WireAggregate) (simnet.NodeID, core.Aggregate) {
 }
 
 // RegisterFormats registers the daemon's wire formats with a PBIO
-// registry (both broker and subscriber sides need this).
+// registry (both broker and subscriber sides need this). It also binds
+// core.Record to the interaction format: the record's flattened field
+// layout is wire-identical to WireRecord, so the daemon publishes
+// records directly and the broker's cached encode plan writes them
+// straight into the wire buffer — no intermediate WireRecord copy.
+// Decoders still materialize *WireRecord; FromWire converts back.
 func RegisterFormats(reg *pbio.Registry) error {
 	if _, err := reg.Register("sysprof.interaction", WireRecord{}); err != nil {
+		return fmt.Errorf("dissem: %w", err)
+	}
+	if _, err := reg.BindType("sysprof.interaction", core.Record{}); err != nil {
 		return fmt.Errorf("dissem: %w", err)
 	}
 	if _, err := reg.Register("sysprof.aggregate", WireAggregate{}); err != nil {
@@ -202,18 +210,12 @@ func New(eng *sim.Engine, broker *pubsub.Broker, fs *procfs.FS, cfg Config) *Dae
 	return &Daemon{eng: eng, broker: broker, fs: fs, cfg: cfg}
 }
 
-// wirePool recycles []WireRecord conversion buffers so steady-state
-// batch publishing does not allocate a fresh slice per drained buffer.
-var wirePool = sync.Pool{
-	New: func() any { return new([]WireRecord) },
-}
-
 // OnFull is the callback to wire into core.Config.OnFull when building an
 // LPA this daemon serves: it publishes the batch and releases the LPA
 // buffer after the configured copy delay. The drained batch stays valid
 // until release() is called (the buffer cannot be reused before then), so
-// no defensive copy is made — the records are flattened straight into a
-// pooled wire buffer at publish time.
+// no defensive copy is made — the broker's cached encode plan writes the
+// records straight into the wire buffer at publish time.
 func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
 	d.stats.BatchesDrained++
 	publish := func() {
@@ -227,9 +229,11 @@ func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
 	d.eng.After(d.cfg.CopyDelay, publish)
 }
 
-// publishBatch flattens a drained batch into a pooled wire buffer and
-// publishes it as one pub-sub batch. Local subscribers observe the slice
-// only during their callback (the buffer returns to the pool afterwards).
+// publishBatch publishes a drained batch of records as one pub-sub
+// batch. Local subscribers receive the []core.Record slice itself, valid
+// only during their callback (the LPA buffer is released afterwards);
+// remote subscribers get the plan-encoded wire frame, byte-identical to
+// the old ToWire path but with no intermediate copy.
 func (d *Daemon) publishBatch(batch []core.Record) {
 	if len(batch) == 0 {
 		return
@@ -238,15 +242,7 @@ func (d *Daemon) publishBatch(batch []core.Record) {
 		d.stats.RecordsPublished += uint64(len(batch))
 		return
 	}
-	wp := wirePool.Get().(*[]WireRecord)
-	wires := (*wp)[:0]
-	for i := range batch {
-		wires = append(wires, ToWire(&batch[i]))
-	}
-	err := d.broker.PublishBatch(ChannelInteractions, wires)
-	*wp = wires[:0]
-	wirePool.Put(wp)
-	if err != nil {
+	if err := d.broker.PublishBatch(ChannelInteractions, batch); err != nil {
 		d.stats.PublishErrors++
 		return
 	}

@@ -96,11 +96,11 @@ func TestDaemonPublishesDrainedBatches(t *testing.T) {
 	broker := pubsub.NewBroker(reg)
 	defer broker.Close()
 
-	var got []WireRecord
+	var got []core.Record
 	broker.Subscribe(ChannelInteractions, func(rec any) {
-		batch, ok := rec.([]WireRecord)
+		batch, ok := rec.([]core.Record)
 		if !ok {
-			t.Errorf("local subscriber got %T, want []WireRecord", rec)
+			t.Errorf("local subscriber got %T, want []core.Record", rec)
 			return
 		}
 		// The batch slice is only valid during the callback.

@@ -3,6 +3,7 @@ package dissem
 import (
 	"fmt"
 
+	"sysprof/internal/core"
 	"sysprof/internal/ecode"
 	"sysprof/internal/pubsub"
 )
@@ -17,7 +18,75 @@ import (
 //
 //	return rec.class == "port:80" && rec.buffer_wait_ns > 1000000;
 
-// recRecord adapts a WireRecord to the ecode.Record interface.
+// coreRecord adapts a core.Record to the ecode.Record interface. It is
+// the hot-path adapter: since the daemon publishes []core.Record
+// directly, filters evaluate against the original record with no
+// flattening copy.
+type coreRecord struct {
+	r *core.Record
+}
+
+var _ ecode.Record = coreRecord{}
+
+// Field implements ecode.Record with the same field names as the
+// WireRecord adapter, so one filter source works on either shape.
+func (c coreRecord) Field(name string) (ecode.Value, bool) {
+	r := c.r
+	switch name {
+	case "id":
+		return int64(r.ID), true
+	case "node":
+		return int64(r.Node), true
+	case "class":
+		return r.Class, true
+	case "src_node":
+		return int64(r.Flow.Src.Node), true
+	case "src_port":
+		return int64(r.Flow.Src.Port), true
+	case "dst_node":
+		return int64(r.Flow.Dst.Node), true
+	case "dst_port":
+		return int64(r.Flow.Dst.Port), true
+	case "start_ns":
+		return int64(r.Start), true
+	case "end_ns":
+		return int64(r.End), true
+	case "residence_ns":
+		return int64(r.End - r.Start), true
+	case "req_packets":
+		return int64(r.ReqPackets), true
+	case "req_bytes":
+		return int64(r.ReqBytes), true
+	case "resp_packets":
+		return int64(r.RespPackets), true
+	case "resp_bytes":
+		return int64(r.RespBytes), true
+	case "proto_ns":
+		return int64(r.ProtoTime), true
+	case "tx_ns":
+		return int64(r.TxTime), true
+	case "buffer_wait_ns":
+		return int64(r.BufferWait), true
+	case "syscall_ns":
+		return int64(r.SyscallTime), true
+	case "user_ns":
+		return int64(r.UserTime), true
+	case "blocked_ns":
+		return int64(r.BlockedTime), true
+	case "server_pid":
+		return int64(r.ServerPID), true
+	case "server_proc":
+		return r.ServerProc, true
+	case "ctx_switches":
+		return int64(r.CtxSwitches), true
+	case "disk_ops":
+		return int64(r.DiskOps), true
+	}
+	return nil, false
+}
+
+// recRecord adapts a WireRecord to the ecode.Record interface (kept for
+// consumers that re-filter decoded wire records, e.g. a remote GPA).
 type recRecord struct {
 	w *WireRecord
 }
@@ -92,11 +161,20 @@ func CompileFilter(src string) (pubsub.Filter, error) {
 	}
 	inst := prog.NewInstance(ecode.WithStepLimit(10_000))
 	return func(rec any) bool {
-		w, ok := rec.(WireRecord)
-		if !ok {
+		var adapted ecode.Record
+		switch v := rec.(type) {
+		case core.Record:
+			adapted = coreRecord{r: &v}
+		case *core.Record:
+			adapted = coreRecord{r: v}
+		case WireRecord:
+			adapted = recRecord{w: &v}
+		case *WireRecord:
+			adapted = recRecord{w: v}
+		default:
 			return false
 		}
-		out, err := inst.Run(map[string]ecode.Value{"rec": recRecord{w: &w}})
+		out, err := inst.Run(map[string]ecode.Value{"rec": adapted})
 		if err != nil {
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"sysprof/internal/core"
 	"sysprof/internal/pbio"
 	"sysprof/internal/pubsub"
 )
@@ -19,6 +20,7 @@ func TestCompileFilterSelects(t *testing.T) {
 	other := sampleRecord(3)
 	other.Class = "port:443"
 
+	// The wire shape (remote consumers re-filtering decoded records)...
 	if !f(ToWire(&hot)) {
 		t.Fatal("matching record rejected")
 	}
@@ -27,6 +29,14 @@ func TestCompileFilterSelects(t *testing.T) {
 	}
 	if f(ToWire(&other)) {
 		t.Fatal("other-class record accepted")
+	}
+	// ...and the core.Record shape the daemon now publishes directly,
+	// by value and by pointer.
+	if !f(hot) || !f(&hot) {
+		t.Fatal("matching core.Record rejected")
+	}
+	if f(cold) || f(&other) {
+		t.Fatal("non-matching core.Record accepted")
 	}
 }
 
@@ -122,8 +132,8 @@ func TestFilteredSubscriptionBatch(t *testing.T) {
 	}
 	var got []uint64
 	broker.Subscribe(ChannelInteractions, func(rec any) {
-		for _, w := range rec.([]WireRecord) {
-			got = append(got, w.ID)
+		for _, r := range rec.([]core.Record) {
+			got = append(got, r.ID)
 		}
 	}, pubsub.WithFilter(filter))
 
@@ -131,7 +141,7 @@ func TestFilteredSubscriptionBatch(t *testing.T) {
 	fast := sampleRecord(2)
 	fast.UserTime = 10 * time.Microsecond
 	slow2 := sampleRecord(3)
-	batch := []WireRecord{ToWire(&slow1), ToWire(&fast), ToWire(&slow2)}
+	batch := []core.Record{slow1, fast, slow2}
 	if err := broker.PublishBatch(ChannelInteractions, batch); err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,17 @@ type Config struct {
 	// records could be pruned while still correlatable; defaults to a
 	// generous multiple of it.
 	StaleAfter time.Duration
+	// MaxCorrelated caps the correlated-interaction history kept in
+	// memory, across all shards (0 = unbounded). When a shard exceeds its
+	// share of the cap by 25% the oldest interactions are evicted down to
+	// the share, so week-long runs hold steady-state memory; pair with
+	// periodic DumpAndTruncate to keep the full history on disk.
+	MaxCorrelated int
+	// MaxCorrelatedAge evicts correlated interactions whose completion is
+	// older than this (0 = no age bound). Age eviction piggybacks on the
+	// incremental stale-pending sweep, so it costs nothing extra on the
+	// ingest hot path.
+	MaxCorrelatedAge time.Duration
 }
 
 // Stats counts analyzer activity.
@@ -86,7 +97,11 @@ type Stats struct {
 	Correlated   uint64
 	Uncorrelated uint64
 	StalePruned  uint64
-	Dumps        uint64
+	// CorrelatedEvicted counts correlated interactions dropped from the
+	// in-memory history by the retention policy (count cap, age bound, or
+	// DumpAndTruncate).
+	CorrelatedEvicted uint64
+	Dumps             uint64
 }
 
 // seqE2E is a correlated interaction tagged with its global completion
@@ -128,6 +143,8 @@ type GPA struct {
 	cfg    Config
 	shards []shard
 	mask   uint64
+	// perShardCap is MaxCorrelated split across shards (0 = unbounded).
+	perShardCap int
 	// seq orders correlations globally across shards.
 	seq atomic.Uint64
 	// dumps is kept out of the shards (not tied to any flow).
@@ -165,6 +182,12 @@ func New(cfg Config, now func() time.Duration) *GPA {
 		cfg.StaleAfter = cfg.CorrelationWindow
 	}
 	g := &GPA{cfg: cfg, shards: make([]shard, n), mask: uint64(n - 1), now: now}
+	if cfg.MaxCorrelated > 0 {
+		g.perShardCap = cfg.MaxCorrelated / n
+		if g.perShardCap < 1 {
+			g.perShardCap = 1
+		}
+	}
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.pending = make(map[simnet.FlowKey][]core.Record)
@@ -282,6 +305,7 @@ func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
 		}
 		s.correlated = append(s.correlated, seqE2E{seq: g.seq.Add(1), e2e: e2e})
 		s.stats.Correlated++
+		g.trimCorrelatedLocked(s)
 		s.pending[key] = append(peers[:i], peers[i+1:]...)
 		if len(s.pending[key]) == 0 {
 			delete(s.pending, key)
@@ -302,6 +326,54 @@ func absDur(d time.Duration) time.Duration {
 	return d
 }
 
+// trimCorrelatedLocked enforces the count cap on one shard's correlated
+// history. Hysteresis (trim only past cap+25%, back down to the cap)
+// amortizes the O(n) memmove over many ingests instead of shifting one
+// slot per correlation at the cap.
+func (g *GPA) trimCorrelatedLocked(s *shard) {
+	if g.perShardCap <= 0 || len(s.correlated) <= g.perShardCap+g.perShardCap/4 {
+		return
+	}
+	drop := len(s.correlated) - g.perShardCap
+	s.stats.CorrelatedEvicted += uint64(drop)
+	n := copy(s.correlated, s.correlated[drop:])
+	tail := s.correlated[n:]
+	for i := range tail {
+		tail[i] = seqE2E{} // release the records' string references
+	}
+	s.correlated = s.correlated[:n]
+}
+
+// trimCorrelatedByAgeLocked drops correlated interactions whose
+// completion (the later of the two endpoint End times) is older than
+// MaxCorrelatedAge. Runs on the amortized sweep cadence, not per ingest.
+func (g *GPA) trimCorrelatedByAgeLocked(s *shard) {
+	if g.cfg.MaxCorrelatedAge <= 0 {
+		return
+	}
+	cutoff := g.now() - g.cfg.MaxCorrelatedAge
+	if cutoff <= 0 {
+		return
+	}
+	kept := s.correlated[:0]
+	for _, t := range s.correlated {
+		done := t.e2e.Client.End
+		if t.e2e.Server.End > done {
+			done = t.e2e.Server.End
+		}
+		if done < cutoff {
+			s.stats.CorrelatedEvicted++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	tail := s.correlated[len(kept):]
+	for i := range tail {
+		tail[i] = seqE2E{}
+	}
+	s.correlated = kept
+}
+
 func (g *GPA) pruneWindow(nw *nodeWindow) {
 	cutoff := g.now() - g.cfg.LoadWindow
 	i := 0
@@ -318,6 +390,7 @@ func (g *GPA) pruneWindow(nw *nodeWindow) {
 // is unmonitored — or whose peer record was dropped under buffer pressure
 // — would accumulate in the pending map forever.
 func (g *GPA) sweepStaleLocked(s *shard) int {
+	g.trimCorrelatedByAgeLocked(s)
 	cutoff := g.now() - g.cfg.StaleAfter
 	if cutoff <= 0 {
 		return 0
@@ -511,6 +584,7 @@ func (g *GPA) StatsSnapshot() Stats {
 		st.Correlated += s.stats.Correlated
 		st.Uncorrelated += s.stats.Uncorrelated
 		st.StalePruned += s.stats.StalePruned
+		st.CorrelatedEvicted += s.stats.CorrelatedEvicted
 		s.mu.Unlock()
 	}
 	st.Dumps = g.dumps.Load()
@@ -531,4 +605,32 @@ func (g *GPA) Dump(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// DumpAndTruncate writes the correlated history as JSON lines and clears
+// it from memory — the retention companion to Dump for long-running
+// analyzers: periodic dumps move history to disk while the in-memory
+// working set stays bounded. The history is detached from the shards
+// before writing, so a write error loses those interactions from memory
+// (they are reported in the returned count alongside the error).
+// Aggregates, load windows, and counters are untouched.
+func (g *GPA) DumpAndTruncate(w io.Writer) (int, error) {
+	var tagged []seqE2E
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		tagged = append(tagged, s.correlated...)
+		s.stats.CorrelatedEvicted += uint64(len(s.correlated))
+		s.correlated = nil // release the backing array for long runs
+		s.mu.Unlock()
+	}
+	sort.Slice(tagged, func(i, j int) bool { return tagged[i].seq < tagged[j].seq })
+	g.dumps.Add(1)
+	enc := json.NewEncoder(w)
+	for i := range tagged {
+		if err := enc.Encode(&tagged[i].e2e); err != nil {
+			return len(tagged), fmt.Errorf("gpa: dump: %w", err)
+		}
+	}
+	return len(tagged), nil
 }

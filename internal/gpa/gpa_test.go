@@ -387,14 +387,12 @@ func TestEndToEndPipeline(t *testing.T) {
 
 	g := New(Config{}, eng.Now)
 	broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
-		wires, ok := rec.([]dissem.WireRecord)
+		// The daemon publishes records directly; the batch slice is only
+		// valid during the callback, and IngestBatch copies what it keeps.
+		batch, ok := rec.([]core.Record)
 		if !ok {
-			t.Errorf("subscriber got %T, want []dissem.WireRecord", rec)
+			t.Errorf("subscriber got %T, want []core.Record", rec)
 			return
-		}
-		batch := make([]core.Record, len(wires))
-		for i := range wires {
-			batch[i] = dissem.FromWire(&wires[i])
 		}
 		g.IngestBatch(batch)
 	})
@@ -485,5 +483,79 @@ func TestDumpSurfacesWriteErrors(t *testing.T) {
 	g := seededGPA(t)
 	if err := g.Dump(failWriter{}); !errors.Is(err, errWrite) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCorrelatedHistoryCountCap(t *testing.T) {
+	// One shard so the per-shard share equals the global cap.
+	g, _ := newGPA(Config{MaxCorrelated: 8, Shards: 1})
+	const pairs = 40
+	for i := 0; i < pairs; i++ {
+		start := time.Duration(i) * time.Millisecond
+		g.Ingest(clientRec(uint64(i*2+1), start))
+		g.Ingest(serverRec(uint64(i*2+2), start))
+	}
+	got := g.Correlated()
+	if len(got) == 0 || len(got) > 8+8/4 {
+		t.Fatalf("history = %d, want in (0, %d] (cap + hysteresis)", len(got), 8+8/4)
+	}
+	// The survivors are the newest interactions, still in order.
+	if last := got[len(got)-1]; last.Client.Start != time.Duration(pairs-1)*time.Millisecond {
+		t.Fatalf("newest retained start = %v, want %v", last.Client.Start, time.Duration(pairs-1)*time.Millisecond)
+	}
+	st := g.StatsSnapshot()
+	if st.Correlated != pairs {
+		t.Fatalf("Correlated = %d, want %d (eviction must not undercount correlations)", st.Correlated, pairs)
+	}
+	if st.CorrelatedEvicted == 0 || st.CorrelatedEvicted != uint64(pairs-len(got)) {
+		t.Fatalf("CorrelatedEvicted = %d, want %d", st.CorrelatedEvicted, pairs-len(got))
+	}
+}
+
+func TestCorrelatedHistoryAgeEviction(t *testing.T) {
+	g, now := newGPA(Config{MaxCorrelatedAge: 50 * time.Millisecond, Shards: 1})
+	g.Ingest(clientRec(1, 0)) // completes at 10ms
+	g.Ingest(serverRec(2, 0))
+	*now = 200 * time.Millisecond
+	g.Ingest(clientRec(3, 195*time.Millisecond)) // completes at 205ms
+	g.Ingest(serverRec(4, 195*time.Millisecond))
+	g.PruneStale() // age trim rides the stale sweep
+	got := g.Correlated()
+	if len(got) != 1 || got[0].Client.ID != 3 {
+		t.Fatalf("after age eviction got %d interactions %+v, want just the fresh one", len(got), got)
+	}
+	if st := g.StatsSnapshot(); st.CorrelatedEvicted != 1 {
+		t.Fatalf("CorrelatedEvicted = %d, want 1", st.CorrelatedEvicted)
+	}
+}
+
+func TestDumpAndTruncate(t *testing.T) {
+	g, _ := newGPA(Config{})
+	for i := 0; i < 3; i++ {
+		start := time.Duration(i) * time.Millisecond
+		g.Ingest(clientRec(uint64(i*2+1), start))
+		g.Ingest(serverRec(uint64(i*2+2), start))
+	}
+	var buf bytes.Buffer
+	n, err := g.DumpAndTruncate(&buf)
+	if err != nil || n != 3 {
+		t.Fatalf("DumpAndTruncate = (%d, %v), want (3, nil)", n, err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("dumped %d lines, want 3", lines)
+	}
+	if left := g.Correlated(); len(left) != 0 {
+		t.Fatalf("history not truncated: %d left", len(left))
+	}
+	st := g.StatsSnapshot()
+	if st.Dumps != 1 || st.CorrelatedEvicted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Aggregates and counters survive truncation; a second dump is empty.
+	if aggs := g.ClassAggregates(2); len(aggs) == 0 {
+		t.Fatal("aggregates lost by truncation")
+	}
+	if n, err := g.DumpAndTruncate(&buf); err != nil || n != 0 {
+		t.Fatalf("second DumpAndTruncate = (%d, %v), want (0, nil)", n, err)
 	}
 }

@@ -90,10 +90,12 @@ var (
 	ErrBadFrame      = errors.New("pbio: malformed frame")
 )
 
-// Registry maps format names and Go types to formats.
+// Registry maps format names and Go types to formats. Registration and
+// binding happen at program initialization; lookups afterwards are
+// read-only and safe for concurrent use.
 type Registry struct {
 	byName map[string]*Format
-	byType map[reflect.Type]*Format
+	plans  map[reflect.Type]*Plan
 	nextID uint32
 }
 
@@ -101,7 +103,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		byName: make(map[string]*Format),
-		byType: make(map[reflect.Type]*Format),
+		plans:  make(map[reflect.Type]*Plan),
 		nextID: 1,
 	}
 }
@@ -136,7 +138,12 @@ func (r *Registry) Register(name string, sample any) (*Format, error) {
 	}
 	r.nextID++
 	r.byName[name] = f
-	r.byType[t] = f
+	p, err := compilePlan(f, t)
+	if err != nil {
+		// Cannot happen: the format was just derived from this type.
+		return nil, err
+	}
+	r.plans[t] = p
 	return f, nil
 }
 
@@ -151,6 +158,176 @@ func (r *Registry) MustRegister(name string, sample any) *Format {
 
 // Lookup returns the format registered under name, or nil.
 func (r *Registry) Lookup(name string) *Format { return r.byName[name] }
+
+// Plan is a cached encode plan binding a Go struct type to a format. The
+// type's exported fields — flattened through nested structs in
+// declaration order — must match the format's field kinds positionally.
+// A plan lets a rich in-memory type (e.g. a record with a nested flow
+// key) encode straight into the wire layout of its flat wire twin, with
+// no intermediate conversion struct: the field walk is resolved once at
+// bind time, not per record.
+type Plan struct {
+	f      *Format
+	typ    reflect.Type
+	fields []planField
+}
+
+// planField is one wire field's source: an index chain into (possibly
+// nested) struct fields, and the wire kind it encodes as.
+type planField struct {
+	index []int
+	kind  Kind
+}
+
+// flattenType appends the type's exported fields depth-first, recursing
+// into nested structs (time.Duration is a leaf).
+func flattenType(t reflect.Type, prefix []int, out []planField) ([]planField, error) {
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			continue
+		}
+		chain := append(append([]int(nil), prefix...), i)
+		if k, ok := kindOf(sf.Type); ok {
+			out = append(out, planField{index: chain, kind: k})
+			continue
+		}
+		if sf.Type.Kind() == reflect.Struct {
+			var err error
+			out, err = flattenType(sf.Type, chain, out)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("pbio: field %s has unsupported type %s", sf.Name, sf.Type)
+	}
+	return out, nil
+}
+
+// compilePlan flattens t and checks it against f's wire layout.
+func compilePlan(f *Format, t reflect.Type) (*Plan, error) {
+	fields, err := flattenType(t, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: bind %s to %q: %w", t, f.Name, err)
+	}
+	if len(fields) != len(f.Fields) {
+		return nil, fmt.Errorf("pbio: bind %s to %q: %d flattened fields, format has %d",
+			t, f.Name, len(fields), len(f.Fields))
+	}
+	for i := range fields {
+		if fields[i].kind != f.Fields[i].Kind {
+			return nil, fmt.Errorf("pbio: bind %s to %q: field %d is %s on the wire but %s in the type",
+				t, f.Name, i, f.Fields[i].Kind, fields[i].kind)
+		}
+	}
+	return &Plan{f: f, typ: t, fields: fields}, nil
+}
+
+// BindType compiles an encode plan mapping sample's struct type onto the
+// format registered under name. The type may nest structs; its flattened
+// exported fields must match the format's kinds positionally. After
+// binding, values of the type encode through Encoder.Encode/EncodeSlice
+// and the frame builders exactly as the format's original type would —
+// byte-identical on the wire, so existing decoders are unaffected.
+func (r *Registry) BindType(name string, sample any) (*Plan, error) {
+	t := reflect.TypeOf(sample)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("pbio: bind %q: sample must be a struct, got %T", name, sample)
+	}
+	f := r.byName[name]
+	if f == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFormat, name)
+	}
+	p, err := compilePlan(f, t)
+	if err != nil {
+		return nil, err
+	}
+	r.plans[t] = p
+	return p, nil
+}
+
+// PlanFor returns the encode plan for a struct type (registered directly
+// or bound with BindType), or nil.
+func (r *Registry) PlanFor(t reflect.Type) *Plan {
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return r.plans[t]
+}
+
+// Format returns the wire format the plan encodes into.
+func (p *Plan) Format() *Format { return p.f }
+
+// appendFields appends rv's planned fields in wire order.
+func (p *Plan) appendFields(buf []byte, rv reflect.Value) []byte {
+	for i := range p.fields {
+		pf := &p.fields[i]
+		v := rv
+		for _, idx := range pf.index {
+			v = v.Field(idx)
+		}
+		buf = appendValue(buf, pf.kind, v)
+	}
+	return buf
+}
+
+// AppendRecordFrame appends a single-record frame for v (a value or
+// pointer of the plan's type) to buf and returns the extended buffer.
+// Unlike Encoder.Encode it writes no format-definition frame — callers
+// that build frames out-of-stream (e.g. a broker encoding once for many
+// subscriber connections) emit the definition per stream via
+// Format.AppendDef.
+func (p *Plan) AppendRecordFrame(buf []byte, v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if rv.Type() != p.typ {
+		return buf, fmt.Errorf("pbio: plan for %s got %T", p.typ, v)
+	}
+	buf = append(buf, frameRecord)
+	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
+	return p.appendFields(buf, rv), nil
+}
+
+// AppendBatchFrame appends one batch frame holding every element of vs
+// (a slice of the plan's type, or of pointers to it) and returns the
+// extended buffer plus the record count. An empty slice appends nothing.
+func (p *Plan) AppendBatchFrame(buf []byte, vs any) ([]byte, int, error) {
+	sv := reflect.ValueOf(vs)
+	if sv.Kind() != reflect.Slice {
+		return buf, 0, fmt.Errorf("pbio: batch frame: want a slice, got %T", vs)
+	}
+	n := sv.Len()
+	if n == 0 {
+		return buf, 0, nil
+	}
+	if n > maxBatchLen {
+		return buf, 0, fmt.Errorf("pbio: batch frame: %d records exceeds batch limit %d", n, maxBatchLen)
+	}
+	et := sv.Type().Elem()
+	for et.Kind() == reflect.Pointer {
+		et = et.Elem()
+	}
+	if et != p.typ {
+		return buf, 0, fmt.Errorf("pbio: plan for %s got slice of %s", p.typ, et)
+	}
+	buf = append(buf, frameBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for i := 0; i < n; i++ {
+		rv := sv.Index(i)
+		for rv.Kind() == reflect.Pointer {
+			rv = rv.Elem()
+		}
+		buf = p.appendFields(buf, rv)
+	}
+	return buf, n, nil
+}
 
 func kindOf(t reflect.Type) (Kind, bool) {
 	if t == reflect.TypeOf(time.Duration(0)) {
@@ -216,31 +393,26 @@ func NewEncoder(w io.Writer, reg *Registry) *Encoder {
 	return &Encoder{w: w, reg: reg, sent: make(map[uint32]bool)}
 }
 
-// Encode writes v (a registered struct or pointer to one), emitting the
-// format descriptor first if this stream has not seen it.
+// Encode writes v (a struct registered or bound in the registry, or a
+// pointer to one), emitting the format descriptor first if this stream
+// has not seen it.
 func (e *Encoder) Encode(v any) error {
-	rv := reflect.ValueOf(v)
-	for rv.Kind() == reflect.Pointer {
-		rv = rv.Elem()
-	}
-	f := e.reg.byType[rv.Type()]
-	if f == nil {
+	p := e.reg.PlanFor(reflect.TypeOf(v))
+	if p == nil {
 		return fmt.Errorf("%w: type %T", ErrUnknownFormat, v)
 	}
+	f := p.f
 	if !e.sent[f.ID] {
 		if err := e.writeFormat(f); err != nil {
 			return err
 		}
 		e.sent[f.ID] = true
 	}
-	e.buf = e.buf[:0]
-	e.buf = append(e.buf, frameRecord)
-	e.buf = binary.LittleEndian.AppendUint32(e.buf, f.ID)
-	for i, fld := range f.Fields {
-		e.buf = appendValue(e.buf, fld.Kind, rv.Field(f.index[i]))
+	var err error
+	if e.buf, err = p.AppendRecordFrame(e.buf[:0], v); err != nil {
+		return err
 	}
-	_, err := e.w.Write(e.buf)
-	if err != nil {
+	if _, err := e.w.Write(e.buf); err != nil {
 		return fmt.Errorf("pbio: encode %s: %w", f.Name, err)
 	}
 	return nil
@@ -256,39 +428,27 @@ func (e *Encoder) EncodeSlice(vs any) error {
 	if sv.Kind() != reflect.Slice {
 		return fmt.Errorf("pbio: encode slice: want a slice, got %T", vs)
 	}
-	n := sv.Len()
-	if n == 0 {
+	if sv.Len() == 0 {
 		return nil
 	}
 	et := sv.Type().Elem()
-	for et.Kind() == reflect.Pointer {
-		et = et.Elem()
-	}
-	f := e.reg.byType[et]
-	if f == nil {
+	p := e.reg.PlanFor(et)
+	if p == nil {
+		for et.Kind() == reflect.Pointer {
+			et = et.Elem()
+		}
 		return fmt.Errorf("%w: type %s", ErrUnknownFormat, et)
 	}
-	if n > maxBatchLen {
-		return fmt.Errorf("pbio: encode slice: %d records exceeds batch limit %d", n, maxBatchLen)
-	}
+	f := p.f
 	if !e.sent[f.ID] {
 		if err := e.writeFormat(f); err != nil {
 			return err
 		}
 		e.sent[f.ID] = true
 	}
-	e.buf = e.buf[:0]
-	e.buf = append(e.buf, frameBatch)
-	e.buf = binary.LittleEndian.AppendUint32(e.buf, f.ID)
-	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(n))
-	for i := 0; i < n; i++ {
-		rv := sv.Index(i)
-		for rv.Kind() == reflect.Pointer {
-			rv = rv.Elem()
-		}
-		for j, fld := range f.Fields {
-			e.buf = appendValue(e.buf, fld.Kind, rv.Field(f.index[j]))
-		}
+	var err error
+	if e.buf, _, err = p.AppendBatchFrame(e.buf[:0], vs); err != nil {
+		return err
 	}
 	if _, err := e.w.Write(e.buf); err != nil {
 		return fmt.Errorf("pbio: encode batch %s: %w", f.Name, err)
@@ -296,16 +456,24 @@ func (e *Encoder) EncodeSlice(vs any) error {
 	return nil
 }
 
-func (e *Encoder) writeFormat(f *Format) error {
-	e.buf = e.buf[:0]
-	e.buf = append(e.buf, frameFormat)
-	e.buf = binary.LittleEndian.AppendUint32(e.buf, f.ID)
-	e.buf = appendString(e.buf, f.Name)
-	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(len(f.Fields)))
+// AppendDef appends the format's definition frame to buf. A stream must
+// carry the definition before the format's first record; Encoder does
+// this transparently, while out-of-stream frame builders (Plan.Append*)
+// leave it to the connection writer.
+func (f *Format) AppendDef(buf []byte) []byte {
+	buf = append(buf, frameFormat)
+	buf = binary.LittleEndian.AppendUint32(buf, f.ID)
+	buf = appendString(buf, f.Name)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Fields)))
 	for _, fld := range f.Fields {
-		e.buf = appendString(e.buf, fld.Name)
-		e.buf = append(e.buf, byte(fld.Kind))
+		buf = appendString(buf, fld.Name)
+		buf = append(buf, byte(fld.Kind))
 	}
+	return buf
+}
+
+func (e *Encoder) writeFormat(f *Format) error {
+	e.buf = f.AppendDef(e.buf[:0])
 	if _, err := e.w.Write(e.buf); err != nil {
 		return fmt.Errorf("pbio: write format %s: %w", f.Name, err)
 	}

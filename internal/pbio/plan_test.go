@@ -1,0 +1,161 @@
+package pbio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// flatRec is the wire-layout twin of nestedRec.
+type flatRec struct {
+	ID    uint64
+	SrcN  uint16
+	SrcP  uint16
+	DstN  uint16
+	DstP  uint16
+	Class string
+	Dur   time.Duration
+}
+
+type endpoint struct {
+	N uint16
+	P uint16
+}
+
+type nestedRec struct {
+	ID    uint64
+	Src   endpoint
+	Dst   endpoint
+	Class string
+	Dur   time.Duration
+}
+
+func TestBindTypeEncodesByteIdentical(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("rec", flatRec{})
+	if _, err := reg.BindType("rec", nestedRec{}); err != nil {
+		t.Fatal(err)
+	}
+
+	flat := flatRec{ID: 7, SrcN: 1, SrcP: 1000, DstN: 2, DstP: 80, Class: "port:80", Dur: time.Millisecond}
+	nested := nestedRec{ID: 7, Src: endpoint{1, 1000}, Dst: endpoint{2, 80}, Class: "port:80", Dur: time.Millisecond}
+
+	var a, b bytes.Buffer
+	if err := NewEncoder(&a, reg).Encode(flat); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewEncoder(&b, reg).Encode(nested); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("nested encoding differs from flat:\n flat   %x\n nested %x", a.Bytes(), b.Bytes())
+	}
+
+	// An old decoder (knowing only the flat type) decodes the
+	// nested-encoded stream.
+	dec := NewDecoder(&b, reg)
+	rec, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.Value.(*flatRec)
+	if !ok {
+		t.Fatalf("decoded %T", rec.Value)
+	}
+	if *got != flat {
+		t.Fatalf("decoded %+v, want %+v", *got, flat)
+	}
+}
+
+func TestBindTypeErrors(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("rec", flatRec{})
+	if _, err := reg.BindType("nope", nestedRec{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := reg.BindType("rec", struct{ ID uint64 }{}); err == nil {
+		t.Fatal("field-count mismatch accepted")
+	}
+	if _, err := reg.BindType("rec", struct {
+		ID    int64 // wire kind is uint64
+		Src   endpoint
+		Dst   endpoint
+		Class string
+		Dur   time.Duration
+	}{}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := reg.BindType("rec", 42); err == nil {
+		t.Fatal("non-struct accepted")
+	}
+}
+
+func TestPlanFrameBuildersRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("rec", flatRec{})
+	p, err := reg.BindType("rec", nestedRec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Format().Name != "rec" {
+		t.Fatalf("plan format = %q", p.Format().Name)
+	}
+	if got := reg.PlanFor(reflect.TypeOf(&nestedRec{})); got != p {
+		t.Fatal("PlanFor did not resolve through pointers")
+	}
+
+	batch := []nestedRec{
+		{ID: 1, Src: endpoint{1, 10}, Dst: endpoint{2, 80}, Class: "a", Dur: time.Second},
+		{ID: 2, Src: endpoint{3, 11}, Dst: endpoint{4, 81}, Class: "b", Dur: time.Minute},
+	}
+	// Stream = def frame + one record frame + one batch frame, assembled
+	// by hand the way the pubsub broker does.
+	var stream []byte
+	stream = p.Format().AppendDef(stream)
+	stream, err = p.AppendRecordFrame(stream, &batch[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	stream, n, err = p.AppendBatchFrame(stream, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("batch count = %d", n)
+	}
+
+	dec := NewDecoder(bytes.NewReader(stream), reg)
+	var ids []uint64
+	for i := 0; i < 3; i++ {
+		rec, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.Value.(*flatRec).ID)
+	}
+	want := []uint64{1, 1, 2}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("decoded ids = %v, want %v", ids, want)
+		}
+	}
+
+	// Empty batch appends nothing.
+	before := len(stream)
+	stream, n, err = p.AppendBatchFrame(stream, []nestedRec{})
+	if err != nil || n != 0 || len(stream) != before {
+		t.Fatalf("empty batch: n=%d err=%v grew=%v", n, err, len(stream) != before)
+	}
+	// Wrong types are rejected.
+	if _, err := p.AppendRecordFrame(nil, flatRec{}); err == nil {
+		t.Fatal("wrong record type accepted")
+	}
+	if _, _, err := p.AppendBatchFrame(nil, []flatRec{{}}); err == nil {
+		t.Fatal("wrong slice type accepted")
+	}
+	if _, _, err := p.AppendBatchFrame(nil, nestedRec{}); err == nil {
+		t.Fatal("non-slice accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package pubsub
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sysprof/internal/pbio"
+)
+
+// stalledSub dials the broker and never reads, so the connection's send
+// queue fills as soon as the TCP window does.
+func stalledSub(t *testing.T, addr string, channels ...string) *Subscriber {
+	t.Helper()
+	sub, err := Dial(addr, nil, channels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func startBroker(t *testing.T, b *Broker) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+	return l.Addr().String()
+}
+
+func waitRegistered(t *testing.T, b *Broker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.Subscribers()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d subscribers registered", len(b.Subscribers()), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverflowDropsCountedBrokerLive floods a stalled subscriber with a
+// tiny queue: drops must be counted, the broker must keep accepting
+// publishes without blocking, and the subscriber's queue stays bounded.
+func TestOverflowDropsCountedBrokerLive(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg, WithQueueDepth(4), WithEvictAfterOverflows(0))
+	defer b.Close()
+	addr := startBroker(t, b)
+
+	sub := stalledSub(t, addr, "m")
+	defer sub.Close()
+	waitRegistered(t, b, 1)
+
+	const publishes = 5000
+	start := time.Now()
+	for i := 0; i < publishes; i++ {
+		if err := b.Publish("m", metric{Value: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := b.Stats()
+	if st.RemoteDropped == 0 {
+		t.Fatalf("no drops counted after %d publishes into a depth-4 queue: %+v", publishes, st)
+	}
+	if st.RemoteEnqueued != publishes {
+		t.Fatalf("RemoteEnqueued = %d, want %d (drop-oldest admits every frame)", st.RemoteEnqueued, publishes)
+	}
+	subs := b.Subscribers()
+	if len(subs) != 1 {
+		t.Fatalf("subscribers = %d, want 1 (eviction disabled)", len(subs))
+	}
+	if subs[0].QueueLen > subs[0].QueueCap {
+		t.Fatalf("queue len %d exceeds cap %d", subs[0].QueueLen, subs[0].QueueCap)
+	}
+	if subs[0].DroppedRecords != st.RemoteDropped {
+		t.Fatalf("per-subscriber drops %d != broker drops %d", subs[0].DroppedRecords, st.RemoteDropped)
+	}
+	// Liveness: 5000 non-blocking enqueues should be far under a second
+	// even on a loaded CI machine; a synchronous path stuck behind the
+	// stalled socket would hang essentially forever.
+	if elapsed > 5*time.Second {
+		t.Fatalf("publishing took %v — enqueue path appears to block on the stalled subscriber", elapsed)
+	}
+}
+
+// TestSlowSubscriberEvicted keeps overflowing one subscriber until the
+// streak threshold trips and the broker disconnects it.
+func TestSlowSubscriberEvicted(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg, WithQueueDepth(2), WithEvictAfterOverflows(8))
+	defer b.Close()
+	addr := startBroker(t, b)
+
+	sub := stalledSub(t, addr, "m")
+	defer sub.Close()
+	waitRegistered(t, b, 1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().SlowEvicted == 0 {
+		if err := b.Publish("m", metric{}); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never evicted: %+v", b.Stats())
+		}
+	}
+	if n := len(b.Subscribers()); n != 0 {
+		t.Fatalf("evicted subscriber still registered (%d live)", n)
+	}
+	// The broker stays usable after the eviction.
+	if err := b.Publish("m", metric{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockWithDeadlinePolicy verifies the blocking policy waits (and
+// accounts the wait) but drops the new frame once the deadline passes,
+// without wedging the publisher.
+func TestBlockWithDeadlinePolicy(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg,
+		WithQueueDepth(1),
+		WithOverflowPolicy(BlockWithDeadline),
+		WithBlockTimeout(5*time.Millisecond),
+		WithEvictAfterOverflows(0))
+	defer b.Close()
+	addr := startBroker(t, b)
+
+	sub := stalledSub(t, addr, "m")
+	defer sub.Close()
+	waitRegistered(t, b, 1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().RemoteDropped == 0 {
+		if err := b.Publish("m", metric{}); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocking policy never timed out into a drop: %+v", b.Stats())
+		}
+	}
+	subs := b.Subscribers()
+	if len(subs) != 1 || subs[0].BlockedNanos == 0 {
+		t.Fatalf("expected accounted blocking time, got %+v", subs)
+	}
+}
+
+// TestConcurrentPublishSubscribeCloseRace hammers the broker from many
+// goroutines — publishers, batch publishers, local subscriber churn, a
+// stalled remote — while the broker shuts down mid-flight. Run under
+// -race this is the tentpole's lifecycle safety net.
+func TestConcurrentPublishSubscribeCloseRace(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg, WithQueueDepth(4), WithEvictAfterOverflows(16))
+	addr := startBroker(t, b)
+
+	sub := stalledSub(t, addr, "m")
+	defer sub.Close()
+	waitRegistered(t, b, 1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = b.Publish("m", metric{Value: int64(id*1000 + j)})
+				_ = b.PublishBatch("m", []metric{{Value: 1}, {Value: 2}})
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := b.Subscribe("m", func(any) {})
+				s.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	b.Close() // concurrent with everything above
+	close(stop)
+	wg.Wait()
+
+	// After Close, publishing errors and the broker is quiescent.
+	if err := b.Publish("m", metric{}); err != ErrClosed {
+		t.Fatalf("post-close publish error = %v, want ErrClosed", err)
+	}
+}
+
+// TestHandshakeLegacyCompat sends the pre-versioning handshake by hand:
+// a count byte followed by length-prefixed channel strings. The broker
+// must serve it exactly like a v1 subscriber.
+func TestHandshakeLegacyCompat(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg)
+	defer b.Close()
+	addr := startBroker(t, b)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{1}); err != nil { // v0: one channel
+		t.Fatal(err)
+	}
+	if err := writeString(conn, "m"); err != nil {
+		t.Fatal(err)
+	}
+	waitRegistered(t, b, 1)
+	if v := b.Subscribers()[0].Version; v != 0 {
+		t.Fatalf("legacy handshake parsed as version %d, want 0", v)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().RemoteDeliver == 0 {
+		if err := b.Publish("m", metric{Name: "old", Value: 9}); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery to legacy subscriber")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Read the stream with the standard decoder path.
+	s := &Subscriber{conn: conn, dec: pbio.NewDecoder(conn, reg)}
+	ch, rec, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != "m" || rec.Value.(*metric).Name != "old" {
+		t.Fatalf("legacy subscriber got %q %+v", ch, rec.Value)
+	}
+}
+
+// TestRuntimeKnobs exercises the controller-facing knob surface.
+func TestRuntimeKnobs(t *testing.T) {
+	b := NewBroker(newReg(t))
+	defer b.Close()
+	if d, p := b.QueueConfig(); d != 256 || p != "drop" {
+		t.Fatalf("defaults = %d/%s", d, p)
+	}
+	if err := b.SetQueueDepth(0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if err := b.SetQueueDepth(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetOverflowPolicyName("block"); err != nil {
+		t.Fatal(err)
+	}
+	if d, p := b.QueueConfig(); d != 16 || p != "block" {
+		t.Fatalf("after set = %d/%s", d, p)
+	}
+	if err := b.SetOverflowPolicyName("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := ParseOverflowPolicy("drop-oldest"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOverflowPolicy("block-with-deadline"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,14 @@
 // kernel-level fast path) or remotely over TCP, where records travel as
 // PBIO-encoded binary frames. Subscriptions may carry dynamic data
 // filters, so uninterested consumers do not pay network cost.
+//
+// Remote fan-out is asynchronous: each connection owns a bounded send
+// queue drained by a dedicated writer goroutine, so Publish/PublishBatch
+// encode once, enqueue a shared frame per subscriber, and return without
+// ever waiting on a socket. A slow or stalled subscriber overflows only
+// its own queue — shedding frames per the configured OverflowPolicy and
+// eventually being evicted — instead of backing up dissemination for the
+// whole node.
 package pubsub
 
 import (
@@ -16,6 +24,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sysprof/internal/pbio"
 )
@@ -33,79 +42,155 @@ type LocalSub struct {
 	channel string
 	fn      func(rec any)
 	filter  Filter
-	closed  bool
+	closed  bool // guarded by broker.mu
 }
 
 // Close cancels the subscription.
 func (s *LocalSub) Close() {
-	s.broker.mu.Lock()
-	defer s.broker.mu.Unlock()
+	b := s.broker
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if s.closed {
 		return
 	}
 	s.closed = true
-	ch := s.broker.channels[s.channel]
-	if ch == nil {
-		return
-	}
-	for i, cur := range ch.locals {
-		if cur == s {
-			ch.locals = append(ch.locals[:i], ch.locals[i+1:]...)
-			break
+	b.mutateLocked(func(m map[string]*subscribers) {
+		cur := m[s.channel]
+		if cur == nil {
+			return
 		}
-	}
+		next := &subscribers{remotes: cur.remotes}
+		for _, other := range cur.locals {
+			if other != s {
+				next.locals = append(next.locals, other)
+			}
+		}
+		m[s.channel] = next
+	})
 }
 
-// remoteConn is one TCP subscriber connection.
+// remoteConn is one TCP subscriber connection. The publish path only
+// touches q and the counters; conn, sentFormats, and defBuf belong to
+// the writer goroutine.
 type remoteConn struct {
 	conn     net.Conn
-	enc      *pbio.Encoder
-	writeMu  sync.Mutex
+	q        *sendQueue
 	channels map[string]bool
+	version  int
+
+	sentFormats map[*pbio.Format]bool
+	defBuf      []byte
+
+	enqFrames      atomic.Uint64
+	enqRecords     atomic.Uint64
+	delivered      atomic.Uint64
+	dropped        atomic.Uint64
+	blockedNanos   atomic.Uint64
+	overflowStreak atomic.Int64
 }
 
-type channel struct {
+// subscribers is an immutable snapshot of one channel's consumers.
+// Mutations build a fresh value under Broker.mu; the publish path reads
+// it lock-free through Broker.chans.
+type subscribers struct {
 	locals  []*LocalSub
 	remotes []*remoteConn
 }
 
 // BrokerStats counts broker activity. Batch publishes count once per
 // batch in Published/BatchesPublished and once per record in the deliver
-// counters.
+// counters. RemoteEnqueued/RemoteDeliver/RemoteDropped count records per
+// subscriber: one batch fanned out to three subscribers adds 3×len(batch).
 type BrokerStats struct {
 	Published        uint64
 	BatchesPublished uint64
 	LocalDeliver     uint64
-	RemoteDeliver    uint64
-	RemoteFailures   uint64
+	RemoteDeliver    uint64 // records written to sockets
+	RemoteFailures   uint64 // connections dropped on write error
+	RemoteEnqueued   uint64 // records admitted to send queues
+	RemoteDropped    uint64 // records shed by the overflow policy
+	SlowEvicted      uint64 // subscribers evicted for sustained overflow
+}
+
+// SubscriberStats is one remote connection's view of the fan-out.
+type SubscriberStats struct {
+	Addr             string
+	Version          int // handshake version (0 = legacy)
+	Channels         []string
+	QueueLen         int
+	QueueCap         int
+	EnqueuedFrames   uint64
+	EnqueuedRecords  uint64
+	DeliveredRecords uint64
+	DroppedRecords   uint64
+	BlockedNanos     uint64 // publisher time spent waiting under BlockWithDeadline
+	OverflowStreak   int64  // consecutive overflowing publishes (0 = keeping up)
 }
 
 // Broker hosts named publish-subscribe channels.
 type Broker struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards subscription/connection mutations
 	reg      *pbio.Registry
-	channels map[string]*channel
 	conns    map[*remoteConn]bool
 	listener net.Listener
 	wg       sync.WaitGroup
-	closed   bool
+	closed   atomic.Bool
 
-	// Delivery counters are atomic so the publish hot path does not
-	// re-take the broker mutex per delivered record.
+	// chans is the copy-on-write channel→subscribers map: the publish
+	// hot path loads it with one atomic read and never takes mu.
+	chans atomic.Pointer[map[string]*subscribers]
+
+	// Fan-out knobs, atomically readable mid-publish. queueDepth only
+	// applies to subscribers connecting after a change; the other three
+	// take effect immediately for all connections.
+	queueDepth   atomic.Int64
+	overflow     atomic.Int32
+	blockTimeout atomic.Int64 // nanoseconds
+	evictAfter   atomic.Int64
+
 	published        atomic.Uint64
 	batchesPublished atomic.Uint64
 	localDeliver     atomic.Uint64
 	remoteDeliver    atomic.Uint64
 	remoteFailures   atomic.Uint64
+	remoteEnqueued   atomic.Uint64
+	remoteDropped    atomic.Uint64
+	slowEvicted      atomic.Uint64
 }
 
 // NewBroker returns a broker encoding remote traffic with reg's formats.
-func NewBroker(reg *pbio.Registry) *Broker {
-	return &Broker{
-		reg:      reg,
-		channels: make(map[string]*channel),
-		conns:    make(map[*remoteConn]bool),
+func NewBroker(reg *pbio.Registry, opts ...Option) *Broker {
+	cfg := DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
 	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	b := &Broker{
+		reg:   reg,
+		conns: make(map[*remoteConn]bool),
+	}
+	empty := make(map[string]*subscribers)
+	b.chans.Store(&empty)
+	b.queueDepth.Store(int64(cfg.QueueDepth))
+	b.overflow.Store(int32(cfg.Overflow))
+	b.blockTimeout.Store(int64(cfg.BlockTimeout))
+	b.evictAfter.Store(int64(cfg.EvictAfterOverflows))
+	return b
+}
+
+// mutateLocked clones the channel map, applies fn, and publishes the
+// result. Callers hold b.mu; fn must replace entries with fresh
+// subscribers values, never mutate existing ones.
+func (b *Broker) mutateLocked(fn func(m map[string]*subscribers)) {
+	old := *b.chans.Load()
+	m := make(map[string]*subscribers, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	fn(m)
+	b.chans.Store(&m)
 }
 
 // SubOption customizes a subscription.
@@ -124,81 +209,64 @@ func (b *Broker) Subscribe(channelName string, fn func(rec any), opts ...SubOpti
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.chanLocked(channelName).locals = append(b.chanLocked(channelName).locals, s)
+	b.mutateLocked(func(m map[string]*subscribers) {
+		cur := m[channelName]
+		next := &subscribers{}
+		if cur != nil {
+			next.locals = append(append([]*LocalSub(nil), cur.locals...), s)
+			next.remotes = cur.remotes
+		} else {
+			next.locals = []*LocalSub{s}
+		}
+		m[channelName] = next
+	})
 	return s
-}
-
-func (b *Broker) chanLocked(name string) *channel {
-	ch := b.channels[name]
-	if ch == nil {
-		ch = &channel{}
-		b.channels[name] = ch
-	}
-	return ch
-}
-
-// snapshotSubs copies the channel's subscriber lists under the broker
-// mutex so delivery can proceed without holding it.
-func (b *Broker) snapshotSubs(channelName string) ([]*LocalSub, []*remoteConn, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return nil, nil, ErrClosed
-	}
-	ch := b.channels[channelName]
-	if ch == nil {
-		return nil, nil, nil
-	}
-	locals := make([]*LocalSub, len(ch.locals))
-	copy(locals, ch.locals)
-	remotes := make([]*remoteConn, len(ch.remotes))
-	copy(remotes, ch.remotes)
-	return locals, remotes, nil
 }
 
 // Publish delivers rec to all subscribers of the channel. Local
 // subscribers receive the value directly; remote ones receive a PBIO
-// frame. rec's type must be registered for remote delivery.
+// frame, encoded once and enqueued per subscriber — Publish returns as
+// soon as the frame is queued, without waiting on any socket. rec's type
+// must be registered (or plan-bound) for remote delivery.
 func (b *Broker) Publish(channelName string, rec any) error {
-	locals, remotes, err := b.snapshotSubs(channelName)
-	if err != nil {
-		return err
+	if b.closed.Load() {
+		return ErrClosed
 	}
 	b.published.Add(1)
-
-	for _, s := range locals {
+	subs := (*b.chans.Load())[channelName]
+	if subs == nil {
+		return nil
+	}
+	for _, s := range subs.locals {
 		if s.filter != nil && !s.filter(rec) {
 			continue
 		}
 		s.fn(rec)
 		b.localDeliver.Add(1)
 	}
-	var firstErr error
-	for _, rc := range remotes {
-		if err := b.sendRemote(rc, channelName, rec, false); err != nil {
-			b.dropConn(rc)
-			b.remoteFailures.Add(1)
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		b.remoteDeliver.Add(1)
+	if len(subs.remotes) == 0 {
+		return nil
 	}
-	return firstErr
+	f, err := b.encodeFrame(channelName, rec, false)
+	if err != nil {
+		return err
+	}
+	b.fanOut(subs.remotes, f)
+	return nil
 }
 
 // PublishBatch delivers a whole slice of records in one operation — the
 // dissemination daemon's buffer-drain path. recs must be a slice of a
-// registered struct type (or pointers to one).
+// registered (or plan-bound) struct type, or pointers to one.
 //
 // Unfiltered local subscribers receive the slice itself as a single
 // value, so a batch costs one callback and one interface boxing instead
 // of one per record; the slice is only valid for the duration of the
 // callback (the publisher may recycle it). Filtered local subscribers
 // receive a freshly built sub-slice of the elements their filter passes,
-// preserving the Filter contract of one predicate call per record. Remote
-// subscribers receive one channel header plus one PBIO batch frame.
+// preserving the Filter contract of one predicate call per record.
+// Remote subscribers receive one channel header plus one PBIO batch
+// frame, encoded once and enqueued per subscriber.
 func (b *Broker) PublishBatch(channelName string, recs any) error {
 	rv := reflect.ValueOf(recs)
 	if rv.Kind() != reflect.Slice {
@@ -208,14 +276,17 @@ func (b *Broker) PublishBatch(channelName string, recs any) error {
 	if n == 0 {
 		return nil
 	}
-	locals, remotes, err := b.snapshotSubs(channelName)
-	if err != nil {
-		return err
+	if b.closed.Load() {
+		return ErrClosed
 	}
 	b.published.Add(1)
 	b.batchesPublished.Add(1)
+	subs := (*b.chans.Load())[channelName]
+	if subs == nil {
+		return nil
+	}
 
-	for _, s := range locals {
+	for _, s := range subs.locals {
 		if s.filter == nil {
 			s.fn(recs)
 			b.localDeliver.Add(uint64(n))
@@ -234,37 +305,144 @@ func (b *Broker) PublishBatch(channelName string, recs any) error {
 		s.fn(kept.Interface())
 		b.localDeliver.Add(uint64(kept.Len()))
 	}
-	var firstErr error
-	for _, rc := range remotes {
-		if err := b.sendRemote(rc, channelName, recs, true); err != nil {
-			b.dropConn(rc)
-			b.remoteFailures.Add(1)
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		b.remoteDeliver.Add(uint64(n))
+	if len(subs.remotes) == 0 {
+		return nil
 	}
-	return firstErr
+	f, err := b.encodeFrame(channelName, recs, true)
+	if err != nil {
+		return err
+	}
+	b.fanOut(subs.remotes, f)
+	return nil
 }
 
-func (b *Broker) sendRemote(rc *remoteConn, channelName string, rec any, batch bool) error {
-	rc.writeMu.Lock()
-	defer rc.writeMu.Unlock()
-	if err := writeString(rc.conn, channelName); err != nil {
-		return fmt.Errorf("pubsub: send channel header: %w", err)
+// encodeFrame builds the shared wire frame for one publish: channel
+// header followed by the PBIO record or batch frame, encoded through the
+// type's cached plan straight into a pooled buffer.
+func (b *Broker) encodeFrame(channelName string, rec any, batch bool) (*frame, error) {
+	t := reflect.TypeOf(rec)
+	if batch {
+		t = t.Elem()
 	}
+	p := b.reg.PlanFor(t)
+	if p == nil {
+		return nil, fmt.Errorf("pubsub: no encode plan for %s (register or bind the type)", t)
+	}
+	f := framePool.Get().(*frame)
+	f.buf = appendString(f.buf[:0], channelName)
+	f.hdrLen = len(f.buf)
 	var err error
 	if batch {
-		err = rc.enc.EncodeSlice(rec)
+		f.buf, f.recs, err = p.AppendBatchFrame(f.buf, rec)
 	} else {
-		err = rc.enc.Encode(rec)
+		f.buf, err = p.AppendRecordFrame(f.buf, rec)
+		f.recs = 1
 	}
 	if err != nil {
-		return fmt.Errorf("pubsub: send record: %w", err)
+		f.refs.Store(1)
+		f.release()
+		return nil, err
 	}
-	return nil
+	f.format = p.Format()
+	return f, nil
+}
+
+// fanOut enqueues the frame to every remote subscriber. The frame's
+// refcount is preset to the fan-out width; each failed admission
+// releases its share immediately, each admitted one is released by the
+// connection's writer after the socket write.
+func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {
+	f.refs.Store(int64(len(remotes)))
+	recs := uint64(f.recs)
+	policy := OverflowPolicy(b.overflow.Load())
+	timeout := time.Duration(b.blockTimeout.Load())
+	evictAfter := b.evictAfter.Load()
+	for _, rc := range remotes {
+		res := rc.q.enqueue(f, policy, timeout)
+		if res.blockedNanos > 0 {
+			rc.blockedNanos.Add(uint64(res.blockedNanos))
+		}
+		if res.closed {
+			f.release()
+			continue
+		}
+		if !res.admitted {
+			// BlockWithDeadline expired: this subscriber misses the
+			// new frame.
+			f.release()
+			rc.dropped.Add(recs)
+			b.remoteDropped.Add(recs)
+			b.noteOverflow(rc, evictAfter)
+			continue
+		}
+		rc.enqFrames.Add(1)
+		rc.enqRecords.Add(recs)
+		b.remoteEnqueued.Add(recs)
+		if res.evicted != nil {
+			ev := res.evicted
+			rc.dropped.Add(uint64(ev.recs))
+			b.remoteDropped.Add(uint64(ev.recs))
+			ev.release()
+			b.noteOverflow(rc, evictAfter)
+		} else {
+			rc.overflowStreak.Store(0)
+		}
+	}
+}
+
+// noteOverflow bumps the connection's consecutive-overflow streak and
+// evicts it once the streak crosses the configured threshold.
+func (b *Broker) noteOverflow(rc *remoteConn, evictAfter int64) {
+	streak := rc.overflowStreak.Add(1)
+	if evictAfter > 0 && streak >= evictAfter {
+		b.slowEvicted.Add(1)
+		b.dropConn(rc)
+	}
+}
+
+// writeLoop is the per-connection writer goroutine: it drains the send
+// queue onto the socket and drops the connection on the first write
+// error.
+func (b *Broker) writeLoop(rc *remoteConn) {
+	defer b.wg.Done()
+	for {
+		f, ok := rc.q.dequeue()
+		if !ok {
+			return
+		}
+		err := rc.writeFrame(f)
+		recs := uint64(f.recs)
+		f.release()
+		if err != nil {
+			b.remoteFailures.Add(1)
+			b.dropConn(rc)
+			return
+		}
+		rc.delivered.Add(recs)
+		b.remoteDeliver.Add(recs)
+	}
+}
+
+// writeFrame writes one shared frame to this connection, splicing the
+// format-definition frame between the channel header and the record
+// bytes the first time the stream carries this format (the subscriber
+// reads the header itself; its PBIO decoder consumes the definition
+// transparently before the record).
+func (rc *remoteConn) writeFrame(f *frame) error {
+	if f.format != nil && !rc.sentFormats[f.format] {
+		rc.sentFormats[f.format] = true
+		rc.defBuf = f.format.AppendDef(rc.defBuf[:0])
+		if _, err := rc.conn.Write(f.buf[:f.hdrLen]); err != nil {
+			return err
+		}
+		if _, err := rc.conn.Write(rc.defBuf); err != nil {
+			return err
+		}
+		_, err := rc.conn.Write(f.buf[f.hdrLen:])
+		return err
+	}
+	_, err := rc.conn.Write(f.buf)
+	return err
 }
 
 // Stats returns a copy of the broker counters.
@@ -275,14 +453,88 @@ func (b *Broker) Stats() BrokerStats {
 		LocalDeliver:     b.localDeliver.Load(),
 		RemoteDeliver:    b.remoteDeliver.Load(),
 		RemoteFailures:   b.remoteFailures.Load(),
+		RemoteEnqueued:   b.remoteEnqueued.Load(),
+		RemoteDropped:    b.remoteDropped.Load(),
+		SlowEvicted:      b.slowEvicted.Load(),
 	}
 }
+
+// Subscribers returns per-connection fan-out stats for every live
+// remote subscriber.
+func (b *Broker) Subscribers() []SubscriberStats {
+	b.mu.Lock()
+	conns := make([]*remoteConn, 0, len(b.conns))
+	for rc := range b.conns {
+		conns = append(conns, rc)
+	}
+	b.mu.Unlock()
+	out := make([]SubscriberStats, 0, len(conns))
+	for _, rc := range conns {
+		n, capacity := rc.q.depth()
+		chans := make([]string, 0, len(rc.channels))
+		for name := range rc.channels {
+			chans = append(chans, name)
+		}
+		out = append(out, SubscriberStats{
+			Addr:             rc.conn.RemoteAddr().String(),
+			Version:          rc.version,
+			Channels:         chans,
+			QueueLen:         n,
+			QueueCap:         capacity,
+			EnqueuedFrames:   rc.enqFrames.Load(),
+			EnqueuedRecords:  rc.enqRecords.Load(),
+			DeliveredRecords: rc.delivered.Load(),
+			DroppedRecords:   rc.dropped.Load(),
+			BlockedNanos:     rc.blockedNanos.Load(),
+			OverflowStreak:   rc.overflowStreak.Load(),
+		})
+	}
+	return out
+}
+
+// QueueConfig reports the current queue depth and overflow policy name —
+// the controller-facing view of the fan-out knobs.
+func (b *Broker) QueueConfig() (depth int, policy string) {
+	return int(b.queueDepth.Load()), OverflowPolicy(b.overflow.Load()).String()
+}
+
+// SetQueueDepth changes the send queue capacity for subscribers that
+// connect from now on; existing connections keep their queues.
+func (b *Broker) SetQueueDepth(n int) error {
+	if n < 1 {
+		return fmt.Errorf("pubsub: queue depth %d, want >= 1", n)
+	}
+	b.queueDepth.Store(int64(n))
+	return nil
+}
+
+// SetOverflowPolicy changes the full-queue policy for all connections,
+// effective on the next publish.
+func (b *Broker) SetOverflowPolicy(p OverflowPolicy) { b.overflow.Store(int32(p)) }
+
+// SetOverflowPolicyName is SetOverflowPolicy for string-typed callers
+// (the controller command path).
+func (b *Broker) SetOverflowPolicyName(name string) error {
+	p, err := ParseOverflowPolicy(name)
+	if err != nil {
+		return err
+	}
+	b.SetOverflowPolicy(p)
+	return nil
+}
+
+// SetBlockTimeout changes the BlockWithDeadline wait bound.
+func (b *Broker) SetBlockTimeout(d time.Duration) { b.blockTimeout.Store(int64(d)) }
+
+// SetEvictAfterOverflows changes the sustained-overflow eviction
+// threshold (0 disables).
+func (b *Broker) SetEvictAfterOverflows(n int) { b.evictAfter.Store(int64(n)) }
 
 // Serve accepts remote subscribers on l until the broker is closed. It
 // blocks; run it in a goroutine and call Close to stop.
 func (b *Broker) Serve(l net.Listener) error {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return ErrClosed
 	}
@@ -291,10 +543,7 @@ func (b *Broker) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			b.mu.Lock()
-			closed := b.closed
-			b.mu.Unlock()
-			if closed {
+			if b.closed.Load() {
 				return nil
 			}
 			return fmt.Errorf("pubsub: accept: %w", err)
@@ -307,32 +556,49 @@ func (b *Broker) Serve(l net.Listener) error {
 	}
 }
 
-// handleConn performs the subscribe handshake, then parks reading (a read
-// returning an error means the peer went away).
+// handleConn performs the subscribe handshake, starts the writer
+// goroutine, then parks reading (a read returning an error means the
+// peer went away).
 func (b *Broker) handleConn(conn net.Conn) {
-	channels, err := readHandshake(conn)
+	hs, err := readHandshake(conn)
 	if err != nil {
 		conn.Close()
 		return
 	}
-	rc := &remoteConn{
-		conn:     conn,
-		enc:      pbio.NewEncoder(conn, b.reg),
-		channels: make(map[string]bool, len(channels)),
-	}
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		conn.Close()
 		return
 	}
-	b.conns[rc] = true
-	for _, name := range channels {
-		rc.channels[name] = true
-		ch := b.chanLocked(name)
-		ch.remotes = append(ch.remotes, rc)
+	rc := &remoteConn{
+		conn:        conn,
+		q:           newSendQueue(int(b.queueDepth.Load())),
+		channels:    make(map[string]bool, len(hs.channels)),
+		version:     hs.version,
+		sentFormats: make(map[*pbio.Format]bool),
 	}
+	b.conns[rc] = true
+	b.mutateLocked(func(m map[string]*subscribers) {
+		for _, name := range hs.channels {
+			if rc.channels[name] {
+				continue
+			}
+			rc.channels[name] = true
+			cur := m[name]
+			next := &subscribers{}
+			if cur != nil {
+				next.locals = cur.locals
+				next.remotes = append(append([]*remoteConn(nil), cur.remotes...), rc)
+			} else {
+				next.remotes = []*remoteConn{rc}
+			}
+			m[name] = next
+		}
+	})
+	b.wg.Add(1)
 	b.mu.Unlock()
+	go b.writeLoop(rc)
 
 	// Block until the peer disconnects.
 	var one [1]byte
@@ -344,37 +610,48 @@ func (b *Broker) handleConn(conn net.Conn) {
 	b.dropConn(rc)
 }
 
+// dropConn removes the connection from every channel, closes its socket,
+// and shuts its send queue down (releasing any still-queued frames). It
+// is idempotent and safe from the publish path, the writer goroutine,
+// the reader, and Close.
 func (b *Broker) dropConn(rc *remoteConn) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if !b.conns[rc] {
-		return
-	}
-	delete(b.conns, rc)
-	for name := range rc.channels {
-		ch := b.channels[name]
-		if ch == nil {
-			continue
-		}
-		for i, cur := range ch.remotes {
-			if cur == rc {
-				ch.remotes = append(ch.remotes[:i], ch.remotes[i+1:]...)
-				break
-			}
-		}
-	}
-	rc.conn.Close()
-}
-
-// Close shuts the broker down: stops the listener, closes remote
-// connections, and waits for connection goroutines to exit.
-func (b *Broker) Close() {
-	b.mu.Lock()
-	if b.closed {
 		b.mu.Unlock()
 		return
 	}
-	b.closed = true
+	delete(b.conns, rc)
+	b.mutateLocked(func(m map[string]*subscribers) {
+		for name := range rc.channels {
+			cur := m[name]
+			if cur == nil {
+				continue
+			}
+			next := &subscribers{locals: cur.locals}
+			for _, other := range cur.remotes {
+				if other != rc {
+					next.remotes = append(next.remotes, other)
+				}
+			}
+			m[name] = next
+		}
+	})
+	b.mu.Unlock()
+	rc.conn.Close()
+	for _, f := range rc.q.close() {
+		f.release()
+	}
+}
+
+// Close shuts the broker down: stops the listener, closes remote
+// connections, and waits for connection and writer goroutines to exit.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed.Load() {
+		b.mu.Unlock()
+		return
+	}
+	b.closed.Store(true)
 	l := b.listener
 	conns := make([]*remoteConn, 0, len(b.conns))
 	for rc := range b.conns {
@@ -444,9 +721,40 @@ func (s *Subscriber) Close() error { return s.conn.Close() }
 
 // --- wire helpers ---
 
+// Handshake wire formats. Legacy (v0) subscribers send a channel count
+// byte followed by the channel strings. Current (v1) subscribers lead
+// with an 0xFF magic byte — impossible as a sane v0 count — then a
+// version byte, a u16 capability-flags field, and a u16 channel count.
+// The broker accepts both, so old decoders keep working against new
+// brokers; the record stream itself is unchanged (plan-encoded frames
+// are byte-identical to the legacy encoder's output).
+const (
+	handshakeMagic   = 0xFF
+	handshakeVersion = 1
+	// handshakeFlagPlans advertises that the subscriber understands
+	// streams produced by cached encode plans. Informational for now —
+	// the wire bytes are identical either way — but gives future format
+	// changes a negotiation point.
+	handshakeFlagPlans = 1 << 0
+
+	maxHandshakeChannels = 1024
+)
+
+type handshake struct {
+	version  int
+	flags    uint16
+	channels []string
+}
+
 func writeHandshake(w io.Writer, channels []string) error {
-	var hdr [1]byte
-	hdr[0] = byte(len(channels))
+	if len(channels) > maxHandshakeChannels {
+		return fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", len(channels), maxHandshakeChannels)
+	}
+	var hdr [6]byte
+	hdr[0] = handshakeMagic
+	hdr[1] = handshakeVersion
+	binary.LittleEndian.PutUint16(hdr[2:4], handshakeFlagPlans)
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(channels)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("pubsub: handshake: %w", err)
 	}
@@ -458,20 +766,40 @@ func writeHandshake(w io.Writer, channels []string) error {
 	return nil
 }
 
-func readHandshake(r io.Reader) ([]string, error) {
-	var hdr [1]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+func readHandshake(r io.Reader) (handshake, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return handshake{}, err
 	}
-	channels := make([]string, 0, hdr[0])
-	for i := 0; i < int(hdr[0]); i++ {
+	var hs handshake
+	var count int
+	if first[0] == handshakeMagic {
+		var rest [5]byte
+		if _, err := io.ReadFull(r, rest[:]); err != nil {
+			return handshake{}, err
+		}
+		hs.version = int(rest[0])
+		if hs.version < 1 {
+			return handshake{}, fmt.Errorf("pubsub: handshake: bad version %d", hs.version)
+		}
+		hs.flags = binary.LittleEndian.Uint16(rest[1:3])
+		count = int(binary.LittleEndian.Uint16(rest[3:5]))
+		if count > maxHandshakeChannels {
+			return handshake{}, fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", count, maxHandshakeChannels)
+		}
+	} else {
+		// Legacy subscriber: the first byte is the channel count.
+		count = int(first[0])
+	}
+	hs.channels = make([]string, 0, count)
+	for i := 0; i < count; i++ {
 		s, err := readString(r)
 		if err != nil {
-			return nil, err
+			return handshake{}, err
 		}
-		channels = append(channels, s)
+		hs.channels = append(hs.channels, s)
 	}
-	return channels, nil
+	return hs, nil
 }
 
 func writeString(w io.Writer, s string) error {
@@ -482,6 +810,12 @@ func writeString(w io.Writer, s string) error {
 	}
 	_, err := io.WriteString(w, s)
 	return err
+}
+
+// appendString appends the wire form of writeString to buf.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
 }
 
 func readString(r io.Reader) (string, error) {

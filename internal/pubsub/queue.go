@@ -1,0 +1,243 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sysprof/internal/pbio"
+)
+
+// OverflowPolicy decides what happens when a remote subscriber's send
+// queue is full at enqueue time.
+type OverflowPolicy int32
+
+const (
+	// DropOldest evicts the oldest queued frame to admit the new one.
+	// Publishing never blocks; a slow subscriber sees the freshest data
+	// with gaps. This is the default: SysProf monitoring data ages fast,
+	// so stale frames are the right thing to shed.
+	DropOldest OverflowPolicy = iota
+	// BlockWithDeadline makes the publisher wait up to the configured
+	// block timeout for queue space; if the deadline passes the NEW frame
+	// is dropped for that subscriber. Use when losing the most recent
+	// records matters more than bounding publish latency.
+	BlockWithDeadline
+)
+
+func (p OverflowPolicy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop"
+	case BlockWithDeadline:
+		return "block"
+	default:
+		return fmt.Sprintf("overflow(%d)", int32(p))
+	}
+}
+
+// ParseOverflowPolicy maps a knob string ("drop"/"drop-oldest",
+// "block"/"block-with-deadline") to a policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "drop", "drop-oldest":
+		return DropOldest, nil
+	case "block", "block-with-deadline":
+		return BlockWithDeadline, nil
+	default:
+		return DropOldest, fmt.Errorf("pubsub: unknown overflow policy %q (want drop or block)", s)
+	}
+}
+
+// Config holds the remote fan-out knobs. Zero values take the defaults.
+type Config struct {
+	// QueueDepth is the per-subscriber outgoing queue capacity, in
+	// frames (one Publish or PublishBatch = one frame). Default 256.
+	QueueDepth int
+	// Overflow picks the full-queue policy. Default DropOldest.
+	Overflow OverflowPolicy
+	// BlockTimeout bounds how long BlockWithDeadline waits for queue
+	// space. Default 10ms.
+	BlockTimeout time.Duration
+	// EvictAfterOverflows disconnects a subscriber after this many
+	// consecutive publishes that overflowed its queue — a subscriber
+	// that persistently cannot keep up is cheaper gone than throttling
+	// the node. 0 disables eviction. Default 64.
+	EvictAfterOverflows int
+}
+
+// DefaultConfig returns the default fan-out knobs.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:          256,
+		Overflow:            DropOldest,
+		BlockTimeout:        10 * time.Millisecond,
+		EvictAfterOverflows: 64,
+	}
+}
+
+// Option customizes a broker at construction.
+type Option func(*Config)
+
+// WithQueueDepth sets the per-subscriber send queue capacity in frames.
+func WithQueueDepth(n int) Option { return func(c *Config) { c.QueueDepth = n } }
+
+// WithOverflowPolicy sets the full-queue policy.
+func WithOverflowPolicy(p OverflowPolicy) Option { return func(c *Config) { c.Overflow = p } }
+
+// WithBlockTimeout sets the BlockWithDeadline wait bound.
+func WithBlockTimeout(d time.Duration) Option { return func(c *Config) { c.BlockTimeout = d } }
+
+// WithEvictAfterOverflows sets the sustained-overflow eviction threshold
+// (0 disables).
+func WithEvictAfterOverflows(n int) Option { return func(c *Config) { c.EvictAfterOverflows = n } }
+
+// frame is one encoded publish, shared by reference across every
+// subscriber queue it was fanned out to: the broker encodes once, each
+// connection's writer goroutine writes the same bytes. buf holds the
+// channel header (buf[:hdrLen]) followed by the PBIO record or batch
+// frame; the writer splices the stream's format-definition frame between
+// the two on first use of format, because the subscriber reads the
+// channel header before handing the rest to its PBIO decoder.
+type frame struct {
+	refs   atomic.Int64
+	buf    []byte
+	hdrLen int
+	format *pbio.Format
+	recs   int
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// release drops one reference; the last one returns the frame to the
+// pool.
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 {
+		f.buf = f.buf[:0]
+		f.hdrLen = 0
+		f.format = nil
+		f.recs = 0
+		framePool.Put(f)
+	}
+}
+
+// sendQueue is a bounded FIFO ring of frames between the publish path
+// and one connection's writer goroutine.
+type sendQueue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	ring     []*frame
+	head     int
+	n        int
+	closed   bool
+}
+
+func newSendQueue(depth int) *sendQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &sendQueue{ring: make([]*frame, depth)}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// enqResult reports an enqueue attempt's outcome. The caller owns the
+// reference of a frame that was not admitted, and the reference of any
+// evicted frame.
+type enqResult struct {
+	admitted     bool
+	closed       bool
+	evicted      *frame
+	blockedNanos int64
+}
+
+func (q *sendQueue) enqueue(f *frame, policy OverflowPolicy, timeout time.Duration) enqResult {
+	var res enqResult
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		res.closed = true
+		return res
+	}
+	if q.n == len(q.ring) {
+		if policy == BlockWithDeadline {
+			start := time.Now()
+			timer := time.AfterFunc(timeout, func() {
+				q.mu.Lock()
+				q.notFull.Broadcast()
+				q.mu.Unlock()
+			})
+			for q.n == len(q.ring) && !q.closed && time.Since(start) < timeout {
+				q.notFull.Wait()
+			}
+			timer.Stop()
+			res.blockedNanos = int64(time.Since(start))
+			if q.closed {
+				res.closed = true
+				return res
+			}
+			if q.n == len(q.ring) {
+				return res // deadline expired; the new frame is dropped
+			}
+		} else {
+			res.evicted = q.ring[q.head]
+			q.ring[q.head] = nil
+			q.head = (q.head + 1) % len(q.ring)
+			q.n--
+		}
+	}
+	q.ring[(q.head+q.n)%len(q.ring)] = f
+	q.n++
+	res.admitted = true
+	q.notEmpty.Signal()
+	return res
+}
+
+// dequeue blocks for the next frame; ok is false once the queue is
+// closed.
+func (q *sendQueue) dequeue() (*frame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	f := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	q.notFull.Signal()
+	return f, true
+}
+
+// close marks the queue closed, wakes all waiters, and returns the
+// frames still queued so the caller can release their references.
+func (q *sendQueue) close() []*frame {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var rem []*frame
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) % len(q.ring)
+		rem = append(rem, q.ring[idx])
+		q.ring[idx] = nil
+	}
+	q.head, q.n = 0, 0
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	return rem
+}
+
+func (q *sendQueue) depth() (n, capacity int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n, len(q.ring)
+}
