@@ -49,11 +49,15 @@ func (b *DoubleBuffer) SetCapacity(capacity int) {
 }
 
 // Push appends a record, swapping buffers when full.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
 func (b *DoubleBuffer) Push(rec Record) {
 	if b.single && b.busy {
 		b.drops++
 		return
 	}
+	//lint:ignore hotalloc active is preallocated to capacity; append can only grow it after a runtime capacity raise, never in steady state
 	b.active = append(b.active, rec)
 	if len(b.active) < b.capacity {
 		return
@@ -120,6 +124,8 @@ func NewBufferSet(numCPUs, capacity int, onFull func(cpu int, batch []Record, re
 }
 
 // Push routes a record to the buffer of the CPU it was captured on.
+//
+//sysprof:nonblocking
 func (s *BufferSet) Push(cpu int, rec Record) {
 	if cpu < 0 || cpu >= len(s.per) {
 		cpu = 0

@@ -213,6 +213,8 @@ func (a *LPA) FlushOpen() {
 }
 
 // handle is the kprof callback: the analyzer fast path.
+//
+//sysprof:nonblocking
 func (a *LPA) handle(ev *kprof.Event) {
 	a.stats.Events++
 	switch ev.Type {

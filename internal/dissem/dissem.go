@@ -216,6 +216,8 @@ func New(eng *sim.Engine, broker *pubsub.Broker, fs *procfs.FS, cfg Config) *Dae
 // until release() is called (the buffer cannot be reused before then), so
 // no defensive copy is made — the broker's cached encode plan writes the
 // records straight into the wire buffer at publish time.
+//
+//sysprof:nonblocking
 func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
 	d.stats.BatchesDrained++
 	publish := func() {
@@ -234,6 +236,8 @@ func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
 // only during their callback (the LPA buffer is released afterwards);
 // remote subscribers get the plan-encoded wire frame, byte-identical to
 // the old ToWire path but with no intermediate copy.
+//
+//sysprof:nonblocking
 func (d *Daemon) publishBatch(batch []core.Record) {
 	if len(batch) == 0 {
 		return

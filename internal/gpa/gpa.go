@@ -201,6 +201,9 @@ func New(cfg Config, now func() time.Duration) *GPA {
 // pack into 64 bits exactly (two 16-bit nodes, two 16-bit ports); a
 // splitmix64-style finalizer spreads them so nearby ports and node ids
 // land on different shards.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
 func hashFlow(key simnet.FlowKey) uint64 {
 	x := uint64(key.Src.Node)<<48 | uint64(key.Src.Port)<<32 |
 		uint64(key.Dst.Node)<<16 | uint64(key.Dst.Port)
@@ -223,6 +226,8 @@ func (g *GPA) shardForNode(node simnet.NodeID) *shard {
 }
 
 // Ingest feeds one interaction record from a node's daemon.
+//
+//sysprof:nonblocking
 func (g *GPA) Ingest(rec core.Record) {
 	key := rec.Flow.Canonical()
 	s := g.shardFor(key)
@@ -235,6 +240,8 @@ func (g *GPA) Ingest(rec core.Record) {
 // through the batched pub-sub path). Consecutive records that hash to the
 // same shard are ingested under one lock acquisition, so a batch from a
 // busy flow costs roughly one lock round trip instead of one per record.
+//
+//sysprof:nonblocking
 func (g *GPA) IngestBatch(recs []core.Record) {
 	for i := 0; i < len(recs); {
 		key := recs[i].Flow.Canonical()
@@ -256,6 +263,8 @@ func (g *GPA) IngestBatch(recs []core.Record) {
 
 // ingestLocked is the core ingest step; callers hold s.mu and pass the
 // record's canonical flow key.
+//
+//sysprof:nonblocking
 func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
 	s.stats.Ingested++
 

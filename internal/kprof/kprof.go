@@ -382,6 +382,9 @@ func (h *Hub) Now() time.Duration { return h.clock() }
 
 // Enabled reports whether any subscriber wants t. Instrumentation points
 // call this first and skip event construction entirely when false.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
 func (h *Hub) Enabled(t EventType) bool {
 	if !t.Valid() {
 		return false
@@ -425,6 +428,9 @@ func (h *Hub) rebuildLocked() {
 // the instrumentation consumed, which the caller (the simulated kernel)
 // must charge to the current CPU. The event's Time and Node fields are
 // stamped by the hub.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
 func (h *Hub) Emit(ev *Event) time.Duration {
 	var lp *subList
 	if ev.Type.Valid() {

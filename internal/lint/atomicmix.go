@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags mixed atomic and plain access to the same field — the
+// classic lost-update / torn-read bug that the race detector only finds
+// when the schedule cooperates. Two forms are checked package-wide:
+//
+//   - a field passed by address to a sync/atomic function
+//     (atomic.AddUint64(&s.n, 1)) must not also be read or written
+//     plainly anywhere in the package;
+//   - a field of one of the typed atomic types (atomic.Int64,
+//     atomic.Pointer[T], ...) must only be used through its methods or
+//     by address — copying it reads the value non-atomically and
+//     detaches the copy.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed through sync/atomic must not also be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: fields used through old-style sync/atomic functions, and
+	// the selector nodes that constitute those atomic uses.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic use
+	atomicUse := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			pkg, _ := calleePkgFunc(callee)
+			if pkg != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-atomic method, handled below
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldVar(pass, sel); field != nil {
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = sel.Pos()
+				}
+				atomicUse[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain uses of those fields, and value copies of
+	// typed-atomic fields.
+	for _, file := range pass.Files {
+		parents := make(map[ast.Node]ast.Node)
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil {
+				return true
+			}
+			if pos, tracked := atomicFields[field]; tracked && !atomicUse[sel] {
+				pass.Reportf(sel.Pos(), "field %s is accessed atomically (e.g. %s) but read or written plainly here",
+					field.Name(), pass.Fset.Position(pos))
+				return true
+			}
+			if isTypedAtomic(field.Type()) {
+				switch p := parents[sel].(type) {
+				case *ast.SelectorExpr:
+					return true // method access: s.ctr.Load()
+				case *ast.UnaryExpr:
+					if p.Op == token.AND {
+						return true // taking the address is fine
+					}
+				}
+				pass.Reportf(sel.Pos(), "atomic-typed field %s is copied as a value; use its methods or take its address",
+					field.Name())
+			}
+			return true
+		})
+	}
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed atomics
+// (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Value, Pointer[T]).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtureModule runs the full suite over a two-package fixture
+// module with a module-local import; the clean result proves import
+// resolution and annotation handling end to end.
+func TestFixtureModule(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "module"), []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("fixture module should be clean, got:\n%s", renderDiags(diags))
+	}
+}
+
+// TestMalformedSuppression: a //lint:ignore with no reason is itself a
+// finding, reported under the "lint" pseudo-analyzer.
+func TestMalformedSuppression(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "src"), []string{"./badsup"}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "lint" {
+		t.Fatalf("want exactly one \"lint\" diagnostic, got:\n%s", renderDiags(diags))
+	}
+	if !strings.Contains(diags[0].Message, "malformed suppression") {
+		t.Fatalf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestUnknownPattern: patterns escaping the module are run errors, not
+// findings.
+func TestUnknownPattern(t *testing.T) {
+	if _, err := Run(filepath.Join("testdata", "module"), []string{"../outside"}, All()); err == nil {
+		t.Fatal("want error for pattern outside the module")
+	}
+}
+
+// --- mutation tests over the real tree ------------------------------
+//
+// These are the acceptance checks from the issue: the unmutated tree
+// lints clean, deleting a `defer s.mu.Unlock()` in internal/gpa makes
+// lockcheck fire, and adding a fmt.Sprintf to kprof.Hub.Emit makes
+// hotalloc fire.
+
+// copyRepoSubset copies go.mod plus internal/ (minus lint itself and
+// testdata) into a temp module root.
+func copyRepoSubset(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	dst := t.TempDir()
+	copyFile(t, filepath.Join(root, "go.mod"), filepath.Join(dst, "go.mod"))
+	err = filepath.Walk(filepath.Join(root, "internal"), func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(p)
+		if info.IsDir() {
+			if base == "lint" || base == "testdata" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !strings.HasSuffix(base, ".go") || strings.HasSuffix(base, "_test.go") {
+			return nil
+		}
+		copyFile(t, p, filepath.Join(dst, rel))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutate rewrites one file under root by replacing old with new
+// (exactly once).
+func mutate(t *testing.T, root, rel, old, new string) {
+	t.Helper()
+	p := filepath.Join(root, rel)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), old) {
+		t.Fatalf("%s does not contain %q", rel, old)
+	}
+	out := strings.Replace(string(data), old, new, 1)
+	if err := os.WriteFile(p, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutations(t *testing.T) {
+	root := copyRepoSubset(t)
+	patterns := []string{"./internal/gpa", "./internal/kprof"}
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := loader.Run(patterns, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != 0 {
+		t.Fatalf("unmutated tree should lint clean, got:\n%s", renderDiags(baseline))
+	}
+
+	t.Run("gpa-missing-unlock", func(t *testing.T) {
+		mroot := copyRepoSubset(t)
+		mutate(t, mroot, filepath.Join("internal", "gpa", "gpa.go"),
+			"\tdefer s.mu.Unlock()\n", "")
+		diags, err := Run(mroot, patterns, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasFinding(diags, "lockcheck", "never released") {
+			t.Fatalf("want a lockcheck finding after deleting defer Unlock, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("kprof-emit-sprintf", func(t *testing.T) {
+		mroot := copyRepoSubset(t)
+		mutate(t, mroot, filepath.Join("internal", "kprof", "kprof.go"),
+			"func (h *Hub) Emit(ev *Event) time.Duration {\n",
+			"func (h *Hub) Emit(ev *Event) time.Duration {\n\t_ = fmt.Sprintf(\"%d\", ev.PID)\n")
+		diags, err := Run(mroot, patterns, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasFinding(diags, "hotalloc", "fmt.Sprintf") {
+			t.Fatalf("want a hotalloc finding after adding fmt.Sprintf to Emit, got:\n%s", renderDiags(diags))
+		}
+	})
+}
+
+func hasFinding(diags []Diagnostic, analyzer, substr string) bool {
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func renderDiags(diags []Diagnostic) string {
+	if len(diags) == 0 {
+		return "  (none)"
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}

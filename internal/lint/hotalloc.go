@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces //sysprof:noalloc: annotated functions — the kprof
+// emit fast path and its helpers — must avoid obvious allocation
+// constructs. It complements the alloc-reporting benchmarks (which
+// measure) by rejecting the constructs at review time (which prevents).
+//
+// Flagged constructs: fmt.Sprintf/Sprint/Sprintln/Errorf, string
+// concatenation with non-constant operands, string<->[]byte conversions,
+// function literals (closures), make/new, address-taken composite
+// literals and slice/map literals, and append whose destination is not a
+// plain local variable (an escaping slice).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//sysprof:noalloc functions must avoid obvious allocation constructs",
+	Run:  runHotAlloc,
+}
+
+var fmtFormatting = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasAnnotation(fn, AnnotNoAlloc) {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	name := funcDisplayName(fn)
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s is //sysprof:noalloc but %s", name, what)
+	}
+
+	// Track parents so composite literals can see whether their address
+	// is taken.
+	parents := make(map[ast.Node]ast.Node)
+	inspectShallowWithParent(fn.Body, func(n, parent ast.Node) {
+		parents[n] = parent
+	})
+
+	inspectShallow(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			report(node.Pos(), "creates a closure (allocates)")
+		case *ast.CompositeLit:
+			if what := allocatingLiteral(pass, node, parents[node]); what != "" {
+				report(node.Pos(), what)
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isNonConstantString(pass, node) {
+				report(node.OpPos, "concatenates strings (allocates)")
+			}
+		case *ast.CallExpr:
+			if what := allocatingCall(pass, node); what != "" {
+				report(node.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// inspectShallowWithParent visits nodes with their parent, skipping
+// closure bodies like inspectShallow.
+func inspectShallowWithParent(root ast.Node, visit func(n, parent ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		visit(n, parent)
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			// Still push: Inspect will call us with nil to pop... it will
+			// not descend if we return false, and no pop call happens.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// allocatingLiteral classifies a composite literal ("" when harmless). A
+// plain struct value literal (used for comparison or copied into a
+// variable) stays on the stack; one whose address is taken, or a slice or
+// map literal, heap-allocates.
+func allocatingLiteral(pass *Pass, lit *ast.CompositeLit, parent ast.Node) string {
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return "takes the address of a composite literal (allocates)"
+	}
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return "builds a slice literal (allocates)"
+	case *types.Map:
+		return "builds a map literal (allocates)"
+	}
+	return ""
+}
+
+// isNonConstantString reports whether the + expression is a string
+// concatenation that cannot be constant-folded.
+func isNonConstantString(pass *Pass, bin *ast.BinaryExpr) bool {
+	tv, ok := pass.Info.Types[bin]
+	if !ok {
+		return false
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString == 0 {
+		return false
+	}
+	// A constant result means the compiler folds the concatenation.
+	return tv.Value == nil
+}
+
+// allocatingCall classifies a call expression ("" when harmless).
+func allocatingCall(pass *Pass, call *ast.CallExpr) string {
+	// Builtins and conversions first.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				return "calls make (allocates)"
+			case "new":
+				return "calls new (allocates)"
+			case "append":
+				if what := escapingAppend(pass, call); what != "" {
+					return what
+				}
+				return ""
+			}
+		}
+	}
+	if what := stringConversion(pass, call); what != "" {
+		return what
+	}
+	callee := calleeFunc(pass.Info, call)
+	pkg, fname := calleePkgFunc(callee)
+	if pkg == "fmt" && fmtFormatting[fname] {
+		return "calls fmt." + fname + " (allocates)"
+	}
+	return ""
+}
+
+// escapingAppend flags append whose destination slice escapes the
+// function (struct field, global, dereference) — growth there allocates
+// and retains. Appending to a plain local variable is allowed: the
+// common scratch-buffer pattern, covered by benchmarks.
+func escapingAppend(pass *Pass, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		return "" // local or package var; package vars are rare enough to allow
+	default:
+		return "appends to escaping slice " + pass.ExprString(dst) + " (may allocate)"
+	}
+}
+
+// stringConversion flags string([]byte) and []byte(string) conversions,
+// which copy.
+func stringConversion(pass *Pass, call *ast.CallExpr) string {
+	if len(call.Args) != 1 {
+		return ""
+	}
+	tvFun, ok := pass.Info.Types[call.Fun]
+	if !ok || !tvFun.IsType() {
+		return ""
+	}
+	dst := tvFun.Type.Underlying()
+	src := types.Type(nil)
+	if tvArg, ok := pass.Info.Types[call.Args[0]]; ok {
+		src = tvArg.Type.Underlying()
+	}
+	if src == nil {
+		return ""
+	}
+	if isStringType(dst) && isByteSlice(src) {
+		return "converts []byte to string (allocates)"
+	}
+	if isByteSlice(dst) && isStringType(src) {
+		return "converts string to []byte (allocates)"
+	}
+	return ""
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

@@ -1,0 +1,256 @@
+// Package lint is sysproflint: a standard-library-only static-analysis
+// suite that enforces SysProf's hot-path invariants. The reproduction's
+// overhead story rests on properties that ordinary tests cannot see — the
+// kprof emit path must not allocate, publish enqueue must not block, every
+// lock acquired on an error path must be released, shared frames must keep
+// their reference counts balanced, and fields accessed through sync/atomic
+// must never also be touched plainly. Like the eBPF verifier proving
+// tracing programs safe before they load, sysproflint proves these
+// properties statically, before the code runs.
+//
+// The driver (driver.go) parses and type-checks every package of the
+// module using only go/parser, go/ast, go/token and go/types — no
+// golang.org/x/tools — resolving module-local imports by mapping import
+// paths onto the module directory tree and standard-library imports
+// through the stdlib source importer.
+//
+// # Annotations
+//
+// Two directive comments mark hot-path contracts on function declarations:
+//
+//	//sysprof:nonblocking   the function (and everything it calls in the
+//	                        same package) must not block: no selectless
+//	                        channel sends, time.Sleep, net or *os.File
+//	                        I/O, fmt printing, log calls, or sync.Cond
+//	                        waits
+//	//sysprof:noalloc       the function must avoid obvious allocation
+//	                        constructs: fmt.Sprintf and friends, string
+//	                        concatenation and conversions, closures,
+//	                        make/new, address-taken or slice/map composite
+//	                        literals, and appends to escaping slices
+//
+// # Suppressions
+//
+// An intentional violation is silenced — with a mandatory reason — by a
+// comment on the flagged line or the line above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// A suppression without a reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands an analyzer one type-checked package plus reporting and
+// suppression hooks.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the package's import path within the module.
+	PkgPath string
+
+	// report records a diagnostic (suppressions are applied by the
+	// driver after all analyzers ran).
+	report func(d Diagnostic)
+	// suppressed reports whether a //lint:ignore comment covers the
+	// position for this pass's analyzer. Analyzers that propagate
+	// findings across functions (nonblock) consult it so a suppressed
+	// callee site does not taint its callers.
+	suppressed func(analyzer string, pos token.Position) bool
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether a //lint:ignore comment covers pos for this
+// analyzer.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	return p.suppressed(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
+// ExprString renders an expression compactly ("s.mu", "h.dispatch[t]")
+// for use in messages and lock/frame identity comparisons.
+func (p *Pass) ExprString(e ast.Expr) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, p.Fset, e)
+	return sb.String()
+}
+
+// All returns the full sysproflint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NonBlock,
+		HotAlloc,
+		LockCheck,
+		RefBalance,
+		AtomicMix,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("lockcheck,nonblock").
+// An empty spec selects the whole suite.
+func ByName(spec string) ([]*Analyzer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a := byName[name]
+		if a == nil {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Annotation names recognized on function declarations.
+const (
+	AnnotNonBlocking = "sysprof:nonblocking"
+	AnnotNoAlloc     = "sysprof:noalloc"
+)
+
+// hasAnnotation reports whether the function declaration's doc comment
+// carries the directive (written as //sysprof:..., no space, on its own
+// line).
+func hasAnnotation(fn *ast.FuncDecl, annot string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimPrefix(c.Text, "//") == annot {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName names a function for messages ("Hub.Emit", "release").
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+			continue
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+			continue
+		}
+		break
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// when that can be determined statically (named functions, methods with a
+// concrete receiver, and interface methods — for interface methods the
+// returned func is the interface's). Calls through function-typed
+// variables and fields resolve to nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (fmt.Sprintf).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleePkgFunc splits a resolved callee into package path and name
+// ("time", "Sleep"). Functions without a package (builtins) return "".
+func calleePkgFunc(f *types.Func) (pkgPath, name string) {
+	if f == nil {
+		return "", ""
+	}
+	if f.Pkg() != nil {
+		pkgPath = f.Pkg().Path()
+	}
+	return pkgPath, f.Name()
+}
+
+// inspectShallow walks the node but does not descend into function
+// literals: analyzers that reason about one function's behaviour must not
+// attribute a closure's body (which runs later, elsewhere) to its
+// enclosing function. The closure node itself is still visited.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		if !fn(node) {
+			return false
+		}
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces lock hygiene on sync.Mutex / sync.RWMutex:
+//
+//   - every Lock()/RLock() must be released, either by a matching
+//     deferred Unlock in the same function or by a matching Unlock call
+//     in the same statement block, with every return statement between
+//     the acquisition and that release preceded by its own Unlock
+//     (the "unlock-then-return on the error path" idiom);
+//   - functions must not take mutex-bearing structs by value (receiver
+//     or parameter) — a copied lock guards nothing.
+//
+// Each function literal is checked as its own scope: a closure that
+// locks must release in its own body.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "every mutex Lock needs a deferred or all-paths Unlock; no by-value lock copies",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkByValueLocks(pass, fn)
+			if fn.Body == nil {
+				continue
+			}
+			for _, scope := range lockScopes(fn.Body) {
+				checkLockScope(pass, scope)
+			}
+		}
+	}
+}
+
+// lockScopes returns the function body plus every nested function
+// literal body, each analyzed independently.
+func lockScopes(body *ast.BlockStmt) []*ast.BlockStmt {
+	scopes := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			scopes = append(scopes, lit.Body)
+		}
+		return true
+	})
+	return scopes
+}
+
+// mutexOp classifies a call as a sync.Mutex / sync.RWMutex lock
+// operation. It returns the lock's receiver expression rendered as a
+// string ("s.mu") and the method name (Lock, Unlock, RLock, RUnlock),
+// or "" when the call is not a mutex operation.
+func mutexOp(pass *Pass, call *ast.CallExpr) (lockExpr, op string) {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch callee.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if !isMutexMethod(callee) {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return pass.ExprString(sel.X), callee.Name()
+}
+
+// isMutexMethod reports whether f is declared on sync.Mutex or
+// sync.RWMutex.
+func isMutexMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func unlockFor(op string) string {
+	if op == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// checkLockScope verifies every Lock/RLock in one function scope
+// (closures excluded — they are scopes of their own).
+func checkLockScope(pass *Pass, body *ast.BlockStmt) {
+	// Deferred unlocks cover every path out of the scope.
+	deferred := make(map[[2]string]bool) // {lockExpr, op}
+	// All unlock call positions, for the positional return-path check.
+	unlockPos := make(map[[2]string][]token.Pos)
+	inspectShallow(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if e, op := mutexOp(pass, node.Call); op == "Unlock" || op == "RUnlock" {
+				deferred[[2]string{e, op}] = true
+			}
+		case *ast.CallExpr:
+			if e, op := mutexOp(pass, node); op == "Unlock" || op == "RUnlock" {
+				unlockPos[[2]string{e, op}] = append(unlockPos[[2]string{e, op}], node.Pos())
+			}
+		}
+		return true
+	})
+
+	var walkList func(list []ast.Stmt)
+	checkLock := func(list []ast.Stmt, i int, lockExpr, op string, lockPos token.Pos) {
+		unlock := unlockFor(op)
+		key := [2]string{lockExpr, unlock}
+		if deferred[key] {
+			return
+		}
+		// Find the matching release in the same statement list.
+		release := -1
+		for j := i + 1; j < len(list); j++ {
+			es, ok := list[j].(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if e, o := mutexOp(pass, call); e == lockExpr && o == unlock {
+				release = j
+				break
+			}
+		}
+		if release < 0 {
+			pass.Reportf(lockPos, "%s.%s() is never released: no deferred %s and no %s in the same block",
+				lockExpr, op, unlock, unlock)
+			return
+		}
+		// Any return between the acquisition and the release must have
+		// been preceded by its own unlock (the unlock-then-return idiom).
+		for k := i + 1; k < release; k++ {
+			inspectShallow(list[k], func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, p := range unlockPos[key] {
+					if p > lockPos && p < ret.Pos() {
+						return true
+					}
+				}
+				pass.Reportf(ret.Pos(), "returns with %s still locked (no %s on this path)", lockExpr, unlock)
+				return true
+			})
+		}
+	}
+
+	walkList = func(list []ast.Stmt) {
+		for i, stmt := range list {
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if e, op := mutexOp(pass, call); op == "Lock" || op == "RLock" {
+						checkLock(list, i, e, op, call.Pos())
+					}
+				}
+			}
+		}
+		// Recurse into nested statement lists, but not closures.
+		for _, stmt := range list {
+			inspectShallow(stmt, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.BlockStmt:
+					walkList(node.List)
+					return false
+				case *ast.CaseClause:
+					walkList(node.Body)
+					return false
+				case *ast.CommClause:
+					walkList(node.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walkList(body.List)
+}
+
+// checkByValueLocks flags receivers and parameters whose (non-pointer)
+// type contains a mutex: the callee operates on a copy, so the lock
+// guards nothing.
+func checkByValueLocks(pass *Pass, fn *ast.FuncDecl) {
+	check := func(field *ast.Field, what string) {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			return
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if containsLockType(tv.Type, 0) {
+			pass.Reportf(field.Pos(), "%s of %s passes %s by value: the copied lock guards nothing",
+				what, funcDisplayName(fn), pass.ExprString(field.Type))
+		}
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			check(f, "parameter")
+		}
+	}
+}
+
+// containsLockType reports whether t (transitively, through struct
+// fields and arrays) contains a sync.Mutex, sync.RWMutex or sync.Cond.
+func containsLockType(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "Cond":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockType(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockType(u.Elem(), depth+1)
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NonBlock enforces //sysprof:nonblocking: annotated functions — the
+// kprof emit path, LPA callbacks, the pub-sub enqueue path — must not
+// perform blocking operations, directly or through same-package callees.
+//
+// Blocking operations are: channel sends outside a select that has a
+// default case, time.Sleep, any call into package net, file I/O through
+// package os, fmt printing (Print/Fprint families, which write to
+// streams), any call into package log, and sync.Cond Wait.
+var NonBlock = &Analyzer{
+	Name: "nonblock",
+	Doc:  "//sysprof:nonblocking functions must not call blocking operations",
+	Run:  runNonBlock,
+}
+
+// blockSite is one blocking operation found in a function body.
+type blockSite struct {
+	pos  token.Pos
+	what string
+}
+
+// fmtPrinting is the set of fmt functions that write to a stream (and so
+// can block on it). Sprint-family formatting allocates but does not
+// block; hotalloc owns that concern.
+var fmtPrinting = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Scan": true, "Scanf": true, "Scanln": true,
+	"Fscan": true, "Fscanf": true, "Fscanln": true,
+}
+
+func runNonBlock(pass *Pass) {
+	// Map each declared function object to its declaration, for
+	// same-package call-graph traversal.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var fns []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fns = append(fns, fn)
+			if obj := pass.Info.Defs[fn.Name]; obj != nil {
+				decls[obj] = fn
+			}
+		}
+	}
+
+	// directSites computes a function's own blocking operations,
+	// dropping suppressed ones so an intentional (documented) block in a
+	// callee does not taint annotated callers.
+	direct := make(map[*ast.FuncDecl][]blockSite)
+	for _, fn := range fns {
+		sites := blockingSites(pass, fn.Body)
+		kept := sites[:0]
+		for _, s := range sites {
+			if !pass.Suppressed(s.pos) {
+				kept = append(kept, s)
+			}
+		}
+		direct[fn] = kept
+	}
+
+	// verdict memoizes whether a function blocks, and why.
+	type verdict struct {
+		blocks bool
+		why    string // first reason, for transitive messages
+		pos    token.Pos
+	}
+	memo := make(map[*ast.FuncDecl]*verdict)
+	visiting := make(map[*ast.FuncDecl]bool)
+	var blocksVia func(fn *ast.FuncDecl) *verdict
+	blocksVia = func(fn *ast.FuncDecl) *verdict {
+		if v, ok := memo[fn]; ok {
+			return v
+		}
+		if visiting[fn] {
+			// Recursion: assume the cycle itself does not block (its
+			// blocking operations, if any, are found on other edges).
+			return &verdict{}
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		v := &verdict{}
+		if sites := direct[fn]; len(sites) > 0 {
+			v.blocks = true
+			v.why = sites[0].what
+			v.pos = sites[0].pos
+		} else {
+			inspectShallow(fn.Body, func(n ast.Node) bool {
+				if v.blocks {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.Info, call)
+				if callee == nil || callee.Pkg() != pass.Pkg {
+					return true
+				}
+				cfn := decls[callee]
+				if cfn == nil || cfn == fn {
+					return true
+				}
+				if cv := blocksVia(cfn); cv.blocks {
+					// Skip if the call site itself is suppressed.
+					if pass.Suppressed(call.Pos()) {
+						return true
+					}
+					v.blocks = true
+					v.why = fmt.Sprintf("calls %s, which %s", funcDisplayName(cfn), cv.why)
+					v.pos = call.Pos()
+				}
+				return true
+			})
+		}
+		memo[fn] = v
+		return v
+	}
+
+	for _, fn := range fns {
+		if !hasAnnotation(fn, AnnotNonBlocking) {
+			continue
+		}
+		name := funcDisplayName(fn)
+		if sites := direct[fn]; len(sites) > 0 {
+			for _, s := range sites {
+				pass.Reportf(s.pos, "%s is //sysprof:nonblocking but %s", name, s.what)
+			}
+			continue
+		}
+		if v := blocksVia(fn); v.blocks {
+			pass.Reportf(v.pos, "%s is //sysprof:nonblocking but %s", name, v.why)
+		}
+	}
+}
+
+// blockingSites scans one function body (not descending into closures)
+// for blocking operations.
+func blockingSites(pass *Pass, body *ast.BlockStmt) []blockSite {
+	var sites []blockSite
+
+	// Channel sends are non-blocking only as a select comm clause when
+	// the select has a default case.
+	nonBlockingSends := make(map[*ast.SendStmt]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if send, ok := cl.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+				nonBlockingSends[send] = true
+			}
+		}
+		return true
+	})
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			if !nonBlockingSends[node] {
+				sites = append(sites, blockSite{node.Arrow, "sends on a channel outside a select with default"})
+			}
+		case *ast.CallExpr:
+			if what := blockingCall(pass, node); what != "" {
+				sites = append(sites, blockSite{node.Pos(), what})
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// blockingCall classifies a call as a blocking operation ("" if not).
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	callee := calleeFunc(pass.Info, call)
+	pkg, name := calleePkgFunc(callee)
+	switch pkg {
+	case "time":
+		if name == "Sleep" {
+			return "calls time.Sleep"
+		}
+	case "fmt":
+		if fmtPrinting[name] {
+			return "calls fmt." + name
+		}
+	case "log":
+		return "calls log." + name
+	case "net":
+		return "calls net." + name
+	case "os":
+		return "calls os." + name + " (file I/O)"
+	case "sync":
+		if name == "Wait" && callee.Type() != nil && isCondMethod(callee) {
+			return "calls sync.Cond.Wait"
+		}
+	}
+	return ""
+}
+
+// isCondMethod reports whether f is a method of sync.Cond.
+func isCondMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Cond" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// RefBalance checks reference-count discipline on pooled, shared frames
+// (the internal/pubsub wire path). Acquiring references — `x.refs.Add(n)`
+// with positive n, `x.refs.Store(n)`, or an `x.retain()` call — obliges
+// the function to dispose of them: call `x.release()` (directly or
+// deferred), hand the frame off (pass x to a call, send it on a channel),
+// or return x to the caller. A function that acquires and then reaches a
+// return with no prior disposal leaks the reference — and with it the
+// pooled buffer.
+//
+// The check is positional within one function scope (closures are scopes
+// of their own): after an acquisition, at least one disposal must follow,
+// and every return between the acquisition and the first disposal that
+// does not itself return the frame is flagged.
+var RefBalance = &Analyzer{
+	Name: "refbalance",
+	Doc:  "frame reference acquisitions need a matching release or hand-off on every path",
+	Run:  runRefBalance,
+}
+
+func runRefBalance(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, scope := range lockScopes(fn.Body) {
+				checkRefScope(pass, scope)
+			}
+		}
+	}
+}
+
+// refAcquire classifies a call as a reference acquisition and returns
+// the owning expression ("f" for f.refs.Add(1)), or "" if it is not one.
+func refAcquire(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// x.retain()
+	if sel.Sel.Name == "retain" && len(call.Args) == 0 {
+		return pass.ExprString(sel.X)
+	}
+	// x.refs.Add(n) / x.refs.Store(n)
+	if sel.Sel.Name != "Add" && sel.Sel.Name != "Store" {
+		return ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "refs" || len(call.Args) != 1 {
+		return ""
+	}
+	// A constant, non-positive delta (release-side Add(-1), Store(0))
+	// is not an acquisition. Non-constant arguments (fan-out width) are.
+	if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact && v <= 0 {
+			return ""
+		}
+	}
+	return pass.ExprString(inner.X)
+}
+
+// checkRefScope verifies reference balance in one function scope.
+func checkRefScope(pass *Pass, body *ast.BlockStmt) {
+	// First pass: acquisitions by owner expression.
+	type acquisition struct {
+		expr string
+		pos  token.Pos
+	}
+	var acquisitions []acquisition
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if e := refAcquire(pass, call); e != "" {
+			acquisitions = append(acquisitions, acquisition{e, call.Pos()})
+		}
+		return true
+	})
+	if len(acquisitions) == 0 {
+		return
+	}
+
+	// Disposal positions per owner expression: release calls, hand-offs
+	// (the frame passed as a call argument or sent on a channel).
+	disposals := make(map[string][]token.Pos)
+	dispose := func(e string, pos token.Pos) {
+		disposals[e] = append(disposals[e], pos)
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "release" && len(node.Args) == 0 {
+				dispose(pass.ExprString(sel.X), node.Pos())
+			}
+			if refAcquire(pass, node) != "" {
+				return true // the acquisition itself is not a hand-off
+			}
+			for _, arg := range node.Args {
+				dispose(pass.ExprString(arg), node.Pos())
+			}
+		case *ast.SendStmt:
+			dispose(pass.ExprString(node.Value), node.Pos())
+		}
+		return true
+	})
+
+	// Returns, with the set of expressions they return.
+	type retSite struct {
+		pos     token.Pos
+		returns map[string]bool
+	}
+	var rets []retSite
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		rs := retSite{pos: ret.Pos(), returns: make(map[string]bool)}
+		for _, res := range ret.Results {
+			rs.returns[pass.ExprString(res)] = true
+		}
+		rets = append(rets, rs)
+		return true
+	})
+
+	for _, acq := range acquisitions {
+		after := false
+		for _, p := range disposals[acq.expr] {
+			if p > acq.pos {
+				after = true
+				break
+			}
+		}
+		if !after {
+			// Returning the frame itself also transfers ownership.
+			transferred := false
+			for _, r := range rets {
+				if r.pos > acq.pos && r.returns[acq.expr] {
+					transferred = true
+					break
+				}
+			}
+			if !transferred {
+				pass.Reportf(acq.pos, "acquires a reference on %s but no release or hand-off follows", acq.expr)
+			}
+			continue
+		}
+		for _, r := range rets {
+			if r.pos <= acq.pos || r.returns[acq.expr] {
+				continue
+			}
+			covered := false
+			for _, p := range disposals[acq.expr] {
+				if p > acq.pos && p < r.pos {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(r.pos, "returns without releasing or handing off %s's reference (acquired above)", acq.expr)
+			}
+		}
+	}
+}

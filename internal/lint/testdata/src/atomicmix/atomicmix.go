@@ -1,0 +1,33 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	level atomic.Int64
+}
+
+func bumpOK(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func plainRead(c *counters) uint64 {
+	return c.hits // want `field hits is accessed atomically .* but read or written plainly here`
+}
+
+func plainWrite(c *counters) {
+	c.hits = 0 // want `field hits is accessed atomically .* but read or written plainly here`
+}
+
+func methodOK(c *counters) int64 {
+	return c.level.Load()
+}
+
+func addrOK(c *counters) *atomic.Int64 {
+	return &c.level
+}
+
+func copies(c *counters) atomic.Int64 {
+	return c.level // want `atomic-typed field level is copied as a value`
+}

@@ -1,0 +1,10 @@
+// Package badsup holds a malformed suppression (analyzer but no
+// reason), which the driver must report under the "lint" pseudo-analyzer.
+package badsup
+
+import "time"
+
+func sleeps() {
+	//lint:ignore nonblock
+	time.Sleep(time.Millisecond)
+}

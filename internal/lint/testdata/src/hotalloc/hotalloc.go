@@ -1,0 +1,73 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+type point struct{ X, Y int }
+
+type sink struct{ buf []int }
+
+//sysprof:noalloc
+func sprintfs(x int) string {
+	return fmt.Sprintf("%d", x) // want `calls fmt\.Sprintf \(allocates\)`
+}
+
+//sysprof:noalloc
+func concat(a, b string) string {
+	return a + b // want `concatenates strings \(allocates\)`
+}
+
+//sysprof:noalloc
+func constConcatOK() string {
+	return "a" + "b"
+}
+
+//sysprof:noalloc
+func closure() func() {
+	return func() {} // want `creates a closure \(allocates\)`
+}
+
+//sysprof:noalloc
+func makes() []int {
+	return make([]int, 4) // want `calls make \(allocates\)`
+}
+
+//sysprof:noalloc
+func addrLit() *point {
+	return &point{X: 1, Y: 2} // want `takes the address of a composite literal \(allocates\)`
+}
+
+//sysprof:noalloc
+func sliceLit() []int {
+	return []int{1, 2} // want `builds a slice literal \(allocates\)`
+}
+
+//sysprof:noalloc
+func valueLitOK(p point) bool {
+	return p == (point{})
+}
+
+//sysprof:noalloc
+func fieldAppend(s *sink, v int) {
+	s.buf = append(s.buf, v) // want `appends to escaping slice s\.buf \(may allocate\)`
+}
+
+//sysprof:noalloc
+func localAppendOK(buf []int, v int) []int {
+	return append(buf, v)
+}
+
+//sysprof:noalloc
+func toString(b []byte) string {
+	return string(b) // want `converts \[\]byte to string \(allocates\)`
+}
+
+//sysprof:noalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want `converts string to \[\]byte \(allocates\)`
+}
+
+// notAnnotated may allocate freely.
+func notAnnotated() string {
+	return fmt.Sprintf("%d", 7)
+}

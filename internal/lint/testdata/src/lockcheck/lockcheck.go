@@ -1,0 +1,87 @@
+// Package lockcheck is the golden fixture for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func deferOK(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func inlineOK(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func errPathOK(g *guarded, bad bool) int {
+	g.mu.Lock()
+	if bad {
+		g.mu.Unlock()
+		return -1
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func leaks(g *guarded) {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) is never released`
+	g.n++
+}
+
+func leakyReturn(g *guarded, bad bool) int {
+	g.mu.Lock()
+	if bad {
+		return -1 // want `returns with g\.mu still locked`
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func rlockMismatch(r *rwGuarded) int {
+	r.mu.RLock() // want `r\.mu\.RLock\(\) is never released`
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func rlockOK(r *rwGuarded) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+func closureScopeOK(g *guarded) func() {
+	return func() {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+func closureLeaks(g *guarded) func() {
+	return func() {
+		g.mu.Lock() // want `g\.mu\.Lock\(\) is never released`
+		g.n++
+	}
+}
+
+func byValue(g guarded) int { // want `parameter of byValue passes guarded by value`
+	return g.n
+}
+
+func byPointerOK(g *guarded) int {
+	return g.n
+}

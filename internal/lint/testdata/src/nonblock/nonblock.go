@@ -1,0 +1,56 @@
+// Package nonblock is the golden fixture for the nonblock analyzer.
+package nonblock
+
+import (
+	"fmt"
+	"time"
+)
+
+//sysprof:nonblocking
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `sleepy is //sysprof:nonblocking but calls time\.Sleep`
+}
+
+//sysprof:nonblocking
+func prints() {
+	fmt.Println("hi") // want `calls fmt\.Println`
+}
+
+//sysprof:nonblocking
+func sends(ch chan int) {
+	ch <- 1 // want `sends on a channel outside a select with default`
+}
+
+//sysprof:nonblocking
+func trySendOK(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+//sysprof:nonblocking
+func transitive() {
+	helper() // want `transitive is //sysprof:nonblocking but calls helper, which calls time\.Sleep`
+}
+
+func helper() {
+	time.Sleep(time.Millisecond)
+}
+
+//sysprof:nonblocking
+func closureOK() {
+	f := func() { time.Sleep(time.Second) }
+	_ = f
+}
+
+//sysprof:nonblocking
+func suppressedOK() {
+	//lint:ignore nonblock this wait is bounded by construction
+	time.Sleep(time.Millisecond)
+}
+
+// notAnnotated may block freely.
+func notAnnotated() {
+	time.Sleep(time.Millisecond)
+}

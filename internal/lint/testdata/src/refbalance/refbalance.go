@@ -1,0 +1,59 @@
+// Package refbalance is the golden fixture for the refbalance analyzer.
+package refbalance
+
+import "sync/atomic"
+
+type frame struct {
+	refs atomic.Int64
+}
+
+func (f *frame) release() {
+	f.refs.Add(-1)
+}
+
+type queue struct{ ch chan *frame }
+
+func balancedOK(f *frame) {
+	f.refs.Add(1)
+	f.release()
+}
+
+func handOffSendOK(q *queue, f *frame) {
+	f.refs.Add(1)
+	q.ch <- f
+}
+
+func handOffCallOK(f *frame, sink func(*frame)) {
+	f.refs.Add(1)
+	sink(f)
+}
+
+func returnsFrameOK(f *frame) *frame {
+	f.refs.Add(1)
+	return f
+}
+
+func deferReleaseOK(f *frame, bad bool) int {
+	f.refs.Add(1)
+	defer f.release()
+	if bad {
+		return -1
+	}
+	return 1
+}
+
+func leaks(f *frame) {
+	f.refs.Add(1) // want `acquires a reference on f but no release or hand-off follows`
+}
+
+func leakyPath(f *frame, bad bool) {
+	f.refs.Store(3)
+	if bad {
+		return // want `returns without releasing or handing off f's reference`
+	}
+	f.release()
+}
+
+func releaseSideOK(f *frame) {
+	f.refs.Add(-1)
+}

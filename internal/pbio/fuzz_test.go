@@ -1,0 +1,75 @@
+package pbio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRec exercises every length-prefixed wire kind plus fixed-width
+// ones.
+type fuzzRec struct {
+	Name  string
+	Count uint32
+	Data  []byte
+	Score float64
+}
+
+// fuzzSeeds builds well-formed streams (format + record, format +
+// batch) with the real encoder, so the fuzzer starts from inputs that
+// reach deep into the decoder.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	reg := NewRegistry()
+	if _, err := reg.Register("fuzz.rec", fuzzRec{}); err != nil {
+		tb.Fatal(err)
+	}
+	var single bytes.Buffer
+	enc := NewEncoder(&single, reg)
+	if err := enc.Encode(fuzzRec{Name: "alpha", Count: 7, Data: []byte{1, 2, 3}, Score: 0.5}); err != nil {
+		tb.Fatal(err)
+	}
+	var batch bytes.Buffer
+	enc = NewEncoder(&batch, reg)
+	if err := enc.EncodeSlice([]fuzzRec{
+		{Name: "a", Count: 1},
+		{Name: "b", Count: 2, Data: []byte("payload")},
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	return [][]byte{single.Bytes(), batch.Bytes()}
+}
+
+// FuzzDecode feeds arbitrary bytes to the stream decoder. The decoder
+// must never panic and must terminate with an error (or clean EOF) on
+// every input; the hardening under test caps allocation from hostile
+// length prefixes, zero-field formats, and inflated batch counts.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		if len(seed) > 4 {
+			f.Add(seed[:len(seed)/2]) // truncation
+		}
+	}
+	// Handcrafted edges: bad frame kind, format with huge field count,
+	// batch referencing an unknown format.
+	f.Add([]byte{0xEE})
+	f.Add([]byte{frameFormat, 1, 0, 0, 0, 1, 0, 0, 0, 'x', 0xFF, 0xFF})
+	f.Add([]byte{frameBatch, 9, 0, 0, 0, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := NewRegistry()
+		if _, err := reg.Register("fuzz.rec", fuzzRec{}); err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(bytes.NewReader(data), reg)
+		// The stream is finite, so Decode must reach an error (or EOF)
+		// in a bounded number of steps; the queue only drains.
+		for i := 0; i < maxBatchLen+16; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return
+			}
+		}
+		if dec.Pending() == 0 {
+			t.Fatalf("decoder did not terminate on %d-byte input", len(data))
+		}
+	})
+}

@@ -136,6 +136,11 @@ func (r *Registry) Register(name string, sample any) (*Format, error) {
 		f.Fields = append(f.Fields, Field{Name: sf.Name, Kind: k})
 		f.index = append(f.index, i)
 	}
+	// Decoders reject zero-field formats (they would make batch frames
+	// free to expand); refuse to produce one.
+	if len(f.Fields) == 0 {
+		return nil, fmt.Errorf("pbio: register %q: struct has no encodable exported fields", name)
+	}
 	r.nextID++
 	r.byName[name] = f
 	p, err := compilePlan(f, t)
@@ -378,6 +383,16 @@ const (
 	// maxBatchLen bounds the record count of a batch frame for the same
 	// reason.
 	maxBatchLen = 1 << 20
+
+	// maxFormatFields bounds the field count a format-definition frame
+	// may declare; real formats have tens of fields, and an absurd count
+	// multiplies per-record decode cost.
+	maxFormatFields = 4096
+
+	// lengthPrefixChunk caps the allocation made up front for a
+	// length-prefixed field: the prefix is untrusted, so memory grows
+	// only as the stream actually delivers bytes.
+	lengthPrefixChunk = 64 << 10
 )
 
 // Encoder writes self-describing records to a stream.
@@ -627,6 +642,14 @@ func (d *Decoder) readFormat() error {
 	if err != nil {
 		return badEOF(err)
 	}
+	// A zero-field format would let a batch frame expand into up to
+	// maxBatchLen records without consuming any input bytes.
+	if nf == 0 {
+		return fmt.Errorf("%w: format %q declares no fields", ErrBadFrame, name)
+	}
+	if int(nf) > maxFormatFields {
+		return fmt.Errorf("%w: format %q declares %d fields (limit %d)", ErrBadFrame, name, nf, maxFormatFields)
+	}
 	f := &Format{ID: id, Name: name}
 	for i := 0; i < int(nf); i++ {
 		fname, err := d.readString()
@@ -676,7 +699,9 @@ func (d *Decoder) readRecord() (*Record, error) {
 }
 
 func (d *Decoder) readRecordBody(f *Format) (*Record, error) {
-	rec := &Record{Format: f.Name, Fields: make(map[string]any, len(f.Fields))}
+	// The field count is wire-controlled; cap the map's pre-size so the
+	// hint cannot cost more than the bytes backing it.
+	rec := &Record{Format: f.Name, Fields: make(map[string]any, min(len(f.Fields), 64))}
 	var rv reflect.Value
 	if f.goType != nil {
 		rv = reflect.New(f.goType).Elem()
@@ -749,11 +774,7 @@ func (d *Decoder) readValue(k Kind) (any, error) {
 		if n > maxFieldLen {
 			return nil, fmt.Errorf("%w: bytes field length %d exceeds limit", ErrBadFrame, n)
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(d.r, buf); err != nil {
-			return nil, err
-		}
-		return buf, nil
+		return d.readLengthPrefixed(n)
 	}
 	return nil, fmt.Errorf("%w: field kind %d", ErrBadFrame, k)
 }
@@ -794,11 +815,40 @@ func (d *Decoder) readString() (string, error) {
 	if n > maxFieldLen {
 		return "", fmt.Errorf("%w: string length %d exceeds limit", ErrBadFrame, n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(d.r, buf); err != nil {
+	buf, err := d.readLengthPrefixed(n)
+	if err != nil {
 		return "", err
 	}
 	return string(buf), nil
+}
+
+// readLengthPrefixed reads n bytes announced by an untrusted length
+// prefix. Allocation is capped at lengthPrefixChunk up front and grows
+// only as the stream actually delivers data, so a tiny frame claiming a
+// near-maxFieldLen length cannot balloon memory before truncation is
+// detected.
+func (d *Decoder) readLengthPrefixed(n uint32) ([]byte, error) {
+	if n <= lengthPrefixChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	out := make([]byte, 0, lengthPrefixChunk)
+	chunk := make([]byte, lengthPrefixChunk)
+	for remaining := int(n); remaining > 0; {
+		step := remaining
+		if step > len(chunk) {
+			step = len(chunk)
+		}
+		if _, err := io.ReadFull(d.r, chunk[:step]); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk[:step]...)
+		remaining -= step
+	}
+	return out, nil
 }
 
 // badEOF upgrades unexpected mid-frame EOFs so callers can distinguish a

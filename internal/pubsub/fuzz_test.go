@@ -1,0 +1,58 @@
+package pubsub
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadHandshake feeds arbitrary bytes to the subscriber handshake
+// parser (both the versioned and the legacy first-byte-count forms).
+// The parser must never panic, must bound the channel count, and any
+// successfully parsed handshake must round-trip through writeHandshake.
+func FuzzReadHandshake(f *testing.F) {
+	// Modern handshake produced by the real writer.
+	var modern bytes.Buffer
+	if err := writeHandshake(&modern, []string{"sysprof.interactions", "sysprof.aggregates"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(modern.Bytes())
+
+	// Legacy form: first byte is the channel count, then 4-byte
+	// little-endian length-prefixed names.
+	legacy := []byte{1}
+	legacy = binary.LittleEndian.AppendUint32(legacy, 4)
+	legacy = append(legacy, "chan"...)
+	f.Add(legacy)
+
+	// Edges: huge declared channel count, huge string length, empty.
+	f.Add([]byte{handshakeMagic, 1, 0, 0, 0xFF, 0xFF})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hs, err := readHandshake(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(hs.channels) > maxHandshakeChannels {
+			t.Fatalf("parsed %d channels, limit is %d", len(hs.channels), maxHandshakeChannels)
+		}
+		var out bytes.Buffer
+		if err := writeHandshake(&out, hs.channels); err != nil {
+			t.Fatalf("re-encode parsed handshake: %v", err)
+		}
+		hs2, err := readHandshake(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse written handshake: %v", err)
+		}
+		if len(hs2.channels) != len(hs.channels) {
+			t.Fatalf("round trip changed channel count: %d != %d", len(hs2.channels), len(hs.channels))
+		}
+		for i := range hs.channels {
+			if hs2.channels[i] != hs.channels[i] {
+				t.Fatalf("round trip changed channel %d: %q != %q", i, hs2.channels[i], hs.channels[i])
+			}
+		}
+	})
+}

@@ -351,6 +351,8 @@ func (b *Broker) encodeFrame(channelName string, rec any, batch bool) (*frame, e
 // refcount is preset to the fan-out width; each failed admission
 // releases its share immediately, each admitted one is released by the
 // connection's writer after the socket write.
+//
+//sysprof:nonblocking
 func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {
 	f.refs.Store(int64(len(remotes)))
 	recs := uint64(f.recs)
@@ -637,6 +639,7 @@ func (b *Broker) dropConn(rc *remoteConn) {
 		}
 	})
 	b.mu.Unlock()
+	//lint:ignore nonblock Close only marks the fd and returns (no linger configured); slow-subscriber eviction must sever the socket from the publish path
 	rc.conn.Close()
 	for _, f := range rc.q.close() {
 		f.release()
@@ -827,9 +830,29 @@ func readString(r io.Reader) (string, error) {
 	if n > 1<<20 {
 		return "", fmt.Errorf("pubsub: string length %d exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	// The length came off the wire: allocate in bounded chunks so a
+	// handshake claiming a megabyte name costs memory only as the peer
+	// actually sends it.
+	const chunk = 64 << 10
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
 	}
-	return string(buf), nil
+	out := make([]byte, 0, chunk)
+	var tmp [chunk]byte
+	for remaining := int(n); remaining > 0; {
+		step := remaining
+		if step > len(tmp) {
+			step = len(tmp)
+		}
+		if _, err := io.ReadFull(r, tmp[:step]); err != nil {
+			return "", err
+		}
+		out = append(out, tmp[:step]...)
+		remaining -= step
+	}
+	return string(out), nil
 }

@@ -112,6 +112,9 @@ var framePool = sync.Pool{New: func() any { return new(frame) }}
 
 // release drops one reference; the last one returns the frame to the
 // pool.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
 func (f *frame) release() {
 	if f.refs.Add(-1) == 0 {
 		f.buf = f.buf[:0]
@@ -154,6 +157,11 @@ type enqResult struct {
 	blockedNanos int64
 }
 
+// enqueue admits f to the ring, applying the overflow policy when full.
+// Under DropOldest it never waits; BlockWithDeadline bounds the wait by
+// the timeout, so the publish path cannot stall indefinitely.
+//
+//sysprof:nonblocking
 func (q *sendQueue) enqueue(f *frame, policy OverflowPolicy, timeout time.Duration) enqResult {
 	var res enqResult
 	q.mu.Lock()
@@ -171,6 +179,7 @@ func (q *sendQueue) enqueue(f *frame, policy OverflowPolicy, timeout time.Durati
 				q.mu.Unlock()
 			})
 			for q.n == len(q.ring) && !q.closed && time.Since(start) < timeout {
+				//lint:ignore nonblock BlockWithDeadline is an explicitly bounded wait: the AfterFunc broadcast wakes this within the timeout
 				q.notFull.Wait()
 			}
 			timer.Stop()
