@@ -9,10 +9,25 @@
 // periodically appends the history to the dump file and truncates it
 // from memory (dump-and-truncate), so nothing is lost to the caps.
 //
+// Federation: a single gpad is the aggregation point for every monitored
+// node; to scale past one process, run N shard analyzers plus a frontend.
+//
+//	-shard i/N     subscribe to flow-hash shard i of N: the broker routes
+//	               each record by its canonical flow hash, so both
+//	               endpoints of an interaction reach the same shard and
+//	               correlation stays process-local.
+//	-frontend a,b  run only the merge frontend over the listed shard
+//	               query endpoints (no subscriptions); -query serves the
+//	               merged federation query protocol. A dead shard
+//	               degrades queries to partial results with an explicit
+//	               staleness marker instead of failing them.
+//
 // Usage:
 //
 //	gpad [-subscribe host:port,host:port] [-interval 2s] [-dump file]
 //	     [-max-correlated n] [-max-correlated-age d] [-dump-interval d]
+//	     [-shard i/N] [-query addr]
+//	gpad -frontend shard0:port,shard1:port [-query addr] [-interval 2s]
 package main
 
 import (
@@ -22,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -41,6 +57,8 @@ func main() {
 	maxCorrelated := flag.Int("max-correlated", 1<<18, "cap on in-memory correlated interactions (0 = unbounded)")
 	maxCorrelatedAge := flag.Duration("max-correlated-age", 0, "evict correlated interactions older than this (0 = no age bound)")
 	dumpInterval := flag.Duration("dump-interval", 0, "with -dump: periodically dump-and-truncate the correlated history (0 = only on exit)")
+	shard := flag.String("shard", "", "subscribe as flow-hash shard i/N of a federated gpad tier (e.g. 0/4)")
+	frontend := flag.String("frontend", "", "run the federation merge frontend over these comma-separated shard query endpoints")
 	flag.Parse()
 	opts := options{
 		addrs:            strings.Split(*subscribe, ","),
@@ -51,7 +69,21 @@ func main() {
 		maxCorrelatedAge: *maxCorrelatedAge,
 		dumpInterval:     *dumpInterval,
 	}
-	if err := run(opts); err != nil {
+	var err error
+	if opts.shardIndex, opts.shardCount, err = parseShard(*shard); err != nil {
+		fmt.Fprintln(os.Stderr, "gpad:", err)
+		os.Exit(2)
+	}
+	if *frontend != "" {
+		if *shard != "" {
+			fmt.Fprintln(os.Stderr, "gpad: -frontend and -shard are mutually exclusive")
+			os.Exit(2)
+		}
+		err = runFrontend(splitAddrs(*frontend), opts)
+	} else {
+		err = run(opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpad:", err)
 		os.Exit(1)
 	}
@@ -65,6 +97,95 @@ type options struct {
 	maxCorrelated    int
 	maxCorrelatedAge time.Duration
 	dumpInterval     time.Duration
+	// shardCount > 0 marks this process as shard shardIndex/shardCount of
+	// a federated tier: subscriptions carry the selector so the broker
+	// only sends this shard's flows.
+	shardIndex int
+	shardCount int
+}
+
+// parseShard parses "-shard i/N" ("" = unsharded).
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/N, e.g. 0/4)", s)
+	}
+	index, err = strconv.Atoi(i)
+	if err == nil {
+		count, err = strconv.Atoi(n)
+	}
+	if err != nil || count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/N with 0 <= i < N)", s)
+	}
+	return index, count, nil
+}
+
+// splitAddrs splits a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runFrontend runs the federation merge frontend: no subscriptions, just
+// the merged query protocol plus periodic merged summaries.
+func runFrontend(endpoints []string, opts options) error {
+	fe, err := gpa.NewFrontend(endpoints)
+	if err != nil {
+		return err
+	}
+	if opts.queryAddr != "" {
+		ql, err := net.Listen("tcp", opts.queryAddr)
+		if err != nil {
+			return fmt.Errorf("query listen: %w", err)
+		}
+		defer ql.Close()
+		go fe.Serve(ql)
+		log.Printf("federation query protocol on %s (%d shards)", opts.queryAddr, len(endpoints))
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(opts.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			sum, st, err := fe.StatsSnapshot()
+			if err != nil {
+				log.Printf("federation: %v", err)
+				continue
+			}
+			marker := ""
+			if st.Partial {
+				marker = fmt.Sprintf(" [partial: %d/%d shards]", st.Shards-len(st.Dead), st.Shards)
+			}
+			fmt.Printf("federation: ingested=%d correlated=%d pending=%d%s\n",
+				sum.Ingested, sum.Correlated, sum.Pending, marker)
+		case <-sig:
+			if opts.dumpPath != "" {
+				f, err := os.OpenFile(opts.dumpPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return err
+				}
+				st, err := fe.Dump(f)
+				f.Close()
+				if err != nil {
+					return err
+				}
+				if st.Partial {
+					log.Printf("dump is partial: shards %v did not answer", st.Dead)
+				}
+			}
+			return nil
+		}
+	}
 }
 
 func run(opts options) error {
@@ -95,11 +216,22 @@ func run(opts options) error {
 		if addr == "" {
 			continue
 		}
-		sub, err := pubsub.Dial(addr, reg, dissem.ChannelInteractions, dissem.ChannelAggregates)
+		var sub *pubsub.Subscriber
+		var err error
+		if opts.shardCount > 0 {
+			sub, err = pubsub.DialSharded(addr, reg, opts.shardIndex, opts.shardCount,
+				dissem.ChannelInteractions, dissem.ChannelAggregates)
+		} else {
+			sub, err = pubsub.Dial(addr, reg, dissem.ChannelInteractions, dissem.ChannelAggregates)
+		}
 		if err != nil {
 			return fmt.Errorf("subscribe %s: %w", addr, err)
 		}
-		log.Printf("subscribed to %s", addr)
+		if opts.shardCount > 0 {
+			log.Printf("subscribed to %s as shard %d/%d", addr, opts.shardIndex, opts.shardCount)
+		} else {
+			log.Printf("subscribed to %s", addr)
+		}
 		wg.Add(1)
 		go func(addr string, sub *pubsub.Subscriber) {
 			defer wg.Done()

@@ -15,9 +15,18 @@
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
 //
+// Federation commands (when a federated gpad tier is attached):
+//
+//	federation status                     shard liveness + endpoints (JSON)
+//	federation endpoints                  current shard endpoint list
+//	federation set-endpoints <a,b,...>    replace the shard endpoint list
+//	federation retention <n>              per-shard correlated-history cap
+//	federation clockbound <node> <dur>    broadcast a node clock-error bound
+//
 // Example:
 //
 //	sysprofctl granularity webserver interactions class
+//	sysprofctl federation retention 100000
 //	sysprofctl install-cpa webserver big net -- 'static int n = 0; if (ev.bytes > 4000) { n++; emit("big", n); } return n;'
 package main
 

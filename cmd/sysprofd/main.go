@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"sysprof/internal/core"
 	"sysprof/internal/dissem"
 	"sysprof/internal/ecode"
+	"sysprof/internal/gpa"
 	"sysprof/internal/pbio"
 	"sysprof/internal/procfs"
 	"sysprof/internal/pubsub"
@@ -52,6 +54,7 @@ func main() {
 	psQueue := flag.Int("pubsub-queue", 256, "per-subscriber send-queue depth (frames)")
 	psOverflow := flag.String("pubsub-overflow", "drop", "send-queue overflow policy: drop (drop-oldest) or block (block-with-deadline)")
 	psEvict := flag.Int("pubsub-evict", 64, "evict a subscriber after this many consecutive overflows (0 = never)")
+	fedEndpoints := flag.String("federation", "", "comma-separated gpad shard query endpoints; attaches a federation frontend to the controller (sysprofctl federation ...)")
 	flag.Parse()
 	psPolicy, err := pubsub.ParseOverflowPolicy(*psOverflow)
 	if err != nil {
@@ -63,13 +66,13 @@ func main() {
 		pubsub.WithOverflowPolicy(psPolicy),
 		pubsub.WithEvictAfterOverflows(*psEvict),
 	}
-	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology, brokerOpts); err != nil {
+	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology, *fedEndpoints, brokerOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "sysprofd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology string, brokerOpts []pubsub.Option) error {
+func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology, fedEndpoints string, brokerOpts []pubsub.Option) error {
 	eng := sim.NewEngine()
 	network := simnet.NewNetwork(eng)
 	server, err := buildTopology(eng, network, topology)
@@ -82,6 +85,9 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 		return err
 	}
 	broker := pubsub.NewBroker(reg, brokerOpts...)
+	// Route records to sharded subscribers (federated gpad tier) by flow
+	// hash; unsharded subscribers still see the full stream.
+	broker.SetShardKeyFunc(dissem.ShardKey)
 	defer broker.Close()
 	fs := procfs.New()
 
@@ -120,6 +126,22 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 	}
 	if err := ctl.AttachBroker(server.Name(), broker); err != nil {
 		return err
+	}
+	if fedEndpoints != "" {
+		var eps []string
+		for _, a := range strings.Split(fedEndpoints, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				eps = append(eps, a)
+			}
+		}
+		fe, err := gpa.NewFrontend(eps)
+		if err != nil {
+			return err
+		}
+		if err := ctl.AttachFederation(fe); err != nil {
+			return err
+		}
+		log.Printf("federation frontend attached over %d shard endpoints", len(eps))
 	}
 
 	if tracePath != "" {

@@ -52,6 +52,21 @@ type FanOut interface {
 	SetOverflowPolicyName(name string) error
 }
 
+// Federation is the federated-GPA frontend surface the controller
+// manages: the shard endpoint list and the frontend's own query/admin
+// command set (retention, clock bounds, liveness). It is an interface
+// (satisfied by *gpa.Frontend) so the controller does not depend on the
+// gpa package.
+type Federation interface {
+	// Endpoints returns the shard query endpoints (index i = shard i/N).
+	Endpoints() []string
+	// SetEndpoints replaces the shard endpoint list.
+	SetEndpoints(endpoints []string) error
+	// Execute runs one frontend command ("federation", "retention <n>",
+	// "clockbound <node> <duration>", ...).
+	Execute(line string) (string, error)
+}
+
 // target is one managed node.
 type target struct {
 	hub    *kprof.Hub
@@ -66,6 +81,9 @@ type Controller struct {
 	mu      sync.Mutex
 	targets map[string]*target
 	emit    core.EmitFunc // where installed CPAs publish
+	// federation is the optional federated-GPA frontend (system-wide, not
+	// per node).
+	federation Federation
 }
 
 // New returns an empty controller. emit receives values published by
@@ -125,6 +143,31 @@ func (c *Controller) AttachBroker(node string, b FanOut) error {
 	}
 	t.broker = b
 	return nil
+}
+
+// AttachFederation registers the federated-GPA frontend so its shard
+// topology and retention can be driven through the management protocol.
+func (c *Controller) AttachFederation(f Federation) error {
+	if f == nil {
+		return errors.New("controller: nil federation")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.federation != nil {
+		return errors.New("controller: federation already attached")
+	}
+	c.federation = f
+	return nil
+}
+
+func (c *Controller) fed() (Federation, error) {
+	c.mu.Lock()
+	f := c.federation
+	c.mu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("%w: no federation attached", ErrUnknownTarget)
+	}
+	return f, nil
 }
 
 func (c *Controller) broker(node string) (FanOut, error) {
@@ -378,6 +421,19 @@ func maskFromSpec(spec string) (kprof.Mask, error) {
 //	pubsubpolicy <node> drop|block     fan-out overflow policy
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
+//
+// Federation commands (require AttachFederation):
+//
+//	federation status                    shard liveness + endpoints (JSON)
+//	federation endpoints                 current shard endpoint list
+//	federation set-endpoints <a,b,...>   replace the shard endpoint list
+//	federation retention <n>             per-shard correlated-history cap
+//	federation clockbound <node> <dur>   broadcast a node clock-error bound
+//
+// All numeric arguments are range-checked: sizes and depths must fit the
+// documented bounds, PIDs must fit int32, durations must be positive.
+// Out-of-range input is rejected with an error rather than truncated
+// into a different — valid-looking — value.
 func (c *Controller) Execute(line string) (string, error) {
 	line = strings.TrimSpace(line)
 	fields := strings.Fields(line)
@@ -417,18 +473,20 @@ func (c *Controller) Execute(line string) (string, error) {
 		if fields[3] == "off" {
 			return "ok", c.SetPIDFilter(fields[1], fields[2], 0)
 		}
-		pid, err := strconv.Atoi(fields[3])
+		// ParseInt with bitSize 31: a pid that does not fit int32 is an
+		// input error, not a filter on whatever it wraps to.
+		pid, err := strconv.ParseInt(fields[3], 10, 31)
 		if err != nil || pid <= 0 {
-			return "", fmt.Errorf("controller: bad pid %q", fields[3])
+			return "", fmt.Errorf("controller: bad pid %q (want 1..2147483647 or off)", fields[3])
 		}
 		return "ok", c.SetPIDFilter(fields[1], fields[2], int32(pid))
 	case "window", "bufcap":
 		if len(fields) != 4 {
 			return "", fmt.Errorf("controller: usage: %s <node> <lpa> <n>", fields[0])
 		}
-		n, err := strconv.Atoi(fields[3])
-		if err != nil || n < 1 {
-			return "", fmt.Errorf("controller: bad size %q", fields[3])
+		n, err := parseSize(fields[3])
+		if err != nil {
+			return "", err
 		}
 		if fields[0] == "window" {
 			return "ok", c.SetWindowSize(fields[1], fields[2], n)
@@ -439,17 +497,17 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "", errors.New("controller: usage: flushinterval <node> <duration>")
 		}
 		iv, err := time.ParseDuration(fields[2])
-		if err != nil {
-			return "", fmt.Errorf("controller: bad duration %q", fields[2])
+		if err != nil || iv <= 0 {
+			return "", fmt.Errorf("controller: bad duration %q (want positive, e.g. 250ms)", fields[2])
 		}
 		return "ok", c.SetFlushInterval(fields[1], iv)
 	case "pubsubqueue":
 		if len(fields) != 3 {
 			return "", errors.New("controller: usage: pubsubqueue <node> <depth>")
 		}
-		depth, err := strconv.Atoi(fields[2])
-		if err != nil || depth < 1 {
-			return "", fmt.Errorf("controller: bad queue depth %q", fields[2])
+		depth, err := parseSize(fields[2])
+		if err != nil {
+			return "", err
 		}
 		return "ok", c.SetPubSubQueueDepth(fields[1], depth)
 	case "pubsubpolicy":
@@ -476,8 +534,67 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "", errors.New("controller: usage: remove-cpa <node> <name>")
 		}
 		return "ok", c.RemoveCPA(fields[1], fields[2])
+	case "federation":
+		f, err := c.fed()
+		if err != nil {
+			return "", err
+		}
+		if len(fields) < 2 {
+			return "", errors.New("controller: usage: federation status|endpoints|set-endpoints|retention|clockbound ...")
+		}
+		switch fields[1] {
+		case "status":
+			return f.Execute("federation")
+		case "endpoints":
+			return strings.Join(f.Endpoints(), ","), nil
+		case "set-endpoints":
+			if len(fields) != 3 {
+				return "", errors.New("controller: usage: federation set-endpoints <addr,addr,...>")
+			}
+			var eps []string
+			for _, a := range strings.Split(fields[2], ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					eps = append(eps, a)
+				}
+			}
+			if err := f.SetEndpoints(eps); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("ok shards=%d", len(eps)), nil
+		case "retention":
+			if len(fields) != 3 {
+				return "", errors.New("controller: usage: federation retention <max-correlated>")
+			}
+			// Validated here as well as in the shards: reject before
+			// broadcasting rather than failing N times remotely.
+			n, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil || n < 0 {
+				return "", fmt.Errorf("controller: bad retention %q (want integer >= 0)", fields[2])
+			}
+			return f.Execute("retention " + strconv.FormatInt(n, 10))
+		case "clockbound":
+			if len(fields) != 4 {
+				return "", errors.New("controller: usage: federation clockbound <node> <duration>")
+			}
+			return f.Execute("clockbound " + fields[2] + " " + fields[3])
+		}
+		return "", fmt.Errorf("controller: unknown federation command %q", fields[1])
 	}
 	return "", fmt.Errorf("controller: unknown command %q", fields[0])
+}
+
+// maxSize bounds resize arguments (windows, buffer capacities, queue
+// depths). A stray extra digit in a command should be rejected, not
+// allocate gigabytes on the monitored node.
+const maxSize = 1 << 22
+
+// parseSize parses a positive size/depth argument with the maxSize bound.
+func parseSize(s string) (int, error) {
+	n, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || n < 1 || n > maxSize {
+		return 0, fmt.Errorf("controller: bad size %q (want 1..%d)", s, maxSize)
+	}
+	return int(n), nil
 }
 
 // ServeConn handles one management connection: a command per line, a

@@ -1,0 +1,65 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzExecute feeds arbitrary command lines to the management-protocol
+// parser. The controller is empty (no registered nodes, no federation),
+// so any command that parses still fails target lookup before touching
+// live components — which means the fuzzer exercises every tokenizing and
+// range-checking path with no side effects to corrupt.
+//
+// Invariants: the parser never panics, and on an empty controller the
+// only line that can succeed is "status" (everything else must fail
+// validation or target lookup).
+func FuzzExecute(f *testing.F) {
+	seeds := []string{
+		"status",
+		"granularity web interactions class",
+		"mask web interactions sched,net",
+		"window web interactions 128",
+		"bufcap web interactions 4096",
+		"pidfilter web interactions 1234",
+		"pidfilter web interactions off",
+		"flushinterval web 250ms",
+		"pubsubqueue web 512",
+		"pubsubpolicy web drop",
+		"install-cpa web big net -- static int n = 0; return n;",
+		"remove-cpa web big",
+		"federation status",
+		"federation endpoints",
+		"federation set-endpoints 127.0.0.1:9001,127.0.0.1:9002",
+		"federation retention 100000",
+		"federation clockbound 2 600ms",
+		// Range-check edges: overflow wraps, negatives, absurd sizes.
+		"pidfilter web interactions 4294967296",
+		"pidfilter web interactions -1",
+		"window web interactions 999999999999",
+		"pubsubqueue web 0",
+		"flushinterval web -5s",
+		"federation retention -1",
+		"",
+		"   ",
+		"window web interactions " + strings.Repeat("9", 400),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		c := New(nil)
+		reply, err := c.Execute(line)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 || fields[0] != "status" {
+			t.Fatalf("empty controller accepted %q (reply %q)", line, reply)
+		}
+		if !utf8.ValidString(reply) {
+			t.Fatalf("reply to %q is not valid UTF-8", line)
+		}
+	})
+}

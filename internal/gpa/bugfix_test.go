@@ -1,0 +1,205 @@
+package gpa
+
+import (
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/ntpclock"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// TestPendingOverflowEvictsInPlace is the regression test for the
+// pending-overflow aliasing bug: evicting the oldest pending record with
+// peers[1:] kept the dropped records alive in the backing array (their
+// string fields stayed reachable) and forced the array through repeated
+// grow-copy cycles, so a flow held at its MaxPending cap reallocated on
+// every eviction. The fix shift-copies within the array: the backing
+// array must stop growing once it reaches MaxPending, the vacated tail
+// slots must be zeroed, and each eviction must be counted exactly once.
+func TestPendingOverflowEvictsInPlace(t *testing.T) {
+	const maxPending = 8
+	g, _ := newGPA(Config{MaxPending: maxPending, Shards: 1})
+
+	// Same-node records never correlate, so every ingest past the cap
+	// evicts the oldest.
+	const total = 10 * maxPending
+	for i := 0; i < total; i++ {
+		g.Ingest(core.Record{
+			ID: uint64(i), Node: 1, Flow: flow, Class: "port:80",
+			Start: time.Duration(i) * time.Millisecond,
+		})
+	}
+
+	key := flow.Canonical()
+	s := g.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peers := s.pending[key]
+	if len(peers) != maxPending {
+		t.Fatalf("pending len = %d, want %d", len(peers), maxPending)
+	}
+	// The aliasing bug reveals itself in the backing array: peers[1:]
+	// narrows the view each eviction until append must reallocate, so the
+	// array churns and its capacity overshoots the cap. In-place eviction
+	// reuses the array at its settled size forever.
+	if cap(peers) > maxPending {
+		t.Fatalf("pending backing array cap = %d, want <= %d (evictions reallocating)",
+			cap(peers), maxPending)
+	}
+	// The newest maxPending records survived, oldest first.
+	for i, p := range peers {
+		if want := uint64(total - maxPending + i); p.ID != want {
+			t.Fatalf("peers[%d].ID = %d, want %d", i, p.ID, want)
+		}
+	}
+	// Vacated slots between len and cap hold zero records, not pinned
+	// copies of evicted ones.
+	full := peers[:cap(peers)]
+	for i := len(peers); i < cap(peers); i++ {
+		if full[i] != (core.Record{}) {
+			t.Fatalf("slot %d still pins evicted record %+v", i, full[i])
+		}
+	}
+	if got, want := s.stats.Uncorrelated, uint64(total-maxPending); got != want {
+		t.Fatalf("Uncorrelated = %d, want %d (each eviction counted once)", got, want)
+	}
+}
+
+// TestClockErrorBoundWidensPairWindow: a pair of records whose start
+// timestamps differ by more than the base correlation window must still
+// correlate once the skewed node's clock-error bound is registered, and
+// must stop correlating when the bound is cleared.
+func TestClockErrorBoundWidensPairWindow(t *testing.T) {
+	const offset = 600 * time.Millisecond
+	mk := func(id uint64, node simnet.NodeID, start time.Duration) core.Record {
+		return core.Record{
+			ID: id, Node: node, Flow: flow, Class: "port:80",
+			Start: start, End: start + 5*time.Millisecond,
+		}
+	}
+
+	// Base window 100 ms, server clock 600 ms fast: no correlation.
+	g, _ := newGPA(Config{CorrelationWindow: 100 * time.Millisecond})
+	g.Ingest(mk(1, 1, 0))
+	g.Ingest(mk(2, 2, offset))
+	if n := len(g.Correlated()); n != 0 {
+		t.Fatalf("correlated %d with 600ms offset and 100ms window, want 0", n)
+	}
+
+	// Same records with the server's error bound registered: the pair
+	// window widens to 100ms + 600ms and they correlate.
+	g2, _ := newGPA(Config{CorrelationWindow: 100 * time.Millisecond})
+	g2.SetClockErrorBound(2, offset)
+	if got := g2.ClockErrorBound(2); got != offset {
+		t.Fatalf("ClockErrorBound = %v, want %v", got, offset)
+	}
+	g2.Ingest(mk(1, 1, 0))
+	g2.Ingest(mk(2, 2, offset))
+	if n := len(g2.Correlated()); n != 1 {
+		t.Fatalf("correlated %d with registered bound, want 1", n)
+	}
+
+	// Clearing the bound restores the tight window.
+	g3, _ := newGPA(Config{CorrelationWindow: 100 * time.Millisecond})
+	g3.SetClockErrorBound(2, offset)
+	g3.SetClockErrorBound(2, 0)
+	if got := g3.ClockErrorBound(2); got != 0 {
+		t.Fatalf("cleared ClockErrorBound = %v, want 0", got)
+	}
+	g3.Ingest(mk(1, 1, 0))
+	g3.Ingest(mk(2, 2, offset))
+	if n := len(g3.Correlated()); n != 0 {
+		t.Fatalf("correlated %d after clearing bound, want 0", n)
+	}
+}
+
+// TestMeasuredClockBoundEnablesCorrelation injects a 600 ms clock offset
+// on the server and shows the full remediation path for a node whose
+// clock cannot be stepped: an NTP Measure exchange observes the offset
+// without correcting it, the measured bound is registered with the GPA,
+// and interactions that previously fell outside the correlation window
+// correlate again.
+func TestMeasuredClockBoundEnablesCorrelation(t *testing.T) {
+	run := func(registerBound bool) (correlated int) {
+		eng := sim.NewEngine()
+		network := simnet.NewNetwork(eng)
+		server, err := simos.NewNode(eng, network, "server", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.Connect(server.ID(), client.ID()); err != nil {
+			t.Fatal(err)
+		}
+
+		// The server's clock is 600 ms fast; the client is the reference.
+		// Sync is never applied — only measured.
+		refClock := ntpclock.New(eng, 0, 0)
+		srvClock := ntpclock.New(eng, 600*time.Millisecond, 50e-6)
+		server.SetClock(srvClock.Now)
+		client.SetClock(refClock.Now)
+
+		g := New(Config{CorrelationWindow: 10 * time.Millisecond}, eng.Now)
+		if registerBound {
+			syncer := ntpclock.NewSyncer(srvClock, refClock, sim.NewRNG(4),
+				200*time.Microsecond, 50*time.Microsecond)
+			offset, bound := syncer.Measure(8)
+			// The measurement must actually see the injected offset.
+			if absDur(absDur(offset)-600*time.Millisecond) > 5*time.Millisecond {
+				t.Fatalf("Measure offset = %v, want ~600ms", offset)
+			}
+			if bound != syncer.ErrorBound() {
+				t.Fatalf("ErrorBound = %v, want %v", syncer.ErrorBound(), bound)
+			}
+			g.SetClockErrorBound(server.ID(), bound)
+		}
+		for _, n := range []*simos.Node{server, client} {
+			core.NewLPA(n.Hub(), core.Config{
+				OnComplete: func(r *core.Record) { g.Ingest(*r) },
+			})
+		}
+
+		ssock := server.MustBind(80)
+		csock := client.MustBind(7000)
+		server.Spawn("httpd", func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(ssock, func(m *simos.Message) {
+					p.Compute(time.Millisecond, func() {
+						p.Reply(ssock, m, 1000, nil, loop)
+					})
+				})
+			}
+			loop()
+		})
+		client.Spawn("curl", func(p *simos.Process) {
+			var loop func(i int)
+			loop = func(i int) {
+				if i == 0 {
+					return
+				}
+				p.Send(csock, ssock.Addr(), 200, nil, func() {
+					p.Recv(csock, func(m *simos.Message) { loop(i - 1) })
+				})
+			}
+			loop(6)
+		})
+		if err := eng.RunUntil(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return len(g.Correlated())
+	}
+
+	if n := run(false); n != 0 {
+		t.Fatalf("600ms offset inside a 10ms window correlated %d interactions, want 0", n)
+	}
+	if n := run(true); n < 4 {
+		t.Fatalf("with measured clock bound correlated %d interactions, want >= 4", n)
+	}
+}

@@ -1,0 +1,633 @@
+package gpa
+
+// Federated GPA tier. A single analyzer process is the aggregation point
+// for every monitored node; past a few hundred nodes its ingest rate and
+// correlated-history memory become the system bottleneck. The federated
+// tier splits the analyzer across N gpad processes, each running the same
+// GPA but subscribed to shard i/N of the record stream (the pub-sub
+// broker routes by simnet.FlowKey.ShardHash, the same hash that picks the
+// in-process lock stripe, so both endpoints of an interaction always
+// reach the same process and correlation never crosses a process
+// boundary). The Frontend here is the merge component: it fans each
+// query out to the shard processes over their existing query/TCP
+// endpoints and merges the decoded JSON replies — correlated streams in
+// global completion order, class aggregates by Aggregate.Merge, loads by
+// interaction-weighted means, counters by summation.
+//
+// Failure semantics: a dead shard degrades the answer, it does not
+// destroy it. Every merged result carries a FederationStatus naming the
+// shards that answered and the shards that did not; textual replies to a
+// partial query are suffixed with an explicit staleness marker instead of
+// returning an error.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/simnet"
+)
+
+// DialFunc opens a connection to one shard's query endpoint. The default
+// uses TCP; tests substitute net.Pipe wiring to in-process analyzers.
+type DialFunc func(addr string) (net.Conn, error)
+
+// FederationStatus reports which shards contributed to a merged result.
+type FederationStatus struct {
+	// Shards is the configured shard count (len of the endpoint list).
+	Shards int `json:"shards"`
+	// Dead lists the shard indexes that failed to answer this query.
+	Dead []int `json:"dead,omitempty"`
+	// Partial is true when at least one shard is missing from the merge —
+	// the explicit staleness marker for degraded results.
+	Partial bool `json:"partial"`
+	// Errors holds one message per dead shard, aligned with Dead.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// marker renders the staleness suffix appended to textual replies.
+func (st FederationStatus) marker() string {
+	if !st.Partial {
+		return ""
+	}
+	parts := make([]string, len(st.Dead))
+	for i, idx := range st.Dead {
+		parts[i] = fmt.Sprintf("%d (%s)", idx, st.Errors[i])
+	}
+	return fmt.Sprintf("\n! partial: %d/%d shards answered; dead: %s",
+		st.Shards-len(st.Dead), st.Shards, strings.Join(parts, ", "))
+}
+
+// Frontend merges query results from a set of shard analyzer processes.
+// It is safe for concurrent use.
+type Frontend struct {
+	dial    DialFunc
+	timeout time.Duration
+
+	mu        sync.Mutex
+	endpoints []string
+}
+
+// FrontendOption configures a Frontend.
+type FrontendOption func(*Frontend)
+
+// WithDialFunc substitutes the shard connection factory (tests).
+func WithDialFunc(d DialFunc) FrontendOption {
+	return func(f *Frontend) { f.dial = d }
+}
+
+// WithQueryTimeout bounds each per-shard query round trip.
+func WithQueryTimeout(d time.Duration) FrontendOption {
+	return func(f *Frontend) {
+		if d > 0 {
+			f.timeout = d
+		}
+	}
+}
+
+// NewFrontend builds a frontend over the given shard query endpoints;
+// endpoint i serves flow-hash shard i of len(endpoints).
+func NewFrontend(endpoints []string, opts ...FrontendOption) (*Frontend, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("gpa: federation frontend needs at least one shard endpoint")
+	}
+	f := &Frontend{
+		endpoints: append([]string(nil), endpoints...),
+		timeout:   5 * time.Second,
+	}
+	f.dial = func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, f.timeout)
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f, nil
+}
+
+// Endpoints returns the current shard endpoint list.
+func (f *Frontend) Endpoints() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.endpoints...)
+}
+
+// SetEndpoints replaces the shard endpoint list (the controller's
+// federation reconfiguration knob). The shard count may change only if
+// the record routing layer is re-pointed accordingly; the frontend just
+// queries whatever it is given.
+func (f *Frontend) SetEndpoints(endpoints []string) error {
+	if len(endpoints) == 0 {
+		return errors.New("gpa: federation needs at least one shard endpoint")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.endpoints = append([]string(nil), endpoints...)
+	return nil
+}
+
+// shardReply is one shard's answer to a fanned-out command.
+type shardReply struct {
+	index   int
+	payload string
+	err     error
+}
+
+// queryShard runs one command against one shard endpoint and returns the
+// reply payload ("+payload ... ." framing, as served by GPA.Serve).
+func (f *Frontend) queryShard(addr, cmd string) (string, error) {
+	conn, err := f.dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(f.timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return "", err
+	}
+	return readReply(conn)
+}
+
+// readReply parses one "+payload\n...\n.\n" or "-error\n" framed reply.
+func readReply(r io.Reader) (string, error) {
+	sc := newLineScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	first := sc.Text()
+	switch {
+	case strings.HasPrefix(first, "-"):
+		return "", errors.New(strings.TrimPrefix(first, "-"))
+	case strings.HasPrefix(first, "+"):
+		var sb strings.Builder
+		sb.WriteString(strings.TrimPrefix(first, "+"))
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "." {
+				return sb.String(), nil
+			}
+			sb.WriteByte('\n')
+			sb.WriteString(line)
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	return "", fmt.Errorf("gpa: malformed reply line %q", first)
+}
+
+// fanOut runs cmd against every shard concurrently and collects replies
+// in shard order.
+func (f *Frontend) fanOut(cmd string) ([]shardReply, FederationStatus) {
+	endpoints := f.Endpoints()
+	replies := make([]shardReply, len(endpoints))
+	var wg sync.WaitGroup
+	for i, addr := range endpoints {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			payload, err := f.queryShard(addr, cmd)
+			replies[i] = shardReply{index: i, payload: payload, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	st := FederationStatus{Shards: len(endpoints)}
+	for _, r := range replies {
+		if r.err != nil {
+			st.Dead = append(st.Dead, r.index)
+			st.Errors = append(st.Errors, r.err.Error())
+		}
+	}
+	st.Partial = len(st.Dead) > 0
+	return replies, st
+}
+
+// errAllShardsDead distinguishes "no data" from "no shards answered": a
+// fully dead federation is an error, a partially dead one is a partial
+// result.
+var errAllShardsDead = errors.New("gpa: no federation shard answered")
+
+func (st FederationStatus) allDead() bool { return len(st.Dead) == st.Shards }
+
+// fanOutJSON fans cmd out and decodes each live shard's JSON payload into
+// a fresh T.
+func fanOutJSON[T any](f *Frontend, cmd string) ([]T, FederationStatus, error) {
+	replies, st := f.fanOut(cmd)
+	if st.allDead() {
+		return nil, st, fmt.Errorf("%w: %s", errAllShardsDead, strings.Join(st.Errors, "; "))
+	}
+	out := make([]T, 0, len(replies))
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal([]byte(r.payload), &v); err != nil {
+			return nil, st, fmt.Errorf("gpa: shard %d reply: %w", r.index, err)
+		}
+		out = append(out, v)
+	}
+	return out, st, nil
+}
+
+// StatsSnapshot merges analyzer counters across shards (field-wise sums).
+func (f *Frontend) StatsSnapshot() (StatsReply, FederationStatus, error) {
+	parts, st, err := fanOutJSON[StatsReply](f, "jstats")
+	if err != nil {
+		return StatsReply{}, st, err
+	}
+	var sum StatsReply
+	for _, p := range parts {
+		sum.Ingested += p.Ingested
+		sum.Correlated += p.Correlated
+		sum.Uncorrelated += p.Uncorrelated
+		sum.StalePruned += p.StalePruned
+		sum.CorrelatedEvicted += p.CorrelatedEvicted
+		sum.Dumps += p.Dumps
+		sum.Pending += p.Pending
+	}
+	return sum, st, nil
+}
+
+// Nodes merges the reporting-node sets across shards (sorted union).
+func (f *Frontend) Nodes() ([]simnet.NodeID, FederationStatus, error) {
+	parts, st, err := fanOutJSON[[]simnet.NodeID](f, "jnodes")
+	if err != nil {
+		return nil, st, err
+	}
+	seen := make(map[simnet.NodeID]struct{})
+	for _, p := range parts {
+		for _, n := range p {
+			seen[n] = struct{}{}
+		}
+	}
+	out := make([]simnet.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, st, nil
+}
+
+// ServerLoad merges a node's load across shards: counts sum, means are
+// re-weighted by each shard's interaction count.
+func (f *Frontend) ServerLoad(node simnet.NodeID) (Load, FederationStatus, error) {
+	parts, st, err := fanOutJSON[Load](f, fmt.Sprintf("jload %d", node))
+	if err != nil {
+		return Load{}, st, err
+	}
+	l := Load{Node: node}
+	var res, ker, buf time.Duration
+	for _, p := range parts {
+		w := time.Duration(p.Interactions)
+		l.Interactions += p.Interactions
+		res += p.MeanResidence * w
+		ker += p.MeanKernel * w
+		buf += p.MeanBufferWait * w
+	}
+	if l.Interactions > 0 {
+		n := time.Duration(l.Interactions)
+		l.MeanResidence = res / n
+		l.MeanKernel = ker / n
+		l.MeanBufferWait = buf / n
+	}
+	return l, st, nil
+}
+
+// ClassAggregatesAll merges every node's per-class aggregates across
+// shards via Aggregate.Merge.
+func (f *Frontend) ClassAggregatesAll() (map[simnet.NodeID]map[string]core.Aggregate, FederationStatus, error) {
+	parts, st, err := fanOutJSON[map[simnet.NodeID]map[string]core.Aggregate](f, "jclasses")
+	if err != nil {
+		return nil, st, err
+	}
+	out := make(map[simnet.NodeID]map[string]core.Aggregate)
+	for _, p := range parts {
+		for node, classes := range p {
+			m := out[node]
+			if m == nil {
+				m = make(map[string]core.Aggregate)
+				out[node] = m
+			}
+			for class, agg := range classes {
+				cur := m[class]
+				if cur.Class == "" {
+					cur.Class = class
+				}
+				cur.Merge(&agg)
+				m[class] = cur
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// ClassAggregates merges one node's per-class aggregates across shards.
+func (f *Frontend) ClassAggregates(node simnet.NodeID) (map[string]core.Aggregate, FederationStatus, error) {
+	all, st, err := f.ClassAggregatesAll()
+	if err != nil {
+		return nil, st, err
+	}
+	m := all[node]
+	if m == nil {
+		m = make(map[string]core.Aggregate)
+	}
+	return m, st, nil
+}
+
+// CorrelatedSeq merges the shards' correlated streams into one global
+// completion order and renumbers the sequence tags. Per-process sequence
+// numbers only order each shard's own stream, so the merge key is the
+// interaction's completion time (the later endpoint End), with shard
+// index and per-shard sequence as deterministic tie-breaks.
+func (f *Frontend) CorrelatedSeq() ([]SeqEndToEnd, FederationStatus, error) {
+	replies, st := f.fanOut("jcorrelated")
+	if st.allDead() {
+		return nil, st, fmt.Errorf("%w: %s", errAllShardsDead, strings.Join(st.Errors, "; "))
+	}
+	type tagged struct {
+		done  time.Duration
+		shard int
+		seq   uint64
+		e2e   EndToEnd
+	}
+	var all []tagged
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		var recs []SeqEndToEnd
+		if err := json.Unmarshal([]byte(r.payload), &recs); err != nil {
+			return nil, st, fmt.Errorf("gpa: shard %d reply: %w", r.index, err)
+		}
+		for _, rec := range recs {
+			done := rec.Client.End
+			if rec.Server.End > done {
+				done = rec.Server.End
+			}
+			all = append(all, tagged{done: done, shard: r.index, seq: rec.Seq, e2e: rec.EndToEnd})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].done != all[j].done {
+			return all[i].done < all[j].done
+		}
+		if all[i].shard != all[j].shard {
+			return all[i].shard < all[j].shard
+		}
+		return all[i].seq < all[j].seq
+	})
+	out := make([]SeqEndToEnd, len(all))
+	for i, t := range all {
+		out[i] = SeqEndToEnd{Seq: uint64(i + 1), EndToEnd: t.e2e}
+	}
+	return out, st, nil
+}
+
+// Correlated returns the merged end-to-end interactions in global
+// completion order.
+func (f *Frontend) Correlated() ([]EndToEnd, FederationStatus, error) {
+	recs, st, err := f.CorrelatedSeq()
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]EndToEnd, len(recs))
+	for i := range recs {
+		out[i] = recs[i].EndToEnd
+	}
+	return out, st, nil
+}
+
+// Dump writes the merged correlated history as JSON lines — the
+// federation form of GPA.Dump for offline auditing.
+func (f *Frontend) Dump(w io.Writer) (FederationStatus, error) {
+	recs, st, err := f.Correlated()
+	if err != nil {
+		return st, err
+	}
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return st, fmt.Errorf("gpa: federation dump: %w", err)
+		}
+	}
+	return st, nil
+}
+
+// broadcast sends an admin command to every shard and reports the
+// federation status plus each live shard's one-line reply.
+func (f *Frontend) broadcast(cmd string) (string, FederationStatus, error) {
+	replies, st := f.fanOut(cmd)
+	if st.allDead() {
+		return "", st, fmt.Errorf("%w: %s", errAllShardsDead, strings.Join(st.Errors, "; "))
+	}
+	var sb strings.Builder
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "shard %d: %s\n", r.index, strings.TrimRight(r.payload, "\n"))
+	}
+	return strings.TrimRight(sb.String(), "\n"), st, nil
+}
+
+// SetShardRetention broadcasts a correlated-history cap to every shard
+// (the per-shard retention knob surfaced through the controller).
+func (f *Frontend) SetShardRetention(max int) (FederationStatus, error) {
+	if max < 0 {
+		return FederationStatus{}, fmt.Errorf("gpa: retention %d, want >= 0", max)
+	}
+	_, st, err := f.broadcast(fmt.Sprintf("retention %d", max))
+	return st, err
+}
+
+// Status probes every shard with a cheap query and reports liveness.
+func (f *Frontend) Status() FederationStatus {
+	_, st := f.fanOut("stats")
+	return st
+}
+
+// Execute runs one query command against the federation, mirroring
+// GPA.Execute. Textual commands are merged and, when a shard is dead,
+// suffixed with the partial-result staleness marker; JSON commands are
+// wrapped in a {"federation": status, "data": ...} envelope so machine
+// consumers see the marker too. Admin commands broadcast to every shard.
+func (f *Frontend) Execute(line string) (string, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return "", errors.New("gpa: empty query")
+	}
+	switch fields[0] {
+	case "stats":
+		sum, st, err := f.StatsSnapshot()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ingested=%d correlated=%d uncorrelated=%d pending=%d",
+			sum.Ingested, sum.Correlated, sum.Uncorrelated, sum.Pending) + st.marker(), nil
+	case "nodes":
+		nodes, st, err := f.Nodes()
+		if err != nil {
+			return "", err
+		}
+		parts := make([]string, len(nodes))
+		for i, n := range nodes {
+			parts[i] = fmt.Sprintf("%d", n)
+		}
+		return strings.Join(parts, " ") + st.marker(), nil
+	case "load":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: load <node>")
+		}
+		id, err := parseNode(fields[1])
+		if err != nil {
+			return "", err
+		}
+		l, st, err := f.ServerLoad(id)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("node=%d interactions=%d mean_residence=%v mean_kernel=%v mean_bufwait=%v",
+			l.Node, l.Interactions, l.MeanResidence, l.MeanKernel, l.MeanBufferWait) + st.marker(), nil
+	case "classes":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: classes <node>")
+		}
+		id, err := parseNode(fields[1])
+		if err != nil {
+			return "", err
+		}
+		aggs, st, err := f.ClassAggregates(id)
+		if err != nil {
+			return "", err
+		}
+		names := make([]string, 0, len(aggs))
+		for n := range aggs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var sb strings.Builder
+		for _, n := range names {
+			a := aggs[n]
+			fmt.Fprintf(&sb, "%s count=%d mean_user=%v mean_kernel=%v mean_residence=%v\n",
+				n, a.Count, a.MeanUser(), a.MeanKernel(), a.MeanResidence())
+		}
+		return strings.TrimRight(sb.String(), "\n") + st.marker(), nil
+	case "recent":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: recent <n>")
+		}
+		n, err := parseCount(fields[1])
+		if err != nil {
+			return "", err
+		}
+		recs, st, err := f.Correlated()
+		if err != nil {
+			return "", err
+		}
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		var sb strings.Builder
+		for _, e := range recs {
+			fmt.Fprintf(&sb, "%s client=%v server=%v network=%v class=%s\n",
+				e.Flow, e.Client.Residence(), e.Server.Residence(),
+				e.NetworkDelay(), e.Server.Class)
+		}
+		return strings.TrimRight(sb.String(), "\n") + st.marker(), nil
+	case "jstats":
+		sum, st, err := f.StatsSnapshot()
+		if err != nil {
+			return "", err
+		}
+		return envelope(st, sum)
+	case "jnodes":
+		nodes, st, err := f.Nodes()
+		if err != nil {
+			return "", err
+		}
+		return envelope(st, nodes)
+	case "jload":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: jload <node>")
+		}
+		id, err := parseNode(fields[1])
+		if err != nil {
+			return "", err
+		}
+		l, st, err := f.ServerLoad(id)
+		if err != nil {
+			return "", err
+		}
+		return envelope(st, l)
+	case "jclasses":
+		all, st, err := f.ClassAggregatesAll()
+		if err != nil {
+			return "", err
+		}
+		return envelope(st, all)
+	case "jcorrelated":
+		recs, st, err := f.CorrelatedSeq()
+		if err != nil {
+			return "", err
+		}
+		if len(fields) == 2 {
+			n, err := parseCount(fields[1])
+			if err != nil {
+				return "", err
+			}
+			if len(recs) > n {
+				recs = recs[len(recs)-n:]
+			}
+		} else if len(fields) > 2 {
+			return "", errors.New("gpa: usage: jcorrelated [n]")
+		}
+		return envelope(st, recs)
+	case "federation":
+		st := f.Status()
+		b, err := json.Marshal(struct {
+			FederationStatus
+			Endpoints []string `json:"endpoints"`
+		}{st, f.Endpoints()})
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	case "retention", "clockbound":
+		out, st, err := f.broadcast(strings.Join(fields, " "))
+		if err != nil {
+			return "", err
+		}
+		return out + st.marker(), nil
+	}
+	return "", fmt.Errorf("gpa: unknown federation query %q", fields[0])
+}
+
+// envelope wraps a merged JSON payload with its federation status.
+func envelope(st FederationStatus, data any) (string, error) {
+	b, err := json.Marshal(struct {
+		Federation FederationStatus `json:"federation"`
+		Data       any              `json:"data"`
+	}{st, data})
+	if err != nil {
+		return "", fmt.Errorf("gpa: encode federation reply: %w", err)
+	}
+	return string(b), nil
+}
+
+// ServeConn answers federation queries on one connection with the same
+// framing as the single-process query server.
+func (f *Frontend) ServeConn(conn io.ReadWriter) { serveLineProtocol(conn, f.Execute) }
+
+// Serve accepts federation query connections until the listener closes.
+func (f *Frontend) Serve(l net.Listener) { serveListener(l, f.Execute) }

@@ -144,11 +144,26 @@ type GPA struct {
 	shards []shard
 	mask   uint64
 	// perShardCap is MaxCorrelated split across shards (0 = unbounded).
-	perShardCap int
+	// Atomic so the federation retention knob can retune it at runtime
+	// while shards trim under their own locks.
+	perShardCap atomic.Int64
 	// seq orders correlations globally across shards.
 	seq atomic.Uint64
 	// dumps is kept out of the shards (not tied to any flow).
 	dumps atomic.Uint64
+
+	// clockBounds maps a node to the bound on its residual clock error
+	// (from NTP sync quality). The correlation window for a node pair is
+	// widened by the sum of the two bounds, so nodes with poor sync still
+	// correlate instead of silently aging out. Copy-on-write: updates are
+	// rare (sync-cadence), reads are per-ingest.
+	clockBounds atomic.Pointer[map[simnet.NodeID]time.Duration]
+	// maxClockBound caches the largest registered bound (nanoseconds) so
+	// the stale sweep can keep records long enough for the widest pair
+	// window without walking the map.
+	maxClockBound atomic.Int64
+	// boundsMu serializes clockBounds writers.
+	boundsMu sync.Mutex
 
 	// now supplies current time for load-window pruning (virtual time in
 	// simulations; wall-clock-derived in live deployments).
@@ -182,12 +197,7 @@ func New(cfg Config, now func() time.Duration) *GPA {
 		cfg.StaleAfter = cfg.CorrelationWindow
 	}
 	g := &GPA{cfg: cfg, shards: make([]shard, n), mask: uint64(n - 1), now: now}
-	if cfg.MaxCorrelated > 0 {
-		g.perShardCap = cfg.MaxCorrelated / n
-		if g.perShardCap < 1 {
-			g.perShardCap = 1
-		}
-	}
+	g.storeMaxCorrelated(cfg.MaxCorrelated)
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.pending = make(map[simnet.FlowKey][]core.Record)
@@ -197,22 +207,82 @@ func New(cfg Config, now func() time.Duration) *GPA {
 	return g
 }
 
-// hashFlow mixes the canonical four-tuple into a shard index. The fields
-// pack into 64 bits exactly (two 16-bit nodes, two 16-bit ports); a
-// splitmix64-style finalizer spreads them so nearby ports and node ids
-// land on different shards.
+// hashFlow is the flow shard key. It is simnet.FlowKey.ShardHash, shared
+// with the dissemination shard router and the federated gpad tier so all
+// three agree on which shard owns a flow.
 //
 //sysprof:nonblocking
 //sysprof:noalloc
 func hashFlow(key simnet.FlowKey) uint64 {
-	x := uint64(key.Src.Node)<<48 | uint64(key.Src.Port)<<32 |
-		uint64(key.Dst.Node)<<16 | uint64(key.Dst.Port)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return key.ShardHash()
+}
+
+// storeMaxCorrelated splits a history cap across shards.
+func (g *GPA) storeMaxCorrelated(max int) {
+	if max <= 0 {
+		g.perShardCap.Store(0)
+		return
+	}
+	per := max / len(g.shards)
+	if per < 1 {
+		per = 1
+	}
+	g.perShardCap.Store(int64(per))
+}
+
+// SetMaxCorrelated retunes the correlated-history cap at runtime — the
+// federation tier's per-shard retention knob (0 = unbounded). Shards trim
+// down to the new cap as they next correlate or sweep.
+func (g *GPA) SetMaxCorrelated(max int) error {
+	if max < 0 {
+		return fmt.Errorf("gpa: max correlated %d, want >= 0", max)
+	}
+	g.storeMaxCorrelated(max)
+	return nil
+}
+
+// SetClockErrorBound registers a bound on a node's residual clock error
+// (for example ntpclock.Syncer.ErrorBound after a sync round, or an
+// operator-supplied figure for an unsynchronized node). The correlation
+// window for any pair of nodes is widened by the sum of their bounds;
+// nodes without a registered bound contribute zero. A non-positive bound
+// clears the node's entry.
+func (g *GPA) SetClockErrorBound(node simnet.NodeID, bound time.Duration) {
+	g.boundsMu.Lock()
+	defer g.boundsMu.Unlock()
+	var cur map[simnet.NodeID]time.Duration
+	if p := g.clockBounds.Load(); p != nil {
+		cur = *p
+	}
+	next := make(map[simnet.NodeID]time.Duration, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	if bound <= 0 {
+		delete(next, node)
+	} else {
+		next[node] = bound
+	}
+	var max time.Duration
+	for _, v := range next {
+		if v > max {
+			max = v
+		}
+	}
+	g.maxClockBound.Store(int64(max))
+	if len(next) == 0 {
+		g.clockBounds.Store(nil)
+		return
+	}
+	g.clockBounds.Store(&next)
+}
+
+// ClockErrorBound reports the bound registered for a node (0 = none).
+func (g *GPA) ClockErrorBound(node simnet.NodeID) time.Duration {
+	if p := g.clockBounds.Load(); p != nil {
+		return (*p)[node]
+	}
+	return 0
 }
 
 func (g *GPA) shardFor(key simnet.FlowKey) *shard {
@@ -222,7 +292,7 @@ func (g *GPA) shardFor(key simnet.FlowKey) *shard {
 // shardForNode routes flow-less state (aggregate deltas) to a stable
 // shard for the node.
 func (g *GPA) shardForNode(node simnet.NodeID) *shard {
-	return &g.shards[hashFlow(simnet.FlowKey{Src: simnet.Addr{Node: node}})&g.mask]
+	return &g.shards[simnet.NodeShardHash(node)&g.mask]
 }
 
 // Ingest feeds one interaction record from a node's daemon.
@@ -295,13 +365,26 @@ func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
 	}
 
 	// Correlation: the same interaction observed at the other endpoint
-	// shares the canonical flow and a nearby start timestamp.
+	// shares the canonical flow and a nearby start timestamp. The window
+	// for each candidate pair is the configured base widened by both
+	// nodes' registered clock-error bounds, so a pair whose residual NTP
+	// offset exceeds the global constant still correlates.
+	var bounds map[simnet.NodeID]time.Duration
+	var recBound time.Duration
+	if bp := g.clockBounds.Load(); bp != nil {
+		bounds = *bp
+		recBound = bounds[rec.Node]
+	}
 	peers := s.pending[key]
 	for i, p := range peers {
 		if p.Node == rec.Node {
 			continue
 		}
-		if absDur(p.Start-rec.Start) > g.cfg.CorrelationWindow {
+		window := g.cfg.CorrelationWindow
+		if bounds != nil {
+			window += recBound + bounds[p.Node]
+		}
+		if absDur(p.Start-rec.Start) > window {
 			continue
 		}
 		// Matched: the record observed at the flow's destination node is
@@ -315,15 +398,29 @@ func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
 		s.correlated = append(s.correlated, seqE2E{seq: g.seq.Add(1), e2e: e2e})
 		s.stats.Correlated++
 		g.trimCorrelatedLocked(s)
-		s.pending[key] = append(peers[:i], peers[i+1:]...)
-		if len(s.pending[key]) == 0 {
+		kept := append(peers[:i], peers[i+1:]...)
+		peers[len(kept)] = core.Record{} // release the shifted-out tail copy
+		if len(kept) == 0 {
 			delete(s.pending, key)
+		} else {
+			s.pending[key] = kept
 		}
 		return
 	}
-	if len(peers) >= g.cfg.MaxPending {
-		peers = peers[1:]
-		s.stats.Uncorrelated++
+	if n := len(peers); n >= g.cfg.MaxPending {
+		// Drop the oldest in place: shift-copy within the backing array so
+		// the evicted records' string references are actually released and
+		// the array is reused at its current size. Reslicing with
+		// peers[1:] instead would pin every dropped record in the backing
+		// array until the next growth reallocation and churn per-key
+		// arrays through repeated grow-copy cycles.
+		drop := n - g.cfg.MaxPending + 1
+		m := copy(peers, peers[drop:])
+		for i := m; i < n; i++ {
+			peers[i] = core.Record{}
+		}
+		peers = peers[:m]
+		s.stats.Uncorrelated += uint64(drop) // each eviction counted once
 	}
 	s.pending[key] = append(peers, rec)
 }
@@ -340,10 +437,11 @@ func absDur(d time.Duration) time.Duration {
 // amortizes the O(n) memmove over many ingests instead of shifting one
 // slot per correlation at the cap.
 func (g *GPA) trimCorrelatedLocked(s *shard) {
-	if g.perShardCap <= 0 || len(s.correlated) <= g.perShardCap+g.perShardCap/4 {
+	cap := int(g.perShardCap.Load())
+	if cap <= 0 || len(s.correlated) <= cap+cap/4 {
 		return
 	}
-	drop := len(s.correlated) - g.perShardCap
+	drop := len(s.correlated) - cap
 	s.stats.CorrelatedEvicted += uint64(drop)
 	n := copy(s.correlated, s.correlated[drop:])
 	tail := s.correlated[n:]
@@ -400,7 +498,16 @@ func (g *GPA) pruneWindow(nw *nodeWindow) {
 // — would accumulate in the pending map forever.
 func (g *GPA) sweepStaleLocked(s *shard) int {
 	g.trimCorrelatedByAgeLocked(s)
-	cutoff := g.now() - g.cfg.StaleAfter
+	staleAfter := g.cfg.StaleAfter
+	if mb := time.Duration(g.maxClockBound.Load()); mb > 0 {
+		// Registered clock-error bounds widen pair windows; keep pending
+		// records at least twice the widest possible window so a poorly
+		// synced pair is not pruned while still correlatable.
+		if min := 2 * (g.cfg.CorrelationWindow + 2*mb); staleAfter < min {
+			staleAfter = min
+		}
+	}
+	cutoff := g.now() - staleAfter
 	if cutoff <= 0 {
 		return 0
 	}
@@ -478,6 +585,60 @@ func (g *GPA) Correlated() []EndToEnd {
 	out := make([]EndToEnd, len(tagged))
 	for i := range tagged {
 		out[i] = tagged[i].e2e
+	}
+	return out
+}
+
+// SeqEndToEnd is an EndToEnd tagged with its completion sequence number —
+// the machine-readable form served to federation frontends, which merge
+// per-shard streams back into one completion order.
+type SeqEndToEnd struct {
+	Seq uint64 `json:"seq"`
+	EndToEnd
+}
+
+// CorrelatedSeq returns the correlated interactions with their sequence
+// tags, in completion order.
+func (g *GPA) CorrelatedSeq() []SeqEndToEnd {
+	var tagged []seqE2E
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		tagged = append(tagged, s.correlated...)
+		s.mu.Unlock()
+	}
+	sort.Slice(tagged, func(i, j int) bool { return tagged[i].seq < tagged[j].seq })
+	out := make([]SeqEndToEnd, len(tagged))
+	for i := range tagged {
+		out[i] = SeqEndToEnd{Seq: tagged[i].seq, EndToEnd: tagged[i].e2e}
+	}
+	return out
+}
+
+// ClassAggregatesAll returns the per-class aggregates of every reporting
+// node, merged across shards (the bulk form of ClassAggregates, used by
+// federation frontends to merge class state in one round trip).
+func (g *GPA) ClassAggregatesAll() map[simnet.NodeID]map[string]core.Aggregate {
+	out := make(map[simnet.NodeID]map[string]core.Aggregate)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for node, classes := range s.byClass {
+			m := out[node]
+			if m == nil {
+				m = make(map[string]core.Aggregate)
+				out[node] = m
+			}
+			for class, agg := range classes {
+				cur := m[class]
+				if cur.Class == "" {
+					cur.Class = class
+				}
+				cur.Merge(agg)
+				m[class] = cur
+			}
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package gpa
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -110,6 +111,21 @@ func (g *GPA) RenderAccounting() string {
 //	accounting                system-wide per-class billing report
 //	flow <n:p> <n:p>          correlated interactions on one flow
 //	recent <n>                last n correlated end-to-end interactions
+//
+// Machine-readable commands (one JSON document per reply) serve the
+// federation frontend, which fans queries out to shard gpad processes and
+// merges the decoded results:
+//
+//	jstats                    Stats plus pending count, as JSON
+//	jnodes                    reporting node ids, as a JSON array
+//	jload <node>              Load of a node, as JSON
+//	jclasses                  per-node per-class aggregates, as JSON
+//	jcorrelated [n]           correlated interactions with sequence tags
+//
+// Admin commands (federation retention / clock-quality knobs):
+//
+//	retention <n>             cap correlated history at n (0 = unbounded)
+//	clockbound <node> <dur>   set a node's clock-error bound (0 clears)
 func (g *GPA) Execute(line string) (string, error) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) == 0 {
@@ -130,22 +146,22 @@ func (g *GPA) Execute(line string) (string, error) {
 		if len(fields) != 2 {
 			return "", errors.New("gpa: usage: load <node>")
 		}
-		id, err := strconv.Atoi(fields[1])
+		id, err := parseNode(fields[1])
 		if err != nil {
-			return "", fmt.Errorf("gpa: bad node id %q", fields[1])
+			return "", err
 		}
-		l := g.ServerLoad(simnet.NodeID(id))
+		l := g.ServerLoad(id)
 		return fmt.Sprintf("node=%d interactions=%d mean_residence=%v mean_kernel=%v mean_bufwait=%v",
 			l.Node, l.Interactions, l.MeanResidence, l.MeanKernel, l.MeanBufferWait), nil
 	case "classes":
 		if len(fields) != 2 {
 			return "", errors.New("gpa: usage: classes <node>")
 		}
-		id, err := strconv.Atoi(fields[1])
+		id, err := parseNode(fields[1])
 		if err != nil {
-			return "", fmt.Errorf("gpa: bad node id %q", fields[1])
+			return "", err
 		}
-		aggs := g.ClassAggregates(simnet.NodeID(id))
+		aggs := g.ClassAggregates(id)
 		names := make([]string, 0, len(aggs))
 		for n := range aggs {
 			names = append(names, n)
@@ -195,9 +211,9 @@ func (g *GPA) Execute(line string) (string, error) {
 		if len(fields) != 2 {
 			return "", errors.New("gpa: usage: recent <n>")
 		}
-		n, err := strconv.Atoi(fields[1])
-		if err != nil || n < 1 {
-			return "", fmt.Errorf("gpa: bad count %q", fields[1])
+		n, err := parseCount(fields[1])
+		if err != nil {
+			return "", err
 		}
 		recs := g.Correlated()
 		if len(recs) > n {
@@ -210,36 +226,141 @@ func (g *GPA) Execute(line string) (string, error) {
 				e.NetworkDelay(), e.Server.Class)
 		}
 		return strings.TrimRight(sb.String(), "\n"), nil
+	case "jstats":
+		st := g.StatsSnapshot()
+		return jsonReply(StatsReply{Stats: st, Pending: g.PendingCount()})
+	case "jnodes":
+		return jsonReply(g.Nodes())
+	case "jload":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: jload <node>")
+		}
+		id, err := parseNode(fields[1])
+		if err != nil {
+			return "", err
+		}
+		return jsonReply(g.ServerLoad(id))
+	case "jclasses":
+		return jsonReply(g.ClassAggregatesAll())
+	case "jcorrelated":
+		recs := g.CorrelatedSeq()
+		if len(fields) == 2 {
+			n, err := parseCount(fields[1])
+			if err != nil {
+				return "", err
+			}
+			if len(recs) > n {
+				recs = recs[len(recs)-n:]
+			}
+		} else if len(fields) > 2 {
+			return "", errors.New("gpa: usage: jcorrelated [n]")
+		}
+		return jsonReply(recs)
+	case "retention":
+		if len(fields) != 2 {
+			return "", errors.New("gpa: usage: retention <max-correlated>")
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || n < 0 {
+			return "", fmt.Errorf("gpa: bad retention %q (want integer >= 0)", fields[1])
+		}
+		if err := g.SetMaxCorrelated(int(n)); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("retention=%d", n), nil
+	case "clockbound":
+		if len(fields) != 3 {
+			return "", errors.New("gpa: usage: clockbound <node> <duration>")
+		}
+		id, err := parseNode(fields[1])
+		if err != nil {
+			return "", err
+		}
+		d, err := time.ParseDuration(fields[2])
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("gpa: bad clock bound %q (want non-negative duration)", fields[2])
+		}
+		g.SetClockErrorBound(id, d)
+		return fmt.Sprintf("node=%d clockbound=%v", id, d), nil
 	}
 	return "", fmt.Errorf("gpa: unknown query %q", fields[0])
 }
 
-// parseAddr parses "node:port" (e.g. "2:80").
+// StatsReply is the jstats payload: analyzer counters plus the live
+// pending count.
+type StatsReply struct {
+	Stats
+	Pending int `json:"pending"`
+}
+
+// jsonReply marshals one query result as a single-document JSON reply.
+func jsonReply(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("gpa: encode reply: %w", err)
+	}
+	return string(b), nil
+}
+
+// parseNode parses a node id, rejecting values outside NodeID's 16-bit
+// range instead of silently truncating them to a different node.
+func parseNode(s string) (simnet.NodeID, error) {
+	id, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("gpa: bad node id %q (want 0..65535)", s)
+	}
+	return simnet.NodeID(id), nil
+}
+
+// parseCount parses a positive result-count argument with a sane upper
+// bound so a typo cannot request a multi-gigabyte reply.
+func parseCount(s string) (int, error) {
+	n, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || n < 1 || n > 1<<24 {
+		return 0, fmt.Errorf("gpa: bad count %q (want 1..%d)", s, 1<<24)
+	}
+	return int(n), nil
+}
+
+// parseAddr parses "node:port" (e.g. "2:80"). Both halves are 16-bit;
+// out-of-range or negative values are rejected rather than truncated into
+// a valid-looking but wrong address.
 func parseAddr(s string) (simnet.Addr, error) {
 	nodeStr, portStr, ok := strings.Cut(strings.TrimPrefix(s, "n"), ":")
 	if !ok {
 		return simnet.Addr{}, fmt.Errorf("gpa: bad address %q (want node:port)", s)
 	}
-	node, err := strconv.Atoi(nodeStr)
+	node, err := strconv.ParseUint(nodeStr, 10, 16)
 	if err != nil {
-		return simnet.Addr{}, fmt.Errorf("gpa: bad node in %q", s)
+		return simnet.Addr{}, fmt.Errorf("gpa: bad node in %q (want 0..65535)", s)
 	}
-	port, err := strconv.Atoi(portStr)
+	port, err := strconv.ParseUint(portStr, 10, 16)
 	if err != nil {
-		return simnet.Addr{}, fmt.Errorf("gpa: bad port in %q", s)
+		return simnet.Addr{}, fmt.Errorf("gpa: bad port in %q (want 0..65535)", s)
 	}
 	return simnet.Addr{Node: simnet.NodeID(node), Port: uint16(port)}, nil
 }
 
-// ServeConn answers queries on one connection using the same framing as
-// the controller protocol: "+payload" terminated by a lone "." on
-// success, "-error" on failure.
-func (g *GPA) ServeConn(conn io.ReadWriter) {
+// newLineScanner builds a line scanner sized for query replies: a
+// jcorrelated payload is one JSON line covering a shard's whole retained
+// history, so the token cap is generous (64 MiB) rather than bufio's
+// 64 KiB default.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	return sc
+}
+
+// serveLineProtocol answers queries on one connection using the same
+// framing as the controller protocol: "+payload" terminated by a lone "."
+// on success, "-error" on failure. Shared by the single-process GPA query
+// server and the federation frontend.
+func serveLineProtocol(conn io.ReadWriter, exec func(string) (string, error)) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		reply, err := g.Execute(sc.Text())
+		reply, err := exec(sc.Text())
 		if err != nil {
 			fmt.Fprintf(w, "-%v\n", err)
 		} else {
@@ -251,8 +372,8 @@ func (g *GPA) ServeConn(conn io.ReadWriter) {
 	}
 }
 
-// Serve accepts query connections until the listener closes.
-func (g *GPA) Serve(l net.Listener) {
+// serveListener accepts query connections until the listener closes.
+func serveListener(l net.Listener, exec func(string) (string, error)) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -260,7 +381,14 @@ func (g *GPA) Serve(l net.Listener) {
 		}
 		go func() {
 			defer conn.Close()
-			g.ServeConn(conn)
+			serveLineProtocol(conn, exec)
 		}()
 	}
 }
+
+// ServeConn answers queries on one connection ("+payload ... ." or
+// "-error" framing, as in the controller protocol).
+func (g *GPA) ServeConn(conn io.ReadWriter) { serveLineProtocol(conn, g.Execute) }
+
+// Serve accepts query connections until the listener closes.
+func (g *GPA) Serve(l net.Listener) { serveListener(l, g.Execute) }

@@ -1,0 +1,365 @@
+package integration
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/dissem"
+	"sysprof/internal/gpa"
+	"sysprof/internal/pbio"
+	"sysprof/internal/procfs"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// fedStack is a federated deployment: both endpoints of a monitored pair
+// run full dissemination stacks into one broker; a monolithic GPA
+// subscribes unsharded while N shard GPAs subscribe with shard selectors,
+// exactly as `gpad -shard i/N` does, and a frontend merges the shard
+// query endpoints over real TCP.
+type fedStack struct {
+	eng     *sim.Engine
+	server  *simos.Node
+	client  *simos.Node
+	daemons []*dissem.Daemon
+	broker  *pubsub.Broker
+	reg     *pbio.Registry
+
+	mono      *gpa.GPA
+	shards    []*gpa.GPA
+	listeners []net.Listener // shard query listeners
+	frontend  *gpa.Frontend
+}
+
+func buildFedStack(t *testing.T, nShards int) *fedStack {
+	t.Helper()
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	server, err := simos.NewNode(eng, network, "server", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simos.NewNode(eng, network, "client", simos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(server.ID(), client.ID()); err != nil {
+		t.Fatal(err)
+	}
+	reg := pbio.NewRegistry()
+	if err := dissem.RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	broker := pubsub.NewBroker(reg, pubsub.WithQueueDepth(4096))
+	broker.SetShardKeyFunc(dissem.ShardKey)
+	fs := procfs.New()
+
+	// Monitor BOTH endpoints so interactions have two views to correlate.
+	st := &fedStack{eng: eng, server: server, client: client, broker: broker, reg: reg}
+	for _, n := range []*simos.Node{server, client} {
+		daemon := dissem.New(eng, broker, fs, dissem.Config{
+			NodeName:      n.Name(),
+			Node:          n.ID(),
+			FlushInterval: 50 * time.Millisecond,
+			MaxWindowAge:  100 * time.Millisecond,
+		})
+		lpa := core.NewLPA(n.Hub(), core.Config{OnFull: daemon.OnFull, WindowSize: 8})
+		daemon.Serve(lpa)
+		daemon.Start()
+		st.daemons = append(st.daemons, daemon)
+	}
+
+	// Workload.
+	ssock := server.MustBind(80)
+	csock := client.MustBind(9000)
+	server.Spawn("httpd", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Recv(ssock, func(m *simos.Message) {
+				p.Compute(time.Millisecond, func() {
+					p.Reply(ssock, m, 4096, nil, loop)
+				})
+			})
+		}
+		loop()
+	})
+	client.Spawn("load", func(p *simos.Process) {
+		var loop func()
+		loop = func() {
+			p.Send(csock, ssock.Addr(), 256, nil, func() {
+				p.Recv(csock, func(m *simos.Message) {
+					p.Sleep(5*time.Millisecond, loop)
+				})
+			})
+		}
+		loop()
+	})
+
+	// Broker over real TCP.
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = broker.Serve(bl) }()
+	addr := bl.Addr().String()
+
+	wall := time.Now()
+	now := func() time.Duration { return time.Since(wall) }
+	subscribe := func(g *gpa.GPA, sub *pubsub.Subscriber) {
+		go func() {
+			defer sub.Close()
+			for {
+				_, rec, err := sub.Recv()
+				if err != nil {
+					return
+				}
+				if w, ok := rec.Value.(*dissem.WireRecord); ok {
+					g.Ingest(dissem.FromWire(w))
+				}
+			}
+		}()
+	}
+
+	// Monolithic reference: unsharded subscription, full stream.
+	st.mono = gpa.New(gpa.Config{LoadWindow: time.Hour}, now)
+	monoSub, err := pubsub.Dial(addr, reg, dissem.ChannelInteractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subscribe(st.mono, monoSub)
+
+	// Shard analyzers: selector-scoped subscriptions plus query servers.
+	endpoints := make([]string, nShards)
+	for i := 0; i < nShards; i++ {
+		g := gpa.New(gpa.Config{LoadWindow: time.Hour}, now)
+		sub, err := pubsub.DialSharded(addr, reg, i, nShards, dissem.ChannelInteractions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subscribe(g, sub)
+		ql, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go g.Serve(ql)
+		st.shards = append(st.shards, g)
+		st.listeners = append(st.listeners, ql)
+		endpoints[i] = ql.Addr().String()
+	}
+	st.frontend, err = gpa.NewFrontend(endpoints, gpa.WithQueryTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (st *fedStack) close() {
+	st.broker.Close()
+	for _, l := range st.listeners {
+		l.Close()
+	}
+}
+
+// runAndDrain paces the simulation, stops the daemons, and waits until
+// the shard analyzers have collectively ingested exactly what the
+// monolithic one did.
+func (st *fedStack) runAndDrain(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.broker.Stats().RemoteDeliver == 0 {
+		if err := st.eng.RunFor(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no remote deliveries; broker stats %+v", st.broker.Stats())
+		}
+	}
+	if err := st.eng.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range st.daemons {
+		d.Stop()
+	}
+	// Drain until both pipelines agree AND have stopped moving: equal
+	// counts alone can be a transient coincidence while both are behind.
+	deadline = time.Now().Add(10 * time.Second)
+	var prev uint64
+	stable := 0
+	for {
+		mono := st.mono.StatsSnapshot().Ingested
+		var sharded uint64
+		for _, g := range st.shards {
+			sharded += g.StatsSnapshot().Ingested
+		}
+		if mono > 100 && sharded == mono && mono == prev {
+			if stable++; stable >= 5 {
+				return
+			}
+		} else {
+			stable = 0
+		}
+		prev = mono
+		if time.Now().After(deadline) {
+			t.Fatalf("drain stalled: monolithic ingested %d, shards %d", mono, sharded)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// e2eIdent is a comparable identity for a correlated interaction.
+func e2eIdent(e gpa.EndToEnd) string {
+	return fmt.Sprintf("%s|%d:%d|%d:%d", e.Flow, e.Client.Node, e.Client.ID, e.Server.Node, e.Server.ID)
+}
+
+func identSet(recs []gpa.EndToEnd) map[string]bool {
+	out := make(map[string]bool, len(recs))
+	for _, e := range recs {
+		out[e2eIdent(e)] = true
+	}
+	return out
+}
+
+// TestFederatedTierMatchesMonolithicOverTCP runs the same simnet workload
+// into a monolithic GPA and a sharded gpad tier (selector-scoped pub-sub
+// subscriptions over real TCP, frontend merging over the real query
+// protocol) and checks the federation reports identical correlated sets
+// and class aggregates.
+func TestFederatedTierMatchesMonolithicOverTCP(t *testing.T) {
+	st := buildFedStack(t, 2)
+	defer st.close()
+	st.runAndDrain(t)
+
+	mono := st.mono.Correlated()
+	if len(mono) == 0 {
+		t.Fatal("monolithic analyzer correlated nothing; workload broken")
+	}
+	fed, fst, err := st.frontend.Correlated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Partial {
+		t.Fatalf("unexpected partial result: %+v", fst)
+	}
+	monoSet, fedSet := identSet(mono), identSet(fed)
+	if len(fedSet) != len(monoSet) {
+		t.Fatalf("correlated sets differ: federation %d, monolithic %d", len(fedSet), len(monoSet))
+	}
+	for k := range monoSet {
+		if !fedSet[k] {
+			t.Fatalf("federation missing %s", k)
+		}
+	}
+	// Both shards did real work: the flow hash spreads distinct flows, and
+	// every interaction correlated somewhere.
+	var fromShards int
+	for _, g := range st.shards {
+		fromShards += len(g.Correlated())
+	}
+	if fromShards != len(mono) {
+		t.Fatalf("shards correlated %d, monolithic %d — records crossed shard boundaries",
+			fromShards, len(mono))
+	}
+
+	// Class aggregates merge to the monolithic values.
+	monoAgg := st.mono.ClassAggregatesAll()
+	fedAgg, _, err := st.frontend.ClassAggregatesAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, classes := range monoAgg {
+		for class, want := range classes {
+			if got := fedAgg[node][class]; got != want {
+				t.Fatalf("node %d class %q: federation %+v, monolithic %+v", node, class, got, want)
+			}
+		}
+	}
+
+	// Load via the merged protocol matches the monolithic analyzer.
+	wantLoad := st.mono.ServerLoad(st.server.ID())
+	gotLoad, _, err := st.frontend.ServerLoad(st.server.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLoad != wantLoad {
+		t.Fatalf("server load: federation %+v, monolithic %+v", gotLoad, wantLoad)
+	}
+
+	// The merged stream is in completion order.
+	seqs, _, err := st.frontend.CorrelatedSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := func(e gpa.EndToEnd) time.Duration {
+		d := e.Client.End
+		if e.Server.End > d {
+			d = e.Server.End
+		}
+		return d
+	}
+	if !sort.SliceIsSorted(seqs, func(i, j int) bool {
+		return done(seqs[i].EndToEnd) < done(seqs[j].EndToEnd)
+	}) {
+		t.Fatal("merged federation stream not in completion order")
+	}
+}
+
+// TestFederatedTierSurvivesDeadShard kills one shard's query endpoint
+// mid-run and checks the frontend returns partial results with the
+// staleness marker — over the real TCP query protocol — instead of
+// failing.
+func TestFederatedTierSurvivesDeadShard(t *testing.T) {
+	st := buildFedStack(t, 2)
+	defer st.close()
+	st.runAndDrain(t)
+
+	// Kill shard 1's query endpoint.
+	st.listeners[1].Close()
+
+	fed, fst, err := st.frontend.Correlated()
+	if err != nil {
+		t.Fatalf("dead shard must degrade, not error: %v", err)
+	}
+	if !fst.Partial || len(fst.Dead) != 1 || fst.Dead[0] != 1 {
+		t.Fatalf("status = %+v, want partial with dead shard 1", fst)
+	}
+	want := identSet(st.shards[0].Correlated())
+	got := identSet(fed)
+	if len(got) != len(want) {
+		t.Fatalf("partial result has %d interactions, want shard 0's %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("partial result missing live-shard interaction %s", k)
+		}
+	}
+
+	// The federation's own query protocol carries the envelope end to end.
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	go st.frontend.Serve(fl)
+	reply := queryLine(t, fl.Addr().String(), "jstats")
+	var env struct {
+		Federation gpa.FederationStatus `json:"federation"`
+	}
+	if err := json.Unmarshal([]byte(reply), &env); err != nil {
+		t.Fatalf("jstats reply %q: %v", reply, err)
+	}
+	if !env.Federation.Partial || len(env.Federation.Dead) != 1 {
+		t.Fatalf("federation envelope = %+v, want partial", env.Federation)
+	}
+	textual := queryLine(t, fl.Addr().String(), "stats")
+	if !strings.Contains(textual, "! partial: 1/2 shards answered") {
+		t.Fatalf("textual reply missing staleness marker: %q", textual)
+	}
+}

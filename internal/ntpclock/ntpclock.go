@@ -73,6 +73,9 @@ type Syncer struct {
 	// samples are what bound NTP accuracy.
 	meanDelay time.Duration
 	jitter    time.Duration
+	// lastBound is the residual-error bound observed by the most recent
+	// Sync or Measure (see ErrorBound).
+	lastBound time.Duration
 }
 
 // NewSyncer builds a syncer between client and reference over a path with
@@ -125,5 +128,41 @@ func (s *Syncer) Sync(rounds int) time.Duration {
 	// best.Offset() estimates server-minus-client; apply it.
 	corr := best.Offset()
 	s.client.adj += corr
+	// After correcting, the residual error is bounded by the delay
+	// asymmetry of the sample used, which is at most its round trip.
+	s.lastBound = best.Delay()
 	return corr
 }
+
+// Measure runs rounds of NTP exchanges WITHOUT applying a correction and
+// returns the minimum-delay sample's offset estimate plus a conservative
+// bound on the client clock's total error (|offset estimate| + the
+// sample's round-trip delay). A deployment that cannot or will not step a
+// node's clock can instead feed this bound to the analyzer
+// (gpa.SetClockErrorBound) so cross-node correlation widens its window
+// for that node rather than silently dropping its interactions.
+func (s *Syncer) Measure(rounds int) (offset, bound time.Duration) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	best := s.exchange()
+	for i := 1; i < rounds; i++ {
+		smp := s.exchange()
+		if smp.Delay() < best.Delay() {
+			best = smp
+		}
+	}
+	offset = best.Offset()
+	bound = offset
+	if bound < 0 {
+		bound = -bound
+	}
+	bound += best.Delay()
+	s.lastBound = bound
+	return offset, bound
+}
+
+// ErrorBound reports the client clock's residual-error bound as of the
+// last Sync (small: the sample's round trip) or Measure (the unsynced
+// error itself plus the round trip). Zero before any exchange.
+func (s *Syncer) ErrorBound() time.Duration { return s.lastBound }

@@ -18,6 +18,14 @@ func FuzzReadHandshake(f *testing.F) {
 	}
 	f.Add(modern.Bytes())
 
+	// Sharded subscription (shard 2 of 8).
+	var sharded bytes.Buffer
+	if err := writeHandshakeSharded(&sharded, []string{"sysprof.interactions"},
+		ShardSelector{Index: 2, Count: 8}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sharded.Bytes())
+
 	// Legacy form: first byte is the channel count, then 4-byte
 	// little-endian length-prefixed names.
 	legacy := []byte{1}
@@ -38,13 +46,19 @@ func FuzzReadHandshake(f *testing.F) {
 		if len(hs.channels) > maxHandshakeChannels {
 			t.Fatalf("parsed %d channels, limit is %d", len(hs.channels), maxHandshakeChannels)
 		}
+		if hs.sel.Count != 0 && !hs.sel.Valid() {
+			t.Fatalf("parsed invalid shard selector %d/%d", hs.sel.Index, hs.sel.Count)
+		}
 		var out bytes.Buffer
-		if err := writeHandshake(&out, hs.channels); err != nil {
+		if err := writeHandshakeSharded(&out, hs.channels, hs.sel); err != nil {
 			t.Fatalf("re-encode parsed handshake: %v", err)
 		}
 		hs2, err := readHandshake(bytes.NewReader(out.Bytes()))
 		if err != nil {
 			t.Fatalf("re-parse written handshake: %v", err)
+		}
+		if hs2.sel != hs.sel {
+			t.Fatalf("round trip changed shard selector: %v != %v", hs2.sel, hs.sel)
 		}
 		if len(hs2.channels) != len(hs.channels) {
 			t.Fatalf("round trip changed channel count: %d != %d", len(hs2.channels), len(hs.channels))

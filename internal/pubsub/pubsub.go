@@ -36,6 +36,44 @@ var ErrClosed = errors.New("pubsub: closed")
 // filter passes everything.
 type Filter func(rec any) bool
 
+// ShardKeyFunc extracts the shard routing key of a published record (for
+// SysProf traffic, the flow's ShardHash, or the node hash for flow-less
+// aggregates). ok=false means the record has no key and is broadcast to
+// every sharded subscriber rather than silently dropped.
+type ShardKeyFunc func(rec any) (key uint64, ok bool)
+
+// ShardSelector restricts a remote subscription to one shard of a
+// federated consumer tier: the subscriber receives only records whose
+// shard key satisfies key % Count == Index. The zero value (Count == 0)
+// means unsharded — the subscriber sees everything.
+type ShardSelector struct {
+	Index uint32
+	Count uint32
+}
+
+// Valid reports whether the selector describes a real shard.
+func (s ShardSelector) Valid() bool { return s.Count > 0 && s.Index < s.Count }
+
+// Match reports whether a shard key belongs to this selector. An
+// unsharded selector matches everything.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func (s ShardSelector) Match(key uint64) bool {
+	return s.Count == 0 || key%uint64(s.Count) == uint64(s.Index)
+}
+
+// String renders "i/N" ("" for unsharded).
+func (s ShardSelector) String() string {
+	if s.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// maxShardCount bounds the shard count a handshake may claim.
+const maxShardCount = 4096
+
 // LocalSub is an in-process subscription.
 type LocalSub struct {
 	broker  *Broker
@@ -77,6 +115,10 @@ type remoteConn struct {
 	q        *sendQueue
 	channels map[string]bool
 	version  int
+	// sel restricts this subscriber to one shard of the record stream
+	// (zero value = unsharded). Immutable after the handshake, so the
+	// publish path reads it without synchronization.
+	sel ShardSelector
 
 	sentFormats map[*pbio.Format]bool
 	defBuf      []byte
@@ -115,7 +157,8 @@ type BrokerStats struct {
 // SubscriberStats is one remote connection's view of the fan-out.
 type SubscriberStats struct {
 	Addr             string
-	Version          int // handshake version (0 = legacy)
+	Version          int    // handshake version (0 = legacy)
+	Shard            string // shard selector ("i/N", empty = unsharded)
 	Channels         []string
 	QueueLen         int
 	QueueCap         int
@@ -139,6 +182,11 @@ type Broker struct {
 	// chans is the copy-on-write channel→subscribers map: the publish
 	// hot path loads it with one atomic read and never takes mu.
 	chans atomic.Pointer[map[string]*subscribers]
+
+	// shardKey extracts routing keys for sharded subscribers (nil = no
+	// key function installed; sharded subscribers then receive the full
+	// stream). Set once at wiring time, read atomically mid-publish.
+	shardKey atomic.Pointer[ShardKeyFunc]
 
 	// Fan-out knobs, atomically readable mid-publish. queueDepth only
 	// applies to subscribers connecting after a change; the other three
@@ -223,6 +271,39 @@ func (b *Broker) Subscribe(channelName string, fn func(rec any), opts ...SubOpti
 	return s
 }
 
+// SetShardKeyFunc installs the routing-key extractor used to slice the
+// record stream across sharded remote subscribers (dissem.ShardKey for
+// SysProf deployments). Without one, shard selectors are inert: sharded
+// subscribers receive the full stream.
+func (b *Broker) SetShardKeyFunc(fn ShardKeyFunc) {
+	if fn == nil {
+		b.shardKey.Store(nil)
+		return
+	}
+	b.shardKey.Store(&fn)
+}
+
+func (b *Broker) shardKeyFn() ShardKeyFunc {
+	if p := b.shardKey.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// hasSharded reports whether any remote in the snapshot carries a shard
+// selector (the common unsharded deployment skips all routing work).
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func hasSharded(remotes []*remoteConn) bool {
+	for _, rc := range remotes {
+		if rc.sel.Count != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Publish delivers rec to all subscribers of the channel. Local
 // subscribers receive the value directly; remote ones receive a PBIO
 // frame, encoded once and enqueued per subscriber — Publish returns as
@@ -244,15 +325,38 @@ func (b *Broker) Publish(channelName string, rec any) error {
 		s.fn(rec)
 		b.localDeliver.Add(1)
 	}
-	if len(subs.remotes) == 0 {
+	remotes := subs.remotes
+	if len(remotes) == 0 {
 		return nil
+	}
+	if hasSharded(remotes) {
+		if fn := b.shardKeyFn(); fn != nil {
+			if key, ok := fn(rec); ok {
+				remotes = remotesForKey(remotes, key)
+			}
+		}
+		if len(remotes) == 0 {
+			return nil
+		}
 	}
 	f, err := b.encodeFrame(channelName, rec, false)
 	if err != nil {
 		return err
 	}
-	b.fanOut(subs.remotes, f)
+	b.fanOut(remotes, f)
 	return nil
+}
+
+// remotesForKey narrows a fan-out set to the subscribers whose shard
+// selector matches the record's key (unsharded subscribers always match).
+func remotesForKey(remotes []*remoteConn, key uint64) []*remoteConn {
+	out := make([]*remoteConn, 0, len(remotes))
+	for _, rc := range remotes {
+		if rc.sel.Match(key) {
+			out = append(out, rc)
+		}
+	}
+	return out
 }
 
 // PublishBatch delivers a whole slice of records in one operation — the
@@ -308,12 +412,81 @@ func (b *Broker) PublishBatch(channelName string, recs any) error {
 	if len(subs.remotes) == 0 {
 		return nil
 	}
-	f, err := b.encodeFrame(channelName, recs, true)
-	if err != nil {
-		return err
+	if !hasSharded(subs.remotes) {
+		f, err := b.encodeFrame(channelName, recs, true)
+		if err != nil {
+			return err
+		}
+		b.fanOut(subs.remotes, f)
+		return nil
 	}
-	b.fanOut(subs.remotes, f)
-	return nil
+	return b.publishBatchSharded(channelName, rv, subs.remotes)
+}
+
+// publishBatchSharded fans a batch out across a mixed set of sharded and
+// unsharded remote subscribers: one shared frame per distinct selector,
+// each holding only that shard's slice of the batch. Records without a
+// shard key are broadcast into every shard's frame (an unkeyable record
+// must not silently vanish from a federated tier). Per-element reflection
+// and key extraction cost is only paid when sharded subscribers are
+// connected — the monolithic deployment keeps the zero-copy single-frame
+// path above.
+func (b *Broker) publishBatchSharded(channelName string, rv reflect.Value, remotes []*remoteConn) error {
+	n := rv.Len()
+	fn := b.shardKeyFn()
+	keys := make([]uint64, n)
+	hasKey := make([]bool, n)
+	if fn != nil {
+		for i := 0; i < n; i++ {
+			keys[i], hasKey[i] = fn(rv.Index(i).Interface())
+		}
+	}
+	// Group subscribers by selector: the unsharded group shares one frame
+	// of the whole batch, each distinct (index, count) pair shares one
+	// filtered frame.
+	type shardGroup struct {
+		sel     ShardSelector
+		remotes []*remoteConn
+	}
+	var groups []shardGroup
+	for _, rc := range remotes {
+		found := false
+		for gi := range groups {
+			if groups[gi].sel == rc.sel {
+				groups[gi].remotes = append(groups[gi].remotes, rc)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, shardGroup{sel: rc.sel, remotes: []*remoteConn{rc}})
+		}
+	}
+	var firstErr error
+	for _, grp := range groups {
+		slice := rv
+		if grp.sel.Count != 0 {
+			kept := reflect.MakeSlice(rv.Type(), 0, n)
+			for i := 0; i < n; i++ {
+				if !hasKey[i] || grp.sel.Match(keys[i]) {
+					kept = reflect.Append(kept, rv.Index(i))
+				}
+			}
+			if kept.Len() == 0 {
+				continue // nothing in this batch for that shard
+			}
+			slice = kept
+		}
+		f, err := b.encodeFrame(channelName, slice.Interface(), true)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		b.fanOut(grp.remotes, f)
+	}
+	return firstErr
 }
 
 // encodeFrame builds the shared wire frame for one publish: channel
@@ -480,6 +653,7 @@ func (b *Broker) Subscribers() []SubscriberStats {
 		out = append(out, SubscriberStats{
 			Addr:             rc.conn.RemoteAddr().String(),
 			Version:          rc.version,
+			Shard:            rc.sel.String(),
 			Channels:         chans,
 			QueueLen:         n,
 			QueueCap:         capacity,
@@ -578,6 +752,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 		q:           newSendQueue(int(b.queueDepth.Load())),
 		channels:    make(map[string]bool, len(hs.channels)),
 		version:     hs.version,
+		sel:         hs.sel,
 		sentFormats: make(map[*pbio.Format]bool),
 	}
 	b.conns[rc] = true
@@ -684,11 +859,26 @@ type Subscriber struct {
 // Dial connects to a broker at addr and subscribes to the channels. reg
 // supplies local Go types for typed decoding (may be nil).
 func Dial(addr string, reg *pbio.Registry, channels ...string) (*Subscriber, error) {
+	return dial(addr, reg, ShardSelector{}, channels)
+}
+
+// DialSharded connects like Dial but subscribes as shard `shard` of `of`:
+// the broker delivers only records whose shard key maps to this shard
+// (plus keyless records, which are broadcast). This is how a federated
+// gpad shard receives exactly its slice of the interaction stream.
+func DialSharded(addr string, reg *pbio.Registry, shard, of int, channels ...string) (*Subscriber, error) {
+	if of < 1 || shard < 0 || shard >= of || of > maxShardCount {
+		return nil, fmt.Errorf("pubsub: bad shard %d/%d (want 0 <= shard < of <= %d)", shard, of, maxShardCount)
+	}
+	return dial(addr, reg, ShardSelector{Index: uint32(shard), Count: uint32(of)}, channels)
+}
+
+func dial(addr string, reg *pbio.Registry, sel ShardSelector, channels []string) (*Subscriber, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
 	}
-	if err := writeHandshake(conn, channels); err != nil {
+	if err := writeHandshakeSharded(conn, channels, sel); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -739,6 +929,12 @@ const (
 	// the wire bytes are identical either way — but gives future format
 	// changes a negotiation point.
 	handshakeFlagPlans = 1 << 0
+	// handshakeFlagShard says an 8-byte shard selector (u32 index, u32
+	// count, little-endian) follows the header, before the channel names.
+	// Brokers that predate sharding reject the unknown bytes as a framing
+	// error, so a sharded gpad cannot silently receive a full stream from
+	// an old broker.
+	handshakeFlagShard = 1 << 1
 
 	maxHandshakeChannels = 1024
 )
@@ -746,20 +942,40 @@ const (
 type handshake struct {
 	version  int
 	flags    uint16
+	sel      ShardSelector
 	channels []string
 }
 
 func writeHandshake(w io.Writer, channels []string) error {
+	return writeHandshakeSharded(w, channels, ShardSelector{})
+}
+
+func writeHandshakeSharded(w io.Writer, channels []string, sel ShardSelector) error {
 	if len(channels) > maxHandshakeChannels {
 		return fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", len(channels), maxHandshakeChannels)
+	}
+	flags := uint16(handshakeFlagPlans)
+	if sel.Count != 0 {
+		if !sel.Valid() || sel.Count > maxShardCount {
+			return fmt.Errorf("pubsub: handshake: bad shard selector %d/%d", sel.Index, sel.Count)
+		}
+		flags |= handshakeFlagShard
 	}
 	var hdr [6]byte
 	hdr[0] = handshakeMagic
 	hdr[1] = handshakeVersion
-	binary.LittleEndian.PutUint16(hdr[2:4], handshakeFlagPlans)
+	binary.LittleEndian.PutUint16(hdr[2:4], flags)
 	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(channels)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("pubsub: handshake: %w", err)
+	}
+	if flags&handshakeFlagShard != 0 {
+		var sb [8]byte
+		binary.LittleEndian.PutUint32(sb[0:4], sel.Index)
+		binary.LittleEndian.PutUint32(sb[4:8], sel.Count)
+		if _, err := w.Write(sb[:]); err != nil {
+			return fmt.Errorf("pubsub: handshake: %w", err)
+		}
 	}
 	for _, c := range channels {
 		if err := writeString(w, c); err != nil {
@@ -789,6 +1005,18 @@ func readHandshake(r io.Reader) (handshake, error) {
 		count = int(binary.LittleEndian.Uint16(rest[3:5]))
 		if count > maxHandshakeChannels {
 			return handshake{}, fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", count, maxHandshakeChannels)
+		}
+		if hs.flags&handshakeFlagShard != 0 {
+			var sb [8]byte
+			if _, err := io.ReadFull(r, sb[:]); err != nil {
+				return handshake{}, err
+			}
+			hs.sel.Index = binary.LittleEndian.Uint32(sb[0:4])
+			hs.sel.Count = binary.LittleEndian.Uint32(sb[4:8])
+			if !hs.sel.Valid() || hs.sel.Count > maxShardCount {
+				return handshake{}, fmt.Errorf("pubsub: handshake: bad shard selector %d/%d",
+					hs.sel.Index, hs.sel.Count)
+			}
 		}
 	} else {
 		// Legacy subscriber: the first byte is the channel count.

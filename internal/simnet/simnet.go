@@ -75,6 +75,40 @@ func (k FlowKey) Hash() uint64 {
 	return h
 }
 
+// ShardHash mixes the canonical four-tuple into the shard key used by
+// analyzer sharding — both the GPA's in-process lock stripes and the
+// federated gpad tier (shard i of N owns flows with ShardHash()%N == i).
+// The fields pack into 64 bits exactly (two 16-bit nodes, two 16-bit
+// ports); a splitmix64-style finalizer spreads them so nearby ports and
+// node ids land on different shards. Every component that routes by flow
+// must use this one function, or records for the same interaction would
+// land on different shards and never correlate.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func (k FlowKey) ShardHash() uint64 {
+	c := k.Canonical()
+	x := uint64(c.Src.Node)<<48 | uint64(c.Src.Port)<<32 |
+		uint64(c.Dst.Node)<<16 | uint64(c.Dst.Port)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NodeShardHash is the shard key for per-node state that has no flow
+// (aggregate deltas published at class granularity): the node is treated
+// as the Src endpoint of an otherwise-zero flow. The GPA's shardForNode
+// and the dissemination shard router must agree on this mapping.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func NodeShardHash(n NodeID) uint64 {
+	return FlowKey{Src: Addr{Node: n}}.ShardHash()
+}
+
 // Packet is one network packet. Application messages larger than the MSS
 // are fragmented into several packets by the sending kernel; the receiving
 // kernel reassembles them (see simos). Monitoring observes packets, not
