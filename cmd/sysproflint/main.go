@@ -62,7 +62,10 @@ func main() {
 		os.Exit(2)
 	}
 	for _, d := range diags {
-		fmt.Println(d)
+		// One grep-able file:line:col line per finding; evidence chains
+		// (cross-package call paths, lock acquisition paths) follow as
+		// indented continuation lines.
+		fmt.Println(d.Detail())
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sysproflint: %d finding(s)\n", len(diags))

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the module-wide static call graph that the analyzers
+// share. One graph covers every module package the loader has parsed —
+// the lint targets plus everything they import inside the module — so an
+// analyzer can follow a call from an annotated function in one package
+// into a helper two packages away and report the whole chain.
+//
+// Edge resolution is deliberately conservative in well-defined ways:
+//
+//   - direct calls to declared functions and methods on concrete
+//     receiver types resolve to exactly one callee (EdgeStatic);
+//   - calls through interfaces *defined in the module* resolve to every
+//     module-local implementation of the method, class-hierarchy style
+//     (EdgeInterface) — any of them might run, so all of them are edges;
+//   - calls through interfaces defined outside the module (io.Writer,
+//     net.Conn) are left to the leaf classifiers: the interface method's
+//     own package ("net") already identifies blocking surfaces;
+//   - calls through function-typed variables and fields are recorded as
+//     unresolved edges (Callee == nil, EdgeUnresolved) so analyzers can
+//     see that a call happened even when its target is unknowable
+//     without dataflow.
+//
+// Closure bodies are excluded from a function's edges, matching the
+// analyzers' shallow inspection: a closure runs later, elsewhere, and is
+// never attributed to its enclosing function.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call to a declared function or a method
+	// call through a concrete receiver type.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a call through a module-defined interface,
+	// resolved conservatively to one of its module-local
+	// implementations.
+	EdgeInterface
+	// EdgeUnresolved is a call through a function value whose target
+	// the graph cannot determine.
+	EdgeUnresolved
+)
+
+// CallEdge is one call site inside a function.
+type CallEdge struct {
+	// Callee is the resolved target node (nil for EdgeUnresolved).
+	Callee *FuncNode
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Kind records how the edge was resolved.
+	Kind EdgeKind
+}
+
+// FuncNode is one declared function or method in the module.
+type FuncNode struct {
+	// Obj is the function's type-checker object.
+	Obj *types.Func
+	// Decl is its declaration (Body may be nil for assembly stubs).
+	Decl *ast.FuncDecl
+	// Info is the type info of the declaring package.
+	Info *types.Info
+	// PkgPath is the declaring package's import path.
+	PkgPath string
+	// Edges are the module-internal calls made by the function body, in
+	// source order.
+	Edges []CallEdge
+}
+
+// DisplayName renders the function for diagnostics: "Scale" inside its
+// own package, "util.Scale" or "pubsub.Broker.Publish" from elsewhere.
+func (n *FuncNode) DisplayName(fromPkg string) string {
+	name := n.Obj.Name()
+	if sig, ok := n.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := namedRecvName(sig.Recv().Type()); tn != "" {
+			name = tn + "." + name
+		}
+	}
+	if n.PkgPath != fromPkg && n.Obj.Pkg() != nil {
+		name = n.Obj.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// namedRecvName extracts the receiver type's bare name ("Broker").
+func namedRecvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// CallGraph is the module-wide call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// byPkg lists each package's declared functions in source order.
+	byPkg map[string][]*FuncNode
+}
+
+// Node resolves a type-checker function object to its graph node (nil
+// for functions outside the graph — stdlib, or packages not loaded).
+func (g *CallGraph) Node(f *types.Func) *FuncNode {
+	if f == nil {
+		return nil
+	}
+	return g.nodes[f]
+}
+
+// PkgFuncs returns the declared functions of one package in source
+// order.
+func (g *CallGraph) PkgFuncs(pkgPath string) []*FuncNode {
+	return g.byPkg[pkgPath]
+}
+
+// Packages returns the package paths present in the graph, unsorted.
+func (g *CallGraph) Packages() []string {
+	out := make([]string, 0, len(g.byPkg))
+	for p := range g.byPkg {
+		out = append(out, p)
+	}
+	return out
+}
+
+// buildCallGraph constructs the graph over the given loaded packages.
+func buildCallGraph(pkgs []*loadedPackage) *CallGraph {
+	g := &CallGraph{
+		nodes: make(map[*types.Func]*FuncNode),
+		byPkg: make(map[string][]*FuncNode),
+	}
+	// Pass 1: register every declared function.
+	for _, lp := range pkgs {
+		if lp.pkg == nil {
+			continue
+		}
+		for _, file := range lp.files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := lp.info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Decl: fn, Info: lp.info, PkgPath: lp.path}
+				g.nodes[obj] = node
+				g.byPkg[lp.path] = append(g.byPkg[lp.path], node)
+			}
+		}
+	}
+
+	// Concrete named types per package, for interface-call resolution.
+	cha := newChaIndex(pkgs)
+
+	// Pass 2: edges.
+	for _, lp := range pkgs {
+		for _, node := range g.byPkg[lp.path] {
+			if node.Decl.Body == nil {
+				continue
+			}
+			inspectShallow(node.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				g.addEdges(node, call, cha)
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// addEdges resolves one call site into edges on the caller node.
+func (g *CallGraph) addEdges(caller *FuncNode, call *ast.CallExpr, cha *chaIndex) {
+	callee := calleeFunc(caller.Info, call)
+	if callee == nil {
+		// Conversion expressions (T(x)) also land here; only record a
+		// genuinely unresolved *call* when the operand is function-typed.
+		if isFuncValueCall(caller.Info, call) {
+			caller.Edges = append(caller.Edges, CallEdge{Call: call, Kind: EdgeUnresolved})
+		}
+		return
+	}
+	if node := g.nodes[callee]; node != nil {
+		caller.Edges = append(caller.Edges, CallEdge{Callee: node, Call: call, Kind: EdgeStatic})
+		return
+	}
+	// Interface method? Resolve module-defined interfaces to their
+	// module-local implementations.
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if iface, ok := recv.Underlying().(*types.Interface); ok && moduleInterface(recv, g) {
+			for _, impl := range cha.implementations(iface, callee.Name()) {
+				if node := g.nodes[impl]; node != nil {
+					caller.Edges = append(caller.Edges, CallEdge{Callee: node, Call: call, Kind: EdgeInterface})
+				}
+			}
+		}
+	}
+}
+
+// isFuncValueCall reports whether the call invokes a function-typed
+// value (variable, field, parameter) rather than a declared function,
+// builtin, or type conversion.
+func isFuncValueCall(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Signature); !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName, *types.Func:
+			return false
+		}
+		return true
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			_, isField := sel.Obj().(*types.Var)
+			return isField
+		}
+		_, isFunc := info.Uses[fun.Sel].(*types.Func)
+		return !isFunc
+	}
+	return true
+}
+
+// moduleInterface reports whether the interface's defining package is in
+// the graph (i.e. a module package, not stdlib).
+func moduleInterface(t types.Type, g *CallGraph) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	_, ok = g.byPkg[pkg.Path()]
+	return ok
+}
+
+// chaIndex answers "which module methods implement this interface
+// method" for class-hierarchy-style interface call resolution.
+type chaIndex struct {
+	// concrete types declared in module packages.
+	named []*types.Named
+	// memo caches per (interface, method) resolution.
+	memo map[chaKey][]*types.Func
+}
+
+type chaKey struct {
+	iface  *types.Interface
+	method string
+}
+
+func newChaIndex(pkgs []*loadedPackage) *chaIndex {
+	idx := &chaIndex{memo: make(map[chaKey][]*types.Func)}
+	for _, lp := range pkgs {
+		if lp.pkg == nil {
+			continue
+		}
+		scope := lp.pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			idx.named = append(idx.named, named)
+		}
+	}
+	return idx
+}
+
+// implementations returns the concrete module methods that a call to the
+// interface method might dispatch to.
+func (idx *chaIndex) implementations(iface *types.Interface, method string) []*types.Func {
+	key := chaKey{iface, method}
+	if impls, ok := idx.memo[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range idx.named {
+		// Pointer receiver method sets are supersets; check *T.
+		pt := types.NewPointer(named)
+		if !types.Implements(pt, iface) && !types.Implements(named, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(pt, true, nil, method)
+		if f, ok := obj.(*types.Func); ok {
+			impls = append(impls, f)
+		}
+	}
+	idx.memo[key] = impls
+	return impls
+}
+
+// chainFrameAt builds a ChainFrame for a call edge, rendered from the
+// caller's package perspective.
+func chainFrameAt(fset *token.FileSet, caller *FuncNode, edge CallEdge) ChainFrame {
+	desc := caller.DisplayName(caller.PkgPath) + " calls " + edge.Callee.DisplayName(caller.PkgPath)
+	if edge.Kind == EdgeInterface {
+		desc += " (interface dispatch)"
+	}
+	return ChainFrame{Pos: fset.Position(edge.Call.Pos()), Msg: desc}
+}
+
+// qualifiedTypeName renders a named type as "pkgpath.Name" for
+// cross-function lock identity.
+func qualifiedTypeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// shortPkgPath trims the module prefix from a package path for compact
+// messages ("internal/gpa" rather than "sysprof/internal/gpa").
+func shortPkgPath(path, modPath string) string {
+	if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+		return rest
+	}
+	return path
+}

@@ -26,6 +26,12 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*loadedPackage // by import path
 	loading map[string]bool           // import-cycle guard
+
+	// graph is the cached module call graph, rebuilt only when the set
+	// of loaded packages grows (loading is monotonic, so a stale count
+	// is the complete invalidation signal).
+	graph     *CallGraph
+	graphPkgs int
 }
 
 // loadedPackage is one parsed, type-checked module package.
@@ -204,9 +210,15 @@ type suppression struct {
 }
 
 // collectSuppressions scans a file's comments for //lint:ignore
-// directives. Malformed directives (no analyzer, or no reason) are
-// reported as diagnostics of the pseudo-analyzer "lint".
+// directives. Malformed directives (no analyzer, or no reason) and
+// directives naming an analyzer that does not exist — a stale
+// suppression that silences nothing — are reported as diagnostics of the
+// pseudo-analyzer "lint".
 func collectSuppressions(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []suppression {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	var out []suppression
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
@@ -221,6 +233,14 @@ func collectSuppressions(fset *token.FileSet, file *ast.File, report func(Diagno
 					Pos:      pos,
 					Analyzer: "lint",
 					Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			if !known[fields[0]] {
+				report(Diagnostic{
+					Pos:      pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("suppression names unknown analyzer %q", fields[0]),
 				})
 				continue
 			}
@@ -279,8 +299,9 @@ func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	}
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
+	nopReport := func(Diagnostic) {}
 
-	var sups []suppression
+	targetSet := make(map[string]bool, len(paths))
 	var targets []*loadedPackage
 	for _, path := range paths {
 		lp, err := l.loadPath(path)
@@ -288,17 +309,36 @@ func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			return nil, err
 		}
 		targets = append(targets, lp)
+		targetSet[path] = true
+	}
+
+	// Suppressions come from every loaded module package, not just the
+	// targets: cross-package analyzers must honor a documented //lint:ignore
+	// at a callee site two packages away. Malformed/stale suppressions are
+	// only *reported* for target packages.
+	var sups []suppression
+	for _, lp := range l.pkgs {
+		r := nopReport
+		if targetSet[lp.path] {
+			r = report
+		}
 		for _, f := range lp.files {
-			sups = append(sups, collectSuppressions(l.fset, f, report)...)
+			sups = append(sups, collectSuppressions(l.fset, f, r)...)
 		}
 	}
 	idx := buildSuppressionIndex(sups)
+
+	graph := l.callGraph()
+	shared := make(map[string]any)
 
 	for _, lp := range targets {
 		for _, terr := range lp.typeErrs {
 			report(Diagnostic{Analyzer: "typecheck", Message: terr.Error(), Pos: typeErrPos(terr)})
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       l.fset,
@@ -306,11 +346,42 @@ func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 				Pkg:        lp.pkg,
 				Info:       lp.info,
 				PkgPath:    lp.path,
+				Graph:      graph,
+				Shared:     shared,
 				report:     report,
 				suppressed: idx.covers,
 			}
 			a.Run(pass)
 		}
+	}
+
+	// Whole-module analyzers run once, over the graph. Their primary
+	// positions are filtered to target files so a subset lint does not
+	// surface findings rooted in unrequested dependencies.
+	targetFiles := make(map[string]bool)
+	for _, lp := range targets {
+		for _, f := range lp.files {
+			targetFiles[l.fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	moduleReport := func(d Diagnostic) {
+		if targetFiles[d.Pos.Filename] {
+			report(d)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Graph:      graph,
+			Targets:    targetSet,
+			ModPath:    l.modPath,
+			report:     moduleReport,
+			suppressed: idx.covers,
+		})
 	}
 
 	// Drop suppressed diagnostics ("lint" pseudo-diagnostics are never
@@ -336,6 +407,22 @@ func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		return a.Message < b.Message
 	})
 	return kept, nil
+}
+
+// callGraph returns the module call graph over every package loaded so
+// far, rebuilding only when new packages were loaded since the last
+// build.
+func (l *Loader) callGraph() *CallGraph {
+	if l.graph == nil || l.graphPkgs != len(l.pkgs) {
+		pkgs := make([]*loadedPackage, 0, len(l.pkgs))
+		for _, lp := range l.pkgs {
+			pkgs = append(pkgs, lp)
+		}
+		sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+		l.graph = buildCallGraph(pkgs)
+		l.graphPkgs = len(l.pkgs)
+	}
+	return l.graph
 }
 
 // typeErrPos extracts the position from a types.Error (best effort).

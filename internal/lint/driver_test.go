@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,19 +22,204 @@ func TestFixtureModule(t *testing.T) {
 	}
 }
 
-// TestMalformedSuppression: a //lint:ignore with no reason is itself a
-// finding, reported under the "lint" pseudo-analyzer.
+// TestMalformedSuppression: a //lint:ignore with no reason, and one
+// naming an analyzer that does not exist, are themselves findings,
+// reported under the "lint" pseudo-analyzer.
 func TestMalformedSuppression(t *testing.T) {
 	diags, err := Run(filepath.Join("testdata", "src"), []string{"./badsup"}, All())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if len(diags) != 1 || diags[0].Analyzer != "lint" {
-		t.Fatalf("want exactly one \"lint\" diagnostic, got:\n%s", renderDiags(diags))
+	if len(diags) != 2 {
+		t.Fatalf("want exactly two \"lint\" diagnostics, got:\n%s", renderDiags(diags))
 	}
-	if !strings.Contains(diags[0].Message, "malformed suppression") {
-		t.Fatalf("unexpected message: %s", diags[0].Message)
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Fatalf("want analyzer \"lint\", got:\n%s", renderDiags(diags))
+		}
 	}
+	if !hasFinding(diags, "lint", "malformed suppression") {
+		t.Fatalf("missing malformed-suppression finding:\n%s", renderDiags(diags))
+	}
+	if !hasFinding(diags, "lint", `unknown analyzer "nosuchanalyzer"`) {
+		t.Fatalf("missing unknown-analyzer finding:\n%s", renderDiags(diags))
+	}
+}
+
+// TestRepoSuppressions is the suppression-hygiene gate for the real
+// tree: every //lint:ignore outside testdata must name an existing
+// analyzer and carry a non-empty reason. A stale or bare suppression
+// silences nothing and must not survive review.
+func TestRepoSuppressions(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	count := 0
+	err = filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(p)
+		if info.IsDir() {
+			if base == "testdata" || strings.HasPrefix(base, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(base, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		sups := collectSuppressions(fset, file, func(d Diagnostic) {
+			t.Errorf("%s: %s", d.Pos, d.Message)
+		})
+		for _, s := range sups {
+			if strings.TrimSpace(s.reason) == "" {
+				t.Errorf("%s:%d: suppression for %s has an empty reason", s.file, s.line, s.analyzer)
+			}
+		}
+		count += len(sups)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("checked %d suppressions", count)
+}
+
+// TestCrossPackageChain: an annotated function whose blocking operation
+// sits two packages away is reported at the first hop, with the full
+// call chain attached as evidence.
+func TestCrossPackageChain(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "chain"), []string{"./emit"}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got:\n%s", renderDiags(diags))
+	}
+	d := diags[0]
+	if d.Analyzer != "nonblock" {
+		t.Fatalf("want a nonblock finding, got %s", d)
+	}
+	wantMsg := "Emit is //sysprof:nonblocking but calls relay.Forward, which calls wire.Send, which calls net.Write"
+	if d.Message != wantMsg {
+		t.Fatalf("message = %q, want %q", d.Message, wantMsg)
+	}
+	if filepath.Base(d.Pos.Filename) != "emit.go" {
+		t.Fatalf("diagnostic anchored at %s, want emit.go", d.Pos.Filename)
+	}
+	if len(d.Chain) != 3 {
+		t.Fatalf("want a 3-frame chain, got %d:\n%s", len(d.Chain), d.Detail())
+	}
+	for i, wantFile := range []string{"emit.go", "relay.go", "wire.go"} {
+		if got := filepath.Base(d.Chain[i].Pos.Filename); got != wantFile {
+			t.Errorf("chain[%d] in %s, want %s", i, got, wantFile)
+		}
+	}
+	detail := d.Detail()
+	for _, frag := range []string{"\n\t", "relay.go", "wire.go", "calls net.Write"} {
+		if !strings.Contains(detail, frag) {
+			t.Errorf("Detail() missing %q:\n%s", frag, detail)
+		}
+	}
+}
+
+// TestCrossPackageLockOrder: store.Put holds the store lock while
+// reaching the index lock through package index; jobs.Reindex takes the
+// same pair in the opposite order from a third package. The cycle is
+// reported once, with both acquisition paths attached.
+func TestCrossPackageLockOrder(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "chain"), []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var lo []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "lockorder" {
+			lo = append(lo, d)
+		}
+	}
+	if len(lo) != 1 {
+		t.Fatalf("want exactly one lockorder finding, got:\n%s", renderDiags(diags))
+	}
+	d := lo[0]
+	if !strings.Contains(d.Message, "potential deadlock: lock order cycle") ||
+		!strings.Contains(d.Message, "index.Index") || !strings.Contains(d.Message, "store.Store") {
+		t.Fatalf("unexpected message: %s", d.Message)
+	}
+	files := make(map[string]bool)
+	for _, f := range d.Chain {
+		files[filepath.Base(f.Pos.Filename)] = true
+	}
+	for _, want := range []string{"jobs.go", "store.go"} {
+		if !files[want] {
+			t.Errorf("chain has no frame in %s:\n%s", want, d.Detail())
+		}
+	}
+}
+
+// copyTree copies a fixture module (all files) into a temp root.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		copyFile(t, p, filepath.Join(dst, rel))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestChainMutations: reordering jobs.Reindex to take the locks in the
+// same order as store.Put dissolves the cycle, and removing the
+// net.Conn.Write clears the nonblock chain — the findings (and with
+// them the CLI exit code) flip with the code, not with the fixture.
+func TestChainMutations(t *testing.T) {
+	t.Run("consistent-order-is-clean", func(t *testing.T) {
+		root := copyTree(t, filepath.Join("testdata", "chain"))
+		mutate(t, root, filepath.Join("jobs", "jobs.go"),
+			"\tix.Lock()\n\ts.Lock()\n\ts.Unlock()\n\tix.Unlock()\n",
+			"\ts.Lock()\n\tix.Lock()\n\tix.Unlock()\n\ts.Unlock()\n")
+		diags, err := Run(root, []string{"./..."}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasFinding(diags, "lockorder", "potential deadlock") {
+			t.Fatalf("consistent order should dissolve the cycle, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("nonblocking-leaf-is-clean", func(t *testing.T) {
+		root := copyTree(t, filepath.Join("testdata", "chain"))
+		mutate(t, root, filepath.Join("wire", "wire.go"),
+			"\tif conn != nil {\n\t\tconn.Write(b)\n\t}\n",
+			"\t_ = len(b)\n")
+		diags, err := Run(root, []string{"./emit"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Fatalf("chain without a blocking leaf should be clean, got:\n%s", renderDiags(diags))
+		}
+	})
 }
 
 // TestUnknownPattern: patterns escaping the module are run errors, not
@@ -145,6 +332,49 @@ func TestMutations(t *testing.T) {
 		}
 		if !hasFinding(diags, "lockcheck", "never released") {
 			t.Fatalf("want a lockcheck finding after deleting defer Unlock, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("dissem-publish-sleep", func(t *testing.T) {
+		// Cross-package teeth: the injected sleep sits in pubsub, the
+		// annotation in dissem — only the module call graph connects them.
+		mroot := copyRepoSubset(t)
+		mutate(t, mroot, filepath.Join("internal", "pubsub", "pubsub.go"),
+			"func (b *Broker) PublishBatch(channelName string, recs any) error {\n",
+			"func (b *Broker) PublishBatch(channelName string, recs any) error {\n\ttime.Sleep(0)\n")
+		diags, err := Run(mroot, []string{"./internal/dissem"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range diags {
+			if d.Analyzer != "nonblock" || !strings.Contains(d.Message, "which calls time.Sleep") {
+				continue
+			}
+			found = true
+			last := d.Chain[len(d.Chain)-1]
+			if filepath.Base(last.Pos.Filename) != "pubsub.go" {
+				t.Errorf("chain should end in pubsub.go, got:\n%s", d.Detail())
+			}
+		}
+		if !found {
+			t.Fatalf("want a transitive nonblock finding in dissem, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("module-escaping-make", func(t *testing.T) {
+		// Escape teeth: the same make is accepted while stack-local
+		// (TestFixtureModule) and rejected once routed through a callee.
+		mroot := copyTree(t, filepath.Join("testdata", "module"))
+		mutate(t, mroot, filepath.Join("app", "app.go"),
+			"\tsum := 0\n\tfor _, v := range buf {\n\t\tsum += v\n\t}\n\treturn sum",
+			"\treturn util.Sum(buf)")
+		diags, err := Run(mroot, []string{"./..."}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasFinding(diags, "hotalloc", "calls make for a slice that escapes: passed to Sum") {
+			t.Fatalf("want a hotalloc escape finding, got:\n%s", renderDiags(diags))
 		}
 	})
 

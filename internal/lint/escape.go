@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the escape reasoning behind the hotalloc analyzer. The Go
+// compiler heap-allocates a make result, a composite literal, or an
+// address-taken variable only when the value *escapes* the function —
+// flows into a return value, a stored pointer, an interface, or a callee
+// the compiler cannot see through. hotalloc mirrors that rule instead of
+// pattern-matching the constructs: a provably stack-local make is
+// accepted, an escaping one is rejected with the reason.
+//
+// The analysis is a conservative, flow-insensitive use walk: starting
+// from the allocation expression, every context the value (or a local
+// alias of it) appears in either proves it stays on the stack (indexing,
+// ranging, field reads, len/cap/copy, comparisons), aliases it to
+// another local (plain assignment, append-to-self, value-preserving
+// conversions), or makes it escape. Anything unrecognized escapes — the
+// analyzer must never promise "no allocation" on a construct it does not
+// understand.
+
+// escapeScope is the per-function escape analysis context.
+type escapeScope struct {
+	info    *types.Info
+	body    *ast.BlockStmt
+	parents map[ast.Node]ast.Node
+}
+
+// newEscapeScope prepares the parent map for one function body
+// (closures excluded — they are scopes of their own).
+func newEscapeScope(info *types.Info, body *ast.BlockStmt) *escapeScope {
+	s := &escapeScope{info: info, body: body, parents: make(map[ast.Node]ast.Node)}
+	inspectShallowWithParent(body, func(n, parent ast.Node) {
+		s.parents[n] = parent
+	})
+	return s
+}
+
+// escapes reports why the value produced at site escapes the function
+// ("" when it is provably stack-local). site is the allocation
+// expression: a make/new call, a composite literal, or an &x unary.
+func (s *escapeScope) escapes(site ast.Expr) string {
+	// Track the allocation through local aliases, breadth-first.
+	seen := make(map[types.Object]bool)
+	var queue []types.Object
+
+	reason := s.classifyUse(site, func(obj types.Object) {
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			queue = append(queue, obj)
+		}
+	})
+	if reason != "" {
+		return reason
+	}
+
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for _, use := range s.usesOf(obj) {
+			r := s.classifyUse(use, func(alias types.Object) {
+				if alias != nil && !seen[alias] {
+					seen[alias] = true
+					queue = append(queue, alias)
+				}
+			})
+			if r != "" {
+				return r
+			}
+		}
+	}
+	return ""
+}
+
+// usesOf collects the identifiers in the body referring to obj,
+// excluding its defining occurrence (the binding itself is not a use).
+func (s *escapeScope) usesOf(obj types.Object) []ast.Node {
+	var out []ast.Node
+	inspectShallow(s.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if s.info.Uses[id] == obj {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// localVarObj resolves an expression to the local variable it names, or
+// nil (globals and fields are not locals — storing to them escapes).
+func (s *escapeScope) localVarObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := s.info.Defs[id]
+	if obj == nil {
+		obj = s.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package-level variable
+	}
+	return v
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// classifyUse walks outward from one use of the tracked value and
+// decides its fate: "" if this use keeps it on the stack (possibly
+// registering a new alias via addAlias), or the escape reason.
+func (s *escapeScope) classifyUse(use ast.Node, addAlias func(types.Object)) string {
+	cur := use
+	for {
+		parent := s.parents[cur]
+		switch p := parent.(type) {
+		case nil:
+			return ""
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SliceExpr:
+			if p.X == cur {
+				// A slice shares the backing array: its fate is the
+				// value's fate.
+				cur = p
+				continue
+			}
+			return "" // bound expression
+		case *ast.ReturnStmt:
+			return "returned"
+		case *ast.AssignStmt:
+			return s.classifyAssign(p, cur, addAlias)
+		case *ast.ValueSpec:
+			// var w T = cur
+			for i, v := range p.Values {
+				if v != cur || i >= len(p.Names) {
+					continue
+				}
+				obj := s.info.Defs[p.Names[i]]
+				if obj != nil && isInterface(obj.Type()) {
+					return "assigned to interface variable " + p.Names[i].Name
+				}
+				addAlias(obj)
+			}
+			return ""
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				return "" // invoking a function-typed value
+			}
+			reason, recurse := s.classifyArg(p, cur)
+			if recurse {
+				cur = p
+				continue
+			}
+			return reason
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return ""
+			}
+			// Receiver of a method call? The method may retain it.
+			if call, ok := s.parents[p].(*ast.CallExpr); ok && call.Fun == p {
+				if sel, ok := s.info.Selections[p]; ok && sel.Kind() == types.MethodVal {
+					return "passed as receiver to " + p.Sel.Name + " (callee may retain it)"
+				}
+			}
+			return "" // plain field read
+		case *ast.StarExpr, *ast.IndexExpr, *ast.TypeAssertExpr, *ast.RangeStmt,
+			*ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.CaseClause, *ast.ExprStmt, *ast.IncDecStmt,
+			*ast.BlockStmt, *ast.LabeledStmt, *ast.DeclStmt:
+			return ""
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				// &v of a tracked value: the pointer's fate is the
+				// value's fate.
+				cur = p
+				continue
+			}
+			return ""
+		case *ast.SendStmt:
+			if p.Value == cur {
+				return "sent on a channel"
+			}
+			return ""
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return "stored in a composite literal"
+		case *ast.GoStmt, *ast.DeferStmt:
+			return "captured by a go/defer statement"
+		default:
+			return "used in a context the analyzer cannot prove stack-local"
+		}
+	}
+}
+
+// classifyAssign decides the fate of a value appearing in an assignment.
+func (s *escapeScope) classifyAssign(assign *ast.AssignStmt, cur ast.Node, addAlias func(types.Object)) string {
+	// Appearing on the left-hand side means being overwritten (or
+	// written through, v[i] = x) — not an escape of the tracked value.
+	for _, lhs := range assign.Lhs {
+		if lhs == cur {
+			return ""
+		}
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs != cur {
+			continue
+		}
+		if len(assign.Lhs) != len(assign.Rhs) {
+			return "assigned through a multi-value expression"
+		}
+		lhs := ast.Unparen(assign.Lhs[i])
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			return ""
+		}
+		if obj := s.localVarObj(lhs); obj != nil {
+			if isInterface(obj.Type()) {
+				return "assigned to interface variable " + obj.Name()
+			}
+			addAlias(obj)
+			return ""
+		}
+		return "stored to " + renderExpr(assign.Lhs[i])
+	}
+	return ""
+}
+
+// classifyArg decides the fate of a value passed as a call argument.
+// recurse=true means the call is value-preserving (append to self, a
+// non-interface conversion) and the *call's* context decides.
+func (s *escapeScope) classifyArg(call *ast.CallExpr, arg ast.Node) (reason string, recurse bool) {
+	// Type conversion?
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) {
+			return "converted to interface", false
+		}
+		return "", true // value-preserving conversion: follow the result
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "copy", "delete", "clear", "min", "max":
+				return "", false
+			case "append":
+				if len(call.Args) > 0 && call.Args[0] == arg {
+					return "", true // result aliases the backing array
+				}
+				if call.Ellipsis.IsValid() && len(call.Args) > 0 && call.Args[len(call.Args)-1] == arg {
+					return "", false // elements copied out, header not stored
+				}
+				return "stored into another slice via append", false
+			case "panic", "print", "println":
+				return "passed to " + b.Name() + " (converts to interface)", false
+			default:
+				return "", false
+			}
+		}
+	}
+	// Any other call: the analyzer cannot see whether the callee
+	// retains its argument (and a non-inlined callee forces the
+	// argument to the heap anyway).
+	callee := calleeFunc(s.info, call)
+	name := renderExpr(call.Fun)
+	if callee != nil {
+		name = callee.Name()
+	}
+	return "passed to " + name + " (callee may retain it)", false
+}
+
+// renderExpr renders an expression compactly without needing a Pass.
+func renderExpr(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return renderExpr(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return renderExpr(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + renderExpr(v.X)
+	case *ast.ParenExpr:
+		return renderExpr(v.X)
+	case *ast.CallExpr:
+		return renderExpr(v.Fun) + "(...)"
+	}
+	return "expression"
+}

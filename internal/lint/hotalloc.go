@@ -2,23 +2,32 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 )
 
 // HotAlloc enforces //sysprof:noalloc: annotated functions — the kprof
-// emit fast path and its helpers — must avoid obvious allocation
-// constructs. It complements the alloc-reporting benchmarks (which
-// measure) by rejecting the constructs at review time (which prevents).
+// emit fast path and its helpers — must not heap-allocate. It
+// complements the alloc-reporting benchmarks (which measure) by
+// rejecting allocation at review time (which prevents).
 //
-// Flagged constructs: fmt.Sprintf/Sprint/Sprintln/Errorf, string
-// concatenation with non-constant operands, string<->[]byte conversions,
-// function literals (closures), make/new, address-taken composite
-// literals and slice/map literals, and append whose destination is not a
-// plain local variable (an escaping slice).
+// Always-allocating constructs are flagged outright: fmt.Sprintf and
+// friends, string concatenation with non-constant operands,
+// string<->[]byte conversions, closures, maps and channels, make with a
+// non-constant size (the compiler cannot stack-allocate those), and
+// append whose destination is not a local variable.
+//
+// Constructs that allocate *only if the value escapes* — make with a
+// constant size, new, composite literals, address-taken locals — go
+// through escape reasoning (escape.go): a provably stack-local value is
+// accepted, an escaping one is rejected with the escape reason. This
+// eliminates the old pattern-matcher's false positives on scratch
+// buffers while catching escapes it never saw (a stored pointer, an
+// interface conversion, a call that retains its argument).
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "//sysprof:noalloc functions must avoid obvious allocation constructs",
+	Doc:  "//sysprof:noalloc functions must not heap-allocate (escape-based)",
 	Run:  runHotAlloc,
 }
 
@@ -28,14 +37,12 @@ var fmtFormatting = map[string]bool{
 }
 
 func runHotAlloc(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hasAnnotation(fn, AnnotNoAlloc) {
-				continue
-			}
-			checkNoAlloc(pass, fn)
+	for _, node := range pass.Graph.PkgFuncs(pass.PkgPath) {
+		fn := node.Decl
+		if fn.Body == nil || !hasAnnotation(fn, AnnotNoAlloc) {
+			continue
 		}
+		checkNoAlloc(pass, fn)
 	}
 }
 
@@ -44,20 +51,18 @@ func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
 	report := func(pos token.Pos, what string) {
 		pass.Reportf(pos, "%s is //sysprof:noalloc but %s", name, what)
 	}
-
-	// Track parents so composite literals can see whether their address
-	// is taken.
-	parents := make(map[ast.Node]ast.Node)
-	inspectShallowWithParent(fn.Body, func(n, parent ast.Node) {
-		parents[n] = parent
-	})
+	esc := newEscapeScope(pass.Info, fn.Body)
 
 	inspectShallow(fn.Body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.FuncLit:
 			report(node.Pos(), "creates a closure (allocates)")
 		case *ast.CompositeLit:
-			if what := allocatingLiteral(pass, node, parents[node]); what != "" {
+			if what := allocatingLiteral(pass, esc, node); what != "" {
+				report(node.Pos(), what)
+			}
+		case *ast.UnaryExpr:
+			if what := allocatingAddr(pass, esc, node); what != "" {
 				report(node.Pos(), what)
 			}
 		case *ast.BinaryExpr:
@@ -65,7 +70,7 @@ func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
 				report(node.OpPos, "concatenates strings (allocates)")
 			}
 		case *ast.CallExpr:
-			if what := allocatingCall(pass, node); what != "" {
+			if what := allocatingCall(pass, esc, node); what != "" {
 				report(node.Pos(), what)
 			}
 		}
@@ -88,8 +93,8 @@ func inspectShallowWithParent(root ast.Node, visit func(n, parent ast.Node)) {
 		}
 		visit(n, parent)
 		if _, ok := n.(*ast.FuncLit); ok && n != root {
-			// Still push: Inspect will call us with nil to pop... it will
-			// not descend if we return false, and no pop call happens.
+			// Not descending: Inspect will not call us with nil for this
+			// node, so nothing is pushed.
 			return false
 		}
 		stack = append(stack, n)
@@ -97,23 +102,47 @@ func inspectShallowWithParent(root ast.Node, visit func(n, parent ast.Node)) {
 	})
 }
 
-// allocatingLiteral classifies a composite literal ("" when harmless). A
-// plain struct value literal (used for comparison or copied into a
-// variable) stays on the stack; one whose address is taken, or a slice or
-// map literal, heap-allocates.
-func allocatingLiteral(pass *Pass, lit *ast.CompositeLit, parent ast.Node) string {
-	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
-		return "takes the address of a composite literal (allocates)"
-	}
+// allocatingLiteral classifies a composite literal ("" when harmless).
+// Map literals always allocate buckets. Slice literals allocate only
+// when the backing array escapes. Struct value literals are values; the
+// address-taken case is handled by allocatingAddr.
+func allocatingLiteral(pass *Pass, esc *escapeScope, lit *ast.CompositeLit) string {
 	tv, ok := pass.Info.Types[lit]
 	if !ok {
 		return ""
 	}
 	switch tv.Type.Underlying().(type) {
-	case *types.Slice:
-		return "builds a slice literal (allocates)"
 	case *types.Map:
 		return "builds a map literal (allocates)"
+	case *types.Slice:
+		if reason := esc.escapes(lit); reason != "" {
+			return "builds a slice literal that escapes: " + reason + " (allocates)"
+		}
+	}
+	return ""
+}
+
+// allocatingAddr classifies an address-of expression. Taking the
+// address of a composite literal or of a local variable allocates
+// exactly when the pointer escapes (the value is moved to the heap);
+// taking the address of a field or element of an existing object never
+// allocates by itself.
+func allocatingAddr(pass *Pass, esc *escapeScope, u *ast.UnaryExpr) string {
+	if u.Op != token.AND {
+		return ""
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.CompositeLit:
+		if reason := esc.escapes(u); reason != "" {
+			return "takes the address of a composite literal that escapes: " + reason + " (allocates)"
+		}
+	case *ast.Ident:
+		if esc.localVarObj(x) == nil {
+			return ""
+		}
+		if reason := esc.escapes(u); reason != "" {
+			return "takes the address of local " + x.Name + " which escapes: " + reason + " (moves it to the heap)"
+		}
 	}
 	return ""
 }
@@ -133,22 +162,22 @@ func isNonConstantString(pass *Pass, bin *ast.BinaryExpr) bool {
 }
 
 // allocatingCall classifies a call expression ("" when harmless).
-func allocatingCall(pass *Pass, call *ast.CallExpr) string {
+func allocatingCall(pass *Pass, esc *escapeScope, call *ast.CallExpr) string {
 	// Builtins and conversions first.
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
 			switch obj.Name() {
 			case "make":
-				return "calls make (allocates)"
+				return allocatingMake(pass, esc, call)
 			case "new":
-				return "calls new (allocates)"
-			case "append":
-				if what := escapingAppend(pass, call); what != "" {
-					return what
+				if reason := esc.escapes(call); reason != "" {
+					return "calls new for a value that escapes: " + reason + " (allocates)"
 				}
 				return ""
+			case "append":
+				return escapingAppend(pass, call)
 			}
+			return ""
 		}
 	}
 	if what := stringConversion(pass, call); what != "" {
@@ -158,6 +187,36 @@ func allocatingCall(pass *Pass, call *ast.CallExpr) string {
 	pkg, fname := calleePkgFunc(callee)
 	if pkg == "fmt" && fmtFormatting[fname] {
 		return "calls fmt." + fname + " (allocates)"
+	}
+	return ""
+}
+
+// allocatingMake classifies a make call. Maps and channels always
+// allocate. Slices with a non-constant size always heap-allocate
+// (runtime.makeslice); constant-size slices allocate only on escape.
+func allocatingMake(pass *Pass, esc *escapeScope, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return "calls make for a map (allocates)"
+	case *types.Chan:
+		return "calls make for a channel (allocates)"
+	case *types.Slice:
+		for _, sz := range call.Args[1:] {
+			if stv, ok := pass.Info.Types[sz]; !ok || stv.Value == nil ||
+				stv.Value.Kind() != constant.Int {
+				return "calls make with a non-constant size (always heap-allocates)"
+			}
+		}
+		if reason := esc.escapes(call); reason != "" {
+			return "calls make for a slice that escapes: " + reason + " (allocates)"
+		}
 	}
 	return ""
 }

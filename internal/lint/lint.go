@@ -12,22 +12,33 @@
 // module using only go/parser, go/ast, go/token and go/types — no
 // golang.org/x/tools — resolving module-local imports by mapping import
 // paths onto the module directory tree and standard-library imports
-// through the stdlib source importer.
+// through the stdlib source importer. From the loaded packages it builds
+// one module-wide static call graph (callgraph.go): direct calls and
+// concrete-receiver method calls resolve to exactly one callee, calls
+// through module-defined interfaces resolve conservatively to every
+// module-local implementation, and function-value calls are recorded as
+// unresolved. The analyzers share that graph, so a property violated
+// three packages away from its annotation is reported with the full call
+// chain as evidence.
 //
 // # Annotations
 //
 // Two directive comments mark hot-path contracts on function declarations:
 //
-//	//sysprof:nonblocking   the function (and everything it calls in the
-//	                        same package) must not block: no selectless
-//	                        channel sends, time.Sleep, net or *os.File
-//	                        I/O, fmt printing, log calls, or sync.Cond
-//	                        waits
-//	//sysprof:noalloc       the function must avoid obvious allocation
-//	                        constructs: fmt.Sprintf and friends, string
-//	                        concatenation and conversions, closures,
-//	                        make/new, address-taken or slice/map composite
-//	                        literals, and appends to escaping slices
+//	//sysprof:nonblocking   the function (and everything it calls,
+//	                        across every module package) must not block:
+//	                        no selectless channel sends, time.Sleep, net
+//	                        or *os.File I/O, fmt printing, log calls, or
+//	                        sync.Cond waits
+//	//sysprof:noalloc       the function must not heap-allocate: no
+//	                        fmt.Sprintf and friends, string
+//	                        concatenation and conversions, closures, or
+//	                        maps; make results, composite literals and
+//	                        address-taken values are accepted only while
+//	                        provably stack-local (they are flagged the
+//	                        moment they escape via a return, a stored
+//	                        pointer, an interface conversion, or a call
+//	                        to a callee the analyzer cannot see through)
 //
 // # Suppressions
 //
@@ -49,20 +60,47 @@ import (
 	"strings"
 )
 
+// ChainFrame is one hop of a diagnostic's supporting path — a call site
+// or lock acquisition on the way from the reported position to the root
+// cause.
+type ChainFrame struct {
+	Pos token.Position
+	Msg string
+}
+
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a message.
+// a message, and (for cross-function findings) the call chain that
+// justifies it.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain, when non-empty, is the evidence path: each frame is one
+	// call or acquisition hop, root cause last.
+	Chain []ChainFrame
 }
 
-// String renders the diagnostic in the conventional file:line:col form.
+// String renders the diagnostic in the conventional file:line:col form
+// (one line, chain omitted — CI greps this shape).
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Detail renders the diagnostic with its chain as indented continuation
+// lines, the way the CLI prints it.
+func (d Diagnostic) Detail() string {
+	var sb strings.Builder
+	sb.WriteString(d.String())
+	for _, f := range d.Chain {
+		fmt.Fprintf(&sb, "\n\t%s:%d:%d: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg)
+	}
+	return sb.String()
+}
+
+// Analyzer is one named check. Per-package analyzers set Run; whole-
+// module analyzers (lock ordering, which must see acquisitions across
+// every package at once) set RunModule instead and are invoked exactly
+// once per lint run.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppressions.
 	Name string
@@ -70,10 +108,13 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module through the shared call
+	// graph.
+	RunModule func(*ModulePass)
 }
 
-// Pass hands an analyzer one type-checked package plus reporting and
-// suppression hooks.
+// Pass hands an analyzer one type-checked package plus the module call
+// graph and reporting/suppression hooks.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -82,6 +123,13 @@ type Pass struct {
 	Info     *types.Info
 	// PkgPath is the package's import path within the module.
 	PkgPath string
+	// Graph is the module-wide call graph covering this package and
+	// every module package it (transitively) imports.
+	Graph *CallGraph
+	// Shared is a run-scoped scratch map: an analyzer that memoizes
+	// cross-package state (nonblock's per-function verdicts) stores it
+	// here so later packages in the same run reuse it.
+	Shared map[string]any
 
 	// report records a diagnostic (suppressions are applied by the
 	// driver after all analyzers ran).
@@ -100,6 +148,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportChain records a diagnostic at pos carrying an evidence chain.
+func (p *Pass) ReportChain(pos token.Pos, chain []ChainFrame, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// ModulePass hands a whole-module analyzer the call graph plus the set
+// of target packages (diagnostics outside the targets are discarded by
+// the driver, so a subset lint of ./internal/gpa does not surface
+// findings positioned in its dependencies).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Graph    *CallGraph
+	// Targets is the set of package paths being linted.
+	Targets map[string]bool
+	// ModPath is the module path, for trimming in messages.
+	ModPath string
+
+	report     func(d Diagnostic)
+	suppressed func(analyzer string, pos token.Position) bool
+}
+
+// ReportChain records a module-level diagnostic with its evidence chain.
+func (p *ModulePass) ReportChain(pos token.Pos, chain []ChainFrame, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// Suppressed reports whether a //lint:ignore comment covers pos for this
+// analyzer.
+func (p *ModulePass) Suppressed(pos token.Pos) bool {
+	return p.suppressed(p.Analyzer.Name, p.Fset.Position(pos))
 }
 
 // Suppressed reports whether a //lint:ignore comment covers pos for this
@@ -122,6 +213,7 @@ func All() []*Analyzer {
 		NonBlock,
 		HotAlloc,
 		LockCheck,
+		LockOrder,
 		RefBalance,
 		AtomicMix,
 	}

@@ -25,19 +25,14 @@ var LockCheck = &Analyzer{
 }
 
 func runLockCheck(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			checkByValueLocks(pass, fn)
-			if fn.Body == nil {
-				continue
-			}
-			for _, scope := range lockScopes(fn.Body) {
-				checkLockScope(pass, scope)
-			}
+	for _, node := range pass.Graph.PkgFuncs(pass.PkgPath) {
+		fn := node.Decl
+		checkByValueLocks(pass, fn)
+		if fn.Body == nil {
+			continue
+		}
+		for _, scope := range lockScopes(fn.Body) {
+			checkLockScope(pass, scope)
 		}
 	}
 }
@@ -55,28 +50,38 @@ func lockScopes(body *ast.BlockStmt) []*ast.BlockStmt {
 	return scopes
 }
 
-// mutexOp classifies a call as a sync.Mutex / sync.RWMutex lock
-// operation. It returns the lock's receiver expression rendered as a
-// string ("s.mu") and the method name (Lock, Unlock, RLock, RUnlock),
-// or "" when the call is not a mutex operation.
-func mutexOp(pass *Pass, call *ast.CallExpr) (lockExpr, op string) {
-	callee := calleeFunc(pass.Info, call)
+// mutexOpExpr classifies a call as a sync.Mutex / sync.RWMutex lock
+// operation. It returns the lock's receiver expression ("s.mu") and the
+// method name (Lock, Unlock, RLock, RUnlock), or nil/"" when the call is
+// not a mutex operation.
+func mutexOpExpr(info *types.Info, call *ast.CallExpr) (lockExpr ast.Expr, op string) {
+	callee := calleeFunc(info, call)
 	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
-		return "", ""
+		return nil, ""
 	}
 	switch callee.Name() {
 	case "Lock", "Unlock", "RLock", "RUnlock":
 	default:
-		return "", ""
+		return nil, ""
 	}
 	if !isMutexMethod(callee) {
-		return "", ""
+		return nil, ""
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
+		return nil, ""
+	}
+	return sel.X, callee.Name()
+}
+
+// mutexOp is mutexOpExpr with the lock expression rendered as a string,
+// the identity lockcheck compares within one function.
+func mutexOp(pass *Pass, call *ast.CallExpr) (lockExpr, op string) {
+	expr, op := mutexOpExpr(pass.Info, call)
+	if op == "" {
 		return "", ""
 	}
-	return pass.ExprString(sel.X), callee.Name()
+	return pass.ExprString(expr), op
 }
 
 // isMutexMethod reports whether f is declared on sync.Mutex or

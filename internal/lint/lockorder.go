@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder infers a module-wide lock-acquisition order graph and
+// reports cycles — the shape that deadlocks two goroutines that take the
+// same pair of locks in opposite orders. It is a whole-module analyzer:
+// the dangerous inversions are exactly the cross-package ones (a gpa
+// stripe lock held while calling into pubsub, whose broker lock is
+// elsewhere held while calling back into gpa), which no per-package view
+// can see.
+//
+// The analysis is positional, like lockcheck: a lock L is considered
+// held from its Lock()/RLock() call to the first textual Unlock of the
+// same lock in the function (or to the end of the function when the
+// unlock is deferred or absent). Every direct acquisition and every
+// call-graph-reachable acquisition inside that region adds an edge
+// L → M. Lock identity is class-level — the declaring struct field or
+// package-level variable ("gpa.shard.mu"), not the instance — because
+// ordering is a property of the code shape, not of one run's pointer
+// values.
+//
+// Each cycle is reported once, with both acquisition paths attached as
+// chains. Self-edges (L → L) are not reported: striped locks acquire
+// sibling instances of the same class sequentially by design, and
+// instance-level aliasing is beyond a static class-level view (see
+// ROADMAP for the context-sensitive follow-up).
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock-acquisition cycles across the module are potential deadlocks",
+	RunModule: runLockOrder,
+}
+
+// lockAcq is one direct Lock/RLock in a function.
+type lockAcq struct {
+	id  string
+	op  string // "Lock" or "RLock"
+	pos token.Pos
+}
+
+// heldCall is a module-internal call edge made while a lock is held.
+type heldCall struct {
+	lockID  string
+	lockPos token.Pos
+	edge    CallEdge
+}
+
+// heldAcq is a direct acquisition made while another lock is held.
+type heldAcq struct {
+	lockID  string
+	lockPos token.Pos
+	inner   lockAcq
+}
+
+// funcLocks is the per-function lock summary.
+type funcLocks struct {
+	acquires  []lockAcq
+	heldCalls []heldCall
+	heldAcqs  []heldAcq
+}
+
+// acqPath is evidence that a lock is acquired, transitively, starting
+// from some function: the chain of call frames ending at the Lock call.
+type acqPath struct {
+	frames []ChainFrame
+	pos    token.Pos // the Lock call itself
+}
+
+// orderEdge is one L → M edge in the lock-order graph with its witness.
+type orderEdge struct {
+	from, to string
+	lockPos  token.Pos // where L was acquired (diagnostic anchor)
+	frames   []ChainFrame
+}
+
+func runLockOrder(pass *ModulePass) {
+	st := &lockOrderState{
+		pass:    pass,
+		summary: make(map[*FuncNode]*funcLocks),
+		memo:    make(map[*FuncNode]map[string]*acqPath),
+	}
+	for _, pkgPath := range pass.Graph.Packages() {
+		for _, node := range pass.Graph.PkgFuncs(pkgPath) {
+			st.summarize(node)
+		}
+	}
+
+	// Build the lock-order graph. adj[from][to] keeps the first witness.
+	adj := make(map[string]map[string]*orderEdge)
+	addEdge := func(e *orderEdge) {
+		if e.from == e.to {
+			return
+		}
+		m := adj[e.from]
+		if m == nil {
+			m = make(map[string]*orderEdge)
+			adj[e.from] = m
+		}
+		if _, ok := m[e.to]; !ok {
+			m[e.to] = e
+		}
+	}
+
+	for node, fl := range st.summary {
+		for _, ha := range fl.heldAcqs {
+			if pass.Suppressed(ha.lockPos) || pass.Suppressed(ha.inner.pos) {
+				continue
+			}
+			addEdge(&orderEdge{
+				from:    ha.lockID,
+				to:      ha.inner.id,
+				lockPos: ha.lockPos,
+				frames: []ChainFrame{{
+					Pos: pass.Fset.Position(ha.inner.pos),
+					Msg: node.DisplayName(node.PkgPath) + " acquires " + st.short(ha.inner.id),
+				}},
+			})
+		}
+		for _, hc := range fl.heldCalls {
+			if hc.edge.Callee == nil {
+				continue
+			}
+			if pass.Suppressed(hc.lockPos) || pass.Suppressed(hc.edge.Call.Pos()) {
+				continue
+			}
+			callFrame := chainFrameAt(pass.Fset, node, hc.edge)
+			for id, path := range st.acquiredBy(hc.edge.Callee) {
+				frames := make([]ChainFrame, 0, 1+len(path.frames))
+				frames = append(frames, callFrame)
+				frames = append(frames, path.frames...)
+				addEdge(&orderEdge{from: hc.lockID, to: id, lockPos: hc.lockPos, frames: frames})
+			}
+		}
+	}
+
+	st.reportCycles(adj)
+}
+
+type lockOrderState struct {
+	pass    *ModulePass
+	summary map[*FuncNode]*funcLocks
+	memo    map[*FuncNode]map[string]*acqPath
+	visit   []*FuncNode
+}
+
+// short trims the module prefix from a lock identity for messages.
+func (st *lockOrderState) short(id string) string {
+	return shortPkgPath(id, st.pass.ModPath)
+}
+
+// summarize computes (once) the per-function lock summary.
+func (st *lockOrderState) summarize(node *FuncNode) *funcLocks {
+	if fl, ok := st.summary[node]; ok {
+		return fl
+	}
+	fl := &funcLocks{}
+	st.summary[node] = fl
+	if node.Decl.Body == nil {
+		return fl
+	}
+
+	// Direct acquisitions, plain unlock positions, and deferred unlocks.
+	deferred := make(map[string]bool)
+	var unlocks []lockAcq
+	inspectShallow(node.Decl.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			if expr, op := mutexOpExpr(node.Info, stmt.Call); op == "Unlock" || op == "RUnlock" {
+				if id, ok := lockIdentity(node.Info, expr); ok {
+					deferred[id] = true
+				}
+			}
+			return false // a deferred call runs at exit, not here
+		case *ast.CallExpr:
+			expr, op := mutexOpExpr(node.Info, stmt)
+			if op == "" {
+				return true
+			}
+			id, ok := lockIdentity(node.Info, expr)
+			if !ok {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				fl.acquires = append(fl.acquires, lockAcq{id: id, op: op, pos: stmt.Pos()})
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, lockAcq{id: id, op: op, pos: stmt.Pos()})
+			}
+		}
+		return true
+	})
+	if len(fl.acquires) == 0 {
+		return fl
+	}
+
+	end := node.Decl.Body.End()
+	regionEnd := func(a lockAcq) token.Pos {
+		if deferred[a.id] {
+			return end
+		}
+		for _, u := range unlocks {
+			if u.id == a.id && u.pos > a.pos {
+				return u.pos
+			}
+		}
+		return end
+	}
+
+	for _, a := range fl.acquires {
+		rend := regionEnd(a)
+		// Calls inside the held region.
+		for _, edge := range node.Edges {
+			p := edge.Call.Pos()
+			if p > a.pos && p < rend {
+				fl.heldCalls = append(fl.heldCalls, heldCall{lockID: a.id, lockPos: a.pos, edge: edge})
+			}
+		}
+		// Other locks acquired directly inside the held region.
+		for _, b := range fl.acquires {
+			if b.id != a.id && b.pos > a.pos && b.pos < rend {
+				fl.heldAcqs = append(fl.heldAcqs, heldAcq{lockID: a.id, lockPos: a.pos, inner: b})
+			}
+		}
+	}
+	return fl
+}
+
+// acquiredBy returns every lock class the function acquires, directly or
+// through any chain of module-internal calls, with one witness path
+// each. Cycles in the call graph contribute nothing on the back edge.
+func (st *lockOrderState) acquiredBy(node *FuncNode) map[string]*acqPath {
+	if m, ok := st.memo[node]; ok {
+		return m
+	}
+	for _, v := range st.visit {
+		if v == node {
+			return nil
+		}
+	}
+	st.visit = append(st.visit, node)
+	defer func() { st.visit = st.visit[:len(st.visit)-1] }()
+
+	out := make(map[string]*acqPath)
+	fl := st.summarize(node)
+	for _, a := range fl.acquires {
+		if _, ok := out[a.id]; ok {
+			continue
+		}
+		if st.pass.Suppressed(a.pos) {
+			continue
+		}
+		out[a.id] = &acqPath{
+			pos: a.pos,
+			frames: []ChainFrame{{
+				Pos: st.pass.Fset.Position(a.pos),
+				Msg: node.DisplayName(node.PkgPath) + " acquires " + st.short(a.id),
+			}},
+		}
+	}
+	for _, edge := range node.Edges {
+		if edge.Callee == nil || edge.Callee == node {
+			continue
+		}
+		if st.pass.Suppressed(edge.Call.Pos()) {
+			continue
+		}
+		sub := st.acquiredBy(edge.Callee)
+		if len(sub) == 0 {
+			continue
+		}
+		callFrame := chainFrameAt(st.pass.Fset, node, edge)
+		for id, path := range sub {
+			if _, ok := out[id]; ok {
+				continue
+			}
+			frames := make([]ChainFrame, 0, 1+len(path.frames))
+			frames = append(frames, callFrame)
+			frames = append(frames, path.frames...)
+			out[id] = &acqPath{pos: path.pos, frames: frames}
+		}
+	}
+	st.memo[node] = out
+	return out
+}
+
+// reportCycles finds cycles in the lock-order graph and reports each
+// lock set once, with the forward witness and a return path as evidence.
+func (st *lockOrderState) reportCycles(adj map[string]map[string]*orderEdge) {
+	reported := make(map[string]bool)
+	// Deterministic iteration order.
+	froms := make([]string, 0, len(adj))
+	for f := range adj {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		tos := make([]string, 0, len(adj[from]))
+		for t := range adj[from] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			back := st.findPath(adj, to, from)
+			if back == nil {
+				continue
+			}
+			// Canonical key: the set of locks on the cycle.
+			locks := map[string]bool{from: true, to: true}
+			for _, e := range back {
+				locks[e.from] = true
+				locks[e.to] = true
+			}
+			names := make([]string, 0, len(locks))
+			for l := range locks {
+				names = append(names, st.short(l))
+			}
+			sort.Strings(names)
+			key := strings.Join(names, " → ")
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+
+			fwd := adj[from][to]
+			chain := make([]ChainFrame, 0, 8)
+			chain = append(chain, ChainFrame{
+				Pos: st.pass.Fset.Position(fwd.lockPos),
+				Msg: "holds " + st.short(from) + " (acquired here)",
+			})
+			chain = append(chain, fwd.frames...)
+			for _, e := range back {
+				chain = append(chain, ChainFrame{
+					Pos: st.pass.Fset.Position(e.lockPos),
+					Msg: "holds " + st.short(e.from) + " (acquired here)",
+				})
+				chain = append(chain, e.frames...)
+			}
+			st.pass.ReportChain(fwd.lockPos, chain,
+				"potential deadlock: lock order cycle %s involving %s",
+				key, st.short(from))
+		}
+	}
+}
+
+// findPath returns a shortest edge path from one lock to another in the
+// order graph (BFS), or nil.
+func (st *lockOrderState) findPath(adj map[string]map[string]*orderEdge, from, to string) []*orderEdge {
+	type qent struct {
+		lock string
+		path []*orderEdge
+	}
+	seen := map[string]bool{from: true}
+	queue := []qent{{lock: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.lock == to {
+			return cur.path
+		}
+		next := make([]string, 0, len(adj[cur.lock]))
+		for t := range adj[cur.lock] {
+			next = append(next, t)
+		}
+		sort.Strings(next)
+		for _, t := range next {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			queue = append(queue, qent{lock: t, path: append(append([]*orderEdge{}, cur.path...), adj[cur.lock][t])})
+		}
+	}
+	return nil
+}
+
+// lockIdentity derives a class-level identity for a lock expression:
+// the declaring struct field ("sysprof/internal/gpa.shard.mu"), a
+// package-level variable ("pkg.mu"), or — for an embedded mutex locked
+// through its container — the container type. Locks the analysis cannot
+// name class-wise (locals, anonymous structs) are skipped.
+func lockIdentity(info *types.Info, expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if named := derefNamed(sel.Recv()); named != nil {
+				return qualifiedTypeName(named) + "." + sel.Obj().Name(), true
+			}
+			return "", false
+		}
+		// Package-qualified variable: pkg.mu.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), true
+			}
+			// Embedded mutex locked through a named container value.
+			if named := derefNamed(v.Type()); named != nil && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() != "sync" {
+				return qualifiedTypeName(named) + ".(embedded lock)", true
+			}
+		}
+	}
+	return "", false
+}
+
+// derefNamed unwraps pointers down to a named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -9,7 +9,12 @@ import (
 
 // NonBlock enforces //sysprof:nonblocking: annotated functions — the
 // kprof emit path, LPA callbacks, the pub-sub enqueue path — must not
-// perform blocking operations, directly or through same-package callees.
+// perform blocking operations, directly or through any chain of callees
+// across the whole module. The traversal follows the shared call graph:
+// static calls and concrete method calls, plus conservative interface
+// dispatch to module-local implementations. A violation found two
+// packages away is reported at the first call hop with the full chain
+// attached as evidence.
 //
 // Blocking operations are: channel sends outside a select that has a
 // default case, time.Sleep, any call into package net, file I/O through
@@ -17,7 +22,7 @@ import (
 // streams), any call into package log, and sync.Cond Wait.
 var NonBlock = &Analyzer{
 	Name: "nonblock",
-	Doc:  "//sysprof:nonblocking functions must not call blocking operations",
+	Doc:  "//sysprof:nonblocking functions must not call blocking operations (module-wide, transitive)",
 	Run:  runNonBlock,
 }
 
@@ -37,117 +42,135 @@ var fmtPrinting = map[string]bool{
 	"Fscan": true, "Fscanf": true, "Fscanln": true,
 }
 
-func runNonBlock(pass *Pass) {
-	// Map each declared function object to its declaration, for
-	// same-package call-graph traversal.
-	decls := make(map[types.Object]*ast.FuncDecl)
-	var fns []*ast.FuncDecl
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			fns = append(fns, fn)
-			if obj := pass.Info.Defs[fn.Name]; obj != nil {
-				decls[obj] = fn
-			}
-		}
-	}
+// nbVerdict is the memoized answer to "does this function block", with
+// the first blocking path as evidence.
+type nbVerdict struct {
+	blocks bool
+	why    string // composed reason ("calls X, which calls time.Sleep")
+	pos    token.Pos
+	chain  []ChainFrame
+}
 
-	// directSites computes a function's own blocking operations,
-	// dropping suppressed ones so an intentional (documented) block in a
-	// callee does not taint annotated callers.
-	direct := make(map[*ast.FuncDecl][]blockSite)
-	for _, fn := range fns {
-		sites := blockingSites(pass, fn.Body)
-		kept := sites[:0]
-		for _, s := range sites {
-			if !pass.Suppressed(s.pos) {
+// nbState is the cross-package traversal state, shared by every
+// package's nonblock pass within one lint run.
+type nbState struct {
+	fset       *token.FileSet
+	suppressed func(analyzer string, pos token.Position) bool
+	direct     map[*FuncNode][]blockSite
+	memo       map[*FuncNode]*nbVerdict
+	visiting   map[*FuncNode]bool
+}
+
+// nonblockState fetches (or creates) the run-scoped state.
+func nonblockState(pass *Pass) *nbState {
+	if st, ok := pass.Shared["nonblock"].(*nbState); ok {
+		return st
+	}
+	st := &nbState{
+		fset:       pass.Fset,
+		suppressed: pass.suppressed,
+		direct:     make(map[*FuncNode][]blockSite),
+		memo:       make(map[*FuncNode]*nbVerdict),
+		visiting:   make(map[*FuncNode]bool),
+	}
+	pass.Shared["nonblock"] = st
+	return st
+}
+
+// directSites computes (and caches) a function's own blocking
+// operations, dropping suppressed ones so an intentional, documented
+// block in a callee does not taint annotated callers.
+func (st *nbState) directSites(node *FuncNode) []blockSite {
+	if sites, ok := st.direct[node]; ok {
+		return sites
+	}
+	var kept []blockSite
+	if node.Decl.Body != nil {
+		for _, s := range blockingSites(node.Info, node.Decl.Body) {
+			if !st.suppressed("nonblock", st.fset.Position(s.pos)) {
 				kept = append(kept, s)
 			}
 		}
-		direct[fn] = kept
 	}
+	st.direct[node] = kept
+	return kept
+}
 
-	// verdict memoizes whether a function blocks, and why.
-	type verdict struct {
-		blocks bool
-		why    string // first reason, for transitive messages
-		pos    token.Pos
-	}
-	memo := make(map[*ast.FuncDecl]*verdict)
-	visiting := make(map[*ast.FuncDecl]bool)
-	var blocksVia func(fn *ast.FuncDecl) *verdict
-	blocksVia = func(fn *ast.FuncDecl) *verdict {
-		if v, ok := memo[fn]; ok {
-			return v
-		}
-		if visiting[fn] {
-			// Recursion: assume the cycle itself does not block (its
-			// blocking operations, if any, are found on other edges).
-			return &verdict{}
-		}
-		visiting[fn] = true
-		defer delete(visiting, fn)
-		v := &verdict{}
-		if sites := direct[fn]; len(sites) > 0 {
-			v.blocks = true
-			v.why = sites[0].what
-			v.pos = sites[0].pos
-		} else {
-			inspectShallow(fn.Body, func(n ast.Node) bool {
-				if v.blocks {
-					return false
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeFunc(pass.Info, call)
-				if callee == nil || callee.Pkg() != pass.Pkg {
-					return true
-				}
-				cfn := decls[callee]
-				if cfn == nil || cfn == fn {
-					return true
-				}
-				if cv := blocksVia(cfn); cv.blocks {
-					// Skip if the call site itself is suppressed.
-					if pass.Suppressed(call.Pos()) {
-						return true
-					}
-					v.blocks = true
-					v.why = fmt.Sprintf("calls %s, which %s", funcDisplayName(cfn), cv.why)
-					v.pos = call.Pos()
-				}
-				return true
-			})
-		}
-		memo[fn] = v
+// verdict resolves whether node blocks, traversing call edges across
+// packages with memoization. Recursion cycles are assumed non-blocking
+// on the back edge (any blocking operation inside the cycle is still
+// found on the forward edges).
+func (st *nbState) verdict(node *FuncNode) *nbVerdict {
+	if v, ok := st.memo[node]; ok {
 		return v
 	}
+	if st.visiting[node] {
+		return &nbVerdict{}
+	}
+	st.visiting[node] = true
+	defer delete(st.visiting, node)
 
-	for _, fn := range fns {
-		if !hasAnnotation(fn, AnnotNonBlocking) {
+	v := &nbVerdict{}
+	if sites := st.directSites(node); len(sites) > 0 {
+		v.blocks = true
+		v.why = sites[0].what
+		v.pos = sites[0].pos
+		v.chain = []ChainFrame{{
+			Pos: st.fset.Position(sites[0].pos),
+			Msg: node.DisplayName(node.PkgPath) + " " + sites[0].what,
+		}}
+	} else {
+		for _, edge := range node.Edges {
+			if edge.Callee == nil || edge.Callee == node {
+				continue
+			}
+			cv := st.verdict(edge.Callee)
+			if !cv.blocks {
+				continue
+			}
+			// A suppressed call site is a documented hand-off; it does
+			// not taint this caller.
+			if st.suppressed("nonblock", st.fset.Position(edge.Call.Pos())) {
+				continue
+			}
+			calleeName := edge.Callee.DisplayName(node.PkgPath)
+			how := ""
+			if edge.Kind == EdgeInterface {
+				how = " (interface dispatch)"
+			}
+			v.blocks = true
+			v.why = fmt.Sprintf("calls %s%s, which %s", calleeName, how, cv.why)
+			v.pos = edge.Call.Pos()
+			v.chain = append([]ChainFrame{chainFrameAt(st.fset, node, edge)}, cv.chain...)
+			break
+		}
+	}
+	st.memo[node] = v
+	return v
+}
+
+func runNonBlock(pass *Pass) {
+	st := nonblockState(pass)
+	for _, node := range pass.Graph.PkgFuncs(pass.PkgPath) {
+		if node.Decl.Body == nil || !hasAnnotation(node.Decl, AnnotNonBlocking) {
 			continue
 		}
-		name := funcDisplayName(fn)
-		if sites := direct[fn]; len(sites) > 0 {
+		name := funcDisplayName(node.Decl)
+		if sites := st.directSites(node); len(sites) > 0 {
 			for _, s := range sites {
 				pass.Reportf(s.pos, "%s is //sysprof:nonblocking but %s", name, s.what)
 			}
 			continue
 		}
-		if v := blocksVia(fn); v.blocks {
-			pass.Reportf(v.pos, "%s is //sysprof:nonblocking but %s", name, v.why)
+		if v := st.verdict(node); v.blocks {
+			pass.ReportChain(v.pos, v.chain, "%s is //sysprof:nonblocking but %s", name, v.why)
 		}
 	}
 }
 
 // blockingSites scans one function body (not descending into closures)
 // for blocking operations.
-func blockingSites(pass *Pass, body *ast.BlockStmt) []blockSite {
+func blockingSites(info *types.Info, body *ast.BlockStmt) []blockSite {
 	var sites []blockSite
 
 	// Channel sends are non-blocking only as a select comm clause when
@@ -182,7 +205,7 @@ func blockingSites(pass *Pass, body *ast.BlockStmt) []blockSite {
 				sites = append(sites, blockSite{node.Arrow, "sends on a channel outside a select with default"})
 			}
 		case *ast.CallExpr:
-			if what := blockingCall(pass, node); what != "" {
+			if what := blockingCall(info, node); what != "" {
 				sites = append(sites, blockSite{node.Pos(), what})
 			}
 		}
@@ -192,8 +215,8 @@ func blockingSites(pass *Pass, body *ast.BlockStmt) []blockSite {
 }
 
 // blockingCall classifies a call as a blocking operation ("" if not).
-func blockingCall(pass *Pass, call *ast.CallExpr) string {
-	callee := calleeFunc(pass.Info, call)
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	callee := calleeFunc(info, call)
 	pkg, name := calleePkgFunc(callee)
 	switch pkg {
 	case "time":

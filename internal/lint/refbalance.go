@@ -26,15 +26,12 @@ var RefBalance = &Analyzer{
 }
 
 func runRefBalance(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			for _, scope := range lockScopes(fn.Body) {
-				checkRefScope(pass, scope)
-			}
+	for _, node := range pass.Graph.PkgFuncs(pass.PkgPath) {
+		if node.Decl.Body == nil {
+			continue
+		}
+		for _, scope := range lockScopes(node.Decl.Body) {
+			checkRefScope(pass, scope)
 		}
 	}
 }

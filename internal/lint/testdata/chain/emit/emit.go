@@ -1,0 +1,11 @@
+// Package emit is the annotated entry point of the cross-package chain
+// fixture: Emit promises not to block, but reaches a net.Conn.Write two
+// packages away through relay and wire.
+package emit
+
+import "chainmod/relay"
+
+//sysprof:nonblocking
+func Emit(rec []byte) {
+	relay.Forward(rec)
+}

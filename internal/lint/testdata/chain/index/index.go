@@ -1,0 +1,16 @@
+// Package index is one half of the cross-package lock-order fixture:
+// an embedded mutex locked through its container type.
+package index
+
+import "sync"
+
+type Index struct {
+	sync.Mutex
+	n int
+}
+
+func (ix *Index) Refresh() {
+	ix.Lock()
+	ix.n++
+	ix.Unlock()
+}

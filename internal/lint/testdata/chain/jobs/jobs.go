@@ -1,0 +1,16 @@
+// Package jobs closes the lock-order cycle from a third package: it
+// takes the index lock first and the store lock second — the inverse of
+// store.Put's order.
+package jobs
+
+import (
+	"chainmod/index"
+	"chainmod/store"
+)
+
+func Reindex(s *store.Store, ix *index.Index) {
+	ix.Lock()
+	s.Lock()
+	s.Unlock()
+	ix.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package relay is the middle hop of the chain fixture — no annotation,
+// no direct blocking call; it only matters as a link in the call graph.
+package relay
+
+import "chainmod/wire"
+
+func Forward(rec []byte) {
+	wire.Send(rec)
+}

@@ -1,0 +1,22 @@
+// Package store is the forward half of the cross-package lock-order
+// cycle: Put holds the store lock while reaching the index lock through
+// a call into package index.
+package store
+
+import (
+	"sync"
+
+	"chainmod/index"
+)
+
+type Store struct {
+	sync.Mutex
+	n int
+}
+
+func (s *Store) Put(ix *index.Index) {
+	s.Lock()
+	s.n++
+	ix.Refresh()
+	s.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package wire holds the blocking leaf of the chain fixture: Send
+// writes to a net.Conn, which can stall on a slow peer.
+package wire
+
+import "net"
+
+var conn net.Conn
+
+func Send(b []byte) {
+	if conn != nil {
+		conn.Write(b)
+	}
+}

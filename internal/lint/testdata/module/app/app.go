@@ -17,3 +17,20 @@ func Total(xs []int) int {
 	}
 	return sum
 }
+
+// Checksum folds values through a fixed-size scratch buffer. The make
+// stays stack-local, so the noalloc annotation holds — the escape
+// mutation test flips this by routing buf through util.Sum.
+//
+//sysprof:noalloc
+func Checksum(xs []int) int {
+	buf := make([]int, 8)
+	for i, x := range xs {
+		buf[i&7] += x
+	}
+	sum := 0
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}

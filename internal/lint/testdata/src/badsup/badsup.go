@@ -1,10 +1,16 @@
-// Package badsup holds a malformed suppression (analyzer but no
-// reason), which the driver must report under the "lint" pseudo-analyzer.
+// Package badsup holds bad suppressions: one malformed (analyzer but no
+// reason) and one naming an analyzer that does not exist — both reported
+// under the "lint" pseudo-analyzer.
 package badsup
 
 import "time"
 
 func sleeps() {
 	//lint:ignore nonblock
+	time.Sleep(time.Millisecond)
+}
+
+func sleepsMore() {
+	//lint:ignore nosuchanalyzer this suppression silences nothing
 	time.Sleep(time.Millisecond)
 }

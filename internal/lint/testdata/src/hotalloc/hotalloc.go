@@ -1,11 +1,19 @@
-// Package hotalloc is the golden fixture for the hotalloc analyzer.
+// Package hotalloc is the golden fixture for the escape-based hotalloc
+// analyzer: always-allocating constructs are flagged outright, while
+// make results, composite literals and address-taken locals are flagged
+// only when they escape — stack-local uses are accepted.
 package hotalloc
 
 import "fmt"
 
 type point struct{ X, Y int }
 
-type sink struct{ buf []int }
+type sink struct {
+	buf []int
+	ptr *point
+}
+
+var global []int
 
 //sysprof:noalloc
 func sprintfs(x int) string {
@@ -29,17 +37,115 @@ func closure() func() {
 
 //sysprof:noalloc
 func makes() []int {
-	return make([]int, 4) // want `calls make \(allocates\)`
+	return make([]int, 4) // want `calls make for a slice that escapes: returned`
+}
+
+//sysprof:noalloc
+func makeLocalOK() int {
+	buf := make([]byte, 64)
+	sum := 0
+	for _, b := range buf {
+		sum += int(b)
+	}
+	return sum
+}
+
+//sysprof:noalloc
+func makeAliasLocalOK() int {
+	buf := make([]int, 8)
+	view := buf[2:4]
+	view[0] = 1
+	return view[0] + len(buf)
+}
+
+//sysprof:noalloc
+func makeVarSize(n int) int {
+	buf := make([]byte, n) // want `calls make with a non-constant size \(always heap-allocates\)`
+	return len(buf)
+}
+
+//sysprof:noalloc
+func makeMap() map[int]int {
+	return make(map[int]int) // want `calls make for a map \(allocates\)`
+}
+
+//sysprof:noalloc
+func makeStored(s *sink) {
+	b := make([]int, 4) // want `calls make for a slice that escapes: stored to s\.buf`
+	s.buf = b
+}
+
+//sysprof:noalloc
+func makeGlobal() {
+	b := make([]int, 4) // want `calls make for a slice that escapes: stored to global`
+	global = b
+}
+
+//sysprof:noalloc
+func makeIface() {
+	b := make([]int, 4) // want `calls make for a slice that escapes: assigned to interface variable x`
+	var x any = b
+	_ = x
+}
+
+//sysprof:noalloc
+func makePassed() int {
+	b := make([]int, 4) // want `calls make for a slice that escapes: passed to consume`
+	return consume(b)
+}
+
+func consume(xs []int) int { return len(xs) }
+
+//sysprof:noalloc
+func news() *point {
+	return new(point) // want `calls new for a value that escapes: returned`
+}
+
+//sysprof:noalloc
+func newLocalOK() int {
+	p := new(point)
+	p.X = 3
+	return p.X
 }
 
 //sysprof:noalloc
 func addrLit() *point {
-	return &point{X: 1, Y: 2} // want `takes the address of a composite literal \(allocates\)`
+	return &point{X: 1, Y: 2} // want `takes the address of a composite literal that escapes: returned`
+}
+
+//sysprof:noalloc
+func addrLitLocalOK() int {
+	p := &point{X: 1, Y: 2}
+	p.Y++
+	return p.X + p.Y
+}
+
+//sysprof:noalloc
+func addrLocalEscapes(s *sink) {
+	p := point{X: 1}
+	s.ptr = &p // want `takes the address of local p which escapes: stored to s\.ptr`
+}
+
+//sysprof:noalloc
+func addrLocalOK(v point) int {
+	p := &v
+	return p.X
 }
 
 //sysprof:noalloc
 func sliceLit() []int {
-	return []int{1, 2} // want `builds a slice literal \(allocates\)`
+	return []int{1, 2} // want `builds a slice literal that escapes: returned`
+}
+
+//sysprof:noalloc
+func sliceLitLocalOK() int {
+	xs := []int{1, 2, 3}
+	return xs[0] + xs[2]
+}
+
+//sysprof:noalloc
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `builds a map literal \(allocates\)`
 }
 
 //sysprof:noalloc

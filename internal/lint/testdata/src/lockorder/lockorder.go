@@ -1,0 +1,62 @@
+// Package lockorder is the golden fixture for the lock-order analyzer:
+// two lock classes acquired in opposite orders — once directly, once
+// through a callee — form a cycle; consistent orders and striped
+// same-class acquisitions do not.
+package lockorder
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+
+type beta struct{ mu sync.Mutex }
+
+type gamma struct{ mu sync.Mutex }
+
+// abFirst acquires alpha.mu and, while holding it, reaches beta.mu
+// through lockBeta — the forward half of the inversion.
+func abFirst(a *alpha, b *beta) {
+	a.mu.Lock() // want `potential deadlock: lock order cycle lockorder\.alpha\.mu → lockorder\.beta\.mu involving lockorder\.alpha\.mu`
+	lockBeta(b)
+	a.mu.Unlock()
+}
+
+func lockBeta(b *beta) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// baFirst acquires the same pair directly in the opposite order — the
+// back edge that closes the cycle.
+func baFirst(a *alpha, b *beta) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// consistent nests gamma.mu under alpha.mu; nothing ever takes them the
+// other way around, so no cycle is reported on gamma.
+func consistent(a *alpha, g *gamma) {
+	a.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// striped acquires two instances of the same lock class sequentially —
+// a self-edge, deliberately not reported (shard stripes do this by
+// design).
+func striped(a, a2 *alpha) {
+	a.mu.Lock()
+	a2.mu.Lock()
+	a2.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// releasedBeforeCall unlocks alpha.mu before reaching beta.mu, so the
+// held region ends at the unlock and no edge is added.
+func releasedBeforeCall(a *alpha, b *beta) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	lockBeta(b)
+}

@@ -1,0 +1,55 @@
+package procfs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzProcfsQuery fuzzes the path normalization shared by Register,
+// Read, List, and the HTTP handler. Properties: clean always yields a
+// rooted, idempotent path; a registered path is readable under any
+// spelling that cleans to the same name; List(prefix) includes the
+// entry itself and only returns rooted paths; Unregister reverses
+// Register.
+func FuzzProcfsQuery(f *testing.F) {
+	for _, s := range []string{
+		"/sysprof/node0/lpa/0/window", "sysprof/stats", "//double//slash",
+		"/", "", "...", "a/b/c/", "/trailing/", "\x00nul", "unicode/π",
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, path string) {
+		if len(path) > 1024 {
+			t.Skip()
+		}
+		c := clean(path)
+		if !strings.HasPrefix(c, "/") {
+			t.Fatalf("clean(%q) = %q, not rooted", path, c)
+		}
+		if again := clean(c); again != c {
+			t.Fatalf("clean not idempotent: %q -> %q -> %q", path, c, again)
+		}
+
+		fs := New()
+		fs.Register(path, func() string { return "v" })
+		if got, err := fs.Read(path); err != nil || got != "v" {
+			t.Fatalf("Read(%q) after Register = %q, %v", path, got, err)
+		}
+		if got, err := fs.Read(c); err != nil || got != "v" {
+			t.Fatalf("Read(%q) (cleaned spelling) = %q, %v", c, got, err)
+		}
+		for _, p := range fs.List("/") {
+			if !strings.HasPrefix(p, "/") {
+				t.Fatalf("List returned unrooted path %q", p)
+			}
+		}
+		if ls := fs.List(path); len(ls) != 1 || ls[0] != c {
+			t.Fatalf("List(%q) = %v, want [%q]", path, ls, c)
+		}
+		fs.Unregister(path)
+		if _, err := fs.Read(path); err == nil {
+			t.Fatalf("Read(%q) after Unregister should fail", path)
+		}
+	})
+}
