@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"sysprof/internal/core"
 	"sysprof/internal/dissem"
 	"sysprof/internal/gpa"
 	"sysprof/internal/pbio"
@@ -248,6 +249,9 @@ func run(opts options) error {
 					return
 				}
 				switch w := rec.Value.(type) {
+				case *core.RecordColumns:
+					// Columnar interaction batch: one frame, all rows.
+					g.IngestColumns(w)
 				case *dissem.WireRecord:
 					g.Ingest(dissem.FromWire(w))
 				case *dissem.WireAggregate:

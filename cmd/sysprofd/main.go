@@ -52,7 +52,7 @@ func main() {
 	tracePath := flag.String("trace", "", "record the kernel event stream (PBIO) to this file")
 	topology := flag.String("topology", "simple", "hosted cluster: simple (web server), nfs (storage proxy), rubis (auction site)")
 	psQueue := flag.Int("pubsub-queue", 256, "per-subscriber send-queue depth (frames)")
-	psOverflow := flag.String("pubsub-overflow", "drop", "send-queue overflow policy: drop (drop-oldest) or block (block-with-deadline)")
+	psOverflow := flag.String("pubsub-overflow", "drop", "send-queue overflow policy: drop (drop-oldest), block (block-with-deadline), or adaptive (per-subscriber, from observed drain rate)")
 	psEvict := flag.Int("pubsub-evict", 64, "evict a subscriber after this many consecutive overflows (0 = never)")
 	fedEndpoints := flag.String("federation", "", "comma-separated gpad shard query endpoints; attaches a federation frontend to the controller (sysprofctl federation ...)")
 	flag.Parse()

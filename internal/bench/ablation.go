@@ -168,7 +168,7 @@ func RunAblationBuffers(records, capacity int, fillGap, copyDelay time.Duration)
 	run := func(single bool) (uint64, uint64, error) {
 		eng := sim.NewEngine()
 		d := dissem.New(eng, nil, nil, dissem.Config{CopyDelay: copyDelay})
-		buf := core.NewDoubleBuffer(capacity, func(batch []core.Record, release func()) {
+		buf := core.NewDoubleBuffer(capacity, func(batch *core.RecordColumns, release func()) {
 			d.OnFull(0, batch, release)
 		})
 		buf.SetSingleBuffered(single)

@@ -142,11 +142,11 @@ func RunRUBiS(cfg RUBiSConfig) (RUBiSResult, error) {
 		defer broker.Close()
 		g = gpa.New(gpa.Config{LoadWindow: time.Second}, eng.Now)
 		broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
-			batch, ok := rec.([]core.Record)
+			cols, ok := rec.(*core.RecordColumns)
 			if !ok {
 				return
 			}
-			g.IngestBatch(batch)
+			g.IngestColumns(cols)
 		})
 		for _, b := range svc.Backends {
 			d := dissem.New(eng, broker, nil, dissem.Config{

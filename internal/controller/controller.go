@@ -418,7 +418,7 @@ func maskFromSpec(spec string) (kprof.Mask, error) {
 //	pidfilter <node> <lpa> <pid>|off
 //	flushinterval <node> <duration>    e.g. 250ms, 2s
 //	pubsubqueue <node> <depth>         send-queue depth for new subscribers
-//	pubsubpolicy <node> drop|block     fan-out overflow policy
+//	pubsubpolicy <node> drop|block|adaptive  fan-out overflow policy
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
 //
@@ -512,7 +512,7 @@ func (c *Controller) Execute(line string) (string, error) {
 		return "ok", c.SetPubSubQueueDepth(fields[1], depth)
 	case "pubsubpolicy":
 		if len(fields) != 3 {
-			return "", errors.New("controller: usage: pubsubpolicy <node> drop|block")
+			return "", errors.New("controller: usage: pubsubpolicy <node> drop|block|adaptive")
 		}
 		return "ok", c.SetPubSubOverflowPolicy(fields[1], fields[2])
 	case "install-cpa":

@@ -8,14 +8,18 @@ package core
 // buffer"). If the daemon has not released the previous batch by the time
 // the second buffer fills, new records are dropped — the paper's "if the
 // data is not picked up in a timely fashion, it may be overwritten".
+//
+// Buffers are columnar (RecordColumns): the drain path sweeps contiguous
+// per-field slices instead of striding across ~240-byte Record structs,
+// and the batch stays structure-of-arrays all the way to GPA ingest.
 type DoubleBuffer struct {
 	capacity int
-	active   []Record
-	standby  []Record
+	active   *RecordColumns
+	standby  *RecordColumns
 	busy     bool // a drained batch is outstanding
 	single   bool // ablation: no standby buffer
 
-	onFull func(batch []Record, release func())
+	onFull func(batch *RecordColumns, release func())
 
 	drops    uint64
 	switches uint64
@@ -24,14 +28,14 @@ type DoubleBuffer struct {
 // NewDoubleBuffer returns a buffer pair of the given capacity. onFull is
 // invoked with the filled batch and a release callback; the batch is only
 // valid until release is called.
-func NewDoubleBuffer(capacity int, onFull func(batch []Record, release func())) *DoubleBuffer {
+func NewDoubleBuffer(capacity int, onFull func(batch *RecordColumns, release func())) *DoubleBuffer {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &DoubleBuffer{
 		capacity: capacity,
-		active:   make([]Record, 0, capacity),
-		standby:  make([]Record, 0, capacity),
+		active:   NewRecordColumns(capacity),
+		standby:  NewRecordColumns(capacity),
 		onFull:   onFull,
 	}
 }
@@ -57,9 +61,9 @@ func (b *DoubleBuffer) Push(rec Record) {
 		b.drops++
 		return
 	}
-	//lint:ignore hotalloc active is preallocated to capacity; append can only grow it after a runtime capacity raise, never in steady state
-	b.active = append(b.active, rec)
-	if len(b.active) < b.capacity {
+	//lint:ignore hotalloc Append copies rec's fields into the columns and does not retain the pointer, so &rec stays on the stack
+	b.active.Append(&rec)
+	if b.active.Len() < b.capacity {
 		return
 	}
 	b.flush()
@@ -67,7 +71,7 @@ func (b *DoubleBuffer) Push(rec Record) {
 
 // Flush forces the current buffer out even if not full.
 func (b *DoubleBuffer) Flush() {
-	if len(b.active) == 0 {
+	if b.active.Len() == 0 {
 		return
 	}
 	b.flush()
@@ -76,16 +80,18 @@ func (b *DoubleBuffer) Flush() {
 func (b *DoubleBuffer) flush() {
 	if b.busy {
 		// Both buffers committed: the oldest records are lost.
-		b.drops += uint64(len(b.active))
-		b.active = b.active[:0]
+		b.drops += uint64(b.active.Len())
+		b.active.Reset()
 		return
 	}
 	batch := b.active
-	b.active, b.standby = b.standby[:0], nil // standby becomes active
+	b.standby.Reset()
+	b.active, b.standby = b.standby, nil // standby becomes active
 	b.busy = true
 	b.switches++
 	release := func() {
-		b.standby = batch[:0]
+		batch.Reset()
+		b.standby = batch
 		b.busy = false
 	}
 	if b.onFull != nil {
@@ -99,7 +105,7 @@ func (b *DoubleBuffer) flush() {
 func (b *DoubleBuffer) Stats() (drops, switches uint64) { return b.drops, b.switches }
 
 // Len returns records currently in the active buffer.
-func (b *DoubleBuffer) Len() int { return len(b.active) }
+func (b *DoubleBuffer) Len() int { return b.active.Len() }
 
 // BufferSet is the per-CPU collection of double buffers.
 type BufferSet struct {
@@ -107,16 +113,16 @@ type BufferSet struct {
 }
 
 // NewBufferSet builds numCPUs buffer pairs.
-func NewBufferSet(numCPUs, capacity int, onFull func(cpu int, batch []Record, release func())) *BufferSet {
+func NewBufferSet(numCPUs, capacity int, onFull func(cpu int, batch *RecordColumns, release func())) *BufferSet {
 	if numCPUs < 1 {
 		numCPUs = 1
 	}
 	s := &BufferSet{per: make([]*DoubleBuffer, numCPUs)}
 	for i := range s.per {
 		cpu := i
-		var cb func(batch []Record, release func())
+		var cb func(batch *RecordColumns, release func())
 		if onFull != nil {
-			cb = func(batch []Record, release func()) { onFull(cpu, batch, release) }
+			cb = func(batch *RecordColumns, release func()) { onFull(cpu, batch, release) }
 		}
 		s.per[i] = NewDoubleBuffer(capacity, cb)
 	}

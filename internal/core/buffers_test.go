@@ -8,11 +8,9 @@ import (
 func TestDoubleBufferFillAndDrain(t *testing.T) {
 	var batches [][]uint64
 	var release func()
-	b := NewDoubleBuffer(3, func(batch []Record, rel func()) {
-		ids := make([]uint64, len(batch))
-		for i, r := range batch {
-			ids[i] = r.ID
-		}
+	b := NewDoubleBuffer(3, func(batch *RecordColumns, rel func()) {
+		ids := make([]uint64, batch.Len())
+		copy(ids, batch.IDs)
 		batches = append(batches, ids)
 		release = rel
 	})
@@ -39,7 +37,7 @@ func TestDoubleBufferFillAndDrain(t *testing.T) {
 }
 
 func TestDoubleBufferOverrunDrops(t *testing.T) {
-	b := NewDoubleBuffer(2, func(batch []Record, rel func()) {
+	b := NewDoubleBuffer(2, func(batch *RecordColumns, rel func()) {
 		// Daemon never releases: simulates a slow consumer.
 	})
 	for i := uint64(1); i <= 6; i++ {
@@ -55,7 +53,7 @@ func TestDoubleBufferOverrunDrops(t *testing.T) {
 
 func TestSingleBufferAblationDropsDuringDrain(t *testing.T) {
 	var release func()
-	b := NewDoubleBuffer(2, func(batch []Record, rel func()) { release = rel })
+	b := NewDoubleBuffer(2, func(batch *RecordColumns, rel func()) { release = rel })
 	b.SetSingleBuffered(true)
 	b.Push(Record{ID: 1})
 	b.Push(Record{ID: 2}) // fills, drain starts
@@ -73,8 +71,8 @@ func TestSingleBufferAblationDropsDuringDrain(t *testing.T) {
 
 func TestDoubleBufferExplicitFlush(t *testing.T) {
 	var got int
-	b := NewDoubleBuffer(100, func(batch []Record, rel func()) {
-		got = len(batch)
+	b := NewDoubleBuffer(100, func(batch *RecordColumns, rel func()) {
+		got = batch.Len()
 		rel()
 	})
 	b.Flush() // empty: no callback
@@ -100,7 +98,7 @@ func TestDoubleBufferNilCallback(t *testing.T) {
 
 func TestDoubleBufferSetCapacity(t *testing.T) {
 	n := 0
-	b := NewDoubleBuffer(100, func(batch []Record, rel func()) { n++; rel() })
+	b := NewDoubleBuffer(100, func(batch *RecordColumns, rel func()) { n++; rel() })
 	b.SetCapacity(2)
 	b.Push(Record{})
 	b.Push(Record{})
@@ -117,8 +115,8 @@ func TestDoubleBufferSetCapacity(t *testing.T) {
 
 func TestBufferSetRouting(t *testing.T) {
 	hits := map[int]int{}
-	s := NewBufferSet(2, 1, func(cpu int, batch []Record, rel func()) {
-		hits[cpu] += len(batch)
+	s := NewBufferSet(2, 1, func(cpu int, batch *RecordColumns, rel func()) {
+		hits[cpu] += batch.Len()
 		rel()
 	})
 	s.Push(0, Record{})
@@ -138,8 +136,8 @@ func TestBufferSetRouting(t *testing.T) {
 
 func TestBufferSetFlushAllAndStats(t *testing.T) {
 	total := 0
-	s := NewBufferSet(3, 10, func(cpu int, batch []Record, rel func()) {
-		total += len(batch)
+	s := NewBufferSet(3, 10, func(cpu int, batch *RecordColumns, rel func()) {
+		total += batch.Len()
 		rel()
 	})
 	for cpu := 0; cpu < 3; cpu++ {
@@ -159,8 +157,8 @@ func TestBufferSetFlushAllAndStats(t *testing.T) {
 func TestDoubleBufferConservationProperty(t *testing.T) {
 	prop := func(pushes uint16, capacity uint8) bool {
 		delivered := 0
-		b := NewDoubleBuffer(int(capacity%32), func(batch []Record, rel func()) {
-			delivered += len(batch)
+		b := NewDoubleBuffer(int(capacity%32), func(batch *RecordColumns, rel func()) {
+			delivered += batch.Len()
 			rel()
 		})
 		n := int(pushes % 2000)

@@ -36,7 +36,9 @@ type Config struct {
 	// Classify assigns request classes; nil uses the port classifier.
 	Classify Classifier
 	// OnFull receives filled buffer batches (the dissemination daemon).
-	OnFull func(cpu int, batch []Record, release func())
+	// Batches are columnar; use RecordColumns.Row/AppendTo to materialize
+	// rows when needed.
+	OnFull func(cpu int, batch *RecordColumns, release func())
 	// OnComplete, when set, observes every completed record synchronously
 	// (used by resource-aware schedulers needing the freshest data).
 	OnComplete func(*Record)
@@ -210,6 +212,38 @@ func (a *LPA) FlushOpen() {
 			a.closeInteraction(fs)
 		}
 	})
+}
+
+// ExpireIdleFlows deletes flow-table entries with no in-progress
+// interaction and no wire or send activity at or after cutoff, returning
+// how many were removed. The dissemination daemon calls this on its flush
+// cadence so conversations that ended long ago stop occupying the table
+// (the expired state is per-flow bookkeeping only — completed records
+// already left through the window and buffers). Victims are collected
+// first and deleted after the scan, since the table forbids deleting
+// mid-Each.
+func (a *LPA) ExpireIdleFlows(cutoff time.Duration) int {
+	var victims []simnet.FlowKey
+	limit := int64(cutoff)
+	a.table.Each(func(fs *flowState) {
+		if fs.cur != nil {
+			return
+		}
+		last := fs.lastRxAt
+		if fs.lastTxAt > last {
+			last = fs.lastTxAt
+		}
+		if fs.lastSendAt > last {
+			last = fs.lastSendAt
+		}
+		if last < limit {
+			victims = append(victims, fs.key)
+		}
+	})
+	for _, key := range victims {
+		a.table.Delete(key)
+	}
+	return len(victims)
 }
 
 // handle is the kprof callback: the analyzer fast path.

@@ -23,8 +23,8 @@ func TestLPARandomStreamInvariants(t *testing.T) {
 		lpa := NewLPA(hub, Config{
 			WindowSize:     4,
 			BufferCapacity: 2,
-			OnFull: func(cpu int, batch []Record, release func()) {
-				evicted += len(batch)
+			OnFull: func(cpu int, batch *RecordColumns, release func()) {
+				evicted += batch.Len()
 				release()
 			},
 		})

@@ -263,8 +263,8 @@ func TestLPAEvictionFillsBuffers(t *testing.T) {
 	cfg := Config{
 		WindowSize:     2,
 		BufferCapacity: 2,
-		OnFull: func(cpu int, batch []Record, release func()) {
-			drained += len(batch)
+		OnFull: func(cpu int, batch *RecordColumns, release func()) {
+			drained += batch.Len()
 			release()
 		},
 	}
@@ -282,8 +282,8 @@ func TestLPAEvictionFillsBuffers(t *testing.T) {
 
 func TestLPACloseFlushesEverything(t *testing.T) {
 	var drained int
-	h := newLPAHarness(Config{OnFull: func(cpu int, batch []Record, release func()) {
-		drained += len(batch)
+	h := newLPAHarness(Config{OnFull: func(cpu int, batch *RecordColumns, release func()) {
+		drained += batch.Len()
 		release()
 	}})
 	base := playInteraction(h, 0)

@@ -32,8 +32,8 @@ func TestPerCPUBufferRouting(t *testing.T) {
 		NumCPUs:        2,
 		WindowSize:     1, // evict almost immediately so buffers fill
 		BufferCapacity: 1,
-		OnFull: func(cpu int, batch []Record, release func()) {
-			perCPU[cpu] += len(batch)
+		OnFull: func(cpu int, batch *RecordColumns, release func()) {
+			perCPU[cpu] += batch.Len()
 			release()
 		},
 	})

@@ -4,7 +4,8 @@ import "sysprof/internal/simnet"
 
 // flowState is the per-flow interaction state machine.
 type flowState struct {
-	key simnet.FlowKey // canonical key
+	key  simnet.FlowKey // canonical key
+	hash uint64         // cached Hash(key): probing and rehash never re-hash
 	// reqDir is the request direction, fixed by the first packet seen.
 	reqDir simnet.FlowKey
 	cur    *open // in-progress interaction, nil when idle
@@ -41,75 +42,139 @@ const (
 type FlowTable interface {
 	// Get returns the state for the flow, creating it if absent.
 	Get(key simnet.FlowKey) *flowState
+	// Delete removes the flow's state, reporting whether it existed.
+	// Must not be called while an Each visit is in progress.
+	Delete(key simnet.FlowKey) bool
 	// Len returns the number of tracked flows.
 	Len() int
 	// Each visits every flow state.
 	Each(fn func(*flowState))
 }
 
-// hashedTable is an open-addressing-free hash table: FlowKey.Hash buckets
-// with short chains, as the paper's "efficient event hashing". It doubles
-// its bucket array once the load factor passes maxLoadFactor, so chains
-// stay short however many flows a run accumulates.
+// hashedTable is an open-addressing hash table with linear probing — the
+// paper's "efficient event hashing" without per-flow chain allocations.
+// Lookups walk a contiguous run of slots from the key's home position, so
+// the common hit touches one or two cache lines instead of chasing a
+// bucket chain. Deletion uses backward-shift compaction rather than
+// tombstones, so a table that expires idle flows never rots: every probe
+// run stays exactly as long as its live entries require.
 type hashedTable struct {
-	buckets [][]*flowState
-	mask    uint64
-	n       int
+	slots []*flowState
+	mask  uint64
+	n     int
 }
 
-// maxLoadFactor is the mean chain length that triggers a rehash. Four
-// keeps chains a couple of cache lines while rehashing rarely enough to
-// amortize to O(1) per insert.
-const maxLoadFactor = 4
+// maxLoadPercent is the occupancy that triggers a doubling. 75% keeps
+// linear-probe runs short (expected O(1)) while wasting at most a third
+// of the slot array.
+const maxLoadPercent = 75
 
-// NewHashedTable returns a FlowTable with 2^sizeLog2 buckets.
+// NewHashedTable returns a FlowTable with 2^sizeLog2 slots.
 func NewHashedTable(sizeLog2 int) FlowTable {
 	if sizeLog2 < 2 {
 		sizeLog2 = 2
 	}
 	size := 1 << sizeLog2
-	return &hashedTable{buckets: make([][]*flowState, size), mask: uint64(size - 1)}
+	return &hashedTable{slots: make([]*flowState, size), mask: uint64(size - 1)}
 }
 
+// Get returns the state for the flow, inserting a fresh one on miss.
+//
+//sysprof:nonblocking
 func (t *hashedTable) Get(key simnet.FlowKey) *flowState {
 	ck := key.Canonical()
-	b := ck.Hash() & t.mask
-	for _, fs := range t.buckets[b] {
-		if fs.key == ck {
+	h := ck.Hash()
+	i := h & t.mask
+	for {
+		fs := t.slots[i]
+		if fs == nil {
+			break
+		}
+		if fs.hash == h && fs.key == ck {
 			return fs
 		}
+		i = (i + 1) & t.mask
 	}
+	//lint:ignore hotalloc one flowState per new flow, amortized across the flow's lifetime
 	fs := newFlowState(ck)
-	t.buckets[b] = append(t.buckets[b], fs)
-	t.n++
-	if t.n > maxLoadFactor*len(t.buckets) {
+	fs.hash = h
+	if (t.n+1)*100 > len(t.slots)*maxLoadPercent {
 		t.grow()
+		i = h & t.mask
+		for t.slots[i] != nil {
+			i = (i + 1) & t.mask
+		}
 	}
+	t.slots[i] = fs
+	t.n++
 	return fs
 }
 
-// grow doubles the bucket array and redistributes every chain. Each
-// flow's canonical-key hash is stable, so redistribution is a
-// reslice-and-append pass — no flowState is copied, only pointers move.
-func (t *hashedTable) grow() {
-	size := len(t.buckets) * 2
-	buckets := make([][]*flowState, size)
-	mask := uint64(size - 1)
-	for _, bucket := range t.buckets {
-		for _, fs := range bucket {
-			b := fs.key.Hash() & mask
-			buckets[b] = append(buckets[b], fs)
+// Delete removes the flow from the table using backward-shift compaction:
+// every entry in the probe run after the victim whose home position lies
+// at or before the emptied slot moves back into it, so no tombstone is
+// left behind and later probe runs stay minimal.
+func (t *hashedTable) Delete(key simnet.FlowKey) bool {
+	ck := key.Canonical()
+	h := ck.Hash()
+	i := h & t.mask
+	for {
+		fs := t.slots[i]
+		if fs == nil {
+			return false
+		}
+		if fs.hash == h && fs.key == ck {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	t.n--
+	j := i
+	for {
+		t.slots[i] = nil
+		for {
+			j = (j + 1) & t.mask
+			fs := t.slots[j]
+			if fs == nil {
+				return true
+			}
+			// fs may move into the hole iff the hole lies within fs's probe
+			// run, i.e. its home position is cyclically outside (i, j].
+			home := fs.hash & t.mask
+			if ((j - home) & t.mask) >= ((j - i) & t.mask) {
+				t.slots[i] = fs
+				i = j
+				break
+			}
 		}
 	}
-	t.buckets = buckets
+}
+
+// grow doubles the slot array and reinserts every entry. Hashes are
+// cached in the flowState, so redistribution never re-hashes a key — it
+// is a pointer move per flow.
+func (t *hashedTable) grow() {
+	slots := make([]*flowState, len(t.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for _, fs := range t.slots {
+		if fs == nil {
+			continue
+		}
+		i := fs.hash & mask
+		for slots[i] != nil {
+			i = (i + 1) & mask
+		}
+		slots[i] = fs
+	}
+	t.slots = slots
 	t.mask = mask
 }
 
 func (t *hashedTable) Len() int { return t.n }
 
 func (t *hashedTable) Each(fn func(*flowState)) {
-	for _, bucket := range t.buckets {
-		for _, fs := range bucket {
+	for _, fs := range t.slots {
+		if fs != nil {
 			fn(fs)
 		}
 	}
@@ -134,6 +199,20 @@ func (t *linearTable) Get(key simnet.FlowKey) *flowState {
 	fs := newFlowState(ck)
 	t.flows = append(t.flows, fs)
 	return fs
+}
+
+func (t *linearTable) Delete(key simnet.FlowKey) bool {
+	ck := key.Canonical()
+	for i, fs := range t.flows {
+		if fs.key == ck {
+			last := len(t.flows) - 1
+			t.flows[i] = t.flows[last]
+			t.flows[last] = nil
+			t.flows = t.flows[:last]
+			return true
+		}
+	}
+	return false
 }
 
 func (t *linearTable) Len() int { return len(t.flows) }

@@ -13,12 +13,12 @@ func flowKey(i int) simnet.FlowKey {
 	}
 }
 
-func TestHashedTableRehashGrowsBuckets(t *testing.T) {
-	tbl := NewHashedTable(2) // 4 buckets
+func TestHashedTableRehashGrowsSlots(t *testing.T) {
+	tbl := NewHashedTable(2) // 4 slots
 	ht := tbl.(*hashedTable)
-	initial := len(ht.buckets)
+	initial := len(ht.slots)
 	if initial != 4 {
-		t.Fatalf("initial buckets = %d, want 4", initial)
+		t.Fatalf("initial slots = %d, want 4", initial)
 	}
 
 	const flows = 200
@@ -30,13 +30,13 @@ func TestHashedTableRehashGrowsBuckets(t *testing.T) {
 	if tbl.Len() != flows {
 		t.Fatalf("Len = %d, want %d", tbl.Len(), flows)
 	}
-	if len(ht.buckets) <= initial {
-		t.Fatalf("buckets = %d after %d inserts, expected growth past %d",
-			len(ht.buckets), flows, initial)
+	if len(ht.slots) <= initial {
+		t.Fatalf("slots = %d after %d inserts, expected growth past %d",
+			len(ht.slots), flows, initial)
 	}
-	if got := len(ht.buckets) * maxLoadFactor; got < flows {
-		t.Fatalf("load factor still above %d: %d buckets for %d flows",
-			maxLoadFactor, len(ht.buckets), flows)
+	if flows*100 > len(ht.slots)*maxLoadPercent {
+		t.Fatalf("load above %d%%: %d slots for %d flows",
+			maxLoadPercent, len(ht.slots), flows)
 	}
 
 	// Every flow must resolve to the same *flowState after rehashing,
@@ -60,22 +60,111 @@ func TestHashedTableRehashGrowsBuckets(t *testing.T) {
 	}
 }
 
-func TestHashedTableChainsStayShort(t *testing.T) {
-	tbl := NewHashedTable(2)
-	ht := tbl.(*hashedTable)
-	for i := 0; i < 1000; i++ {
+func TestHashedTableDelete(t *testing.T) {
+	tbl := NewHashedTable(4)
+	const flows = 500
+	for i := 0; i < flows; i++ {
 		tbl.Get(flowKey(i))
 	}
-	longest := 0
-	for _, b := range ht.buckets {
-		if len(b) > longest {
-			longest = len(b)
+	// Delete every third flow, by either direction of the key.
+	deleted := map[simnet.FlowKey]bool{}
+	for i := 0; i < flows; i += 3 {
+		k := flowKey(i)
+		if i%2 == 0 {
+			k = k.Reverse()
+		}
+		if !tbl.Delete(k) {
+			t.Fatalf("Delete(flow %d) = false, want true", i)
+		}
+		deleted[flowKey(i).Canonical()] = true
+	}
+	if tbl.Delete(flowKey(flows + 7)) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	want := flows - len(deleted)
+	if tbl.Len() != want {
+		t.Fatalf("Len = %d after deletes, want %d", tbl.Len(), want)
+	}
+	// Backward-shift deletion must not break probing for survivors: every
+	// remaining flow is still findable, and Each sees exactly the
+	// survivors.
+	ht := tbl.(*hashedTable)
+	for i := 0; i < flows; i++ {
+		k := flowKey(i).Canonical()
+		if deleted[k] {
+			continue
+		}
+		before := ht.n
+		fs := tbl.Get(k)
+		if ht.n != before {
+			t.Fatalf("flow %d was re-inserted by Get after deletes: probe chain broken", i)
+		}
+		if fs.key != k {
+			t.Fatalf("flow %d resolved to wrong state", i)
 		}
 	}
-	// With load factor capped at 4 and an FNV hash, chains should stay
-	// well under a few dozen; a huge chain means rehashing is broken.
-	if longest > 8*maxLoadFactor {
-		t.Fatalf("longest chain = %d with %d buckets — rehash not keeping chains short",
-			longest, len(ht.buckets))
+	seen := 0
+	tbl.Each(func(*flowState) { seen++ })
+	if seen != want {
+		t.Fatalf("Each visited %d states after deletes, want %d", seen, want)
+	}
+}
+
+// Deleting colliding keys exercises the cyclic home-distance check in the
+// backward shift: with a tiny table, many keys share probe sequences that
+// wrap around the end of the slot array.
+func TestHashedTableDeleteCollisions(t *testing.T) {
+	tbl := NewHashedTable(2)
+	const flows = 30
+	for i := 0; i < flows; i++ {
+		tbl.Get(flowKey(i))
+	}
+	// Delete in an order unrelated to insertion, verifying survivors after
+	// every single deletion.
+	order := []int{17, 2, 29, 0, 11, 23, 5, 8, 26, 14, 20, 1, 28, 3, 9}
+	gone := map[simnet.FlowKey]bool{}
+	for _, i := range order {
+		if !tbl.Delete(flowKey(i)) {
+			t.Fatalf("Delete(flow %d) failed", i)
+		}
+		gone[flowKey(i).Canonical()] = true
+		ht := tbl.(*hashedTable)
+		for j := 0; j < flows; j++ {
+			k := flowKey(j).Canonical()
+			if gone[k] {
+				continue
+			}
+			before := ht.n
+			tbl.Get(k)
+			if ht.n != before {
+				t.Fatalf("after deleting flow %d, flow %d became unreachable", i, j)
+			}
+		}
+	}
+}
+
+func TestLinearTableDelete(t *testing.T) {
+	tbl := NewLinearTable()
+	for i := 0; i < 10; i++ {
+		tbl.Get(flowKey(i))
+	}
+	if !tbl.Delete(flowKey(4).Reverse()) {
+		t.Fatal("Delete by reversed key failed")
+	}
+	if tbl.Delete(flowKey(4)) {
+		t.Fatal("double Delete returned true")
+	}
+	if tbl.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", tbl.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			continue
+		}
+		before := tbl.Len()
+		tbl.Get(flowKey(i))
+		if tbl.Len() != before {
+			t.Fatalf("flow %d lost after swap-remove", i)
+		}
 	}
 }

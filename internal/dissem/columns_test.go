@@ -1,0 +1,192 @@
+package dissem
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/pbio"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/simnet"
+)
+
+func testColumnsBatch(n int) *core.RecordColumns {
+	cols := core.NewRecordColumns(n)
+	for i := 0; i < n; i++ {
+		r := core.Record{
+			ID:   uint64(i + 1),
+			Node: 1,
+			Flow: simnet.FlowKey{
+				Src: simnet.Addr{Node: 1, Port: uint16(1000 + i)},
+				Dst: simnet.Addr{Node: 2, Port: 80},
+			},
+			Class:      "port:80",
+			CPU:        uint8(i % 4),
+			Start:      time.Duration(i) * time.Millisecond,
+			End:        time.Duration(i+1) * time.Millisecond,
+			BufferWait: time.Duration(i) * time.Microsecond,
+			ServerPID:  int32(100 + i),
+			ServerProc: "httpd",
+			DiskOps:    uint64(i),
+		}
+		cols.Append(&r)
+	}
+	return cols
+}
+
+// TestColumnarLegacyFallback proves the handshake downgrade: a
+// subscriber that never advertised columnar support (a v0 handshake has
+// no capability flags at all) must receive PublishColumns traffic as
+// plain 0x03 record-batch frames its old decoder understands.
+func TestColumnarLegacyFallback(t *testing.T) {
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	b := pubsub.NewBroker(reg)
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(l)
+
+	// Hand-rolled v0 handshake: a channel count byte, then each name as
+	// a u32-length-prefixed string. No magic, no flags — the broker must
+	// treat this subscriber as columnar-incapable.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(ChannelInteractions)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(conn, ChannelInteractions); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		subs := b.Subscribers()
+		if len(subs) == 1 {
+			if subs[0].Columns {
+				t.Fatal("v0 subscriber registered as columnar-capable")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const rows = 5
+	cols := testColumnsBatch(rows)
+	want := cols.AppendTo(nil)
+	if err := b.PublishColumns(ChannelInteractions, cols); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the raw stream with a registry that has the interaction
+	// format bound but no column decoder — exactly what an old binary
+	// ships. The channel header is a u32-length-prefixed string; the
+	// rest is standard PBIO framing.
+	subReg := pbio.NewRegistry()
+	if _, err := subReg.Register("sysprof.interaction", WireRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	name := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(conn, name); err != nil {
+		t.Fatal(err)
+	}
+	if string(name) != ChannelInteractions {
+		t.Fatalf("channel header %q, want %q", name, ChannelInteractions)
+	}
+	dec := pbio.NewDecoder(conn, subReg)
+	for i := 0; i < rows; i++ {
+		rec, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		w, ok := rec.Value.(*WireRecord)
+		if !ok {
+			t.Fatalf("row %d: decoded %T, want *WireRecord", i, rec.Value)
+		}
+		if got := FromWire(w); got != want[i] {
+			t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestColumnarCapableRoundTrip is the capable-subscriber counterpart: a
+// current Dial advertises columnar support, so the same publish arrives
+// as one 0x04 frame and decodes back into a *core.RecordColumns batch.
+func TestColumnarCapableRoundTrip(t *testing.T) {
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	b := pubsub.NewBroker(reg)
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(l)
+
+	subReg := pbio.NewRegistry()
+	if err := RegisterFormats(subReg); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pubsub.Dial(l.Addr().String(), subReg, ChannelInteractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.Subscribers()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !b.Subscribers()[0].Columns {
+		t.Fatal("current Dial did not advertise columnar support")
+	}
+
+	const rows = 5
+	cols := testColumnsBatch(rows)
+	want := cols.AppendTo(nil)
+	if err := b.PublishColumns(ChannelInteractions, cols); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.Value.(*core.RecordColumns)
+	if !ok {
+		t.Fatalf("decoded %T, want *core.RecordColumns", rec.Value)
+	}
+	if got.Len() != rows {
+		t.Fatalf("decoded %d rows, want %d", got.Len(), rows)
+	}
+	for i, w := range want {
+		if r := got.Row(i); r != w {
+			t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, r, w)
+		}
+	}
+}

@@ -154,6 +154,7 @@ func RegisterFormats(reg *pbio.Registry) error {
 	if _, err := reg.Register("sysprof.aggregate", WireAggregate{}); err != nil {
 		return fmt.Errorf("dissem: %w", err)
 	}
+	reg.BindColumnDecoder("sysprof.interaction", decodeInteractionColumns)
 	return nil
 }
 
@@ -181,6 +182,11 @@ type Config struct {
 	FlushInterval time.Duration
 	// MaxWindowAge evicts window records older than this on each flush.
 	MaxWindowAge time.Duration
+	// FlowExpiry drops LPA flow-table state for flows with no traffic in
+	// this long, reclaiming table slots on each periodic flush. 0 disables
+	// expiry (flows live until Stop). Expiry only removes flows with no
+	// episode in flight, so it never truncates an active interaction.
+	FlowExpiry time.Duration
 }
 
 // Daemon is one node's dissemination daemon.
@@ -211,17 +217,17 @@ func New(eng *sim.Engine, broker *pubsub.Broker, fs *procfs.FS, cfg Config) *Dae
 }
 
 // OnFull is the callback to wire into core.Config.OnFull when building an
-// LPA this daemon serves: it publishes the batch and releases the LPA
-// buffer after the configured copy delay. The drained batch stays valid
-// until release() is called (the buffer cannot be reused before then), so
-// no defensive copy is made — the broker's cached encode plan writes the
-// records straight into the wire buffer at publish time.
+// LPA this daemon serves: it publishes the drained columnar batch and
+// releases the LPA buffer after the configured copy delay. The batch stays
+// valid until release() is called (the buffer cannot be reused before
+// then), so no defensive copy is made — the broker encodes the columns
+// straight into the wire buffer at publish time.
 //
 //sysprof:nonblocking
-func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
+func (d *Daemon) OnFull(cpu int, batch *core.RecordColumns, release func()) {
 	d.stats.BatchesDrained++
 	publish := func() {
-		d.publishBatch(batch)
+		d.publishColumns(batch)
 		release()
 	}
 	if d.cfg.CopyDelay <= 0 {
@@ -231,27 +237,28 @@ func (d *Daemon) OnFull(cpu int, batch []core.Record, release func()) {
 	d.eng.After(d.cfg.CopyDelay, publish)
 }
 
-// publishBatch publishes a drained batch of records as one pub-sub
-// batch. Local subscribers receive the []core.Record slice itself, valid
-// only during their callback (the LPA buffer is released afterwards);
-// remote subscribers get the plan-encoded wire frame, byte-identical to
-// the old ToWire path but with no intermediate copy.
+// publishColumns publishes one drained columnar batch. Local subscribers
+// receive the *core.RecordColumns itself, valid only during their callback
+// (the LPA buffer is released afterwards); remote subscribers get a
+// columnar (or, for legacy peers, row-batch) wire frame with no
+// intermediate copy.
 //
 //sysprof:nonblocking
-func (d *Daemon) publishBatch(batch []core.Record) {
-	if len(batch) == 0 {
+func (d *Daemon) publishColumns(batch *core.RecordColumns) {
+	n := batch.Len()
+	if n == 0 {
 		return
 	}
 	if d.broker == nil {
-		d.stats.RecordsPublished += uint64(len(batch))
+		d.stats.RecordsPublished += uint64(n)
 		return
 	}
-	if err := d.broker.PublishBatch(ChannelInteractions, batch); err != nil {
+	if err := d.broker.PublishColumns(ChannelInteractions, batch); err != nil {
 		d.stats.PublishErrors++
 		return
 	}
 	d.stats.BatchesPublished++
-	d.stats.RecordsPublished += uint64(len(batch))
+	d.stats.RecordsPublished += uint64(n)
 }
 
 // Serve registers an LPA with the daemon: its window is flushed
@@ -315,10 +322,17 @@ func (d *Daemon) Start() {
 // pub-sub batch.
 func (d *Daemon) FlushNow() {
 	cutoff := d.eng.Now() - d.cfg.MaxWindowAge
+	var idleCutoff time.Duration
+	if d.cfg.FlowExpiry > 0 {
+		idleCutoff = d.eng.Now() - d.cfg.FlowExpiry
+	}
 	var wires []WireAggregate
 	for _, lpa := range d.lpas {
 		lpa.Window().EvictOlderThan(cutoff)
 		lpa.Buffers().FlushAll()
+		if idleCutoff > 0 {
+			lpa.ExpireIdleFlows(idleCutoff)
+		}
 		if lpa.Granularity() != core.PerClass {
 			continue
 		}

@@ -98,13 +98,13 @@ func TestDaemonPublishesDrainedBatches(t *testing.T) {
 
 	var got []core.Record
 	broker.Subscribe(ChannelInteractions, func(rec any) {
-		batch, ok := rec.([]core.Record)
+		batch, ok := rec.(*core.RecordColumns)
 		if !ok {
-			t.Errorf("local subscriber got %T, want []core.Record", rec)
+			t.Errorf("local subscriber got %T, want *core.RecordColumns", rec)
 			return
 		}
-		// The batch slice is only valid during the callback.
-		got = append(got, batch...)
+		// The batch is only valid during the callback.
+		got = batch.AppendTo(got)
 	})
 
 	d := New(eng, broker, nil, Config{CopyDelay: time.Millisecond})

@@ -24,6 +24,81 @@ func BenchmarkGPAIngestParallel(b *testing.B) {
 	}
 }
 
+// benchBatch builds a steady-state ingest workload: pairs of correlating
+// client/server records across a rotating set of flows, delivered in
+// batches of the dissemination buffer's default size.
+func benchBatch(n int) []core.Record {
+	const base = time.Hour
+	recs := make([]core.Record, 0, n)
+	for i := 0; len(recs) < n; i++ {
+		flow := simnet.FlowKey{
+			Src: simnet.Addr{Node: 1, Port: uint16(1024 + i%512)},
+			Dst: simnet.Addr{Node: 2, Port: 80},
+		}
+		start := base - 10*time.Millisecond
+		recs = append(recs, core.Record{
+			ID: uint64(i), Node: flow.Src.Node, Flow: flow, Class: "port:80",
+			Start: start, End: start + 2*time.Millisecond,
+			ServerProc: "httpd",
+		})
+		if len(recs) < n {
+			recs = append(recs, core.Record{
+				ID: uint64(i), Node: flow.Dst.Node, Flow: flow, Class: "port:80",
+				Start: start + time.Millisecond, End: start + 2*time.Millisecond,
+				BufferWait: 100 * time.Microsecond, ServerProc: "httpd",
+			})
+		}
+	}
+	return recs
+}
+
+func benchGPA() *GPA {
+	const base = time.Hour
+	return New(Config{
+		CorrelationWindow: 5 * time.Millisecond,
+		LoadWindow:        time.Millisecond, // node windows drain immediately
+		MaxCorrelated:     1 << 12,          // steady-state history, not unbounded growth
+		// Disable the amortized stale sweep (cutoff never goes positive) so
+		// the benchmark measures the per-record ingest path, not the
+		// periodic empty-entry reclamation it interleaves.
+		StaleAfter: 2 * base,
+	}, func() time.Duration { return base })
+}
+
+// BenchmarkIngestBatch is the single-goroutine batch ingest hot path: one
+// drained dissemination buffer per iteration, every record correlating
+// with its pair. This is the number the columnar ingest path is measured
+// against.
+func BenchmarkIngestBatch(b *testing.B) {
+	const batchSize = 512
+	b.Run("rows", func(b *testing.B) {
+		g := benchGPA()
+		batch := benchBatch(batchSize)
+		g.IngestBatch(batch) // warm caches and reach steady-state capacity
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.IngestBatch(batch)
+		}
+		b.StopTimer()
+	})
+	b.Run("columns", func(b *testing.B) {
+		g := benchGPA()
+		cols := core.NewRecordColumns(batchSize)
+		for _, r := range benchBatch(batchSize) {
+			r := r
+			cols.Append(&r)
+		}
+		g.IngestColumns(cols) // warm caches and reach steady-state capacity
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.IngestColumns(cols)
+		}
+		b.StopTimer()
+	})
+}
+
 func benchmarkIngestParallel(b *testing.B, shards int) {
 	const base = time.Hour
 	g := New(Config{

@@ -1,0 +1,34 @@
+package gpa
+
+import (
+	"sysprof/internal/core"
+)
+
+// IngestColumns feeds one columnar record batch — a drained dissemination
+// buffer in structure-of-arrays form — into correlation. Shard routing
+// sweeps the packed Flow column in a tight loop (the only column the
+// router touches), and consecutive same-shard rows are ingested under a
+// single lock acquisition, like IngestBatch. Rows are materialized one at
+// a time as they enter correlation; the batch is never converted to a
+// []core.Record.
+//
+//sysprof:nonblocking
+func (g *GPA) IngestColumns(cols *core.RecordColumns) {
+	n := cols.Len()
+	for i := 0; i < n; {
+		key := cols.Flows[i].Canonical()
+		s := g.shardFor(key)
+		s.mu.Lock()
+		g.ingestLocked(s, key, cols.Row(i))
+		i++
+		for i < n {
+			next := cols.Flows[i].Canonical()
+			if g.shardFor(next) != s {
+				break
+			}
+			g.ingestLocked(s, next, cols.Row(i))
+			i++
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,136 @@
+package gpa
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/simnet"
+)
+
+// equivalenceSeed builds a deterministic mixed workload: correlating
+// client/server pairs across rotating flows, with every fourth server
+// side missing so the pending map keeps real residue.
+func equivalenceSeed() []core.Record {
+	seed := make([]core.Record, 0, 600)
+	for i := 0; i < 300; i++ {
+		fl := simnet.FlowKey{
+			Src: simnet.Addr{Node: simnet.NodeID(1 + i%5), Port: uint16(1024 + i)},
+			Dst: simnet.Addr{Node: simnet.NodeID(10 + i%3), Port: 80},
+		}
+		start := time.Hour - 50*time.Millisecond + time.Duration(i)*100*time.Microsecond
+		seed = append(seed, core.Record{
+			ID: uint64(i), Node: fl.Src.Node, Flow: fl, Class: "port:80",
+			Start: start, End: start + 2*time.Millisecond,
+			CtxSwitches: uint64(i % 7), ServerProc: "httpd",
+		})
+		if i%4 != 0 {
+			seed = append(seed, core.Record{
+				ID: uint64(1000 + i), Node: fl.Dst.Node, Flow: fl, Class: "port:80",
+				Start: start + 300*time.Microsecond, End: start + 1800*time.Microsecond,
+				BufferWait: 50 * time.Microsecond, SyscallTime: 20 * time.Microsecond,
+				ServerPID: 7, ServerProc: "httpd",
+			})
+		}
+	}
+	return seed
+}
+
+// TestColumnarRowEquivalence proves the two ingest paths are the same
+// analyzer: identical seed traffic pushed through the row-batch pipeline
+// and through the columnar pipeline must produce byte-identical query
+// results — the full correlated-interaction dump plus every line-protocol
+// query the federation tier issues.
+func TestColumnarRowEquivalence(t *testing.T) {
+	seed := equivalenceSeed()
+
+	gRows, nowRows := newGPA(Config{Shards: 4})
+	*nowRows = time.Hour
+	gRows.IngestBatch(seed)
+
+	gCols, nowCols := newGPA(Config{Shards: 4})
+	*nowCols = time.Hour
+	cols := core.NewRecordColumns(len(seed))
+	for i := range seed {
+		cols.Append(&seed[i])
+	}
+	gCols.IngestColumns(cols)
+
+	var bufRows, bufCols bytes.Buffer
+	if err := gRows.Dump(&bufRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := gCols.Dump(&bufCols); err != nil {
+		t.Fatal(err)
+	}
+	if bufRows.Len() == 0 {
+		t.Fatal("row pipeline produced an empty dump (seed traffic never correlated)")
+	}
+	if !bytes.Equal(bufRows.Bytes(), bufCols.Bytes()) {
+		t.Fatalf("correlated dumps differ:\nrows:    %d bytes\ncolumns: %d bytes",
+			bufRows.Len(), bufCols.Len())
+	}
+
+	for _, q := range []string{
+		"stats", "nodes", "accounting", "recent 50",
+		"load 10", "classes 10", "jstats", "jclasses", "jcorrelated 50",
+	} {
+		wantReply, wantErr := gRows.Execute(q)
+		gotReply, gotErr := gCols.Execute(q)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("query %q: error mismatch: rows=%v columns=%v", q, wantErr, gotErr)
+		}
+		if wantReply != gotReply {
+			t.Fatalf("query %q differs:\nrows:    %s\ncolumns: %s", q, wantReply, gotReply)
+		}
+	}
+}
+
+// TestPendingCapacityShrinksAfterBurstDrains is the regression test for
+// pending-slice capacity retention: a burst grows a flow's pending
+// backing array, and once the burst goes stale and drains, the sweep must
+// hand the few live records a right-sized array instead of keeping the
+// high-water allocation alive for the rest of the flow's life.
+func TestPendingCapacityShrinksAfterBurstDrains(t *testing.T) {
+	g, now := newGPA(Config{Shards: 1, StaleAfter: 50 * time.Millisecond})
+	*now = time.Hour
+
+	// Same-node records never correlate, so the burst sits in pending.
+	const burst = 512
+	for i := 0; i < burst; i++ {
+		g.Ingest(core.Record{
+			ID: uint64(i), Node: 1, Flow: flow, Class: "port:80",
+			Start: *now, End: *now + time.Millisecond,
+		})
+	}
+	key := flow.Canonical()
+	s := g.shardFor(key)
+	s.mu.Lock()
+	grown := cap(s.pending[key])
+	s.mu.Unlock()
+	if grown < burst {
+		t.Fatalf("burst grew pending cap to %d, want >= %d", grown, burst)
+	}
+
+	// The burst ages out; two fresh records keep the flow alive.
+	*now += time.Second
+	for i := 0; i < 2; i++ {
+		g.Ingest(core.Record{
+			ID: uint64(burst + i), Node: 1, Flow: flow, Class: "port:80",
+			Start: *now, End: *now + time.Millisecond,
+		})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g.sweepStaleLocked(s)
+	peers := s.pending[key]
+	if len(peers) != 2 {
+		t.Fatalf("pending len after sweep = %d, want 2", len(peers))
+	}
+	if cap(peers) > grown/4 {
+		t.Fatalf("pending cap after sweep = %d, want <= %d (burst high-water array still pinned)",
+			cap(peers), grown/4)
+	}
+}

@@ -53,9 +53,17 @@ func (e *EndToEnd) NetworkDelay() time.Duration {
 	return d
 }
 
-// nodeWindow keeps a node's recent records for load queries.
+// loadSample is the compact per-record slice of what load queries need:
+// the completion time for window pruning plus the three durations
+// ServerLoad averages. 32 bytes per record instead of a full Record copy
+// keeps the per-node windows cache-resident on the ingest hot path.
+type loadSample struct {
+	end, res, ker, buf time.Duration
+}
+
+// nodeWindow keeps a node's recent load samples for load queries.
 type nodeWindow struct {
-	recs []core.Record
+	samples []loadSample
 }
 
 // Config tunes the analyzer.
@@ -136,6 +144,11 @@ type shard struct {
 // stale-pending sweeps. Sweeps are O(pending) so they are amortized; the
 // explicit PruneStale method exists for deterministic tests and shutdown.
 const staleSweepEvery = 1024
+
+// minPendingCap is the per-flow backing-array capacity below which the
+// stale sweep never bothers right-sizing: reallocating tiny slices churns
+// more than the few KiB it frees.
+const minPendingCap = 64
 
 // GPA is the global analyzer. It is safe for concurrent use (records can
 // arrive from multiple subscriber goroutines).
@@ -344,7 +357,9 @@ func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
 		nw = &nodeWindow{}
 		s.byNode[rec.Node] = nw
 	}
-	nw.recs = append(nw.recs, rec)
+	nw.samples = append(nw.samples, loadSample{
+		end: rec.End, res: rec.Residence(), ker: rec.KernelTime(), buf: rec.BufferWait,
+	})
 	g.pruneWindow(nw)
 
 	classes := s.byClass[rec.Node]
@@ -400,11 +415,12 @@ func (g *GPA) ingestLocked(s *shard, key simnet.FlowKey, rec core.Record) {
 		g.trimCorrelatedLocked(s)
 		kept := append(peers[:i], peers[i+1:]...)
 		peers[len(kept)] = core.Record{} // release the shifted-out tail copy
-		if len(kept) == 0 {
-			delete(s.pending, key)
-		} else {
-			s.pending[key] = kept
-		}
+		// Keep the entry even when it empties: hot flows alternate between
+		// one pending record and none, and deleting the map entry on every
+		// match would cost a fresh slice allocation and bucket insert on
+		// the very next ingest. The stale sweep deletes entries still empty
+		// when it runs, so quiet flows do not accumulate.
+		s.pending[key] = kept
 		return
 	}
 	if n := len(peers); n >= g.cfg.MaxPending {
@@ -484,11 +500,11 @@ func (g *GPA) trimCorrelatedByAgeLocked(s *shard) {
 func (g *GPA) pruneWindow(nw *nodeWindow) {
 	cutoff := g.now() - g.cfg.LoadWindow
 	i := 0
-	for i < len(nw.recs) && nw.recs[i].End < cutoff {
+	for i < len(nw.samples) && nw.samples[i].end < cutoff {
 		i++
 	}
 	if i > 0 {
-		nw.recs = append(nw.recs[:0], nw.recs[i:]...)
+		nw.samples = append(nw.samples[:0], nw.samples[i:]...)
 	}
 }
 
@@ -513,6 +529,12 @@ func (g *GPA) sweepStaleLocked(s *shard) int {
 	}
 	pruned := 0
 	for key, peers := range s.pending {
+		if len(peers) == 0 {
+			// Emptied by correlation and not refilled since: the flow has
+			// gone quiet, release the entry the hot path kept around.
+			delete(s.pending, key)
+			continue
+		}
 		kept := peers[:0]
 		for _, p := range peers {
 			if p.Start < cutoff {
@@ -521,11 +543,26 @@ func (g *GPA) sweepStaleLocked(s *shard) int {
 			}
 			kept = append(kept, p)
 		}
-		if len(kept) == 0 {
+		switch {
+		case len(kept) == 0:
 			delete(s.pending, key)
-			continue
+		case cap(kept) > minPendingCap && len(kept) < cap(kept)/4:
+			// A burst grew this flow's backing array; now that it has
+			// drained, reallocate right-sized so the high-water array (and
+			// every record copy pinned in its tail) is released instead of
+			// living as long as the flow does.
+			shrunk := make([]core.Record, len(kept))
+			copy(shrunk, kept)
+			s.pending[key] = shrunk
+		default:
+			// Zero the dropped tail so shifted-out records release their
+			// string references even though the array is retained.
+			tail := peers[len(kept):]
+			for i := range tail {
+				tail[i] = core.Record{}
+			}
+			s.pending[key] = kept
 		}
-		s.pending[key] = kept
 	}
 	if pruned > 0 {
 		s.stats.StalePruned += uint64(pruned)
@@ -701,13 +738,13 @@ func (g *GPA) ServerLoad(node simnet.NodeID) Load {
 		s.mu.Lock()
 		if nw := s.byNode[node]; nw != nil {
 			g.pruneWindow(nw)
-			for j := range nw.recs {
-				r := &nw.recs[j]
-				res += r.Residence()
-				ker += r.KernelTime()
-				buf += r.BufferWait
+			for j := range nw.samples {
+				sm := &nw.samples[j]
+				res += sm.res
+				ker += sm.ker
+				buf += sm.buf
 			}
-			count += len(nw.recs)
+			count += len(nw.samples)
 		}
 		s.mu.Unlock()
 	}

@@ -387,14 +387,14 @@ func TestEndToEndPipeline(t *testing.T) {
 
 	g := New(Config{}, eng.Now)
 	broker.Subscribe(dissem.ChannelInteractions, func(rec any) {
-		// The daemon publishes records directly; the batch slice is only
-		// valid during the callback, and IngestBatch copies what it keeps.
-		batch, ok := rec.([]core.Record)
+		// The daemon publishes columnar batches directly; the batch is only
+		// valid during the callback, and IngestColumns copies what it keeps.
+		cols, ok := rec.(*core.RecordColumns)
 		if !ok {
-			t.Errorf("subscriber got %T, want []core.Record", rec)
+			t.Errorf("subscriber got %T, want *core.RecordColumns", rec)
 			return
 		}
-		g.IngestBatch(batch)
+		g.IngestColumns(cols)
 	})
 
 	var daemons []*dissem.Daemon

@@ -121,7 +121,10 @@ func buildFedStack(t *testing.T, nShards int) *fedStack {
 				if err != nil {
 					return
 				}
-				if w, ok := rec.Value.(*dissem.WireRecord); ok {
+				switch w := rec.Value.(type) {
+				case *core.RecordColumns:
+					g.IngestColumns(w)
+				case *dissem.WireRecord:
 					g.Ingest(dissem.FromWire(w))
 				}
 			}

@@ -137,7 +137,10 @@ func TestFullStackOverTCP(t *testing.T) {
 			if err != nil {
 				return
 			}
-			if w, ok := rec.Value.(*dissem.WireRecord); ok {
+			switch w := rec.Value.(type) {
+			case *core.RecordColumns:
+				g.IngestColumns(w)
+			case *dissem.WireRecord:
 				g.Ingest(dissem.FromWire(w))
 			}
 		}

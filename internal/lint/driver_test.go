@@ -340,8 +340,8 @@ func TestMutations(t *testing.T) {
 		// annotation in dissem — only the module call graph connects them.
 		mroot := copyRepoSubset(t)
 		mutate(t, mroot, filepath.Join("internal", "pubsub", "pubsub.go"),
-			"func (b *Broker) PublishBatch(channelName string, recs any) error {\n",
-			"func (b *Broker) PublishBatch(channelName string, recs any) error {\n\ttime.Sleep(0)\n")
+			"func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {\n",
+			"func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {\n\ttime.Sleep(0)\n")
 		diags, err := Run(mroot, []string{"./internal/dissem"}, All())
 		if err != nil {
 			t.Fatal(err)

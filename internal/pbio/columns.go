@@ -1,0 +1,208 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// ColumnAppender is the contract a structure-of-arrays batch implements
+// to encode through a plan without materializing rows. AppendColumn must
+// emit wire field `field`'s value for every row (the exact bytes the
+// format's kind dictates); AppendRow must emit one row's fields in
+// format order, byte-identical to encoding the row through the plan —
+// that is what keeps the 0x03 fallback frames indistinguishable from
+// row-batch encoding.
+type ColumnAppender interface {
+	// Rows returns the number of rows in the batch.
+	Rows() int
+	// NumWireFields returns how many wire fields each row flattens into.
+	NumWireFields() int
+	// AppendColumn appends field's value for rows 0..Rows()-1.
+	AppendColumn(buf []byte, field int) []byte
+	// AppendRow appends row's fields in format order.
+	AppendRow(buf []byte, row int) []byte
+}
+
+// AppendColumnsFrame appends one columnar (0x04) frame holding every row
+// of cols and returns the extended buffer plus the row count. An empty
+// batch appends nothing. The columnar layout means encoding is one
+// contiguous sweep per column — no per-row field dispatch.
+func (p *Plan) AppendColumnsFrame(buf []byte, cols ColumnAppender) ([]byte, int, error) {
+	n := cols.Rows()
+	if n == 0 {
+		return buf, 0, nil
+	}
+	if n > maxBatchLen {
+		return buf, 0, fmt.Errorf("pbio: columns frame: %d rows exceeds batch limit %d", n, maxBatchLen)
+	}
+	if nf := cols.NumWireFields(); nf != len(p.f.Fields) {
+		return buf, 0, fmt.Errorf("pbio: columns frame: batch has %d wire fields, format %q has %d",
+			nf, p.f.Name, len(p.f.Fields))
+	}
+	buf = append(buf, frameColumns)
+	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for field := 0; field < len(p.f.Fields); field++ {
+		buf = cols.AppendColumn(buf, field)
+	}
+	return buf, n, nil
+}
+
+// AppendRowsFrame appends a row-oriented batch (0x03) frame built from
+// cols — the wire-compatible fallback for subscribers that predate the
+// columnar frame. The bytes are identical to AppendBatchFrame over the
+// materialized rows.
+func (p *Plan) AppendRowsFrame(buf []byte, cols ColumnAppender) ([]byte, int, error) {
+	n := cols.Rows()
+	if n == 0 {
+		return buf, 0, nil
+	}
+	if n > maxBatchLen {
+		return buf, 0, fmt.Errorf("pbio: rows frame: %d rows exceeds batch limit %d", n, maxBatchLen)
+	}
+	if nf := cols.NumWireFields(); nf != len(p.f.Fields) {
+		return buf, 0, fmt.Errorf("pbio: rows frame: batch has %d wire fields, format %q has %d",
+			nf, p.f.Name, len(p.f.Fields))
+	}
+	buf = append(buf, frameBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for row := 0; row < n; row++ {
+		buf = cols.AppendRow(buf, row)
+	}
+	return buf, n, nil
+}
+
+// ColumnDecoder rebuilds a typed columnar batch from a 0x04 frame's
+// payload. It must read exactly rows values for each of the format's
+// fields, in field order, through the ColumnReader — the reader is a
+// window onto the stream, so over- or under-reading desynchronizes it
+// (the same trust the typed row decoder places in a bound Go type).
+// The returned value becomes the decoded Record's Value.
+type ColumnDecoder func(cr *ColumnReader, rows int) (any, error)
+
+// BindColumnDecoder registers a typed decoder for columnar frames of the
+// named format. The decoder only runs when the incoming format's fields
+// match the locally registered ones (the same guard typed row decoding
+// uses); mismatched streams fall back to the generic row-materializing
+// path.
+func (r *Registry) BindColumnDecoder(name string, cd ColumnDecoder) {
+	r.colDecoders[name] = cd
+}
+
+// MaxColumnReserve caps how many rows a ColumnDecoder should preallocate
+// from the wire-supplied count before growing incrementally: the count
+// is untrusted until the stream actually delivers the bytes.
+const MaxColumnReserve = 4096
+
+// ColumnReader exposes typed, bounds-checked reads over a columnar
+// frame's payload for ColumnDecoder implementations.
+type ColumnReader struct {
+	d *Decoder
+}
+
+// Byte reads one unsigned byte.
+func (cr *ColumnReader) Byte() (byte, error) { return cr.d.readByte() }
+
+// Uint16 reads a little-endian u16.
+func (cr *ColumnReader) Uint16() (uint16, error) { return cr.d.readUint16() }
+
+// Uint32 reads a little-endian u32.
+func (cr *ColumnReader) Uint32() (uint32, error) { return cr.d.readUint32() }
+
+// Uint64 reads a little-endian u64.
+func (cr *ColumnReader) Uint64() (uint64, error) { return cr.d.readUint64() }
+
+// Int32 reads a little-endian i32.
+func (cr *ColumnReader) Int32() (int32, error) {
+	v, err := cr.d.readUint32()
+	return int32(v), err
+}
+
+// Int64 reads a little-endian i64.
+func (cr *ColumnReader) Int64() (int64, error) {
+	v, err := cr.d.readUint64()
+	return int64(v), err
+}
+
+// Int reads a wire i64 into a platform int.
+func (cr *ColumnReader) Int() (int, error) {
+	v, err := cr.d.readUint64()
+	return int(int64(v)), err
+}
+
+// Duration reads a wire i64 of nanoseconds.
+func (cr *ColumnReader) Duration() (time.Duration, error) {
+	v, err := cr.d.readUint64()
+	return time.Duration(v), err
+}
+
+// String reads a length-prefixed string, subject to the stream's field
+// length limit.
+func (cr *ColumnReader) String() (string, error) { return cr.d.readString() }
+
+// readColumns consumes a columnar (0x04) frame. When a ColumnDecoder is
+// bound for the format (and the format matched the local registration),
+// the whole frame decodes into one Record whose Value is the typed
+// columnar batch. Otherwise rows are materialized generically — records
+// are allocated as the first column streams in, so memory stays bounded
+// by bytes actually delivered — and returned one Decode at a time like a
+// row batch.
+func (d *Decoder) readColumns() (*Record, error) {
+	id, err := d.readUint32()
+	if err != nil {
+		return nil, badEOF(err)
+	}
+	f := d.formats[id]
+	if f == nil {
+		return nil, fmt.Errorf("%w: columns format id %d", ErrUnknownFormat, id)
+	}
+	n, err := d.readUint32()
+	if err != nil {
+		return nil, badEOF(err)
+	}
+	if n == 0 || n > maxBatchLen {
+		return nil, fmt.Errorf("%w: columns count %d", ErrBadFrame, n)
+	}
+	if d.reg != nil && f.goType != nil {
+		if cd := d.reg.colDecoders[f.Name]; cd != nil {
+			v, err := cd(&ColumnReader{d: d}, int(n))
+			if err != nil {
+				return nil, badEOF(err)
+			}
+			return &Record{Format: f.Name, Value: v}, nil
+		}
+	}
+	recs := make([]*Record, 0, min(int(n), MaxColumnReserve))
+	var rvs []reflect.Value
+	for col, fld := range f.Fields {
+		for i := 0; i < int(n); i++ {
+			val, err := d.readValue(fld.Kind)
+			if err != nil {
+				return nil, badEOF(err)
+			}
+			if col == 0 {
+				recs = append(recs, &Record{
+					Format: f.Name,
+					Fields: make(map[string]any, min(len(f.Fields), 64)),
+				})
+				if f.goType != nil {
+					rvs = append(rvs, reflect.New(f.goType).Elem())
+				}
+			}
+			recs[i].Fields[fld.Name] = val
+			if f.goType != nil {
+				setField(rvs[i].Field(f.index[col]), val)
+			}
+		}
+	}
+	for i, rec := range recs {
+		if f.goType != nil {
+			rec.Value = rvs[i].Addr().Interface()
+		}
+	}
+	d.queue = append(d.queue, recs[1:]...)
+	return recs[0], nil
+}

@@ -8,11 +8,19 @@
 // Wire layout (all integers little-endian):
 //
 //	frame   := kind(1) payload
-//	kind    := 0x01 (format definition) | 0x02 (record) | 0x03 (batch)
+//	kind    := 0x01 (format definition) | 0x02 (record) | 0x03 (batch) |
+//	           0x04 (columns)
 //	formdef := id(u32) name(str) nfields(u16) { fname(str) fkind(u8) }*
 //	record  := id(u32) fields...   (fixed order per format)
 //	batch   := id(u32) count(u32) { fields... }*count
+//	columns := id(u32) count(u32) { field_i of every row }*nfields
 //	str     := len(u32) bytes
+//
+// A columns frame carries the same values as a batch frame transposed:
+// all rows' field 0, then all rows' field 1, and so on — the
+// structure-of-arrays layout the hot path keeps in memory, so encoding
+// is a straight copy per column and decoding can rebuild columnar
+// batches without materializing rows.
 //
 // Strings and byte slices are length-prefixed; all other kinds are fixed
 // width. The encoding is compact and allocation-light — the property the
@@ -28,6 +36,7 @@ import (
 	"math"
 	"reflect"
 	"time"
+	"unsafe"
 )
 
 // Kind identifies a field's wire type.
@@ -94,17 +103,19 @@ var (
 // binding happen at program initialization; lookups afterwards are
 // read-only and safe for concurrent use.
 type Registry struct {
-	byName map[string]*Format
-	plans  map[reflect.Type]*Plan
-	nextID uint32
+	byName      map[string]*Format
+	plans       map[reflect.Type]*Plan
+	colDecoders map[string]ColumnDecoder
+	nextID      uint32
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		byName: make(map[string]*Format),
-		plans:  make(map[reflect.Type]*Plan),
-		nextID: 1,
+		byName:      make(map[string]*Format),
+		plans:       make(map[reflect.Type]*Plan),
+		colDecoders: make(map[string]ColumnDecoder),
+		nextID:      1,
 	}
 }
 
@@ -172,16 +183,81 @@ func (r *Registry) Lookup(name string) *Format { return r.byName[name] }
 // no intermediate conversion struct: the field walk is resolved once at
 // bind time, not per record.
 type Plan struct {
-	f      *Format
-	typ    reflect.Type
-	fields []planField
+	f       *Format
+	typ     reflect.Type
+	ptrType reflect.Type
+	fields  []planField
 }
 
 // planField is one wire field's source: an index chain into (possibly
-// nested) struct fields, and the wire kind it encodes as.
+// nested) struct fields, and the wire kind it encodes as. The chain is
+// resolved once at compile time into a byte offset plus a load opcode, so
+// the per-record encode loop is offset arithmetic and copies — no
+// reflection.
 type planField struct {
 	index []int
 	kind  Kind
+	off   uintptr
+	op    uint8
+}
+
+// Load opcodes: how a plan field is read from its struct offset. They are
+// finer-grained than Kind because the in-memory width can differ from the
+// wire width (platform int/uint encode as 64-bit).
+const (
+	opBool = iota + 1
+	opI8
+	opI16
+	opI32
+	opI64 // also time.Duration
+	opInt
+	opU8
+	opU16
+	opU32
+	opU64
+	opUint
+	opF32
+	opF64
+	opStr
+	opBytes
+)
+
+// opOf resolves a struct field type to its load opcode. The type has
+// already passed kindOf, so every case is covered.
+func opOf(t reflect.Type) uint8 {
+	switch t.Kind() {
+	case reflect.Bool:
+		return opBool
+	case reflect.Int8:
+		return opI8
+	case reflect.Int16:
+		return opI16
+	case reflect.Int32:
+		return opI32
+	case reflect.Int64:
+		return opI64 // time.Duration lands here
+	case reflect.Int:
+		return opInt
+	case reflect.Uint8:
+		return opU8
+	case reflect.Uint16:
+		return opU16
+	case reflect.Uint32:
+		return opU32
+	case reflect.Uint64:
+		return opU64
+	case reflect.Uint:
+		return opUint
+	case reflect.Float32:
+		return opF32
+	case reflect.Float64:
+		return opF64
+	case reflect.String:
+		return opStr
+	case reflect.Slice:
+		return opBytes
+	}
+	return 0
 }
 
 // flattenType appends the type's exported fields depth-first, recursing
@@ -210,7 +286,8 @@ func flattenType(t reflect.Type, prefix []int, out []planField) ([]planField, er
 	return out, nil
 }
 
-// compilePlan flattens t and checks it against f's wire layout.
+// compilePlan flattens t, checks it against f's wire layout, and
+// resolves each field's index chain to a byte offset and load opcode.
 func compilePlan(f *Format, t reflect.Type) (*Plan, error) {
 	fields, err := flattenType(t, nil, nil)
 	if err != nil {
@@ -225,8 +302,21 @@ func compilePlan(f *Format, t reflect.Type) (*Plan, error) {
 			return nil, fmt.Errorf("pbio: bind %s to %q: field %d is %s on the wire but %s in the type",
 				t, f.Name, i, f.Fields[i].Kind, fields[i].kind)
 		}
+		ft := t
+		var off uintptr
+		for _, idx := range fields[i].index {
+			sf := ft.Field(idx)
+			off += sf.Offset
+			ft = sf.Type
+		}
+		fields[i].off = off
+		fields[i].op = opOf(ft)
+		if fields[i].op == 0 {
+			return nil, fmt.Errorf("pbio: bind %s to %q: field %d has no load op for %s",
+				t, f.Name, i, ft)
+		}
 	}
-	return &Plan{f: f, typ: t, fields: fields}, nil
+	return &Plan{f: f, typ: t, ptrType: reflect.PointerTo(t), fields: fields}, nil
 }
 
 // BindType compiles an encode plan mapping sample's struct type onto the
@@ -267,15 +357,92 @@ func (r *Registry) PlanFor(t reflect.Type) *Plan {
 // Format returns the wire format the plan encodes into.
 func (p *Plan) Format() *Format { return p.f }
 
-// appendFields appends rv's planned fields in wire order.
-func (p *Plan) appendFields(buf []byte, rv reflect.Value) []byte {
+// eface mirrors the runtime's interface layout so a plan can reach the
+// struct behind an `any` without reflect.Value traffic on the hot path.
+type eface struct {
+	typ  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+func efaceData(v any) unsafe.Pointer {
+	return (*eface)(unsafe.Pointer(&v)).data
+}
+
+// basePointer returns the address of the plan-typed struct inside v (a
+// value, a pointer, or a multiply-indirected pointer to one). Plan types
+// can never be pointer-shaped — kindOf rejects pointer fields, and every
+// supported field kind is at least one non-pointer word — so a boxed
+// value's interface data word always points at the struct itself.
+func (p *Plan) basePointer(v any) (unsafe.Pointer, error) {
+	switch reflect.TypeOf(v) {
+	case p.typ:
+		return efaceData(v), nil
+	case p.ptrType:
+		ptr := efaceData(v)
+		if ptr == nil {
+			return nil, fmt.Errorf("pbio: plan for %s got a nil pointer", p.typ)
+		}
+		return ptr, nil
+	}
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if !rv.IsValid() || rv.Type() != p.typ {
+		return nil, fmt.Errorf("pbio: plan for %s got %T", p.typ, v)
+	}
+	// Deeply-indirected value: box an addressable copy.
+	boxed := reflect.New(p.typ)
+	boxed.Elem().Set(rv)
+	return boxed.UnsafePointer(), nil
+}
+
+// appendFields appends the struct at base's planned fields in wire order:
+// one offset load and copy per field, resolved at compile time.
+//
+//sysprof:nonblocking
+func (p *Plan) appendFields(buf []byte, base unsafe.Pointer) []byte {
 	for i := range p.fields {
 		pf := &p.fields[i]
-		v := rv
-		for _, idx := range pf.index {
-			v = v.Field(idx)
+		fp := unsafe.Add(base, pf.off)
+		switch pf.op {
+		case opBool:
+			if *(*bool)(fp) {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case opI8:
+			buf = append(buf, byte(*(*int8)(fp)))
+		case opI16:
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(*(*int16)(fp)))
+		case opI32:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(*(*int32)(fp)))
+		case opI64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(*(*int64)(fp)))
+		case opInt:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(*(*int)(fp))))
+		case opU8:
+			buf = append(buf, *(*uint8)(fp))
+		case opU16:
+			buf = binary.LittleEndian.AppendUint16(buf, *(*uint16)(fp))
+		case opU32:
+			buf = binary.LittleEndian.AppendUint32(buf, *(*uint32)(fp))
+		case opU64:
+			buf = binary.LittleEndian.AppendUint64(buf, *(*uint64)(fp))
+		case opUint:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(*(*uint)(fp)))
+		case opF32:
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(*(*float32)(fp)))
+		case opF64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*(*float64)(fp)))
+		case opStr:
+			buf = appendString(buf, *(*string)(fp))
+		case opBytes:
+			s := *(*[]byte)(fp)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
 		}
-		buf = appendValue(buf, pf.kind, v)
 	}
 	return buf
 }
@@ -287,16 +454,13 @@ func (p *Plan) appendFields(buf []byte, rv reflect.Value) []byte {
 // subscriber connections) emit the definition per stream via
 // Format.AppendDef.
 func (p *Plan) AppendRecordFrame(buf []byte, v any) ([]byte, error) {
-	rv := reflect.ValueOf(v)
-	for rv.Kind() == reflect.Pointer {
-		rv = rv.Elem()
-	}
-	if rv.Type() != p.typ {
-		return buf, fmt.Errorf("pbio: plan for %s got %T", p.typ, v)
+	base, err := p.basePointer(v)
+	if err != nil {
+		return buf, err
 	}
 	buf = append(buf, frameRecord)
 	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
-	return p.appendFields(buf, rv), nil
+	return p.appendFields(buf, base), nil
 }
 
 // AppendBatchFrame appends one batch frame holding every element of vs
@@ -315,21 +479,45 @@ func (p *Plan) AppendBatchFrame(buf []byte, vs any) ([]byte, int, error) {
 		return buf, 0, fmt.Errorf("pbio: batch frame: %d records exceeds batch limit %d", n, maxBatchLen)
 	}
 	et := sv.Type().Elem()
-	for et.Kind() == reflect.Pointer {
-		et = et.Elem()
-	}
-	if et != p.typ {
-		return buf, 0, fmt.Errorf("pbio: plan for %s got slice of %s", p.typ, et)
+	if et != p.typ && et != p.ptrType {
+		base := et
+		for base.Kind() == reflect.Pointer {
+			base = base.Elem()
+		}
+		if base != p.typ {
+			return buf, 0, fmt.Errorf("pbio: plan for %s got slice of %s", p.typ, et)
+		}
 	}
 	buf = append(buf, frameBatch)
 	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
-	for i := 0; i < n; i++ {
-		rv := sv.Index(i)
-		for rv.Kind() == reflect.Pointer {
-			rv = rv.Elem()
+	switch et {
+	case p.typ:
+		base := sv.UnsafePointer()
+		stride := et.Size()
+		for i := 0; i < n; i++ {
+			buf = p.appendFields(buf, unsafe.Add(base, uintptr(i)*stride))
 		}
-		buf = p.appendFields(buf, rv)
+	case p.ptrType:
+		base := sv.UnsafePointer()
+		for i := 0; i < n; i++ {
+			ep := *(*unsafe.Pointer)(unsafe.Add(base, uintptr(i)*unsafe.Sizeof(uintptr(0))))
+			if ep == nil {
+				return buf, 0, fmt.Errorf("pbio: batch frame: nil element at %d", i)
+			}
+			buf = p.appendFields(buf, ep)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			rv := sv.Index(i)
+			for rv.Kind() == reflect.Pointer {
+				if rv.IsNil() {
+					return buf, 0, fmt.Errorf("pbio: batch frame: nil element at %d", i)
+				}
+				rv = rv.Elem()
+			}
+			buf = p.appendFields(buf, rv.Addr().UnsafePointer())
+		}
 	}
 	return buf, n, nil
 }
@@ -372,9 +560,10 @@ func kindOf(t reflect.Type) (Kind, bool) {
 }
 
 const (
-	frameFormat = 0x01
-	frameRecord = 0x02
-	frameBatch  = 0x03
+	frameFormat  = 0x01
+	frameRecord  = 0x02
+	frameBatch   = 0x03
+	frameColumns = 0x04
 
 	// maxFieldLen bounds length-prefixed fields (strings/bytes) so a
 	// corrupted or hostile stream cannot force huge allocations.
@@ -500,42 +689,6 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-func appendValue(b []byte, k Kind, v reflect.Value) []byte {
-	switch k {
-	case KindBool:
-		if v.Bool() {
-			return append(b, 1)
-		}
-		return append(b, 0)
-	case KindInt8:
-		return append(b, byte(v.Int()))
-	case KindInt16:
-		return binary.LittleEndian.AppendUint16(b, uint16(v.Int()))
-	case KindInt32:
-		return binary.LittleEndian.AppendUint32(b, uint32(v.Int()))
-	case KindInt64, KindDuration:
-		return binary.LittleEndian.AppendUint64(b, uint64(v.Int()))
-	case KindUint8:
-		return append(b, byte(v.Uint()))
-	case KindUint16:
-		return binary.LittleEndian.AppendUint16(b, uint16(v.Uint()))
-	case KindUint32:
-		return binary.LittleEndian.AppendUint32(b, uint32(v.Uint()))
-	case KindUint64:
-		return binary.LittleEndian.AppendUint64(b, v.Uint())
-	case KindFloat32:
-		return binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v.Float())))
-	case KindFloat64:
-		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float()))
-	case KindString:
-		return appendString(b, v.String())
-	case KindBytes:
-		b = binary.LittleEndian.AppendUint32(b, uint32(v.Len()))
-		return append(b, v.Bytes()...)
-	}
-	return b
-}
-
 // Record is a decoded record: its format name and field values. When the
 // decoder's registry knows the format's Go type, Value holds a pointer to
 // a populated instance; Fields is always populated.
@@ -591,6 +744,8 @@ func (d *Decoder) Decode() (*Record, error) {
 			return d.readRecord()
 		case frameBatch:
 			return d.readBatch()
+		case frameColumns:
+			return d.readColumns()
 		default:
 			return nil, fmt.Errorf("%w: frame kind 0x%02x", ErrBadFrame, kind)
 		}

@@ -1,0 +1,92 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdaptivePolicyResolution(t *testing.T) {
+	rc := &remoteConn{}
+	const timeout = 10 * time.Millisecond
+
+	// No delivery observed yet: blocking would burn the full deadline
+	// for a frame that gets dropped anyway.
+	if got := rc.adaptivePolicy(timeout); got != DropOldest {
+		t.Fatalf("undelivered connection resolved to %v, want DropOldest", got)
+	}
+	// Draining faster than the deadline: a slot frees in time, so a
+	// short blocking wait loses nothing.
+	rc.drainNanos.Store(int64(2 * time.Millisecond))
+	if got := rc.adaptivePolicy(timeout); got != BlockWithDeadline {
+		t.Fatalf("fast-draining connection resolved to %v, want BlockWithDeadline", got)
+	}
+	// Boundary: drain time equal to the deadline still admits in time.
+	rc.drainNanos.Store(int64(timeout))
+	if got := rc.adaptivePolicy(timeout); got != BlockWithDeadline {
+		t.Fatalf("boundary drain resolved to %v, want BlockWithDeadline", got)
+	}
+	// Slower than the deadline: shed the oldest instead of stalling the
+	// publisher.
+	rc.drainNanos.Store(int64(50 * time.Millisecond))
+	if got := rc.adaptivePolicy(timeout); got != DropOldest {
+		t.Fatalf("slow-draining connection resolved to %v, want DropOldest", got)
+	}
+}
+
+func TestOverflowPolicyParseRoundTrip(t *testing.T) {
+	for _, p := range []OverflowPolicy{DropOldest, BlockWithDeadline, Adaptive} {
+		got, err := ParseOverflowPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseOverflowPolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	for in, want := range map[string]OverflowPolicy{
+		"drop-oldest":         DropOldest,
+		"block-with-deadline": BlockWithDeadline,
+		"adaptive":            Adaptive,
+	} {
+		got, err := ParseOverflowPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseOverflowPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseOverflowPolicy("bogus"); err == nil {
+		t.Fatal("ParseOverflowPolicy(bogus) did not error")
+	}
+}
+
+// TestAdaptiveStalledSubscriberNeverBlocks pins the policy's publisher-
+// protection half: a subscriber that has never drained a frame resolves
+// to DropOldest, so flooding a full queue must complete without ever
+// waiting out a block deadline.
+func TestAdaptiveStalledSubscriberNeverBlocks(t *testing.T) {
+	reg := newReg(t)
+	b := NewBroker(reg,
+		WithQueueDepth(4),
+		WithOverflowPolicy(Adaptive),
+		WithBlockTimeout(200*time.Millisecond),
+		WithEvictAfterOverflows(0))
+	defer b.Close()
+	addr := startBroker(t, b)
+
+	sub := stalledSub(t, addr, "m") // never reads: the queue stays full
+	defer sub.Close()
+	waitRegistered(t, b, 1)
+
+	const publishes = 64
+	start := time.Now()
+	for i := 0; i < publishes; i++ {
+		if err := b.Publish("m", metric{Name: "n", Value: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// One resolved block would already cost a 200ms deadline; dozens of
+	// drop-oldest evictions finish in microseconds.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("%d publishes against a stalled adaptive subscriber took %v (policy blocked)", publishes, elapsed)
+	}
+	if b.Stats().RemoteDropped == 0 {
+		t.Fatal("no drops recorded: the full queue never shed frames")
+	}
+}

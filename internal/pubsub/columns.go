@@ -1,0 +1,242 @@
+package pubsub
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"sysprof/internal/core"
+	"sysprof/internal/pbio"
+)
+
+// colsPool recycles the scratch column batches built for filtered local
+// delivery and shard partitioning, so the steady-state columnar publish
+// path allocates nothing.
+var colsPool = sync.Pool{New: func() any { return &core.RecordColumns{} }}
+
+// columnsPlanCache caches the encode plan for core.Record-shaped
+// columnar batches, resolved from the registry on first use.
+type columnsPlanCache struct {
+	plan atomic.Pointer[pbio.Plan]
+}
+
+// planCacheEntry is one resolved type→plan pair for the broker's
+// single-entry encode-plan cache.
+type planCacheEntry struct {
+	t reflect.Type
+	p *pbio.Plan
+}
+
+var coreRecordType = reflect.TypeOf(core.Record{})
+
+func (b *Broker) columnsPlan() *pbio.Plan {
+	if p := b.colsPlan.plan.Load(); p != nil {
+		return p
+	}
+	p := b.reg.PlanFor(coreRecordType)
+	if p != nil {
+		b.colsPlan.plan.Store(p)
+	}
+	return p
+}
+
+// PublishColumns delivers a columnar record batch — the dissemination
+// daemon's buffer-drain path in structure-of-arrays form. Local
+// subscribers receive the *core.RecordColumns itself (valid only for the
+// duration of the callback); filtered locals receive a freshly built
+// sub-batch, with the filter invoked once per row on a transient
+// *core.Record that is reused between rows. Remote subscribers that
+// advertised columnar support receive one 0x04 frame encoded by column
+// sweeps; legacy subscribers receive the byte-identical-to-row-encoding
+// 0x03 batch frame. Shard routing hashes the Flow column directly in a
+// tight loop (the same ShardHash every flow router uses), never
+// materializing rows.
+//
+// core.Record must be plan-bound in the broker's registry (dissem's
+// RegisterFormats does this).
+func (b *Broker) PublishColumns(channelName string, cols *core.RecordColumns) error {
+	n := cols.Len()
+	if n == 0 {
+		return nil
+	}
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	b.published.Add(1)
+	b.batchesPublished.Add(1)
+	subs := b.lookupChannel(channelName)
+	if subs == nil {
+		return nil
+	}
+
+	for _, s := range subs.locals {
+		if s.filter == nil {
+			s.fn(cols)
+			b.localDeliver.Add(uint64(n))
+			continue
+		}
+		kept := colsPool.Get().(*core.RecordColumns)
+		kept.Reset()
+		var row core.Record
+		for i := 0; i < n; i++ {
+			row = cols.Row(i)
+			if s.filter(&row) {
+				kept.AppendRowOf(cols, i)
+			}
+		}
+		if kept.Len() > 0 {
+			s.fn(kept)
+			b.localDeliver.Add(uint64(kept.Len()))
+		}
+		colsPool.Put(kept)
+	}
+
+	remotes := subs.remotes
+	if len(remotes) == 0 {
+		return nil
+	}
+	plan := b.columnsPlan()
+	if plan == nil {
+		return fmt.Errorf("pubsub: no encode plan for %s (register or bind the type)", coreRecordType)
+	}
+	if !hasSharded(remotes) {
+		return b.fanOutColumns(channelName, plan, cols, remotes)
+	}
+	return b.publishColumnsSharded(channelName, plan, cols, remotes)
+}
+
+// fanOutColumns encodes at most two shared frames for one subscriber set
+// — columnar for capable connections, row-batch for legacy ones — and
+// fans each out.
+func (b *Broker) fanOutColumns(channelName string, plan *pbio.Plan, cols *core.RecordColumns, remotes []*remoteConn) error {
+	capable, legacy := splitByColumns(remotes)
+	var firstErr error
+	if len(capable) > 0 {
+		f, err := b.encodeColumnsFrame(channelName, plan, cols, true)
+		if err != nil {
+			firstErr = err
+		} else {
+			b.fanOut(capable, f)
+		}
+	}
+	if len(legacy) > 0 {
+		f, err := b.encodeColumnsFrame(channelName, plan, cols, false)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			b.fanOut(legacy, f)
+		}
+	}
+	return firstErr
+}
+
+// publishColumnsSharded partitions the batch across shard selectors by
+// sweeping the Flow column: one ShardHash per row, one scratch sub-batch
+// per distinct selector. Unsharded subscribers share a frame of the
+// whole batch.
+func (b *Broker) publishColumnsSharded(channelName string, plan *pbio.Plan, cols *core.RecordColumns, remotes []*remoteConn) error {
+	n := cols.Len()
+	type shardGroup struct {
+		sel     ShardSelector
+		remotes []*remoteConn
+	}
+	var groups []shardGroup
+	for _, rc := range remotes {
+		found := false
+		for gi := range groups {
+			if groups[gi].sel == rc.sel {
+				groups[gi].remotes = append(groups[gi].remotes, rc)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, shardGroup{sel: rc.sel, remotes: []*remoteConn{rc}})
+		}
+	}
+	var firstErr error
+	for _, grp := range groups {
+		part := cols
+		var scratch *core.RecordColumns
+		if grp.sel.Count != 0 {
+			scratch = colsPool.Get().(*core.RecordColumns)
+			scratch.Reset()
+			// The partition sweep: hash the packed flow column in a tight
+			// loop; only matching rows are gathered.
+			for i := 0; i < n; i++ {
+				if grp.sel.Match(cols.Flows[i].ShardHash()) {
+					scratch.AppendRowOf(cols, i)
+				}
+			}
+			if scratch.Len() == 0 {
+				colsPool.Put(scratch)
+				continue // nothing in this batch for that shard
+			}
+			part = scratch
+		}
+		if err := b.fanOutColumns(channelName, plan, part, grp.remotes); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if scratch != nil {
+			colsPool.Put(scratch)
+		}
+	}
+	return firstErr
+}
+
+// splitByColumns partitions a fan-out set by columnar capability. The
+// homogeneous cases (all capable, none capable) return the input slice
+// untouched.
+//
+//sysprof:nonblocking
+func splitByColumns(remotes []*remoteConn) (capable, legacy []*remoteConn) {
+	nCap := 0
+	for _, rc := range remotes {
+		if rc.columns {
+			nCap++
+		}
+	}
+	switch nCap {
+	case len(remotes):
+		return remotes, nil
+	case 0:
+		return nil, remotes
+	}
+	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
+	capable = make([]*remoteConn, 0, nCap)
+	legacy = make([]*remoteConn, 0, len(remotes)-nCap)
+	for _, rc := range remotes {
+		if rc.columns {
+			capable = append(capable, rc)
+		} else {
+			legacy = append(legacy, rc)
+		}
+	}
+	return capable, legacy
+}
+
+// encodeColumnsFrame builds the shared wire frame for one columnar
+// publish: channel header plus either the 0x04 columnar frame or the
+// 0x03 row-batch fallback.
+func (b *Broker) encodeColumnsFrame(channelName string, p *pbio.Plan, cols *core.RecordColumns, columnar bool) (*frame, error) {
+	f := framePool.Get().(*frame)
+	f.buf = appendString(f.buf[:0], channelName)
+	f.hdrLen = len(f.buf)
+	var err error
+	if columnar {
+		f.buf, f.recs, err = p.AppendColumnsFrame(f.buf, cols)
+	} else {
+		f.buf, f.recs, err = p.AppendRowsFrame(f.buf, cols)
+	}
+	if err != nil {
+		//lint:ignore atomicmix frame is not yet shared: released by this goroutine before any writer sees it
+		f.refs = 1
+		f.release()
+		return nil, err
+	}
+	f.format = p.Format()
+	return f, nil
+}

@@ -119,16 +119,35 @@ type remoteConn struct {
 	// (zero value = unsharded). Immutable after the handshake, so the
 	// publish path reads it without synchronization.
 	sel ShardSelector
+	// columns records that the subscriber advertised columnar-frame
+	// support in its handshake; without it, columnar publishes are
+	// transposed into row-batch (0x03) frames for this connection.
+	columns bool
 
 	sentFormats map[*pbio.Format]bool
 	defBuf      []byte
 
-	enqFrames      atomic.Uint64
-	enqRecords     atomic.Uint64
-	delivered      atomic.Uint64
-	dropped        atomic.Uint64
-	blockedNanos   atomic.Uint64
-	overflowStreak atomic.Int64
+	// Enqueue-side traffic counters live inside q, maintained under its
+	// mutex; only the writer-side ones stay here as atomics.
+	delivered atomic.Uint64
+	// drainNanos is an EWMA of the writer goroutine's per-frame socket
+	// write time, maintained by writeLoop and read by the Adaptive
+	// overflow policy on the publish path.
+	drainNanos atomic.Int64
+}
+
+// adaptivePolicy resolves the Adaptive overflow policy for this
+// connection: block when the observed drain rate says a queue slot will
+// free up within the deadline, shed otherwise.
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func (rc *remoteConn) adaptivePolicy(timeout time.Duration) OverflowPolicy {
+	d := rc.drainNanos.Load()
+	if d > 0 && time.Duration(d) <= timeout {
+		return BlockWithDeadline
+	}
+	return DropOldest
 }
 
 // subscribers is an immutable snapshot of one channel's consumers.
@@ -159,6 +178,7 @@ type SubscriberStats struct {
 	Addr             string
 	Version          int    // handshake version (0 = legacy)
 	Shard            string // shard selector ("i/N", empty = unsharded)
+	Columns          bool   // subscriber decodes columnar (0x04) frames
 	Channels         []string
 	QueueLen         int
 	QueueCap         int
@@ -167,6 +187,7 @@ type SubscriberStats struct {
 	DeliveredRecords uint64
 	DroppedRecords   uint64
 	BlockedNanos     uint64 // publisher time spent waiting under BlockWithDeadline
+	DrainNanos       int64  // EWMA of per-frame socket write time (adaptive policy input)
 	OverflowStreak   int64  // consecutive overflowing publishes (0 = keeping up)
 }
 
@@ -187,6 +208,20 @@ type Broker struct {
 	// key function installed; sharded subscribers then receive the full
 	// stream). Set once at wiring time, read atomically mid-publish.
 	shardKey atomic.Pointer[ShardKeyFunc]
+
+	// colsPlan caches the encode plan used by PublishColumns.
+	colsPlan columnsPlanCache
+
+	// lastPlan is a single-entry type→plan cache for the Publish and
+	// PublishBatch paths: monitoring traffic publishes one type per
+	// channel, so the registry map lookup (hash of a reflect.Type) is
+	// almost always redundant.
+	lastPlan atomic.Pointer[planCacheEntry]
+
+	// lastChan is a single-entry channel-name→subscribers cache for the
+	// publish paths. It keys on the copy-on-write map snapshot pointer,
+	// so any subscribe or unsubscribe invalidates it for free.
+	lastChan atomic.Pointer[chanCacheEntry]
 
 	// Fan-out knobs, atomically readable mid-publish. queueDepth only
 	// applies to subscribers connecting after a change; the other three
@@ -290,6 +325,31 @@ func (b *Broker) shardKeyFn() ShardKeyFunc {
 	return nil
 }
 
+// chanCacheEntry is one resolved channel-name→subscribers pair, valid
+// for exactly one channel-map snapshot.
+type chanCacheEntry struct {
+	m    *map[string]*subscribers
+	name string
+	subs *subscribers
+}
+
+// lookupChannel resolves a channel's subscriber snapshot, remembering
+// the last hit: a publisher hammers one channel name, so the map lookup
+// (string hash + probe) is almost always redundant. Correctness rides on
+// the copy-on-write discipline — a cached entry can only be stale if the
+// map pointer changed, which the comparison catches.
+func (b *Broker) lookupChannel(name string) *subscribers {
+	m := b.chans.Load()
+	if e := b.lastChan.Load(); e != nil && e.m == m && e.name == name {
+		return e.subs
+	}
+	subs := (*m)[name]
+	if subs != nil {
+		b.lastChan.Store(&chanCacheEntry{m: m, name: name, subs: subs})
+	}
+	return subs
+}
+
 // hasSharded reports whether any remote in the snapshot carries a shard
 // selector (the common unsharded deployment skips all routing work).
 //
@@ -314,7 +374,7 @@ func (b *Broker) Publish(channelName string, rec any) error {
 		return ErrClosed
 	}
 	b.published.Add(1)
-	subs := (*b.chans.Load())[channelName]
+	subs := b.lookupChannel(channelName)
 	if subs == nil {
 		return nil
 	}
@@ -385,7 +445,7 @@ func (b *Broker) PublishBatch(channelName string, recs any) error {
 	}
 	b.published.Add(1)
 	b.batchesPublished.Add(1)
-	subs := (*b.chans.Load())[channelName]
+	subs := b.lookupChannel(channelName)
 	if subs == nil {
 		return nil
 	}
@@ -497,9 +557,15 @@ func (b *Broker) encodeFrame(channelName string, rec any, batch bool) (*frame, e
 	if batch {
 		t = t.Elem()
 	}
-	p := b.reg.PlanFor(t)
-	if p == nil {
-		return nil, fmt.Errorf("pubsub: no encode plan for %s (register or bind the type)", t)
+	var p *pbio.Plan
+	if e := b.lastPlan.Load(); e != nil && e.t == t {
+		p = e.p
+	} else {
+		p = b.reg.PlanFor(t)
+		if p == nil {
+			return nil, fmt.Errorf("pubsub: no encode plan for %s (register or bind the type)", t)
+		}
+		b.lastPlan.Store(&planCacheEntry{t: t, p: p})
 	}
 	f := framePool.Get().(*frame)
 	f.buf = appendString(f.buf[:0], channelName)
@@ -512,7 +578,8 @@ func (b *Broker) encodeFrame(channelName string, rec any, batch bool) (*frame, e
 		f.recs = 1
 	}
 	if err != nil {
-		f.refs.Store(1)
+		//lint:ignore atomicmix frame is not yet shared: released by this goroutine before any writer sees it
+		f.refs = 1
 		f.release()
 		return nil, err
 	}
@@ -527,16 +594,19 @@ func (b *Broker) encodeFrame(channelName string, rec any, batch bool) (*frame, e
 //
 //sysprof:nonblocking
 func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {
-	f.refs.Store(int64(len(remotes)))
+	//lint:ignore atomicmix sole-owner preset: the queue mutex in enqueue publishes the store to writers before any concurrent release
+	f.refs = int64(len(remotes))
 	recs := uint64(f.recs)
 	policy := OverflowPolicy(b.overflow.Load())
 	timeout := time.Duration(b.blockTimeout.Load())
 	evictAfter := b.evictAfter.Load()
+	var enqueued, dropped uint64
 	for _, rc := range remotes {
-		res := rc.q.enqueue(f, policy, timeout)
-		if res.blockedNanos > 0 {
-			rc.blockedNanos.Add(uint64(res.blockedNanos))
+		eff := policy
+		if policy == Adaptive {
+			eff = rc.adaptivePolicy(timeout)
 		}
+		res := rc.q.enqueue(f, recs, eff, timeout)
 		if res.closed {
 			f.release()
 			continue
@@ -545,33 +615,28 @@ func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {
 			// BlockWithDeadline expired: this subscriber misses the
 			// new frame.
 			f.release()
-			rc.dropped.Add(recs)
-			b.remoteDropped.Add(recs)
-			b.noteOverflow(rc, evictAfter)
-			continue
-		}
-		rc.enqFrames.Add(1)
-		rc.enqRecords.Add(recs)
-		b.remoteEnqueued.Add(recs)
-		if res.evicted != nil {
-			ev := res.evicted
-			rc.dropped.Add(uint64(ev.recs))
-			b.remoteDropped.Add(uint64(ev.recs))
-			ev.release()
-			b.noteOverflow(rc, evictAfter)
+			dropped += recs
 		} else {
-			rc.overflowStreak.Store(0)
+			enqueued += recs
+			if res.evicted != nil {
+				dropped += uint64(res.evicted.recs)
+				res.evicted.release()
+			}
+		}
+		if evictAfter > 0 && res.streak >= evictAfter {
+			// Sustained overflow: a subscriber that persistently cannot
+			// keep up is cheaper gone than throttling the node.
+			b.slowEvicted.Add(1)
+			b.dropConn(rc)
 		}
 	}
-}
-
-// noteOverflow bumps the connection's consecutive-overflow streak and
-// evicts it once the streak crosses the configured threshold.
-func (b *Broker) noteOverflow(rc *remoteConn, evictAfter int64) {
-	streak := rc.overflowStreak.Add(1)
-	if evictAfter > 0 && streak >= evictAfter {
-		b.slowEvicted.Add(1)
-		b.dropConn(rc)
+	// Broker-level counters are contended across publishers, so fold the
+	// whole fan-out into at most one locked add each.
+	if enqueued > 0 {
+		b.remoteEnqueued.Add(enqueued)
+	}
+	if dropped > 0 {
+		b.remoteDropped.Add(dropped)
 	}
 }
 
@@ -585,7 +650,9 @@ func (b *Broker) writeLoop(rc *remoteConn) {
 		if !ok {
 			return
 		}
+		start := time.Now()
 		err := rc.writeFrame(f)
+		dur := int64(time.Since(start))
 		recs := uint64(f.recs)
 		f.release()
 		if err != nil {
@@ -593,6 +660,12 @@ func (b *Broker) writeLoop(rc *remoteConn) {
 			b.dropConn(rc)
 			return
 		}
+		// Per-frame drain-time EWMA (α = 1/8) for the Adaptive overflow
+		// policy. The writer goroutine is the only updater, so a plain
+		// load-modify-store is race-free; the atomic store publishes to
+		// the publish path.
+		prev := rc.drainNanos.Load()
+		rc.drainNanos.Store(prev - prev/8 + dur/8)
 		rc.delivered.Add(recs)
 		b.remoteDeliver.Add(recs)
 	}
@@ -645,7 +718,7 @@ func (b *Broker) Subscribers() []SubscriberStats {
 	b.mu.Unlock()
 	out := make([]SubscriberStats, 0, len(conns))
 	for _, rc := range conns {
-		n, capacity := rc.q.depth()
+		qs := rc.q.stats()
 		chans := make([]string, 0, len(rc.channels))
 		for name := range rc.channels {
 			chans = append(chans, name)
@@ -654,15 +727,17 @@ func (b *Broker) Subscribers() []SubscriberStats {
 			Addr:             rc.conn.RemoteAddr().String(),
 			Version:          rc.version,
 			Shard:            rc.sel.String(),
+			Columns:          rc.columns,
 			Channels:         chans,
-			QueueLen:         n,
-			QueueCap:         capacity,
-			EnqueuedFrames:   rc.enqFrames.Load(),
-			EnqueuedRecords:  rc.enqRecords.Load(),
+			QueueLen:         qs.len,
+			QueueCap:         qs.cap,
+			EnqueuedFrames:   qs.enqFrames,
+			EnqueuedRecords:  qs.enqRecords,
 			DeliveredRecords: rc.delivered.Load(),
-			DroppedRecords:   rc.dropped.Load(),
-			BlockedNanos:     rc.blockedNanos.Load(),
-			OverflowStreak:   rc.overflowStreak.Load(),
+			DroppedRecords:   qs.dropped,
+			BlockedNanos:     qs.blockedNanos,
+			DrainNanos:       rc.drainNanos.Load(),
+			OverflowStreak:   qs.overflowStreak,
 		})
 	}
 	return out
@@ -753,6 +828,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 		channels:    make(map[string]bool, len(hs.channels)),
 		version:     hs.version,
 		sel:         hs.sel,
+		columns:     hs.columns,
 		sentFormats: make(map[*pbio.Format]bool),
 	}
 	b.conns[rc] = true
@@ -923,7 +999,7 @@ func (s *Subscriber) Close() error { return s.conn.Close() }
 // are byte-identical to the legacy encoder's output).
 const (
 	handshakeMagic   = 0xFF
-	handshakeVersion = 1
+	handshakeVersion = 2
 	// handshakeFlagPlans advertises that the subscriber understands
 	// streams produced by cached encode plans. Informational for now —
 	// the wire bytes are identical either way — but gives future format
@@ -935,6 +1011,11 @@ const (
 	// error, so a sharded gpad cannot silently receive a full stream from
 	// an old broker.
 	handshakeFlagShard = 1 << 1
+	// handshakeFlagColumns advertises that the subscriber decodes
+	// columnar (0x04) batch frames. The broker keys on this flag — not
+	// the version byte — so a columnar publish reaches flag-less
+	// subscribers as the row-batch (0x03) frames they already understand.
+	handshakeFlagColumns = 1 << 2
 
 	maxHandshakeChannels = 1024
 )
@@ -943,6 +1024,7 @@ type handshake struct {
 	version  int
 	flags    uint16
 	sel      ShardSelector
+	columns  bool
 	channels []string
 }
 
@@ -954,7 +1036,7 @@ func writeHandshakeSharded(w io.Writer, channels []string, sel ShardSelector) er
 	if len(channels) > maxHandshakeChannels {
 		return fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", len(channels), maxHandshakeChannels)
 	}
-	flags := uint16(handshakeFlagPlans)
+	flags := uint16(handshakeFlagPlans | handshakeFlagColumns)
 	if sel.Count != 0 {
 		if !sel.Valid() || sel.Count > maxShardCount {
 			return fmt.Errorf("pubsub: handshake: bad shard selector %d/%d", sel.Index, sel.Count)
@@ -1002,6 +1084,7 @@ func readHandshake(r io.Reader) (handshake, error) {
 			return handshake{}, fmt.Errorf("pubsub: handshake: bad version %d", hs.version)
 		}
 		hs.flags = binary.LittleEndian.Uint16(rest[1:3])
+		hs.columns = hs.flags&handshakeFlagColumns != 0
 		count = int(binary.LittleEndian.Uint16(rest[3:5]))
 		if count > maxHandshakeChannels {
 			return handshake{}, fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", count, maxHandshakeChannels)

@@ -24,6 +24,14 @@ const (
 	// is dropped for that subscriber. Use when losing the most recent
 	// records matters more than bounding publish latency.
 	BlockWithDeadline
+	// Adaptive picks between the two per subscriber from the observed
+	// drain rate: when the connection's writer has been draining a frame
+	// faster than the block timeout, a full queue will free a slot within
+	// the deadline, so a short blocking wait loses nothing; when the
+	// subscriber drains slower than the timeout (or has never delivered),
+	// blocking would burn publisher time for a frame that gets dropped
+	// anyway, so the policy falls back to shedding the oldest frame.
+	Adaptive
 )
 
 func (p OverflowPolicy) String() string {
@@ -32,21 +40,25 @@ func (p OverflowPolicy) String() string {
 		return "drop"
 	case BlockWithDeadline:
 		return "block"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("overflow(%d)", int32(p))
 	}
 }
 
 // ParseOverflowPolicy maps a knob string ("drop"/"drop-oldest",
-// "block"/"block-with-deadline") to a policy.
+// "block"/"block-with-deadline", "adaptive") to a policy.
 func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
 	switch s {
 	case "drop", "drop-oldest":
 		return DropOldest, nil
 	case "block", "block-with-deadline":
 		return BlockWithDeadline, nil
+	case "adaptive":
+		return Adaptive, nil
 	default:
-		return DropOldest, fmt.Errorf("pubsub: unknown overflow policy %q (want drop or block)", s)
+		return DropOldest, fmt.Errorf("pubsub: unknown overflow policy %q (want drop, block, or adaptive)", s)
 	}
 }
 
@@ -101,7 +113,11 @@ func WithEvictAfterOverflows(n int) Option { return func(c *Config) { c.EvictAft
 // the two on first use of format, because the subscriber reads the
 // channel header before handing the rest to its PBIO decoder.
 type frame struct {
-	refs   atomic.Int64
+	// refs is the fan-out reference count. The publisher presets it with
+	// a plain store before the first enqueue — the send queue's mutex
+	// publishes it to the writer goroutines — so pooled frames carry a
+	// stale count until their next use.
+	refs   int64
 	buf    []byte
 	hdrLen int
 	format *pbio.Format
@@ -111,12 +127,14 @@ type frame struct {
 var framePool = sync.Pool{New: func() any { return new(frame) }}
 
 // release drops one reference; the last one returns the frame to the
-// pool.
+// pool. Reading 1 means the caller holds the only reference (nobody else
+// can concurrently release), so the common single-subscriber case skips
+// the locked decrement entirely.
 //
 //sysprof:nonblocking
 //sysprof:noalloc
 func (f *frame) release() {
-	if f.refs.Add(-1) == 0 {
+	if atomic.LoadInt64(&f.refs) == 1 || atomic.AddInt64(&f.refs, -1) == 0 {
 		f.buf = f.buf[:0]
 		f.hdrLen = 0
 		f.format = nil
@@ -135,6 +153,15 @@ type sendQueue struct {
 	head     int
 	n        int
 	closed   bool
+
+	// Traffic counters, guarded by mu. enqueue already holds the lock,
+	// so bumping them here costs plain adds; as per-connection atomics
+	// they were one locked RMW each on the publish hot path.
+	enqFrames      uint64
+	enqRecords     uint64
+	dropped        uint64
+	blockedNanos   uint64
+	overflowStreak int64
 }
 
 func newSendQueue(depth int) *sendQueue {
@@ -149,20 +176,24 @@ func newSendQueue(depth int) *sendQueue {
 
 // enqResult reports an enqueue attempt's outcome. The caller owns the
 // reference of a frame that was not admitted, and the reference of any
-// evicted frame.
+// evicted frame. streak is the consecutive-overflow count after this
+// attempt (zero on a clean admit), so the caller can apply the
+// sustained-overflow eviction policy without touching the counters.
 type enqResult struct {
-	admitted     bool
-	closed       bool
-	evicted      *frame
-	blockedNanos int64
+	admitted bool
+	closed   bool
+	evicted  *frame
+	streak   int64
 }
 
-// enqueue admits f to the ring, applying the overflow policy when full.
-// Under DropOldest it never waits; BlockWithDeadline bounds the wait by
-// the timeout, so the publish path cannot stall indefinitely.
+// enqueue admits f (carrying recs records) to the ring, applying the
+// overflow policy when full, and maintains the queue's traffic counters
+// under the lock it already holds. Under DropOldest it never waits;
+// BlockWithDeadline bounds the wait by the timeout, so the publish path
+// cannot stall indefinitely.
 //
 //sysprof:nonblocking
-func (q *sendQueue) enqueue(f *frame, policy OverflowPolicy, timeout time.Duration) enqResult {
+func (q *sendQueue) enqueue(f *frame, recs uint64, policy OverflowPolicy, timeout time.Duration) enqResult {
 	var res enqResult
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -183,25 +214,47 @@ func (q *sendQueue) enqueue(f *frame, policy OverflowPolicy, timeout time.Durati
 				q.notFull.Wait()
 			}
 			timer.Stop()
-			res.blockedNanos = int64(time.Since(start))
+			q.blockedNanos += uint64(time.Since(start))
 			if q.closed {
 				res.closed = true
 				return res
 			}
 			if q.n == len(q.ring) {
-				return res // deadline expired; the new frame is dropped
+				// Deadline expired; the new frame is dropped.
+				q.dropped += recs
+				q.overflowStreak++
+				res.streak = q.overflowStreak
+				return res
 			}
 		} else {
+			// Full ring, drop-oldest: the new frame lands exactly where the
+			// evicted one sat ((head+1 + n-1) mod cap == head), so replace
+			// in place — one pointer write, n unchanged, and no writer
+			// wake-up needed since the queue stays non-empty.
 			res.evicted = q.ring[q.head]
-			q.ring[q.head] = nil
+			q.ring[q.head] = f
 			q.head = (q.head + 1) % len(q.ring)
-			q.n--
+			res.admitted = true
+			q.enqFrames++
+			q.enqRecords += recs
+			q.dropped += uint64(res.evicted.recs)
+			q.overflowStreak++
+			res.streak = q.overflowStreak
+			return res
 		}
 	}
 	q.ring[(q.head+q.n)%len(q.ring)] = f
 	q.n++
 	res.admitted = true
-	q.notEmpty.Signal()
+	q.enqFrames++
+	q.enqRecords += recs
+	q.overflowStreak = 0
+	if q.n == 1 {
+		// The writer only ever waits on an empty queue, so a signal is
+		// needed solely on the empty→non-empty transition; skipping it
+		// otherwise keeps the publish path off the cond's notify list.
+		q.notEmpty.Signal()
+	}
 	return res
 }
 
@@ -249,4 +302,29 @@ func (q *sendQueue) depth() (n, capacity int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.n, len(q.ring)
+}
+
+// queueStats is a mutex-consistent snapshot of one send queue's depth
+// and traffic counters.
+type queueStats struct {
+	len, cap       int
+	enqFrames      uint64
+	enqRecords     uint64
+	dropped        uint64
+	blockedNanos   uint64
+	overflowStreak int64
+}
+
+func (q *sendQueue) stats() queueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return queueStats{
+		len:            q.n,
+		cap:            len(q.ring),
+		enqFrames:      q.enqFrames,
+		enqRecords:     q.enqRecords,
+		dropped:        q.dropped,
+		blockedNanos:   q.blockedNanos,
+		overflowStreak: q.overflowStreak,
+	}
 }
