@@ -31,8 +31,32 @@ var hotPathBenchmarks = []struct {
 }{
 	{"./internal/gpa/", "BenchmarkIngestBatch"},
 	{"./internal/pubsub/", "BenchmarkPublishRemote|BenchmarkPublishBatchRemote"},
-	{"./internal/dissem/", "BenchmarkFlushEncode"},
+	{"./internal/dissem/", "BenchmarkFlushEncode|BenchmarkColumnsEncode"},
 	{"./internal/pbio/", "BenchmarkPBIOEncodeReuse"},
+}
+
+// guardColumnarIngest fails the run when the columnar ingest path
+// measures slower than the row path — the regression the vectorized
+// correlation work must never reintroduce. The snapshot is still
+// written first so a failing run leaves the numbers to inspect.
+func guardColumnarIngest(all []result) error {
+	var rows, cols *result
+	for i := range all {
+		switch all[i].Name {
+		case "BenchmarkIngestBatch/rows":
+			rows = &all[i]
+		case "BenchmarkIngestBatch/columns":
+			cols = &all[i]
+		}
+	}
+	if rows == nil || cols == nil {
+		return fmt.Errorf("ingest guard: rows/columns measurements missing from BenchmarkIngestBatch")
+	}
+	if cols.NsPerOp > rows.NsPerOp {
+		return fmt.Errorf("columnar ingest regressed: columns %.0f ns/op > rows %.0f ns/op",
+			cols.NsPerOp, rows.NsPerOp)
+	}
+	return nil
 }
 
 // result is one benchmark measurement in the JSON snapshot.
@@ -126,4 +150,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(all))
+	if err := guardColumnarIngest(all); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhot:", err)
+		os.Exit(1)
+	}
 }

@@ -26,7 +26,7 @@
 //
 //	gpad [-subscribe host:port,host:port] [-interval 2s] [-dump file]
 //	     [-max-correlated n] [-max-correlated-age d] [-dump-interval d]
-//	     [-shard i/N] [-query addr]
+//	     [-shard i/N] [-query addr] [-wire-compress=false]
 //	gpad -frontend shard0:port,shard1:port [-query addr] [-interval 2s]
 package main
 
@@ -60,6 +60,7 @@ func main() {
 	dumpInterval := flag.Duration("dump-interval", 0, "with -dump: periodically dump-and-truncate the correlated history (0 = only on exit)")
 	shard := flag.String("shard", "", "subscribe as flow-hash shard i/N of a federated gpad tier (e.g. 0/4)")
 	frontend := flag.String("frontend", "", "run the federation merge frontend over these comma-separated shard query endpoints")
+	wireCompress := flag.Bool("wire-compress", true, "request per-column compressed frames from the broker (negotiated; either side can veto)")
 	flag.Parse()
 	opts := options{
 		addrs:            strings.Split(*subscribe, ","),
@@ -69,6 +70,7 @@ func main() {
 		maxCorrelated:    *maxCorrelated,
 		maxCorrelatedAge: *maxCorrelatedAge,
 		dumpInterval:     *dumpInterval,
+		wireCompress:     *wireCompress,
 	}
 	var err error
 	if opts.shardIndex, opts.shardCount, err = parseShard(*shard); err != nil {
@@ -103,6 +105,9 @@ type options struct {
 	// only sends this shard's flows.
 	shardIndex int
 	shardCount int
+	// wireCompress asks the broker for per-column compressed (0x05)
+	// frames on the subscription links; the broker may still veto.
+	wireCompress bool
 }
 
 // parseShard parses "-shard i/N" ("" = unsharded).
@@ -217,14 +222,11 @@ func run(opts options) error {
 		if addr == "" {
 			continue
 		}
-		var sub *pubsub.Subscriber
-		var err error
+		d := pubsub.Dialer{Registry: reg, Compress: opts.wireCompress}
 		if opts.shardCount > 0 {
-			sub, err = pubsub.DialSharded(addr, reg, opts.shardIndex, opts.shardCount,
-				dissem.ChannelInteractions, dissem.ChannelAggregates)
-		} else {
-			sub, err = pubsub.Dial(addr, reg, dissem.ChannelInteractions, dissem.ChannelAggregates)
+			d.Shard, d.Of = opts.shardIndex, opts.shardCount
 		}
+		sub, err := d.Dial(addr, dissem.ChannelInteractions, dissem.ChannelAggregates)
 		if err != nil {
 			return fmt.Errorf("subscribe %s: %w", addr, err)
 		}

@@ -50,6 +50,12 @@ type FanOut interface {
 	SetQueueDepth(n int) error
 	// SetOverflowPolicyName switches the overflow policy ("drop"/"block").
 	SetOverflowPolicyName(name string) error
+	// WireCompression reports whether compressed columnar wire frames
+	// are enabled for subscribers that negotiated them.
+	WireCompression() bool
+	// SetWireCompression toggles compressed columnar wire frames for
+	// negotiating subscribers (takes effect on the next publish).
+	SetWireCompression(on bool)
 }
 
 // Federation is the federated-GPA frontend surface the controller
@@ -200,6 +206,17 @@ func (c *Controller) SetPubSubOverflowPolicy(node, policy string) error {
 		return err
 	}
 	return b.SetOverflowPolicyName(policy)
+}
+
+// SetPubSubWireCompression toggles a node's compressed columnar wire
+// frames for subscribers that negotiated them.
+func (c *Controller) SetPubSubWireCompression(node string, on bool) error {
+	b, err := c.broker(node)
+	if err != nil {
+		return err
+	}
+	b.SetWireCompression(on)
+	return nil
 }
 
 // SetFlushInterval retunes a node's dissemination flush period.
@@ -419,6 +436,7 @@ func maskFromSpec(spec string) (kprof.Mask, error) {
 //	flushinterval <node> <duration>    e.g. 250ms, 2s
 //	pubsubqueue <node> <depth>         send-queue depth for new subscribers
 //	pubsubpolicy <node> drop|block|adaptive  fan-out overflow policy
+//	wirecompress <node> on|off         compressed columnar wire frames
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
 //
@@ -515,6 +533,19 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "", errors.New("controller: usage: pubsubpolicy <node> drop|block|adaptive")
 		}
 		return "ok", c.SetPubSubOverflowPolicy(fields[1], fields[2])
+	case "wirecompress":
+		if len(fields) != 3 {
+			return "", errors.New("controller: usage: wirecompress <node> on|off")
+		}
+		var on bool
+		switch fields[2] {
+		case "on":
+			on = true
+		case "off":
+		default:
+			return "", fmt.Errorf("controller: bad wirecompress state %q (want on or off)", fields[2])
+		}
+		return "ok", c.SetPubSubWireCompression(fields[1], on)
 	case "install-cpa":
 		head, src, found := strings.Cut(line, " -- ")
 		if !found {

@@ -265,9 +265,13 @@ func TestPIDFilterCommand(t *testing.T) {
 
 // fakeFanOut stands in for a pub-sub broker.
 type fakeFanOut struct {
-	depth  int
-	policy string
+	depth    int
+	policy   string
+	compress bool
 }
+
+func (f *fakeFanOut) WireCompression() bool      { return f.compress }
+func (f *fakeFanOut) SetWireCompression(on bool) { f.compress = on }
 
 func (f *fakeFanOut) QueueConfig() (int, string) { return f.depth, f.policy }
 func (f *fakeFanOut) SetQueueDepth(n int) error {
@@ -328,6 +332,27 @@ func TestPubSubKnobs(t *testing.T) {
 	}
 	if _, err := c.Execute("pubsubpolicy n1 bogus"); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+
+	// Wire-compression knob: on/off round trip, bad states rejected.
+	fo.compress = true
+	if reply, err := c.Execute("wirecompress n1 off"); err != nil || reply != "ok" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+	if fo.compress {
+		t.Fatal("wirecompress off did not clear the knob")
+	}
+	if reply, err := c.Execute("wirecompress n1 on"); err != nil || reply != "ok" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+	if !fo.compress {
+		t.Fatal("wirecompress on did not set the knob")
+	}
+	if _, err := c.Execute("wirecompress n1 maybe"); err == nil {
+		t.Fatal("bad wirecompress state accepted")
+	}
+	if _, err := c.Execute("wirecompress n1"); err == nil {
+		t.Fatal("missing args accepted")
 	}
 
 	// Status shows the fan-out config once a broker is attached.

@@ -299,6 +299,38 @@ func (c *RecordColumns) Row(i int) Record {
 	}
 }
 
+// CopyRow writes row i into dst, overwriting every field — the in-place
+// form of Row for consumers that already hold the destination slot (the
+// GPA's vectorized correlation fills matched pairs directly into the
+// correlated history, skipping the stack temporaries a Row round trip
+// would copy through).
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func (c *RecordColumns) CopyRow(dst *Record, i int) {
+	dst.ID = c.IDs[i]
+	dst.Node = c.Nodes[i]
+	dst.Flow = c.Flows[i]
+	dst.Class = c.Classes[i]
+	dst.CPU = c.CPUs[i]
+	dst.Start = c.Starts[i]
+	dst.End = c.Ends[i]
+	dst.ReqPackets = c.ReqPackets[i]
+	dst.ReqBytes = c.ReqBytes[i]
+	dst.RespPackets = c.RespPackets[i]
+	dst.RespBytes = c.RespBytes[i]
+	dst.ProtoTime = c.ProtoTimes[i]
+	dst.TxTime = c.TxTimes[i]
+	dst.BufferWait = c.BufferWaits[i]
+	dst.SyscallTime = c.SyscallTimes[i]
+	dst.UserTime = c.UserTimes[i]
+	dst.BlockedTime = c.BlockedTimes[i]
+	dst.ServerPID = c.ServerPIDs[i]
+	dst.ServerProc = c.ServerProcs[i]
+	dst.CtxSwitches = c.CtxSwitches[i]
+	dst.DiskOps = c.DiskOps[i]
+}
+
 // AppendTo materializes every row onto dst and returns the extended
 // slice — the bridge back to row-oriented consumers.
 func (c *RecordColumns) AppendTo(dst []Record) []Record {

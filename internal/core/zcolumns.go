@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Column encodings for the compressed columnar frame (pbio 0x05). The
+// values must match pbio's ColEnc* constants — core stays free of a pbio
+// import the same way the wire helpers in columns.go mirror pbio's byte
+// conventions without one; a cross-package test in internal/dissem pins
+// the equality.
+const (
+	zEncRaw   = 0x00
+	zEncDelta = 0x01
+	zEncRLE   = 0x02
+	zEncDict  = 0x03
+)
+
+// zDictMax caps a string column's dictionary. Columns with more distinct
+// values fall back to raw encoding, which keeps the dictionary build a
+// bounded linear scan over a stack array — no map, no allocation.
+const zDictMax = 32
+
+// appendZigzag appends one zigzag-folded varint delta.
+func appendZigzag(buf []byte, d int64) []byte {
+	return binary.AppendUvarint(buf, uint64(d<<1)^uint64(d>>63))
+}
+
+func appendDeltaU64(buf []byte, col []uint64) []byte {
+	var prev uint64
+	for _, v := range col {
+		buf = appendZigzag(buf, int64(v-prev))
+		prev = v
+	}
+	return buf
+}
+
+func appendDeltaDur(buf []byte, col []time.Duration) []byte {
+	var prev int64
+	for _, v := range col {
+		buf = appendZigzag(buf, int64(v)-prev)
+		prev = int64(v)
+	}
+	return buf
+}
+
+func appendDeltaInt(buf []byte, col []int) []byte {
+	var prev int64
+	for _, v := range col {
+		buf = appendZigzag(buf, int64(v)-prev)
+		prev = int64(v)
+	}
+	return buf
+}
+
+// appendRLE run-length encodes a narrow integer column. Values are
+// masked to 32 bits — the widest RLE column — so a negative i32 costs a
+// 5-byte varint instead of a sign-extended 10-byte one; the decoder
+// truncates to the column's width, so the round trip is exact.
+func appendRLE[T ~uint8 | ~uint16 | ~int32](buf []byte, col []T) []byte {
+	for i, n := 0, len(col); i < n; {
+		v := col[i]
+		j := i + 1
+		for j < n && col[j] == v {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = binary.AppendUvarint(buf, uint64(v)&0xffffffff)
+		i = j
+	}
+	return buf
+}
+
+// appendDictStrings dictionary-encodes a string column: distinct values
+// up front, then run-length encoded indices. Columns with more than
+// zDictMax distinct values are emitted raw instead — past that point the
+// column is not low-cardinality and the linear dictionary scan stops
+// paying for itself.
+func appendDictStrings(buf []byte, col []string) []byte {
+	var dict [zDictMax]string
+	nd := 0
+	for _, s := range col {
+		k := 0
+		for ; k < nd; k++ {
+			if dict[k] == s {
+				break
+			}
+		}
+		if k == nd {
+			if nd == zDictMax {
+				buf = append(buf, zEncRaw)
+				for _, s := range col {
+					buf = appendWireString(buf, s)
+				}
+				return buf
+			}
+			dict[nd] = s
+			nd++
+		}
+	}
+	buf = append(buf, zEncDict)
+	buf = binary.AppendUvarint(buf, uint64(nd))
+	for k := 0; k < nd; k++ {
+		buf = appendWireString(buf, dict[k])
+	}
+	for i, n := 0, len(col); i < n; {
+		s := col[i]
+		j := i + 1
+		for j < n && col[j] == s {
+			j++
+		}
+		idx := 0
+		for dict[idx] != s {
+			idx++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = binary.AppendUvarint(buf, uint64(idx))
+		i = j
+	}
+	return buf
+}
+
+// AppendCompressedColumn implements pbio's compressed column-batch
+// contract for 0x05 frames: each column opens with an encoding tag and
+// carries that encoding's payload. The choice is static per field —
+// delta varints for identifiers, timestamps, sizes, and durations
+// (neighbouring rows are close in time and magnitude), run-length for
+// the low-cardinality node/CPU/PID columns a shard link naturally
+// clusters, and dictionaries for the class and process-name strings.
+//
+//sysprof:nonblocking
+func (c *RecordColumns) AppendCompressedColumn(buf []byte, field int) []byte {
+	n := c.Len()
+	switch field {
+	case 0: // ID u64: near-monotonic per origin, deltas stay short
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaU64(buf, c.IDs)
+	case 1: // Node u16: shard links carry long same-node runs
+		buf = append(buf, zEncRLE)
+		buf = appendRLE(buf, c.Nodes)
+	case 2: // Flow.Src.Node u16
+		buf = append(buf, zEncRLE)
+		for i := 0; i < n; {
+			v := c.Flows[i].Src.Node
+			j := i + 1
+			for j < n && c.Flows[j].Src.Node == v {
+				j++
+			}
+			buf = binary.AppendUvarint(buf, uint64(j-i))
+			buf = binary.AppendUvarint(buf, uint64(v))
+			i = j
+		}
+	case 3: // Flow.Src.Port u16: ephemeral ports climb, deltas stay small
+		buf = append(buf, zEncDelta)
+		var prev int64
+		for i := 0; i < n; i++ {
+			v := int64(c.Flows[i].Src.Port)
+			buf = appendZigzag(buf, v-prev)
+			prev = v
+		}
+	case 4: // Flow.Dst.Node u16
+		buf = append(buf, zEncRLE)
+		for i := 0; i < n; {
+			v := c.Flows[i].Dst.Node
+			j := i + 1
+			for j < n && c.Flows[j].Dst.Node == v {
+				j++
+			}
+			buf = binary.AppendUvarint(buf, uint64(j-i))
+			buf = binary.AppendUvarint(buf, uint64(v))
+			i = j
+		}
+	case 5: // Flow.Dst.Port u16: service ports repeat, deltas collapse to zero
+		buf = append(buf, zEncDelta)
+		var prev int64
+		for i := 0; i < n; i++ {
+			v := int64(c.Flows[i].Dst.Port)
+			buf = appendZigzag(buf, v-prev)
+			prev = v
+		}
+	case 6: // Class string
+		buf = appendDictStrings(buf, c.Classes)
+	case 7: // CPU u8
+		buf = append(buf, zEncRLE)
+		buf = appendRLE(buf, c.CPUs)
+	case 8: // Start duration: timestamps are the textbook delta column
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.Starts)
+	case 9: // End duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.Ends)
+	case 10: // ReqPackets i64
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaInt(buf, c.ReqPackets)
+	case 11: // ReqBytes i64
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaInt(buf, c.ReqBytes)
+	case 12: // RespPackets i64
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaInt(buf, c.RespPackets)
+	case 13: // RespBytes i64
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaInt(buf, c.RespBytes)
+	case 14: // ProtoTime duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.ProtoTimes)
+	case 15: // TxTime duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.TxTimes)
+	case 16: // BufferWait duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.BufferWaits)
+	case 17: // SyscallTime duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.SyscallTimes)
+	case 18: // UserTime duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.UserTimes)
+	case 19: // BlockedTime duration
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaDur(buf, c.BlockedTimes)
+	case 20: // ServerPID i32: one server process per link in steady state
+		buf = append(buf, zEncRLE)
+		buf = appendRLE(buf, c.ServerPIDs)
+	case 21: // ServerProc string
+		buf = appendDictStrings(buf, c.ServerProcs)
+	case 22: // CtxSwitches u64
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaU64(buf, c.CtxSwitches)
+	case 23: // DiskOps u64
+		buf = append(buf, zEncDelta)
+		buf = appendDeltaU64(buf, c.DiskOps)
+	}
+	return buf
+}

@@ -76,3 +76,43 @@ func BenchmarkFlushEncode(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkColumnsEncode measures the columnar wire encoders on a
+// representative shard-link batch: the plain 0x04 columnar frame
+// against the per-column compressed 0x05 frame WAN links negotiate.
+// Compression trades encode CPU for wire bytes; this pins how much.
+func BenchmarkColumnsEncode(b *testing.B) {
+	cols := shardLinkBatch(512)
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		b.Fatal(err)
+	}
+	plan := reg.PlanFor(reflect.TypeOf(core.Record{}))
+	if plan == nil {
+		b.Fatal("no plan bound for core.Record")
+	}
+	b.Run("plain", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, _, err := plan.AppendColumnsFrame(buf[:0], cols)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, _, err := plan.AppendCompressedColumnsFrame(buf[:0], cols)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package dissem
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/pbio"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/simnet"
+)
+
+// shardLinkBatch builds a representative shard-link batch: one origin
+// node streaming interactions for a handful of service classes, with
+// near-monotonic timestamps, climbing ephemeral ports, and a small set
+// of server processes. This is the traffic shape the per-column
+// encodings are chosen for, so it doubles as the compression-ratio
+// fixture.
+func shardLinkBatch(n int) *core.RecordColumns {
+	classes := []string{"port:80", "port:443", "port:5432"}
+	procs := []string{"httpd", "postgres"}
+	cols := core.NewRecordColumns(n)
+	for i := 0; i < n; i++ {
+		r := core.Record{
+			ID:   uint64(1_000_000 + i),
+			Node: 3,
+			Flow: simnet.FlowKey{
+				Src: simnet.Addr{Node: 3, Port: uint16(32768 + i%2000)},
+				Dst: simnet.Addr{Node: 7, Port: uint16(80 + 363*(i%3))},
+			},
+			Class:       classes[i%len(classes)],
+			CPU:         uint8(i / 128),
+			Start:       time.Duration(i)*50*time.Microsecond + time.Second,
+			End:         time.Duration(i)*50*time.Microsecond + time.Second + 300*time.Microsecond,
+			ReqPackets:  2 + i%3,
+			ReqBytes:    512 + 16*(i%7),
+			RespPackets: 4,
+			RespBytes:   4096 + 128*(i%5),
+			ProtoTime:   40*time.Microsecond + time.Duration(i%9)*time.Microsecond,
+			TxTime:      12 * time.Microsecond,
+			BufferWait:  time.Duration(i%4) * time.Microsecond,
+			SyscallTime: 7 * time.Microsecond,
+			UserTime:    90 * time.Microsecond,
+			BlockedTime: time.Duration(i%2) * time.Microsecond,
+			ServerPID:   int32(4242 + i%len(procs)),
+			ServerProc:  procs[i%len(procs)],
+			CtxSwitches: uint64(10_000 + 3*i),
+			DiskOps:     uint64(i % 2),
+		}
+		cols.Append(&r)
+	}
+	return cols
+}
+
+// compressedStream hand-assembles def + 0x05 frame the way the broker's
+// encodeColumnsFrame does.
+func compressedStream(tb testing.TB, cols *core.RecordColumns) []byte {
+	tb.Helper()
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		tb.Fatal(err)
+	}
+	plan := reg.PlanFor(reflect.TypeOf(core.Record{}))
+	if plan == nil {
+		tb.Fatal("no plan bound for core.Record")
+	}
+	stream := plan.Format().AppendDef(nil)
+	stream, n, err := plan.AppendCompressedColumnsFrame(stream, cols)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if n != cols.Len() {
+		tb.Fatalf("frame row count %d, want %d", n, cols.Len())
+	}
+	return stream
+}
+
+// TestCompressedColumnsRoundTrip pins the 0x05 wire format end to end:
+// a compressed columnar frame decoded through the bound column decoder
+// must reproduce the original batch byte for byte, and a subscriber
+// without a column decoder (the generic materialization path) must
+// still recover the identical rows.
+func TestCompressedColumnsRoundTrip(t *testing.T) {
+	const rows = 257 // odd size: exercises run tails and dict runs
+	cols := shardLinkBatch(rows)
+	want := cols.AppendTo(nil)
+	stream := compressedStream(t, cols)
+
+	// Bound-decoder path: the shard-link subscriber's configuration.
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pbio.NewDecoder(bytes.NewReader(stream), reg).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.Value.(*core.RecordColumns)
+	if !ok {
+		t.Fatalf("decoded %T, want *core.RecordColumns", rec.Value)
+	}
+	if got.Len() != rows {
+		t.Fatalf("decoded %d rows, want %d", got.Len(), rows)
+	}
+	for i, w := range want {
+		if r := got.Row(i); r != w {
+			t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, r, w)
+		}
+	}
+
+	// Generic path: WireRecord registered, no column decoder — the
+	// ColumnReader's per-kind reads must materialize identical rows.
+	plainReg := pbio.NewRegistry()
+	if _, err := plainReg.Register("sysprof.interaction", WireRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	dec := pbio.NewDecoder(bytes.NewReader(stream), plainReg)
+	for i := 0; i < rows; i++ {
+		rec, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		w, ok := rec.Value.(*WireRecord)
+		if !ok {
+			t.Fatalf("row %d: decoded %T, want *WireRecord", i, rec.Value)
+		}
+		if got := FromWire(w); got != want[i] {
+			t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestCompressedColumnsShrink holds the compression bar: on a
+// representative shard-link batch the 0x05 frame must be at least 2x
+// smaller than the plain 0x04 columnar frame.
+func TestCompressedColumnsShrink(t *testing.T) {
+	cols := shardLinkBatch(512)
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	plan := reg.PlanFor(reflect.TypeOf(core.Record{}))
+	plain, _, err := plan.AppendColumnsFrame(nil, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, _, err := plan.AppendCompressedColumnsFrame(nil, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*len(compressed) > len(plain) {
+		t.Fatalf("compressed frame %d bytes vs plain %d: shrink %.2fx, want >= 2x",
+			len(compressed), len(plain), float64(len(plain))/float64(len(compressed)))
+	}
+	t.Logf("512-row shard-link batch: plain %d bytes, compressed %d bytes (%.2fx)",
+		len(plain), len(compressed), float64(len(plain))/float64(len(compressed)))
+}
+
+// TestCompressedEncodingTagsMatchPBIO pins core's unexported zEnc*
+// encoding tags against pbio's exported ColEnc* constants. core cannot
+// import pbio, so the two packages each declare the values; this test —
+// in the one package that imports both — is what keeps them equal.
+func TestCompressedEncodingTagsMatchPBIO(t *testing.T) {
+	cols := shardLinkBatch(8)
+	for _, tc := range []struct {
+		field int
+		want  byte
+		name  string
+	}{
+		{0, pbio.ColEncDelta, "ID delta"},
+		{1, pbio.ColEncRLE, "Node RLE"},
+		{2, pbio.ColEncRLE, "Flow.Src.Node RLE"},
+		{3, pbio.ColEncDelta, "Flow.Src.Port delta"},
+		{6, pbio.ColEncDict, "Class dict"},
+		{7, pbio.ColEncRLE, "CPU RLE"},
+		{8, pbio.ColEncDelta, "Start delta"},
+		{20, pbio.ColEncRLE, "ServerPID RLE"},
+		{21, pbio.ColEncDict, "ServerProc dict"},
+	} {
+		buf := cols.AppendCompressedColumn(nil, tc.field)
+		if len(buf) == 0 || buf[0] != tc.want {
+			t.Errorf("%s: field %d opens with tag %#x, want %#x", tc.name, tc.field, buf[0], tc.want)
+		}
+	}
+
+	// The raw fallback: a string column with more distinct values than
+	// the dictionary holds must be tagged raw.
+	big := core.NewRecordColumns(64)
+	for i := 0; i < 64; i++ {
+		r := core.Record{ID: uint64(i), Class: string(rune('A'+i%40)) + "class"}
+		big.Append(&r)
+	}
+	if buf := big.AppendCompressedColumn(nil, 6); len(buf) == 0 || buf[0] != pbio.ColEncRaw {
+		t.Errorf("high-cardinality string column tagged %#x, want raw %#x", buf[0], pbio.ColEncRaw)
+	}
+}
+
+// TestCompressedNegotiation runs the wire-compression handshake end to
+// end: one subscriber requests compressed frames and one dials plain,
+// both must decode the same publish to identical batches; flipping the
+// broker's wire-compression knob off downgrades the requester to plain
+// columnar frames mid-stream without breaking its decoder.
+func TestCompressedNegotiation(t *testing.T) {
+	reg := pbio.NewRegistry()
+	if err := RegisterFormats(reg); err != nil {
+		t.Fatal(err)
+	}
+	b := pubsub.NewBroker(reg)
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(l)
+
+	newSub := func(compress bool) *pubsub.Subscriber {
+		subReg := pbio.NewRegistry()
+		if err := RegisterFormats(subReg); err != nil {
+			t.Fatal(err)
+		}
+		sub, err := pubsub.Dialer{Registry: subReg, Compress: compress}.Dial(
+			l.Addr().String(), ChannelInteractions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sub.Close() })
+		return sub
+	}
+	zsub := newSub(true)
+	plain := newSub(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.Subscribers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscribers never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var sawCompressed, sawPlain bool
+	for _, s := range b.Subscribers() {
+		if s.Compressed {
+			sawCompressed = true
+		} else {
+			sawPlain = true
+		}
+	}
+	if !sawCompressed || !sawPlain {
+		t.Fatalf("negotiation flags not split: %+v", b.Subscribers())
+	}
+	if !b.WireCompression() {
+		t.Fatal("wire compression not on by default")
+	}
+
+	const rows = 64
+	cols := shardLinkBatch(rows)
+	want := cols.AppendTo(nil)
+	recvBatch := func(sub *pubsub.Subscriber) *core.RecordColumns {
+		t.Helper()
+		_, rec, err := sub.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := rec.Value.(*core.RecordColumns)
+		if !ok {
+			t.Fatalf("decoded %T, want *core.RecordColumns", rec.Value)
+		}
+		if got.Len() != rows {
+			t.Fatalf("decoded %d rows, want %d", got.Len(), rows)
+		}
+		for i, w := range want {
+			if r := got.Row(i); r != w {
+				t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, r, w)
+			}
+		}
+		return got
+	}
+	if err := b.PublishColumns(ChannelInteractions, cols); err != nil {
+		t.Fatal(err)
+	}
+	recvBatch(zsub)
+	recvBatch(plain)
+
+	// The operator veto: turning the knob off downgrades the compressed
+	// link to plain columnar frames; the subscriber keeps decoding.
+	b.SetWireCompression(false)
+	if b.WireCompression() {
+		t.Fatal("SetWireCompression(false) did not stick")
+	}
+	if err := b.PublishColumns(ChannelInteractions, cols); err != nil {
+		t.Fatal(err)
+	}
+	recvBatch(zsub)
+	recvBatch(plain)
+}
+
+// FuzzDecodeCompressedColumns feeds arbitrary bytes to the decoder with
+// the interaction column decoder bound, seeded with well-formed 0x05
+// streams plus hostile mutations (truncations, bad encoding tags,
+// never-terminating varints, inflated dictionary counts). The decoder
+// must never panic and must terminate with an error or clean EOF.
+func FuzzDecodeCompressedColumns(f *testing.F) {
+	small := compressedStream(f, shardLinkBatch(5))
+	f.Add(small)
+	f.Add(compressedStream(f, shardLinkBatch(64)))
+	f.Add(small[:len(small)-3])   // truncated mid-column
+	f.Add(small[:len(small)/2])   // truncated mid-frame
+	hostile := bytes.Clone(small) // valid def frame, corrupted columns
+	hostile[len(hostile)/2] ^= 0xFF
+	f.Add(hostile)
+	// A varint that never terminates: ten continuation bytes.
+	f.Add(append(bytes.Clone(small), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := pbio.NewRegistry()
+		if err := RegisterFormats(reg); err != nil {
+			t.Fatal(err)
+		}
+		dec := pbio.NewDecoder(bytes.NewReader(data), reg)
+		for i := 0; i < 1<<16; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -345,12 +345,13 @@ func (f *Frontend) ClassAggregates(node simnet.NodeID) (map[string]core.Aggregat
 	return m, st, nil
 }
 
-// CorrelatedSeq merges the shards' correlated streams into one global
-// completion order and renumbers the sequence tags. Per-process sequence
-// numbers only order each shard's own stream, so the merge key is the
-// interaction's completion time (the later endpoint End), with shard
-// index and per-shard sequence as deterministic tie-breaks.
-func (f *Frontend) CorrelatedSeq() ([]SeqEndToEnd, FederationStatus, error) {
+// correlatedSeqRows is the row-path reference merge: fan out the row
+// query, flatten every shard's stream, and sort the whole thing by
+// (completion, shard, sequence). CorrelatedSeq (federation_columns.go)
+// streams columnar pages through a k-way heap on the same key; this
+// materialize-then-sort form is kept as the oracle its equivalence test
+// compares against.
+func (f *Frontend) correlatedSeqRows() ([]SeqEndToEnd, FederationStatus, error) {
 	replies, st := f.fanOut("jcorrelated")
 	if st.allDead() {
 		return nil, st, fmt.Errorf("%w: %s", errAllShardsDead, strings.Join(st.Errors, "; "))

@@ -1,0 +1,127 @@
+package gpa
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// mergedJSON marshals a merged stream for byte-level comparison between
+// the columnar and row merge paths.
+func mergedJSON(t *testing.T, recs []SeqEndToEnd) []byte {
+	t.Helper()
+	b, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFederationColumnarMergeEquivalence pins the streamed columnar
+// merge against the row-path oracle: both fan-outs must produce
+// byte-identical merged streams — same rows, same global order, same
+// renumbered sequence tags — on a healthy federation and on a partial
+// one with a dead shard.
+func TestFederationColumnarMergeEquivalence(t *testing.T) {
+	h := newFedHarness(t, 4, Config{})
+	h.workload(24, 5)
+
+	want, wantSt, err := h.fe.correlatedSeqRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSt, err := h.fe.CorrelatedSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 24*5 {
+		t.Fatalf("columnar merge returned %d rows, want %d", len(got), 24*5)
+	}
+	if wantSt.Partial || gotSt.Partial {
+		t.Fatalf("unexpected partial status: rows %+v, columns %+v", wantSt, gotSt)
+	}
+	if w, g := mergedJSON(t, want), mergedJSON(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("columnar merge diverges from row merge:\n rows %s\n cols %s", w, g)
+	}
+
+	// Dead shard: both paths degrade to the same partial result and
+	// report the same federation status.
+	h.dead[2] = true
+	want, wantSt, err = h.fe.correlatedSeqRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSt, err = h.fe.CorrelatedSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotSt.Partial || fmt.Sprint(gotSt.Dead) != fmt.Sprint(wantSt.Dead) {
+		t.Fatalf("partial status diverges: rows %+v, columns %+v", wantSt, gotSt)
+	}
+	if len(got) == 0 || len(got) == 24*5 {
+		t.Fatalf("dead-shard merge returned %d rows, want a proper partial result", len(got))
+	}
+	if w, g := mergedJSON(t, want), mergedJSON(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("partial columnar merge diverges from row merge:\n rows %s\n cols %s", w, g)
+	}
+}
+
+// TestFederationColumnarFallbackOldShard simulates a mixed-version
+// federation: one shard rejects jcorrelatedcols the way an older binary
+// would. The frontend must retry that shard with the row query and
+// still return the full, non-partial merged stream, byte-identical to
+// the row-path oracle.
+func TestFederationColumnarFallbackOldShard(t *testing.T) {
+	h := newFedHarness(t, 3, Config{})
+	h.workload(12, 4)
+
+	const oldShard = 1
+	fe, err := NewFrontend([]string{"0", "1", "2"}, WithDialFunc(func(addr string) (net.Conn, error) {
+		idx, err := strconv.Atoi(addr)
+		if err != nil || idx < 0 || idx >= len(h.shards) {
+			return nil, fmt.Errorf("bad endpoint %q", addr)
+		}
+		c1, c2 := net.Pipe()
+		go func() {
+			defer c2.Close()
+			if idx == oldShard {
+				// An old binary's query surface: everything but the
+				// columnar page query.
+				serveLineProtocol(c2, func(line string) (string, error) {
+					if strings.Fields(strings.TrimSpace(line))[0] == "jcorrelatedcols" {
+						return "", fmt.Errorf("gpa: unknown query %q", "jcorrelatedcols")
+					}
+					return h.shards[idx].Execute(line)
+				})
+				return
+			}
+			h.shards[idx].ServeConn(c2)
+		}()
+		return c1, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := fe.correlatedSeqRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := fe.CorrelatedSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partial {
+		t.Fatalf("old-binary shard reported as dead: %+v", st)
+	}
+	if len(got) != 12*4 {
+		t.Fatalf("fallback merge returned %d rows, want %d", len(got), 12*4)
+	}
+	if w, g := mergedJSON(t, want), mergedJSON(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("fallback merge diverges from row merge:\n rows %s\n cols %s", w, g)
+	}
+}

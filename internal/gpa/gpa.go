@@ -138,6 +138,10 @@ type shard struct {
 	stats Stats
 	// ingests since the last stale sweep.
 	sinceSweep int
+
+	// corr is the vectorized columnar correlation scratch (columns.go),
+	// reused across batches under mu.
+	corr batchCorrelator
 }
 
 // staleSweepEvery is how many ingests a shard absorbs between incremental

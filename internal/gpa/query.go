@@ -121,6 +121,7 @@ func (g *GPA) RenderAccounting() string {
 //	jload <node>              Load of a node, as JSON
 //	jclasses                  per-node per-class aggregates, as JSON
 //	jcorrelated [n]           correlated interactions with sequence tags
+//	jcorrelatedcols [n]       the same stream as one columnar page
 //
 // Admin commands (federation retention / clock-quality knobs):
 //
@@ -256,6 +257,20 @@ func (g *GPA) Execute(line string) (string, error) {
 			return "", errors.New("gpa: usage: jcorrelated [n]")
 		}
 		return jsonReply(recs)
+	case "jcorrelatedcols":
+		recs := g.CorrelatedSeq()
+		if len(fields) == 2 {
+			n, err := parseCount(fields[1])
+			if err != nil {
+				return "", err
+			}
+			if len(recs) > n {
+				recs = recs[len(recs)-n:]
+			}
+		} else if len(fields) > 2 {
+			return "", errors.New("gpa: usage: jcorrelatedcols [n]")
+		}
+		return jsonReply(e2eColumnsOf(recs))
 	case "retention":
 		if len(fields) != 2 {
 			return "", errors.New("gpa: usage: retention <max-correlated>")

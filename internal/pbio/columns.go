@@ -3,6 +3,7 @@ package pbio
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"reflect"
 	"time"
 )
@@ -25,28 +26,83 @@ type ColumnAppender interface {
 	AppendRow(buf []byte, row int) []byte
 }
 
+// Per-column encodings carried by the compressed columnar (0x05) frame.
+// Each column opens with one of these tag bytes followed by its payload;
+// the payload is self-delimiting because the frame's row count fixes how
+// many values every column holds.
+const (
+	// ColEncRaw: the column's bytes exactly as a 0x04 frame would carry
+	// them — the encoder's escape hatch when nothing else wins.
+	ColEncRaw = 0x00
+	// ColEncDelta: one zigzag varint per row, each the delta from the
+	// previous row's value (first row deltas from zero). Arithmetic is
+	// mod 2^64, so any integer width round-trips exactly.
+	ColEncDelta = 0x01
+	// ColEncRLE: (run-length uvarint, value uvarint) pairs whose run
+	// lengths sum to the row count.
+	ColEncRLE = 0x02
+	// ColEncDict: a uvarint dictionary size, that many length-prefixed
+	// strings, then (run-length uvarint, dictionary-index uvarint) pairs
+	// whose run lengths sum to the row count. String columns only.
+	ColEncDict = 0x03
+)
+
+// CompressedColumnAppender extends ColumnAppender with per-column
+// compressed emission for 0x05 frames. AppendCompressedColumn must open
+// with a ColEnc* tag byte and emit field's value for every row in that
+// encoding; the encoder is free to pick ColEncRaw per column whenever
+// compression would not pay.
+type CompressedColumnAppender interface {
+	ColumnAppender
+	AppendCompressedColumn(buf []byte, field int) []byte
+}
+
 // AppendColumnsFrame appends one columnar (0x04) frame holding every row
 // of cols and returns the extended buffer plus the row count. An empty
 // batch appends nothing. The columnar layout means encoding is one
 // contiguous sweep per column — no per-row field dispatch.
 func (p *Plan) AppendColumnsFrame(buf []byte, cols ColumnAppender) ([]byte, int, error) {
+	buf, n, err := p.columnsHeader(buf, cols, frameColumns, "columns")
+	if err != nil || n == 0 {
+		return buf, n, err
+	}
+	for field := 0; field < len(p.f.Fields); field++ {
+		buf = cols.AppendColumn(buf, field)
+	}
+	return buf, n, nil
+}
+
+// AppendCompressedColumnsFrame appends one compressed columnar (0x05)
+// frame. Layout matches 0x04 — kind, format id, row count — except every
+// column opens with a ColEnc* tag and carries that encoding's payload.
+// Only subscribers that negotiated the compressed-columns handshake flag
+// can decode these frames.
+func (p *Plan) AppendCompressedColumnsFrame(buf []byte, cols CompressedColumnAppender) ([]byte, int, error) {
+	buf, n, err := p.columnsHeader(buf, cols, frameColumnsZ, "compressed columns")
+	if err != nil || n == 0 {
+		return buf, n, err
+	}
+	for field := 0; field < len(p.f.Fields); field++ {
+		buf = cols.AppendCompressedColumn(buf, field)
+	}
+	return buf, n, nil
+}
+
+func (p *Plan) columnsHeader(buf []byte, cols ColumnAppender, kind byte, what string) ([]byte, int, error) {
 	n := cols.Rows()
 	if n == 0 {
 		return buf, 0, nil
 	}
 	if n > maxBatchLen {
-		return buf, 0, fmt.Errorf("pbio: columns frame: %d rows exceeds batch limit %d", n, maxBatchLen)
+		return buf, 0, fmt.Errorf("pbio: %s frame: %d rows exceeds batch limit %d", what, n, maxBatchLen)
 	}
 	if nf := cols.NumWireFields(); nf != len(p.f.Fields) {
-		return buf, 0, fmt.Errorf("pbio: columns frame: batch has %d wire fields, format %q has %d",
-			nf, p.f.Name, len(p.f.Fields))
+		return buf, 0, fmt.Errorf("pbio: %s frame: batch has %d wire fields, format %q has %d",
+			what, nf, p.f.Name, len(p.f.Fields))
 	}
-	buf = append(buf, frameColumns)
+	buf = append(buf, kind)
 	buf = binary.LittleEndian.AppendUint32(buf, p.f.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
-	for field := 0; field < len(p.f.Fields); field++ {
-		buf = cols.AppendColumn(buf, field)
-	}
 	return buf, n, nil
 }
 
@@ -75,7 +131,7 @@ func (p *Plan) AppendRowsFrame(buf []byte, cols ColumnAppender) ([]byte, int, er
 	return buf, n, nil
 }
 
-// ColumnDecoder rebuilds a typed columnar batch from a 0x04 frame's
+// ColumnDecoder rebuilds a typed columnar batch from a columnar frame's
 // payload. It must read exactly rows values for each of the format's
 // fields, in field order, through the ColumnReader — the reader is a
 // window onto the stream, so over- or under-reading desynchronizes it
@@ -99,58 +155,278 @@ const MaxColumnReserve = 4096
 
 // ColumnReader exposes typed, bounds-checked reads over a columnar
 // frame's payload for ColumnDecoder implementations.
+//
+// For plain 0x04 frames every read is a fixed-width passthrough. For
+// compressed 0x05 frames (rows > 0) the reader is a small state machine:
+// a column's worth of reads counts down remaining, and the read that
+// crosses a column boundary first consumes the next ColEnc* tag (plus a
+// dictionary, for ColEncDict) before producing its value. The decoding
+// is transparent to callers — a ColumnDecoder written against 0x04
+// frames works unchanged on 0x05.
 type ColumnReader struct {
 	d *Decoder
+
+	// rows > 0 marks compressed (0x05) mode; everything below is the
+	// current column's decode state.
+	rows      int
+	remaining int
+	enc       byte
+	prev      uint64 // delta accumulator
+	runLen    uint32 // values left in the current RLE/dict run
+	runVal    uint64
+	runStr    string
+	dict      []string
+}
+
+// startColumn consumes the next column's encoding tag (and dictionary)
+// when the previous column is exhausted. No-op in plain mode.
+func (cr *ColumnReader) startColumn() error {
+	if cr.remaining > 0 {
+		return nil
+	}
+	enc, err := cr.d.readByte()
+	if err != nil {
+		return badEOF(err)
+	}
+	cr.enc = enc
+	cr.prev = 0
+	cr.runLen = 0
+	cr.dict = cr.dict[:0]
+	cr.remaining = cr.rows
+	switch enc {
+	case ColEncRaw, ColEncDelta, ColEncRLE:
+	case ColEncDict:
+		cnt, err := cr.d.readUvarint()
+		if err != nil {
+			return badEOF(err)
+		}
+		if cnt > uint64(cr.rows) {
+			return fmt.Errorf("%w: column dictionary of %d entries for %d rows", ErrBadFrame, cnt, cr.rows)
+		}
+		for i := uint64(0); i < cnt; i++ {
+			s, err := cr.d.readString()
+			if err != nil {
+				return badEOF(err)
+			}
+			cr.dict = append(cr.dict, s)
+		}
+	default:
+		return fmt.Errorf("%w: column encoding 0x%02x", ErrBadFrame, enc)
+	}
+	return nil
+}
+
+// zint decodes one integer value from the current compressed column.
+// done=false means the column is raw (or the reader is in plain mode)
+// and the caller should fall through to its fixed-width read.
+func (cr *ColumnReader) zint() (v uint64, done bool, err error) {
+	if cr.rows == 0 {
+		return 0, false, nil
+	}
+	if err := cr.startColumn(); err != nil {
+		return 0, false, err
+	}
+	switch cr.enc {
+	case ColEncRaw:
+		cr.remaining--
+		return 0, false, nil
+	case ColEncDelta:
+		uv, err := cr.d.readUvarint()
+		if err != nil {
+			return 0, false, badEOF(err)
+		}
+		cr.prev += uint64(int64(uv>>1) ^ -int64(uv&1))
+		cr.remaining--
+		return cr.prev, true, nil
+	case ColEncRLE:
+		if cr.runLen == 0 {
+			rl, err := cr.d.readUvarint()
+			if err != nil {
+				return 0, false, badEOF(err)
+			}
+			if rl == 0 || rl > uint64(cr.remaining) {
+				return 0, false, fmt.Errorf("%w: run of %d values with %d column values remaining",
+					ErrBadFrame, rl, cr.remaining)
+			}
+			rv, err := cr.d.readUvarint()
+			if err != nil {
+				return 0, false, badEOF(err)
+			}
+			cr.runLen, cr.runVal = uint32(rl), rv
+		}
+		cr.runLen--
+		cr.remaining--
+		return cr.runVal, true, nil
+	default: // ColEncDict
+		return 0, false, fmt.Errorf("%w: dictionary-encoded integer column", ErrBadFrame)
+	}
 }
 
 // Byte reads one unsigned byte.
-func (cr *ColumnReader) Byte() (byte, error) { return cr.d.readByte() }
+func (cr *ColumnReader) Byte() (byte, error) {
+	if v, ok, err := cr.zint(); err != nil {
+		return 0, err
+	} else if ok {
+		return byte(v), nil
+	}
+	return cr.d.readByte()
+}
 
 // Uint16 reads a little-endian u16.
-func (cr *ColumnReader) Uint16() (uint16, error) { return cr.d.readUint16() }
+func (cr *ColumnReader) Uint16() (uint16, error) {
+	if v, ok, err := cr.zint(); err != nil {
+		return 0, err
+	} else if ok {
+		return uint16(v), nil
+	}
+	return cr.d.readUint16()
+}
 
 // Uint32 reads a little-endian u32.
-func (cr *ColumnReader) Uint32() (uint32, error) { return cr.d.readUint32() }
+func (cr *ColumnReader) Uint32() (uint32, error) {
+	if v, ok, err := cr.zint(); err != nil {
+		return 0, err
+	} else if ok {
+		return uint32(v), nil
+	}
+	return cr.d.readUint32()
+}
 
 // Uint64 reads a little-endian u64.
-func (cr *ColumnReader) Uint64() (uint64, error) { return cr.d.readUint64() }
+func (cr *ColumnReader) Uint64() (uint64, error) {
+	if v, ok, err := cr.zint(); err != nil {
+		return 0, err
+	} else if ok {
+		return v, nil
+	}
+	return cr.d.readUint64()
+}
 
 // Int32 reads a little-endian i32.
 func (cr *ColumnReader) Int32() (int32, error) {
-	v, err := cr.d.readUint32()
+	v, err := cr.Uint32()
 	return int32(v), err
 }
 
 // Int64 reads a little-endian i64.
 func (cr *ColumnReader) Int64() (int64, error) {
-	v, err := cr.d.readUint64()
+	v, err := cr.Uint64()
 	return int64(v), err
 }
 
 // Int reads a wire i64 into a platform int.
 func (cr *ColumnReader) Int() (int, error) {
-	v, err := cr.d.readUint64()
+	v, err := cr.Uint64()
 	return int(int64(v)), err
 }
 
 // Duration reads a wire i64 of nanoseconds.
 func (cr *ColumnReader) Duration() (time.Duration, error) {
-	v, err := cr.d.readUint64()
+	v, err := cr.Uint64()
 	return time.Duration(v), err
 }
 
 // String reads a length-prefixed string, subject to the stream's field
-// length limit.
-func (cr *ColumnReader) String() (string, error) { return cr.d.readString() }
+// length limit. Dictionary-encoded columns share one string allocation
+// per distinct value across the whole column.
+func (cr *ColumnReader) String() (string, error) {
+	if cr.rows > 0 {
+		if err := cr.startColumn(); err != nil {
+			return "", err
+		}
+		switch cr.enc {
+		case ColEncRaw:
+			cr.remaining--
+			return cr.d.readString()
+		case ColEncDict:
+			if cr.runLen == 0 {
+				rl, err := cr.d.readUvarint()
+				if err != nil {
+					return "", badEOF(err)
+				}
+				if rl == 0 || rl > uint64(cr.remaining) {
+					return "", fmt.Errorf("%w: run of %d strings with %d column values remaining",
+						ErrBadFrame, rl, cr.remaining)
+				}
+				idx, err := cr.d.readUvarint()
+				if err != nil {
+					return "", badEOF(err)
+				}
+				if idx >= uint64(len(cr.dict)) {
+					return "", fmt.Errorf("%w: dictionary index %d of %d entries",
+						ErrBadFrame, idx, len(cr.dict))
+				}
+				cr.runLen, cr.runStr = uint32(rl), cr.dict[idx]
+			}
+			cr.runLen--
+			cr.remaining--
+			return cr.runStr, nil
+		default:
+			return "", fmt.Errorf("%w: string column encoding 0x%02x", ErrBadFrame, cr.enc)
+		}
+	}
+	return cr.d.readString()
+}
 
-// readColumns consumes a columnar (0x04) frame. When a ColumnDecoder is
-// bound for the format (and the format matched the local registration),
-// the whole frame decodes into one Record whose Value is the typed
-// columnar batch. Otherwise rows are materialized generically — records
-// are allocated as the first column streams in, so memory stays bounded
-// by bytes actually delivered — and returned one Decode at a time like a
-// row batch.
-func (d *Decoder) readColumns() (*Record, error) {
+// value decodes one value of kind k through the column state machine —
+// the generic materialization path's analogue of Decoder.readValue.
+func (cr *ColumnReader) value(k Kind) (any, error) {
+	switch k {
+	case KindBool:
+		b, err := cr.Byte()
+		return b != 0, err
+	case KindInt8:
+		b, err := cr.Byte()
+		return int8(b), err
+	case KindInt16:
+		v, err := cr.Uint16()
+		return int16(v), err
+	case KindInt32:
+		return cr.Int32()
+	case KindInt64:
+		return cr.Int64()
+	case KindDuration:
+		return cr.Duration()
+	case KindUint8:
+		return cr.Byte()
+	case KindUint16:
+		return cr.Uint16()
+	case KindUint32:
+		return cr.Uint32()
+	case KindUint64:
+		return cr.Uint64()
+	case KindFloat32:
+		v, err := cr.Uint32()
+		return math.Float32frombits(v), err
+	case KindFloat64:
+		v, err := cr.Uint64()
+		return math.Float64frombits(v), err
+	case KindString:
+		return cr.String()
+	case KindBytes:
+		if cr.rows > 0 {
+			if err := cr.startColumn(); err != nil {
+				return nil, err
+			}
+			if cr.enc != ColEncRaw {
+				return nil, fmt.Errorf("%w: bytes column encoding 0x%02x", ErrBadFrame, cr.enc)
+			}
+			cr.remaining--
+		}
+		return cr.d.readValue(KindBytes)
+	}
+	return nil, fmt.Errorf("%w: field kind %d", ErrBadFrame, k)
+}
+
+// readColumns consumes a columnar frame — plain (0x04) or, when
+// compressed is set, per-column compressed (0x05). When a ColumnDecoder
+// is bound for the format (and the format matched the local
+// registration), the whole frame decodes into one Record whose Value is
+// the typed columnar batch. Otherwise rows are materialized generically
+// — records are allocated as the first column streams in, so memory
+// stays bounded by bytes actually delivered — and returned one Decode at
+// a time like a row batch.
+func (d *Decoder) readColumns(compressed bool) (*Record, error) {
 	id, err := d.readUint32()
 	if err != nil {
 		return nil, badEOF(err)
@@ -166,9 +442,13 @@ func (d *Decoder) readColumns() (*Record, error) {
 	if n == 0 || n > maxBatchLen {
 		return nil, fmt.Errorf("%w: columns count %d", ErrBadFrame, n)
 	}
+	cr := &ColumnReader{d: d}
+	if compressed {
+		cr.rows = int(n)
+	}
 	if d.reg != nil && f.goType != nil {
 		if cd := d.reg.colDecoders[f.Name]; cd != nil {
-			v, err := cd(&ColumnReader{d: d}, int(n))
+			v, err := cd(cr, int(n))
 			if err != nil {
 				return nil, badEOF(err)
 			}
@@ -179,7 +459,7 @@ func (d *Decoder) readColumns() (*Record, error) {
 	var rvs []reflect.Value
 	for col, fld := range f.Fields {
 		for i := 0; i < int(n); i++ {
-			val, err := d.readValue(fld.Kind)
+			val, err := cr.value(fld.Kind)
 			if err != nil {
 				return nil, badEOF(err)
 			}

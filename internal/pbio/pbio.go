@@ -560,10 +560,11 @@ func kindOf(t reflect.Type) (Kind, bool) {
 }
 
 const (
-	frameFormat  = 0x01
-	frameRecord  = 0x02
-	frameBatch   = 0x03
-	frameColumns = 0x04
+	frameFormat   = 0x01
+	frameRecord   = 0x02
+	frameBatch    = 0x03
+	frameColumns  = 0x04
+	frameColumnsZ = 0x05
 
 	// maxFieldLen bounds length-prefixed fields (strings/bytes) so a
 	// corrupted or hostile stream cannot force huge allocations.
@@ -745,7 +746,9 @@ func (d *Decoder) Decode() (*Record, error) {
 		case frameBatch:
 			return d.readBatch()
 		case frameColumns:
-			return d.readColumns()
+			return d.readColumns(false)
+		case frameColumnsZ:
+			return d.readColumns(true)
 		default:
 			return nil, fmt.Errorf("%w: frame kind 0x%02x", ErrBadFrame, kind)
 		}
@@ -960,6 +963,29 @@ func (d *Decoder) readUint64() (uint64, error) {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(d.scratch[:8]), nil
+}
+
+// readUvarint reads an unsigned LEB128 varint, rejecting encodings that
+// run past 10 bytes or overflow 64 bits — a hostile stream must not be
+// able to keep the decoder spinning on continuation bits.
+func (d *Decoder) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := d.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrBadFrame)
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("%w: varint longer than %d bytes", ErrBadFrame, binary.MaxVarintLen64)
 }
 
 func (d *Decoder) readString() (string, error) {

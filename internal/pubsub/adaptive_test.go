@@ -11,25 +11,60 @@ func TestAdaptivePolicyResolution(t *testing.T) {
 
 	// No delivery observed yet: blocking would burn the full deadline
 	// for a frame that gets dropped anyway.
-	if got := rc.adaptivePolicy(timeout); got != DropOldest {
+	if got := rc.adaptivePolicy(timeout, ""); got != DropOldest {
 		t.Fatalf("undelivered connection resolved to %v, want DropOldest", got)
 	}
 	// Draining faster than the deadline: a slot frees in time, so a
 	// short blocking wait loses nothing.
 	rc.drainNanos.Store(int64(2 * time.Millisecond))
-	if got := rc.adaptivePolicy(timeout); got != BlockWithDeadline {
+	if got := rc.adaptivePolicy(timeout, ""); got != BlockWithDeadline {
 		t.Fatalf("fast-draining connection resolved to %v, want BlockWithDeadline", got)
 	}
 	// Boundary: drain time equal to the deadline still admits in time.
 	rc.drainNanos.Store(int64(timeout))
-	if got := rc.adaptivePolicy(timeout); got != BlockWithDeadline {
+	if got := rc.adaptivePolicy(timeout, ""); got != BlockWithDeadline {
 		t.Fatalf("boundary drain resolved to %v, want BlockWithDeadline", got)
 	}
 	// Slower than the deadline: shed the oldest instead of stalling the
 	// publisher.
 	rc.drainNanos.Store(int64(50 * time.Millisecond))
-	if got := rc.adaptivePolicy(timeout); got != DropOldest {
+	if got := rc.adaptivePolicy(timeout, ""); got != DropOldest {
 		t.Fatalf("slow-draining connection resolved to %v, want DropOldest", got)
+	}
+}
+
+// TestAdaptivePerChannelFloor pins the per-channel drain floor: on a
+// connection whose EWMA is dominated by a fast channel, frames of a
+// channel observed to drain slower than the deadline must still resolve
+// to DropOldest — the fast channel cannot mask the slow one.
+func TestAdaptivePerChannelFloor(t *testing.T) {
+	rc := &remoteConn{}
+	const timeout = 10 * time.Millisecond
+
+	// Skewed drain rates: many fast "metrics" frames and a few slow
+	// "interactions" frames. The connection-wide EWMA lands well under
+	// the deadline.
+	for i := 0; i < 32; i++ {
+		rc.noteDrain("metrics", int64(time.Millisecond))
+	}
+	for i := 0; i < 32; i++ {
+		rc.noteDrain("interactions", int64(80*time.Millisecond))
+	}
+	for i := 0; i < 32; i++ {
+		rc.noteDrain("metrics", int64(time.Millisecond))
+	}
+	if d := time.Duration(rc.drainNanos.Load()); d > timeout {
+		t.Fatalf("connection EWMA %v above the deadline; the masking scenario never materialized", d)
+	}
+	if got := rc.adaptivePolicy(timeout, "metrics"); got != BlockWithDeadline {
+		t.Fatalf("fast channel resolved to %v, want BlockWithDeadline", got)
+	}
+	if got := rc.adaptivePolicy(timeout, "interactions"); got != DropOldest {
+		t.Fatalf("slow channel resolved to %v, want DropOldest (masked by the fast channel)", got)
+	}
+	// A channel with no observations falls back to the connection EWMA.
+	if got := rc.adaptivePolicy(timeout, "unseen"); got != BlockWithDeadline {
+		t.Fatalf("unseen channel resolved to %v, want the connection-wide BlockWithDeadline", got)
 	}
 }
 

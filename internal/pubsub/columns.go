@@ -106,29 +106,43 @@ func (b *Broker) PublishColumns(channelName string, cols *core.RecordColumns) er
 	return b.publishColumnsSharded(channelName, plan, cols, remotes)
 }
 
-// fanOutColumns encodes at most two shared frames for one subscriber set
-// — columnar for capable connections, row-batch for legacy ones — and
-// fans each out.
+// colFrameMode picks the wire form of one columnar publish for one
+// subscriber subset.
+type colFrameMode int
+
+const (
+	colFrameRows       colFrameMode = iota // 0x03 row-batch fallback
+	colFrameColumns                        // 0x04 plain columnar
+	colFrameCompressed                     // 0x05 per-column compressed
+)
+
+// fanOutColumns encodes at most three shared frames for one subscriber
+// set — compressed columnar for links that negotiated wire compression,
+// plain columnar for capable connections, row-batch for legacy ones —
+// and fans each out.
 func (b *Broker) fanOutColumns(channelName string, plan *pbio.Plan, cols *core.RecordColumns, remotes []*remoteConn) error {
-	capable, legacy := splitByColumns(remotes)
-	var firstErr error
-	if len(capable) > 0 {
-		f, err := b.encodeColumnsFrame(channelName, plan, cols, true)
-		if err != nil {
-			firstErr = err
-		} else {
-			b.fanOut(capable, f)
-		}
+	compressed, capable, legacy := splitByColumns(remotes, b.wireCompress.Load())
+	groups := [...]struct {
+		subset []*remoteConn
+		mode   colFrameMode
+	}{
+		{compressed, colFrameCompressed},
+		{capable, colFrameColumns},
+		{legacy, colFrameRows},
 	}
-	if len(legacy) > 0 {
-		f, err := b.encodeColumnsFrame(channelName, plan, cols, false)
+	var firstErr error
+	for _, g := range groups {
+		if len(g.subset) == 0 {
+			continue
+		}
+		f, err := b.encodeColumnsFrame(channelName, plan, cols, g.mode)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-		} else {
-			b.fanOut(legacy, f)
+			continue
 		}
+		b.fanOut(g.subset, f)
 	}
 	return firstErr
 }
@@ -187,48 +201,64 @@ func (b *Broker) publishColumnsSharded(channelName string, plan *pbio.Plan, cols
 	return firstErr
 }
 
-// splitByColumns partitions a fan-out set by columnar capability. The
-// homogeneous cases (all capable, none capable) return the input slice
-// untouched.
+// splitByColumns partitions a fan-out set by columnar capability and
+// negotiated wire compression (compressOK carries the broker knob). The
+// homogeneous cases — every subscriber in the same class — return the
+// input slice untouched.
 //
 //sysprof:nonblocking
-func splitByColumns(remotes []*remoteConn) (capable, legacy []*remoteConn) {
-	nCap := 0
+func splitByColumns(remotes []*remoteConn, compressOK bool) (compressed, capable, legacy []*remoteConn) {
+	nZ, nCap := 0, 0
 	for _, rc := range remotes {
-		if rc.columns {
+		switch {
+		case compressOK && rc.columnsZ:
+			nZ++
+		case rc.columns:
 			nCap++
 		}
 	}
-	switch nCap {
-	case len(remotes):
-		return remotes, nil
-	case 0:
-		return nil, remotes
+	switch {
+	case nZ == len(remotes):
+		return remotes, nil, nil
+	case nCap == len(remotes):
+		return nil, remotes, nil
+	case nZ == 0 && nCap == 0:
+		return nil, nil, remotes
 	}
 	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
+	compressed = make([]*remoteConn, 0, nZ)
+	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
 	capable = make([]*remoteConn, 0, nCap)
-	legacy = make([]*remoteConn, 0, len(remotes)-nCap)
+	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
+	legacy = make([]*remoteConn, 0, len(remotes)-nZ-nCap)
 	for _, rc := range remotes {
-		if rc.columns {
+		switch {
+		case compressOK && rc.columnsZ:
+			compressed = append(compressed, rc)
+		case rc.columns:
 			capable = append(capable, rc)
-		} else {
+		default:
 			legacy = append(legacy, rc)
 		}
 	}
-	return capable, legacy
+	return compressed, capable, legacy
 }
 
 // encodeColumnsFrame builds the shared wire frame for one columnar
-// publish: channel header plus either the 0x04 columnar frame or the
-// 0x03 row-batch fallback.
-func (b *Broker) encodeColumnsFrame(channelName string, p *pbio.Plan, cols *core.RecordColumns, columnar bool) (*frame, error) {
+// publish: channel header plus the 0x05 compressed columnar frame, the
+// 0x04 plain columnar frame, or the 0x03 row-batch fallback.
+func (b *Broker) encodeColumnsFrame(channelName string, p *pbio.Plan, cols *core.RecordColumns, mode colFrameMode) (*frame, error) {
 	f := framePool.Get().(*frame)
 	f.buf = appendString(f.buf[:0], channelName)
 	f.hdrLen = len(f.buf)
+	f.channel = channelName
 	var err error
-	if columnar {
+	switch mode {
+	case colFrameCompressed:
+		f.buf, f.recs, err = p.AppendCompressedColumnsFrame(f.buf, cols)
+	case colFrameColumns:
 		f.buf, f.recs, err = p.AppendColumnsFrame(f.buf, cols)
-	} else {
+	default:
 		f.buf, f.recs, err = p.AppendRowsFrame(f.buf, cols)
 	}
 	if err != nil {

@@ -123,6 +123,10 @@ type remoteConn struct {
 	// support in its handshake; without it, columnar publishes are
 	// transposed into row-batch (0x03) frames for this connection.
 	columns bool
+	// columnsZ records that the subscriber asked for per-column
+	// compressed (0x05) columnar frames. Honored per publish only while
+	// the broker's wire-compression knob is on.
+	columnsZ bool
 
 	sentFormats map[*pbio.Format]bool
 	defBuf      []byte
@@ -134,20 +138,79 @@ type remoteConn struct {
 	// write time, maintained by writeLoop and read by the Adaptive
 	// overflow policy on the publish path.
 	drainNanos atomic.Int64
+	// chanDrain holds one drain-time EWMA per channel seen on this
+	// connection, as a copy-on-write map: the writer goroutine is the
+	// sole structural mutator (a channel shows up once, on its first
+	// delivered frame), the publish path only loads the snapshot. It
+	// floors the Adaptive decision per channel, so one fast channel on a
+	// shared connection cannot mask a slow one.
+	chanDrain atomic.Pointer[map[string]*atomic.Int64]
+}
+
+// channelDrain returns the named channel's drain EWMA (0 = no frame of
+// that channel delivered yet).
+//
+//sysprof:nonblocking
+//sysprof:noalloc
+func (rc *remoteConn) channelDrain(channel string) int64 {
+	if m := rc.chanDrain.Load(); m != nil {
+		if e := (*m)[channel]; e != nil {
+			return e.Load()
+		}
+	}
+	return 0
 }
 
 // adaptivePolicy resolves the Adaptive overflow policy for this
 // connection: block when the observed drain rate says a queue slot will
-// free up within the deadline, shed otherwise.
+// free up within the deadline, shed otherwise. The channel's own drain
+// estimate floors the connection-wide one — a connection dominated by a
+// fast channel still sheds for the slow channel's frames.
 //
 //sysprof:nonblocking
 //sysprof:noalloc
-func (rc *remoteConn) adaptivePolicy(timeout time.Duration) OverflowPolicy {
+func (rc *remoteConn) adaptivePolicy(timeout time.Duration, channel string) OverflowPolicy {
 	d := rc.drainNanos.Load()
+	if channel != "" {
+		if cd := rc.channelDrain(channel); cd > d {
+			d = cd
+		}
+	}
 	if d > 0 && time.Duration(d) <= timeout {
 		return BlockWithDeadline
 	}
 	return DropOldest
+}
+
+// noteDrain folds one frame's socket write time into the connection and
+// per-channel EWMAs (α = 1/8). Called only from the connection's writer
+// goroutine, so plain load-modify-store sequences are race-free; the
+// atomic stores publish to the publish path.
+func (rc *remoteConn) noteDrain(channel string, dur int64) {
+	prev := rc.drainNanos.Load()
+	rc.drainNanos.Store(prev - prev/8 + dur/8)
+	if channel == "" {
+		return
+	}
+	m := rc.chanDrain.Load()
+	e := (*atomic.Int64)(nil)
+	if m != nil {
+		e = (*m)[channel]
+	}
+	if e == nil {
+		// First frame on this channel: publish a grown snapshot.
+		next := make(map[string]*atomic.Int64, 4)
+		if m != nil {
+			for k, v := range *m {
+				next[k] = v
+			}
+		}
+		e = new(atomic.Int64)
+		next[channel] = e
+		rc.chanDrain.Store(&next)
+	}
+	prev = e.Load()
+	e.Store(prev - prev/8 + dur/8)
 }
 
 // subscribers is an immutable snapshot of one channel's consumers.
@@ -179,6 +242,7 @@ type SubscriberStats struct {
 	Version          int    // handshake version (0 = legacy)
 	Shard            string // shard selector ("i/N", empty = unsharded)
 	Columns          bool   // subscriber decodes columnar (0x04) frames
+	Compressed       bool   // subscriber requested compressed (0x05) frames
 	Channels         []string
 	QueueLen         int
 	QueueCap         int
@@ -230,6 +294,11 @@ type Broker struct {
 	overflow     atomic.Int32
 	blockTimeout atomic.Int64 // nanoseconds
 	evictAfter   atomic.Int64
+	// wireCompress gates per-column compressed (0x05) columnar frames:
+	// subscribers that requested compression receive them only while
+	// this is on. Default on — the subscriber's handshake flag is the
+	// opt-in; this knob is the operator's broker-side veto.
+	wireCompress atomic.Bool
 
 	published        atomic.Uint64
 	batchesPublished atomic.Uint64
@@ -260,6 +329,7 @@ func NewBroker(reg *pbio.Registry, opts ...Option) *Broker {
 	b.overflow.Store(int32(cfg.Overflow))
 	b.blockTimeout.Store(int64(cfg.BlockTimeout))
 	b.evictAfter.Store(int64(cfg.EvictAfterOverflows))
+	b.wireCompress.Store(!cfg.NoWireCompression)
 	return b
 }
 
@@ -570,6 +640,7 @@ func (b *Broker) encodeFrame(channelName string, rec any, batch bool) (*frame, e
 	f := framePool.Get().(*frame)
 	f.buf = appendString(f.buf[:0], channelName)
 	f.hdrLen = len(f.buf)
+	f.channel = channelName
 	var err error
 	if batch {
 		f.buf, f.recs, err = p.AppendBatchFrame(f.buf, rec)
@@ -604,7 +675,7 @@ func (b *Broker) fanOut(remotes []*remoteConn, f *frame) {
 	for _, rc := range remotes {
 		eff := policy
 		if policy == Adaptive {
-			eff = rc.adaptivePolicy(timeout)
+			eff = rc.adaptivePolicy(timeout, f.channel)
 		}
 		res := rc.q.enqueue(f, recs, eff, timeout)
 		if res.closed {
@@ -654,18 +725,14 @@ func (b *Broker) writeLoop(rc *remoteConn) {
 		err := rc.writeFrame(f)
 		dur := int64(time.Since(start))
 		recs := uint64(f.recs)
+		channel := f.channel
 		f.release()
 		if err != nil {
 			b.remoteFailures.Add(1)
 			b.dropConn(rc)
 			return
 		}
-		// Per-frame drain-time EWMA (α = 1/8) for the Adaptive overflow
-		// policy. The writer goroutine is the only updater, so a plain
-		// load-modify-store is race-free; the atomic store publishes to
-		// the publish path.
-		prev := rc.drainNanos.Load()
-		rc.drainNanos.Store(prev - prev/8 + dur/8)
+		rc.noteDrain(channel, dur)
 		rc.delivered.Add(recs)
 		b.remoteDeliver.Add(recs)
 	}
@@ -728,6 +795,7 @@ func (b *Broker) Subscribers() []SubscriberStats {
 			Version:          rc.version,
 			Shard:            rc.sel.String(),
 			Columns:          rc.columns,
+			Compressed:       rc.columnsZ,
 			Channels:         chans,
 			QueueLen:         qs.len,
 			QueueCap:         qs.cap,
@@ -776,6 +844,17 @@ func (b *Broker) SetOverflowPolicyName(name string) error {
 
 // SetBlockTimeout changes the BlockWithDeadline wait bound.
 func (b *Broker) SetBlockTimeout(d time.Duration) { b.blockTimeout.Store(int64(d)) }
+
+// SetWireCompression toggles per-column compressed (0x05) columnar
+// frames for subscribers that requested them, effective on the next
+// publish. Turning it off downgrades those links to plain 0x04 frames —
+// every subscriber that can decode 0x05 can decode 0x04, so the switch
+// is always safe mid-stream.
+func (b *Broker) SetWireCompression(on bool) { b.wireCompress.Store(on) }
+
+// WireCompression reports whether the broker currently serves compressed
+// columnar frames to subscribers that asked for them.
+func (b *Broker) WireCompression() bool { return b.wireCompress.Load() }
 
 // SetEvictAfterOverflows changes the sustained-overflow eviction
 // threshold (0 disables).
@@ -829,6 +908,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 		version:     hs.version,
 		sel:         hs.sel,
 		columns:     hs.columns,
+		columnsZ:    hs.columnsZ && hs.columns,
 		sentFormats: make(map[*pbio.Format]bool),
 	}
 	b.conns[rc] = true
@@ -935,7 +1015,7 @@ type Subscriber struct {
 // Dial connects to a broker at addr and subscribes to the channels. reg
 // supplies local Go types for typed decoding (may be nil).
 func Dial(addr string, reg *pbio.Registry, channels ...string) (*Subscriber, error) {
-	return dial(addr, reg, ShardSelector{}, channels)
+	return dial(addr, reg, ShardSelector{}, false, channels)
 }
 
 // DialSharded connects like Dial but subscribes as shard `shard` of `of`:
@@ -946,15 +1026,44 @@ func DialSharded(addr string, reg *pbio.Registry, shard, of int, channels ...str
 	if of < 1 || shard < 0 || shard >= of || of > maxShardCount {
 		return nil, fmt.Errorf("pubsub: bad shard %d/%d (want 0 <= shard < of <= %d)", shard, of, maxShardCount)
 	}
-	return dial(addr, reg, ShardSelector{Index: uint32(shard), Count: uint32(of)}, channels)
+	return dial(addr, reg, ShardSelector{Index: uint32(shard), Count: uint32(of)}, false, channels)
 }
 
-func dial(addr string, reg *pbio.Registry, sel ShardSelector, channels []string) (*Subscriber, error) {
+// Dialer is the full-option subscriber constructor: the Dial helpers
+// cover the common cases, a Dialer additionally requests per-column wire
+// compression on the link (the 0x05 handshake flag).
+type Dialer struct {
+	// Registry supplies local Go types for typed decoding (may be nil).
+	Registry *pbio.Registry
+	// Shard/Of subscribe as flow-hash shard Shard of Of (Of = 0 means
+	// unsharded, the full stream).
+	Shard, Of int
+	// Compress asks the broker for per-column compressed columnar
+	// frames. The broker only honors the request when its own
+	// wire-compression knob is on; a legacy broker ignores the flag and
+	// keeps sending uncompressed frames, so setting this never breaks a
+	// link.
+	Compress bool
+}
+
+// Dial connects to a broker at addr with the dialer's options.
+func (d Dialer) Dial(addr string, channels ...string) (*Subscriber, error) {
+	sel := ShardSelector{}
+	if d.Of != 0 {
+		if d.Of < 1 || d.Shard < 0 || d.Shard >= d.Of || d.Of > maxShardCount {
+			return nil, fmt.Errorf("pubsub: bad shard %d/%d (want 0 <= shard < of <= %d)", d.Shard, d.Of, maxShardCount)
+		}
+		sel = ShardSelector{Index: uint32(d.Shard), Count: uint32(d.Of)}
+	}
+	return dial(addr, d.Registry, sel, d.Compress, channels)
+}
+
+func dial(addr string, reg *pbio.Registry, sel ShardSelector, compress bool, channels []string) (*Subscriber, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
 	}
-	if err := writeHandshakeSharded(conn, channels, sel); err != nil {
+	if err := writeHandshakeOpts(conn, channels, sel, compress); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -1016,6 +1125,12 @@ const (
 	// the version byte — so a columnar publish reaches flag-less
 	// subscribers as the row-batch (0x03) frames they already understand.
 	handshakeFlagColumns = 1 << 2
+	// handshakeFlagColumnsZ asks for per-column compressed (0x05)
+	// columnar frames — the WAN knob for federated shard links. The
+	// broker honors it only when its own wire-compression knob is on and
+	// the subscriber also advertised plain columnar support; either side
+	// can therefore veto compression without breaking the link.
+	handshakeFlagColumnsZ = 1 << 3
 
 	maxHandshakeChannels = 1024
 )
@@ -1025,6 +1140,7 @@ type handshake struct {
 	flags    uint16
 	sel      ShardSelector
 	columns  bool
+	columnsZ bool
 	channels []string
 }
 
@@ -1033,10 +1149,17 @@ func writeHandshake(w io.Writer, channels []string) error {
 }
 
 func writeHandshakeSharded(w io.Writer, channels []string, sel ShardSelector) error {
+	return writeHandshakeOpts(w, channels, sel, false)
+}
+
+func writeHandshakeOpts(w io.Writer, channels []string, sel ShardSelector, compress bool) error {
 	if len(channels) > maxHandshakeChannels {
 		return fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", len(channels), maxHandshakeChannels)
 	}
 	flags := uint16(handshakeFlagPlans | handshakeFlagColumns)
+	if compress {
+		flags |= handshakeFlagColumnsZ
+	}
 	if sel.Count != 0 {
 		if !sel.Valid() || sel.Count > maxShardCount {
 			return fmt.Errorf("pubsub: handshake: bad shard selector %d/%d", sel.Index, sel.Count)
@@ -1085,6 +1208,7 @@ func readHandshake(r io.Reader) (handshake, error) {
 		}
 		hs.flags = binary.LittleEndian.Uint16(rest[1:3])
 		hs.columns = hs.flags&handshakeFlagColumns != 0
+		hs.columnsZ = hs.flags&handshakeFlagColumnsZ != 0
 		count = int(binary.LittleEndian.Uint16(rest[3:5]))
 		if count > maxHandshakeChannels {
 			return handshake{}, fmt.Errorf("pubsub: handshake: %d channels exceeds limit %d", count, maxHandshakeChannels)

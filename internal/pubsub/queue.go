@@ -77,6 +77,10 @@ type Config struct {
 	// that persistently cannot keep up is cheaper gone than throttling
 	// the node. 0 disables eviction. Default 64.
 	EvictAfterOverflows int
+	// NoWireCompression vetoes per-column compressed (0x05) columnar
+	// frames even for subscribers that request them. Default off:
+	// compression is negotiated by the subscriber's handshake flag.
+	NoWireCompression bool
 }
 
 // DefaultConfig returns the default fan-out knobs.
@@ -105,6 +109,10 @@ func WithBlockTimeout(d time.Duration) Option { return func(c *Config) { c.Block
 // (0 disables).
 func WithEvictAfterOverflows(n int) Option { return func(c *Config) { c.EvictAfterOverflows = n } }
 
+// WithWireCompression enables or disables compressed columnar frames for
+// subscribers that negotiate them (default enabled).
+func WithWireCompression(on bool) Option { return func(c *Config) { c.NoWireCompression = !on } }
+
 // frame is one encoded publish, shared by reference across every
 // subscriber queue it was fanned out to: the broker encodes once, each
 // connection's writer goroutine writes the same bytes. buf holds the
@@ -122,6 +130,9 @@ type frame struct {
 	hdrLen int
 	format *pbio.Format
 	recs   int
+	// channel attributes the frame to its publish channel for the
+	// per-channel drain EWMAs (empty on frames predating attribution).
+	channel string
 }
 
 var framePool = sync.Pool{New: func() any { return new(frame) }}
@@ -139,6 +150,7 @@ func (f *frame) release() {
 		f.hdrLen = 0
 		f.format = nil
 		f.recs = 0
+		f.channel = ""
 		framePool.Put(f)
 	}
 }
