@@ -9,7 +9,8 @@
 //
 // The benchmark set is the same one the CI benchmark-smoke step compiles:
 // GPA batch ingest (rows and columns), remote publish (single-record and
-// batch), and the dissemination flush/encode path.
+// batch), the dissemination flush/encode path, and the CPA per-event
+// engines (interpreter vs compiled closures).
 package main
 
 import (
@@ -33,6 +34,7 @@ var hotPathBenchmarks = []struct {
 	{"./internal/pubsub/", "BenchmarkPublishRemote|BenchmarkPublishBatchRemote"},
 	{"./internal/dissem/", "BenchmarkFlushEncode|BenchmarkColumnsEncode"},
 	{"./internal/pbio/", "BenchmarkPBIOEncodeReuse"},
+	{"./internal/ecode/", "BenchmarkCPAPerEvent"},
 }
 
 // guardColumnarIngest fails the run when the columnar ingest path
@@ -55,6 +57,30 @@ func guardColumnarIngest(all []result) error {
 	if cols.NsPerOp > rows.NsPerOp {
 		return fmt.Errorf("columnar ingest regressed: columns %.0f ns/op > rows %.0f ns/op",
 			cols.NsPerOp, rows.NsPerOp)
+	}
+	return nil
+}
+
+// guardCPACompiled fails the run when the compiled-closure CPA engine
+// measures slower than the tree-walking interpreter it replaced — the
+// whole point of compiling verified analyzers is the per-event hot
+// path, so "compiled but slower" is a regression, not a wash.
+func guardCPACompiled(all []result) error {
+	var interp, compiled *result
+	for i := range all {
+		switch all[i].Name {
+		case "BenchmarkCPAPerEvent/interp":
+			interp = &all[i]
+		case "BenchmarkCPAPerEvent/compiled":
+			compiled = &all[i]
+		}
+	}
+	if interp == nil || compiled == nil {
+		return fmt.Errorf("cpa guard: interp/compiled measurements missing from BenchmarkCPAPerEvent")
+	}
+	if compiled.NsPerOp > interp.NsPerOp {
+		return fmt.Errorf("compiled CPA regressed: compiled %.0f ns/op > interp %.0f ns/op",
+			compiled.NsPerOp, interp.NsPerOp)
 	}
 	return nil
 }
@@ -151,6 +177,10 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(all))
 	if err := guardColumnarIngest(all); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhot:", err)
+		os.Exit(1)
+	}
+	if err := guardCPACompiled(all); err != nil {
 		fmt.Fprintln(os.Stderr, "benchhot:", err)
 		os.Exit(1)
 	}

@@ -61,6 +61,7 @@ func main() {
 	shard := flag.String("shard", "", "subscribe as flow-hash shard i/N of a federated gpad tier (e.g. 0/4)")
 	frontend := flag.String("frontend", "", "run the federation merge frontend over these comma-separated shard query endpoints")
 	wireCompress := flag.Bool("wire-compress", true, "request per-column compressed frames from the broker (negotiated; either side can veto)")
+	pageCompress := flag.Bool("compress-pages", true, "serve (shard) / request (frontend) gzip-compressed correlated-history pages; peers without the capability fall back transparently")
 	flag.Parse()
 	opts := options{
 		addrs:            strings.Split(*subscribe, ","),
@@ -71,6 +72,7 @@ func main() {
 		maxCorrelatedAge: *maxCorrelatedAge,
 		dumpInterval:     *dumpInterval,
 		wireCompress:     *wireCompress,
+		pageCompress:     *pageCompress,
 	}
 	var err error
 	if opts.shardIndex, opts.shardCount, err = parseShard(*shard); err != nil {
@@ -108,6 +110,9 @@ type options struct {
 	// wireCompress asks the broker for per-column compressed (0x05)
 	// frames on the subscription links; the broker may still veto.
 	wireCompress bool
+	// pageCompress serves (shard) or requests (frontend) gzip-compressed
+	// correlated-history pages over the query protocol.
+	pageCompress bool
 }
 
 // parseShard parses "-shard i/N" ("" = unsharded).
@@ -147,6 +152,7 @@ func runFrontend(endpoints []string, opts options) error {
 	if err != nil {
 		return err
 	}
+	fe.SetCompressedPages(opts.pageCompress)
 	if opts.queryAddr != "" {
 		ql, err := net.Listen("tcp", opts.queryAddr)
 		if err != nil {
@@ -204,6 +210,7 @@ func run(opts options) error {
 		MaxCorrelated:    opts.maxCorrelated,
 		MaxCorrelatedAge: opts.maxCorrelatedAge,
 	}, func() time.Duration { return time.Since(start) })
+	g.SetCompressedPages(opts.pageCompress)
 
 	if opts.queryAddr != "" {
 		ql, err := net.Listen("tcp", opts.queryAddr)

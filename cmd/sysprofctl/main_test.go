@@ -2,6 +2,8 @@ package main
 
 import (
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -56,5 +58,53 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run("127.0.0.1:1", nil); err == nil {
 		t.Fatal("empty command accepted")
+	}
+}
+
+// TestCPAInstallEndToEnd: a verified analyzer file installs over the
+// live control channel and shows up in cpa list.
+func TestCPAInstallEndToEnd(t *testing.T) {
+	addr := startController(t)
+	dir := t.TempDir()
+	file := filepath.Join(dir, "watch.ec")
+	src := `
+static int n = 0;
+if (ev.type == "net_rx" && ev.bytes > 512) { n++; }
+return n;
+`
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(addr, []string{"cpa", "install", "n1", file, "watch", "net"}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := run(addr, []string{"cpa", "list", "n1"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := run(addr, []string{"cpa", "remove", "n1", "watch"}); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}
+
+// TestCPAInstallRejectsHostileClientSide: a hostile file is rejected
+// before anything is sent, with the file path and line in the chain.
+func TestCPAInstallRejectsHostileClientSide(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "hostile.ec")
+	if err := os.WriteFile(file, []byte("while (true) { }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unroutable address: proof the rejection happens without the wire.
+	err := run("127.0.0.1:1", []string{"cpa", "install", "n1", file})
+	if err == nil {
+		t.Fatal("hostile analyzer not rejected")
+	}
+	if !strings.Contains(err.Error(), file+":1:1") || !strings.Contains(err.Error(), "termination") {
+		t.Fatalf("rejection lacks file:line evidence chain: %v", err)
+	}
+	// cpa verify reports the same verdict.
+	err = run("127.0.0.1:1", []string{"cpa", "verify", file})
+	if err == nil || !strings.Contains(err.Error(), "not provably bounded") {
+		t.Fatalf("verify err = %v", err)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"sysprof/internal/dissem"
 	"sysprof/internal/ecode"
 	"sysprof/internal/gpa"
+	"sysprof/internal/ntpclock"
 	"sysprof/internal/pbio"
 	"sysprof/internal/procfs"
 	"sysprof/internal/pubsub"
@@ -55,6 +56,7 @@ func main() {
 	psOverflow := flag.String("pubsub-overflow", "drop", "send-queue overflow policy: drop (drop-oldest), block (block-with-deadline), or adaptive (per-subscriber, from observed drain rate)")
 	psEvict := flag.Int("pubsub-evict", 64, "evict a subscriber after this many consecutive overflows (0 = never)")
 	fedEndpoints := flag.String("federation", "", "comma-separated gpad shard query endpoints; attaches a federation frontend to the controller (sysprofctl federation ...)")
+	ntpInterval := flag.Duration("ntp-interval", 0, "automatic NTP clock-error re-measurement cadence for the monitored node (0 disables; retune live with sysprofctl ntpinterval)")
 	flag.Parse()
 	psPolicy, err := pubsub.ParseOverflowPolicy(*psOverflow)
 	if err != nil {
@@ -66,13 +68,13 @@ func main() {
 		pubsub.WithOverflowPolicy(psPolicy),
 		pubsub.WithEvictAfterOverflows(*psEvict),
 	}
-	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology, *fedEndpoints, brokerOpts); err != nil {
+	if err := run(*httpAddr, *pubsubAddr, *ctlAddr, *pace, *tracePath, *topology, *fedEndpoints, *ntpInterval, brokerOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "sysprofd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology, fedEndpoints string, brokerOpts []pubsub.Option) error {
+func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, topology, fedEndpoints string, ntpInterval time.Duration, brokerOpts []pubsub.Option) error {
 	eng := sim.NewEngine()
 	network := simnet.NewNetwork(eng)
 	server, err := buildTopology(eng, network, topology)
@@ -127,6 +129,7 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 	if err := ctl.AttachBroker(server.Name(), broker); err != nil {
 		return err
 	}
+	var fed *gpa.Frontend
 	if fedEndpoints != "" {
 		var eps []string
 		for _, a := range strings.Split(fedEndpoints, ",") {
@@ -141,7 +144,40 @@ func run(httpAddr, pubsubAddr, ctlAddr string, pace time.Duration, tracePath, to
 		if err := ctl.AttachFederation(fe); err != nil {
 			return err
 		}
+		fed = fe
 		log.Printf("federation frontend attached over %d shard endpoints", len(eps))
+	}
+
+	if ntpInterval > 0 {
+		// Model the monitored node's clock explicitly (a few ms fast, 50
+		// ppm drift) and re-measure its error bound on a cadence. Each
+		// measurement is logged and — when a federation frontend is
+		// attached — broadcast to the shards so correlation windows track
+		// the clock instead of relying on operator-pushed bounds.
+		refClock := ntpclock.New(eng, 0, 0)
+		nodeClock := ntpclock.New(eng, 2*time.Millisecond, 50e-6)
+		server.SetClock(nodeClock.Now)
+		syncer := ntpclock.NewSyncer(nodeClock, refClock, sim.NewRNG(11),
+			200*time.Microsecond, 50*time.Microsecond)
+		nodeName := server.Name()
+		mon, err := ntpclock.NewMonitor(eng, syncer, ntpInterval, 8,
+			func(offset, bound time.Duration) {
+				log.Printf("ntp %s: offset=%v bound=%v", nodeName, offset, bound)
+				if fed != nil {
+					if _, err := fed.Execute(fmt.Sprintf("clockbound %s %v", nodeName, bound)); err != nil {
+						log.Printf("ntp clockbound broadcast: %v", err)
+					}
+				}
+			})
+		if err != nil {
+			return err
+		}
+		mon.Start()
+		defer mon.Stop()
+		if err := ctl.AttachNTP(nodeName, mon); err != nil {
+			return err
+		}
+		log.Printf("ntp monitor on %s every %v", nodeName, ntpInterval)
 	}
 
 	if tracePath != "" {

@@ -12,6 +12,7 @@ package controller
 
 import (
 	"bufio"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -73,6 +74,20 @@ type Federation interface {
 	Execute(line string) (string, error)
 }
 
+// NTPMonitor is the clock-monitor surface the controller manages: the
+// automatic error-bound re-measurement cadence plus a forced measure.
+// It is an interface (satisfied by *ntpclock.Monitor) so the controller
+// does not depend on the ntpclock package.
+type NTPMonitor interface {
+	// Interval reports the current re-measurement cadence.
+	Interval() time.Duration
+	// SetInterval changes the cadence (takes effect at the next tick).
+	SetInterval(time.Duration) error
+	// RemeasureNow runs one measurement immediately and returns the
+	// offset estimate and the fresh clock-error bound.
+	RemeasureNow() (offset, bound time.Duration)
+}
+
 // target is one managed node.
 type target struct {
 	hub    *kprof.Hub
@@ -80,6 +95,7 @@ type target struct {
 	cpas   map[string]*core.CPA
 	daemon Flusher
 	broker FanOut
+	ntp    NTPMonitor
 }
 
 // Controller manages the SysProf components of one or more nodes.
@@ -149,6 +165,33 @@ func (c *Controller) AttachBroker(node string, b FanOut) error {
 	}
 	t.broker = b
 	return nil
+}
+
+// AttachNTP registers a node's NTP clock monitor so its re-measurement
+// cadence can be retuned (and a measurement forced) at runtime.
+func (c *Controller) AttachNTP(node string, m NTPMonitor) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	t.ntp = m
+	return nil
+}
+
+// ntp resolves a node's attached clock monitor.
+func (c *Controller) ntp(node string) (NTPMonitor, error) {
+	c.mu.Lock()
+	t := c.targets[node]
+	c.mu.Unlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	if t.ntp == nil {
+		return nil, fmt.Errorf("%w: node %q has no NTP monitor attached", ErrUnknownTarget, node)
+	}
+	return t.ntp, nil
 }
 
 // AttachFederation registers the federated-GPA frontend so its shard
@@ -331,6 +374,32 @@ func (c *Controller) InstallCPA(node, name, src string, mask kprof.Mask) error {
 	return nil
 }
 
+// ListCPAs renders one line per installed analyzer on a node: name,
+// verifier cost estimate, run and error counters.
+func (c *Controller) ListCPAs(node string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.targets[node]
+	if t == nil {
+		return "", fmt.Errorf("%w: node %q", ErrUnknownTarget, node)
+	}
+	names := make([]string, 0, len(t.cpas))
+	for name := range t.cpas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		cpa := t.cpas[name]
+		runs, errs, _ := cpa.Stats()
+		fmt.Fprintf(&sb, "cpa %s: cost=%d runs=%d errs=%d\n", name, cpa.Cost(), runs, errs)
+	}
+	if sb.Len() == 0 {
+		return "no cpas installed", nil
+	}
+	return strings.TrimRight(sb.String(), "\n"), nil
+}
+
 // RemoveCPA uninstalls an analyzer.
 func (c *Controller) RemoveCPA(node, name string) error {
 	c.mu.Lock()
@@ -370,6 +439,9 @@ func (c *Controller) Status() string {
 			depth, policy := t.broker.QueueConfig()
 			fmt.Fprintf(&sb, " pubsub=%d/%s", depth, policy)
 		}
+		if t.ntp != nil {
+			fmt.Fprintf(&sb, " ntp=%v", t.ntp.Interval())
+		}
 		sb.WriteByte('\n')
 		lpas := make([]string, 0, len(t.lpas))
 		for name := range t.lpas {
@@ -393,7 +465,7 @@ func (c *Controller) Status() string {
 		sort.Strings(cpas)
 		for _, name := range cpas {
 			runs, errs, _ := t.cpas[name].Stats()
-			fmt.Fprintf(&sb, "  cpa %s: runs=%d errs=%d\n", name, runs, errs)
+			fmt.Fprintf(&sb, "  cpa %s: cost=%d runs=%d errs=%d\n", name, t.cpas[name].Cost(), runs, errs)
 		}
 	}
 	return sb.String()
@@ -434,11 +506,20 @@ func maskFromSpec(spec string) (kprof.Mask, error) {
 //	bufcap <node> <lpa> <capacity>
 //	pidfilter <node> <lpa> <pid>|off
 //	flushinterval <node> <duration>    e.g. 250ms, 2s
+//	ntpinterval <node> [<dur>|now]     clock re-measurement cadence / force one
 //	pubsubqueue <node> <depth>         send-queue depth for new subscribers
 //	pubsubpolicy <node> drop|block|adaptive  fan-out overflow policy
 //	wirecompress <node> on|off         compressed columnar wire frames
 //	install-cpa <node> <name> <groups> -- <e-code source>
 //	remove-cpa <node> <name>
+//	cpa install <node> <name> <groups> <base64-source>
+//	cpa remove <node> <name>
+//	cpa list <node>
+//
+// "cpa install" is the transport sysprofctl uses: base64 keeps
+// multi-line E-Code sources intact across the line-oriented protocol.
+// Either install path verifies the program node-side before it touches
+// the event hub; rejections return the verifier's evidence chains.
 //
 // Federation commands (require AttachFederation):
 //
@@ -519,6 +600,29 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "", fmt.Errorf("controller: bad duration %q (want positive, e.g. 250ms)", fields[2])
 		}
 		return "ok", c.SetFlushInterval(fields[1], iv)
+	case "ntpinterval":
+		if len(fields) < 2 || len(fields) > 3 {
+			return "", errors.New("controller: usage: ntpinterval <node> [<duration>|now]")
+		}
+		m, err := c.ntp(fields[1])
+		if err != nil {
+			return "", err
+		}
+		if len(fields) == 2 {
+			return fmt.Sprintf("interval=%v", m.Interval()), nil
+		}
+		if fields[2] == "now" {
+			offset, bound := m.RemeasureNow()
+			return fmt.Sprintf("offset=%v bound=%v", offset, bound), nil
+		}
+		iv, err := time.ParseDuration(fields[2])
+		if err != nil || iv <= 0 {
+			return "", fmt.Errorf("controller: bad duration %q (want positive, e.g. 30s, or now)", fields[2])
+		}
+		if err := m.SetInterval(iv); err != nil {
+			return "", fmt.Errorf("controller: %v", err)
+		}
+		return "ok", nil
 	case "pubsubqueue":
 		if len(fields) != 3 {
 			return "", errors.New("controller: usage: pubsubqueue <node> <depth>")
@@ -565,6 +669,39 @@ func (c *Controller) Execute(line string) (string, error) {
 			return "", errors.New("controller: usage: remove-cpa <node> <name>")
 		}
 		return "ok", c.RemoveCPA(fields[1], fields[2])
+	case "cpa":
+		if len(fields) < 2 {
+			return "", errors.New("controller: usage: cpa install|remove|list ...")
+		}
+		switch fields[1] {
+		case "install":
+			if len(fields) != 6 {
+				return "", errors.New("controller: usage: cpa install <node> <name> <groups> <base64-source>")
+			}
+			m, err := maskFromSpec(fields[4])
+			if err != nil {
+				return "", err
+			}
+			src, err := base64.StdEncoding.DecodeString(fields[5])
+			if err != nil {
+				return "", fmt.Errorf("controller: bad base64 source: %v", err)
+			}
+			if err := c.InstallCPA(fields[2], fields[3], string(src), m); err != nil {
+				return "", err
+			}
+			return "ok", nil
+		case "remove":
+			if len(fields) != 4 {
+				return "", errors.New("controller: usage: cpa remove <node> <name>")
+			}
+			return "ok", c.RemoveCPA(fields[2], fields[3])
+		case "list":
+			if len(fields) != 3 {
+				return "", errors.New("controller: usage: cpa list <node>")
+			}
+			return c.ListCPAs(fields[2])
+		}
+		return "", fmt.Errorf("controller: unknown cpa command %q", fields[1])
 	case "federation":
 		f, err := c.fed()
 		if err != nil {
@@ -638,7 +775,12 @@ func (c *Controller) ServeConn(conn io.ReadWriter) {
 	for sc.Scan() {
 		reply, err := c.Execute(sc.Text())
 		if err != nil {
-			fmt.Fprintf(w, "-%v\n", err)
+			// Error replies are a single protocol line; multi-line errors
+			// (verifier evidence chains) are flattened. Clients that want
+			// the full chain verify locally before installing.
+			msg := strings.ReplaceAll(strings.TrimRight(err.Error(), "\n"), "\n", " | ")
+			msg = strings.ReplaceAll(msg, "\t", " ")
+			fmt.Fprintf(w, "-%s\n", msg)
 		} else {
 			fmt.Fprintf(w, "+%s\n.\n", strings.TrimRight(reply, "\n"))
 		}

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"bytes"
+	"encoding/base64"
 	"errors"
 	"strings"
 	"testing"
@@ -358,5 +359,127 @@ func TestPubSubKnobs(t *testing.T) {
 	// Status shows the fan-out config once a broker is attached.
 	if !strings.Contains(c.Status(), "pubsub=1024/drop") {
 		t.Fatalf("status = %q", c.Status())
+	}
+}
+
+// TestCPACommandFamily drives the base64 install path end to end: a
+// verified analyzer installs onto the live hub and runs per event; list
+// and remove manage it.
+func TestCPACommandFamily(t *testing.T) {
+	c, hub, _ := setup(t)
+	src := `
+static int big = 0;
+if (ev.bytes > 1000) { big++; }
+return big;
+`
+	b64 := base64.StdEncoding.EncodeToString([]byte(src))
+	if reply, err := c.Execute("cpa install n1 watcher net " + b64); err != nil || reply != "ok" {
+		t.Fatalf("install: %q, %v", reply, err)
+	}
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 1500})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 100})
+
+	reply, err := c.Execute("cpa list n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "cpa watcher:") || !strings.Contains(reply, "runs=2") ||
+		!strings.Contains(reply, "cost=") {
+		t.Fatalf("list = %q", reply)
+	}
+	if _, err := c.Execute("cpa remove n1 watcher"); err != nil {
+		t.Fatal(err)
+	}
+	if reply, _ := c.Execute("cpa list n1"); !strings.Contains(reply, "no cpas") {
+		t.Fatalf("list after remove = %q", reply)
+	}
+}
+
+// TestCPAInstallRejectsHostile: the node-side verifier gates the wire
+// install path; the error names the analyzer and the failing pass.
+func TestCPAInstallRejectsHostile(t *testing.T) {
+	c, _, _ := setup(t)
+	b64 := base64.StdEncoding.EncodeToString([]byte(`while (true) { }`))
+	_, err := c.Execute("cpa install n1 hostile all " + b64)
+	if err == nil {
+		t.Fatal("hostile analyzer accepted over the wire path")
+	}
+	if !strings.Contains(err.Error(), "hostile:1:1") || !strings.Contains(err.Error(), "termination") {
+		t.Fatalf("rejection lacks evidence chain: %v", err)
+	}
+	// Nothing was installed.
+	if reply, _ := c.Execute("cpa list n1"); !strings.Contains(reply, "no cpas") {
+		t.Fatalf("list = %q", reply)
+	}
+}
+
+// TestServeConnFlattensMultilineErrors: wire error replies must stay a
+// single "-..." line even when the verifier verdict spans many.
+func TestServeConnFlattensMultilineErrors(t *testing.T) {
+	c, _, _ := setup(t)
+	b64 := base64.StdEncoding.EncodeToString([]byte(`while (true) { sleep(1); }`))
+	rw := &readWriter{r: strings.NewReader("cpa install n1 bad all " + b64 + "\n"), w: &bytes.Buffer{}}
+	c.ServeConn(rw)
+	out := rw.w.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "-") {
+		t.Fatalf("error reply is not one line: %q", out)
+	}
+	if !strings.Contains(lines[0], "termination") || !strings.Contains(lines[0], " | ") {
+		t.Fatalf("flattened reply lost the chain: %q", lines[0])
+	}
+}
+
+// fakeNTP satisfies NTPMonitor for command-dispatch testing.
+type fakeNTP struct {
+	interval time.Duration
+	forced   int
+}
+
+func (f *fakeNTP) Interval() time.Duration { return f.interval }
+func (f *fakeNTP) SetInterval(d time.Duration) error {
+	if d <= 0 {
+		return errors.New("bad interval")
+	}
+	f.interval = d
+	return nil
+}
+func (f *fakeNTP) RemeasureNow() (time.Duration, time.Duration) {
+	f.forced++
+	return 2 * time.Millisecond, 5 * time.Millisecond
+}
+
+func TestNTPIntervalCommand(t *testing.T) {
+	c, _, _ := setup(t)
+	if _, err := c.Execute("ntpinterval n1"); err == nil {
+		t.Fatal("ntpinterval without an attached monitor should fail")
+	}
+	m := &fakeNTP{interval: 30 * time.Second}
+	if err := c.AttachNTP("n1", m); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := c.Execute("ntpinterval n1"); err != nil || reply != "interval=30s" {
+		t.Fatalf("query: %q, %v", reply, err)
+	}
+	if reply, err := c.Execute("ntpinterval n1 5s"); err != nil || reply != "ok" {
+		t.Fatalf("set: %q, %v", reply, err)
+	}
+	if m.interval != 5*time.Second {
+		t.Fatalf("interval = %v after set", m.interval)
+	}
+	if reply, err := c.Execute("ntpinterval n1 now"); err != nil || reply != "offset=2ms bound=5ms" {
+		t.Fatalf("now: %q, %v", reply, err)
+	}
+	if m.forced != 1 {
+		t.Fatalf("forced = %d", m.forced)
+	}
+	if _, err := c.Execute("ntpinterval n1 -3s"); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, err := c.Execute("ntpinterval nosuch 5s"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if !strings.Contains(c.Status(), "ntp=5s") {
+		t.Fatalf("status missing ntp cadence:\n%s", c.Status())
 	}
 }

@@ -16,10 +16,17 @@ import (
 // The program sees each event as a record named "ev" and may call
 // emit(channel, value) to publish derived data (routed to the
 // dissemination daemon's pub-sub channels by the host).
+//
+// Installation is gated by the E-Code verifier: NewCPA re-verifies the
+// source regardless of what any frontend already checked, then compiles
+// the proven-safe program to specialized closures. The kernel fast path
+// therefore never runs an unbounded, blocking, or allocating analyzer —
+// and never pays for a step counter, because termination is proven.
 type CPA struct {
 	name string
 	sub  *kprof.Subscription
-	inst *ecode.Instance
+	inst *ecode.CompiledInstance
+	cost int
 
 	runs    uint64
 	errs    uint64
@@ -74,16 +81,65 @@ func (r eventRecord) Field(name string) (ecode.Value, bool) {
 	return nil, false
 }
 
+// EventSchema is the CPA-visible kernel event schema: the typed fields
+// of the "ev" record, kept in lockstep with eventRecord.Field.
+func EventSchema() ecode.RecordSchema {
+	return ecode.RecordSchema{
+		"type":  ecode.TString,
+		"time":  ecode.TInt,
+		"node":  ecode.TInt,
+		"cpu":   ecode.TInt,
+		"pid":   ecode.TInt,
+		"pid2":  ecode.TInt,
+		"bytes": ecode.TInt,
+		"aux":   ecode.TInt,
+		"msgid": ecode.TInt,
+		"seq":   ecode.TInt,
+		"last":  ecode.TBool,
+		"proc":  ecode.TString,
+
+		"src_node": ecode.TInt,
+		"src_port": ecode.TInt,
+		"dst_node": ecode.TInt,
+		"dst_port": ecode.TInt,
+	}
+}
+
+// CPAVerifyEnv is the canonical verification environment for custom
+// analyzers: the event schema plus the emit builtin. Frontends
+// (sysprofctl) and the LPA host both verify against this same
+// environment, so a program accepted client-side cannot be rejected
+// node-side for schema drift.
+func CPAVerifyEnv(name string) ecode.VerifyEnv {
+	return ecode.VerifyEnv{
+		Name:    name,
+		Records: map[string]ecode.RecordSchema{"ev": EventSchema()},
+		Builtins: map[string]ecode.BuiltinSig{
+			"emit": {Params: []ecode.ParamKind{ecode.PString, ecode.PAny}, Result: ecode.RInt, Cost: 4},
+		},
+	}
+}
+
 // EmitFunc receives values published by a CPA's emit(channel, value).
 type EmitFunc func(channel string, value ecode.Value)
 
-// NewCPA compiles src and installs it on the hub for the given event mask.
+// NewCPA verifies src, compiles it to closures, and installs it on the
+// hub for the given event mask. Verification happens here — node-side —
+// even when a frontend already verified: the LPA never trusts the
+// install path. Rejections carry the verifier's evidence chains.
 func NewCPA(hub *kprof.Hub, name, src string, mask kprof.Mask, emit EmitFunc) (*CPA, error) {
 	prog, err := ecode.Compile(src)
 	if err != nil {
 		return nil, fmt.Errorf("cpa %q: %w", name, err)
 	}
-	c := &CPA{name: name}
+	compiled, verdict, err := prog.CompileVerified(CPAVerifyEnv(name))
+	if err != nil {
+		if verdict != nil && !verdict.OK {
+			return nil, fmt.Errorf("cpa %q rejected by verifier:\n%s", name, verdict.Render())
+		}
+		return nil, fmt.Errorf("cpa %q: %w", name, err)
+	}
+	c := &CPA{name: name, cost: compiled.Cost()}
 	builtins := map[string]ecode.Builtin{
 		"emit": func(args []ecode.Value) (ecode.Value, error) {
 			if len(args) != 2 {
@@ -99,13 +155,29 @@ func NewCPA(hub *kprof.Hub, name, src string, mask kprof.Mask, emit EmitFunc) (*
 			return int64(0), nil
 		},
 	}
-	c.inst = prog.NewInstance(ecode.WithBuiltins(builtins), ecode.WithStepLimit(100_000))
+	c.inst, err = compiled.NewInstance(builtins)
+	if err != nil {
+		return nil, fmt.Errorf("cpa %q: %w", name, err)
+	}
 	c.sub = hub.Subscribe(mask, c.handle)
 	return c, nil
 }
 
+// VerifyCPA runs the verifier alone (no install): the check frontends
+// use before shipping source across the control channel.
+func VerifyCPA(name, src string) (*ecode.Verdict, error) {
+	prog, err := ecode.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("cpa %q: %w", name, err)
+	}
+	return prog.Verify(CPAVerifyEnv(name)), nil
+}
+
 // Name returns the analyzer's name.
 func (c *CPA) Name() string { return c.name }
+
+// Cost returns the verifier's worst-case per-event step estimate.
+func (c *CPA) Cost() int { return c.cost }
 
 // Subscription exposes the kprof subscription for controller retuning.
 func (c *CPA) Subscription() *kprof.Subscription { return c.sub }

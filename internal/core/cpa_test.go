@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -73,15 +74,74 @@ func TestCPACompileError(t *testing.T) {
 
 func TestCPARuntimeErrorsCounted(t *testing.T) {
 	hub, _ := cpaHub()
-	cpa, err := NewCPA(hub, "faulty", "return ev.nonexistent;", kprof.MaskOf(kprof.EvNetRx), nil)
+	// Verifier-clean but faults at runtime when bytes is zero.
+	cpa, err := NewCPA(hub, "faulty", "return 1000 / ev.bytes;", kprof.MaskOf(kprof.EvNetRx), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cpa.Close()
-	hub.Emit(&kprof.Event{Type: kprof.EvNetRx})
+	hub.Emit(&kprof.Event{Type: kprof.EvNetRx, Bytes: 0})
 	_, errs, lastErr := cpa.Stats()
 	if errs != 1 || lastErr == nil {
 		t.Fatalf("errs=%d lastErr=%v", errs, lastErr)
+	}
+}
+
+// TestCPAVerifierGatesInstall: the LPA re-verifies at install time —
+// hostile programs never reach the hub, and the error carries the
+// verifier's file:line evidence chain ("never trust the frontend").
+func TestCPAVerifierGatesInstall(t *testing.T) {
+	hub, _ := cpaHub()
+	hostile := map[string]string{
+		"unbounded": `static int n = 0; while (true) { n++; } return n;`,
+		"blocking":  `sleep(10); return 0;`,
+		"allocates": `static string s = ""; s += ev.proc; return 0;`,
+		"badfield":  `return ev.nonexistent;`,
+	}
+	for name, src := range hostile {
+		cpa, err := NewCPA(hub, name, src, kprof.MaskAll(), nil)
+		if err == nil {
+			cpa.Close()
+			t.Errorf("%s: hostile analyzer installed", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), name+":") {
+			t.Errorf("%s: rejection lacks file:line evidence: %v", name, err)
+		}
+	}
+}
+
+// TestCPAVerifyCPA: the frontend-side check shares the node's
+// environment, so verdicts agree across the control channel.
+func TestCPAVerifyCPA(t *testing.T) {
+	v, err := VerifyCPA("ok", `emit("ch", ev.bytes); return 0;`)
+	if err != nil || !v.OK {
+		t.Fatalf("clean program rejected: %v\n%s", err, v.Render())
+	}
+	v, err = VerifyCPA("bad", `while (true) { }`)
+	if err != nil || v.OK {
+		t.Fatalf("unbounded program accepted: %v", err)
+	}
+	if v.Err() == nil {
+		t.Fatal("rejected verdict has nil Err")
+	}
+}
+
+// TestCPACostExposed: the verifier's worst-case estimate is visible for
+// controller status lines.
+func TestCPACostExposed(t *testing.T) {
+	hub, _ := cpaHub()
+	cpa, err := NewCPA(hub, "costly", `
+int n = 0;
+for (int i = 0; i < 100; i++) { n += i; }
+return n;
+`, kprof.MaskOf(kprof.EvNetRx), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpa.Close()
+	if cpa.Cost() < 100 {
+		t.Errorf("Cost() = %d, want >= 100 for a 100-iteration loop", cpa.Cost())
 	}
 }
 

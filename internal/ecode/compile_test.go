@@ -1,0 +1,397 @@
+package ecode
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// diffRun executes src through both the interpreter and the compiled
+// closures with the same bindings and requires identical outcomes:
+// either both error, or both succeed with equal values.
+func diffRun(t *testing.T, src string, bindings map[string]Value, extra map[string]Builtin) (Value, error) {
+	t.Helper()
+	prog := MustCompile(src)
+	iv, ierr := prog.NewInstance(WithBuiltins(extra)).Run(bindings)
+
+	c, verdict, err := prog.CompileVerified(testVerifyEnv("diff"))
+	if err != nil {
+		t.Fatalf("CompileVerified rejected:\n%s\n%v", verdict.Render(), err)
+	}
+	ci, err := c.NewInstance(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, cerr := ci.Run(bindings)
+
+	if (ierr != nil) != (cerr != nil) {
+		t.Fatalf("error divergence: interp err=%v, compiled err=%v", ierr, cerr)
+	}
+	if ierr != nil {
+		// Arithmetic errors must match exactly; both are RuntimeErrors.
+		if ierr.Error() != cerr.Error() {
+			t.Fatalf("error text divergence: interp %q, compiled %q", ierr, cerr)
+		}
+		return nil, ierr
+	}
+	if !reflect.DeepEqual(iv, cv) {
+		t.Fatalf("value divergence: interp %#v, compiled %#v", iv, cv)
+	}
+	return cv, nil
+}
+
+func testEvent() Record {
+	return MapRecord{
+		"type": "net_rx", "time": int64(1000), "node": int64(1), "cpu": int64(0),
+		"pid": int64(42), "pid2": int64(0), "bytes": int64(1500), "aux": int64(7),
+		"msgid": int64(9), "seq": int64(3), "last": true, "proc": "nginx",
+		"src_node": int64(1), "src_port": int64(80), "dst_node": int64(2), "dst_port": int64(9090),
+	}
+}
+
+// TestCompiledMatchesInterpreter is the semantics corpus: every program
+// must produce identical results from the tree-walker and the compiled
+// closures.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	ev := map[string]Value{"ev": testEvent()}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"arith-int", `return (2 + 3) * 4 - 10 / 2;`},
+		{"arith-float", `return 1.5 * 4.0 + 0.25;`},
+		{"arith-mixed-promote", `return 3 + 0.5;`},
+		{"arith-mod", `return 17 % 5;`},
+		{"unary-neg", `int a = 5; return -a + -2;`},
+		{"unary-not", `bool b = false; if (!b) { return 1; } return 0;`},
+		{"precedence", `return 2 + 3 * 4;`},
+		{"compare-chain", `if (1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3 && 1 != 2 && 2 == 2) { return 1; } return 0;`},
+		{"compare-mixed", `if (1 < 1.5) { return 1; } return 0;`},
+		{"string-concat", `string s = "a" + "b"; return s + "c";`},
+		{"string-compare", `if ("abc" < "abd" && "x" == "x") { return 1; } return 0;`},
+		{"short-circuit-and", `int n = 0; if (false && 1 / n == 0) { return 1; } return 0;`},
+		{"short-circuit-or", `int n = 0; if (true || 1 / n == 0) { return 1; } return 0;`},
+		{"if-else-chain", `int x = 7; if (x > 10) { return 1; } else if (x > 5) { return 2; } else { return 3; }`},
+		{"for-loop-sum", `int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s;`},
+		{"while-loop", `int i = 0; int s = 0; while (i < 8) { s += 2; i++; } return s;`},
+		{"nested-loops", `int s = 0; for (int i = 0; i < 4; i++) { for (int j = 0; j < 3; j++) { s += i * j; } } return s;`},
+		{"break", `int s = 0; for (int i = 0; i < 100; i++) { if (i == 5) { break; } s += 1; } return s;`},
+		{"continue", `int s = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } s += i; } return s;`},
+		{"return-in-loop", `for (int i = 0; i < 10; i++) { if (i == 3) { return i * 100; } } return -1;`},
+		{"shadowing", `int x = 1; if (true) { int x = 2; x += 10; } return x;`},
+		{"loop-body-decl", `int s = 0; for (int i = 0; i < 5; i++) { int d = i * 2; s += d; } return s;`},
+		{"compound-ops", `int n = 10; n += 5; n -= 3; n *= 2; n /= 4; return n;`},
+		{"compound-float", `float f = 10.0; f /= 4.0; f *= 2.0; return f;`},
+		{"string-append", `string s = "x"; s += "y"; return len(s);`},
+		{"decl-coerce-int", `int n = 3.9; return n;`},
+		{"decl-coerce-float", `float f = 3; return f;`},
+		{"zero-init", `int a; float b; bool c; string d; if (!c && a == 0 && b == 0.0 && d == "") { return 1; } return 0;`},
+		{"field-int", `return ev.bytes + ev.aux;`},
+		{"field-string", `if (ev.type == "net_rx" && contains(ev.proc, "ngi")) { return 1; } return 0;`},
+		{"field-bool", `if (ev.last) { return ev.seq; } return -1;`},
+		{"builtin-len", `return len("hello") + len(ev.proc);`},
+		{"builtin-abs", `return abs(-5) + abs(5);`},
+		{"builtin-minmax", `return min(3, 1, 2) + max(3, 1, 2);`},
+		{"builtin-minmax-float", `if (min(1.5, 2.5) == 1.5) { return 1; } return 0;`},
+		{"fall-off-end", `int n = 1; n += 1;`},
+		{"bare-return", `if (1 < 2) { return; } return 1;`},
+		{"div-by-zero-int", `int z = 0; return 1 / z;`},
+		{"mod-by-zero", `int z = 0; return 1 % z;`},
+		{"div-by-zero-float", `float z = 0.0; return 1.0 / z;`},
+		{"compound-div-zero", `int n = 4; int z = 0; n /= z; return n;`},
+		{"realistic-cpa", `
+static int n = 0;
+static float sum = 0.0;
+if (ev.type == "net_rx" && ev.bytes > 512) {
+	n++;
+	sum += ev.bytes;
+}
+if (n > 0) {
+	return sum / n;
+}
+return 0.0;
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diffRun(t, tc.src, ev, nil)
+		})
+	}
+}
+
+// TestCompiledStaticsPersist mirrors TestStaticPersistsAcrossRuns: the
+// compiled instance must accumulate static state identically, and
+// Static() must match the interpreter's visibility rules.
+func TestCompiledStaticsPersist(t *testing.T) {
+	src := `
+static int count = 0;
+static float total = 0.0;
+count++;
+total += ev.bytes;
+return count;
+`
+	prog := MustCompile(src)
+	c, _, err := prog.CompileVerified(testVerifyEnv("statics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance()
+	bindings := map[string]Value{"ev": testEvent()}
+
+	if _, ok := ci.Static("count"); ok {
+		t.Error("Static visible before first run")
+	}
+	for run := 1; run <= 3; run++ {
+		iv, err := inst.Run(bindings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, err := ci.Run(bindings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(iv, cv) {
+			t.Fatalf("run %d: interp %v, compiled %v", run, iv, cv)
+		}
+		is, _ := inst.Static("total")
+		cs, ok := ci.Static("total")
+		if !ok || !reflect.DeepEqual(is, cs) {
+			t.Fatalf("run %d: static total interp %v, compiled %v (ok=%v)", run, is, cs, ok)
+		}
+	}
+	if v, _ := ci.Static("count"); v != int64(3) {
+		t.Errorf("count = %v after 3 runs, want 3", v)
+	}
+	if _, ok := ci.Static("missing"); ok {
+		t.Error("Static returned a value for an undeclared name")
+	}
+}
+
+// TestCompiledInstancesIsolated: two instances of one Compiled must not
+// share static state or argument buffers.
+func TestCompiledInstancesIsolated(t *testing.T) {
+	c, _, err := MustCompile(`static int n = 0; n += len(ev.proc); return n;`).
+		CompileVerified(testVerifyEnv("iso"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := map[string]Value{"ev": testEvent()}
+	if _, err := a.Run(bindings); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(bindings); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Run(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(5) { // len("nginx"), not accumulated from a
+		t.Errorf("instance b saw %v, want 5 — static state leaked across instances", v)
+	}
+}
+
+// TestCompiledCustomBuiltin: extra builtins resolve by name at
+// NewInstance time and receive evaluated arguments.
+func TestCompiledCustomBuiltin(t *testing.T) {
+	var got []Value
+	extra := map[string]Builtin{
+		"emit": func(args []Value) (Value, error) {
+			got = append(got, args...)
+			return int64(len(args)), nil
+		},
+	}
+	v, err := diffRunT(t, `emit("chan", ev.bytes); return emit("x", 1);`,
+		map[string]Value{"ev": testEvent()}, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(2) {
+		t.Errorf("emit returned %v, want 2", v)
+	}
+	// Both engines ran, so the builtin saw each call twice.
+	want := []Value{"chan", int64(1500), "x", int64(1), "chan", int64(1500), "x", int64(1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("emit args %#v, want %#v", got, want)
+	}
+}
+
+// diffRunT is diffRun for tests that also need the return value when
+// the builtin has call-order side effects.
+func diffRunT(t *testing.T, src string, bindings map[string]Value, extra map[string]Builtin) (Value, error) {
+	t.Helper()
+	return diffRun(t, src, bindings, extra)
+}
+
+// TestCompiledMissingBuiltin: an unresolvable builtin fails at
+// NewInstance, not mid-run on the hot path.
+func TestCompiledMissingBuiltin(t *testing.T) {
+	c, _, err := MustCompile(`emit("x", 1); return 0;`).CompileVerified(testVerifyEnv("mb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewInstance(nil); err == nil || !strings.Contains(err.Error(), "emit") {
+		t.Errorf("NewInstance error = %v, want missing-builtin mention of emit", err)
+	}
+}
+
+// TestCompiledMissingBinding: Run rejects absent or mistyped record
+// bindings up front.
+func TestCompiledMissingBinding(t *testing.T) {
+	c, _, err := MustCompile(`return ev.bytes;`).CompileVerified(testVerifyEnv("mbind"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ci.Run(nil); err == nil || !strings.Contains(err.Error(), `"ev"`) {
+		t.Errorf("missing binding: err = %v", err)
+	}
+	if _, err := ci.Run(map[string]Value{"ev": int64(3)}); err == nil || !strings.Contains(err.Error(), "Record") {
+		t.Errorf("mistyped binding: err = %v", err)
+	}
+}
+
+// TestCompileVerifiedRejects: a hostile program never reaches the
+// compiler; the error carries the verifier's evidence chain.
+func TestCompileVerifiedRejects(t *testing.T) {
+	c, v, err := MustCompile(`while (true) { }`).CompileVerified(testVerifyEnv("hostile.ec"))
+	if c != nil {
+		t.Fatal("hostile program compiled")
+	}
+	if v == nil || v.OK {
+		t.Fatal("verdict missing or OK")
+	}
+	if err == nil || !strings.Contains(err.Error(), "not provably bounded") {
+		t.Errorf("err = %v, want termination diagnostic", err)
+	}
+}
+
+// TestCompiledCost: the verifier's estimate rides along on the
+// artifact for controller status reporting.
+func TestCompiledCost(t *testing.T) {
+	c, v, err := MustCompile(`int n = 0; for (int i = 0; i < 50; i++) { n += i; } return n;`).
+		CompileVerified(testVerifyEnv("cost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cost() != v.Cost || c.Cost() < 50 {
+		t.Errorf("Cost() = %d, verdict %d", c.Cost(), v.Cost)
+	}
+	if c.Name() != "cost" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+}
+
+// TestCompiledNoStepLimit: the proof is the budget — a verified 10k
+// iteration loop runs to completion even though the interpreter's
+// default guard would allow it too; what matters is the compiled path
+// has no counter to trip (exercised with a limit far below the work).
+func TestCompiledNoStepLimit(t *testing.T) {
+	src := `int s = 0; for (int i = 0; i < 10000; i++) { s += 1; } return s;`
+	bindings := map[string]Value{"ev": testEvent()}
+	prog := MustCompile(src)
+	if _, err := prog.NewInstance(WithStepLimit(100)).Run(bindings); err == nil {
+		t.Fatal("interpreter step limit did not trip — test premise broken")
+	}
+	env := testVerifyEnv("nolimit")
+	env.MaxCost = 100_000
+	c, _, err := prog.CompileVerified(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ci.Run(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(10000) {
+		t.Errorf("got %v, want 10000", v)
+	}
+}
+
+// TestCompiledRuntimeErrorLine: arithmetic faults keep their source
+// line through compilation.
+func TestCompiledRuntimeErrorLine(t *testing.T) {
+	c, _, err := MustCompile("int z = 0;\nreturn 1 / z;").CompileVerified(testVerifyEnv("line"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ci.Run(map[string]Value{"ev": testEvent()})
+	var re *RuntimeError
+	if !errorsAs(rerr, &re) || re.Line != 2 {
+		t.Fatalf("err = %v, want RuntimeError at line 2", rerr)
+	}
+}
+
+func errorsAs(err error, target **RuntimeError) bool {
+	for err != nil {
+		if re, ok := err.(*RuntimeError); ok {
+			*target = re
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestCompiledAllocFree: the steady-state hot path must not allocate
+// beyond boxing the returned value.
+func TestCompiledAllocFree(t *testing.T) {
+	c, _, err := MustCompile(`
+static int n = 0;
+if (ev.type == "net_rx" && ev.bytes > 512) {
+	n++;
+}
+return n;
+`).CompileVerified(testVerifyEnv("alloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := map[string]Value{"ev": testEvent()}
+	if _, err := ci.Run(bindings); err != nil { // warm static init
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := ci.Run(bindings); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One boxing alloc for the int return value is acceptable; the
+	// interpreter's map-scope walk costs far more.
+	if avg > 1 {
+		t.Errorf("compiled hot path allocates %.1f/op, want <= 1", avg)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt when corpus cases churn

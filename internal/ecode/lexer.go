@@ -14,7 +14,6 @@ package ecode
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 type tokKind uint8
@@ -94,7 +93,10 @@ func (l *lexer) scan() (token, error) {
 	start, line := l.pos, l.line
 	c := l.src[l.pos]
 
-	if unicode.IsLetter(rune(c)) || c == '_' {
+	// ASCII letters only: the check must agree with isIdentChar, or a
+	// byte like 0xdb (a letter as a rune, not an ident char) would
+	// produce an empty token without advancing — an infinite loop.
+	if isIdentStart(c) {
 		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
 			l.pos++
 		}
@@ -173,6 +175,10 @@ func (l *lexer) scan() (token, error) {
 		return token{kind: tokPunct, text: string(c), pos: start, line: line}, nil
 	}
 	return token{}, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 func isIdentChar(c byte) bool {

@@ -1,0 +1,11 @@
+// Nested constant-bounded loops: the verifier proves 8*4 iterations
+// and folds them into the cost estimate.
+static int checksum = 0;
+int acc = 0;
+for (int i = 0; i < 8; i++) {
+	for (int j = 0; j <= 3; j++) {
+		acc += i * j;
+	}
+}
+checksum += acc;
+return checksum;

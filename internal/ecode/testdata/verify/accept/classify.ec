@@ -1,0 +1,14 @@
+// Event classification across the builtin table's nonblocking set.
+static int big = 0;
+static int small = 0;
+string p = ev.proc;
+if (contains(p, "http") && ev.bytes > 1024) {
+	big++;
+} else {
+	small++;
+}
+int spread = max(big, small) - min(big, small);
+if (abs(spread) > 100 && len(p) > 0) {
+	emit("imbalance", spread);
+}
+return spread;

@@ -1,0 +1,13 @@
+// The latency-anomaly CPA from examples/custom-analyzer: alerts when a
+// request sat in the socket buffer more than twice the running mean.
+static int   n      = 0;
+static float sum_ns = 0.0;
+
+if (ev.type != "net_user_read") { return 0; }
+n++;
+sum_ns += ev.aux;
+float mean = sum_ns / n;
+if (n > 8 && ev.aux > mean * 2.0) {
+	emit("latency.alerts", ev.aux);
+}
+return n;

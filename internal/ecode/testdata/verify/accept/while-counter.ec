@@ -1,0 +1,12 @@
+// A while loop bounded by a counter declared before the loop with an
+// unconditional in-body step.
+int i = 0;
+int sum = 0;
+while (i < 8) {
+	sum += i;
+	i++;
+}
+if (ev.bytes > 512) {
+	emit("sum", sum);
+}
+return sum;

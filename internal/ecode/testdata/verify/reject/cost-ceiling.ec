@@ -1,0 +1,9 @@
+//pass: cost
+//want: exceeds the verifier ceiling
+static int acc = 0;
+for (int i = 0; i < 1000; i++) {
+	for (int j = 0; j < 1000; j++) {
+		acc += 1;
+	}
+}
+return acc;

@@ -1,0 +1,7 @@
+//pass: noalloc
+//want: string concatenation in a loop
+string s = "";
+for (int i = 0; i < 4; i++) {
+	s += "x";
+}
+return len(s);

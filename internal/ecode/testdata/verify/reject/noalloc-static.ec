@@ -1,0 +1,5 @@
+//pass: noalloc
+//want: grows without bound
+static string trail = "";
+trail += ev.proc;
+return len(trail);

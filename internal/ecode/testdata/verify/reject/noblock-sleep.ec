@@ -1,0 +1,8 @@
+//pass: noblock
+//want: blocking builtin "sleep"
+static int n = 0;
+if (ev.bytes > 1000) {
+	sleep(5);
+	n++;
+}
+return n;

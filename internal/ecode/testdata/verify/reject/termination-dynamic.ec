@@ -1,0 +1,7 @@
+//pass: termination
+//want: not a statically known int
+int seen = 0;
+for (int i = 0; i < ev.bytes; i++) {
+	seen += 1;
+}
+return seen;

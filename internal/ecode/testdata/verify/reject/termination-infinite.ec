@@ -1,0 +1,7 @@
+//pass: termination
+//want: loop is not provably bounded
+static int n = 0;
+while (true) {
+	n += 1;
+}
+return n;

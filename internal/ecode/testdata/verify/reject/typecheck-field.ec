@@ -1,0 +1,5 @@
+//pass: typecheck
+//want: has no field
+static int n = 0;
+n += ev.nonexistent;
+return n;

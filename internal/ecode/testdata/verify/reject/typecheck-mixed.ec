@@ -1,0 +1,7 @@
+//pass: typecheck
+//want: mixed string/int operands
+int limit = 3;
+if (ev.proc > limit) {
+	return 1;
+}
+return 0;

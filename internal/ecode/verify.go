@@ -1,0 +1,1117 @@
+package ecode
+
+// verify.go is the E-Code static verifier: the gate every custom
+// analyzer must pass before it is installed on the kernel event fast
+// path. The paper's CPA story is analyzers "dynamically created and
+// downloaded into the kernel" — which, like eBPF, is only safe if an
+// uploaded program provably cannot block, allocate without bound, or
+// loop forever. The verifier proves those properties on the AST, before
+// any instruction runs:
+//
+//	typecheck    full static typing over the int/float/bool/string
+//	             lattice; record-field access is validated against the
+//	             registered host schema (unknown fields, mixed-type
+//	             operands and mistyped builtin arguments are rejected)
+//	termination  every loop must have a statically derivable worst-case
+//	             iteration count (constant-bounded counter with a
+//	             constant step); anything unbounded is rejected instead
+//	             of trusting the interpreter's runtime step limit
+//	noalloc      string concatenation inside loops and unbounded growth
+//	             of persistent (static) strings are rejected
+//	noblock      every builtin is classified blocking/nonblocking in a
+//	             signature table; calls to blocking builtins are rejected
+//	cost         a worst-case per-event step count is derived from the
+//	             proven loop bounds and the builtin cost table, reported
+//	             in the verdict, and checked against a ceiling
+//
+// Diagnostics are lint.Diagnostic values, so the verdict renders in
+// sysproflint's evidence-chain shape (file:line:col first line plus
+// indented supporting frames) and CLI/CI output stays uniform.
+
+import (
+	"fmt"
+	gotoken "go/token"
+	"sort"
+	"strings"
+
+	"sysprof/internal/lint"
+)
+
+// Type is one point of the E-Code static type lattice.
+type Type uint8
+
+const (
+	TInvalid Type = iota
+	TInt
+	TFloat
+	TBool
+	TString
+	TRecord
+)
+
+// String names the type the way E-Code source spells it.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TString:
+		return "string"
+	case TRecord:
+		return "record"
+	}
+	return "invalid"
+}
+
+func typeFromName(name string) Type {
+	switch name {
+	case "int":
+		return TInt
+	case "float":
+		return TFloat
+	case "bool":
+		return TBool
+	case "string":
+		return TString
+	}
+	return TInvalid
+}
+
+// RecordSchema declares the fields a host record exposes and their
+// types. Field access on a bound record is verified against it.
+type RecordSchema map[string]Type
+
+// ParamKind constrains one builtin parameter.
+type ParamKind uint8
+
+const (
+	// PNum accepts int or float.
+	PNum ParamKind = iota
+	// PString accepts string.
+	PString
+	// PAny accepts any value, including records (emit's payload).
+	PAny
+)
+
+// ResultKind determines a builtin call's static result type.
+type ResultKind uint8
+
+const (
+	RInt ResultKind = iota
+	RFloat
+	RBool
+	RString
+	// RArg0 types the result like the first argument (abs, min, max).
+	// With Variadic set, every argument must share the first one's type,
+	// because the runtime returns whichever argument wins.
+	RArg0
+)
+
+// BuiltinSig classifies one builtin for the verifier: parameter and
+// result typing, the blocking/nonblocking classification the noblock
+// pass enforces, and the worst-case step cost one call charges.
+type BuiltinSig struct {
+	Params   []ParamKind
+	Variadic bool // last param may repeat (at least one argument total)
+	Result   ResultKind
+	Blocking bool // true: never allowed on the event fast path
+	Cost     int  // worst-case steps charged per call (0 counts as 1)
+}
+
+// StandardSigs is the builtin signature table for the default runtime
+// (see defaultBuiltins). It also declares the host's slow-path
+// functions — sleep, readproc, log — which exist for offline E-Code
+// tooling and are classified blocking, so the verifier rejects any
+// analyzer that tries to call them per event.
+func StandardSigs() map[string]BuiltinSig {
+	return map[string]BuiltinSig{
+		"len":      {Params: []ParamKind{PString}, Result: RInt, Cost: 1},
+		"abs":      {Params: []ParamKind{PNum}, Result: RArg0, Cost: 1},
+		"min":      {Params: []ParamKind{PNum}, Variadic: true, Result: RArg0, Cost: 2},
+		"max":      {Params: []ParamKind{PNum}, Variadic: true, Result: RArg0, Cost: 2},
+		"contains": {Params: []ParamKind{PString, PString}, Result: RBool, Cost: 8},
+
+		// Slow-path host functions: blocking by classification.
+		"sleep":    {Params: []ParamKind{PNum}, Result: RInt, Blocking: true, Cost: 1},
+		"readproc": {Params: []ParamKind{PString}, Result: RString, Blocking: true, Cost: 1},
+		"log":      {Params: []ParamKind{PString}, Result: RInt, Blocking: true, Cost: 1},
+	}
+}
+
+// DefaultMaxCost is the per-event worst-case step ceiling when
+// VerifyEnv.MaxCost is zero. It is far below the interpreter's runtime
+// step limit: a verified analyzer can never come near that limit.
+const DefaultMaxCost = 50_000
+
+// Verifier pass names, as they appear in Diagnostic.Analyzer and in
+// VerifyEnv.Disable.
+const (
+	PassTypecheck   = "typecheck"
+	PassTermination = "termination"
+	PassNoAlloc     = "noalloc"
+	PassNoBlock     = "noblock"
+	PassCost        = "cost"
+)
+
+// VerifyEnv is the static environment an analyzer is verified against:
+// the records it may touch, the builtins it may call, and the cost
+// ceiling it must fit under.
+type VerifyEnv struct {
+	// Name labels diagnostics (every finding's Pos.Filename). Pass the
+	// analyzer's name or source path; empty means "analyzer".
+	Name string
+	// Records maps binding names (e.g. "ev") to their field schemas.
+	Records map[string]RecordSchema
+	// Builtins extends or overrides StandardSigs for this environment
+	// (e.g. the CPA host adds emit).
+	Builtins map[string]BuiltinSig
+	// MaxCost rejects analyzers whose worst-case per-event step count
+	// exceeds it; zero means DefaultMaxCost.
+	MaxCost int
+	// Disable names verifier passes to skip (PassTypecheck, ...).
+	// Mutation tests use it to prove each pass has teeth on its own;
+	// production callers must leave it empty.
+	Disable []string
+}
+
+func (env *VerifyEnv) name() string {
+	if env.Name == "" {
+		return "analyzer"
+	}
+	return env.Name
+}
+
+func (env *VerifyEnv) maxCost() int {
+	if env.MaxCost <= 0 {
+		return DefaultMaxCost
+	}
+	return env.MaxCost
+}
+
+// sigs merges the standard builtin table with the environment's.
+func (env *VerifyEnv) sigs() map[string]BuiltinSig {
+	out := StandardSigs()
+	for k, v := range env.Builtins {
+		out[k] = v
+	}
+	return out
+}
+
+// Verdict is the verifier's decision on one program.
+type Verdict struct {
+	// OK is true when every enabled pass accepted the program.
+	OK bool
+	// Cost is the statically derived worst-case step count per event
+	// (statements + expression nodes + builtin table costs), an upper
+	// bound on the interpreter's own step counter.
+	Cost int
+	// Diags are the findings, sorted by line, in sysproflint's
+	// evidence-chain shape.
+	Diags []lint.Diagnostic
+}
+
+// Render returns every diagnostic with its evidence chain, one finding
+// per paragraph, the way the sysproflint CLI prints them.
+func (v *Verdict) Render() string {
+	parts := make([]string, len(v.Diags))
+	for i, d := range v.Diags {
+		parts[i] = d.Detail()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Err returns nil when the program verified, or an error carrying the
+// rendered diagnostics.
+func (v *Verdict) Err() error {
+	if v.OK {
+		return nil
+	}
+	return fmt.Errorf("verification failed:\n%s", v.Render())
+}
+
+// Verify statically checks the program against env and returns the
+// verdict. It never executes the program.
+func (p *Program) Verify(env VerifyEnv) *Verdict {
+	vf := &verifier{
+		env:     env,
+		sigs:    env.sigs(),
+		statics: map[string]Type{},
+		consts:  map[string]constVal{},
+	}
+	disabled := make(map[string]bool, len(env.Disable))
+	for _, p := range env.Disable {
+		disabled[p] = true
+	}
+
+	root := &vscope{vars: map[string]Type{}}
+	for name := range env.Records {
+		root.vars[name] = TRecord
+	}
+	vf.sc = &vscope{vars: map[string]Type{}, parent: root}
+	cost := vf.checkBlock(p.body)
+	if cost > env.maxCost() {
+		vf.reportChain(PassCost, 1,
+			[]lint.ChainFrame{vf.frame(1, fmt.Sprintf("ceiling is %d steps per event; shrink loop bounds or split the analyzer", env.maxCost()))},
+			"worst-case per-event cost %d exceeds the verifier ceiling", cost)
+	}
+
+	kept := vf.diags[:0]
+	for _, d := range vf.diags {
+		if !disabled[d.Analyzer] {
+			kept = append(kept, d)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos.Line < kept[j].Pos.Line })
+	return &Verdict{OK: len(kept) == 0, Cost: cost, Diags: kept}
+}
+
+// vscope is a static scope: variable name to type, chained like the
+// interpreter's runtime scopes so shadowing resolves identically.
+type vscope struct {
+	vars   map[string]Type
+	parent *vscope
+}
+
+func (s *vscope) lookup(name string) (Type, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			return t, true
+		}
+	}
+	return TInvalid, false
+}
+
+// constVal is a statically known int value used for loop-bound
+// inference ("constant propagation lite": only straight-line constant
+// decls and assignments are tracked).
+type constVal struct {
+	known bool
+	v     int64
+}
+
+type verifier struct {
+	env  VerifyEnv
+	sigs map[string]BuiltinSig
+
+	sc      *vscope
+	statics map[string]Type
+	// consts maps variable names to statically known int values in the
+	// current straight-line context; any write the verifier cannot fold
+	// clears the entry.
+	consts map[string]constVal
+	// loops is the stack of enclosing loop lines (for noalloc evidence).
+	loops []int
+
+	diags []lint.Diagnostic
+}
+
+func (vf *verifier) pos(line int) gotoken.Position {
+	return gotoken.Position{Filename: vf.env.name(), Line: line, Column: 1}
+}
+
+func (vf *verifier) frame(line int, msg string) lint.ChainFrame {
+	return lint.ChainFrame{Pos: vf.pos(line), Msg: msg}
+}
+
+func (vf *verifier) report(pass string, line int, format string, args ...any) {
+	vf.reportChain(pass, line, nil, format, args...)
+}
+
+func (vf *verifier) reportChain(pass string, line int, chain []lint.ChainFrame, format string, args ...any) {
+	vf.diags = append(vf.diags, lint.Diagnostic{
+		Pos:      vf.pos(line),
+		Analyzer: pass,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// maxVerifyCost saturates cost arithmetic so absurd nested bounds do not
+// overflow into acceptance.
+const maxVerifyCost = 1 << 40
+
+func addCost(a, b int) int {
+	if s := a + b; s >= 0 && s < maxVerifyCost {
+		return s
+	}
+	return maxVerifyCost
+}
+
+func mulCost(a int, b int64) int {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if int64(a) > maxVerifyCost/b {
+		return maxVerifyCost
+	}
+	return a * int(b)
+}
+
+// checkBlock verifies a statement sequence in the current scope and
+// returns its worst-case cost.
+func (vf *verifier) checkBlock(stmts []stmt) int {
+	cost := 0
+	for _, s := range stmts {
+		cost = addCost(cost, vf.checkStmt(s))
+	}
+	return cost
+}
+
+func (vf *verifier) checkStmt(s stmt) int {
+	switch n := s.(type) {
+	case *declStmt:
+		return vf.checkDecl(n)
+	case *assignStmt:
+		return vf.checkAssign(n)
+	case *ifStmt:
+		condT, condCost := vf.checkExpr(n.cond)
+		if condT != TBool && condT != TInvalid {
+			vf.report(PassTypecheck, n.line, "if condition is %s, not bool", condT)
+		}
+		// Branch scopes mirror the interpreter's.
+		vf.sc = &vscope{vars: map[string]Type{}, parent: vf.sc}
+		thenCost := vf.checkBlock(n.then)
+		vf.sc.vars = map[string]Type{}
+		elseCost := vf.checkBlock(n.els)
+		vf.sc = vf.sc.parent
+		// A conditional write is not a statically known value.
+		vf.clearAssigned(n.then)
+		vf.clearAssigned(n.els)
+		branch := thenCost
+		if elseCost > branch {
+			branch = elseCost
+		}
+		return addCost(1, addCost(condCost, branch))
+	case *forStmt:
+		return vf.checkFor(n)
+	case *returnStmt:
+		cost := 1
+		if n.val != nil {
+			t, c := vf.checkExpr(n.val)
+			if t == TRecord {
+				vf.report(PassTypecheck, n.line, "cannot return a record")
+			}
+			cost = addCost(cost, c)
+		}
+		return cost
+	case *exprStmt:
+		_, c := vf.checkExpr(n.e)
+		return addCost(1, c)
+	case *breakStmt, *continueStmt:
+		return 1
+	}
+	return 1
+}
+
+func (vf *verifier) checkDecl(n *declStmt) int {
+	t := typeFromName(n.typ)
+	cost := 1
+	if n.init != nil {
+		it, c := vf.checkExpr(n.init)
+		cost = addCost(cost, c)
+		if !initCompatible(t, it) && it != TInvalid {
+			vf.report(PassTypecheck, n.line, "cannot initialize %s %q with %s", t, n.name, it)
+		}
+	}
+	if n.static {
+		if old, ok := vf.statics[n.name]; ok && old != t {
+			vf.report(PassTypecheck, n.line, "static %q redeclared as %s (previously %s)", n.name, t, old)
+		}
+		vf.statics[n.name] = t
+		// Statics persist across events with values the verifier cannot
+		// know; never constant-fold them.
+		vf.consts[n.name] = constVal{}
+		return cost
+	}
+	vf.sc.vars[n.name] = t
+	if t == TInt {
+		if v, ok := vf.constIntOf(n.init); ok {
+			vf.consts[n.name] = constVal{known: true, v: v}
+			return cost
+		}
+	}
+	vf.consts[n.name] = constVal{}
+	return cost
+}
+
+// initCompatible mirrors the interpreter's coerce: int and float
+// initialize each other (with truncation), bool and string are strict.
+func initCompatible(decl, init Type) bool {
+	switch decl {
+	case TInt, TFloat:
+		return init == TInt || init == TFloat
+	default:
+		return decl == init
+	}
+}
+
+func (vf *verifier) checkAssign(n *assignStmt) int {
+	vt, where := vf.resolveVar(n.name)
+	et, cost := vf.checkExpr(n.val)
+	cost = addCost(1, cost)
+	switch where {
+	case varMissing:
+		vf.report(PassTypecheck, n.line, "assignment to undeclared variable %q", n.name)
+		return cost
+	case varBinding:
+		vf.report(PassTypecheck, n.line, "cannot assign to host binding %q", n.name)
+		return cost
+	}
+	if et == TInvalid || vt == TInvalid {
+		return cost
+	}
+	if n.op == "=" {
+		// Plain assignment replaces the value without coercion at
+		// runtime, so the types must match exactly or the variable's
+		// static type would be a lie.
+		if et != vt {
+			vf.report(PassTypecheck, n.line, "cannot assign %s to %s %q", et, vt, n.name)
+			return cost
+		}
+	} else {
+		binOp := strings.TrimSuffix(n.op, "=")
+		rt := vf.binaryResultType(binOp, vt, et, n.line)
+		if rt == TInvalid {
+			return cost
+		}
+		if rt != vt {
+			vf.report(PassTypecheck, n.line, "%s changes %s %q to %s", n.op, vt, n.name, rt)
+			return cost
+		}
+	}
+	vf.checkStringGrowth(n, vt, where)
+	vf.foldAssign(n, vt, where)
+	return cost
+}
+
+// checkStringGrowth is the noalloc pass's assignment rule: appending to
+// any string inside a loop allocates per iteration, and appending to a
+// static string anywhere grows it without bound across events (statics
+// persist for the analyzer's lifetime).
+func (vf *verifier) checkStringGrowth(n *assignStmt, vt Type, where varWhere) {
+	if vt != TString {
+		return
+	}
+	grows := n.op == "+="
+	if !grows && n.op == "=" {
+		grows = vf.containsStringConcat(n.val)
+	}
+	if !grows {
+		return
+	}
+	if where == varStatic {
+		vf.reportChain(PassNoAlloc, n.line,
+			[]lint.ChainFrame{vf.frame(n.line, fmt.Sprintf("static %q persists across events; every event appends", n.name))},
+			"static string %q grows without bound", n.name)
+		return
+	}
+	if len(vf.loops) > 0 {
+		loopLine := vf.loops[len(vf.loops)-1]
+		vf.reportChain(PassNoAlloc, n.line,
+			[]lint.ChainFrame{vf.frame(loopLine, "enclosing loop starts here")},
+			"string concatenation in a loop allocates per iteration")
+	}
+}
+
+// containsStringConcat reports whether e contains a string "+".
+func (vf *verifier) containsStringConcat(e expr) bool {
+	b, ok := e.(*binaryExpr)
+	if !ok {
+		return false
+	}
+	if b.op == "+" {
+		if lt, _ := vf.typeOnly(b.l); lt == TString {
+			return true
+		}
+	}
+	return vf.containsStringConcat(b.l) || vf.containsStringConcat(b.r)
+}
+
+// foldAssign updates the constant environment after an assignment.
+func (vf *verifier) foldAssign(n *assignStmt, vt Type, where varWhere) {
+	if where != varLocal || vt != TInt {
+		return
+	}
+	if n.op == "=" {
+		if v, ok := vf.constIntOf(n.val); ok {
+			vf.consts[n.name] = constVal{known: true, v: v}
+			return
+		}
+	}
+	vf.consts[n.name] = constVal{}
+}
+
+type varWhere uint8
+
+const (
+	varMissing varWhere = iota
+	varLocal
+	varStatic
+	varBinding
+)
+
+// resolveVar finds a name the way the interpreter does: scope chain
+// first (which includes host bindings at the root), then statics.
+func (vf *verifier) resolveVar(name string) (Type, varWhere) {
+	for cur := vf.sc; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			if t == TRecord && cur.parent == nil {
+				return t, varBinding
+			}
+			return t, varLocal
+		}
+	}
+	if t, ok := vf.statics[name]; ok {
+		return t, varStatic
+	}
+	return TInvalid, varMissing
+}
+
+// constIntOf statically evaluates an int expression: literals, known
+// constants, unary minus, and the four int arithmetic ops.
+func (vf *verifier) constIntOf(e expr) (int64, bool) {
+	switch n := e.(type) {
+	case *intLit:
+		return n.v, true
+	case *identExpr:
+		if c, ok := vf.consts[n.name]; ok && c.known {
+			// Only trust the entry if the name still resolves to a local
+			// int (a shadow may have changed its meaning).
+			if t, w := vf.resolveVar(n.name); w == varLocal && t == TInt {
+				return c.v, true
+			}
+		}
+	case *unaryExpr:
+		if n.op == "-" {
+			if v, ok := vf.constIntOf(n.x); ok {
+				return -v, true
+			}
+		}
+	case *binaryExpr:
+		l, lok := vf.constIntOf(n.l)
+		r, rok := vf.constIntOf(n.r)
+		if lok && rok {
+			switch n.op {
+			case "+":
+				return l + r, true
+			case "-":
+				return l - r, true
+			case "*":
+				return l * r, true
+			case "/":
+				if r != 0 {
+					return l / r, true
+				}
+			case "%":
+				if r != 0 {
+					return l % r, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// clearAssigned forgets constant knowledge for every variable a
+// statement list may write (used after conditional branches and loops).
+func (vf *verifier) clearAssigned(stmts []stmt) {
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *assignStmt:
+			vf.consts[n.name] = constVal{}
+		case *declStmt:
+			vf.consts[n.name] = constVal{}
+		case *ifStmt:
+			vf.clearAssigned(n.then)
+			vf.clearAssigned(n.els)
+		case *forStmt:
+			if n.init != nil {
+				vf.clearAssigned([]stmt{n.init})
+			}
+			if n.post != nil {
+				vf.clearAssigned([]stmt{n.post})
+			}
+			vf.clearAssigned(n.body)
+		}
+	}
+}
+
+// checkFor verifies one loop: its bound (termination pass), its body,
+// and its contribution to the worst-case cost.
+func (vf *verifier) checkFor(n *forStmt) int {
+	vf.sc = &vscope{vars: map[string]Type{}, parent: vf.sc}
+	defer func() { vf.sc = vf.sc.parent }()
+
+	initCost := 0
+	if n.init != nil {
+		initCost = vf.checkStmt(n.init)
+	}
+
+	// Loop-bound inference runs against the constant environment as it
+	// stands at loop entry (after init).
+	iters, why, whyLine := vf.loopBound(n)
+
+	condCost := 0
+	if n.cond != nil {
+		ct, c := vf.checkExpr(n.cond)
+		if ct != TBool && ct != TInvalid {
+			vf.report(PassTypecheck, n.line, "for condition is %s, not bool", ct)
+		}
+		condCost = c
+	}
+
+	vf.loops = append(vf.loops, n.line)
+	// Values written inside the loop are unknown from the second
+	// iteration on; forget them before checking the body so nested
+	// loop bounds cannot lean on them.
+	vf.clearAssigned(n.body)
+	if n.post != nil {
+		vf.clearAssigned([]stmt{n.post})
+	}
+	bodyCost := vf.checkBlock(n.body)
+	postCost := 0
+	if n.post != nil {
+		postCost = vf.checkStmt(n.post)
+	}
+	vf.loops = vf.loops[:len(vf.loops)-1]
+
+	if iters < 0 {
+		vf.reportChain(PassTermination, n.line,
+			[]lint.ChainFrame{
+				vf.frame(whyLine, why),
+				vf.frame(n.line, "analyzers run per kernel event; the compiled fast path has no runtime step limit to fall back on"),
+			},
+			"loop is not provably bounded")
+		iters = 0 // keep the cost estimate well-defined for the verdict
+	}
+
+	perIter := addCost(condCost, addCost(bodyCost, addCost(postCost, 1)))
+	total := addCost(initCost, addCost(mulCost(perIter, iters), addCost(condCost, 1)))
+	return total
+}
+
+// loopBound infers the worst-case iteration count of a loop from the
+// pattern the verifier accepts: an int counter with a statically known
+// initial value, a comparison against a statically known limit, and
+// exactly one unconditional constant-step update per iteration. It
+// returns -1 and a reason when no bound can be proven.
+func (vf *verifier) loopBound(n *forStmt) (iters int64, why string, whyLine int) {
+	if n.cond == nil {
+		return -1, "loop has no condition", n.line
+	}
+	cmp, ok := n.cond.(*binaryExpr)
+	if !ok {
+		return -1, "loop condition is not a comparison the verifier can bound", n.line
+	}
+	var counter string
+	var counterLine int
+	var limit int64
+	var op string
+	switch {
+	case vf.isIntIdent(cmp.l) != "":
+		counter = vf.isIntIdent(cmp.l)
+		counterLine = cmp.l.(*identExpr).line
+		v, ok := vf.constIntOf(cmp.r)
+		if !ok {
+			return -1, fmt.Sprintf("loop limit %s is not a statically known int", exprDesc(cmp.r)), cmp.line
+		}
+		limit, op = v, cmp.op
+	case vf.isIntIdent(cmp.r) != "":
+		counter = vf.isIntIdent(cmp.r)
+		counterLine = cmp.r.(*identExpr).line
+		v, ok := vf.constIntOf(cmp.l)
+		if !ok {
+			return -1, fmt.Sprintf("loop limit %s is not a statically known int", exprDesc(cmp.l)), cmp.line
+		}
+		// Mirror the comparison so the counter is on the left.
+		limit = v
+		op = map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}[cmp.op]
+	default:
+		return -1, "loop condition does not compare an int counter against a constant", cmp.line
+	}
+	switch op {
+	case "<", "<=", ">", ">=":
+	default:
+		return -1, fmt.Sprintf("comparison %q does not bound the counter", cmp.op), cmp.line
+	}
+
+	start, ok := vf.consts[counter], vf.consts[counter].known
+	if !ok {
+		return -1, fmt.Sprintf("counter %q has no statically known initial value", counter), counterLine
+	}
+
+	step, stepOK, extraWrite := loopStep(counter, n)
+	if extraWrite {
+		return -1, fmt.Sprintf("counter %q is reassigned inside the loop body", counter), n.line
+	}
+	if !stepOK {
+		return -1, fmt.Sprintf("no unconditional constant step for counter %q", counter), n.line
+	}
+	if step == 0 {
+		return -1, fmt.Sprintf("counter %q steps by zero", counter), n.line
+	}
+	if (op == "<" || op == "<=") && step < 0 {
+		return -1, fmt.Sprintf("counter %q steps away from its bound", counter), n.line
+	}
+	if (op == ">" || op == ">=") && step > 0 {
+		return -1, fmt.Sprintf("counter %q steps away from its bound", counter), n.line
+	}
+
+	span := limit - start.v
+	if op == ">" || op == ">=" {
+		span, step = -span, -step
+	}
+	switch op {
+	case "<", ">":
+		if span <= 0 {
+			return 0, "", 0
+		}
+		return (span + step - 1) / step, "", 0
+	default: // "<=", ">="
+		if span < 0 {
+			return 0, "", 0
+		}
+		return span/step + 1, "", 0
+	}
+}
+
+// loopStep finds the loop counter's per-iteration step: the post
+// statement or exactly one unconditional top-level body update with a
+// constant delta. extraWrite reports any other write to the counter.
+func loopStep(counter string, n *forStmt) (step int64, ok, extraWrite bool) {
+	countWrites := func(stmts []stmt, unconditional bool) {
+		var walk func(ss []stmt, uncond bool)
+		walk = func(ss []stmt, uncond bool) {
+			for _, s := range ss {
+				switch a := s.(type) {
+				case *assignStmt:
+					if a.name != counter {
+						continue
+					}
+					var d int64
+					lit, isLit := a.val.(*intLit)
+					switch {
+					case a.op == "+=" && isLit:
+						d = lit.v
+					case a.op == "-=" && isLit:
+						d = -lit.v
+					default:
+						extraWrite = true
+						continue
+					}
+					if !uncond || ok {
+						// A second update, or a conditional one, leaves
+						// the true per-iteration delta unknown.
+						extraWrite = true
+						continue
+					}
+					step, ok = d, true
+				case *declStmt:
+					if a.name == counter {
+						extraWrite = true
+					}
+				case *ifStmt:
+					walk(a.then, false)
+					walk(a.els, false)
+				case *forStmt:
+					if a.init != nil {
+						walk([]stmt{a.init}, false)
+					}
+					if a.post != nil {
+						walk([]stmt{a.post}, false)
+					}
+					walk(a.body, false)
+				}
+			}
+		}
+		walk(stmts, unconditional)
+	}
+
+	if n.post != nil {
+		countWrites([]stmt{n.post}, true)
+		countWrites(n.body, false)
+	} else {
+		countWrites(n.body, true)
+	}
+	if extraWrite {
+		return 0, false, true
+	}
+	return step, ok, false
+}
+
+// isIntIdent returns the name when e is an identifier currently typed
+// int, else "".
+func (vf *verifier) isIntIdent(e expr) string {
+	id, ok := e.(*identExpr)
+	if !ok {
+		return ""
+	}
+	t, w := vf.resolveVar(id.name)
+	if t == TInt && (w == varLocal || w == varStatic) {
+		return id.name
+	}
+	return ""
+}
+
+func exprDesc(e expr) string {
+	switch n := e.(type) {
+	case *identExpr:
+		return fmt.Sprintf("%q", n.name)
+	case *fieldExpr:
+		return fmt.Sprintf("%q", "."+n.field)
+	}
+	return "expression"
+}
+
+// typeOnly types an expression without reporting diagnostics or
+// charging cost (used for noalloc's concat detection).
+func (vf *verifier) typeOnly(e expr) (Type, bool) {
+	saved := vf.diags
+	t, _ := vf.checkExpr(e)
+	vf.diags = saved
+	return t, t != TInvalid
+}
+
+// checkExpr types an expression, reports violations, and returns its
+// static type plus its worst-case evaluation cost.
+func (vf *verifier) checkExpr(e expr) (Type, int) {
+	switch n := e.(type) {
+	case *intLit:
+		return TInt, 1
+	case *floatLit:
+		return TFloat, 1
+	case *boolLit:
+		return TBool, 1
+	case *stringLit:
+		return TString, 1
+
+	case *identExpr:
+		t, w := vf.resolveVar(n.name)
+		if w == varMissing {
+			vf.report(PassTypecheck, n.line, "undefined variable %q", n.name)
+			return TInvalid, 1
+		}
+		return t, 1
+
+	case *fieldExpr:
+		return vf.checkField(n)
+
+	case *callExpr:
+		return vf.checkCall(n)
+
+	case *unaryExpr:
+		t, c := vf.checkExpr(n.x)
+		c = addCost(c, 1)
+		switch n.op {
+		case "-":
+			if t == TInt || t == TFloat || t == TInvalid {
+				return t, c
+			}
+			vf.report(PassTypecheck, n.line, "unary - on %s", t)
+		case "!":
+			if t == TBool || t == TInvalid {
+				return TBool, c
+			}
+			vf.report(PassTypecheck, n.line, "unary ! on %s", t)
+		}
+		return TInvalid, c
+
+	case *binaryExpr:
+		lt, lc := vf.checkExpr(n.l)
+		rt, rc := vf.checkExpr(n.r)
+		cost := addCost(1, addCost(lc, rc))
+		if lt == TInvalid || rt == TInvalid {
+			return TInvalid, cost
+		}
+		t := vf.binaryResultType(n.op, lt, rt, n.line)
+		if t == TString && n.op == "+" && len(vf.loops) > 0 {
+			loopLine := vf.loops[len(vf.loops)-1]
+			vf.reportChain(PassNoAlloc, n.line,
+				[]lint.ChainFrame{vf.frame(loopLine, "enclosing loop starts here")},
+				"string concatenation in a loop allocates per iteration")
+		}
+		return t, cost
+	}
+	return TInvalid, 1
+}
+
+func (vf *verifier) checkField(n *fieldExpr) (Type, int) {
+	id, ok := n.recv.(*identExpr)
+	if !ok {
+		if t, _ := vf.checkExpr(n.recv); t != TInvalid {
+			vf.report(PassTypecheck, n.line, "field access on non-record %s", t)
+		}
+		return TInvalid, 2
+	}
+	t, w := vf.resolveVar(id.name)
+	if w == varMissing {
+		vf.report(PassTypecheck, n.line, "undefined variable %q", id.name)
+		return TInvalid, 2
+	}
+	if t != TRecord {
+		vf.report(PassTypecheck, n.line, "field access on %s %q (not a record)", t, id.name)
+		return TInvalid, 2
+	}
+	schema := vf.env.Records[id.name]
+	ft, ok := schema[n.field]
+	if !ok {
+		vf.reportChain(PassTypecheck, n.line,
+			[]lint.ChainFrame{vf.frame(n.line, "schema fields: "+schemaFields(schema))},
+			"record %q has no field %q", id.name, n.field)
+		return TInvalid, 2
+	}
+	return ft, 2
+}
+
+func schemaFields(s RecordSchema) string {
+	names := make([]string, 0, len(s))
+	for f := range s {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func (vf *verifier) checkCall(n *callExpr) (Type, int) {
+	cost := 1
+	argTypes := make([]Type, len(n.args))
+	for i, a := range n.args {
+		t, c := vf.checkExpr(a)
+		argTypes[i] = t
+		cost = addCost(cost, c)
+	}
+	sig, ok := vf.sigs[n.name]
+	if !ok {
+		vf.report(PassTypecheck, n.line, "unknown function %q", n.name)
+		return TInvalid, cost
+	}
+	if sig.Cost > 0 {
+		cost = addCost(cost, sig.Cost)
+	}
+	if sig.Blocking {
+		vf.reportChain(PassNoBlock, n.line,
+			[]lint.ChainFrame{vf.frame(n.line, fmt.Sprintf("%s is classified blocking in the builtin table; analyzers run on the kernel event fast path", n.name))},
+			"call to blocking builtin %q", n.name)
+	}
+	if sig.Variadic {
+		if len(n.args) < len(sig.Params) {
+			vf.report(PassTypecheck, n.line, "%s wants at least %d arg(s), got %d", n.name, len(sig.Params), len(n.args))
+			return TInvalid, cost
+		}
+	} else if len(n.args) != len(sig.Params) {
+		vf.report(PassTypecheck, n.line, "%s wants %d arg(s), got %d", n.name, len(sig.Params), len(n.args))
+		return TInvalid, cost
+	}
+	bad := false
+	for i, at := range argTypes {
+		pk := sig.Params[min(i, len(sig.Params)-1)]
+		if at == TInvalid {
+			bad = true
+			continue
+		}
+		switch pk {
+		case PNum:
+			if at != TInt && at != TFloat {
+				vf.report(PassTypecheck, n.line, "%s arg %d is %s, want int or float", n.name, i+1, at)
+				bad = true
+			}
+		case PString:
+			if at != TString {
+				vf.report(PassTypecheck, n.line, "%s arg %d is %s, want string", n.name, i+1, at)
+				bad = true
+			}
+		}
+	}
+	if bad {
+		return TInvalid, cost
+	}
+	switch sig.Result {
+	case RInt:
+		return TInt, cost
+	case RFloat:
+		return TFloat, cost
+	case RBool:
+		return TBool, cost
+	case RString:
+		return TString, cost
+	case RArg0:
+		if len(argTypes) == 0 {
+			return TInvalid, cost
+		}
+		if sig.Variadic {
+			// The runtime returns whichever argument wins, so a mixed
+			// int/float argument list has no single static type.
+			for _, at := range argTypes[1:] {
+				if at != argTypes[0] {
+					vf.report(PassTypecheck, n.line, "%s arguments mix %s and %s; use one numeric type", n.name, argTypes[0], at)
+					return TInvalid, cost
+				}
+			}
+		}
+		return argTypes[0], cost
+	}
+	return TInvalid, cost
+}
+
+// binaryResultType mirrors evalBinary's dynamic rules statically.
+func (vf *verifier) binaryResultType(op string, l, r Type, line int) Type {
+	switch op {
+	case "&&", "||":
+		if l == TBool && r == TBool {
+			return TBool
+		}
+		vf.report(PassTypecheck, line, "%s on %s and %s", op, l, r)
+		return TInvalid
+	}
+	if l == TString || r == TString {
+		if l != r {
+			vf.report(PassTypecheck, line, "mixed %s/%s operands", l, r)
+			return TInvalid
+		}
+		switch op {
+		case "+":
+			return TString
+		case "==", "!=", "<", "<=", ">", ">=":
+			return TBool
+		}
+		vf.report(PassTypecheck, line, "op %q not defined on strings", op)
+		return TInvalid
+	}
+	if l == TBool || r == TBool {
+		if l != r {
+			vf.report(PassTypecheck, line, "mixed %s/%s operands", l, r)
+			return TInvalid
+		}
+		switch op {
+		case "==", "!=":
+			return TBool
+		}
+		vf.report(PassTypecheck, line, "op %q not defined on bools", op)
+		return TInvalid
+	}
+	if l == TRecord || r == TRecord {
+		vf.report(PassTypecheck, line, "op %q on a record", op)
+		return TInvalid
+	}
+	// Numeric.
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return TBool
+	case "%":
+		if l == TInt && r == TInt {
+			return TInt
+		}
+		vf.report(PassTypecheck, line, "op %% wants int operands, got %s and %s", l, r)
+		return TInvalid
+	case "+", "-", "*", "/":
+		if l == TInt && r == TInt {
+			return TInt
+		}
+		return TFloat
+	}
+	vf.report(PassTypecheck, line, "unknown op %q", op)
+	return TInvalid
+}

@@ -9,8 +9,12 @@ package gpa
 // cursors emitting globally ordered rows straight into the reply slice.
 
 import (
+	"bytes"
+	"compress/gzip"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -175,12 +179,61 @@ func siftDown(hs []*mergeHead, i int) {
 	}
 }
 
+// maxPageBytes bounds one decompressed shard page (256 MiB). A
+// malicious or corrupt shard must not be able to balloon the frontend's
+// memory with a tiny gzip bomb.
+const maxPageBytes = 1 << 28
+
+// gzipPage compresses one JSON page and frames it as base64 so the
+// binary stream survives the line-oriented query protocol.
+func gzipPage(payload string) (string, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(payload)); err != nil {
+		return "", fmt.Errorf("gpa: compress page: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return "", fmt.Errorf("gpa: compress page: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes()), nil
+}
+
+// gunzipPage reverses gzipPage, refusing pages that decompress past
+// maxPageBytes.
+func gunzipPage(payload string) ([]byte, error) {
+	raw, err := base64.StdEncoding.DecodeString(payload)
+	if err != nil {
+		return nil, fmt.Errorf("bad base64 framing: %w", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("bad gzip stream: %w", err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(io.LimitReader(zr, maxPageBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("bad gzip stream: %w", err)
+	}
+	if len(out) > maxPageBytes {
+		return nil, fmt.Errorf("page decompresses past %d bytes", maxPageBytes)
+	}
+	return out, nil
+}
+
 // decodeCorrelatedPage parses one shard's correlated-stream payload.
 // The columnar query returns a JSON object; the legacy row query
-// returns a JSON array — the first byte tells them apart, so the merge
-// has one code path regardless of which form the shard spoke.
+// returns a JSON array; the compressed query returns base64'd gzip of
+// the object form — the first byte tells them apart, so the merge has
+// one code path regardless of which form the shard spoke.
 func decodeCorrelatedPage(payload string) (*E2EColumns, error) {
 	trimmed := strings.TrimSpace(payload)
+	if trimmed != "" && !strings.HasPrefix(trimmed, "[") && !strings.HasPrefix(trimmed, "{") {
+		raw, err := gunzipPage(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("gpa: compressed page: %w", err)
+		}
+		trimmed = strings.TrimSpace(string(raw))
+	}
 	if strings.HasPrefix(trimmed, "[") {
 		var recs []SeqEndToEnd
 		if err := json.Unmarshal([]byte(trimmed), &recs); err != nil {
@@ -204,13 +257,19 @@ func decodeCorrelatedPage(payload string) (*E2EColumns, error) {
 // is the interaction's completion time (the later endpoint End), with
 // shard index and per-shard sequence as deterministic tie-breaks.
 //
-// The fan-out asks each shard for the columnar page form and streams
-// the pages through a k-way heap, materializing rows only as they are
-// emitted into the reply. A shard that rejects the columnar query —
-// an older binary — is alive, not dead: it is retried with the row
-// query, so mixed-version federations keep answering, and dead shards
-// degrade to a partial result exactly as before.
+// The fan-out asks each shard for the gzip'd columnar page (unless the
+// frontend's compression capability is off), then streams the pages
+// through a k-way heap, materializing rows only as they are emitted
+// into the reply. A shard that rejects a query form — an older binary,
+// or one with compression disabled — is alive, not dead: it is retried
+// down the chain (compressed page, plain page, row stream), so
+// mixed-version federations keep answering, and dead shards degrade to
+// a partial result exactly as before.
 func (f *Frontend) CorrelatedSeq() ([]SeqEndToEnd, FederationStatus, error) {
+	chain := []string{"jcorrelatedcolsz", "jcorrelatedcols", "jcorrelated"}
+	if !f.CompressedPages() {
+		chain = chain[1:]
+	}
 	endpoints := f.Endpoints()
 	replies := make([]shardReply, len(endpoints))
 	var wg sync.WaitGroup
@@ -218,9 +277,10 @@ func (f *Frontend) CorrelatedSeq() ([]SeqEndToEnd, FederationStatus, error) {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			payload, err := f.queryShard(addr, "jcorrelatedcols")
-			if err != nil && strings.Contains(err.Error(), "unknown query") {
-				payload, err = f.queryShard(addr, "jcorrelated")
+			payload, err := f.queryShard(addr, chain[0])
+			for next := 1; next < len(chain) && err != nil &&
+				strings.Contains(err.Error(), "unknown query"); next++ {
+				payload, err = f.queryShard(addr, chain[next])
 			}
 			replies[i] = shardReply{index: i, payload: payload, err: err}
 		}(i, addr)

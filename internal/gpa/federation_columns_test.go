@@ -125,3 +125,142 @@ func TestFederationColumnarFallbackOldShard(t *testing.T) {
 		t.Fatalf("fallback merge diverges from row merge:\n rows %s\n cols %s", w, g)
 	}
 }
+
+// TestCompressedPageRoundTrip pins the compressed query to the plain
+// columnar page byte for byte: jcorrelatedcolsz must be exactly
+// gzip(jcorrelatedcols payload) in base64 framing, with and without a
+// trailing count, and must actually shrink a non-trivial page.
+func TestCompressedPageRoundTrip(t *testing.T) {
+	h := newFedHarness(t, 1, Config{})
+	h.workload(16, 6)
+	g := h.shards[0]
+
+	for _, q := range []string{"", " 10"} {
+		plain, err := g.Execute("jcorrelatedcols" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := g.Execute("jcorrelatedcolsz" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := gunzipPage(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, []byte(plain)) {
+			t.Fatalf("compressed page %q decompresses to different bytes:\n want %d bytes\n got  %d bytes", q, len(plain), len(raw))
+		}
+	}
+	plain, _ := g.Execute("jcorrelatedcols")
+	z, _ := g.Execute("jcorrelatedcolsz")
+	if len(z) >= len(plain) {
+		t.Fatalf("compressed page is %d bytes, plain %d — no win", len(z), len(plain))
+	}
+
+	// The capability flag turns the query into an unknown command —
+	// exactly what the frontend's fallback chain keys on.
+	g.SetCompressedPages(false)
+	if _, err := g.Execute("jcorrelatedcolsz"); err == nil || !strings.Contains(err.Error(), "unknown query") {
+		t.Fatalf("capability off should reject as unknown query, got %v", err)
+	}
+	g.SetCompressedPages(true)
+	if _, err := g.Execute("jcorrelatedcolsz"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressedPageFallbackChain runs a mixed federation: shard 0
+// speaks the compressed query, shard 1 has the capability off (falls
+// back to the plain columnar page), shard 2 is an old binary that knows
+// neither page form (falls back to the row stream). The merge must be
+// complete, non-partial, and byte-identical to the row-path oracle.
+func TestCompressedPageFallbackChain(t *testing.T) {
+	h := newFedHarness(t, 3, Config{})
+	h.workload(12, 4)
+	h.shards[1].SetCompressedPages(false)
+
+	const oldShard = 2
+	fe, err := NewFrontend([]string{"0", "1", "2"}, WithDialFunc(func(addr string) (net.Conn, error) {
+		idx, err := strconv.Atoi(addr)
+		if err != nil || idx < 0 || idx >= len(h.shards) {
+			return nil, fmt.Errorf("bad endpoint %q", addr)
+		}
+		c1, c2 := net.Pipe()
+		go func() {
+			defer c2.Close()
+			if idx == oldShard {
+				serveLineProtocol(c2, func(line string) (string, error) {
+					verb := strings.Fields(strings.TrimSpace(line))[0]
+					if verb == "jcorrelatedcols" || verb == "jcorrelatedcolsz" {
+						return "", fmt.Errorf("gpa: unknown query %q", verb)
+					}
+					return h.shards[idx].Execute(line)
+				})
+				return
+			}
+			h.shards[idx].ServeConn(c2)
+		}()
+		return c1, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := fe.correlatedSeqRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := fe.CorrelatedSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partial {
+		t.Fatalf("fallback shards reported as dead: %+v", st)
+	}
+	if len(got) != 12*4 {
+		t.Fatalf("fallback merge returned %d rows, want %d", len(got), 12*4)
+	}
+	if w, g := mergedJSON(t, want), mergedJSON(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("fallback merge diverges from row merge:\n rows %s\n cols %s", w, g)
+	}
+}
+
+// TestCompressedPagesFrontendOff: with the frontend capability off, no
+// shard ever sees the compressed query.
+func TestCompressedPagesFrontendOff(t *testing.T) {
+	h := newFedHarness(t, 2, Config{})
+	h.workload(8, 3)
+
+	fe, err := NewFrontend([]string{"0", "1"}, WithDialFunc(func(addr string) (net.Conn, error) {
+		idx, err := strconv.Atoi(addr)
+		if err != nil || idx < 0 || idx >= len(h.shards) {
+			return nil, fmt.Errorf("bad endpoint %q", addr)
+		}
+		c1, c2 := net.Pipe()
+		go func() {
+			defer c2.Close()
+			serveLineProtocol(c2, func(line string) (string, error) {
+				if strings.Fields(strings.TrimSpace(line))[0] == "jcorrelatedcolsz" {
+					t.Error("frontend sent jcorrelatedcolsz with compression off")
+				}
+				return h.shards[idx].Execute(line)
+			})
+		}()
+		return c1, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.SetCompressedPages(false)
+	if fe.CompressedPages() {
+		t.Fatal("capability did not latch")
+	}
+	got, st, err := fe.CorrelatedSeq()
+	if err != nil || st.Partial {
+		t.Fatalf("merge: %v %+v", err, st)
+	}
+	if len(got) != 8*3 {
+		t.Fatalf("merge returned %d rows, want %d", len(got), 8*3)
+	}
+}

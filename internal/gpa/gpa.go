@@ -182,6 +182,11 @@ type GPA struct {
 	// boundsMu serializes clockBounds writers.
 	boundsMu sync.Mutex
 
+	// pageCompressOff disables the gzip'd columnar page query
+	// (jcorrelatedcolsz). Stored inverted so the zero value means the
+	// capability is on.
+	pageCompressOff atomic.Bool
+
 	// now supplies current time for load-window pruning (virtual time in
 	// simulations; wall-clock-derived in live deployments).
 	now func() time.Duration
@@ -293,6 +298,15 @@ func (g *GPA) SetClockErrorBound(node simnet.NodeID, bound time.Duration) {
 	}
 	g.clockBounds.Store(&next)
 }
+
+// SetCompressedPages toggles the capability to serve gzip-compressed
+// columnar history pages (the jcorrelatedcolsz query). On by default.
+// When off the query is rejected exactly like an unknown command, so
+// frontends fall back to the uncompressed page transparently.
+func (g *GPA) SetCompressedPages(on bool) { g.pageCompressOff.Store(!on) }
+
+// CompressedPages reports whether gzip'd columnar pages are served.
+func (g *GPA) CompressedPages() bool { return !g.pageCompressOff.Load() }
 
 // ClockErrorBound reports the bound registered for a node (0 = none).
 func (g *GPA) ClockErrorBound(node simnet.NodeID) time.Duration {

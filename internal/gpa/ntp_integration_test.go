@@ -91,3 +91,108 @@ func TestCorrelationNeedsSynchronizedClocks(t *testing.T) {
 		t.Fatalf("after NTP sync correlated %d interactions, want >= 4", n)
 	}
 }
+
+// TestMonitorBoundPropagatesToCorrelationWindow: the automatic NTP
+// monitor keeps the GPA's clock-error bound current. When the server's
+// clock degrades mid-run (an 80 ms step, far past the 10 ms correlation
+// window), the next scheduled re-measurement widens the bound and the
+// pair window with it, so post-degradation interactions still
+// correlate. With only the single operator-pushed bound from startup,
+// the same traffic stops correlating the moment the clock steps.
+func TestMonitorBoundPropagatesToCorrelationWindow(t *testing.T) {
+	run := func(remeasure bool) (correlated int) {
+		eng := sim.NewEngine()
+		network := simnet.NewNetwork(eng)
+		server, err := simos.NewNode(eng, network, "server", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := simos.NewNode(eng, network, "client", simos.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.Connect(server.ID(), client.ID()); err != nil {
+			t.Fatal(err)
+		}
+
+		// Healthy at first: the server is only 1 ms fast.
+		refClock := ntpclock.New(eng, 0, 0)
+		srvClock := ntpclock.New(eng, time.Millisecond, 0)
+		server.SetClock(srvClock.Now)
+		client.SetClock(refClock.Now)
+
+		g := New(Config{CorrelationWindow: 10 * time.Millisecond}, eng.Now)
+		syncer := ntpclock.NewSyncer(srvClock, refClock, sim.NewRNG(4),
+			200*time.Microsecond, 50*time.Microsecond)
+		if remeasure {
+			mon, err := ntpclock.NewMonitor(eng, syncer, 100*time.Millisecond, 8,
+				func(_, bound time.Duration) {
+					g.SetClockErrorBound(server.ID(), bound)
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mon.Start()
+		} else {
+			// Operator-pushed once at startup, never refreshed.
+			_, bound := syncer.Measure(8)
+			g.SetClockErrorBound(server.ID(), bound)
+		}
+
+		for _, n := range []*simos.Node{server, client} {
+			core.NewLPA(n.Hub(), core.Config{
+				OnComplete: func(r *core.Record) { g.Ingest(*r) },
+			})
+		}
+
+		// The clock steps 80 ms at t=600ms, mid-traffic.
+		eng.Schedule(600*time.Millisecond, func() {
+			srvClock.SetOffset(80 * time.Millisecond)
+		})
+
+		ssock := server.MustBind(80)
+		csock := client.MustBind(7000)
+		server.Spawn("httpd", func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(ssock, func(m *simos.Message) {
+					p.Compute(time.Millisecond, func() {
+						p.Reply(ssock, m, 1000, nil, loop)
+					})
+				})
+			}
+			loop()
+		})
+		client.Spawn("curl", func(p *simos.Process) {
+			var loop func(i int)
+			loop = func(i int) {
+				if i == 0 {
+					return
+				}
+				p.Send(csock, ssock.Addr(), 200, nil, func() {
+					p.Recv(csock, func(m *simos.Message) {
+						p.Sleep(100*time.Millisecond, func() { loop(i - 1) })
+					})
+				})
+			}
+			loop(12)
+		})
+		if err := eng.RunUntil(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return len(g.Correlated())
+	}
+
+	fresh := run(true)
+	stale := run(false)
+	if fresh < 10 {
+		t.Fatalf("with automatic re-measurement correlated %d interactions, want >= 10", fresh)
+	}
+	if stale >= fresh || stale > 8 {
+		t.Fatalf("stale bound correlated %d interactions (fresh %d); "+
+			"post-step traffic should stop correlating", stale, fresh)
+	}
+	if stale == 0 {
+		t.Fatalf("pre-step traffic should still correlate with a stale bound")
+	}
+}

@@ -122,6 +122,7 @@ func (g *GPA) RenderAccounting() string {
 //	jclasses                  per-node per-class aggregates, as JSON
 //	jcorrelated [n]           correlated interactions with sequence tags
 //	jcorrelatedcols [n]       the same stream as one columnar page
+//	jcorrelatedcolsz [n]      the columnar page gzip'd (base64-framed)
 //
 // Admin commands (federation retention / clock-quality knobs):
 //
@@ -244,33 +245,32 @@ func (g *GPA) Execute(line string) (string, error) {
 	case "jclasses":
 		return jsonReply(g.ClassAggregatesAll())
 	case "jcorrelated":
-		recs := g.CorrelatedSeq()
-		if len(fields) == 2 {
-			n, err := parseCount(fields[1])
-			if err != nil {
-				return "", err
-			}
-			if len(recs) > n {
-				recs = recs[len(recs)-n:]
-			}
-		} else if len(fields) > 2 {
-			return "", errors.New("gpa: usage: jcorrelated [n]")
+		recs, err := g.correlatedTail(fields)
+		if err != nil {
+			return "", err
 		}
 		return jsonReply(recs)
 	case "jcorrelatedcols":
-		recs := g.CorrelatedSeq()
-		if len(fields) == 2 {
-			n, err := parseCount(fields[1])
-			if err != nil {
-				return "", err
-			}
-			if len(recs) > n {
-				recs = recs[len(recs)-n:]
-			}
-		} else if len(fields) > 2 {
-			return "", errors.New("gpa: usage: jcorrelatedcols [n]")
+		recs, err := g.correlatedTail(fields)
+		if err != nil {
+			return "", err
 		}
 		return jsonReply(e2eColumnsOf(recs))
+	case "jcorrelatedcolsz":
+		if !g.CompressedPages() {
+			// Capability off: answer exactly like a binary that never
+			// learned the query, so frontends fall back transparently.
+			return "", fmt.Errorf("gpa: unknown query %q", fields[0])
+		}
+		recs, err := g.correlatedTail(fields)
+		if err != nil {
+			return "", err
+		}
+		page, err := jsonReply(e2eColumnsOf(recs))
+		if err != nil {
+			return "", err
+		}
+		return gzipPage(page)
 	case "retention":
 		if len(fields) != 2 {
 			return "", errors.New("gpa: usage: retention <max-correlated>")
@@ -299,6 +299,24 @@ func (g *GPA) Execute(line string) (string, error) {
 		return fmt.Sprintf("node=%d clockbound=%v", id, d), nil
 	}
 	return "", fmt.Errorf("gpa: unknown query %q", fields[0])
+}
+
+// correlatedTail returns the correlated stream, trimmed to the optional
+// trailing-count argument shared by the jcorrelated* query family.
+func (g *GPA) correlatedTail(fields []string) ([]SeqEndToEnd, error) {
+	recs := g.CorrelatedSeq()
+	if len(fields) == 2 {
+		n, err := parseCount(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+	} else if len(fields) > 2 {
+		return nil, fmt.Errorf("gpa: usage: %s [n]", fields[0])
+	}
+	return recs, nil
 }
 
 // StatsReply is the jstats payload: analyzer counters plus the live

@@ -23,10 +23,16 @@ import (
 //   - calls through interfaces defined outside the module (io.Writer,
 //     net.Conn) are left to the leaf classifiers: the interface method's
 //     own package ("net") already identifies blocking surfaces;
-//   - calls through function-typed variables and fields are recorded as
-//     unresolved edges (Callee == nil, EdgeUnresolved) so analyzers can
-//     see that a call happened even when its target is unknowable
-//     without dataflow.
+//   - calls through function-typed variables resolve to their single
+//     target (EdgeFuncValue) when the variable is provably
+//     single-assignment: a package-level var or a local, initialized
+//     exactly once from a func literal or a reference to a declared
+//     function, and never reassigned or address-taken anywhere in the
+//     module (`f := handler; f()` follows into handler);
+//   - all other calls through function-typed variables and fields are
+//     recorded as unresolved edges (Callee == nil, EdgeUnresolved) so
+//     analyzers can see that a call happened even when its target is
+//     unknowable without dataflow.
 //
 // Closure bodies are excluded from a function's edges, matching the
 // analyzers' shallow inspection: a closure runs later, elsewhere, and is
@@ -46,6 +52,10 @@ const (
 	// EdgeUnresolved is a call through a function value whose target
 	// the graph cannot determine.
 	EdgeUnresolved
+	// EdgeFuncValue is a call through a single-assignment function-typed
+	// variable, resolved to the one function (or func literal) ever
+	// stored in it.
+	EdgeFuncValue
 )
 
 // CallEdge is one call site inside a function.
@@ -58,12 +68,21 @@ type CallEdge struct {
 	Kind EdgeKind
 }
 
-// FuncNode is one declared function or method in the module.
+// FuncNode is one declared function or method in the module — or a
+// func literal reached through a single-assignment function value, in
+// which case Obj and Decl are nil and Lit holds the literal.
 type FuncNode struct {
-	// Obj is the function's type-checker object.
+	// Obj is the function's type-checker object (nil for func literals).
 	Obj *types.Func
-	// Decl is its declaration (Body may be nil for assembly stubs).
+	// Decl is its declaration (Body may be nil for assembly stubs; Decl
+	// is nil for func literals).
 	Decl *ast.FuncDecl
+	// Lit is the func literal for synthetic nodes (nil for declared
+	// functions).
+	Lit *ast.FuncLit
+	// litName names a synthetic literal node for diagnostics, e.g.
+	// "func literal bound to handler".
+	litName string
 	// Info is the type info of the declaring package.
 	Info *types.Info
 	// PkgPath is the declaring package's import path.
@@ -73,9 +92,24 @@ type FuncNode struct {
 	Edges []CallEdge
 }
 
+// Body returns the function's body: the declaration's for declared
+// functions, the literal's for synthetic func-literal nodes.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
 // DisplayName renders the function for diagnostics: "Scale" inside its
 // own package, "util.Scale" or "pubsub.Broker.Publish" from elsewhere.
 func (n *FuncNode) DisplayName(fromPkg string) string {
+	if n.Obj == nil {
+		return n.litName
+	}
 	name := n.Obj.Name()
 	if sig, ok := n.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
 		if tn := namedRecvName(sig.Recv().Type()); tn != "" {
@@ -104,6 +138,9 @@ type CallGraph struct {
 	nodes map[*types.Func]*FuncNode
 	// byPkg lists each package's declared functions in source order.
 	byPkg map[string][]*FuncNode
+	// fvTargets maps provably single-assignment function-typed variables
+	// to the one node ever stored in them (EdgeFuncValue resolution).
+	fvTargets map[*types.Var]*FuncNode
 }
 
 // Node resolves a type-checker function object to its graph node (nil
@@ -161,23 +198,136 @@ func buildCallGraph(pkgs []*loadedPackage) *CallGraph {
 	// Concrete named types per package, for interface-call resolution.
 	cha := newChaIndex(pkgs)
 
+	// Pass 1.5: single-assignment function values, so pass 2 can follow
+	// `f := handler; f()` into handler. Literal targets become synthetic
+	// nodes and get edges of their own below.
+	litNodes := g.buildFuncValueIndex(pkgs)
+
 	// Pass 2: edges.
+	addBodyEdges := func(node *FuncNode) {
+		body := node.Body()
+		if body == nil {
+			return
+		}
+		inspectShallow(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			g.addEdges(node, call, cha)
+			return true
+		})
+	}
 	for _, lp := range pkgs {
 		for _, node := range g.byPkg[lp.path] {
-			if node.Decl.Body == nil {
-				continue
+			addBodyEdges(node)
+		}
+	}
+	for _, node := range litNodes {
+		addBodyEdges(node)
+	}
+	return g
+}
+
+// buildFuncValueIndex finds function-typed variables that are assigned
+// exactly once — at their declaration, from a func literal or a
+// reference to a declared function — and never reassigned or
+// address-taken anywhere in the loaded module. Those calls resolve to a
+// single target, so the analyzers can follow them instead of giving up
+// with EdgeUnresolved. Returns the synthetic nodes created for func
+// literals (they need call edges of their own).
+func (g *CallGraph) buildFuncValueIndex(pkgs []*loadedPackage) []*FuncNode {
+	g.fvTargets = make(map[*types.Var]*FuncNode)
+	var lits []*FuncNode
+
+	record := func(lp *loadedPackage, name *ast.Ident, rhs ast.Expr) {
+		v, ok := lp.info.Defs[name].(*types.Var)
+		if !ok {
+			return
+		}
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.Ident:
+			if f, ok := lp.info.Uses[e].(*types.Func); ok && g.nodes[f] != nil {
+				g.fvTargets[v] = g.nodes[f]
 			}
-			inspectShallow(node.Decl.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
+		case *ast.SelectorExpr:
+			if f, ok := lp.info.Uses[e.Sel].(*types.Func); ok && g.nodes[f] != nil {
+				g.fvTargets[v] = g.nodes[f]
+			}
+		case *ast.FuncLit:
+			node := &FuncNode{
+				Lit:     e,
+				litName: "func literal bound to " + name.Name,
+				Info:    lp.info,
+				PkgPath: lp.path,
+			}
+			g.fvTargets[v] = node
+			lits = append(lits, node)
+		}
+	}
+
+	// Collect candidates: package-level var specs and := defines.
+	for _, lp := range pkgs {
+		if lp.pkg == nil {
+			continue
+		}
+		for _, file := range lp.files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.ValueSpec:
+					if len(node.Names) == len(node.Values) {
+						for i, name := range node.Names {
+							record(lp, name, node.Values[i])
+						}
+					}
+				case *ast.AssignStmt:
+					if node.Tok == token.DEFINE && len(node.Lhs) == len(node.Rhs) {
+						for i := range node.Lhs {
+							if id, ok := node.Lhs[i].(*ast.Ident); ok {
+								record(lp, id, node.Rhs[i])
+							}
+						}
+					}
 				}
-				g.addEdges(node, call, cha)
 				return true
 			})
 		}
 	}
-	return g
+	if len(g.fvTargets) == 0 {
+		return nil
+	}
+
+	// Disqualify: any write through a use reference (the declaration
+	// writes through Defs, so this catches exactly the *re*assignments)
+	// or any address-take, anywhere in the module.
+	drop := func(lp *loadedPackage, e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := lp.info.Uses[id].(*types.Var); ok {
+				delete(g.fvTargets, v)
+			}
+		}
+	}
+	for _, lp := range pkgs {
+		if lp.pkg == nil {
+			continue
+		}
+		for _, file := range lp.files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range node.Lhs {
+						drop(lp, lhs)
+					}
+				case *ast.UnaryExpr:
+					if node.Op == token.AND {
+						drop(lp, node.X)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return lits
 }
 
 // addEdges resolves one call site into edges on the caller node.
@@ -187,6 +337,10 @@ func (g *CallGraph) addEdges(caller *FuncNode, call *ast.CallExpr, cha *chaIndex
 		// Conversion expressions (T(x)) also land here; only record a
 		// genuinely unresolved *call* when the operand is function-typed.
 		if isFuncValueCall(caller.Info, call) {
+			if tgt := g.funcValueTarget(caller.Info, call); tgt != nil {
+				caller.Edges = append(caller.Edges, CallEdge{Callee: tgt, Call: call, Kind: EdgeFuncValue})
+				return
+			}
 			caller.Edges = append(caller.Edges, CallEdge{Call: call, Kind: EdgeUnresolved})
 		}
 		return
@@ -207,6 +361,30 @@ func (g *CallGraph) addEdges(caller *FuncNode, call *ast.CallExpr, cha *chaIndex
 			}
 		}
 	}
+}
+
+// funcValueTarget resolves a call through a function-typed variable to
+// its unique target when the variable is in the single-assignment
+// index. Both bare locals (`f()`) and package-qualified vars
+// (`hooks.Handler()`) resolve; struct fields never do — any instance
+// could hold a different function.
+func (g *CallGraph) funcValueTarget(info *types.Info, call *ast.CallExpr) *FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[fun].(*types.Var); ok {
+			return g.fvTargets[v]
+		}
+	case *ast.SelectorExpr:
+		// A selection (x.f) is a field access; only a package-qualified
+		// var (pkg.F, no Selections entry) is a plain variable.
+		if _, isSel := info.Selections[fun]; isSel {
+			return nil
+		}
+		if v, ok := info.Uses[fun.Sel].(*types.Var); ok {
+			return g.fvTargets[v]
+		}
+	}
+	return nil
 }
 
 // isFuncValueCall reports whether the call invokes a function-typed
@@ -319,8 +497,11 @@ func (idx *chaIndex) implementations(iface *types.Interface, method string) []*t
 // caller's package perspective.
 func chainFrameAt(fset *token.FileSet, caller *FuncNode, edge CallEdge) ChainFrame {
 	desc := caller.DisplayName(caller.PkgPath) + " calls " + edge.Callee.DisplayName(caller.PkgPath)
-	if edge.Kind == EdgeInterface {
+	switch edge.Kind {
+	case EdgeInterface:
 		desc += " (interface dispatch)"
+	case EdgeFuncValue:
+		desc += " (through a function value)"
 	}
 	return ChainFrame{Pos: fset.Position(edge.Call.Pos()), Msg: desc}
 }

@@ -222,6 +222,89 @@ func TestChainMutations(t *testing.T) {
 	})
 }
 
+// TestFuncValueChain: annotated functions that reach the blocking leaf
+// only through function values — a package-level var, a local var, and
+// a func literal, each assigned exactly once — are all reported with
+// "(through a function value)" in the message, while the reassigned
+// variable (NotifyFlaky) stays unresolved and produces no finding.
+func TestFuncValueChain(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "chain"), []string{"./hooks"}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("want exactly three diagnostics, got:\n%s", renderDiags(diags))
+	}
+	wants := []string{
+		"Notify is //sysprof:nonblocking but calls wire.Send (through a function value), which calls net.Write",
+		"NotifyLocal is //sysprof:nonblocking but calls wire.Send (through a function value), which calls net.Write",
+		"NotifyLit is //sysprof:nonblocking but calls func literal bound to f (through a function value), which calls wire.Send, which calls net.Write",
+	}
+	for _, want := range wants {
+		if !hasFinding(diags, "nonblock", want) {
+			t.Errorf("missing finding %q, got:\n%s", want, renderDiags(diags))
+		}
+	}
+	if hasFinding(diags, "nonblock", "NotifyFlaky") {
+		t.Errorf("reassigned function value must stay unresolved, got:\n%s", renderDiags(diags))
+	}
+	for _, d := range diags {
+		if len(d.Chain) < 2 {
+			t.Errorf("func-value finding should carry a chain, got:\n%s", d.Detail())
+			continue
+		}
+		if got := filepath.Base(d.Chain[0].Pos.Filename); got != "hooks.go" {
+			t.Errorf("chain starts in %s, want hooks.go", got)
+		}
+		if got := filepath.Base(d.Chain[len(d.Chain)-1].Pos.Filename); got != "wire.go" {
+			t.Errorf("chain ends in %s, want wire.go", got)
+		}
+		if !strings.Contains(d.Detail(), "(through a function value)") {
+			t.Errorf("Detail() missing the func-value marker:\n%s", d.Detail())
+		}
+	}
+}
+
+// TestFuncValueMutations: the single-assignment condition has teeth. A
+// second assignment — or taking the variable's address, which lets
+// anyone rebind it — degrades the edge to unresolved and the finding
+// disappears, while the untouched siblings keep theirs.
+func TestFuncValueMutations(t *testing.T) {
+	t.Run("reassignment-disqualifies", func(t *testing.T) {
+		root := copyTree(t, filepath.Join("testdata", "chain"))
+		mutate(t, root, filepath.Join("hooks", "hooks.go"),
+			"func Notify(rec []byte) {\n\tsend(rec)\n",
+			"func Notify(rec []byte) {\n\tsend = wire.Send\n\tsend(rec)\n")
+		diags, err := Run(root, []string{"./hooks"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasFinding(diags, "nonblock", "Notify is //sysprof:nonblocking") {
+			t.Fatalf("reassigned send should drop the Notify finding, got:\n%s", renderDiags(diags))
+		}
+		if !hasFinding(diags, "nonblock", "NotifyLocal is") || !hasFinding(diags, "nonblock", "NotifyLit is") {
+			t.Fatalf("sibling findings should survive the mutation, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("address-taken-disqualifies", func(t *testing.T) {
+		root := copyTree(t, filepath.Join("testdata", "chain"))
+		mutate(t, root, filepath.Join("hooks", "hooks.go"),
+			"\tf := wire.Send\n\tf(rec)\n",
+			"\tf := wire.Send\n\t_ = &f\n\tf(rec)\n")
+		diags, err := Run(root, []string{"./hooks"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasFinding(diags, "nonblock", "NotifyLocal is") {
+			t.Fatalf("address-taken f should drop the NotifyLocal finding, got:\n%s", renderDiags(diags))
+		}
+		if !hasFinding(diags, "nonblock", "Notify is //sysprof:nonblocking") || !hasFinding(diags, "nonblock", "NotifyLit is") {
+			t.Fatalf("sibling findings should survive the mutation, got:\n%s", renderDiags(diags))
+		}
+	})
+}
+
 // TestUnknownPattern: patterns escaping the module are run errors, not
 // findings.
 func TestUnknownPattern(t *testing.T) {

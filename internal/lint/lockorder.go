@@ -161,14 +161,15 @@ func (st *lockOrderState) summarize(node *FuncNode) *funcLocks {
 	}
 	fl := &funcLocks{}
 	st.summary[node] = fl
-	if node.Decl.Body == nil {
+	body := node.Body()
+	if body == nil {
 		return fl
 	}
 
 	// Direct acquisitions, plain unlock positions, and deferred unlocks.
 	deferred := make(map[string]bool)
 	var unlocks []lockAcq
-	inspectShallow(node.Decl.Body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) bool {
 		switch stmt := n.(type) {
 		case *ast.DeferStmt:
 			if expr, op := mutexOpExpr(node.Info, stmt.Call); op == "Unlock" || op == "RUnlock" {
@@ -199,7 +200,7 @@ func (st *lockOrderState) summarize(node *FuncNode) *funcLocks {
 		return fl
 	}
 
-	end := node.Decl.Body.End()
+	end := body.End()
 	regionEnd := func(a lockAcq) token.Pos {
 		if deferred[a.id] {
 			return end

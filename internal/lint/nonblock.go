@@ -85,8 +85,8 @@ func (st *nbState) directSites(node *FuncNode) []blockSite {
 		return sites
 	}
 	var kept []blockSite
-	if node.Decl.Body != nil {
-		for _, s := range blockingSites(node.Info, node.Decl.Body) {
+	if body := node.Body(); body != nil {
+		for _, s := range blockingSites(node.Info, body) {
 			if !st.suppressed("nonblock", st.fset.Position(s.pos)) {
 				kept = append(kept, s)
 			}
@@ -135,8 +135,11 @@ func (st *nbState) verdict(node *FuncNode) *nbVerdict {
 			}
 			calleeName := edge.Callee.DisplayName(node.PkgPath)
 			how := ""
-			if edge.Kind == EdgeInterface {
+			switch edge.Kind {
+			case EdgeInterface:
 				how = " (interface dispatch)"
+			case EdgeFuncValue:
+				how = " (through a function value)"
 			}
 			v.blocks = true
 			v.why = fmt.Sprintf("calls %s%s, which %s", calleeName, how, cv.why)

@@ -1,0 +1,44 @@
+// Package hooks exercises function-value call following: annotated
+// entry points that reach the blocking leaf in package wire only
+// through function values. Three shapes resolve (package-level var,
+// local var, func literal); the reassigned variable at the bottom is
+// the negative control — two assignments means no stable target, so
+// the edge stays unresolved and no finding fires.
+package hooks
+
+import "chainmod/wire"
+
+// send is assigned exactly once, from a module function reference.
+var send = wire.Send
+
+//sysprof:nonblocking
+func Notify(rec []byte) {
+	send(rec)
+}
+
+//sysprof:nonblocking
+func NotifyLocal(rec []byte) {
+	f := wire.Send
+	f(rec)
+}
+
+//sysprof:nonblocking
+func NotifyLit(rec []byte) {
+	f := func(b []byte) {
+		wire.Send(b)
+	}
+	f(rec)
+}
+
+// flaky is rebound at runtime; its call sites cannot be resolved.
+var flaky = wire.Send
+
+func noop([]byte) {}
+
+// Rebind is the second assignment that disqualifies flaky.
+func Rebind() { flaky = noop }
+
+//sysprof:nonblocking
+func NotifyFlaky(rec []byte) {
+	flaky(rec)
+}

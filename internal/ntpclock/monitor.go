@@ -1,0 +1,129 @@
+package ntpclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sysprof/internal/sim"
+)
+
+// Monitor re-measures a node's clock-error bound on a fixed cadence
+// instead of relying on operator-pushed bounds only. Every tick runs a
+// Measure round (no clock correction is applied — this is the
+// cannot-step-the-clock deployment) and reports the fresh offset
+// estimate and error bound through the callback, which typically feeds
+// gpa.SetClockErrorBound so cross-node correlation windows track the
+// clock as it degrades.
+//
+// The cadence is reconfigurable at runtime (the controller's
+// "ntpinterval" command); a change takes effect when the pending tick
+// fires, so the engine's event queue is only ever touched from the
+// engine goroutine. RemeasureNow serves the impatient path: it measures
+// inline without disturbing the schedule.
+type Monitor struct {
+	mu       sync.Mutex
+	eng      *sim.Engine
+	syncer   *Syncer
+	rounds   int
+	interval time.Duration
+	onBound  func(offset, bound time.Duration)
+	tick     *sim.Event
+	started  bool
+	stopped  bool
+	measures int
+}
+
+// NewMonitor builds a monitor over the syncer's client clock. interval
+// must be positive; rounds < 1 is clamped to 1. onBound (may be nil)
+// receives every measurement, automatic or forced.
+func NewMonitor(eng *sim.Engine, s *Syncer, interval time.Duration, rounds int, onBound func(offset, bound time.Duration)) (*Monitor, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("ntpclock: monitor interval %v (want > 0)", interval)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	return &Monitor{eng: eng, syncer: s, rounds: rounds, interval: interval, onBound: onBound}, nil
+}
+
+// Start arms the first measurement one interval from now. Calling Start
+// again (or after Stop) is a no-op.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started || m.stopped {
+		return
+	}
+	m.started = true
+	m.tick = m.eng.After(m.interval, m.fire)
+}
+
+// fire runs on the engine goroutine: measure, report, re-arm.
+func (m *Monitor) fire() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	offset, bound := m.syncer.Measure(m.rounds)
+	m.measures++
+	cb, iv := m.onBound, m.interval
+	m.tick = m.eng.After(iv, m.fire)
+	m.mu.Unlock()
+	if cb != nil {
+		cb(offset, bound)
+	}
+}
+
+// Stop cancels the pending measurement; the monitor cannot be restarted.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+	if m.tick != nil {
+		m.tick.Cancel()
+	}
+}
+
+// Interval reports the current re-measurement cadence.
+func (m *Monitor) Interval() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.interval
+}
+
+// SetInterval changes the cadence. The new interval applies from the
+// next tick onward — the already-armed measurement still fires at its
+// scheduled time, keeping event-queue mutation on the engine goroutine.
+func (m *Monitor) SetInterval(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("ntpclock: monitor interval %v (want > 0)", d)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.interval = d
+	return nil
+}
+
+// RemeasureNow performs one measurement immediately, reports it through
+// the callback, and returns it. The pending automatic tick is not
+// disturbed.
+func (m *Monitor) RemeasureNow() (offset, bound time.Duration) {
+	m.mu.Lock()
+	offset, bound = m.syncer.Measure(m.rounds)
+	m.measures++
+	cb := m.onBound
+	m.mu.Unlock()
+	if cb != nil {
+		cb(offset, bound)
+	}
+	return offset, bound
+}
+
+// Measures reports how many measurements have run (automatic + forced).
+func (m *Monitor) Measures() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.measures
+}

@@ -112,6 +112,106 @@ func TestSyncExactProperty(t *testing.T) {
 	}
 }
 
+func TestMonitorMeasuresOnCadence(t *testing.T) {
+	eng := sim.NewEngine()
+	ref := New(eng, 0, 0)
+	client := New(eng, 3*time.Millisecond, 0)
+	sync := NewSyncer(client, ref, sim.NewRNG(2), 100*time.Microsecond, 0)
+
+	var bounds []time.Duration
+	m, err := NewMonitor(eng, sync, time.Second, 4, func(_, bound time.Duration) {
+		bounds = append(bounds, bound)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	if err := eng.RunUntil(10500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if m.Measures() != 10 || len(bounds) != 10 {
+		t.Fatalf("measures = %d, callbacks = %d, want 10 each", m.Measures(), len(bounds))
+	}
+	// Measure does not correct the clock, so every bound covers the 3ms
+	// offset plus the round trip.
+	for i, b := range bounds {
+		if b < 3*time.Millisecond || b > 4*time.Millisecond {
+			t.Fatalf("bound[%d] = %v, want ~3.2ms", i, b)
+		}
+	}
+	m.Stop()
+	eng.RunUntil(20 * time.Second)
+	if m.Measures() != 10 {
+		t.Fatalf("measured after Stop: %d", m.Measures())
+	}
+}
+
+func TestMonitorSetIntervalAppliesNextTick(t *testing.T) {
+	eng := sim.NewEngine()
+	ref := New(eng, 0, 0)
+	client := New(eng, time.Millisecond, 0)
+	sync := NewSyncer(client, ref, sim.NewRNG(5), 100*time.Microsecond, 0)
+	m, err := NewMonitor(eng, sync, 10*time.Second, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	if err := m.SetInterval(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Interval() != time.Second {
+		t.Fatalf("Interval = %v", m.Interval())
+	}
+	// The armed tick still fires at 10s; from there the 1s cadence holds.
+	eng.RunUntil(9 * time.Second)
+	if m.Measures() != 0 {
+		t.Fatalf("measured before the armed tick: %d", m.Measures())
+	}
+	eng.RunUntil(15500 * time.Millisecond)
+	if got := m.Measures(); got != 6 {
+		t.Fatalf("measures = %d, want 6 (at 10s then 1s cadence)", got)
+	}
+
+	if err := m.SetInterval(0); err == nil {
+		t.Fatal("SetInterval(0) should be rejected")
+	}
+	if _, err := NewMonitor(eng, sync, 0, 1, nil); err == nil {
+		t.Fatal("NewMonitor with zero interval should be rejected")
+	}
+}
+
+func TestMonitorTracksDegradingClock(t *testing.T) {
+	eng := sim.NewEngine()
+	ref := New(eng, 0, 0)
+	client := New(eng, time.Millisecond, 0)
+	sync := NewSyncer(client, ref, sim.NewRNG(7), 100*time.Microsecond, 0)
+
+	var last time.Duration
+	m, err := NewMonitor(eng, sync, time.Second, 2, func(_, bound time.Duration) { last = bound })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	eng.RunUntil(1500 * time.Millisecond)
+	if last > 2*time.Millisecond {
+		t.Fatalf("healthy bound = %v, want < 2ms", last)
+	}
+	// The clock degrades mid-run; the next automatic measurement must
+	// widen the reported bound to cover it.
+	client.SetOffset(40 * time.Millisecond)
+	eng.RunUntil(2500 * time.Millisecond)
+	if last < 40*time.Millisecond {
+		t.Fatalf("bound after degradation = %v, want >= 40ms", last)
+	}
+
+	// RemeasureNow reports inline without waiting for the tick.
+	client.SetOffset(80 * time.Millisecond)
+	_, bound := m.RemeasureNow()
+	if bound < 80*time.Millisecond || last != bound {
+		t.Fatalf("RemeasureNow bound = %v (callback saw %v), want >= 80ms", bound, last)
+	}
+}
+
 func abs(d time.Duration) time.Duration {
 	if d < 0 {
 		return -d
