@@ -164,6 +164,11 @@ type Stats struct {
 	BatchesPublished uint64
 	RecordsPublished uint64
 	PublishErrors    uint64
+	// RecordsDropped counts records lost to failed publishes — each
+	// errored batch contributes its full record count, so scenario-level
+	// loss accounting can attribute every record that left an LPA buffer
+	// but never reached a subscriber.
+	RecordsDropped uint64
 }
 
 // Config configures a daemon.
@@ -255,6 +260,7 @@ func (d *Daemon) publishColumns(batch *core.RecordColumns) {
 	}
 	if err := d.broker.PublishColumns(ChannelInteractions, batch); err != nil {
 		d.stats.PublishErrors++
+		d.stats.RecordsDropped += uint64(n)
 		return
 	}
 	d.stats.BatchesPublished++
@@ -353,6 +359,7 @@ func (d *Daemon) FlushNow() {
 	}
 	if err := d.broker.PublishBatch(ChannelAggregates, wires); err != nil {
 		d.stats.PublishErrors++
+		d.stats.RecordsDropped += uint64(len(wires))
 		return
 	}
 	d.stats.BatchesPublished++

@@ -1,0 +1,29 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestExampleMatchesBuiltin pins the worked example at
+// examples/chaos-1k/scenario.toml to the chaos-1k builtin: both must
+// normalize to the same spec, so the docs never drift from the code.
+func TestExampleMatchesBuiltin(t *testing.T) {
+	src, err := os.ReadFile("../../examples/chaos-1k/scenario.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := ParseSpec(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := Builtins()["chaos-1k"]
+	if err := builtin.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, builtin) {
+		t.Fatalf("examples/chaos-1k/scenario.toml drifted from the builtin:\nfile:    %+v\nbuiltin: %+v",
+			fromFile, builtin)
+	}
+}

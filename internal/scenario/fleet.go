@@ -1,0 +1,347 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/dissem"
+	"sysprof/internal/simnet"
+	"sysprof/internal/simos"
+)
+
+// serverPort is the well-known port scenario servers listen on.
+const serverPort = 80
+
+// clientPortBase is the first port client request slots bind.
+const clientPortBase = 20000
+
+// fleetNode is one provisioned node: the simulated machine, its template,
+// and its monitoring attachments.
+type fleetNode struct {
+	os      *simos.Node
+	tpl     *Template
+	index   int
+	startAt time.Duration
+	crashed bool
+
+	lpa    *core.LPA
+	daemon *dissem.Daemon
+
+	// Server state.
+	listen *simos.Socket
+
+	// Client state.
+	peers []simnet.NodeID
+	slots []*clientSlot
+	wl    workloadCounters
+}
+
+// clientSlot is one outstanding-request lane of a client.
+type clientSlot struct {
+	proc *simos.Process
+	sock *simos.Socket
+	busy bool
+}
+
+// workloadCounters accumulates one client's request accounting. The
+// identity every run must close: dispatched = completed + timedOut +
+// inFlight (taken at snapshot time), with busyDropped counting arrivals
+// shed because every slot was occupied.
+type workloadCounters struct {
+	arrivals    uint64
+	dispatched  uint64
+	busyDropped uint64
+	completed   uint64
+	timedOut    uint64
+	stale       uint64
+}
+
+// buildFleet samples templates, creates nodes and links, and computes
+// startup times. Deterministic given the RNG fork.
+func (r *runner) buildFleet() error {
+	spec := r.spec
+	rng := r.rng.Fork("fleet")
+
+	total := 0
+	for i := range spec.Templates {
+		total += spec.Templates[i].Weight
+	}
+	pick := func() *Template {
+		n := rng.Intn(total)
+		for i := range spec.Templates {
+			n -= spec.Templates[i].Weight
+			if n < 0 {
+				return &spec.Templates[i]
+			}
+		}
+		return &spec.Templates[len(spec.Templates)-1]
+	}
+	// First client and first server templates, for the deterministic
+	// fix-up that guarantees both roles exist in small fleets.
+	var firstClient, firstServer *Template
+	for i := range spec.Templates {
+		t := &spec.Templates[i]
+		if t.Role == "client" && firstClient == nil {
+			firstClient = t
+		}
+		if t.Role == "server" && firstServer == nil {
+			firstServer = t
+		}
+	}
+
+	r.nodes = make([]*fleetNode, spec.Fleet.Nodes)
+	var servers []*fleetNode
+	for i := range r.nodes {
+		tpl := pick()
+		switch {
+		case i == 0 && tpl.Role != "server":
+			tpl = firstServer
+		case i == 1 && tpl.Role != "client":
+			tpl = firstClient
+		}
+		osn, err := simos.NewNode(r.eng, r.net, fmt.Sprintf("%s-%d", tpl.Name, i),
+			simos.Config{NumCPUs: tpl.CPUs})
+		if err != nil {
+			return err
+		}
+		fn := &fleetNode{os: osn, tpl: tpl, index: i, startAt: r.startTime(i)}
+		r.nodes[i] = fn
+		if tpl.Role == "server" {
+			servers = append(servers, fn)
+		}
+	}
+	r.servers = len(servers)
+	r.clients = spec.Fleet.Nodes - r.servers
+
+	// Topology: each client connects to PeersPerClient distinct servers.
+	// The link takes the slower endpoint's template config, so a slow
+	// server's links are slow for every client behind them.
+	for _, fn := range r.nodes {
+		if fn.tpl.Role != "client" {
+			continue
+		}
+		k := spec.Fleet.PeersPerClient
+		if k > len(servers) {
+			k = len(servers)
+		}
+		perm := rng.Perm(len(servers))
+		for _, si := range perm[:k] {
+			srv := servers[si]
+			cfg := linkConfigFor(fn.tpl, srv.tpl)
+			pair := pairKey(fn.os.ID(), srv.os.ID())
+			if _, dup := r.linkCfg[pair]; !dup {
+				if err := r.net.ConnectWith(fn.os.ID(), srv.os.ID(), cfg); err != nil {
+					return err
+				}
+				r.linkCfg[pair] = cfg
+			}
+			fn.peers = append(fn.peers, srv.os.ID())
+		}
+	}
+	return nil
+}
+
+// linkConfigFor merges two templates' link knobs: the slower bandwidth,
+// the longer propagation, and the tighter queue cap win.
+func linkConfigFor(a, b *Template) simnet.LinkConfig {
+	cfg := simnet.LinkConfig{
+		Bandwidth:   a.Bandwidth,
+		Propagation: a.Propagation,
+		QueueLimit:  a.QueueLimit,
+	}
+	if b.Bandwidth < cfg.Bandwidth {
+		cfg.Bandwidth = b.Bandwidth
+	}
+	if b.Propagation > cfg.Propagation {
+		cfg.Propagation = b.Propagation
+	}
+	if cfg.QueueLimit == 0 || (b.QueueLimit > 0 && b.QueueLimit < cfg.QueueLimit) {
+		cfg.QueueLimit = b.QueueLimit
+	}
+	return cfg
+}
+
+// pairKey canonicalizes an undirected node pair.
+func pairKey(a, b simnet.NodeID) [2]simnet.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]simnet.NodeID{a, b}
+}
+
+// startTime maps node index i to its workload start per the startup
+// pattern.
+func (r *runner) startTime(i int) time.Duration {
+	f := r.spec.Fleet
+	n := f.Nodes
+	span := f.StartupSpan
+	switch f.Startup {
+	case "linear":
+		return span * time.Duration(i) / time.Duration(n)
+	case "exponential":
+		// Few nodes early, a rush at the end of the span.
+		frac := (math.Pow(2, float64(i)/float64(n)) - 1)
+		return time.Duration(float64(span) * frac)
+	case "wave":
+		wave := i * f.Waves / n
+		return span * time.Duration(wave) / time.Duration(f.Waves)
+	default: // instant
+		return 0
+	}
+}
+
+// startWorkloads schedules each node's processes at its startup time.
+func (r *runner) startWorkloads() {
+	for _, fn := range r.nodes {
+		fn := fn
+		start := func() {
+			if fn.crashed {
+				return
+			}
+			if fn.tpl.Role == "server" {
+				r.startServer(fn)
+			} else {
+				r.startClient(fn)
+			}
+		}
+		if fn.startAt <= 0 {
+			start()
+		} else {
+			r.eng.After(fn.startAt, start)
+		}
+	}
+}
+
+// startServer spawns the worker pool: each worker loops recv -> compute
+// -> reply on the shared listen socket.
+func (r *runner) startServer(fn *fleetNode) {
+	fn.listen = fn.os.MustBind(serverPort)
+	for w := 0; w < fn.tpl.Workers; w++ {
+		fn.os.Spawn(fmt.Sprintf("worker-%d", w), func(p *simos.Process) {
+			var loop func()
+			loop = func() {
+				p.Recv(fn.listen, func(m *simos.Message) {
+					if fn.crashed {
+						return
+					}
+					p.Compute(fn.tpl.ServiceTime, func() {
+						if fn.crashed {
+							return
+						}
+						p.Reply(fn.listen, m, fn.tpl.RespSize, nil, loop)
+					})
+				})
+			}
+			loop()
+		})
+	}
+}
+
+// startClient spawns the request slots and the Poisson arrival generator.
+func (r *runner) startClient(fn *fleetNode) {
+	if len(fn.peers) == 0 {
+		return
+	}
+	fn.slots = make([]*clientSlot, fn.tpl.Slots)
+	for i := range fn.slots {
+		slot := &clientSlot{sock: fn.os.MustBind(uint16(clientPortBase + i))}
+		fn.slots[i] = slot
+		fn.os.Spawn(fmt.Sprintf("slot-%d", i), func(p *simos.Process) {
+			slot.proc = p
+		})
+	}
+	rng := r.rng.Fork(fmt.Sprintf("client/%d", fn.index))
+	var tick func()
+	tick = func() {
+		wait := time.Duration(rng.Exp(1.0/fn.tpl.Rate) * float64(time.Second))
+		if wait < time.Microsecond {
+			wait = time.Microsecond
+		}
+		r.eng.After(wait, func() {
+			if fn.crashed || r.eng.Now() >= r.spec.Duration {
+				return
+			}
+			fn.wl.arrivals++
+			if slot := freeSlot(fn); slot != nil {
+				r.dispatch(fn, slot, fn.peers[rng.Intn(len(fn.peers))])
+			} else {
+				fn.wl.busyDropped++
+			}
+			tick()
+		})
+	}
+	tick()
+}
+
+func freeSlot(fn *fleetNode) *clientSlot {
+	for _, s := range fn.slots {
+		if !s.busy && s.proc != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// dispatch runs one request on a slot: tagged send, then a timed receive
+// that discards stale replies (answers to requests this slot already
+// timed out) until the matching tag or the deadline.
+func (r *runner) dispatch(fn *fleetNode, slot *clientSlot, server simnet.NodeID) {
+	slot.busy = true
+	fn.wl.dispatched++
+	r.reqSeq++
+	tag := r.reqSeq
+	start := r.eng.Now()
+	p := slot.proc
+	dst := simnet.Addr{Node: server, Port: serverPort}
+	p.SendActivity(slot.sock, dst, fn.tpl.ReqSize, nil, tag, func() {
+		var await func()
+		await = func() {
+			p.RecvTimeout(slot.sock, fn.tpl.Timeout, func(m *simos.Message) {
+				switch {
+				case m == nil:
+					fn.wl.timedOut++
+					slot.busy = false
+				case m.Tag != tag:
+					fn.wl.stale++
+					await()
+				default:
+					fn.wl.completed++
+					r.reqLatency.Record(r.eng.Now() - start)
+					slot.busy = false
+				}
+			})
+		}
+		await()
+	})
+}
+
+// attachMonitoring wires the SysProf pipeline onto every node: kprof hub
+// -> per-node LPA -> dissemination daemon -> the shared broker. Daemons
+// start flushing at the node's startup time.
+func (r *runner) attachMonitoring() {
+	for _, fn := range r.nodes {
+		fn := fn
+		d := dissem.New(r.eng, r.broker, nil, dissem.Config{
+			NodeName:      fn.os.Name(),
+			Node:          fn.os.ID(),
+			FlushInterval: fn.tpl.FlushInterval,
+			MaxWindowAge:  2 * fn.tpl.FlushInterval,
+		})
+		lpa := core.NewLPA(fn.os.Hub(), core.Config{
+			WindowSize:     fn.tpl.WindowSize,
+			BufferCapacity: fn.tpl.BufferCap,
+			NumCPUs:        fn.tpl.CPUs,
+			OnFull:         d.OnFull,
+		})
+		d.Serve(lpa)
+		fn.lpa = lpa
+		fn.daemon = d
+		if fn.startAt <= 0 {
+			d.Start()
+		} else {
+			r.eng.After(fn.startAt, d.Start)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sysprof/internal/core"
+)
+
+// Report is the machine-readable outcome of one scenario run, persisted
+// as BENCH_scenario_<name>.json. Every field is derived from virtual-time
+// counters — no wall clock, no map-ordered output — so the same spec and
+// seed produce byte-identical JSON, and the regression guard can diff
+// snapshots exactly.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Name     string `json:"name"`
+	Seed     int64  `json:"seed"`
+	Duration string `json:"duration"`
+
+	Fleet    FleetReport    `json:"fleet"`
+	Workload WorkloadReport `json:"workload"`
+	Net      NetReport      `json:"net"`
+	Monitor  MonitorReport  `json:"monitor"`
+	Shards   []ShardReport  `json:"shards"`
+	Fanout   FanoutReport   `json:"fanout"`
+	Queries  QueryReport    `json:"queries"`
+	Chaos    []ChaosApplied `json:"chaos"`
+
+	// CorrelationRatePct is the percentage of records delivered to live
+	// shards that the GPA paired into end-to-end interactions.
+	CorrelationRatePct float64 `json:"correlation_rate_pct"`
+	// UnaccountedRecords must be zero: every record that left an LPA is
+	// attributed to delivery, a named drop counter, or a residual.
+	UnaccountedRecords int64 `json:"unaccounted_records"`
+	// UnaccountedRequests must be zero: every dispatched request
+	// completed, timed out, or is accounted in flight.
+	UnaccountedRequests int64 `json:"unaccounted_requests"`
+}
+
+// ReportSchema versions the report layout for the regression guard.
+const ReportSchema = 1
+
+// FleetReport describes the generated fleet.
+type FleetReport struct {
+	Nodes     int             `json:"nodes"`
+	Clients   int             `json:"clients"`
+	Servers   int             `json:"servers"`
+	Links     int             `json:"links"`
+	Startup   string          `json:"startup"`
+	Templates []TemplateCount `json:"templates"`
+	Crashed   int             `json:"crashed"`
+}
+
+// TemplateCount is how many nodes one template produced.
+type TemplateCount struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+}
+
+// WorkloadReport closes the request-accounting identity.
+type WorkloadReport struct {
+	Arrivals    uint64 `json:"arrivals"`
+	Dispatched  uint64 `json:"dispatched"`
+	BusyDropped uint64 `json:"busy_dropped"`
+	Completed   uint64 `json:"completed"`
+	TimedOut    uint64 `json:"timed_out"`
+	StaleReps   uint64 `json:"stale_replies"`
+	InFlight    uint64 `json:"in_flight_at_end"`
+
+	Latency LatencyReport `json:"latency"`
+}
+
+// LatencyReport summarizes a histogram in microseconds.
+type LatencyReport struct {
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"mean_us"`
+	P50US  int64  `json:"p50_us"`
+	P90US  int64  `json:"p90_us"`
+	P99US  int64  `json:"p99_us"`
+	MaxUS  int64  `json:"max_us"`
+}
+
+func latencyReport(h *core.Histogram) LatencyReport {
+	return LatencyReport{
+		Count:  h.Count(),
+		MeanUS: int64(h.Mean() / time.Microsecond),
+		P50US:  int64(h.Quantile(0.50) / time.Microsecond),
+		P90US:  int64(h.Quantile(0.90) / time.Microsecond),
+		P99US:  int64(h.Quantile(0.99) / time.Microsecond),
+		MaxUS:  int64(h.Max() / time.Microsecond),
+	}
+}
+
+// NetReport aggregates link-level delivery and the per-cause drop
+// counters the simnet bugfixes added.
+type NetReport struct {
+	Links            int    `json:"links"`
+	PacketsDelivered uint64 `json:"packets_delivered"`
+	BytesDelivered   uint64 `json:"bytes_delivered"`
+	Dropped          uint64 `json:"dropped"`
+	DroppedDown      uint64 `json:"dropped_down"`
+	DroppedQueue     uint64 `json:"dropped_queue"`
+	DroppedLoss      uint64 `json:"dropped_loss"`
+	DroppedCut       uint64 `json:"dropped_cut"`
+	SocketDrops      uint64 `json:"socket_drops"`
+}
+
+// MonitorReport closes the record-accounting identity on the capture
+// side: interactions emitted by LPAs = records published + publish-path
+// drops + buffer drops + window residue + buffer residue.
+type MonitorReport struct {
+	EventsEmitted    uint64 `json:"events_emitted"`
+	Interactions     uint64 `json:"interactions_emitted"`
+	RecordsPublished uint64 `json:"records_published"`
+	PublishDropped   uint64 `json:"publish_dropped"`
+	BufferDrops      uint64 `json:"buffer_drops"`
+	WindowResidual   uint64 `json:"window_residual"`
+	BufferResidual   uint64 `json:"buffer_residual"`
+}
+
+// ShardReport is one shard subscriber's outcome.
+type ShardReport struct {
+	Index           int    `json:"index"`
+	Offered         uint64 `json:"offered"`
+	Delivered       uint64 `json:"delivered"`
+	DroppedOverflow uint64 `json:"dropped_overflow"`
+	DroppedDetached uint64 `json:"dropped_detached"`
+	DroppedEvicted  uint64 `json:"dropped_evicted"`
+	DroppedDead     uint64 `json:"dropped_dead"`
+	QueuedAtEnd     uint64 `json:"queued_at_end"`
+	BlockAdmits     uint64 `json:"block_admits"`
+	BlockedUS       int64  `json:"blocked_us"`
+	Flaps           uint64 `json:"flaps"`
+	Evicted         bool   `json:"evicted"`
+	Dead            bool   `json:"dead"`
+
+	Ingested          uint64 `json:"ingested"`
+	Correlated        uint64 `json:"correlated"`
+	PendingEvicted    uint64 `json:"pending_evicted"`
+	StalePruned       uint64 `json:"stale_pruned"`
+	CorrelatedEvicted uint64 `json:"correlated_evicted"`
+}
+
+// FanoutReport sums the shard tier and closes its identity: offered =
+// delivered + drops + queued residual.
+type FanoutReport struct {
+	Offered         uint64 `json:"offered"`
+	Delivered       uint64 `json:"delivered"`
+	DroppedOverflow uint64 `json:"dropped_overflow"`
+	DroppedDetached uint64 `json:"dropped_detached"`
+	DroppedEvicted  uint64 `json:"dropped_evicted"`
+	DroppedDead     uint64 `json:"dropped_dead"`
+	QueuedAtEnd     uint64 `json:"queued_at_end"`
+	DeadShards      int    `json:"dead_shards"`
+	EvictedShards   int    `json:"evicted_shards"`
+}
+
+// QueryReport summarizes the modeled periodic status queries.
+type QueryReport struct {
+	Total   uint64        `json:"total"`
+	Partial uint64        `json:"partial"`
+	Latency LatencyReport `json:"latency"`
+}
+
+// EncodeJSON renders the report deterministically (stable field order,
+// trailing newline).
+func (r *Report) EncodeJSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Check applies the guard: the accounting identities must close exactly,
+// and the optional quality floors must hold.
+func (r *Report) Check(g Guard) error {
+	if r.UnaccountedRecords != 0 {
+		return fmt.Errorf("scenario %s: %d unaccounted records — a drop path is missing a counter",
+			r.Name, r.UnaccountedRecords)
+	}
+	if r.UnaccountedRequests != 0 {
+		return fmt.Errorf("scenario %s: %d unaccounted requests", r.Name, r.UnaccountedRequests)
+	}
+	if g.MinCorrelationRate > 0 && r.CorrelationRatePct < g.MinCorrelationRate*100 {
+		return fmt.Errorf("scenario %s: correlation rate %.2f%% below guard %.2f%%",
+			r.Name, r.CorrelationRatePct, g.MinCorrelationRate*100)
+	}
+	if g.MaxTimeoutFraction > 0 && r.Workload.Dispatched > 0 {
+		frac := float64(r.Workload.TimedOut) / float64(r.Workload.Dispatched)
+		if frac > g.MaxTimeoutFraction {
+			return fmt.Errorf("scenario %s: timeout fraction %.3f above guard %.3f",
+				r.Name, frac, g.MaxTimeoutFraction)
+		}
+	}
+	return nil
+}
+
+// CompareSnapshot diffs this report against a committed snapshot byte for
+// byte — the scenario regression guard. A mismatch means behavior
+// changed somewhere in the pipeline; intentional changes re-bless the
+// snapshot by regenerating it.
+func (r *Report) CompareSnapshot(snapshot []byte) error {
+	got, err := r.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(got, snapshot) {
+		return nil
+	}
+	var old Report
+	if err := json.Unmarshal(snapshot, &old); err != nil {
+		return fmt.Errorf("scenario %s: report differs from snapshot (snapshot unparseable: %v)", r.Name, err)
+	}
+	return fmt.Errorf("scenario %s: report differs from committed snapshot (e.g. correlated pairs, drop counters, or latency changed; regenerate the snapshot if intentional)", r.Name)
+}

@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"time"
+
+	"sysprof/internal/core"
+	"sysprof/internal/gpa"
+	"sysprof/internal/pubsub"
+	"sysprof/internal/sim"
+)
+
+// shardSub models one GPA shard's pub-sub subscriber deterministically on
+// the sim engine. It mirrors pubsub's remote fan-out semantics — a
+// bounded frame queue, a per-frame drain time, the DropOldest /
+// BlockWithDeadline / Adaptive overflow policies, and eviction after a
+// consecutive-overflow streak — without the real TCP writer goroutines,
+// whose OS-level scheduling would make byte-identical reports impossible.
+// Chaos drives it directly: slow-subscriber chaos multiplies the drain
+// time, flapping detaches and reattaches it, shard death kills it.
+type shardSub struct {
+	idx int
+	eng *sim.Engine
+	g   *gpa.GPA
+
+	depth        int
+	drain        time.Duration
+	policy       pubsub.OverflowPolicy
+	blockTimeout time.Duration
+	evictAfter   int
+
+	queue []*core.RecordColumns
+	// blocked is the one frame admitted past a full queue by a blocking
+	// publisher: it takes the slot the in-progress drain is about to
+	// free. At most one can be outstanding per drain period — a second
+	// blocking publisher in the same period would outwait its deadline
+	// and drops instead.
+	blocked  *core.RecordColumns
+	draining bool
+
+	slowFactor     float64
+	detached       bool
+	evicted        bool
+	dead           bool
+	overflowStreak int
+
+	// Counters for the run report. offered = delivered + dropOverflow +
+	// dropDetached + dropEvicted + dropDead + queued residual.
+	offered      uint64
+	delivered    uint64
+	dropOverflow uint64
+	dropDetached uint64
+	dropEvicted  uint64
+	dropDead     uint64
+	blockAdmits  uint64
+	blockedFor   time.Duration
+	flaps        uint64
+}
+
+func newShardSub(idx int, eng *sim.Engine, g *gpa.GPA, m *MonitorSpec, policy pubsub.OverflowPolicy) *shardSub {
+	return &shardSub{
+		idx: idx, eng: eng, g: g,
+		depth:        m.QueueDepth,
+		drain:        m.DrainPerFrame,
+		policy:       policy,
+		blockTimeout: m.BlockTimeout,
+		evictAfter:   m.EvictAfter,
+		slowFactor:   1,
+	}
+}
+
+// effDrain is the per-frame ingest time under the current slowdown.
+func (s *shardSub) effDrain() time.Duration {
+	return time.Duration(float64(s.drain) * s.slowFactor)
+}
+
+// offer hands the subscriber one routed frame. The frame is owned by the
+// subscriber from here on.
+func (s *shardSub) offer(f *core.RecordColumns) {
+	n := uint64(f.Len())
+	if n == 0 {
+		return
+	}
+	s.offered += n
+	switch {
+	case s.dead:
+		s.dropDead += n
+		return
+	case s.evicted:
+		s.dropEvicted += n
+		return
+	case s.detached:
+		s.dropDetached += n
+		return
+	}
+	if len(s.queue) < s.depth {
+		s.queue = append(s.queue, f)
+		s.overflowStreak = 0
+		s.kick()
+		return
+	}
+	policy := s.policy
+	if policy == pubsub.Adaptive {
+		// Per the real broker: block only when the observed drain is
+		// faster than the deadline, otherwise shed the oldest.
+		if s.effDrain() <= s.blockTimeout {
+			policy = pubsub.BlockWithDeadline
+		} else {
+			policy = pubsub.DropOldest
+		}
+	}
+	switch policy {
+	case pubsub.BlockWithDeadline:
+		if s.blocked == nil && s.draining && s.effDrain() <= s.blockTimeout {
+			// The in-progress drain frees a slot within the deadline;
+			// the publisher waits for it.
+			s.blocked = f
+			s.blockAdmits++
+			s.blockedFor += s.effDrain()
+			return
+		}
+		// Deadline would pass before a slot frees: the NEW frame drops.
+		s.dropOverflow += n
+		s.bumpOverflow()
+	default: // DropOldest
+		head := s.queue[0]
+		s.queue = s.queue[1:]
+		s.dropOverflow += uint64(head.Len())
+		s.queue = append(s.queue, f)
+		s.bumpOverflow()
+		s.kick()
+	}
+}
+
+// bumpOverflow advances the consecutive-overflow streak and evicts the
+// subscriber when it crosses the configured threshold — the broker's
+// "persistently slow subscribers are cheaper gone" policy.
+func (s *shardSub) bumpOverflow() {
+	s.overflowStreak++
+	if s.evictAfter > 0 && s.overflowStreak >= s.evictAfter && !s.evicted {
+		s.flushQueue(&s.dropEvicted)
+		s.evicted = true
+	}
+}
+
+// kick starts the drain loop if idle and the subscriber can make
+// progress.
+func (s *shardSub) kick() {
+	if s.draining || len(s.queue) == 0 || s.dead || s.detached || s.evicted {
+		return
+	}
+	s.draining = true
+	s.eng.After(s.effDrain(), s.drainOne)
+}
+
+// drainOne completes one frame's ingest and reschedules.
+func (s *shardSub) drainOne() {
+	s.draining = false
+	if s.dead || s.detached || s.evicted {
+		return
+	}
+	if len(s.queue) > 0 {
+		f := s.queue[0]
+		s.queue = s.queue[1:]
+		if s.blocked != nil {
+			// The blocked publisher's frame takes the freed slot.
+			s.queue = append(s.queue, s.blocked)
+			s.blocked = nil
+		}
+		s.delivered += uint64(f.Len())
+		s.g.IngestColumns(f)
+	}
+	s.kick()
+}
+
+// setDetached flips the flapping state: detaching loses every queued
+// frame (the broker drops a disconnected subscriber's queue).
+func (s *shardSub) setDetached(on bool) {
+	if s.dead || s.evicted || on == s.detached {
+		return
+	}
+	if on {
+		s.flushQueue(&s.dropDetached)
+		s.detached = true
+		s.flaps++
+		return
+	}
+	s.detached = false
+	s.overflowStreak = 0
+	s.kick()
+}
+
+// kill is shard death: queued frames are lost and every later offer
+// drops; queries against the shard return partial results.
+func (s *shardSub) kill() {
+	if s.dead {
+		return
+	}
+	s.flushQueue(&s.dropDead)
+	s.dead = true
+}
+
+// setSlowFactor scales the per-frame drain time (slow-subscriber chaos).
+func (s *shardSub) setSlowFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	s.slowFactor = f
+}
+
+// flushQueue drops all queued frames into the given counter.
+func (s *shardSub) flushQueue(ctr *uint64) {
+	for _, f := range s.queue {
+		*ctr += uint64(f.Len())
+	}
+	s.queue = s.queue[:0]
+	if s.blocked != nil {
+		*ctr += uint64(s.blocked.Len())
+		s.blocked = nil
+	}
+}
+
+// queuedRecords is the in-queue residual at snapshot time.
+func (s *shardSub) queuedRecords() uint64 {
+	var n uint64
+	for _, f := range s.queue {
+		n += uint64(f.Len())
+	}
+	if s.blocked != nil {
+		n += uint64(s.blocked.Len())
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestThousandNodeChaos is the acceptance run: the 1000-node builtin with
+// node crashes, a partition+heal, injected loss, a slow subscriber, and a
+// shard death must complete deterministically — two runs off the same
+// seed produce byte-identical reports — with zero unaccounted record
+// loss. Lost records are fine under chaos; *unattributed* ones are not.
+func TestThousandNodeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-node scenario skipped in -short mode")
+	}
+	spec := Builtins()["chaos-1k"]
+	rep := runTwice(t, spec)
+	if err := rep.Check(spec.Guard); err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Fleet.Nodes != 1000 {
+		t.Fatalf("want 1000 nodes, got %d", rep.Fleet.Nodes)
+	}
+	if rep.UnaccountedRecords != 0 {
+		t.Fatalf("%d unaccounted records at 1000 nodes", rep.UnaccountedRecords)
+	}
+	if rep.UnaccountedRequests != 0 {
+		t.Fatalf("%d unaccounted requests at 1000 nodes", rep.UnaccountedRequests)
+	}
+
+	// Every scheduled chaos event fired and is logged with its resolved
+	// targets.
+	if len(rep.Chaos) != len(spec.Chaos) {
+		t.Fatalf("want %d chaos events, got %d", len(spec.Chaos), len(rep.Chaos))
+	}
+	kinds := make(map[string]int)
+	for _, ev := range rep.Chaos {
+		kinds[ev.Kind]++
+		if len(ev.Targets) == 0 {
+			t.Fatalf("chaos event %s logged no targets", ev.Kind)
+		}
+	}
+	if kinds[ChaosNodeCrash] != 2 || kinds[ChaosPartition] != 1 || kinds[ChaosShardDie] != 1 {
+		t.Fatalf("chaos mix wrong: %v", kinds)
+	}
+
+	// The two crash waves (20 + 10) landed.
+	if rep.Fleet.Crashed != 30 {
+		t.Fatalf("want 30 crashed nodes, got %d", rep.Fleet.Crashed)
+	}
+	if rep.Fanout.DeadShards != 1 {
+		t.Fatalf("want 1 dead shard, got %d", rep.Fanout.DeadShards)
+	}
+	if rep.Queries.Partial == 0 {
+		t.Fatal("shard death produced no partial query results")
+	}
+	if rep.Net.DroppedLoss == 0 || rep.Net.DroppedDown == 0 {
+		t.Fatalf("chaos left no per-cause network drops: %+v", rep.Net)
+	}
+
+	// The fleet still made real progress under all of it.
+	if rep.Workload.Completed == 0 {
+		t.Fatal("no requests completed at 1000 nodes")
+	}
+	if rep.Monitor.RecordsPublished == 0 {
+		t.Fatal("no monitoring records published at 1000 nodes")
+	}
+	if rep.CorrelationRatePct <= 0 {
+		t.Fatal("nothing correlated at 1000 nodes")
+	}
+}

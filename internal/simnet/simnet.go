@@ -10,6 +10,7 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -157,26 +158,62 @@ type Host interface {
 // Link is a unidirectional channel between two nodes.
 type Link struct {
 	eng       *sim.Engine
+	src, dst  NodeID  // endpoints, for identity (reports, derived RNG seeds)
 	bandwidth float64 // bits per second
 	propagate time.Duration
 	busyUntil time.Duration
-	dst       Host
+	host      Host
 	sent      uint64
 	sentBytes uint64
 	dropLimit int // max packets queued (0 = unlimited)
 	queued    int
 	dropped   uint64
+	drops     DropStats
 	downUntil time.Duration // link failure injection
-	// lossRate drops packets at random (failure injection); lossRNG must
-	// be set when lossRate > 0.
+	// lossRate drops packets at random (failure injection); lossRNG is
+	// derived deterministically from the link endpoints when SetLoss is
+	// given a nil rng.
 	lossRate float64
 	lossRNG  *sim.RNG
 }
 
+// DropStats attributes link drops to their cause, so a scenario run can
+// prove every lost packet is accounted for.
+type DropStats struct {
+	// Down counts packets rejected at send time because the link was in a
+	// failure window.
+	Down uint64
+	// Queue counts packets rejected because the serialization queue was
+	// at its configured cap.
+	Queue uint64
+	// Loss counts packets dropped by the random-loss model.
+	Loss uint64
+	// Cut counts packets that were already serialized (in flight) when
+	// Fail was called and whose arrival fell inside the failure window.
+	Cut uint64
+}
+
+// Total sums all drop causes.
+func (d DropStats) Total() uint64 { return d.Down + d.Queue + d.Loss + d.Cut }
+
+// Src and Dst return the link's endpoints.
+func (l *Link) Src() NodeID { return l.src }
+
+// Dst returns the receiving endpoint.
+func (l *Link) Dst() NodeID { return l.dst }
+
 // SetLoss makes the link drop packets with probability rate, using rng
-// for reproducible draws. rate 0 disables loss.
+// for reproducible draws. rate 0 disables loss. When rate > 0 and rng is
+// nil, a generator is derived deterministically from the link's endpoint
+// pair, so chaos configs that omit the RNG still inject the configured
+// loss — reproducibly — instead of silently injecting none.
 func (l *Link) SetLoss(rate float64, rng *sim.RNG) {
 	l.lossRate = rate
+	if rate > 0 && rng == nil {
+		// The sending endpoint carries a marker port so the two directions
+		// of a pair canonicalize differently and draw independent streams.
+		rng = sim.NewRNG(int64(FlowKey{Src: Addr{Node: l.src, Port: 1}, Dst: Addr{Node: l.dst}}.ShardHash()))
+	}
 	l.lossRNG = rng
 }
 
@@ -205,14 +242,17 @@ func (l *Link) Send(p *Packet) bool {
 	now := l.eng.Now()
 	if now < l.downUntil {
 		l.dropped++
+		l.drops.Down++
 		return false
 	}
 	if l.dropLimit > 0 && l.queued >= l.dropLimit {
 		l.dropped++
+		l.drops.Queue++
 		return false
 	}
 	if l.lossRate > 0 && l.lossRNG != nil && l.lossRNG.Float64() < l.lossRate {
 		l.dropped++
+		l.drops.Loss++
 		return false
 	}
 	ser := time.Duration(float64(p.Size*8) / l.bandwidth * float64(time.Second))
@@ -225,20 +265,48 @@ func (l *Link) Send(p *Packet) bool {
 	l.queued++
 	l.eng.Schedule(arrive, func() {
 		l.queued--
+		// A failure injected after this packet was serialized cuts it if
+		// its last bit would arrive inside the failure window: the wire
+		// went dark underneath it.
+		if l.eng.Now() < l.downUntil {
+			l.dropped++
+			l.drops.Cut++
+			return
+		}
 		l.sent++
 		l.sentBytes += uint64(p.Size)
-		l.dst.DeliverPacket(p)
+		l.host.DeliverPacket(p)
 	})
 	return true
 }
 
-// Fail takes the link down for d: packets sent while down are dropped.
-func (l *Link) Fail(d time.Duration) { l.downUntil = l.eng.Now() + d }
+// Fail takes the link down for d: packets sent while down are dropped,
+// and packets already serialized whose arrival falls inside the window
+// are cut (dropped at what would have been their delivery instant, and
+// counted in DropStats.Cut). Overlapping failures extend each other — a
+// second, shorter outage injected during a longer one never heals the
+// link early.
+func (l *Link) Fail(d time.Duration) {
+	until := l.eng.Now() + d
+	if until > l.downUntil {
+		l.downUntil = until
+	}
+}
+
+// Down reports whether the link is currently inside a failure window.
+func (l *Link) Down() bool { return l.eng.Now() < l.downUntil }
 
 // Stats reports packets delivered, bytes delivered, and packets dropped.
 func (l *Link) Stats() (packets, bytes, dropped uint64) {
 	return l.sent, l.sentBytes, l.dropped
 }
+
+// Drops returns the per-cause drop counters. Their sum equals the
+// dropped total from Stats.
+func (l *Link) Drops() DropStats { return l.drops }
+
+// Queued returns packets currently in the serialization queue.
+func (l *Link) Queued() int { return l.queued }
 
 // Network wires hosts together with links and routes packets.
 type Network struct {
@@ -284,12 +352,18 @@ func (n *Network) Register(h Host) error {
 }
 
 // Connect creates bidirectional links between a and b with the default
-// config. It overwrites any existing links between the pair.
+// config, or reconfigures the existing links between the pair.
 func (n *Network) Connect(a, b NodeID) error {
 	return n.ConnectWith(a, b, n.deflt)
 }
 
-// ConnectWith creates bidirectional links between a and b with cfg.
+// ConnectWith creates bidirectional links between a and b with cfg. If
+// the pair is already connected the live links are reconfigured in
+// place rather than replaced: in-flight scheduled deliveries, queue
+// occupancy, and traffic counters stay attached to the link the caller
+// observes through Network.Link. Reconnecting also clears any failure
+// window and loss injection — re-provisioning a link heals it — which
+// is what a scenario's partition-heal step relies on.
 func (n *Network) ConnectWith(a, b NodeID, cfg LinkConfig) error {
 	if cfg.Bandwidth <= 0 {
 		return fmt.Errorf("simnet: connect %d-%d: bandwidth must be positive", a, b)
@@ -302,19 +376,55 @@ func (n *Network) ConnectWith(a, b NodeID, cfg LinkConfig) error {
 	if !ok {
 		return fmt.Errorf("simnet: connect: node %d not registered", b)
 	}
-	n.links[[2]NodeID{a, b}] = &Link{
-		eng: n.eng, bandwidth: cfg.Bandwidth, propagate: cfg.Propagation,
-		dst: hb, dropLimit: cfg.QueueLimit,
-	}
-	n.links[[2]NodeID{b, a}] = &Link{
-		eng: n.eng, bandwidth: cfg.Bandwidth, propagate: cfg.Propagation,
-		dst: ha, dropLimit: cfg.QueueLimit,
-	}
+	n.provision(a, b, hb, cfg)
+	n.provision(b, a, ha, cfg)
 	return nil
+}
+
+// provision creates or reconfigures the directed link src->dst.
+func (n *Network) provision(src, dst NodeID, host Host, cfg LinkConfig) {
+	key := [2]NodeID{src, dst}
+	l := n.links[key]
+	if l == nil {
+		n.links[key] = &Link{
+			eng: n.eng, src: src, dst: dst, host: host,
+			bandwidth: cfg.Bandwidth, propagate: cfg.Propagation,
+			dropLimit: cfg.QueueLimit,
+		}
+		return
+	}
+	l.bandwidth = cfg.Bandwidth
+	l.propagate = cfg.Propagation
+	l.dropLimit = cfg.QueueLimit
+	l.downUntil = 0
+	l.lossRate = 0
+	l.lossRNG = nil
 }
 
 // Link returns the directed link from a to b, or nil if none exists.
 func (n *Network) Link(a, b NodeID) *Link { return n.links[[2]NodeID{a, b}] }
+
+// NumLinks returns the number of directed links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// ForEachLink visits every directed link in deterministic (src, dst)
+// order, so seeded chaos schedules and run reports that sample or
+// aggregate over links are reproducible.
+func (n *Network) ForEachLink(fn func(l *Link)) {
+	keys := make([][2]NodeID, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fn(n.links[k])
+	}
+}
 
 // Transmit sends a packet from its flow source node toward its flow
 // destination node. It reports whether a link existed and accepted the

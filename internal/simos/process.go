@@ -185,6 +185,47 @@ func (p *Process) Recv(s *Socket, fn func(*Message)) {
 	})
 }
 
+// RecvTimeout is Recv with a deadline, the SO_RCVTIMEO the failure
+// scenarios depend on: a client whose server crashed or whose reply was
+// cut by a link failure gets fn(nil) after timeout instead of blocking
+// forever. If a message arrives first, fn receives it exactly as with
+// Recv; the losing side of the race is a no-op either way.
+func (p *Process) RecvTimeout(s *Socket, timeout time.Duration, fn func(*Message)) {
+	if timeout <= 0 {
+		p.Recv(s, fn)
+		return
+	}
+	hub := p.node.hub
+	p.stats.Syscalls++
+	var overhead time.Duration
+	if hub.Enabled(kprof.EvSyscallEnter) {
+		overhead += hub.Emit(&kprof.Event{Type: kprof.EvSyscallEnter, PID: p.pid, GID: p.gid, Proc: "recv", CPU: p.cpuID()})
+	}
+	p.node.cpuFor(p).submitKernelFor(p, p.node.cfg.SyscallCost+overhead, func() {
+		if msg := s.pop(); msg != nil {
+			p.completeRecv(s, msg, fn)
+			return
+		}
+		fired := new(bool)
+		s.waiters = append(s.waiters, recvWaiter{proc: p, fn: fn, fired: fired})
+		p.block()
+		p.node.eng.After(timeout, func() {
+			if *fired {
+				return
+			}
+			*fired = true
+			s.removeWaiter(fired)
+			p.wake(func() {
+				if hub.Enabled(kprof.EvSyscallExit) {
+					ov := hub.Emit(&kprof.Event{Type: kprof.EvSyscallExit, PID: p.pid, GID: p.gid, Proc: "recv", CPU: p.cpuID()})
+					p.node.cpuFor(p).charge(kernelWork, p, ov)
+				}
+				fn(nil)
+			})
+		})
+	})
+}
+
 // completeRecv finishes a recv: stamps the read, emits net_user_read with
 // the socket-buffer residence time, charges the kernel→user copy, emits
 // syscall_exit, and invokes the continuation.

@@ -402,3 +402,72 @@ func TestManyClientConservation(t *testing.T) {
 		}
 	}
 }
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	n, err := NewNode(eng, network, "rto", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := n.MustBind(9)
+	var gotNil, called bool
+	n.Spawn("waiter", func(p *Process) {
+		p.RecvTimeout(sock, 5*time.Millisecond, func(m *Message) {
+			called = true
+			gotNil = m == nil
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !called || !gotNil {
+		t.Fatalf("called=%v nil=%v, want timed-out receive to yield nil", called, gotNil)
+	}
+	if got := eng.Now(); got < 5*time.Millisecond {
+		t.Fatalf("timeout fired at %v, before the 5ms deadline", got)
+	}
+	// The expired waiter must be gone: a later message stays queued
+	// instead of waking a ghost.
+	if len(sock.waiters) != 0 {
+		t.Fatalf("%d waiters left after timeout", len(sock.waiters))
+	}
+}
+
+func TestRecvTimeoutMessageWins(t *testing.T) {
+	eng := sim.NewEngine()
+	network := simnet.NewNetwork(eng)
+	a, err := NewNode(eng, network, "cli", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(eng, network, "srv", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Connect(a.ID(), b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	asock := a.MustBind(10)
+	bsock := b.MustBind(20)
+	var got *Message
+	calls := 0
+	a.Spawn("waiter", func(p *Process) {
+		p.RecvTimeout(asock, time.Second, func(m *Message) {
+			calls++
+			got = m
+		})
+	})
+	b.Spawn("sender", func(p *Process) {
+		p.Send(bsock, asock.Addr(), 64, "hi", nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly once", calls)
+	}
+	if got == nil || got.Payload != "hi" {
+		t.Fatalf("got %+v, want the delivered message", got)
+	}
+}

@@ -42,10 +42,14 @@ func (m *Message) KernelWait() time.Duration {
 	return m.ReadAt - m.DeliveredAt
 }
 
-// recvWaiter is a process blocked in a recv syscall.
+// recvWaiter is a process blocked in a recv syscall. fired is non-nil
+// for timed receives (RecvTimeout): whichever side completes first — a
+// message arrival or the deadline — sets it, and the other side becomes
+// a no-op.
 type recvWaiter struct {
-	proc *Process
-	fn   func(*Message)
+	proc  *Process
+	fn    func(*Message)
+	fired *bool
 }
 
 // Socket is a bound communication endpoint with a byte-limited receive
@@ -94,6 +98,11 @@ func (s *Socket) enqueue(m *Message) {
 	}
 	w := s.waiters[0]
 	s.waiters = s.waiters[1:]
+	if w.fired != nil {
+		// Claim the timed receive now, before the wakeup cost elapses, so
+		// a deadline landing in between cannot double-complete it.
+		*w.fired = true
+	}
 	w.proc.wake(func() {
 		// The recv syscall resumes: pop the message it was waiting for.
 		msg := s.pop()
@@ -105,6 +114,17 @@ func (s *Socket) enqueue(m *Message) {
 		}
 		w.proc.completeRecv(s, msg, w.fn)
 	})
+}
+
+// removeWaiter unregisters the waiter identified by its fired marker
+// (the deadline of a timed receive won the race).
+func (s *Socket) removeWaiter(fired *bool) {
+	for i, w := range s.waiters {
+		if w.fired == fired {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // pop removes the head message.
