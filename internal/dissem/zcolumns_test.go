@@ -2,6 +2,7 @@ package dissem
 
 import (
 	"bytes"
+	"encoding/binary"
 	"net"
 	"reflect"
 	"testing"
@@ -311,6 +312,35 @@ func FuzzDecodeCompressedColumns(f *testing.F) {
 	f.Add(hostile)
 	// A varint that never terminates: ten continuation bytes.
 	f.Add(append(bytes.Clone(small), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+
+	// Wiretaint-identified boundaries. The 0x05 frame's row count lives
+	// right after the def frame: [kind][format id u32][rows u32]. Patch
+	// hostile counts into the valid stream: MaxColumnReserve cap-1/cap/
+	// cap+1 (the decoder's preallocation clamp), and maxBatchLen at and
+	// one past the guard — the frame claims rows the columns never
+	// deliver, so the decoder must error out, not allocate for them.
+	defLen := func() int {
+		reg := pbio.NewRegistry()
+		if err := RegisterFormats(reg); err != nil {
+			f.Fatal(err)
+		}
+		plan := reg.PlanFor(reflect.TypeOf(core.Record{}))
+		return len(plan.Format().AppendDef(nil))
+	}()
+	patchRows := func(rows uint32) []byte {
+		s := bytes.Clone(small)
+		binary.LittleEndian.PutUint32(s[defLen+5:defLen+9], rows)
+		return s
+	}
+	f.Add(patchRows(pbio.MaxColumnReserve - 1))
+	f.Add(patchRows(pbio.MaxColumnReserve))
+	f.Add(patchRows(pbio.MaxColumnReserve + 1))
+	f.Add(patchRows(1 << 20))     // maxBatchLen: passes the guard, starves
+	f.Add(patchRows(1<<20 + 1))   // maxBatchLen+1: rejected outright
+	f.Add(patchRows(0xFFFF_FFFF)) // uint32 max
+	// A maximal *terminated* varint (nine continuation bytes + 0x01 =
+	// 2^63) where the column stream expects a count.
+	f.Add(append(bytes.Clone(small), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		reg := pbio.NewRegistry()

@@ -17,9 +17,14 @@ import (
 //
 //   - direct calls to declared functions and methods on concrete
 //     receiver types resolve to exactly one callee (EdgeStatic);
-//   - calls through interfaces *defined in the module* resolve to every
-//     module-local implementation of the method, class-hierarchy style
-//     (EdgeInterface) — any of them might run, so all of them are edges;
+//   - calls through interfaces *defined in the module* resolve
+//     RTA-style (EdgeInterface): a module implementation is a dispatch
+//     target only when a value of its concrete type demonstrably flows
+//     into an interface somewhere in the loaded packages (see
+//     typeset.go) — the witness conversion site is recorded on the edge
+//     and rendered into evidence chains. Types that merely *implement*
+//     the interface but are never converted to one cannot be behind the
+//     call, so they contribute no edges;
 //   - calls through interfaces defined outside the module (io.Writer,
 //     net.Conn) are left to the leaf classifiers: the interface method's
 //     own package ("net") already identifies blocking surfaces;
@@ -66,6 +71,11 @@ type CallEdge struct {
 	Call *ast.CallExpr
 	// Kind records how the edge was resolved.
 	Kind EdgeKind
+	// witnessType and witness record, for EdgeInterface, the concrete
+	// dispatch target type and the conversion site that made it a
+	// candidate (the RTA evidence).
+	witnessType string
+	witness     *convWitness
 }
 
 // FuncNode is one declared function or method in the module — or a
@@ -195,8 +205,11 @@ func buildCallGraph(pkgs []*loadedPackage) *CallGraph {
 		}
 	}
 
-	// Concrete named types per package, for interface-call resolution.
+	// Concrete named types per package, for interface-call resolution,
+	// narrowed by the instantiated-type set: only types witnessed
+	// flowing into an interface are dispatch candidates.
 	cha := newChaIndex(pkgs)
+	cha.typeSet = buildTypeSetIndex(pkgs)
 
 	// Pass 1.5: single-assignment function values, so pass 2 can follow
 	// `f := handler; f()` into handler. Literal targets become synthetic
@@ -355,8 +368,14 @@ func (g *CallGraph) addEdges(caller *FuncNode, call *ast.CallExpr, cha *chaIndex
 		recv := sig.Recv().Type()
 		if iface, ok := recv.Underlying().(*types.Interface); ok && moduleInterface(recv, g) {
 			for _, impl := range cha.implementations(iface, callee.Name()) {
-				if node := g.nodes[impl]; node != nil {
-					caller.Edges = append(caller.Edges, CallEdge{Callee: node, Call: call, Kind: EdgeInterface})
+				if node := g.nodes[impl.fn]; node != nil {
+					caller.Edges = append(caller.Edges, CallEdge{
+						Callee:      node,
+						Call:        call,
+						Kind:        EdgeInterface,
+						witnessType: impl.typeName,
+						witness:     impl.witness,
+					})
 				}
 			}
 		}
@@ -432,12 +451,27 @@ func moduleInterface(t types.Type, g *CallGraph) bool {
 }
 
 // chaIndex answers "which module methods implement this interface
-// method" for class-hierarchy-style interface call resolution.
+// method" for interface call resolution. The candidate set starts from
+// the class hierarchy (every module type whose method set satisfies the
+// interface) and is intersected with the RTA type set: a type with no
+// interface-conversion witness anywhere in the loaded packages is
+// dropped — no value of it can be behind the interface.
 type chaIndex struct {
 	// concrete types declared in module packages.
 	named []*types.Named
+	// typeSet narrows candidates to types witnessed flowing into an
+	// interface (nil disables narrowing — pure CHA, used by tests).
+	typeSet *typeSetIndex
 	// memo caches per (interface, method) resolution.
-	memo map[chaKey][]*types.Func
+	memo map[chaKey][]ifaceImpl
+}
+
+// ifaceImpl is one narrowed dispatch target: the concrete method plus
+// the conversion witness that keeps its type in the candidate set.
+type ifaceImpl struct {
+	fn       *types.Func
+	typeName string // bare concrete type name, e.g. "Sink"
+	witness  *convWitness
 }
 
 type chaKey struct {
@@ -446,7 +480,7 @@ type chaKey struct {
 }
 
 func newChaIndex(pkgs []*loadedPackage) *chaIndex {
-	idx := &chaIndex{memo: make(map[chaKey][]*types.Func)}
+	idx := &chaIndex{memo: make(map[chaKey][]ifaceImpl)}
 	for _, lp := range pkgs {
 		if lp.pkg == nil {
 			continue
@@ -471,22 +505,31 @@ func newChaIndex(pkgs []*loadedPackage) *chaIndex {
 }
 
 // implementations returns the concrete module methods that a call to the
-// interface method might dispatch to.
-func (idx *chaIndex) implementations(iface *types.Interface, method string) []*types.Func {
+// interface method might dispatch to: class-hierarchy candidates
+// intersected with the witnessed type set.
+func (idx *chaIndex) implementations(iface *types.Interface, method string) []ifaceImpl {
 	key := chaKey{iface, method}
 	if impls, ok := idx.memo[key]; ok {
 		return impls
 	}
-	var impls []*types.Func
+	var impls []ifaceImpl
 	for _, named := range idx.named {
 		// Pointer receiver method sets are supersets; check *T.
 		pt := types.NewPointer(named)
 		if !types.Implements(pt, iface) && !types.Implements(named, iface) {
 			continue
 		}
+		var w *convWitness
+		if idx.typeSet != nil {
+			if w = idx.typeSet.witnessFor(named); w == nil {
+				// Implements the interface but no value of it ever
+				// flows into an interface: not a dispatch target.
+				continue
+			}
+		}
 		obj, _, _ := types.LookupFieldOrMethod(pt, true, nil, method)
 		if f, ok := obj.(*types.Func); ok {
-			impls = append(impls, f)
+			impls = append(impls, ifaceImpl{fn: f, typeName: named.Obj().Name(), witness: w})
 		}
 	}
 	idx.memo[key] = impls
@@ -499,7 +542,11 @@ func chainFrameAt(fset *token.FileSet, caller *FuncNode, edge CallEdge) ChainFra
 	desc := caller.DisplayName(caller.PkgPath) + " calls " + edge.Callee.DisplayName(caller.PkgPath)
 	switch edge.Kind {
 	case EdgeInterface:
-		desc += " (interface dispatch)"
+		if edge.witness != nil {
+			desc += " (interface dispatch; " + describeWitness(fset, edge.witnessType, edge.witness) + ")"
+		} else {
+			desc += " (interface dispatch)"
+		}
 	case EdgeFuncValue:
 		desc += " (through a function value)"
 	}

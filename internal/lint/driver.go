@@ -393,8 +393,18 @@ func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		}
 		kept = append(kept, d)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	return sortAndDedupe(kept), nil
+}
+
+// sortAndDedupe puts diagnostics in the canonical output order — file,
+// line, column, analyzer, message — and collapses identical findings. A
+// whole-module analyzer can reach the same defect through several call-
+// graph paths (two annotated roots calling one blocking leaf); the
+// defect is one finding, not one per path, and the order must not depend
+// on package iteration or graph traversal order.
+func sortAndDedupe(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -404,9 +414,22 @@ func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		return a.Message < b.Message
 	})
-	return kept, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if d.Pos == prev.Pos && d.Analyzer == prev.Analyzer && d.Message == prev.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // callGraph returns the module call graph over every package loaded so

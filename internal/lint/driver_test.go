@@ -46,10 +46,18 @@ func TestMalformedSuppression(t *testing.T) {
 	}
 }
 
+// maxRepoSuppressions pins the suppression inventory. PR 9 carried 20;
+// dispatch narrowing, path-sensitive lockcheck, the net.Close nonblock
+// exemption and the splitByColumns single-backing-array partition got
+// the tree to 17. New suppressions need a precision argument, not just
+// a reason string — prefer teaching the analyzer the pattern.
+const maxRepoSuppressions = 17
+
 // TestRepoSuppressions is the suppression-hygiene gate for the real
 // tree: every //lint:ignore outside testdata must name an existing
-// analyzer and carry a non-empty reason. A stale or bare suppression
-// silences nothing and must not survive review.
+// analyzer and carry a non-empty reason, and the total count must not
+// creep back up. A stale or bare suppression silences nothing and must
+// not survive review.
 func TestRepoSuppressions(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -89,7 +97,47 @@ func TestRepoSuppressions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("checked %d suppressions", count)
+	if count > maxRepoSuppressions {
+		t.Errorf("repo has %d suppressions, cap is %d: teach the analyzer the pattern instead", count, maxRepoSuppressions)
+	}
+	t.Logf("checked %d suppressions (cap %d)", count, maxRepoSuppressions)
+}
+
+// TestSortAndDedupe pins the canonical diagnostic order — file, line,
+// column, analyzer, message — and the collapse of identical findings
+// reached via multiple call-graph paths into one.
+func TestSortAndDedupe(t *testing.T) {
+	mk := func(file string, line, col int, analyzer, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		d.Pos.Column = col
+		return d
+	}
+	in := []Diagnostic{
+		mk("b.go", 3, 1, "nonblock", "z"),
+		mk("a.go", 10, 2, "nonblock", "m"),
+		mk("a.go", 10, 2, "goroleak", "m"), // same pos, earlier analyzer
+		mk("a.go", 10, 2, "nonblock", "m"), // exact duplicate: dropped
+		mk("a.go", 2, 9, "wiretaint", "x"),
+		mk("b.go", 3, 1, "nonblock", "a"),
+	}
+	want := []string{
+		"a.go:2:9: wiretaint: x",
+		"a.go:10:2: goroleak: m",
+		"a.go:10:2: nonblock: m",
+		"b.go:3:1: nonblock: a",
+		"b.go:3:1: nonblock: z",
+	}
+	out := sortAndDedupe(in)
+	if len(out) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(out), len(want), renderDiags(out))
+	}
+	for i, w := range want {
+		if got := out[i].String(); got != w {
+			t.Errorf("out[%d] = %q, want %q", i, got, w)
+		}
+	}
 }
 
 // TestCrossPackageChain: an annotated function whose blocking operation
@@ -305,6 +353,103 @@ func TestFuncValueMutations(t *testing.T) {
 	})
 }
 
+// TestLockPathTrace: a genuinely unbalanced path carries its branch
+// decisions as an evidence chain — the acquisition first, then the
+// decisions that reach the exit without a release.
+func TestLockPathTrace(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "src"), []string{"./lockcheck"}, []*Analyzer{LockCheck})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var branchLeak, leakyRet *Diagnostic
+	for i, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "not released on every path"):
+			branchLeak = &diags[i]
+		case strings.Contains(d.Message, "returns with g.mu still locked"):
+			leakyRet = &diags[i]
+		}
+	}
+	if branchLeak == nil {
+		t.Fatalf("missing branchLeak finding:\n%s", renderDiags(diags))
+	}
+	if len(branchLeak.Chain) < 2 {
+		t.Fatalf("branchLeak should carry a path trace:\n%s", branchLeak.Detail())
+	}
+	if !strings.Contains(branchLeak.Chain[0].Msg, "g.mu.Lock() acquired here") {
+		t.Errorf("chain should start at the acquisition:\n%s", branchLeak.Detail())
+	}
+	if !strings.Contains(branchLeak.Detail(), "if skipped (condition false)") {
+		t.Errorf("chain should name the unbalanced branch decision:\n%s", branchLeak.Detail())
+	}
+	if leakyRet == nil {
+		t.Fatalf("missing leakyReturn finding:\n%s", renderDiags(diags))
+	}
+	if !strings.Contains(leakyRet.Detail(), "then branch of this if taken") {
+		t.Errorf("return-path finding should name the branch taken:\n%s", leakyRet.Detail())
+	}
+}
+
+// TestNarrowedDispatch: the narrowing fixture has two implementations
+// of sink.Sink, one blocking — but only the non-blocking MemSink is
+// ever converted to the interface, so the annotated dispatch through
+// Sink.Write lints clean. Pure class-hierarchy resolution would flag
+// it through the never-instantiated NetSink.
+func TestNarrowedDispatch(t *testing.T) {
+	diags, err := Run(filepath.Join("testdata", "narrow"), []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("narrowed dispatch should be clean, got:\n%s", renderDiags(diags))
+	}
+}
+
+// TestNarrowingMutations: re-widening the type set has teeth. Making
+// Default return the blocking NetSink adds the missing conversion
+// witness, the dispatch edge reappears, and the nonblock finding fires
+// with the witness site in its evidence chain.
+func TestNarrowingMutations(t *testing.T) {
+	t.Run("rewiden-flags-blocking-impl", func(t *testing.T) {
+		root := copyTree(t, filepath.Join("testdata", "narrow"))
+		mutate(t, root, filepath.Join("sink", "sink.go"),
+			"\treturn &MemSink{}\n", "\treturn &NetSink{}\n")
+		diags, err := Run(root, []string{"./emitn"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "Emit is //sysprof:nonblocking but calls sink.NetSink.Write (interface dispatch), which calls net.Write"
+		if !hasFinding(diags, "nonblock", want) {
+			t.Fatalf("want %q after re-widening, got:\n%s", want, renderDiags(diags))
+		}
+		for _, d := range diags {
+			if d.Analyzer != "nonblock" {
+				continue
+			}
+			if !strings.Contains(d.Detail(), "interface dispatch; NetSink returned as interface at sink.go:") {
+				t.Errorf("Detail() missing the conversion witness:\n%s", d.Detail())
+			}
+		}
+	})
+
+	t.Run("witnessed-nonblocking-impl-stays-clean", func(t *testing.T) {
+		// Converting the *non-blocking* implementation in a second place
+		// must not change anything: narrowing keys on the type set, not
+		// on how many conversions exist.
+		root := copyTree(t, filepath.Join("testdata", "narrow"))
+		mutate(t, root, filepath.Join("sink", "sink.go"),
+			"func Default() Sink {\n",
+			"var spare Sink = &MemSink{}\n\nfunc Default() Sink {\n\t_ = spare\n")
+		diags, err := Run(root, []string{"./..."}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Fatalf("extra MemSink witness should stay clean, got:\n%s", renderDiags(diags))
+		}
+	})
+}
+
 // TestUnknownPattern: patterns escaping the module are run errors, not
 // findings.
 func TestUnknownPattern(t *testing.T) {
@@ -458,6 +603,56 @@ func TestMutations(t *testing.T) {
 		}
 		if !hasFinding(diags, "hotalloc", "calls make for a slice that escapes: passed to Sum") {
 			t.Fatalf("want a hotalloc escape finding, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("pubsub-orphan-writer", func(t *testing.T) {
+		// Goroleak teeth: stripping writeLoop's two exit edges (queue
+		// close and write error) leaves the writer goroutine with no way
+		// out — the classic wedged fire-and-forget worker.
+		mroot := copyRepoSubset(t)
+		mutate(t, mroot, filepath.Join("internal", "pubsub", "pubsub.go"),
+			"\t\tf, ok := rc.q.dequeue()\n\t\tif !ok {\n\t\t\treturn\n\t\t}\n",
+			"\t\tf, _ := rc.q.dequeue()\n")
+		mutate(t, mroot, filepath.Join("internal", "pubsub", "pubsub.go"),
+			"\t\tif err != nil {\n\t\t\tb.remoteFailures.Add(1)\n\t\t\tb.dropConn(rc)\n\t\t\treturn\n\t\t}\n",
+			"\t\tif err != nil {\n\t\t\tb.remoteFailures.Add(1)\n\t\t}\n")
+		diags, err := Run(mroot, []string{"./internal/pubsub"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasFinding(diags, "goroleak", "goroutine never exits") {
+			t.Fatalf("want a goroleak finding after orphaning writeLoop, got:\n%s", renderDiags(diags))
+		}
+	})
+
+	t.Run("pbio-unbounded-columns", func(t *testing.T) {
+		// Wiretaint teeth: deleting readColumns's count guard and the
+		// MaxColumnReserve clamp lets the wire-decoded row count size the
+		// record slice directly — the exact hostile-prefix allocation bug
+		// the fuzz campaigns kept finding.
+		mroot := copyRepoSubset(t)
+		mutate(t, mroot, filepath.Join("internal", "pbio", "columns.go"),
+			"\tif n == 0 || n > maxBatchLen {\n\t\treturn nil, fmt.Errorf(\"%w: columns count %d\", ErrBadFrame, n)\n\t}\n",
+			"")
+		mutate(t, mroot, filepath.Join("internal", "pbio", "columns.go"),
+			"min(int(n), MaxColumnReserve)", "int(n)")
+		diags, err := Run(mroot, []string{"./internal/pbio"}, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range diags {
+			if d.Analyzer != "wiretaint" || !strings.Contains(d.Message, "sizes a make") {
+				continue
+			}
+			found = true
+			if !strings.Contains(d.Detail(), "wire input:") {
+				t.Errorf("wiretaint finding should carry source provenance:\n%s", d.Detail())
+			}
+		}
+		if !found {
+			t.Fatalf("want a wiretaint finding after deleting the count guard, got:\n%s", renderDiags(diags))
 		}
 	})
 

@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak proves that every goroutine a package starts has an exit
+// edge. A monitoring daemon that leaks goroutines wedges slowly — the
+// pubsub writer machinery and the per-node scenario pumps spawn one
+// goroutine per connection, so a single missing exit path turns churn
+// into unbounded growth. Two structural rules, both tuned for zero
+// false positives over real shutdown idioms:
+//
+//   - an infinite `for` loop (no condition) in the goroutine's body must
+//     contain an exit edge: a return, a break bound to that loop, or a
+//     terminating call (panic, os.Exit, runtime.Goexit, log.Fatal*).
+//     Loops that exit via `case <-ctx.Done(): return` or a shutdown-flag
+//     check satisfy this naturally — the return is the edge;
+//   - a goroutine blocked on a bare channel receive or send (outside any
+//     select) where the channel is created locally in the spawning
+//     function and *nothing else in the module ever references it* can
+//     wedge forever: no sender (or receiver) exists to unblock it.
+//
+// `go` statements whose entry the call graph cannot resolve (method
+// values, unresolved function values) are skipped — no claim beats a
+// wrong one.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "every started goroutine needs an exit edge; no receives on channels nothing references",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(mp *ModulePass) {
+	for _, pkgPath := range mp.Graph.Packages() {
+		if !mp.Targets[pkgPath] {
+			continue
+		}
+		for _, node := range mp.Graph.PkgFuncs(pkgPath) {
+			if node.Decl == nil || node.Decl.Body == nil {
+				continue
+			}
+			// Full inspect: a `go` statement inside a closure still
+			// starts a goroutine attributable to this file.
+			ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(mp, node, g)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt analyzes one `go` statement.
+func checkGoStmt(mp *ModulePass, enclosing *FuncNode, g *ast.GoStmt) {
+	if mp.Suppressed(g.Pos()) {
+		return
+	}
+	info := enclosing.Info
+	var body *ast.BlockStmt
+	var entryName string
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+		entryName = "the goroutine"
+	default:
+		callee := calleeFunc(info, g.Call)
+		n := mp.Graph.Node(callee)
+		if n == nil || n.Body() == nil {
+			return // unresolvable entry: no claim
+		}
+		body = n.Body()
+		entryName = n.DisplayName(enclosing.PkgPath)
+	}
+
+	// Rule 1: infinite loops need an exit edge.
+	inspectShallow(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasExit(info, loop) {
+			mp.ReportChain(g.Pos(), []ChainFrame{
+				{Pos: mp.Fset.Position(g.Pos()), Msg: "goroutine started here"},
+				{Pos: mp.Fset.Position(loop.Pos()), Msg: "infinite loop with no return, break, or terminating call"},
+			}, "goroutine never exits: %s loops forever with no exit edge", entryName)
+			return false // one finding per goroutine is enough
+		}
+		return true
+	})
+
+	// Rule 2: blocking ops on channels nothing else references.
+	checkOrphanChannels(mp, enclosing, g, body, entryName)
+}
+
+// loopHasExit reports whether an infinite loop body contains an edge
+// that leaves the loop: a return, a break bound to this loop (not to a
+// nested loop/switch/select), a goto (assumed to jump out — bounded
+// analysis), or a terminating call. Closures inside the loop do not
+// count: they run elsewhere.
+func loopHasExit(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	// visit walks statements; breakable marks whether an unlabeled break
+	// here binds to a construct nested inside our loop.
+	var visit func(n ast.Node, nested bool)
+	visit = func(n ast.Node, nested bool) {
+		if n == nil || found {
+			return
+		}
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			found = true
+			return
+		case *ast.BranchStmt:
+			switch node.Tok {
+			case token.BREAK:
+				// An unlabeled break exits the innermost for/switch/select;
+				// a labeled break is assumed to target our loop (or an
+				// enclosing one — either way, out of here).
+				if !nested || node.Label != nil {
+					found = true
+				}
+			case token.GOTO:
+				found = true
+			}
+			return
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok && isTerminatingCall(info, call) {
+				found = true
+				return
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Breaks inside bind to this nested construct.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				visit(m, true)
+				return false
+			})
+			return
+		}
+		// Generic descent preserving the nested flag.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			visit(m, nested)
+			return false
+		})
+	}
+	for _, stmt := range loop.Body.List {
+		visit(stmt, false)
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOrphanChannels flags bare (selectless) receives/sends in the
+// goroutine body on channels that are created locally in the module and
+// referenced nowhere else — there is provably no peer to unblock them.
+func checkOrphanChannels(mp *ModulePass, enclosing *FuncNode, g *ast.GoStmt, body *ast.BlockStmt, entryName string) {
+	info := enclosing.Info
+
+	// Collect bare blocking channel ops (skip everything inside select:
+	// multi-way waits need liveness reasoning this analyzer doesn't do).
+	type chanOp struct {
+		ch  *ast.Ident
+		pos token.Pos
+		op  string // "receives from" / "sends to"
+	}
+	var ops []chanOp
+	addRecv := func(e ast.Expr) {
+		if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			if id, ok := ast.Unparen(u.X).(*ast.Ident); ok {
+				ops = append(ops, chanOp{id, u.Pos(), "receives from"})
+			}
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.FuncLit:
+				return m == n
+			case *ast.SelectStmt:
+				return false
+			case *ast.ExprStmt:
+				addRecv(node.X)
+			case *ast.AssignStmt:
+				if len(node.Rhs) == 1 {
+					addRecv(node.Rhs[0])
+				}
+			case *ast.SendStmt:
+				if id, ok := ast.Unparen(node.Chan).(*ast.Ident); ok {
+					ops = append(ops, chanOp{id, node.Arrow, "sends to"})
+				}
+			case *ast.RangeStmt:
+				// `for v := range ch` blocks like a receive and exits on
+				// close; with no referencing peer there is no close either.
+				if id, ok := ast.Unparen(node.X).(*ast.Ident); ok {
+					if _, isChan := typeUnder(info, node.X).(*types.Chan); isChan {
+						ops = append(ops, chanOp{id, node.Pos(), "ranges over"})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	for _, op := range ops {
+		v, ok := info.Uses[op.ch].(*types.Var)
+		if !ok {
+			continue
+		}
+		makePos := localMakeChan(enclosing, info, v)
+		if !makePos.IsValid() {
+			continue // parameter, field, or non-make channel: peers unknowable
+		}
+		if hasChannelPeer(mp.Graph, v, g) {
+			continue
+		}
+		mp.ReportChain(g.Pos(), []ChainFrame{
+			{Pos: mp.Fset.Position(g.Pos()), Msg: "goroutine started here"},
+			{Pos: mp.Fset.Position(makePos), Msg: op.ch.Name + " created here, referenced nowhere else"},
+			{Pos: mp.Fset.Position(op.pos), Msg: "blocking operation with no possible peer"},
+		}, "goroutine can wedge: %s %s channel %s, which nothing else in the module references",
+			entryName, op.op, op.ch.Name)
+	}
+}
+
+// localMakeChan returns the position where v is created by a make(chan)
+// in the enclosing function, or NoPos.
+func localMakeChan(enclosing *FuncNode, info *types.Info, v *types.Var) token.Pos {
+	pos := token.NoPos
+	body := enclosing.Body()
+	if body == nil {
+		return pos
+	}
+	isMakeChan := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return false
+		}
+		if len(call.Args) == 0 {
+			return false
+		}
+		tv, ok := info.Types[call.Args[0]]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) == len(node.Rhs) {
+				for i := range node.Lhs {
+					if id, ok := node.Lhs[i].(*ast.Ident); ok {
+						if obj, ok := info.Defs[id].(*types.Var); ok && obj == v && isMakeChan(node.Rhs[i]) {
+							pos = node.Rhs[i].Pos()
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range node.Names {
+				if i < len(node.Values) {
+					if obj, ok := info.Defs[name].(*types.Var); ok && obj == v && isMakeChan(node.Values[i]) {
+						pos = node.Values[i].Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// hasChannelPeer reports whether any code in the module — outside the
+// given `go` statement — references v beyond its creation. Any such
+// reference (a send, a close, a pass to another function, a store)
+// could unblock the goroutine, so it disqualifies the orphan claim.
+func hasChannelPeer(graph *CallGraph, v *types.Var, g *ast.GoStmt) bool {
+	peer := false
+	for _, pkgPath := range graph.Packages() {
+		for _, node := range graph.PkgFuncs(pkgPath) {
+			if node.Decl == nil || node.Decl.Body == nil || peer {
+				continue
+			}
+			ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+				if peer {
+					return false
+				}
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				// References inside the go statement itself (the
+				// goroutine's own ops) are the thing being checked.
+				if id.Pos() >= g.Pos() && id.End() <= g.End() {
+					return true
+				}
+				if obj, ok := node.Info.Uses[id].(*types.Var); ok && obj == v {
+					peer = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return peer
+}

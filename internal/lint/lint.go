@@ -216,6 +216,8 @@ func All() []*Analyzer {
 		LockOrder,
 		RefBalance,
 		AtomicMix,
+		GoroLeak,
+		WireTaint,
 	}
 }
 

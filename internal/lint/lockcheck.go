@@ -1,18 +1,31 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
-// LockCheck enforces lock hygiene on sync.Mutex / sync.RWMutex:
+// LockCheck enforces lock hygiene on sync.Mutex / sync.RWMutex by
+// tracking held-lock state along every control-flow path of a function:
 //
-//   - every Lock()/RLock() must be released, either by a matching
-//     deferred Unlock in the same function or by a matching Unlock call
-//     in the same statement block, with every return statement between
-//     the acquisition and that release preceded by its own Unlock
-//     (the "unlock-then-return on the error path" idiom);
+//   - branches fork the state and re-merge at join points (states with
+//     identical held sets collapse, the rest are bounded), so
+//     early-release idioms — unlock before a slow call, conditional
+//     unlock-then-relock, releases distributed across if/else arms —
+//     verify without suppressions;
+//   - a path that returns or falls off the end of the function while a
+//     lock is held is a finding: if no matching release exists anywhere
+//     in the scope the lock "is never released" (reported at the
+//     acquisition), otherwise the specific unbalanced path is reported
+//     with the branch decisions that reach it as an evidence chain;
+//   - deferred unlocks (including inside a deferred closure) release at
+//     scope exit for every path that executed the defer;
+//   - forward gotos follow the jump; loops are evaluated as zero-or-one
+//     iterations; paths ending in panic/os.Exit are not findings;
 //   - functions must not take mutex-bearing structs by value (receiver
 //     or parameter) — a copied lock guards nothing.
 //
@@ -113,103 +126,506 @@ func unlockFor(op string) string {
 	return "Unlock"
 }
 
+// maxLockStates bounds the per-scope path enumeration. States with
+// identical held-lock signatures merge at joins, so the bound only
+// bites in functions whose lock state genuinely diverges across dozens
+// of paths; excess states are dropped deterministically (first kept).
+const maxLockStates = 64
+
+// maxTraceSteps caps the branch-decision trace carried per state.
+const maxTraceSteps = 8
+
+// heldLock is one acquisition a path has not yet released.
+type heldLock struct {
+	expr string // rendered lock expression ("s.mu")
+	op   string // "Lock" or "RLock"
+	pos  token.Pos
+}
+
+// pathStep is one branch decision on the way to the current state.
+type pathStep struct {
+	pos  token.Pos
+	desc string
+}
+
+// lockState is the abstract state of one control-flow path: the locks
+// it holds, the unlocks it has deferred, and how it got here.
+type lockState struct {
+	held     []heldLock
+	deferred map[[2]string]bool // {lockExpr, unlockOp} released at scope exit
+	trace    []pathStep
+}
+
+func newLockState() *lockState {
+	return &lockState{deferred: make(map[[2]string]bool)}
+}
+
+// clone deep-copies the state for a branch fork.
+func (st *lockState) clone() *lockState {
+	c := &lockState{
+		held:     append([]heldLock(nil), st.held...),
+		deferred: make(map[[2]string]bool, len(st.deferred)),
+		trace:    append([]pathStep(nil), st.trace...),
+	}
+	for k := range st.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// step records a branch decision (bounded).
+func (st *lockState) step(pos token.Pos, desc string) {
+	if len(st.trace) < maxTraceSteps {
+		st.trace = append(st.trace, pathStep{pos, desc})
+	}
+}
+
+// acquire pushes a held lock.
+func (st *lockState) acquire(expr, op string, pos token.Pos) {
+	st.held = append(st.held, heldLock{expr, op, pos})
+}
+
+// release pops the most recent held lock the unlock op matches. An
+// unlock with nothing matching held is ignored: the lock may be held by
+// the caller.
+func (st *lockState) release(expr, unlockOp string) {
+	lockOp := "Lock"
+	if unlockOp == "RUnlock" {
+		lockOp = "RLock"
+	}
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].expr == expr && st.held[i].op == lockOp {
+			st.held = append(st.held[:i:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// signature renders the lock-relevant state for join-point merging
+// (trace excluded: two paths holding the same locks are one state).
+func (st *lockState) signature() string {
+	var sb strings.Builder
+	for _, h := range st.held {
+		sb.WriteString(h.expr)
+		sb.WriteByte(0)
+		sb.WriteString(h.op)
+		sb.WriteByte(1)
+	}
+	sb.WriteByte(2)
+	keys := make([]string, 0, len(st.deferred))
+	for k := range st.deferred {
+		keys = append(keys, k[0]+"\x00"+k[1])
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte(1)
+	}
+	return sb.String()
+}
+
+// flowOut is the result of walking a statement (or list): the states
+// that fell through plus the ones leaving via break/continue/goto.
+// Paths that returned or terminated are checked and dropped inside the
+// walk.
+type flowOut struct {
+	normal    []*lockState
+	broken    []*lockState
+	continued []*lockState
+	gotos     map[string][]*lockState
+}
+
+func (fo *flowOut) addGotos(m map[string][]*lockState) {
+	if len(m) == 0 {
+		return
+	}
+	if fo.gotos == nil {
+		fo.gotos = make(map[string][]*lockState)
+	}
+	for lbl, sts := range m {
+		fo.gotos[lbl] = append(fo.gotos[lbl], sts...)
+	}
+}
+
+func (fo *flowOut) merge(other flowOut) {
+	fo.normal = append(fo.normal, other.normal...)
+	fo.broken = append(fo.broken, other.broken...)
+	fo.continued = append(fo.continued, other.continued...)
+	fo.addGotos(other.gotos)
+}
+
+// lockWalker evaluates one function scope path-sensitively.
+type lockWalker struct {
+	pass *Pass
+	// releases lists every matching unlock syntactically present in the
+	// scope; it selects between "never released" (no release exists at
+	// all, reported at the acquisition) and "unbalanced path" (a release
+	// exists but this path missed it).
+	releases map[[2]string]bool
+	reported map[string]bool
+}
+
 // checkLockScope verifies every Lock/RLock in one function scope
 // (closures excluded — they are scopes of their own).
 func checkLockScope(pass *Pass, body *ast.BlockStmt) {
-	// Deferred unlocks cover every path out of the scope.
-	deferred := make(map[[2]string]bool) // {lockExpr, op}
-	// All unlock call positions, for the positional return-path check.
-	unlockPos := make(map[[2]string][]token.Pos)
+	w := &lockWalker{
+		pass:     pass,
+		releases: collectReleases(pass, body),
+		reported: make(map[string]bool),
+	}
+	out := w.walkStmts([]*lockState{newLockState()}, body.List)
+	// break/continue escaping the top level cannot type-check; treat any
+	// that slipped through like fall-off-the-end states.
+	exits := append(append(out.normal, out.broken...), out.continued...)
+	for _, st := range exits {
+		w.checkExit(st, token.NoPos)
+	}
+	// States consumed by unresolvable gotos (backward jumps) are dropped:
+	// a bounded walk cannot follow them, and silence beats a false leak.
+}
+
+// collectReleases records every unlock call in the scope, including
+// inside deferred closures (a `defer func() { mu.Unlock() }()` releases
+// at exit just like a direct deferred unlock).
+func collectReleases(pass *Pass, body *ast.BlockStmt) map[[2]string]bool {
+	rel := make(map[[2]string]bool)
+	record := func(call *ast.CallExpr) {
+		if e, op := mutexOp(pass, call); op == "Unlock" || op == "RUnlock" {
+			rel[[2]string{e, op}] = true
+		}
+	}
 	inspectShallow(body, func(n ast.Node) bool {
 		switch node := n.(type) {
-		case *ast.DeferStmt:
-			if e, op := mutexOp(pass, node.Call); op == "Unlock" || op == "RUnlock" {
-				deferred[[2]string{e, op}] = true
-			}
 		case *ast.CallExpr:
-			if e, op := mutexOp(pass, node); op == "Unlock" || op == "RUnlock" {
-				unlockPos[[2]string{e, op}] = append(unlockPos[[2]string{e, op}], node.Pos())
+			record(node)
+		case *ast.DeferStmt:
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok && lit.Body != nil {
+				inspectShallow(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						record(c)
+					}
+					return true
+				})
 			}
 		}
 		return true
 	})
+	return rel
+}
 
-	var walkList func(list []ast.Stmt)
-	checkLock := func(list []ast.Stmt, i int, lockExpr, op string, lockPos token.Pos) {
-		unlock := unlockFor(op)
-		key := [2]string{lockExpr, unlock}
-		if deferred[key] {
-			return
+// checkExit reports held locks when a path leaves the scope. exitPos is
+// the return statement's position, or NoPos when the path falls off the
+// end of the body.
+func (w *lockWalker) checkExit(st *lockState, exitPos token.Pos) {
+	for _, h := range st.held {
+		unlock := unlockFor(h.op)
+		key := [2]string{h.expr, unlock}
+		if st.deferred[key] {
+			continue
 		}
-		// Find the matching release in the same statement list.
-		release := -1
-		for j := i + 1; j < len(list); j++ {
-			es, ok := list[j].(*ast.ExprStmt)
-			if !ok {
-				continue
-			}
-			call, ok := es.X.(*ast.CallExpr)
-			if !ok {
-				continue
-			}
-			if e, o := mutexOp(pass, call); e == lockExpr && o == unlock {
-				release = j
-				break
-			}
+		chain := w.pathChain(st, h)
+		switch {
+		case !w.releases[key]:
+			w.reportOnce(h.pos, nil, "%s.%s() is never released: no deferred %s and no %s in this scope",
+				h.expr, h.op, unlock, unlock)
+		case exitPos != token.NoPos:
+			w.reportOnce(exitPos, chain, "returns with %s still locked (no %s on this path)", h.expr, unlock)
+		default:
+			w.reportOnce(h.pos, chain, "%s.%s() is not released on every path: a path to the end of the function misses %s",
+				h.expr, h.op, unlock)
 		}
-		if release < 0 {
-			pass.Reportf(lockPos, "%s.%s() is never released: no deferred %s and no %s in the same block",
-				lockExpr, op, unlock, unlock)
-			return
+	}
+}
+
+// pathChain renders a state's branch decisions since the acquisition as
+// an evidence chain, acquisition first.
+func (w *lockWalker) pathChain(st *lockState, h heldLock) []ChainFrame {
+	chain := []ChainFrame{{
+		Pos: w.pass.Fset.Position(h.pos),
+		Msg: h.expr + "." + h.op + "() acquired here",
+	}}
+	for _, s := range st.trace {
+		if s.pos > h.pos {
+			chain = append(chain, ChainFrame{Pos: w.pass.Fset.Position(s.pos), Msg: s.desc})
 		}
-		// Any return between the acquisition and the release must have
-		// been preceded by its own unlock (the unlock-then-return idiom).
-		for k := i + 1; k < release; k++ {
-			inspectShallow(list[k], func(n ast.Node) bool {
-				ret, ok := n.(*ast.ReturnStmt)
-				if !ok {
-					return true
+	}
+	return chain
+}
+
+// reportOnce deduplicates findings reached by multiple paths (the first
+// path's trace wins — path exploration order is deterministic).
+func (w *lockWalker) reportOnce(pos token.Pos, chain []ChainFrame, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	if len(chain) > 1 {
+		w.pass.ReportChain(pos, chain, "%s", msg)
+	} else {
+		w.pass.Reportf(pos, "%s", msg)
+	}
+}
+
+// dedupeStates collapses states with identical lock signatures and
+// applies the path bound.
+func dedupeStates(states []*lockState) []*lockState {
+	if len(states) <= 1 {
+		return states
+	}
+	seen := make(map[string]bool, len(states))
+	out := states[:0]
+	for _, st := range states {
+		sig := st.signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, st)
+	}
+	if len(out) > maxLockStates {
+		out = out[:maxLockStates]
+	}
+	return out
+}
+
+// cloneAll forks every state for a branch arm, recording the decision.
+func cloneAll(states []*lockState, pos token.Pos, desc string) []*lockState {
+	out := make([]*lockState, len(states))
+	for i, st := range states {
+		c := st.clone()
+		c.step(pos, desc)
+		out[i] = c
+	}
+	return out
+}
+
+// walkStmts evaluates a statement list over a set of path states.
+// Forward gotos whose label is in this list re-enter at the labeled
+// statement; others propagate upward.
+func (w *lockWalker) walkStmts(states []*lockState, list []ast.Stmt) flowOut {
+	labelIdx := make(map[string]int)
+	for i, stmt := range list {
+		if ls, ok := stmt.(*ast.LabeledStmt); ok {
+			labelIdx[ls.Label.Name] = i
+		}
+	}
+	var out flowOut
+	arriving := make(map[int][]*lockState)
+	live := states
+	for i, stmt := range list {
+		live = append(live, arriving[i]...)
+		delete(arriving, i)
+		live = dedupeStates(live)
+		if len(live) == 0 {
+			continue
+		}
+		fo := w.walkStmt(live, stmt)
+		live = fo.normal
+		out.broken = append(out.broken, fo.broken...)
+		out.continued = append(out.continued, fo.continued...)
+		for lbl, sts := range fo.gotos {
+			if j, ok := labelIdx[lbl]; ok {
+				if j > i {
+					arriving[j] = append(arriving[j], sts...)
 				}
-				for _, p := range unlockPos[key] {
-					if p > lockPos && p < ret.Pos() {
-						return true
+				// Backward goto: bounded walk, path dropped silently.
+				continue
+			}
+			out.addGotos(map[string][]*lockState{lbl: sts})
+		}
+	}
+	out.normal = dedupeStates(live)
+	return out
+}
+
+// walkStmt evaluates one statement over the live states.
+func (w *lockWalker) walkStmt(states []*lockState, stmt ast.Stmt) flowOut {
+	switch node := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := node.X.(*ast.CallExpr); ok {
+			return w.walkCall(states, call)
+		}
+
+	case *ast.DeferStmt:
+		if e, op := mutexOp(w.pass, node.Call); op == "Unlock" || op == "RUnlock" {
+			for _, st := range states {
+				st.deferred[[2]string{e, op}] = true
+			}
+		} else if lit, ok := node.Call.Fun.(*ast.FuncLit); ok && lit.Body != nil {
+			inspectShallow(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if e, op := mutexOp(w.pass, c); op == "Unlock" || op == "RUnlock" {
+						for _, st := range states {
+							st.deferred[[2]string{e, op}] = true
+						}
 					}
 				}
-				pass.Reportf(ret.Pos(), "returns with %s still locked (no %s on this path)", lockExpr, unlock)
 				return true
 			})
 		}
-	}
 
-	walkList = func(list []ast.Stmt) {
-		for i, stmt := range list {
-			if es, ok := stmt.(*ast.ExprStmt); ok {
-				if call, ok := es.X.(*ast.CallExpr); ok {
-					if e, op := mutexOp(pass, call); op == "Lock" || op == "RLock" {
-						checkLock(list, i, e, op, call.Pos())
-					}
-				}
+	case *ast.ReturnStmt:
+		for _, st := range states {
+			w.checkExit(st, node.Pos())
+		}
+		return flowOut{}
+
+	case *ast.BlockStmt:
+		return w.walkStmts(states, node.List)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(states, node.Stmt)
+
+	case *ast.IfStmt:
+		if node.Init != nil {
+			states = w.walkStmt(states, node.Init).normal
+		}
+		out := w.walkStmts(cloneAll(states, node.Pos(), "then branch of this if taken"), node.Body.List)
+		if node.Else != nil {
+			out.merge(w.walkStmt(cloneAll(states, node.Else.Pos(), "else branch taken"), node.Else))
+		} else {
+			out.normal = append(out.normal, cloneAll(states, node.Pos(), "if skipped (condition false)")...)
+		}
+		return out
+
+	case *ast.ForStmt:
+		if node.Init != nil {
+			states = w.walkStmt(states, node.Init).normal
+		}
+		bo := w.walkStmts(cloneAll(states, node.Pos(), "loop body entered"), node.Body.List)
+		iter := append(bo.normal, bo.continued...)
+		if node.Post != nil {
+			iter = w.walkStmt(iter, node.Post).normal
+		}
+		out := flowOut{normal: bo.broken}
+		out.addGotos(bo.gotos)
+		if node.Cond != nil {
+			// Conditional loop: zero iterations, or the condition turning
+			// false after the bounded single iteration.
+			out.normal = append(out.normal, cloneAll(states, node.Pos(), "loop skipped (zero iterations)")...)
+			out.normal = append(out.normal, iter...)
+		}
+		// Infinite loop (no condition): only break exits; states that
+		// complete an iteration re-enter and are not walked again.
+		return out
+
+	case *ast.RangeStmt:
+		bo := w.walkStmts(cloneAll(states, node.Pos(), "loop body entered"), node.Body.List)
+		out := flowOut{normal: append(bo.broken, append(bo.normal, bo.continued...)...)}
+		out.normal = append(out.normal, cloneAll(states, node.Pos(), "loop skipped (empty range)")...)
+		out.addGotos(bo.gotos)
+		return out
+
+	case *ast.SwitchStmt:
+		return w.walkCases(states, node.Init, node.Body, node.Pos(), "switch case entered", true)
+
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(states, node.Init, node.Body, node.Pos(), "type-switch case entered", true)
+
+	case *ast.SelectStmt:
+		// A select always commits to one of its cases (a default case is
+		// just one more), so there is no skip path.
+		return w.walkCases(states, nil, node.Body, node.Pos(), "select case entered", false)
+
+	case *ast.BranchStmt:
+		switch node.Tok {
+		case token.BREAK:
+			return flowOut{broken: states}
+		case token.CONTINUE:
+			return flowOut{continued: states}
+		case token.GOTO:
+			return flowOut{gotos: map[string][]*lockState{node.Label.Name: states}}
+		case token.FALLTHROUGH:
+			// Approximated as falling out of the switch: the next case
+			// body is skipped, which can only under-count releases there.
+			return flowOut{broken: states}
+		}
+	}
+	// Declarations, assignments, sends, go statements: no effect on lock
+	// state (mutex ops return nothing, so they only occur as calls or
+	// defers; closures are scopes of their own).
+	return flowOut{normal: states}
+}
+
+// walkCases evaluates a switch/type-switch/select body: each clause
+// runs from a fork of the incoming states; break leaves the construct.
+// withSkip adds the no-clause-matched fall-through when no default
+// clause exists.
+func (w *lockWalker) walkCases(states []*lockState, init ast.Stmt, body *ast.BlockStmt, pos token.Pos, desc string, withSkip bool) flowOut {
+	if init != nil {
+		states = w.walkStmt(states, init).normal
+	}
+	var out flowOut
+	hasDefault := false
+	for _, cl := range body.List {
+		var clBody []ast.Stmt
+		var clPos token.Pos
+		isDefault := false
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			clBody, clPos, isDefault = cc.Body, cc.Pos(), cc.List == nil
+		case *ast.CommClause:
+			clBody, clPos, isDefault = cc.Body, cc.Pos(), cc.Comm == nil
+		default:
+			continue
+		}
+		if isDefault {
+			hasDefault = true
+		}
+		co := w.walkStmts(cloneAll(states, clPos, desc), clBody)
+		// break inside a clause exits the construct, not a loop.
+		out.normal = append(out.normal, co.normal...)
+		out.normal = append(out.normal, co.broken...)
+		out.continued = append(out.continued, co.continued...)
+		out.addGotos(co.gotos)
+	}
+	if withSkip && !hasDefault {
+		out.normal = append(out.normal, cloneAll(states, pos, "no case matched")...)
+	}
+	return out
+}
+
+// walkCall applies one expression-statement call: mutex operations
+// mutate the lock state, terminating calls end the path (a panic or
+// process exit is not a lock leak).
+func (w *lockWalker) walkCall(states []*lockState, call *ast.CallExpr) flowOut {
+	if e, op := mutexOp(w.pass, call); op != "" {
+		for _, st := range states {
+			switch op {
+			case "Lock", "RLock":
+				st.acquire(e, op, call.Pos())
+			case "Unlock", "RUnlock":
+				st.release(e, op)
 			}
 		}
-		// Recurse into nested statement lists, but not closures.
-		for _, stmt := range list {
-			inspectShallow(stmt, func(n ast.Node) bool {
-				switch node := n.(type) {
-				case *ast.BlockStmt:
-					walkList(node.List)
-					return false
-				case *ast.CaseClause:
-					walkList(node.Body)
-					return false
-				case *ast.CommClause:
-					walkList(node.Body)
-					return false
-				}
-				return true
-			})
+		return flowOut{normal: states}
+	}
+	if isTerminatingCall(w.pass.Info, call) {
+		return flowOut{}
+	}
+	return flowOut{normal: states}
+}
+
+// isTerminatingCall reports whether the call never returns: panic,
+// os.Exit, runtime.Goexit, log.Fatal*.
+func isTerminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "panic"
 		}
 	}
-	walkList(body.List)
+	pkg, name := calleePkgFunc(calleeFunc(info, call))
+	switch pkg {
+	case "os":
+		return name == "Exit"
+	case "runtime":
+		return name == "Goexit"
+	case "log":
+		return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+	}
+	return false
 }
 
 // checkByValueLocks flags receivers and parameters whose (non-pointer)

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF output: the standard interchange format CI systems ingest
+// (artifact upload, code-scanning annotations). Only the stdlib JSON
+// encoder is used; the schema subset below is the minimal valid SARIF
+// 2.1.0 document — one run, one rule per analyzer, one result per
+// diagnostic with the evidence chain as relatedLocations.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string       `json:"id"`
+	ShortDesc sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// relURI renders a diagnostic position as a module-root-relative,
+// forward-slash URI (falling back to the raw path when the position is
+// outside the root).
+func relURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasParentPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func hasParentPrefix(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// WriteSARIF writes the diagnostics as a SARIF 2.1.0 document. Paths are
+// made relative to root so the artifact is stable across checkouts; the
+// rule table lists every analyzer that ran, findings or not, so a clean
+// run still documents what was checked.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDesc: sarifMessage{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relURI(root, d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		for _, f := range d.Chain {
+			msg := f.Msg
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relURI(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+				Message: &sarifMessage{Text: msg},
+			})
+		}
+		results = append(results, res)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sysproflint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}
+
+// Baseline is a recorded set of accepted findings. A finding matches the
+// baseline on (file, analyzer, message) — line and column are excluded
+// on purpose, so unrelated edits that shift a known finding down the
+// file do not resurrect it, while any new finding (or a changed message,
+// which means a changed defect) still fails the run.
+type Baseline struct {
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding is one accepted finding.
+type BaselineFinding struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// NewBaseline records the given diagnostics as the accepted set.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	b := &Baseline{Findings: make([]BaselineFinding, 0, len(diags))}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		f := BaselineFinding{File: relURI(root, d.Pos.Filename), Analyzer: d.Analyzer, Message: d.Message}
+		k := baselineKey(f.File, f.Analyzer, f.Message)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Findings = append(b.Findings, f)
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by Write.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write writes the baseline as indented JSON (stable order for diffs).
+func (b *Baseline) Write(w io.Writer) error {
+	sorted := append([]BaselineFinding(nil), b.Findings...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, c := sorted[i], sorted[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Baseline{Findings: sorted})
+}
+
+// Filter splits diagnostics into those not covered by the baseline (new
+// findings, which should fail the run) and the count of suppressed ones.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (fresh []Diagnostic, suppressed int) {
+	keys := make(map[string]bool, len(b.Findings))
+	for _, f := range b.Findings {
+		keys[baselineKey(f.File, f.Analyzer, f.Message)] = true
+	}
+	for _, d := range diags {
+		if keys[baselineKey(relURI(root, d.Pos.Filename), d.Analyzer, d.Message)] {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}

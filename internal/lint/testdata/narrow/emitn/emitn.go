@@ -1,0 +1,14 @@
+// Package emitn holds the annotated entry point of the narrowing
+// fixture: Emit dispatches through sink.Sink. With the type set
+// narrowed to the witnessed MemSink the call is non-blocking and the
+// package lints clean; re-widening the set (converting NetSink to
+// Sink) makes the same call a finding with the conversion site in the
+// evidence chain.
+package emitn
+
+import "narrowmod/sink"
+
+//sysprof:nonblocking
+func Emit(s sink.Sink, b []byte) {
+	s.Write(b)
+}

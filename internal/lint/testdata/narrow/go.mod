@@ -1,0 +1,3 @@
+module narrowmod
+
+go 1.22

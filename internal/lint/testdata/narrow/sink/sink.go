@@ -1,0 +1,45 @@
+// Package sink is the type-set-narrowing fixture: two implementations
+// of the same interface, only one of which is ever converted to it.
+// MemSink is live — Default returns it as a Sink, so it is a dispatch
+// target with that return as the conversion witness. NetSink satisfies
+// Sink too, and its Write blocks on a net.Conn — but no value of it
+// flows into an interface anywhere in the module, so under RTA
+// narrowing it contributes no dispatch edges. Pure class-hierarchy
+// resolution would make every emitn.Emit call "possibly blocking"
+// through it; the narrowing mutation test re-widens the set by making
+// Default return a NetSink instead.
+package sink
+
+import "net"
+
+// Sink receives emitted records.
+type Sink interface {
+	Write(b []byte)
+}
+
+// MemSink buffers records in memory; Write never blocks.
+type MemSink struct {
+	buf []byte
+}
+
+func (s *MemSink) Write(b []byte) {
+	s.buf = append(s.buf, b...)
+}
+
+// NetSink forwards records to a network peer; Write can stall on a
+// slow connection. It is never converted to Sink in this module.
+type NetSink struct {
+	conn net.Conn
+}
+
+func (s *NetSink) Write(b []byte) {
+	if s.conn != nil {
+		s.conn.Write(b)
+	}
+}
+
+// Default is the only concrete-to-interface flow in the module: the
+// MemSink return is the witness that keeps MemSink in the type set.
+func Default() Sink {
+	return &MemSink{}
+}

@@ -1,0 +1,143 @@
+// Package goroleak is the golden fixture for the goroutine-leak
+// analyzer.
+package goroleak
+
+import "context"
+
+// selectDoneOK exits through the ctx.Done arm — the return is the exit
+// edge.
+func selectDoneOK(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// dequeueReturnOK is the writer-goroutine shape: the loop returns when
+// the queue closes.
+func dequeueReturnOK(next func() (int, bool)) {
+	go func() {
+		for {
+			v, ok := next()
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// flagBreakOK exits via a break bound to the infinite loop.
+func flagBreakOK(done *bool) {
+	go func() {
+		for {
+			if *done {
+				break
+			}
+		}
+	}()
+}
+
+// boundedOK only loops over a finite range; no infinite loop at all.
+func boundedOK(xs []int) {
+	go func() {
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		_ = sum
+	}()
+}
+
+// innerBreakLeaks: the break binds to the inner switch, not the loop —
+// no edge leaves the `for`.
+func innerBreakLeaks(k int) {
+	go func() { // want `goroutine never exits`
+		for {
+			switch k {
+			case 0:
+				break
+			}
+		}
+	}()
+}
+
+// spinLeaks never exits: no return, break, or terminating call.
+func spinLeaks() {
+	n := 0
+	go func() { // want `goroutine never exits`
+		for {
+			n++
+		}
+	}()
+	_ = n
+}
+
+// namedLeak: the entry is a declared function resolved through the call
+// graph.
+func pump() {
+	for {
+	}
+}
+
+func namedLeak() {
+	go pump() // want `goroutine never exits: pump loops forever`
+}
+
+// orphanRecvLeaks blocks on a channel nothing else references: no
+// sender can ever exist.
+func orphanRecvLeaks() {
+	ch := make(chan int)
+	go func() { // want `goroutine can wedge`
+		<-ch
+	}()
+}
+
+// orphanRangeLeaks ranges over a channel nothing references — no sends
+// and no close are possible.
+func orphanRangeLeaks() {
+	ch := make(chan int)
+	go func() { // want `goroutine can wedge`
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// pairedOK: the spawning function keeps using the channel, so a sender
+// exists.
+func pairedOK() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}
+
+// passedOK: handing the channel to another function counts as a peer —
+// the callee may send, close, or store it.
+func consume(ch chan int) {
+	close(ch)
+}
+
+func passedOK() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	consume(ch)
+}
+
+// paramOK: channels received as parameters have unknowable peers; no
+// claim.
+func paramOK(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}

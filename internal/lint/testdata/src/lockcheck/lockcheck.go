@@ -78,6 +78,97 @@ func closureLeaks(g *guarded) func() {
 	}
 }
 
+// relockOK is the early-release idiom the positional checker used to
+// flag: the inner Lock's release is outside its own statement block,
+// but every path is balanced.
+func relockOK(g *guarded, bad bool, recompute func() int) {
+	g.mu.Lock()
+	if bad {
+		g.mu.Unlock()
+		n := recompute()
+		g.mu.Lock()
+		g.n = n
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// branchReleaseOK releases in both arms instead of after the join —
+// balanced on every path, no top-level unlock needed.
+func branchReleaseOK(g *guarded, bad bool) {
+	g.mu.Lock()
+	if bad {
+		g.n = 0
+		g.mu.Unlock()
+	} else {
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// branchLeak releases on only one arm: a release exists in the scope,
+// so the finding names the specific unbalanced path instead of "never
+// released".
+func branchLeak(g *guarded, bad bool) {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) is not released on every path`
+	if bad {
+		g.mu.Unlock()
+	}
+	g.n++
+}
+
+// switchReleaseOK distributes the release across switch cases.
+func switchReleaseOK(g *guarded, k int) {
+	g.mu.Lock()
+	switch k {
+	case 0:
+		g.mu.Unlock()
+	default:
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// gotoCleanupOK jumps forward to a shared cleanup label that releases.
+func gotoCleanupOK(g *guarded, bad bool) {
+	g.mu.Lock()
+	if bad {
+		goto cleanup
+	}
+	g.n++
+cleanup:
+	g.mu.Unlock()
+}
+
+// panicPathOK: a path that panics is not a lock leak.
+func panicPathOK(g *guarded, bad bool) {
+	g.mu.Lock()
+	if bad {
+		panic("bad")
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// deferClosureOK releases through a deferred closure.
+func deferClosureOK(g *guarded) {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+// loopReacquireOK locks and unlocks within each bounded iteration.
+func loopReacquireOK(g *guarded, xs []int) {
+	for _, x := range xs {
+		g.mu.Lock()
+		g.n += x
+		g.mu.Unlock()
+	}
+}
+
 func byValue(g guarded) int { // want `parameter of byValue passes guarded by value`
 	return g.n
 }

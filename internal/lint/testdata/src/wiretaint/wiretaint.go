@@ -1,0 +1,120 @@
+// Package wiretaint is the golden fixture for the wire-taint analyzer:
+// wire-decoded lengths must be bounds-checked before sizing allocations.
+package wiretaint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+const maxRecords = 4096
+
+var errShort = errors.New("short buffer")
+
+// readHeaderLen is the annotated line-protocol reader: its integer
+// result comes straight off the wire.
+//
+//sysprof:wiresource
+func readHeaderLen(b []byte) (int, error) {
+	if len(b) < 2 {
+		return 0, errShort
+	}
+	return int(b[0])<<8 | int(b[1]), nil
+}
+
+// unboundedMake: a varint count sizes a make with no guard at all.
+func unboundedMake(b []byte) []int {
+	n, _ := binary.Uvarint(b)
+	return make([]int, n) // want `wire-tainted value n sizes a make`
+}
+
+// headerLenBE: fixed-width byte-order reads are sources too.
+func headerLenBE(hdr []byte) []uint32 {
+	n := binary.BigEndian.Uint32(hdr)
+	return make([]uint32, n) // want `wire-tainted value n sizes a make`
+}
+
+// growTainted: pre-reservation with a wire count is the same bug.
+func growTainted(b []byte) *bytes.Buffer {
+	n, _ := binary.Uvarint(b)
+	var buf bytes.Buffer
+	buf.Grow(int(n)) // want `wire-tainted value int\(n\) passed to Grow`
+	return &buf
+}
+
+// guardedMake: the decoders' early-return idiom — a comparison against a
+// named cap before the allocation clears the taint.
+func guardedMake(b []byte) []int {
+	n, _ := binary.Uvarint(b)
+	if n > maxRecords {
+		return nil
+	}
+	return make([]int, n)
+}
+
+// clampedMake: min with a constant bound clamps the value.
+func clampedMake(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, min(int(n), maxRecords))
+}
+
+// maskedMake: v & mask is bounded by the constant operand.
+func maskedMake(b []byte) []int {
+	n, _ := binary.Uvarint(b)
+	return make([]int, n&1023)
+}
+
+// lenGuardOK: comparing against len of the remaining frame is a usable
+// bound (the count cannot exceed what was actually received).
+func lenGuardOK(b, frame []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if int(n) > len(frame) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// callerOfSource: the annotated reader's result arrives tainted through
+// the call; the error slot does not.
+func callerOfSource(b []byte) ([]string, error) {
+	n, err := readHeaderLen(b)
+	if err != nil {
+		return nil, err
+	}
+	return make([]string, n), nil // want `wire-tainted value n sizes a make`
+}
+
+// guardedCallerOfSource: same flow, but bounded before the allocation.
+func guardedCallerOfSource(b []byte) []string {
+	n, err := readHeaderLen(b)
+	if err != nil || n > maxRecords {
+		return nil
+	}
+	return make([]string, n)
+}
+
+// alloc is sized by its callers; passesTaint hands it a raw wire count,
+// so the parameter is tainted and the make inside is flagged.
+func alloc(n int) []byte {
+	return make([]byte, n) // want `wire-tainted value n sizes a make`
+}
+
+func passesTaint(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return alloc(int(n))
+}
+
+// boundedAlloc guards its parameter before allocating, so callers may
+// pass wire counts freely.
+func boundedAlloc(n int) []byte {
+	if n > maxRecords {
+		n = maxRecords
+	}
+	return make([]byte, n)
+}
+
+func passesBounded(b []byte) []byte {
+	v, _ := binary.Uvarint(b)
+	return boundedAlloc(int(v))
+}

@@ -1,0 +1,510 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireTaint turns the parser-hardening discipline — never size an
+// allocation from a length the peer sent without bounding it first —
+// into a checked invariant. The recurring real bug class found by the
+// fuzz campaigns is exactly this: a hostile wire-decoded count reaching
+// make() and allocating gigabytes before the first record is read.
+//
+// Sources of taint:
+//   - module functions annotated //sysprof:wiresource (their non-error
+//     results are attacker-controlled: pbio's varint reader, the
+//     controller's line-protocol integer parser);
+//   - encoding/binary reads: binary.Uvarint/Varint, ReadUvarint/
+//     ReadVarint, and ByteOrder.Uint16/32/64 (handshake fields, frame
+//     headers).
+//
+// Taint propagates flow-insensitively through assignments, conversions
+// and arithmetic inside a function, and interprocedurally both ways: a
+// tainted argument taints the callee's parameter, a tainted return
+// taints the caller's result variable (bounded fixpoint over the module
+// call graph).
+//
+// Taint is cleared only by evidence of bounding:
+//   - a comparison of the value against a constant, named constant, or
+//     len/cap expression, lexically before the sink (the dominating-
+//     guard approximation: decoders guard at the top, then allocate);
+//   - clamping through min(v, c) with a constant bound, v & c, v % c.
+//
+// Sinks are allocation-size positions: make(len/cap/size-hint) and
+// Grow(n) methods. A tainted, unguarded value reaching one is reported
+// with the full provenance chain: where the bytes came off the wire,
+// which calls carried them, where they size memory.
+var WireTaint = &Analyzer{
+	Name:      "wiretaint",
+	Doc:       "wire-decoded lengths must be bounds-checked before sizing allocations (module-wide taint)",
+	RunModule: runWireTaint,
+}
+
+// AnnotWireSource marks a function whose results come straight off the
+// wire (attacker-controlled until bounds-checked).
+const AnnotWireSource = "sysprof:wiresource"
+
+// maxTaintRounds bounds the interprocedural fixpoint; taint chains
+// deeper than this many call hops are vanishingly rare in decoders.
+const maxTaintRounds = 6
+
+// maxTaintChain caps provenance chains in diagnostics.
+const maxTaintChain = 8
+
+// taintSource carries the provenance of one tainted value.
+type taintSource struct {
+	chain []ChainFrame // source first, call hops after
+}
+
+func (t *taintSource) extend(pos token.Position, msg string) *taintSource {
+	if len(t.chain) >= maxTaintChain {
+		return t
+	}
+	c := &taintSource{chain: append(append([]ChainFrame(nil), t.chain...), ChainFrame{Pos: pos, Msg: msg})}
+	return c
+}
+
+// funcTaint is the per-function taint state.
+type funcTaint struct {
+	node    *FuncNode
+	vars    map[*types.Var]*taintSource
+	results map[int]*taintSource
+	guards  map[*types.Var][]token.Pos
+	params  []*types.Var // positional parameter objects
+}
+
+// taintEngine is the module-wide solver.
+type taintEngine struct {
+	mp      *ModulePass
+	fns     []*funcTaint // deterministic order
+	byNode  map[*FuncNode]*funcTaint
+	changed bool
+}
+
+func runWireTaint(mp *ModulePass) {
+	eng := &taintEngine{mp: mp, byNode: make(map[*FuncNode]*funcTaint)}
+	pkgs := mp.Graph.Packages()
+	sort.Strings(pkgs)
+	for _, pkgPath := range pkgs {
+		for _, node := range mp.Graph.PkgFuncs(pkgPath) {
+			if node.Decl == nil || node.Decl.Body == nil {
+				continue
+			}
+			ft := &funcTaint{
+				node:    node,
+				vars:    make(map[*types.Var]*taintSource),
+				results: make(map[int]*taintSource),
+				guards:  collectGuards(node),
+				params:  paramVars(node),
+			}
+			eng.fns = append(eng.fns, ft)
+			eng.byNode[node] = ft
+		}
+	}
+	for round := 0; round < maxTaintRounds; round++ {
+		eng.changed = false
+		for _, ft := range eng.fns {
+			eng.propagate(ft)
+		}
+		if !eng.changed {
+			break
+		}
+	}
+	for _, ft := range eng.fns {
+		eng.checkSinks(ft)
+	}
+}
+
+// paramVars resolves the declared parameter objects in order.
+func paramVars(node *FuncNode) []*types.Var {
+	var out []*types.Var
+	if node.Decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range node.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter: nothing can read it
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := node.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// collectGuards records, per variable, the positions of bounding
+// comparisons: v OP constish anywhere in the body (conditions of ifs,
+// loops, switches — any comparison counts, the decoders' early-return
+// guard idiom included).
+func collectGuards(node *FuncNode) map[*types.Var][]token.Pos {
+	guards := make(map[*types.Var][]token.Pos)
+	info := node.Info
+	inspectShallow(node.Decl.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		check := func(side, other ast.Expr) {
+			if !constish(info, other) {
+				return
+			}
+			if v := rootVar(info, side); v != nil {
+				guards[v] = append(guards[v], be.Pos())
+			}
+		}
+		check(be.X, be.Y)
+		check(be.Y, be.X)
+		return true
+	})
+	return guards
+}
+
+// constish reports whether the expression is a usable bound: a
+// constant (literal or named), or a len/cap of something.
+func constish(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "len" || b.Name() == "cap"
+			}
+		}
+	}
+	return false
+}
+
+// rootVar unwraps conversions, parens and unary ops to the underlying
+// variable ("int(nf)" guards nf).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		e = ast.Unparen(e)
+		switch node := e.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[node].(*types.Var)
+			return v
+		case *ast.CallExpr:
+			if tv, ok := info.Types[node.Fun]; ok && tv.IsType() && len(node.Args) == 1 {
+				e = node.Args[0]
+				continue
+			}
+			return nil
+		case *ast.UnaryExpr:
+			e = node.X
+			continue
+		default:
+			return nil
+		}
+	}
+}
+
+// guardedBefore reports whether v has a bounding comparison lexically
+// before pos.
+func (ft *funcTaint) guardedBefore(v *types.Var, pos token.Pos) bool {
+	for _, g := range ft.guards[v] {
+		if g < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// markVar taints a variable (first provenance wins, deterministically).
+func (eng *taintEngine) markVar(ft *funcTaint, v *types.Var, t *taintSource) {
+	if v == nil || t == nil {
+		return
+	}
+	if _, ok := ft.vars[v]; ok {
+		return
+	}
+	ft.vars[v] = t
+	eng.changed = true
+}
+
+// sourceCall classifies a call as a taint source and returns the
+// provenance, the per-result taint spread (nil = only result 0), or nil
+// when the call is not a source.
+func (eng *taintEngine) sourceCall(ft *funcTaint, call *ast.CallExpr) (*taintSource, bool) {
+	info := ft.node.Info
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return nil, false
+	}
+	pos := eng.mp.Fset.Position(call.Pos())
+	// Annotated module sources.
+	if n := eng.mp.Graph.Node(callee); n != nil && n.Decl != nil && hasAnnotation(n.Decl, AnnotWireSource) {
+		return &taintSource{chain: []ChainFrame{{
+			Pos: pos,
+			Msg: "wire input: " + n.DisplayName(ft.node.PkgPath) + " is //sysprof:wiresource",
+		}}}, true
+	}
+	// encoding/binary readers.
+	if callee.Pkg() != nil && callee.Pkg().Path() == "encoding/binary" {
+		switch callee.Name() {
+		case "Uvarint", "Varint", "ReadUvarint", "ReadVarint",
+			"Uint16", "Uint32", "Uint64":
+			return &taintSource{chain: []ChainFrame{{
+				Pos: pos,
+				Msg: "wire input: binary." + callee.Name() + " decodes attacker-controlled bytes",
+			}}}, true
+		}
+	}
+	return nil, false
+}
+
+// exprTaint resolves the taint of an expression used at usePos; guarded
+// variables resolve clean.
+func (eng *taintEngine) exprTaint(ft *funcTaint, e ast.Expr, usePos token.Pos) *taintSource {
+	info := ft.node.Info
+	e = ast.Unparen(e)
+	switch node := e.(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[node].(*types.Var)
+		if !ok {
+			return nil
+		}
+		t := ft.vars[v]
+		if t == nil || ft.guardedBefore(v, usePos) {
+			return nil
+		}
+		return t
+	case *ast.BinaryExpr:
+		switch node.Op {
+		case token.AND, token.REM:
+			// v & mask, v % mod: bounded by the constant operand.
+			if constish(info, node.X) || constish(info, node.Y) {
+				return nil
+			}
+		case token.LAND, token.LOR, token.EQL, token.NEQ,
+			token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return nil // booleans are not sizes
+		}
+		if t := eng.exprTaint(ft, node.X, usePos); t != nil {
+			return t
+		}
+		return eng.exprTaint(ft, node.Y, usePos)
+	case *ast.UnaryExpr:
+		if node.Op == token.ARROW {
+			return nil
+		}
+		return eng.exprTaint(ft, node.X, usePos)
+	case *ast.CallExpr:
+		// Conversion: int(n) carries n's taint.
+		if tv, ok := info.Types[node.Fun]; ok && tv.IsType() && len(node.Args) == 1 {
+			return eng.exprTaint(ft, node.Args[0], usePos)
+		}
+		// Builtins: len/cap are clean; min with any constant bound
+		// clamps; other args of min/max carry taint through.
+		if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "make", "new":
+					return nil
+				case "min":
+					for _, a := range node.Args {
+						if constish(info, a) {
+							return nil
+						}
+					}
+				}
+				for _, a := range node.Args {
+					if t := eng.exprTaint(ft, a, usePos); t != nil {
+						return t
+					}
+				}
+				return nil
+			}
+		}
+		// Source call in expression position.
+		if t, ok := eng.sourceCall(ft, node); ok {
+			return t
+		}
+		// Module call with a tainted first result.
+		if callee := calleeFunc(info, node); callee != nil {
+			if cft := eng.byNode[eng.mp.Graph.Node(callee)]; cft != nil {
+				if t := cft.results[0]; t != nil {
+					return t.extend(eng.mp.Fset.Position(node.Pos()),
+						"returned tainted by "+cft.node.DisplayName(ft.node.PkgPath))
+				}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// propagate runs one intraprocedural round plus caller-to-callee
+// parameter propagation.
+func (eng *taintEngine) propagate(ft *funcTaint) {
+	info := ft.node.Info
+	body := ft.node.Decl.Body
+
+	assignTaint := func(lhs ast.Expr, t *taintSource) {
+		if t == nil {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				eng.markVar(ft, v, t)
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				eng.markVar(ft, v, t)
+			}
+		}
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) == len(node.Rhs) {
+				for i := range node.Lhs {
+					assignTaint(node.Lhs[i], eng.exprTaint(ft, node.Rhs[i], node.Pos()))
+				}
+			} else if len(node.Rhs) == 1 {
+				// Multi-value: n, err := readCount(...). A source call
+				// taints every non-error result; a module callee's
+				// result taints positionally.
+				if call, ok := ast.Unparen(node.Rhs[0]).(*ast.CallExpr); ok {
+					if t, ok := eng.sourceCall(ft, call); ok {
+						for _, lhs := range node.Lhs {
+							if !isErrorExpr(info, lhs) {
+								assignTaint(lhs, t)
+							}
+						}
+					} else if callee := calleeFunc(info, call); callee != nil {
+						if cft := eng.byNode[eng.mp.Graph.Node(callee)]; cft != nil {
+							for i, lhs := range node.Lhs {
+								if t := cft.results[i]; t != nil {
+									assignTaint(lhs, t.extend(eng.mp.Fset.Position(call.Pos()),
+										"returned tainted by "+cft.node.DisplayName(ft.node.PkgPath)))
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range node.Names {
+				if i < len(node.Values) {
+					assignTaint(name, eng.exprTaint(ft, node.Values[i], node.Pos()))
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, res := range node.Results {
+				if _, ok := ft.results[i]; ok {
+					continue
+				}
+				if t := eng.exprTaint(ft, res, res.Pos()); t != nil {
+					ft.results[i] = t
+					eng.changed = true
+				}
+			}
+		case *ast.CallExpr:
+			// Caller-to-callee: a tainted, unguarded argument taints the
+			// callee's parameter.
+			callee := calleeFunc(info, node)
+			if callee == nil {
+				return true
+			}
+			cft := eng.byNode[eng.mp.Graph.Node(callee)]
+			if cft == nil {
+				return true
+			}
+			for i, arg := range node.Args {
+				if i >= len(cft.params) || cft.params[i] == nil {
+					continue
+				}
+				if _, already := cft.vars[cft.params[i]]; already {
+					continue
+				}
+				if t := eng.exprTaint(ft, arg, node.Pos()); t != nil {
+					eng.markVar(cft, cft.params[i], t.extend(eng.mp.Fset.Position(node.Pos()),
+						"passed tainted to parameter "+cft.params[i].Name()+" of "+cft.node.DisplayName(ft.node.PkgPath)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isErrorExpr reports whether the expression's type is error (so
+// multi-value source results skip the error slot).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "_" {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				return v.Type() != nil && v.Type().String() == "error"
+			}
+		}
+		return false
+	}
+	return tv.Type.String() == "error"
+}
+
+// checkSinks reports tainted, unguarded values sizing allocations.
+func (eng *taintEngine) checkSinks(ft *funcTaint) {
+	info := ft.node.Info
+	report := func(call *ast.CallExpr, arg ast.Expr, t *taintSource, what string) {
+		if eng.mp.Suppressed(call.Pos()) {
+			return
+		}
+		chain := append(append([]ChainFrame(nil), t.chain...), ChainFrame{
+			Pos: eng.mp.Fset.Position(call.Pos()),
+			Msg: "sizes the allocation here with no dominating bounds check",
+		})
+		eng.mp.ReportChain(call.Pos(), chain,
+			"wire-tainted value %s %s without a bounds check against a constant or named cap",
+			eng.renderExpr(arg), what)
+	}
+	inspectShallow(ft.node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// make(T, len[, cap]) — every size argument is a sink.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "make" {
+					for _, arg := range call.Args[1:] {
+						if t := eng.exprTaint(ft, arg, call.Pos()); t != nil {
+							report(call, arg, t, "sizes a make")
+						}
+					}
+				}
+				return true
+			}
+		}
+		// x.Grow(n) — pre-reservation methods.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Grow" && len(call.Args) == 1 {
+			if t := eng.exprTaint(ft, call.Args[0], call.Pos()); t != nil {
+				report(call, call.Args[0], t, "passed to Grow")
+			}
+		}
+		return true
+	})
+}
+
+// renderExpr renders an expression for messages via the module pass
+// file set.
+func (eng *taintEngine) renderExpr(e ast.Expr) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, eng.mp.Fset, e)
+	return sb.String()
+}

@@ -225,12 +225,13 @@ func splitByColumns(remotes []*remoteConn, compressOK bool) (compressed, capable
 	case nZ == 0 && nCap == 0:
 		return nil, nil, remotes
 	}
+	// One backing array partitioned three ways: each class appends into
+	// its own full-capacity region, so the appends below never reallocate.
 	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
-	compressed = make([]*remoteConn, 0, nZ)
-	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
-	capable = make([]*remoteConn, 0, nCap)
-	//lint:ignore hotalloc mixed-capability fan-out sets only exist mid-upgrade; homogeneous fleets take the no-alloc paths above
-	legacy = make([]*remoteConn, 0, len(remotes)-nZ-nCap)
+	backing := make([]*remoteConn, 0, len(remotes))
+	compressed = backing[0:0:nZ]
+	capable = backing[nZ : nZ : nZ+nCap]
+	legacy = backing[nZ+nCap : nZ+nCap : len(remotes)]
 	for _, rc := range remotes {
 		switch {
 		case compressOK && rc.columnsZ:

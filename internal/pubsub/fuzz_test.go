@@ -38,6 +38,31 @@ func FuzzReadHandshake(f *testing.F) {
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{})
 
+	// Wiretaint-identified boundaries. Channel count around
+	// maxHandshakeChannels (cap-1, cap, cap+1, uint16 max): exactly the
+	// cap must parse, one over must be rejected before the per-channel
+	// loop allocates anything.
+	capHdr := func(count uint16) []byte {
+		b := []byte{handshakeMagic, 1, 0, 0}
+		return binary.LittleEndian.AppendUint16(b, count)
+	}
+	full := capHdr(maxHandshakeChannels)
+	for i := 0; i < maxHandshakeChannels; i++ {
+		full = binary.LittleEndian.AppendUint32(full, 0) // empty name
+	}
+	f.Add(full)
+	f.Add(capHdr(maxHandshakeChannels - 1))
+	f.Add(capHdr(maxHandshakeChannels + 1))
+	f.Add(capHdr(0xFFFF))
+
+	// String length around the 1<<20 cap: at-cap costs memory only as
+	// bytes actually arrive (chunked reads), one over is rejected before
+	// any allocation.
+	atCap := binary.LittleEndian.AppendUint32(capHdr(1), 1<<20)
+	f.Add(append(atCap, make([]byte, 4096)...)) // truncated body
+	f.Add(binary.LittleEndian.AppendUint32(capHdr(1), 1<<20-1))
+	f.Add(binary.LittleEndian.AppendUint32(capHdr(1), 1<<20+1))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		hs, err := readHandshake(bytes.NewReader(data))
 		if err != nil {

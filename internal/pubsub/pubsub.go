@@ -970,7 +970,6 @@ func (b *Broker) dropConn(rc *remoteConn) {
 		}
 	})
 	b.mu.Unlock()
-	//lint:ignore nonblock Close only marks the fd and returns (no linger configured); slow-subscriber eviction must sever the socket from the publish path
 	rc.conn.Close()
 	for _, f := range rc.q.close() {
 		f.release()
